@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the partitioning algorithms: how long does it
+//! take Gillis to *plan* (an offline cost, but the paper stresses that the
+//! DP is fast and brute force is not).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gillis_core::{analyze_group, group_options, DpPartitioner, PartDim, PartitionOption, PartitionerConfig};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+use gillis_perf::PerfModel;
+
+fn bench_dp(c: &mut Criterion) {
+    let perf = PerfModel::analytic(&PlatformProfile::aws_lambda());
+    let mut group = c.benchmark_group("dp_partition");
+    group.sample_size(10);
+    for model in [zoo::vgg11(), zoo::vgg16(), zoo::wrn50(4)] {
+        group.bench_function(model.name().to_string(), |b| {
+            b.iter(|| {
+                DpPartitioner::new(PartitionerConfig::default())
+                    .partition(black_box(&model), &perf)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_analysis(c: &mut Criterion) {
+    let vgg = zoo::vgg16();
+    c.bench_function("analyze_group_hx8", |b| {
+        b.iter(|| {
+            analyze_group(
+                black_box(&vgg),
+                0,
+                4,
+                PartitionOption::Split {
+                    dim: PartDim::Height,
+                    parts: 8,
+                },
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("group_options_sweep", |b| {
+        b.iter(|| {
+            let mut count = 0;
+            for start in 0..vgg.layers().len() {
+                for end in start + 1..=vgg.layers().len().min(start + 6) {
+                    count += group_options(black_box(&vgg), start, end, &[2, 4, 8, 16]).len();
+                }
+            }
+            count
+        })
+    });
+}
+
+criterion_group!(benches, bench_dp, bench_group_analysis);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the performance model: the prediction primitives
+//! the DP, RL, and BO searches evaluate millions of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gillis_core::{predict_plan, DpPartitioner, ExecutionPlan};
+use gillis_faas::{ExGaussian, PlatformProfile};
+use gillis_model::zoo;
+use gillis_perf::{fit::fit_exgaussian, LinearRegression, PerfModel};
+
+fn bench_predict_plan(c: &mut Criterion) {
+    let perf = PerfModel::analytic(&PlatformProfile::aws_lambda());
+    let vgg = zoo::vgg16();
+    let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+    c.bench_function("predict_plan_vgg16", |b| {
+        b.iter(|| predict_plan(black_box(&vgg), &plan, &perf).unwrap())
+    });
+    let single = ExecutionPlan::single_function(&vgg);
+    c.bench_function("predict_plan_vgg16_single", |b| {
+        b.iter(|| predict_plan(black_box(&vgg), &single, &perf).unwrap())
+    });
+}
+
+fn bench_order_statistics(c: &mut Criterion) {
+    let d = ExGaussian::new(5.0, 1.5, 1.0 / 7.0).unwrap();
+    c.bench_function("exgaussian_expected_max_16", |b| {
+        b.iter(|| black_box(&d).expected_max(16))
+    });
+    let perf = PerfModel::analytic(&PlatformProfile::aws_lambda());
+    c.bench_function("comm_group_transfer_cached", |b| {
+        b.iter(|| perf.comm.group_transfer_ms(black_box(1_000_000), 16))
+    });
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let d = ExGaussian::new(5.0, 1.5, 1.0 / 7.0).unwrap();
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(3);
+    let samples: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+    c.bench_function("fit_exgaussian_2000", |b| {
+        b.iter(|| fit_exgaussian(black_box(&samples)).unwrap())
+    });
+    let xs: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64, (i * i % 97) as f64]).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[1] + 1.0).collect();
+    c.bench_function("linear_regression_500x2", |b| {
+        b.iter(|| LinearRegression::fit(black_box(&xs), &ys).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_predict_plan, bench_order_statistics, bench_fitting);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benchmarks of the SLO-aware searchers: RL policy steps, GP
+//! fitting/prediction, EI scoring, random-plan sampling, and a small brute
+//! force.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gillis_bo::brute_force;
+use gillis_bo::gp::{Gp, GpConfig};
+use gillis_bo::random::{encode_plan, random_plan};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+use gillis_perf::PerfModel;
+use gillis_rl::agents::{Agents, OptionMenu};
+use gillis_rl::nn::Mlp;
+use gillis_rl::{slo_aware_partition, SloAwareConfig};
+use rand::SeedableRng;
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut rng: rand::rngs::StdRng = SeedableRng::seed_from_u64(1);
+    let mlp = Mlp::new(10, 16, 8, &mut rng);
+    let x = vec![0.3; 10];
+    c.bench_function("mlp_forward_10_16_8", |b| {
+        b.iter(|| mlp.forward(black_box(&x)))
+    });
+    let fwd = mlp.forward(&x);
+    let dlogits = vec![0.1; 8];
+    c.bench_function("mlp_backward_10_16_8", |b| {
+        b.iter(|| {
+            let mut grads = mlp.zero_grads();
+            mlp.backward(black_box(&fwd), &dlogits, &mut grads);
+            grads
+        })
+    });
+}
+
+fn bench_rl_training(c: &mut Criterion) {
+    let perf = PerfModel::analytic(&PlatformProfile::aws_lambda());
+    let tiny = zoo::tiny_vgg();
+    let mut group = c.benchmark_group("rl");
+    group.sample_size(10);
+    group.bench_function("slo_aware_tiny_40_episodes", |b| {
+        b.iter(|| {
+            slo_aware_partition(
+                black_box(&tiny),
+                &perf,
+                &SloAwareConfig {
+                    t_max_ms: 500.0,
+                    episodes: 40,
+                    batch: 8,
+                    ..SloAwareConfig::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+    let mut rng: rand::rngs::StdRng = SeedableRng::seed_from_u64(2);
+    let agents = Agents::new(16, OptionMenu::default(), &mut rng);
+    let vgg = zoo::vgg11();
+    c.bench_function("menu_mask_vgg11_group", |b| {
+        b.iter(|| agents.menu.mask(black_box(&vgg), 0, 3, 1_400_000_000))
+    });
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let perf = PerfModel::analytic(&PlatformProfile::aws_lambda());
+    let vgg = zoo::vgg11();
+    let mut rng: rand::rngs::StdRng = SeedableRng::seed_from_u64(3);
+    let budget = perf.platform.model_memory_budget;
+    let plans: Vec<_> = (0..30)
+        .map(|_| random_plan(&vgg, budget, &[2, 4, 8], &mut rng).unwrap())
+        .collect();
+    let xs: Vec<Vec<f64>> = plans.iter().map(|p| encode_plan(&vgg, p)).collect();
+    let ys: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7).sin() * 100.0 + 500.0).collect();
+    c.bench_function("gp_fit_30_points", |b| {
+        b.iter(|| Gp::fit(black_box(xs.clone()), &ys, GpConfig::default()).unwrap())
+    });
+    let gp = Gp::fit(xs.clone(), &ys, GpConfig::default()).unwrap();
+    c.bench_function("gp_predict", |b| b.iter(|| gp.predict(black_box(&xs[0]))));
+    c.bench_function("random_plan_vgg11", |b| {
+        b.iter(|| random_plan(black_box(&vgg), budget, &[2, 4, 8], &mut rng).unwrap())
+    });
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let perf = PerfModel::analytic(&PlatformProfile::aws_lambda());
+    let tiny = zoo::tiny_vgg();
+    let mut group = c.benchmark_group("brute_force");
+    group.sample_size(10);
+    group.bench_function("tiny_vgg_slo300", |b| {
+        b.iter(|| brute_force(black_box(&tiny), &perf, 300.0, &[2, 4], 500_000).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mlp, bench_rl_training, bench_gp, bench_brute_force);
+criterion_main!(benches);

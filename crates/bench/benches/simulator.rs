@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the serverless platform simulator and the
+//! fork-join serving runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gillis_core::{DpPartitioner, ForkJoinRuntime};
+use gillis_faas::billing::BillingMeter;
+use gillis_faas::fleet::{Fleet, FunctionSpec};
+use gillis_faas::workload::ClosedLoop;
+use gillis_faas::{Micros, PlatformProfile};
+use gillis_model::zoo;
+use gillis_perf::PerfModel;
+use rand::SeedableRng;
+
+fn bench_simulate_query(c: &mut Criterion) {
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::analytic(&platform);
+    let vgg = zoo::vgg16();
+    let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+    let rt = ForkJoinRuntime::new(&vgg, &plan, platform).unwrap();
+    let mut rng: rand::rngs::StdRng = SeedableRng::seed_from_u64(1);
+    c.bench_function("simulate_query_vgg16", |b| {
+        b.iter(|| rt.simulate_query(black_box(&mut rng)))
+    });
+}
+
+fn bench_serve_workload(c: &mut Criterion) {
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::analytic(&platform);
+    let vgg = zoo::vgg11();
+    let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+    let rt = ForkJoinRuntime::new(&vgg, &plan, platform).unwrap();
+    let mut group = c.benchmark_group("serve_workload");
+    group.sample_size(10);
+    group.bench_function("vgg11_10x50", |b| {
+        b.iter(|| {
+            rt.serve_workload(ClosedLoop::new(10, 50, Micros::ZERO).unwrap(), black_box(3))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    c.bench_function("fleet_acquire_release", |b| {
+        let mut fleet = Fleet::new(PlatformProfile::aws_lambda());
+        fleet
+            .deploy(FunctionSpec {
+                name: "f".into(),
+                memory_bytes: 3_000_000_000,
+                package_bytes: 1_000_000,
+            })
+            .unwrap();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            let a = fleet.acquire("f", Micros(t)).unwrap();
+            fleet.release("f", a.ready_at + Micros(500)).unwrap();
+        })
+    });
+    c.bench_function("billing_record", |b| {
+        let mut meter = BillingMeter::new(1, 0.0000166667, 0.0000002);
+        b.iter(|| meter.record(black_box(123.4), 3_000_000_000))
+    });
+}
+
+criterion_group!(benches, bench_simulate_query, bench_serve_workload, bench_fleet);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the tensor kernels backing the reference
+//! executor (the reproduction's MXNet stand-in).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gillis_tensor::ops::{conv2d, dense, lstm_cell, max_pool2d, Conv2dParams, LstmParams, LstmState, Pool2dParams};
+use gillis_tensor::{Shape, Tensor};
+
+fn bench_conv2d(c: &mut Criterion) {
+    let input = Tensor::from_fn(Shape::new(vec![16, 32, 32]), |i| (i % 7) as f32 * 0.1);
+    let weight = Tensor::from_fn(Shape::new(vec![16, 16, 3, 3]), |i| (i % 5) as f32 * 0.01);
+    let bias = Tensor::zeros(Shape::new(vec![16]));
+    let params = Conv2dParams::square(3, 1, 1);
+    c.bench_function("conv2d_16x32x32_3x3", |b| {
+        b.iter(|| conv2d(black_box(&input), &weight, Some(&bias), &params).unwrap())
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let input = Tensor::from_fn(Shape::new(vec![64, 56, 56]), |i| i as f32);
+    let params = Pool2dParams::square(2, 2, 0);
+    c.bench_function("max_pool2d_64x56x56", |b| {
+        b.iter(|| max_pool2d(black_box(&input), &params).unwrap())
+    });
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let x = Tensor::from_fn(Shape::new(vec![4096]), |i| (i % 13) as f32);
+    let w = Tensor::from_fn(Shape::new(vec![1000, 4096]), |i| (i % 11) as f32 * 1e-3);
+    let b_t = Tensor::zeros(Shape::new(vec![1000]));
+    c.bench_function("dense_4096_to_1000", |b| {
+        b.iter(|| dense(black_box(&x), &w, Some(&b_t)).unwrap())
+    });
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let hidden = 256;
+    let params = LstmParams {
+        w_ih: Tensor::from_fn(Shape::new(vec![4 * hidden, hidden]), |i| (i % 7) as f32 * 1e-3),
+        w_hh: Tensor::from_fn(Shape::new(vec![4 * hidden, hidden]), |i| (i % 5) as f32 * 1e-3),
+        bias: Tensor::zeros(Shape::new(vec![4 * hidden])),
+    };
+    let x = Tensor::from_fn(Shape::new(vec![hidden]), |i| (i % 3) as f32 * 0.1);
+    let state = LstmState::zeros(hidden);
+    c.bench_function("lstm_cell_h256", |b| {
+        b.iter(|| lstm_cell(black_box(&x), &state, &params).unwrap())
+    });
+}
+
+fn bench_slice_concat(c: &mut Criterion) {
+    let t = Tensor::from_fn(Shape::new(vec![64, 112, 112]), |i| i as f32);
+    c.bench_function("slice_rows_64x112x112", |b| {
+        b.iter(|| t.slice(1, 28..84).unwrap())
+    });
+    let parts: Vec<Tensor> = (0..4).map(|p| t.slice(1, p * 28..(p + 1) * 28).unwrap()).collect();
+    c.bench_function("concat_rows_4x_64x28x112", |b| {
+        b.iter(|| Tensor::concat(black_box(&parts), 1).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_conv2d,
+    bench_pool,
+    bench_dense,
+    bench_lstm,
+    bench_slice_concat
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: coarse-grained layer grouping (§III-C) vs layer-wise
+//! parallelization.
+//!
+//! The paper argues grouping is essential under serverless bandwidth: it
+//! trades a little redundant halo compute for far fewer tensor transfers.
+//! This ablation runs the DP with grouping disabled (`max_group_len = 1`,
+//! every layer its own fork-join round) and with full grouping, on Lambda
+//! and KNIX.
+
+use gillis_bench::Table;
+use gillis_core::{DpPartitioner, ForkJoinRuntime, PartitionerConfig};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+use gillis_perf::PerfModel;
+
+fn main() {
+    println!("Ablation: coarse-grained grouping vs layer-wise parallelization\n");
+    for platform in [PlatformProfile::aws_lambda(), PlatformProfile::knix()] {
+        println!("{}:", platform.kind.label());
+        let perf = PerfModel::analytic(&platform);
+        let mut table = Table::new(&[
+            "model",
+            "grouped(ms)",
+            "layer-wise(ms)",
+            "grouping gain",
+            "groups",
+            "rounds layer-wise",
+        ]);
+        for model in [zoo::vgg16(), zoo::wrn50(3), zoo::resnet50()] {
+            let grouped_plan = DpPartitioner::new(PartitionerConfig::default())
+                .partition(&model, &perf)
+                .expect("grouped plan");
+            let layerwise_plan = DpPartitioner::new(PartitionerConfig {
+                max_group_len: Some(1),
+                ..PartitionerConfig::default()
+            })
+            .partition(&model, &perf)
+            .expect("layer-wise plan");
+            let grouped = ForkJoinRuntime::new(&model, &grouped_plan, platform.clone())
+                .expect("runtime")
+                .mean_latency_ms(50, 3);
+            let layerwise = ForkJoinRuntime::new(&model, &layerwise_plan, platform.clone())
+                .expect("runtime")
+                .mean_latency_ms(50, 3);
+            table.row(vec![
+                model.name().to_string(),
+                format!("{grouped:.0}"),
+                format!("{layerwise:.0}"),
+                format!("{:.2}x", layerwise / grouped),
+                format!("{}", grouped_plan.groups().len()),
+                format!("{}", layerwise_plan.groups().len()),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    println!("expectation: grouping pays most on Lambda (expensive transfers); even");
+    println!("with optimal per-layer decisions, fewer fork-join rounds win.");
+}

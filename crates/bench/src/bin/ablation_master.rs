@@ -1,0 +1,56 @@
+//! Ablation: master participation (§III-B).
+//!
+//! "The master can also help to compute a partition if having sufficient
+//! memory, which can result in fewer workers and less cost." This ablation
+//! disables master placements and measures the latency and billed-cost
+//! penalty of worker-only serving.
+
+use gillis_bench::Table;
+use gillis_core::{predict_plan, DpPartitioner, ForkJoinRuntime, PartitionerConfig};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+use gillis_perf::PerfModel;
+
+fn main() {
+    println!("Ablation: master participation on/off (Lambda)\n");
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::analytic(&platform);
+    let mut table = Table::new(&[
+        "model",
+        "with master(ms)",
+        "workers-only(ms)",
+        "cost with(ms)",
+        "cost without(ms)",
+    ]);
+    for model in [zoo::vgg11(), zoo::vgg16(), zoo::rnn(6), zoo::wrn50(3)] {
+        let with = DpPartitioner::new(PartitionerConfig::default())
+            .partition(&model, &perf)
+            .expect("plan");
+        let without = DpPartitioner::new(PartitionerConfig {
+            allow_master_participation: false,
+            ..PartitionerConfig::default()
+        })
+        .partition(&model, &perf)
+        .expect("workers-only plan");
+        let l_with = ForkJoinRuntime::new(&model, &with, platform.clone())
+            .expect("runtime")
+            .mean_latency_ms(50, 9);
+        let l_without = ForkJoinRuntime::new(&model, &without, platform.clone())
+            .expect("runtime")
+            .mean_latency_ms(50, 9);
+        let c_with = predict_plan(&model, &with, &perf).expect("prediction").billed_ms;
+        let c_without = predict_plan(&model, &without, &perf)
+            .expect("prediction")
+            .billed_ms;
+        table.row(vec![
+            model.name().to_string(),
+            format!("{l_with:.0}"),
+            format!("{l_without:.0}"),
+            format!("{c_with}"),
+            format!("{c_without}"),
+        ]);
+    }
+    table.print();
+    println!("\nexpectation: master participation strictly helps — small models");
+    println!("(RNN-6) stay entirely in the master; worker-only pays extra round trips.");
+}

@@ -1,0 +1,50 @@
+//! Ablation: master-memory discretization of the DP (§IV-B).
+//!
+//! The paper's recursion allocates master memory per group; this
+//! implementation discretizes the budget on a grid. Coarser grids plan
+//! faster but over-reserve memory and can miss master placements. This
+//! ablation sweeps the grid step and reports plan quality and planning time.
+
+use std::time::Instant;
+
+use gillis_bench::Table;
+use gillis_core::{predict_plan, DpPartitioner, PartitionerConfig};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+use gillis_perf::PerfModel;
+
+fn main() {
+    println!("Ablation: DP memory-grid resolution (WRN-34-5 on Lambda)\n");
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::analytic(&platform);
+    let model = zoo::wrn34(5);
+    let mut table = Table::new(&[
+        "grid(MiB)",
+        "plan latency(ms)",
+        "plan cost(ms)",
+        "master MB",
+        "plan time(ms)",
+    ]);
+    for grid_mib in [4u64, 16, 64, 256, 1024] {
+        let start = Instant::now();
+        let plan = DpPartitioner::new(PartitionerConfig {
+            mem_grid_bytes: grid_mib * 1024 * 1024,
+            ..PartitionerConfig::default()
+        })
+        .partition(&model, &perf)
+        .expect("plan");
+        let elapsed = start.elapsed().as_millis();
+        let pred = predict_plan(&model, &plan, &perf).expect("prediction");
+        let master_mb = plan.master_weight_bytes(&model).expect("master bytes") as f64 / 1e6;
+        table.row(vec![
+            format!("{grid_mib}"),
+            format!("{:.0}", pred.latency_ms),
+            format!("{}", pred.billed_ms),
+            format!("{master_mb:.0}"),
+            format!("{elapsed}"),
+        ]);
+    }
+    table.print();
+    println!("\nexpectation: quality is stable down to coarse grids (latency within a");
+    println!("few percent); very coarse grids start refusing master placements.");
+}

@@ -1,0 +1,49 @@
+//! Extension: serving under worker failures.
+//!
+//! Serverless invocations occasionally fail; the fork-join master retries
+//! them. This experiment sweeps the per-invocation failure rate and reports
+//! latency inflation, retry counts, and billed-cost overhead for a
+//! latency-optimal plan.
+
+use gillis_bench::Table;
+use gillis_core::{DpPartitioner, ForkJoinRuntime};
+use gillis_faas::workload::ClosedLoop;
+use gillis_faas::{Micros, PlatformProfile};
+use gillis_model::zoo;
+use gillis_perf::PerfModel;
+
+fn main() {
+    println!("Extension: fork-join serving under injected worker failures (VGG-16, Lambda)\n");
+    let base = PlatformProfile::aws_lambda();
+    let perf = PerfModel::analytic(&base);
+    let model = zoo::vgg16();
+    let plan = DpPartitioner::default().partition(&model, &perf).expect("plan");
+
+    let mut table = Table::new(&[
+        "failure rate",
+        "mean(ms)",
+        "p99(ms)",
+        "retries/query",
+        "cost(ms/query)",
+    ]);
+    for rate in [0.0, 0.01, 0.05, 0.10, 0.20] {
+        let mut platform = base.clone();
+        platform.invocation_failure_rate = rate;
+        let rt = ForkJoinRuntime::new(&model, &plan, platform).expect("runtime");
+        let queries = 500;
+        let report = rt
+            .serve_workload(ClosedLoop::new(10, queries, Micros::ZERO).expect("workload"), 3)
+            .expect("serving");
+        table.row(vec![
+            format!("{:.0}%", rate * 100.0),
+            format!("{:.0}", report.latency.mean()),
+            format!("{:.0}", report.latency.percentile(99.0)),
+            format!("{:.2}", report.retries as f64 / queries as f64),
+            format!("{}", report.billing.billed_ms_total() / queries as u64),
+        ]);
+    }
+    table.print();
+    println!("\nexpectation: graceful degradation — every query completes; latency and");
+    println!("cost grow smoothly with the failure rate (retries are per-worker, not");
+    println!("per-query restarts).");
+}

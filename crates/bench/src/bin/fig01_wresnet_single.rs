@@ -1,0 +1,43 @@
+//! Fig 1 reproduction: serving WResNet on a single function.
+//!
+//! The paper deploys WRN-50-k (k = 1..5) on AWS Lambda and Google Cloud
+//! Functions with maximum instance memory and measures inference latency:
+//! latency grows roughly quadratically with the widening scalar, requests
+//! exceed 2000 ms at k = 3 (Lambda) / k = 4 (GCF), and wider models OOM.
+
+use gillis_bench::{ms, Table};
+use gillis_core::{ExecutionPlan, ForkJoinRuntime};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+
+fn main() {
+    println!("Fig 1: WResNet-50-k inference latency on a single serverless function");
+    println!("(100 warm queries per point, as in the paper)\n");
+    let mut table = Table::new(&[
+        "widening",
+        "weights(MB)",
+        "Lambda(ms)",
+        "GCF(ms)",
+    ]);
+    let platforms = [PlatformProfile::aws_lambda(), PlatformProfile::gcf()];
+    for k in 1..=5usize {
+        let model = zoo::wrn50(k);
+        let mut cells = vec![
+            format!("{k}"),
+            format!("{:.0}", model.weight_bytes() as f64 / 1e6),
+        ];
+        for platform in &platforms {
+            if model.weight_bytes() > platform.model_memory_budget {
+                cells.push("OOM".into());
+                continue;
+            }
+            let plan = ExecutionPlan::single_function(&model);
+            let rt = ForkJoinRuntime::new(&model, &plan, platform.clone())
+                .expect("single-function plan");
+            cells.push(ms(rt.mean_latency_ms(100, 42 + k as u64)));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\npaper anchors: >2000 ms at k=3 (Lambda) and k=4 (GCF); OOM beyond.");
+}

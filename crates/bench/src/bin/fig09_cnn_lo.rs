@@ -1,0 +1,41 @@
+//! Fig 9 reproduction: Gillis latency-optimal vs Default serving of CNN
+//! models on AWS Lambda and Google Cloud Functions.
+//!
+//! Paper anchors (Lambda): 1.6x / 1.9x / 2.0x speedup for VGG-11/16/19;
+//! 1.2x -> 1.26x going from WRN-34-3 to WRN-34-4; 1.4x for WRN-50-3.
+//! GCF speedups are smaller (more resources per instance), e.g. 1.2x for
+//! WRN-50-3.
+
+use gillis_bench::{measure_latency_optimal, ms, speedup, Table};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+
+fn main() {
+    println!("Fig 9: Gillis (latency-optimal) vs Default on Lambda and GCF");
+    println!("(100 warm queries per point)\n");
+    let models = [
+        zoo::vgg11(),
+        zoo::vgg16(),
+        zoo::vgg19(),
+        zoo::wrn34(3),
+        zoo::wrn34(4),
+        zoo::wrn50(3),
+    ];
+    for platform in [PlatformProfile::aws_lambda(), PlatformProfile::gcf()] {
+        println!("{}:", platform.kind.label());
+        let mut table = Table::new(&["model", "default(ms)", "gillis(ms)", "speedup"]);
+        for model in &models {
+            let m = measure_latency_optimal(model, &platform, 100, 11);
+            table.row(vec![
+                model.name().to_string(),
+                m.default_ms.map(ms).unwrap_or_else(|| "OOM".into()),
+                ms(m.gillis_ms),
+                speedup(m.speedup()),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    println!("paper anchors: Lambda 1.6/1.9/2.0x on VGG-11/16/19; WRN speedups 1.2-1.4x;");
+    println!("GCF speedups smaller than Lambda's.");
+}

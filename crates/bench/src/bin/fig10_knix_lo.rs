@@ -1,0 +1,45 @@
+//! Fig 10 reproduction: Gillis latency-optimal vs Default serving on KNIX.
+//!
+//! KNIX's fast function interaction lets Gillis profit more from
+//! parallelization: paper anchors 3x / 2.9x / 1.8x for VGG-16 / VGG-19 /
+//! WRN-50-3, and even "thin" classical ResNets accelerate (1.4x / 1.6x /
+//! 1.3x for ResNet-34/50/101) where Lambda cannot.
+
+use gillis_bench::{measure_latency_optimal, ms, speedup, Table};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+
+fn main() {
+    println!("Fig 10: Gillis (latency-optimal) vs Default on KNIX\n");
+    let knix = PlatformProfile::knix();
+    let lambda = PlatformProfile::aws_lambda();
+    let models = [
+        zoo::vgg16(),
+        zoo::vgg19(),
+        zoo::wrn50(3),
+        zoo::resnet34(),
+        zoo::resnet50(),
+        zoo::resnet101(),
+    ];
+    let mut table = Table::new(&[
+        "model",
+        "default(ms)",
+        "gillis(ms)",
+        "KNIX speedup",
+        "Lambda speedup",
+    ]);
+    for model in &models {
+        let k = measure_latency_optimal(model, &knix, 100, 23);
+        let l = measure_latency_optimal(model, &lambda, 100, 23);
+        table.row(vec![
+            model.name().to_string(),
+            k.default_ms.map(ms).unwrap_or_else(|| "OOM".into()),
+            ms(k.gillis_ms),
+            speedup(k.speedup()),
+            speedup(l.speedup()),
+        ]);
+    }
+    table.print();
+    println!("\npaper anchors: KNIX 3x/2.9x/1.8x on VGG-16/VGG-19/WRN-50-3;");
+    println!("thin ResNets speed up on KNIX (1.3-1.6x) but not on Lambda.");
+}

@@ -1,0 +1,42 @@
+//! Fig 11 reproduction: models too large for a single function — Gillis vs
+//! the Pipeline baseline on AWS Lambda.
+//!
+//! Pipeline stages partitions in S3 and streams them into one function per
+//! query; the paper shows weight loading dominates its latency and Gillis is
+//! 9.1x / 9.2x / 8.3x faster end-to-end for WRN-34-5 / WRN-50-4 / WRN-50-5,
+//! with Gillis's parallel compute ~2x faster than Pipeline's sequential
+//! compute.
+
+use gillis_bench::{measure_latency_optimal, ms, Table};
+use gillis_core::baselines::pipeline_serving;
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+
+fn main() {
+    println!("Fig 11: Gillis vs Pipeline for models exceeding one function (Lambda)\n");
+    let platform = PlatformProfile::aws_lambda();
+    let mut table = Table::new(&[
+        "model",
+        "pipeline total(ms)",
+        "pipeline load(ms)",
+        "pipeline comp(ms)",
+        "gillis(ms)",
+        "speedup",
+    ]);
+    for model in [zoo::wrn34(5), zoo::wrn50(4), zoo::wrn50(5)] {
+        assert!(model.weight_bytes() > platform.model_memory_budget);
+        let pipe = pipeline_serving(&model, &platform, 5).expect("pipeline stages fit");
+        let gillis = measure_latency_optimal(&model, &platform, 100, 31);
+        table.row(vec![
+            model.name().to_string(),
+            ms(pipe.total_ms),
+            ms(pipe.load_ms),
+            ms(pipe.compute_ms),
+            ms(gillis.gillis_ms),
+            format!("{:.1}x", pipe.total_ms / gillis.gillis_ms),
+        ]);
+    }
+    table.print();
+    println!("\npaper anchors: 9.1x/9.2x/8.3x end-to-end; Pipeline dominated by loading;");
+    println!("Gillis parallel compute ~2x faster than Pipeline's sequential compute.");
+}

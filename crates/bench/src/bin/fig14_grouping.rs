@@ -1,0 +1,45 @@
+//! Fig 14 reproduction: the latency-optimal grouping/parallelization of
+//! WRN-34-5 on AWS Lambda.
+//!
+//! Paper observations: (1) lower layers (small weights, large feature maps)
+//! are fused into longer groups; (2) low groups parallelize across more
+//! functions (up to 16); (3) the master tends to compute partitions of the
+//! low, weight-light groups.
+
+use gillis_core::{DpPartitioner, Placement};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+use gillis_perf::PerfModel;
+
+fn main() {
+    println!("Fig 14: latency-optimal plan for WRN-34-5 on Lambda\n");
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::profiled(&platform, 7);
+    let model = zoo::wrn34(5);
+    let plan = DpPartitioner::default()
+        .partition(&model, &perf)
+        .expect("WRN-34-5 is partitionable");
+    println!("{}", plan.describe(&model).expect("plan describes"));
+
+    // Quantify the paper's three observations.
+    let groups = plan.groups();
+    let n = groups.len();
+    let low = &groups[..n / 2];
+    let high = &groups[n / 2..];
+    let avg_len =
+        |gs: &[gillis_core::PlannedGroup]| gs.iter().map(|g| g.end - g.start).sum::<usize>() as f64 / gs.len() as f64;
+    let avg_fanout =
+        |gs: &[gillis_core::PlannedGroup]| gs.iter().map(|g| g.option.parts()).sum::<usize>() as f64 / gs.len() as f64;
+    let master_share = |gs: &[gillis_core::PlannedGroup]| {
+        gs.iter()
+            .filter(|g| matches!(g.placement, Placement::Master | Placement::MasterAndWorkers))
+            .count() as f64
+            / gs.len() as f64
+    };
+    println!("observation checks (low half vs high half of the network):");
+    println!("  group length : {:.2} vs {:.2}", avg_len(low), avg_len(high));
+    println!("  fan-out      : {:.2} vs {:.2}", avg_fanout(low), avg_fanout(high));
+    println!("  master share : {:.2} vs {:.2}", master_share(low), master_share(high));
+    println!("\npaper anchors: more fusion at the bottom, wider fan-out (16) for low");
+    println!("groups, and master participation concentrated in low groups.");
+}

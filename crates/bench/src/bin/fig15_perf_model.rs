@@ -1,0 +1,88 @@
+//! Fig 15 reproduction: accuracy of the performance model on Lambda.
+//!
+//! Three panels: (top left) predicted vs actual single-function model
+//! runtimes; (top right) predicted vs actual max delay of n concurrent 1 MB
+//! worker exchanges; (bottom) predicted vs actual end-to-end latency of the
+//! latency-optimal plans. Paper anchors: runtime errors within 3%/9%/1% for
+//! VGG-19 / WRN-50-3 / RNN-3; average comm-delay error 6.3%; end-to-end
+//! errors within 6%.
+
+use gillis_bench::Table;
+use gillis_core::{predict_plan, DpPartitioner, ExecutionPlan, ForkJoinRuntime};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+use gillis_perf::PerfModel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::profiled(&platform, 2024);
+    println!("Fig 15: performance-model prediction accuracy (Lambda)\n");
+
+    // --- Model runtime (single function) ---
+    println!("model runtime:");
+    let mut table = Table::new(&["model", "actual(ms)", "predicted(ms)", "error"]);
+    for model in [zoo::vgg19(), zoo::wrn50(3), zoo::rnn(3)] {
+        let plan = ExecutionPlan::single_function(&model);
+        let rt = ForkJoinRuntime::new(&model, &plan, platform.clone()).expect("plan");
+        let actual = rt.mean_latency_ms(100, 3);
+        let predicted = perf.layer.predict_model_ms(&model);
+        table.row(vec![
+            model.name().to_string(),
+            format!("{actual:.0}"),
+            format!("{predicted:.0}"),
+            format!("{:.1}%", (predicted - actual).abs() / actual * 100.0),
+        ]);
+    }
+    table.print();
+
+    // --- Communication delay: max of n concurrent 1 MB exchanges ---
+    println!("\ncommunication delay (1 MB per worker):");
+    let mut table = Table::new(&["workers", "actual(ms)", "predicted(ms)", "error"]);
+    let mut rng = StdRng::seed_from_u64(5);
+    let bytes = 1_000_000u64;
+    let mut total_err = 0.0;
+    let ns = [1usize, 2, 4, 8, 16];
+    for &n in &ns {
+        let mc: f64 = (0..3000)
+            .map(|_| {
+                let jitter = (0..n)
+                    .map(|_| platform.invoke_latency_ms.sample(&mut rng))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                jitter + platform.transfer_ms(bytes) * n as f64
+            })
+            .sum::<f64>()
+            / 3000.0;
+        let pred = perf.comm.group_transfer_ms(bytes, n);
+        let err = (pred - mc).abs() / mc * 100.0;
+        total_err += err;
+        table.row(vec![
+            format!("{n}"),
+            format!("{mc:.1}"),
+            format!("{pred:.1}"),
+            format!("{err:.1}%"),
+        ]);
+    }
+    table.print();
+    println!("average error: {:.1}% (paper: 6.3%)", total_err / ns.len() as f64);
+
+    // --- End-to-end latency of latency-optimal plans ---
+    println!("\nend-to-end latency (latency-optimal plans):");
+    let mut table = Table::new(&["model", "actual(ms)", "predicted(ms)", "error"]);
+    for model in [zoo::vgg16(), zoo::vgg19(), zoo::wrn50(3), zoo::rnn(6)] {
+        let plan = DpPartitioner::default().partition(&model, &perf).expect("plan");
+        let rt = ForkJoinRuntime::new(&model, &plan, platform.clone()).expect("runtime");
+        let actual = rt.mean_latency_ms(100, 17);
+        let predicted = predict_plan(&model, &plan, &perf).expect("prediction").latency_ms;
+        table.row(vec![
+            model.name().to_string(),
+            format!("{actual:.0}"),
+            format!("{predicted:.0}"),
+            format!("{:.1}%", (predicted - actual).abs() / actual * 100.0),
+        ]);
+    }
+    table.print();
+    println!("\npaper anchors: runtime <= 3-9% error; comm ~6.3%; end-to-end <= 6%.");
+    let _ = rng.random::<u8>();
+}

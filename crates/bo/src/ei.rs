@@ -1,0 +1,48 @@
+//! Expected improvement (EI) acquisition for minimization, as used by
+//! Cherrypick (paper reference \[42\], §V-C baseline).
+
+use gillis_faas::stats::{normal_cdf, normal_pdf};
+
+/// Expected improvement of a candidate with posterior `(mean, var)` over the
+/// current best (minimal) observation.
+pub fn expected_improvement(mean: f64, var: f64, best: f64) -> f64 {
+    let sigma = var.max(0.0).sqrt();
+    if sigma < 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / sigma;
+    (best - mean) * normal_cdf(z) + sigma * normal_pdf(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_is_nonnegative() {
+        for (m, v, b) in [(5.0, 1.0, 3.0), (1.0, 1.0, 3.0), (0.0, 0.0, -1.0)] {
+            assert!(expected_improvement(m, v, b) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lower_mean_is_better() {
+        let a = expected_improvement(1.0, 1.0, 2.0);
+        let b = expected_improvement(1.5, 1.0, 2.0);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn uncertainty_adds_value() {
+        // Same mean above best: only variance gives hope.
+        let low = expected_improvement(3.0, 0.01, 2.0);
+        let high = expected_improvement(3.0, 4.0, 2.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn zero_variance_is_plain_improvement() {
+        assert_eq!(expected_improvement(1.0, 0.0, 3.0), 2.0);
+        assert_eq!(expected_improvement(4.0, 0.0, 3.0), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Baseline searchers for SLO-aware partitioning (paper §V-C):
+//!
+//! - [`search::BayesOpt`] — the Cherrypick-style Bayesian-optimization
+//!   baseline: a Gaussian process models the (SLO-penalized) inference cost
+//!   over encoded strategies; candidates are scored with expected
+//!   improvement.
+//! - [`brute::brute_force`] — exhaustive (branch-and-bound) search for the
+//!   optimal cost-minimal plan meeting the SLO; tractable only for small
+//!   models, exactly as the paper observes for VGG-11.
+//! - [`random::random_plan`] — valid-plan sampling shared by both.
+
+pub mod brute;
+pub mod ei;
+pub mod gp;
+pub mod random;
+pub mod search;
+
+pub use brute::brute_force;
+pub use search::{BayesOpt, BoConfig, BoResult};
+
+/// Convenient result alias (re-uses the core error type).
+pub type Result<T> = std::result::Result<T, gillis_core::CoreError>;

@@ -1,0 +1,213 @@
+//! The paper's serving baselines (§V-B).
+//!
+//! - **Default**: a single function serves the whole model; infeasible
+//!   (OOM) when the weights exceed the memory budget.
+//! - **Pipeline**: layers are divided into stages small enough to fit the
+//!   budget and staged in external storage; a single function streams each
+//!   stage's weights in and executes it sequentially. Its latency decomposes
+//!   into weight loading and computation — the breakdown Fig 11 shows.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use gillis_faas::store::ObjectStore;
+use gillis_faas::PlatformProfile;
+use gillis_model::LinearModel;
+use gillis_perf::{flops_by_class, PerfModel};
+
+use crate::error::CoreError;
+use crate::plan::ExecutionPlan;
+use crate::predict::predict_plan;
+use crate::Result;
+
+/// Latency of Default serving (single warm function), predicted by the
+/// performance model.
+///
+/// # Errors
+///
+/// Returns [`CoreError::OutOfMemory`] when the model does not fit the
+/// platform's model-memory budget — the condition that motivates Gillis.
+pub fn default_serving_ms(model: &LinearModel, perf: &PerfModel) -> Result<f64> {
+    let budget = perf.platform.model_memory_budget;
+    if model.weight_bytes() > budget {
+        return Err(CoreError::OutOfMemory {
+            required: model.weight_bytes(),
+            budget,
+        });
+    }
+    let plan = ExecutionPlan::single_function(model);
+    Ok(predict_plan(model, &plan, perf)?.latency_ms)
+}
+
+/// One pipeline stage: consecutive merged layers whose weights fit the
+/// budget together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStage {
+    /// First merged-layer index (inclusive).
+    pub start: usize,
+    /// Last merged-layer index (exclusive).
+    pub end: usize,
+    /// Stage weight bytes (one storage object).
+    pub weight_bytes: u64,
+}
+
+/// Simulated latency of Pipeline serving, with its load/compute breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutcome {
+    /// End-to-end latency.
+    pub total_ms: f64,
+    /// Time spent streaming weights from the object store.
+    pub load_ms: f64,
+    /// Time spent computing.
+    pub compute_ms: f64,
+    /// Number of stages.
+    pub stages: usize,
+}
+
+/// Splits the model into pipeline stages greedily: each stage takes as many
+/// consecutive layers as fit within `budget_fraction` of the platform's
+/// model budget (leaving headroom for activations and double-buffering).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] if a single merged layer exceeds the
+/// stage budget.
+pub fn pipeline_stages(
+    model: &LinearModel,
+    platform: &PlatformProfile,
+    budget_fraction: f64,
+) -> Result<Vec<PipelineStage>> {
+    let budget = (platform.model_memory_budget as f64 * budget_fraction) as u64;
+    let mut stages = Vec::new();
+    let mut start = 0;
+    let mut acc = 0u64;
+    for (i, layer) in model.layers().iter().enumerate() {
+        if layer.weight_bytes > budget {
+            return Err(CoreError::Infeasible(format!(
+                "layer {} ({} bytes) exceeds the pipeline stage budget {budget}",
+                layer.name, layer.weight_bytes
+            )));
+        }
+        if acc + layer.weight_bytes > budget && i > start {
+            stages.push(PipelineStage {
+                start,
+                end: i,
+                weight_bytes: acc,
+            });
+            start = i;
+            acc = 0;
+        }
+        acc += layer.weight_bytes;
+    }
+    if start < model.layers().len() {
+        stages.push(PipelineStage {
+            start,
+            end: model.layers().len(),
+            weight_bytes: acc,
+        });
+    }
+    Ok(stages)
+}
+
+/// Simulates Pipeline serving of one query: a single function sequentially
+/// loads each stage from the object store and executes it.
+///
+/// # Errors
+///
+/// Propagates stage-construction failures.
+pub fn pipeline_serving(
+    model: &LinearModel,
+    platform: &PlatformProfile,
+    seed: u64,
+) -> Result<PipelineOutcome> {
+    let stages = pipeline_stages(model, platform, 0.5)?;
+    let mut store = ObjectStore::new();
+    for (i, s) in stages.iter().enumerate() {
+        store.put(format!("{}-stage-{i}", model.name()), s.weight_bytes);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut load_ms = 0.0;
+    let mut compute_ms = 0.0;
+    for (i, s) in stages.iter().enumerate() {
+        load_ms += store.read_ms(&format!("{}-stage-{i}", model.name()), platform)?;
+        for layer in &model.layers()[s.start..s.end] {
+            for (class, flops) in flops_by_class(model, layer) {
+                compute_ms += platform.compute_ms_noisy(flops, class, &mut rng);
+            }
+        }
+        let _ = rng.random::<u8>(); // decorrelate stage noise streams
+    }
+    Ok(PipelineOutcome {
+        total_ms: load_ms + compute_ms,
+        load_ms,
+        compute_ms,
+        stages: stages.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillis_model::zoo;
+    use gillis_perf::PerfModel;
+
+    #[test]
+    fn default_serving_predicts_fig1_shape() {
+        // Fig 1: latency grows ~quadratically with the widening scalar and
+        // OOMs beyond the memory budget.
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let t1 = default_serving_ms(&zoo::wrn50(1), &perf).unwrap();
+        let t2 = default_serving_ms(&zoo::wrn50(2), &perf).unwrap();
+        let t3 = default_serving_ms(&zoo::wrn50(3), &perf).unwrap();
+        assert!(t2 / t1 > 2.5, "t2/t1 = {}", t2 / t1);
+        assert!(t3 / t1 > 6.0, "t3/t1 = {}", t3 / t1);
+        assert!(t3 > 2000.0, "WRN-50-3 on Lambda should exceed 2 s, got {t3}");
+        assert!(matches!(
+            default_serving_ms(&zoo::wrn50(4), &perf),
+            Err(CoreError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn gcf_serves_one_size_larger() {
+        // Fig 1: GCF (4 GB) serves WRN-50-4 but OOMs at widening 5.
+        let perf = PerfModel::analytic(&PlatformProfile::gcf());
+        assert!(default_serving_ms(&zoo::wrn50(4), &perf).unwrap() > 2000.0);
+        assert!(default_serving_ms(&zoo::wrn50(5), &perf).is_err());
+    }
+
+    #[test]
+    fn pipeline_stages_fit_budget_and_cover_model() {
+        let platform = PlatformProfile::aws_lambda();
+        let wrn = zoo::wrn34(5);
+        let stages = pipeline_stages(&wrn, &platform, 0.5).unwrap();
+        assert!(stages.len() >= 3, "{} stages", stages.len());
+        let budget = platform.model_memory_budget / 2;
+        let mut expected = 0;
+        for s in &stages {
+            assert_eq!(s.start, expected);
+            expected = s.end;
+            assert!(s.weight_bytes <= budget);
+        }
+        assert_eq!(expected, wrn.layers().len());
+        let total: u64 = stages.iter().map(|s| s.weight_bytes).sum();
+        assert_eq!(total, wrn.weight_bytes());
+    }
+
+    #[test]
+    fn pipeline_is_dominated_by_weight_loading() {
+        // Fig 11: network transfer dominates Pipeline's end-to-end latency.
+        let platform = PlatformProfile::aws_lambda();
+        let out = pipeline_serving(&zoo::wrn50(4), &platform, 1).unwrap();
+        assert!(
+            out.load_ms > out.compute_ms,
+            "load {} vs compute {}",
+            out.load_ms,
+            out.compute_ms
+        );
+        assert!(out.total_ms > 10_000.0, "total {}", out.total_ms);
+        assert_eq!(out.total_ms, out.load_ms + out.compute_ms);
+        assert!(out.stages >= 3);
+    }
+}

@@ -1,0 +1,453 @@
+//! Latency-optimal partitioning by dynamic programming (paper §IV-B).
+//!
+//! The recursion is the paper's `L(i, j, m)` specialized to prefixes:
+//! `L(j, m)` is the optimal latency of serving merged layers `0..j` with
+//! master memory budget `m`; the last group `i..j` is parallelized with the
+//! best option Algorithm 1 finds, either worker-only (consuming no master
+//! budget) or with master participation (consuming the master partition's
+//! weight bytes from the budget).
+//!
+//! The master budget is discretized on a configurable grid (the paper leaves
+//! this implementation detail open); optimality holds up to one grid step of
+//! memory-allocation granularity.
+
+use gillis_model::LinearModel;
+use gillis_perf::PerfModel;
+
+use crate::error::CoreError;
+use crate::partition::{analyze_group, group_options, PartitionOption};
+use crate::plan::{ExecutionPlan, Placement, PlannedGroup};
+use crate::predict::predict_group;
+use crate::Result;
+
+/// Configuration of the latency-optimal partitioner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionerConfig {
+    /// Parallelism degrees to consider for split options.
+    pub degrees: Vec<usize>,
+    /// Master-memory discretization step in bytes.
+    pub mem_grid_bytes: u64,
+    /// Per-function memory budget; `None` uses the platform's model budget
+    /// (the paper's `M`).
+    pub budget_bytes: Option<u64>,
+    /// Optional cap on group length (layers per group), to bound search.
+    /// `Some(1)` disables grouping entirely — the layer-wise ablation.
+    pub max_group_len: Option<usize>,
+    /// Whether the master may compute partitions (§III-B). Disabling this
+    /// forces worker-only placements — the master-participation ablation.
+    pub allow_master_participation: bool,
+}
+
+impl Default for PartitionerConfig {
+    fn default() -> Self {
+        PartitionerConfig {
+            degrees: vec![2, 3, 4, 6, 8, 12, 16],
+            mem_grid_bytes: 16 * 1024 * 1024,
+            budget_bytes: None,
+            max_group_len: None,
+            allow_master_participation: true,
+        }
+    }
+}
+
+/// The latency-optimal dynamic-programming partitioner.
+#[derive(Debug, Clone, Default)]
+pub struct DpPartitioner {
+    config: PartitionerConfig,
+}
+
+/// Result of Algorithm 1 for one (group, budget-threshold) pair.
+#[derive(Debug, Clone, Copy)]
+struct GroupChoice {
+    latency_ms: f64,
+    option: PartitionOption,
+    placement: Placement,
+    /// Grid steps of master budget this choice consumes.
+    budget_steps: usize,
+}
+
+impl DpPartitioner {
+    /// Creates a partitioner with the given configuration.
+    pub fn new(config: PartitionerConfig) -> Self {
+        DpPartitioner { config }
+    }
+
+    /// Finds the latency-optimal plan for `model` on the platform behind
+    /// `perf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] when no plan fits the memory
+    /// budget (a layer too large for any partitioning option), and
+    /// propagates analysis errors.
+    pub fn partition(&self, model: &LinearModel, perf: &PerfModel) -> Result<ExecutionPlan> {
+        let n = model.layers().len();
+        if n == 0 {
+            return Ok(ExecutionPlan::new(Vec::new()));
+        }
+        let budget = self
+            .config
+            .budget_bytes
+            .unwrap_or(perf.platform.model_memory_budget);
+        let grid = self.config.mem_grid_bytes.max(1);
+        let steps = (budget / grid) as usize;
+
+        // candidates[i][j - i - 1]: best worker-only and master-participating
+        // choices (Algorithm 1) for group i..j.
+        let mut candidates: Vec<Vec<(Option<GroupChoice>, Option<GroupChoice>)>> =
+            vec![Vec::new(); n];
+        for i in 0..n {
+            let max_j = self
+                .config
+                .max_group_len
+                .map(|l| (i + l).min(n))
+                .unwrap_or(n);
+            for j in i + 1..=max_j {
+                candidates[i].push(self.find_opt_latency(model, perf, i, j, budget, grid)?);
+            }
+        }
+
+        // L[j][m]: best latency for layers 0..j with m grid steps of master
+        // budget; back[j][m] records the chosen group.
+        const INF: f64 = f64::INFINITY;
+        let mut best = vec![vec![INF; steps + 1]; n + 1];
+        let mut back: Vec<Vec<Option<(usize, GroupChoice)>>> = vec![vec![None; steps + 1]; n + 1];
+        for m in 0..=steps {
+            best[0][m] = 0.0;
+        }
+        for j in 1..=n {
+            for m in 0..=steps {
+                for i in 0..j {
+                    let Some(&(worker_only, with_master)) =
+                        candidates[i].get(j - i - 1)
+                    else {
+                        continue;
+                    };
+                    if let Some(c) = worker_only {
+                        let prev = best[i][m];
+                        if prev + c.latency_ms < best[j][m] {
+                            best[j][m] = prev + c.latency_ms;
+                            back[j][m] = Some((i, c));
+                        }
+                    }
+                    if let Some(c) = with_master {
+                        if m >= c.budget_steps {
+                            let prev = best[i][m - c.budget_steps];
+                            if prev + c.latency_ms < best[j][m] {
+                                best[j][m] = prev + c.latency_ms;
+                                back[j][m] = Some((i, c));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if !best[n][steps].is_finite() {
+            return Err(CoreError::Infeasible(format!(
+                "no partitioning of {} fits the {budget}-byte budget",
+                model.name()
+            )));
+        }
+
+        // Reconstruct.
+        let mut groups = Vec::new();
+        let (mut j, mut m) = (n, steps);
+        while j > 0 {
+            let (i, choice) =
+                back[j][m].ok_or_else(|| CoreError::Infeasible("broken backpointer".into()))?;
+            groups.push(PlannedGroup {
+                start: i,
+                end: j,
+                option: choice.option,
+                placement: choice.placement,
+            });
+            m -= choice.budget_steps;
+            j = i;
+        }
+        groups.reverse();
+        // Adjacent master-resident groups are an artifact of the recursion
+        // boundaries, not a serving decision: coalesce them.
+        let plan = ExecutionPlan::new(groups).coalesce_master_runs();
+        plan.validate(model, budget)?;
+        Ok(plan)
+    }
+
+    /// Algorithm 1: search the group's parallelization options and return
+    /// the best worker-only choice and the best master-participating choice
+    /// (whose budget requirement is the master partition's weight bytes).
+    fn find_opt_latency(
+        &self,
+        model: &LinearModel,
+        perf: &PerfModel,
+        i: usize,
+        j: usize,
+        budget: u64,
+        grid: u64,
+    ) -> Result<(Option<GroupChoice>, Option<GroupChoice>)> {
+        let mut best_worker_only: Option<GroupChoice> = None;
+        let mut best_with_master: Option<GroupChoice> = None;
+        for option in group_options(model, i, j, &self.config.degrees) {
+            let analysis = analyze_group(model, i, j, option)?;
+            // Partition too large to fit into any function: skip option.
+            if analysis
+                .partitions
+                .iter()
+                .any(|p| p.mem_bytes() > budget)
+            {
+                continue;
+            }
+
+            // Worker-only placement: every partition on a worker.
+            let wo = predict_group(perf, &analysis, Placement::Workers);
+            let latency = wo.latency_ms();
+            if best_worker_only.map(|b| latency < b.latency_ms).unwrap_or(true) {
+                best_worker_only = Some(GroupChoice {
+                    latency_ms: latency,
+                    option,
+                    placement: Placement::Workers,
+                    budget_steps: 0,
+                });
+            }
+
+            if !self.config.allow_master_participation {
+                continue;
+            }
+            // Master-participating placement: partition 0 in the master.
+            let placement = if option.parts() == 1 {
+                Placement::Master
+            } else {
+                Placement::MasterAndWorkers
+            };
+            let mp = predict_group(perf, &analysis, placement);
+            let latency = mp.latency_ms();
+            let w0 = analysis.partitions[0].weight_bytes;
+            let budget_steps = w0.div_ceil(grid) as usize;
+            if best_with_master
+                .map(|b| {
+                    latency < b.latency_ms
+                        || (latency == b.latency_ms && budget_steps < b.budget_steps)
+                })
+                .unwrap_or(true)
+            {
+                best_with_master = Some(GroupChoice {
+                    latency_ms: latency,
+                    option,
+                    placement,
+                    budget_steps,
+                });
+            }
+        }
+        Ok((best_worker_only, best_with_master))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::predict_plan;
+    use gillis_faas::PlatformProfile;
+    use gillis_model::zoo;
+
+    fn perf(platform: &PlatformProfile) -> PerfModel {
+        PerfModel::analytic(platform)
+    }
+
+    #[test]
+    fn dp_beats_single_function_on_vgg() {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = perf(&platform);
+        let vgg = zoo::vgg16();
+        let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+        let dp_pred = predict_plan(&vgg, &plan, &perf).unwrap();
+        let single = predict_plan(&vgg, &ExecutionPlan::single_function(&vgg), &perf).unwrap();
+        let speedup = single.latency_ms / dp_pred.latency_ms;
+        // Paper Fig 9: 1.9x speedup for VGG-16 on Lambda.
+        assert!(speedup > 1.3, "speedup only {speedup:.2}");
+        assert!(speedup < 4.0, "speedup implausibly high: {speedup:.2}");
+    }
+
+    #[test]
+    fn dp_handles_models_too_large_for_one_function() {
+        // WRN-50-4 exceeds the 1.4 GB budget: Default OOMs, the DP must
+        // still find a plan (paper Fig 11).
+        let platform = PlatformProfile::aws_lambda();
+        let perf = perf(&platform);
+        let wrn = zoo::wrn50(4);
+        assert!(wrn.weight_bytes() > platform.model_memory_budget);
+        let plan = DpPartitioner::default().partition(&wrn, &perf).unwrap();
+        plan.validate(&wrn, platform.model_memory_budget).unwrap();
+        // Some group must be split or offloaded to workers.
+        assert!(plan
+            .groups()
+            .iter()
+            .any(|g| g.worker_count() > 0));
+    }
+
+    #[test]
+    fn dp_respects_master_budget() {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = perf(&platform);
+        let wrn = zoo::wrn34(5);
+        let plan = DpPartitioner::default().partition(&wrn, &perf).unwrap();
+        let master = plan.master_weight_bytes(&wrn).unwrap();
+        assert!(master <= platform.model_memory_budget);
+    }
+
+    #[test]
+    fn rnn_plan_places_layers_without_parallelism() {
+        // RNN layers cannot be parallelized (paper §V-B): the DP must
+        // produce Single groups only, offloading layers to workers once the
+        // master is full.
+        let platform = PlatformProfile::aws_lambda();
+        let perf = perf(&platform);
+        let rnn = zoo::rnn(12); // too big for one function
+        let plan = DpPartitioner::default().partition(&rnn, &perf).unwrap();
+        assert!(plan
+            .groups()
+            .iter()
+            .all(|g| g.option == PartitionOption::Single));
+        plan.validate(&rnn, platform.model_memory_budget).unwrap();
+        assert!(plan.groups().iter().any(|g| g.worker_count() > 0));
+    }
+
+    #[test]
+    fn small_rnn_stays_in_master() {
+        // RNN-3 fits in one function; parallelization cannot help (§V-B), so
+        // the optimal plan is master-only with no communication.
+        let platform = PlatformProfile::aws_lambda();
+        let perf = perf(&platform);
+        let rnn = zoo::rnn(3);
+        let plan = DpPartitioner::default().partition(&rnn, &perf).unwrap();
+        assert!(plan.groups().iter().all(|g| g.worker_count() == 0));
+        let pred = predict_plan(&rnn, &plan, &perf).unwrap();
+        let single =
+            predict_plan(&rnn, &ExecutionPlan::single_function(&rnn), &perf).unwrap();
+        assert!((pred.latency_ms - single.latency_ms).abs() / single.latency_ms < 0.05);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_search_on_tiny_model() {
+        // Brute-force all (grouping, option, placement) plans of a tiny model
+        // and check the DP is no worse.
+        let platform = PlatformProfile::aws_lambda();
+        let perf = perf(&platform);
+        let tiny = zoo::tiny_vgg();
+        let config = PartitionerConfig {
+            degrees: vec![2, 4],
+            ..PartitionerConfig::default()
+        };
+        let plan = DpPartitioner::new(config.clone()).partition(&tiny, &perf).unwrap();
+        let dp_latency = predict_plan(&tiny, &plan, &perf).unwrap().latency_ms;
+
+        let budget = platform.model_memory_budget;
+        let n = tiny.layers().len();
+        let mut best = f64::INFINITY;
+        // Enumerate all segmentations (n is small).
+        fn enumerate(
+            model: &LinearModel,
+            perf: &PerfModel,
+            config: &PartitionerConfig,
+            budget: u64,
+            start: usize,
+            n: usize,
+            acc: &mut Vec<PlannedGroup>,
+            master_used: u64,
+            latency: f64,
+            best: &mut f64,
+        ) {
+            if start == n {
+                if latency < *best {
+                    *best = latency;
+                }
+                return;
+            }
+            for end in start + 1..=n {
+                for option in group_options(model, start, end, &config.degrees) {
+                    let analysis = analyze_group(model, start, end, option).unwrap();
+                    if analysis.partitions.iter().any(|p| p.mem_bytes() > budget) {
+                        continue;
+                    }
+                    for placement in [
+                        Placement::Workers,
+                        if option.parts() == 1 {
+                            Placement::Master
+                        } else {
+                            Placement::MasterAndWorkers
+                        },
+                    ] {
+                        let used = if placement == Placement::Workers {
+                            0
+                        } else {
+                            analysis.partitions[0].weight_bytes
+                        };
+                        if master_used + used > budget {
+                            continue;
+                        }
+                        let g = predict_group(perf, &analysis, placement);
+                        acc.push(PlannedGroup {
+                            start,
+                            end,
+                            option,
+                            placement,
+                        });
+                        enumerate(
+                            model,
+                            perf,
+                            config,
+                            budget,
+                            end,
+                            n,
+                            acc,
+                            master_used + used,
+                            latency + g.latency_ms(),
+                            best,
+                        );
+                        acc.pop();
+                    }
+                }
+            }
+        }
+        enumerate(
+            &tiny, &perf, &config, budget, 0, n, &mut Vec::new(), 0, 0.0, &mut best,
+        );
+        assert!(best.is_finite());
+        assert!(
+            dp_latency <= best * 1.0001,
+            "dp {dp_latency} vs brute force {best}"
+        );
+    }
+
+    #[test]
+    fn infeasible_when_budget_is_absurdly_small() {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = perf(&platform);
+        let config = PartitionerConfig {
+            budget_bytes: Some(1024), // 1 KB: nothing fits
+            ..PartitionerConfig::default()
+        };
+        let err = DpPartitioner::new(config).partition(&zoo::tiny_vgg(), &perf);
+        assert!(matches!(err, Err(CoreError::Infeasible(_))));
+    }
+
+    #[test]
+    fn empty_model_produces_empty_plan() {
+        use gillis_model::{Graph, LayerOp};
+        use gillis_tensor::Shape;
+        let mut g = Graph::new();
+        g.add(
+            "input",
+            LayerOp::Input {
+                shape: Shape::new(vec![1]),
+            },
+            &[],
+        )
+        .unwrap();
+        let model = gillis_model::merge::merge_graph("empty", g).unwrap();
+        let platform = PlatformProfile::aws_lambda();
+        let plan = DpPartitioner::default()
+            .partition(&model, &perf(&platform))
+            .unwrap();
+        assert!(plan.groups().is_empty());
+    }
+}

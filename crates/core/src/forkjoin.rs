@@ -1,0 +1,737 @@
+//! The fork-join serving runtime (paper §III-B).
+//!
+//! Three entry points:
+//!
+//! - [`ForkJoinRuntime::simulate_query`] — one warm query with sampled
+//!   noise, following the plan group by group (master forks workers, waits
+//!   for the slowest, assembles, continues). This is the "actual" latency
+//!   the Fig 9–12 reproductions measure.
+//! - [`ForkJoinRuntime::serve_workload`] — a closed-loop client population
+//!   served against warm pools with cold starts and billing (the §V-C
+//!   experiments: 100 clients × 1000 queries).
+//! - [`execute_plan_tensors`] — runs the plan with *real tensor math*
+//!   (slicing inputs with halos, running partitions, stitching outputs),
+//!   proving the plan is semantics-preserving.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use gillis_faas::billing::BillingMeter;
+use gillis_faas::des::EventQueue;
+use gillis_faas::fleet::{Fleet, FunctionSpec};
+use gillis_faas::metrics::LatencyStats;
+use gillis_faas::workload::ClosedLoop;
+use gillis_faas::{Micros, PlatformProfile};
+use gillis_model::exec::Executor;
+use gillis_model::weights::ModelWeights;
+use gillis_model::LinearModel;
+use gillis_tensor::Tensor;
+
+use crate::partition::{balanced_ranges, GroupAnalysis, PartDim, PartitionOption, PartitionWork};
+use crate::plan::{ExecutionPlan, Placement};
+use crate::Result;
+
+/// Outcome of a single simulated query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// End-to-end latency (the master's duration).
+    pub latency_ms: f64,
+    /// Per-group breakdown: `(fork, compute, join)` in milliseconds.
+    pub group_ms: Vec<(f64, f64, f64)>,
+    /// Durations of every worker execution, for billing.
+    pub worker_ms: Vec<f64>,
+    /// Worker invocations that failed and were retried by the master.
+    pub retries: u64,
+}
+
+/// Retry budget per worker invocation. The final attempt is treated as
+/// successful so a query always completes; with realistic failure rates the
+/// probability of exhausting the budget is negligible.
+const MAX_ATTEMPTS: u32 = 4;
+
+/// Result of serving a closed-loop workload.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Query latency distribution.
+    pub latency: LatencyStats,
+    /// Accumulated billing.
+    pub billing: BillingMeter,
+    /// Cold starts observed across all functions.
+    pub cold_starts: u64,
+    /// Worker invocations that failed and were retried.
+    pub retries: u64,
+}
+
+/// The plan executor over the simulated platform.
+#[derive(Debug, Clone)]
+pub struct ForkJoinRuntime<'a> {
+    model: &'a LinearModel,
+    plan: &'a ExecutionPlan,
+    platform: PlatformProfile,
+    analyses: Vec<GroupAnalysis>,
+}
+
+impl<'a> ForkJoinRuntime<'a> {
+    /// Prepares a runtime for a validated plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns plan-validation errors; the plan must fit the platform's
+    /// model memory budget.
+    pub fn new(
+        model: &'a LinearModel,
+        plan: &'a ExecutionPlan,
+        platform: PlatformProfile,
+    ) -> Result<Self> {
+        plan.validate(model, platform.model_memory_budget)?;
+        let analyses = plan.analyses(model)?;
+        Ok(ForkJoinRuntime {
+            model,
+            plan,
+            platform,
+            analyses,
+        })
+    }
+
+    fn sample_compute_ms<R: RngExt + ?Sized>(&self, work: &PartitionWork, rng: &mut R) -> f64 {
+        work.flops
+            .iter()
+            .map(|&(class, flops)| self.platform.compute_ms_noisy(flops, class, rng))
+            .sum()
+    }
+
+    fn sample_transfer_parts<R: RngExt + ?Sized>(&self, sizes: &[u64], rng: &mut R) -> f64 {
+        let total: u64 = sizes.iter().sum();
+        let jitter_max = (0..sizes.len())
+            .map(|_| self.platform.invoke_latency_ms.sample(rng))
+            .fold(0.0f64, f64::max);
+        jitter_max + self.platform.transfer_ms(total)
+    }
+
+    /// Samples the delay a worker invocation spends on failed attempts
+    /// before one succeeds: each failure costs the invocation jitter plus a
+    /// fraction of the compute (the platform detects the crash and returns
+    /// an error). Returns `(extra_delay_ms, retries)`.
+    fn sample_failures<R: RngExt + ?Sized>(&self, compute_ms: f64, rng: &mut R) -> (f64, u64) {
+        let rate = self.platform.invocation_failure_rate;
+        if rate <= 0.0 {
+            return (0.0, 0);
+        }
+        let mut extra = 0.0;
+        let mut retries = 0;
+        for _ in 0..MAX_ATTEMPTS - 1 {
+            if rng.random::<f64>() >= rate {
+                break;
+            }
+            extra += self.platform.invoke_latency_ms.sample(rng) + 0.3 * compute_ms;
+            retries += 1;
+        }
+        (extra, retries)
+    }
+
+    /// Simulates one query on warm instances, sampling compute noise and
+    /// communication jitter.
+    pub fn simulate_query<R: RngExt + ?Sized>(&self, rng: &mut R) -> QueryOutcome {
+        let mut latency = 0.0;
+        let mut group_ms = Vec::with_capacity(self.analyses.len());
+        let mut worker_ms = Vec::new();
+        let mut retries = 0u64;
+        for (g, a) in self.plan.groups().iter().zip(self.analyses.iter()) {
+            let (fork, compute, join) = match g.placement {
+                Placement::Master => (0.0, self.sample_compute_ms(&a.partitions[0], rng), 0.0),
+                Placement::Workers | Placement::MasterAndWorkers => {
+                    let worker_parts: &[PartitionWork] = if g.placement == Placement::Workers {
+                        &a.partitions
+                    } else {
+                        &a.partitions[1..]
+                    };
+                    let master_compute = if g.placement == Placement::MasterAndWorkers {
+                        self.sample_compute_ms(&a.partitions[0], rng)
+                    } else {
+                        0.0
+                    };
+                    if worker_parts.is_empty() {
+                        (0.0, master_compute, 0.0)
+                    } else {
+                        let ins: Vec<u64> = worker_parts.iter().map(|p| p.input_bytes).collect();
+                        let outs: Vec<u64> = worker_parts.iter().map(|p| p.output_bytes).collect();
+                        let fork = self.sample_transfer_parts(&ins, rng);
+                        let join = self.sample_transfer_parts(&outs, rng);
+                        let mut slowest = master_compute;
+                        for p in worker_parts {
+                            let c = self.sample_compute_ms(p, rng);
+                            let (extra, r) = self.sample_failures(c, rng);
+                            retries += r;
+                            slowest = slowest.max(extra + c);
+                            worker_ms.push(
+                                extra
+                                    + c
+                                    + self
+                                        .platform
+                                        .transfer_ms(p.input_bytes + p.output_bytes),
+                            );
+                        }
+                        (fork, slowest, join)
+                    }
+                }
+            };
+            latency += fork + compute + join;
+            group_ms.push((fork, compute, join));
+        }
+        QueryOutcome {
+            latency_ms: latency,
+            group_ms,
+            worker_ms,
+            retries,
+        }
+    }
+
+    /// Mean latency over `n` simulated warm queries.
+    pub fn mean_latency_ms(&self, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n.max(1))
+            .map(|_| self.simulate_query(&mut rng).latency_ms)
+            .sum::<f64>()
+            / n.max(1) as f64
+    }
+
+    /// Deploys the plan's functions into a fleet: one master (holding the
+    /// partitions it computes) and one function per worker partition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deployment errors (e.g. out-of-memory specs).
+    pub fn deploy(&self, fleet: &mut Fleet) -> Result<()> {
+        let master_pkg = self.plan.master_weight_bytes(self.model)?;
+        fleet.deploy(FunctionSpec {
+            name: "master".into(),
+            memory_bytes: self.platform.instance_memory_bytes,
+            package_bytes: master_pkg,
+        })?;
+        for (gi, (g, a)) in self
+            .plan
+            .groups()
+            .iter()
+            .zip(self.analyses.iter())
+            .enumerate()
+        {
+            let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+            for (pi, p) in a.partitions.iter().enumerate().skip(offset) {
+                if g.placement == Placement::Master {
+                    continue;
+                }
+                fleet.deploy(FunctionSpec {
+                    name: format!("g{gi}p{pi}"),
+                    memory_bytes: self.platform.instance_memory_bytes,
+                    package_bytes: p.weight_bytes,
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves a closed-loop workload end to end: warm pools, cold starts,
+    /// and per-function billing. Clients issue their first queries at time
+    /// zero and re-issue upon response.
+    ///
+    /// Functions are pre-warmed with one instance per client before the
+    /// first query, mirroring Gillis's periodic warm-up pings (§III-A): the
+    /// paper amortizes cold starts across "numerous inference queries" and
+    /// measures warm behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deployment and fleet errors.
+    pub fn serve_workload(&self, mut workload: ClosedLoop, seed: u64) -> Result<ServingReport> {
+        let mut fleet = Fleet::new(self.platform.clone());
+        self.deploy(&mut fleet)?;
+        self.prewarm(&mut fleet, workload.clients)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut billing = BillingMeter::new(
+            self.platform.billing_granularity_ms,
+            self.platform.price_per_gb_s,
+            self.platform.price_per_invocation,
+        );
+        let mut latency = LatencyStats::new();
+        let mut retries = 0u64;
+
+        // Event = a client ready to issue a query.
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        for client in 0..workload.clients {
+            queue.push(Micros::ZERO, client);
+        }
+        while let Some((now, client)) = queue.pop() {
+            if !workload.try_issue() {
+                continue;
+            }
+            let done =
+                self.run_query_on_fleet(&mut fleet, &mut billing, now, &mut rng, &mut retries)?;
+            latency.record((done - now).as_ms());
+            queue.push(done + workload.think_time, client);
+        }
+
+        let mut cold_starts = 0;
+        let (c, _, _) = fleet.stats("master")?;
+        cold_starts += c;
+        for (gi, g) in self.plan.groups().iter().enumerate() {
+            if g.placement == Placement::Master {
+                continue;
+            }
+            let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+            for pi in offset..g.option.parts() {
+                let (c, _, _) = fleet.stats(&format!("g{gi}p{pi}"))?;
+                cold_starts += c;
+            }
+        }
+        Ok(ServingReport {
+            latency,
+            billing,
+            cold_starts,
+            retries,
+        })
+    }
+
+    /// Serves an open-loop Poisson arrival stream of `queries` queries at
+    /// `rate_per_sec`, against pre-warmed pools sized for `prewarm_clients`
+    /// concurrent queries. Unlike the closed loop, arrivals do not wait for
+    /// responses — overload shows up as cold-start scale-out beyond the
+    /// pre-warmed pool (the §II-A motivation for serverless burst capacity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates deployment and fleet errors, and rejects non-positive
+    /// rates.
+    pub fn serve_open_loop(
+        &self,
+        rate_per_sec: f64,
+        queries: usize,
+        prewarm_clients: usize,
+        seed: u64,
+    ) -> Result<ServingReport> {
+        let arrivals = gillis_faas::workload::PoissonArrivals::new(rate_per_sec)?;
+        let mut fleet = Fleet::new(self.platform.clone());
+        self.deploy(&mut fleet)?;
+        self.prewarm(&mut fleet, prewarm_clients)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut billing = BillingMeter::new(
+            self.platform.billing_granularity_ms,
+            self.platform.price_per_gb_s,
+            self.platform.price_per_invocation,
+        );
+        let mut latency = LatencyStats::new();
+        let mut retries = 0u64;
+        let mut now = Micros::ZERO;
+        for _ in 0..queries {
+            now += arrivals.next_gap(&mut rng);
+            let done = self.run_query_on_fleet(&mut fleet, &mut billing, now, &mut rng, &mut retries)?;
+            latency.record((done - now).as_ms());
+        }
+        let mut cold_starts = 0;
+        let (c, _, _) = fleet.stats("master")?;
+        cold_starts += c;
+        for (gi, g) in self.plan.groups().iter().enumerate() {
+            if g.placement == Placement::Master {
+                continue;
+            }
+            let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+            for pi in offset..g.option.parts() {
+                let (c, _, _) = fleet.stats(&format!("g{gi}p{pi}"))?;
+                cold_starts += c;
+            }
+        }
+        Ok(ServingReport {
+            latency,
+            billing,
+            cold_starts,
+            retries,
+        })
+    }
+
+    /// Pre-warms `count` instances of the master and of every worker
+    /// function (Gillis's concurrent warm-up pings, §III-A).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fleet errors.
+    pub fn prewarm(&self, fleet: &mut Fleet, count: usize) -> Result<()> {
+        fleet.prewarm("master", count, Micros::ZERO)?;
+        for (gi, g) in self.plan.groups().iter().enumerate() {
+            if g.placement == Placement::Master {
+                continue;
+            }
+            let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+            for pi in offset..g.option.parts() {
+                fleet.prewarm(&format!("g{gi}p{pi}"), count, Micros::ZERO)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one query against an externally-managed fleet starting at
+    /// `start`, charging `billing`, and returns its completion time. Public
+    /// for cold-start studies that need control over pre-warming; workload
+    /// serving should use [`ForkJoinRuntime::serve_workload`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates fleet errors (e.g. undeployed functions).
+    pub fn run_query_at(
+        &self,
+        fleet: &mut Fleet,
+        billing: &mut BillingMeter,
+        start: Micros,
+        rng: &mut StdRng,
+        retries: &mut u64,
+    ) -> Result<Micros> {
+        self.run_query_on_fleet(fleet, billing, start, rng, retries)
+    }
+
+    /// Executes one query against the fleet, charging billing, and returns
+    /// its completion time.
+    fn run_query_on_fleet(
+        &self,
+        fleet: &mut Fleet,
+        billing: &mut BillingMeter,
+        start: Micros,
+        rng: &mut StdRng,
+        attempts: &mut u64,
+    ) -> Result<Micros> {
+        let master = fleet.acquire("master", start)?;
+        let mut now = master.ready_at;
+        let master_began = now;
+        for (gi, (g, a)) in self
+            .plan
+            .groups()
+            .iter()
+            .zip(self.analyses.iter())
+            .enumerate()
+        {
+            match g.placement {
+                Placement::Master => {
+                    now += Micros::from_ms(self.sample_compute_ms(&a.partitions[0], rng));
+                }
+                Placement::Workers | Placement::MasterAndWorkers => {
+                    let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+                    let worker_parts = &a.partitions[offset..];
+                    let master_compute = if offset == 1 {
+                        self.sample_compute_ms(&a.partitions[0], rng)
+                    } else {
+                        0.0
+                    };
+                    if worker_parts.is_empty() {
+                        now += Micros::from_ms(master_compute);
+                        continue;
+                    }
+                    // Dispatch payloads serially over the master's egress;
+                    // invocation jitter overlaps.
+                    let mut dispatch_done = now;
+                    let mut group_end = now + Micros::from_ms(master_compute);
+                    for (pi, p) in worker_parts.iter().enumerate() {
+                        let fname = format!("g{gi}p{}", pi + offset);
+                        dispatch_done += Micros::from_ms(self.platform.transfer_ms(p.input_bytes));
+                        // Invoke with retries: a failed attempt bills its
+                        // partial duration, releases the instance, and the
+                        // master re-invokes (possibly on a fresh instance).
+                        let mut attempt_at = dispatch_done;
+                        let mut local_attempts = 0u32;
+                        let end = loop {
+                            let jitter =
+                                Micros::from_ms(self.platform.invoke_latency_ms.sample(rng));
+                            let acq = fleet.acquire(&fname, attempt_at + jitter)?;
+                            let work_start = acq.ready_at.max(attempt_at + jitter);
+                            let compute = Micros::from_ms(self.sample_compute_ms(p, rng));
+                            let failed = self.platform.invocation_failure_rate > 0.0
+                                && local_attempts < MAX_ATTEMPTS - 1
+                                && rng.random::<f64>() < self.platform.invocation_failure_rate;
+                            if failed {
+                                *attempts += 1;
+                                local_attempts += 1;
+                                let crash = work_start + Micros::from_ms(0.3 * compute.as_ms());
+                                billing.record(
+                                    (crash - work_start).as_ms(),
+                                    self.platform.instance_memory_bytes,
+                                );
+                                fleet.release(&fname, crash)?;
+                                attempt_at = crash;
+                                continue;
+                            }
+                            let reply = Micros::from_ms(self.platform.transfer_ms(p.output_bytes));
+                            let end = work_start + compute + reply;
+                            billing.record(
+                                (end - work_start).as_ms(),
+                                self.platform.instance_memory_bytes,
+                            );
+                            fleet.release(&fname, end)?;
+                            break end;
+                        };
+                        group_end = group_end.max(end);
+                    }
+                    // Collection jitter on the way back.
+                    let join_jitter =
+                        Micros::from_ms(self.platform.invoke_latency_ms.sample(rng));
+                    now = group_end.max(dispatch_done) + join_jitter;
+                }
+            }
+        }
+        billing.record(
+            (now - master_began).as_ms(),
+            self.platform.instance_memory_bytes,
+        );
+        fleet.release("master", now)?;
+        Ok(now)
+    }
+}
+
+/// Executes a plan with real tensor math: for each group, slices the input
+/// according to the partition option (halo rows for spatial splits, whole
+/// input for weight splits), runs every partition through the reference
+/// executor, and stitches the outputs back together. The result must equal
+/// the unpartitioned forward pass — Gillis's no-accuracy-loss property.
+///
+/// # Errors
+///
+/// Propagates executor errors; returns [`crate::CoreError::InvalidPlan`] if the
+/// plan does not validate against the model.
+pub fn execute_plan_tensors(
+    model: &LinearModel,
+    plan: &ExecutionPlan,
+    weights: &ModelWeights,
+    input: &Tensor,
+) -> Result<Tensor> {
+    plan.validate(model, u64::MAX)?;
+    let exec = Executor::new(model.graph(), weights);
+    let mut cur = input.clone();
+    for g in plan.groups() {
+        let layers = &model.layers()[g.start..g.end];
+        cur = match g.option {
+            PartitionOption::Single => exec.run_segment(layers, &cur)?,
+            PartitionOption::Split { dim, parts } => match dim {
+                PartDim::Height => {
+                    let out_h = layers[layers.len() - 1].out_shape.dims()[1];
+                    let mut pieces = Vec::with_capacity(parts);
+                    for r in balanced_ranges(out_h, parts) {
+                        pieces.push(exec.run_segment_rows(layers, &cur, r)?);
+                    }
+                    Tensor::concat(&pieces, 1).map_err(gillis_model::ModelError::from)?
+                }
+                PartDim::Width => {
+                    let out_w = layers[layers.len() - 1].out_shape.dims()[2];
+                    let mut pieces = Vec::with_capacity(parts);
+                    for r in balanced_ranges(out_w, parts) {
+                        pieces.push(exec.run_segment_cols(layers, &cur, r)?);
+                    }
+                    Tensor::concat(&pieces, 2).map_err(gillis_model::ModelError::from)?
+                }
+                PartDim::Channel => {
+                    let out_c = layers[layers.len() - 1].out_shape.dims()[0];
+                    let mut pieces = Vec::with_capacity(parts);
+                    for r in balanced_ranges(out_c, parts) {
+                        pieces.push(exec.run_segment_channels(layers, &cur, r)?);
+                    }
+                    Tensor::concat(&pieces, 0).map_err(gillis_model::ModelError::from)?
+                }
+            },
+        };
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{DpPartitioner, PartitionerConfig};
+    use crate::predict::predict_plan;
+    use gillis_model::weights::init_weights;
+    use gillis_model::zoo;
+    use gillis_perf::PerfModel;
+
+    #[test]
+    fn simulated_latency_matches_prediction() {
+        // Fig 15 (bottom): end-to-end prediction error within ~6%.
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let vgg = zoo::vgg16();
+        let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+        let predicted = predict_plan(&vgg, &plan, &perf).unwrap().latency_ms;
+        let runtime = ForkJoinRuntime::new(&vgg, &plan, platform).unwrap();
+        let actual = runtime.mean_latency_ms(50, 7);
+        let rel = (predicted - actual).abs() / actual;
+        assert!(rel < 0.06, "predicted {predicted:.1}, actual {actual:.1}");
+    }
+
+    #[test]
+    fn plan_execution_preserves_semantics() {
+        // The headline property: a partitioned plan computes exactly the
+        // same logits as the unpartitioned model.
+        let tiny = zoo::tiny_vgg();
+        let weights = init_weights(tiny.graph(), 77).unwrap();
+        let exec = Executor::new(tiny.graph(), &weights);
+        let input = Tensor::from_fn(tiny.input_shape().clone(), |i| ((i % 17) as f32 - 8.0) / 8.0);
+        let full = exec.forward(&tiny, &input).unwrap();
+
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let config = PartitionerConfig {
+            degrees: vec![2, 4],
+            ..PartitionerConfig::default()
+        };
+        let plan = DpPartitioner::new(config).partition(&tiny, &perf).unwrap();
+        let out = execute_plan_tensors(&tiny, &plan, &weights, &input).unwrap();
+        assert!(full.max_abs_diff(&out).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn forced_parallel_plan_execution_preserves_semantics() {
+        use crate::plan::PlannedGroup;
+        let tiny = zoo::tiny_vgg();
+        let weights = init_weights(tiny.graph(), 78).unwrap();
+        let exec = Executor::new(tiny.graph(), &weights);
+        let input = Tensor::from_fn(tiny.input_shape().clone(), |i| (i as f32 * 0.37).sin());
+        let full = exec.forward(&tiny, &input).unwrap();
+
+        // Hand-built aggressive plan: conv group split 4-way spatially,
+        // pools split 2-way, dense layers split by output units.
+        let n = tiny.layers().len();
+        let mut groups = Vec::new();
+        for i in 0..n {
+            let layer = &tiny.layers()[i];
+            let option = if layer.class.supports_spatial()
+                && tiny.layers()[i].out_shape.dims()[1] >= 4
+            {
+                PartitionOption::Split {
+                    dim: PartDim::Height,
+                    parts: 4,
+                }
+            } else if layer.class.channel_splittable() && layer.out_shape.dims()[0] >= 2 {
+                PartitionOption::Split {
+                    dim: PartDim::Channel,
+                    parts: 2,
+                }
+            } else {
+                PartitionOption::Single
+            };
+            groups.push(PlannedGroup {
+                start: i,
+                end: i + 1,
+                option,
+                placement: if option == PartitionOption::Single {
+                    Placement::Master
+                } else {
+                    Placement::Workers
+                },
+            });
+        }
+        let plan = ExecutionPlan::new(groups);
+        let out = execute_plan_tensors(&tiny, &plan, &weights, &input).unwrap();
+        assert!(full.max_abs_diff(&out).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn workload_serving_reports_latency_and_cost() {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let vgg = zoo::vgg11();
+        let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+        let runtime = ForkJoinRuntime::new(&vgg, &plan, platform).unwrap();
+        let workload = ClosedLoop::new(8, 40, Micros::ZERO).unwrap();
+        let report = runtime.serve_workload(workload, 3).unwrap();
+        assert_eq!(report.latency.count(), 40);
+        assert!(report.billing.billed_ms_total() > 0);
+        assert!(report.billing.invocations() >= 40);
+        // Pre-warming (paper §III-A) eliminates cold starts entirely.
+        assert_eq!(report.cold_starts, 0);
+        // The workload mean matches the warm single-query mean.
+        let mean = report.latency.mean();
+        let warm = runtime.mean_latency_ms(40, 5);
+        assert!(
+            (mean - warm).abs() / warm < 0.25,
+            "workload mean {mean} vs warm mean {warm}"
+        );
+    }
+
+    #[test]
+    fn failure_injection_adds_retries_and_latency() {
+        let mut platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let vgg = zoo::vgg11();
+        let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+
+        // Healthy platform: zero retries.
+        let healthy = ForkJoinRuntime::new(&vgg, &plan, platform.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let h: Vec<QueryOutcome> = (0..50).map(|_| healthy.simulate_query(&mut rng)).collect();
+        assert!(h.iter().all(|q| q.retries == 0));
+        let h_mean = h.iter().map(|q| q.latency_ms).sum::<f64>() / 50.0;
+
+        // 15% of worker invocations fail: queries still complete, retries
+        // appear, and the mean latency rises.
+        platform.invocation_failure_rate = 0.15;
+        let flaky = ForkJoinRuntime::new(&vgg, &plan, platform.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let f: Vec<QueryOutcome> = (0..50).map(|_| flaky.simulate_query(&mut rng)).collect();
+        let total_retries: u64 = f.iter().map(|q| q.retries).sum();
+        assert!(total_retries > 0, "expected some retries at 15% failure rate");
+        let f_mean = f.iter().map(|q| q.latency_ms).sum::<f64>() / 50.0;
+        assert!(f_mean > h_mean, "flaky {f_mean} vs healthy {h_mean}");
+
+        // Workload serving also completes and reports the retries.
+        let report = flaky
+            .serve_workload(ClosedLoop::new(4, 40, Micros::ZERO).unwrap(), 7)
+            .unwrap();
+        assert_eq!(report.latency.count(), 40);
+        assert!(report.retries > 0);
+    }
+
+    #[test]
+    fn retry_budget_bounds_worst_case() {
+        // Even at an absurd failure rate every query completes within the
+        // retry budget (the final attempt always succeeds).
+        let mut platform = PlatformProfile::aws_lambda();
+        platform.invocation_failure_rate = 0.95;
+        let perf = PerfModel::analytic(&PlatformProfile::aws_lambda());
+        let vgg = zoo::vgg11();
+        let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+        let rt = ForkJoinRuntime::new(&vgg, &plan, platform).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = rt.simulate_query(&mut rng);
+        let invocations: usize = rt
+            .plan
+            .groups()
+            .iter()
+            .map(|g| g.worker_count())
+            .sum();
+        assert!(q.latency_ms.is_finite());
+        assert!(q.retries <= (invocations as u64) * (MAX_ATTEMPTS as u64 - 1));
+    }
+
+    #[test]
+    fn cold_first_wave_is_slower_without_prewarm() {
+        // Serve the same workload with a manual (non-prewarmed) fleet: the
+        // first wave pays cold starts, later queries reuse warm instances.
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let vgg = zoo::vgg11();
+        let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+        let runtime = ForkJoinRuntime::new(&vgg, &plan, platform.clone()).unwrap();
+
+        let mut fleet = Fleet::new(platform);
+        runtime.deploy(&mut fleet).unwrap();
+        let mut billing = BillingMeter::new(1, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Query 1: all-cold. Query 2 (starting after 1 finished): all-warm.
+        let mut retries = 0;
+        let done_first = runtime
+            .run_query_on_fleet(&mut fleet, &mut billing, Micros::ZERO, &mut rng, &mut retries)
+            .unwrap();
+        let start_later = done_first;
+        let done_later = runtime
+            .run_query_on_fleet(&mut fleet, &mut billing, start_later, &mut rng, &mut retries)
+            .unwrap();
+        let first = done_first.as_ms();
+        let later = (done_later - start_later).as_ms();
+        assert!(
+            first > later * 1.5,
+            "cold first query {first} vs warm later {later}"
+        );
+    }
+}

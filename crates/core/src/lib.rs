@@ -1,0 +1,58 @@
+//! Gillis model partitioning and fork-join serving (the paper's core
+//! contribution).
+//!
+//! - [`partition`] — tensor-dependency-driven partition geometry (§III-C):
+//!   spatial splits with halos, channel/weight splits, grouping rules.
+//! - [`plan`] — execution plans: layer groups, options, placements.
+//! - [`predict`] — latency/cost prediction of a plan with the performance
+//!   model (what the DP and the RL reward both consume).
+//! - [`dp`] — the latency-optimal dynamic-programming partitioner (§IV-B,
+//!   Algorithm 1).
+//! - [`forkjoin`] — the fork-join serving runtime over the platform
+//!   simulator (§III-B), including semantics-preserving tensor execution and
+//!   closed-loop workload serving.
+//! - [`baselines`] — Default (single function) and Pipeline (S3-staged)
+//!   baselines (§V-B).
+//!
+//! The SLO-aware reinforcement-learning partitioner lives in `gillis-rl`;
+//! the Bayesian-optimization and brute-force baselines in `gillis-bo`.
+//!
+//! # Examples
+//!
+//! ```
+//! use gillis_core::{DpPartitioner, PartitionerConfig};
+//! use gillis_core::predict::predict_plan;
+//! use gillis_faas::PlatformProfile;
+//! use gillis_model::zoo;
+//! use gillis_perf::PerfModel;
+//!
+//! # fn main() -> Result<(), gillis_core::CoreError> {
+//! let model = zoo::vgg11();
+//! let platform = PlatformProfile::aws_lambda();
+//! let perf = PerfModel::analytic(&platform);
+//! let plan = DpPartitioner::new(PartitionerConfig::default()).partition(&model, &perf)?;
+//! let prediction = predict_plan(&model, &plan, &perf)?;
+//! assert!(prediction.latency_ms > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baselines;
+pub mod dp;
+pub mod error;
+pub mod forkjoin;
+pub mod partition;
+pub mod plan;
+pub mod predict;
+pub mod tail;
+
+pub use dp::{DpPartitioner, PartitionerConfig};
+pub use error::CoreError;
+pub use forkjoin::{execute_plan_tensors, ForkJoinRuntime, QueryOutcome, ServingReport};
+pub use partition::{analyze_group, group_options, PartDim, PartitionOption};
+pub use plan::{ExecutionPlan, Placement, PlannedGroup};
+pub use predict::{predict_plan, PlanPrediction};
+pub use tail::predict_latency_quantile;
+
+/// Convenient result alias for fallible partitioning/serving operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

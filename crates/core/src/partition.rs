@@ -1,0 +1,636 @@
+//! Partition geometry: how a layer group is split into independent pieces.
+//!
+//! Implements the tensor-dependency analysis of paper §III-C / Fig 2:
+//!
+//! - **Spatial** partitions slice the output height (or width) of a group of
+//!   convolution-like layers; each piece needs a halo of input rows given by
+//!   the group's composed receptive field, which also quantifies the
+//!   redundant computation grouping introduces.
+//! - **Channel** partitions split a filter bank (single conv head) or weight
+//!   matrix (dense layer) so each worker holds a weight subset but needs the
+//!   whole input; channel-local layers (pools, global pooling) chain through.
+//! - **Single** keeps the group whole (the only option for LSTM layers).
+
+use serde::{Deserialize, Serialize};
+
+use gillis_faas::compute::EffClass;
+use gillis_model::{LinearModel, MergedLayer};
+use gillis_perf::flops_by_class;
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// The dimension a group is split along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartDim {
+    /// Output height.
+    Height,
+    /// Output width.
+    Width,
+    /// Output channels (or dense output units).
+    Channel,
+}
+
+/// How a layer group is parallelized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionOption {
+    /// The whole group runs as one partition (in the master or one worker).
+    Single,
+    /// The group output is split into `parts` pieces along `dim`.
+    Split {
+        /// Split dimension.
+        dim: PartDim,
+        /// Number of partitions (>= 2).
+        parts: usize,
+    },
+}
+
+impl PartitionOption {
+    /// Number of partitions this option produces.
+    pub fn parts(&self) -> usize {
+        match self {
+            PartitionOption::Single => 1,
+            PartitionOption::Split { parts, .. } => *parts,
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionOption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionOption::Single => write!(f, "single"),
+            PartitionOption::Split { dim, parts } => {
+                let d = match dim {
+                    PartDim::Height => "H",
+                    PartDim::Width => "W",
+                    PartDim::Channel => "C",
+                };
+                write!(f, "{d}x{parts}")
+            }
+        }
+    }
+}
+
+/// The work and data footprint of one partition of a group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWork {
+    /// FLOPs by profiling class (halo redundancy included for spatial
+    /// partitions).
+    pub flops: Vec<(EffClass, u64)>,
+    /// Weight bytes this partition's function must hold.
+    pub weight_bytes: u64,
+    /// Bytes the master ships to this partition (its input slice).
+    pub input_bytes: u64,
+    /// Bytes this partition returns (its output slice).
+    pub output_bytes: u64,
+}
+
+impl PartitionWork {
+    /// Total FLOPs across classes.
+    pub fn total_flops(&self) -> u64 {
+        self.flops.iter().map(|(_, f)| f).sum()
+    }
+
+    /// Memory footprint of running this partition in a function: weights
+    /// plus input and output activations.
+    pub fn mem_bytes(&self) -> u64 {
+        self.weight_bytes + self.input_bytes + self.output_bytes
+    }
+}
+
+/// Full analysis of a (group, option) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupAnalysis {
+    /// The analyzed option.
+    pub option: PartitionOption,
+    /// One entry per partition.
+    pub partitions: Vec<PartitionWork>,
+}
+
+impl GroupAnalysis {
+    /// Largest per-partition memory footprint.
+    pub fn max_partition_mem(&self) -> u64 {
+        self.partitions.iter().map(PartitionWork::mem_bytes).max().unwrap_or(0)
+    }
+
+    /// Total FLOPs across partitions (>= the unpartitioned group FLOPs for
+    /// spatial splits — the difference is halo redundancy, §III-C).
+    pub fn total_flops(&self) -> u64 {
+        self.partitions.iter().map(PartitionWork::total_flops).sum()
+    }
+}
+
+/// Splits `total` into `parts` balanced contiguous ranges.
+pub fn balanced_ranges(total: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0, "parts must be positive");
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let end = total * (p + 1) / parts;
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Whether all layers in the group can be group-parallelized spatially.
+fn group_is_spatial(layers: &[MergedLayer]) -> bool {
+    layers.iter().all(|l| l.class.supports_spatial())
+}
+
+/// Whether the group can be channel-partitioned: either every layer is
+/// channel-local (slice input channels through), or the head splits its
+/// weights and the remaining layers are channel-local.
+fn group_channel_mode(layers: &[MergedLayer]) -> Option<ChannelMode> {
+    if layers.iter().all(|l| l.class.channel_local()) {
+        return Some(ChannelMode::AllLocal);
+    }
+    let (head, rest) = layers.split_first()?;
+    if head.class.channel_splittable() && rest.iter().all(|l| l.class.channel_local()) {
+        return Some(ChannelMode::SplitHead);
+    }
+    None
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChannelMode {
+    /// Head layer's weights are split; full input shipped to every worker.
+    SplitHead,
+    /// Every layer passes channels through; input channels are sliced.
+    AllLocal,
+}
+
+/// Enumerates the feasible partitioning options of the group
+/// `model.layers()[start..end]`, given the parallelism degrees to consider.
+///
+/// Returns an empty vector for structurally invalid groups (e.g. a dense
+/// layer grouped with convolutions — Fig 6's `L3` barrier). Singleton groups
+/// always admit at least [`PartitionOption::Single`].
+pub fn group_options(model: &LinearModel, start: usize, end: usize, degrees: &[usize]) -> Vec<PartitionOption> {
+    let layers = &model.layers()[start..end];
+    if layers.is_empty() {
+        return Vec::new();
+    }
+    // Any group can at least run whole (sequentially, in one function);
+    // split options additionally require joint parallelizability.
+    let mut options = vec![PartitionOption::Single];
+    let spatial = group_is_spatial(layers);
+    let channel = group_channel_mode(layers);
+
+    if spatial {
+        let out = &layers[layers.len() - 1].out_shape;
+        for (dim, extent) in [(PartDim::Height, out.dims()[1]), (PartDim::Width, out.dims()[2])] {
+            for &parts in degrees {
+                if parts >= 2 && extent >= parts {
+                    options.push(PartitionOption::Split { dim, parts });
+                }
+            }
+        }
+    }
+    if channel.is_some() {
+        let out = &layers[layers.len() - 1].out_shape;
+        let extent = out.dims()[0];
+        for &parts in degrees {
+            if parts >= 2 && extent >= parts {
+                options.push(PartitionOption::Split {
+                    dim: PartDim::Channel,
+                    parts,
+                });
+            }
+        }
+    }
+    options
+}
+
+/// Analyzes one (group, option) pair: per-partition FLOPs (with halo
+/// redundancy), weight bytes, and transfer sizes.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] if the option is not applicable to
+/// the group (use [`group_options`] to enumerate valid options).
+pub fn analyze_group(
+    model: &LinearModel,
+    start: usize,
+    end: usize,
+    option: PartitionOption,
+) -> Result<GroupAnalysis> {
+    let layers = &model.layers()[start..end];
+    if layers.is_empty() {
+        return Err(CoreError::InvalidArgument("empty group".into()));
+    }
+    let partitions = match option {
+        PartitionOption::Single => vec![whole_group_work(model, layers)],
+        PartitionOption::Split { dim, parts } => {
+            if parts < 2 {
+                return Err(CoreError::InvalidArgument(
+                    "split needs at least two parts".into(),
+                ));
+            }
+            match dim {
+                PartDim::Height | PartDim::Width => {
+                    if !group_is_spatial(layers) {
+                        return Err(CoreError::InvalidArgument(format!(
+                            "group {start}..{end} is not spatially partitionable"
+                        )));
+                    }
+                    spatial_partition_work(model, layers, dim, parts)?
+                }
+                PartDim::Channel => {
+                    let mode = group_channel_mode(layers).ok_or_else(|| {
+                        CoreError::InvalidArgument(format!(
+                            "group {start}..{end} is not channel-partitionable"
+                        ))
+                    })?;
+                    channel_partition_work(model, layers, parts, mode)?
+                }
+            }
+        }
+    };
+    Ok(GroupAnalysis { option, partitions })
+}
+
+/// The whole group as a single partition.
+fn whole_group_work(model: &LinearModel, layers: &[MergedLayer]) -> PartitionWork {
+    let mut flops: Vec<(EffClass, u64)> = Vec::new();
+    for layer in layers {
+        for (class, f) in flops_by_class(model, layer) {
+            merge_flops(&mut flops, class, f);
+        }
+    }
+    PartitionWork {
+        flops,
+        weight_bytes: layers.iter().map(|l| l.weight_bytes).sum(),
+        input_bytes: layers[0].in_bytes(),
+        output_bytes: layers[layers.len() - 1].out_bytes(),
+    }
+}
+
+fn merge_flops(acc: &mut Vec<(EffClass, u64)>, class: EffClass, f: u64) {
+    if f == 0 {
+        return;
+    }
+    match acc.iter_mut().find(|(c, _)| *c == class) {
+        Some((_, total)) => *total += f,
+        None => acc.push((class, f)),
+    }
+}
+
+/// Spatial split: walk output ranges backward through the group's receptive
+/// fields, accumulating per-layer fractional FLOPs (halo redundancy falls
+/// out naturally) and the input slice each partition needs.
+fn spatial_partition_work(
+    model: &LinearModel,
+    layers: &[MergedLayer],
+    dim: PartDim,
+    parts: usize,
+) -> Result<Vec<PartitionWork>> {
+    let dim_idx = match dim {
+        PartDim::Height => 1,
+        PartDim::Width => 2,
+        PartDim::Channel => unreachable!("channel handled separately"),
+    };
+    let last = &layers[layers.len() - 1];
+    let out_extent = last.out_shape.dims()[dim_idx];
+    let group_weights: u64 = layers.iter().map(|l| l.weight_bytes).sum();
+    let per_layer_flops: Vec<Vec<(EffClass, u64)>> =
+        layers.iter().map(|l| flops_by_class(model, l)).collect();
+
+    let mut out = Vec::with_capacity(parts);
+    for range in balanced_ranges(out_extent, parts) {
+        let out_len = range.len();
+        let mut flops: Vec<(EffClass, u64)> = Vec::new();
+        // Current range, in the *output* coordinates of the layer being
+        // visited (walking backward).
+        let mut cur = range.clone();
+        for (li, layer) in layers.iter().enumerate().rev() {
+            let extent = layer.out_shape.dims()[dim_idx];
+            let frac = cur.len() as f64 / extent as f64;
+            for &(class, f) in &per_layer_flops[li] {
+                merge_flops(&mut flops, class, (f as f64 * frac).round() as u64);
+            }
+            let rf = layer
+                .class
+                .receptive_field()
+                .ok_or_else(|| CoreError::InvalidArgument("non-spatial layer in spatial group".into()))?;
+            let in_extent = layer.in_shape.dims()[dim_idx];
+            let (in_range, _, _) = rf.input_rows(cur.clone(), in_extent);
+            cur = in_range;
+        }
+        // `cur` is now the required slice of the group input.
+        let in_shape = layers[0].in_shape.dims();
+        let other_in: usize = in_shape
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != dim_idx)
+            .map(|(_, &d)| d)
+            .product();
+        let out_shape = last.out_shape.dims();
+        let other_out: usize = out_shape
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != dim_idx)
+            .map(|(_, &d)| d)
+            .product();
+        out.push(PartitionWork {
+            flops,
+            // Spatial partitions replicate the full group weights.
+            weight_bytes: group_weights,
+            input_bytes: 4 * (cur.len() * other_in) as u64,
+            output_bytes: 4 * (out_len * other_out) as u64,
+        });
+    }
+    Ok(out)
+}
+
+/// Channel split: the head's weights are divided across partitions (or, for
+/// all-local groups, the input channels are sliced); downstream layers scale
+/// proportionally.
+fn channel_partition_work(
+    model: &LinearModel,
+    layers: &[MergedLayer],
+    parts: usize,
+    mode: ChannelMode,
+) -> Result<Vec<PartitionWork>> {
+    let last = &layers[layers.len() - 1];
+    let out_extent = last.out_shape.dims()[0];
+    let in_bytes_full = layers[0].in_bytes();
+    let out_bytes_full = last.out_bytes();
+    let per_layer_flops: Vec<Vec<(EffClass, u64)>> =
+        layers.iter().map(|l| flops_by_class(model, l)).collect();
+
+    let mut out = Vec::with_capacity(parts);
+    for range in balanced_ranges(out_extent, parts) {
+        let frac = range.len() as f64 / out_extent as f64;
+        let mut flops: Vec<(EffClass, u64)> = Vec::new();
+        let mut weight_bytes = 0u64;
+        for (li, layer) in layers.iter().enumerate() {
+            for &(class, f) in &per_layer_flops[li] {
+                merge_flops(&mut flops, class, (f as f64 * frac).round() as u64);
+            }
+            weight_bytes += (layer.weight_bytes as f64 * frac).round() as u64;
+        }
+        let input_bytes = match mode {
+            // Weight-split heads consume the entire input (Fig 2b).
+            ChannelMode::SplitHead => in_bytes_full,
+            ChannelMode::AllLocal => (in_bytes_full as f64 * frac).round() as u64,
+        };
+        out.push(PartitionWork {
+            flops,
+            weight_bytes,
+            input_bytes,
+            output_bytes: (out_bytes_full as f64 * frac).round() as u64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillis_model::zoo;
+
+    #[test]
+    fn balanced_ranges_cover_exactly() {
+        for (total, parts) in [(10usize, 3usize), (16, 4), (7, 7), (5, 2), (100, 16)] {
+            let ranges = balanced_ranges(total, parts);
+            assert_eq!(ranges.len(), parts);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges[parts - 1].end, total);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "unbalanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn vgg_first_conv_group_options() {
+        let vgg = zoo::vgg11();
+        let degrees = [2, 4, 8, 16];
+        // First merged layer: conv1 (+relu) — spatial + channel splittable.
+        let opts = group_options(&vgg, 0, 1, &degrees);
+        assert!(opts.contains(&PartitionOption::Single));
+        assert!(opts.contains(&PartitionOption::Split {
+            dim: PartDim::Height,
+            parts: 16
+        }));
+        assert!(opts.contains(&PartitionOption::Split {
+            dim: PartDim::Channel,
+            parts: 4
+        }));
+    }
+
+    #[test]
+    fn dense_barrier_blocks_grouping() {
+        let vgg = zoo::vgg11();
+        let n = vgg.layers().len();
+        // A group spanning the last spatial layer and the first dense layer
+        // cannot be *split* (Fig 6's L3) — it may only run whole.
+        let opts = group_options(&vgg, n - 4, n - 2, &[2, 4]);
+        assert_eq!(opts, vec![PartitionOption::Single], "got {opts:?}");
+        // The dense layer alone supports Single and Channel.
+        let opts = group_options(&vgg, n - 3, n - 2, &[2, 4]);
+        assert!(opts.contains(&PartitionOption::Single));
+        assert!(opts.contains(&PartitionOption::Split {
+            dim: PartDim::Channel,
+            parts: 4
+        }));
+    }
+
+    #[test]
+    fn recurrent_layers_admit_only_single() {
+        let rnn = zoo::rnn(4);
+        let opts = group_options(&rnn, 0, 2, &[2, 4, 8]);
+        assert_eq!(opts, vec![PartitionOption::Single]);
+    }
+
+    #[test]
+    fn spatial_split_adds_halo_redundancy() {
+        // Two *stacked* 3x3 convolutions (VGG-16 conv1+conv2): the second
+        // conv's halo forces partitions to recompute rows of the first.
+        let vgg = zoo::vgg16();
+        let single = analyze_group(&vgg, 0, 2, PartitionOption::Single).unwrap();
+        let split = analyze_group(
+            &vgg,
+            0,
+            2,
+            PartitionOption::Split {
+                dim: PartDim::Height,
+                parts: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(split.partitions.len(), 4);
+        // Redundant halo work makes the split total exceed the single total.
+        assert!(split.total_flops() > single.total_flops());
+        // ...but not by much for a 2-layer group.
+        assert!((split.total_flops() as f64) < single.total_flops() as f64 * 1.1);
+        // Every partition replicates the full group weights.
+        for p in &split.partitions {
+            assert_eq!(p.weight_bytes, single.partitions[0].weight_bytes);
+        }
+        // Interior partitions ship more input (halos) than out_len/total of
+        // the input.
+        let total_in: u64 = split.partitions.iter().map(|p| p.input_bytes).sum();
+        assert!(total_in > single.partitions[0].input_bytes);
+    }
+
+    #[test]
+    fn channel_split_divides_weights_not_input() {
+        let vgg = zoo::vgg11();
+        let single = analyze_group(&vgg, 0, 1, PartitionOption::Single).unwrap();
+        let split = analyze_group(
+            &vgg,
+            0,
+            1,
+            PartitionOption::Split {
+                dim: PartDim::Channel,
+                parts: 4,
+            },
+        )
+        .unwrap();
+        let w_total: u64 = split.partitions.iter().map(|p| p.weight_bytes).sum();
+        let w_single = single.partitions[0].weight_bytes;
+        assert!((w_total as i64 - w_single as i64).unsigned_abs() <= 8);
+        for p in &split.partitions {
+            // Full input to each worker.
+            assert_eq!(p.input_bytes, single.partitions[0].input_bytes);
+            assert!(p.weight_bytes < w_single);
+        }
+        // No redundant compute for channel splits.
+        let f_split = split.total_flops();
+        let f_single = single.total_flops();
+        assert!((f_split as f64 - f_single as f64).abs() / (f_single as f64) < 0.01);
+    }
+
+    #[test]
+    fn dense_channel_split_shares_output_units() {
+        let vgg = zoo::vgg11();
+        let n = vgg.layers().len();
+        let dense_idx = n - 3; // fc6
+        let split = analyze_group(
+            &vgg,
+            dense_idx,
+            dense_idx + 1,
+            PartitionOption::Split {
+                dim: PartDim::Channel,
+                parts: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(split.partitions.len(), 8);
+        let single = analyze_group(&vgg, dense_idx, dense_idx + 1, PartitionOption::Single).unwrap();
+        // fc6 is 4096 units: each of 8 partitions holds 1/8 of ~411 MB.
+        let w = split.partitions[0].weight_bytes;
+        assert!((w as f64 - single.partitions[0].weight_bytes as f64 / 8.0).abs() < 1e5);
+    }
+
+    #[test]
+    fn residual_stage_group_is_spatial_only() {
+        let resnet = zoo::resnet34();
+        // Layers 2..5: residual blocks (merged). Multi-conv blocks are not
+        // channel-splittable.
+        let opts = group_options(&resnet, 2, 5, &[2, 4]);
+        assert!(opts.iter().all(|o| !matches!(
+            o,
+            PartitionOption::Split {
+                dim: PartDim::Channel,
+                ..
+            }
+        )));
+        assert!(opts.len() > 1, "expected spatial options, got {opts:?}");
+    }
+
+    #[test]
+    fn mobilenet_separable_chains_are_channel_partitionable() {
+        // [pointwise conv, depthwise conv] groups: the pointwise head splits
+        // its filter bank, the depthwise layer chains channel-locally — a
+        // channel-partitionable multi-layer group the paper's models lack.
+        let model = zoo::mobilenet();
+        let pw_idx = model
+            .layers()
+            .iter()
+            .position(|l| l.name.ends_with("_pw"))
+            .expect("pointwise layer");
+        // The next layer is the following block's depthwise conv.
+        assert!(model.layers()[pw_idx + 1].name.ends_with("_dw"));
+        let opts = group_options(&model, pw_idx, pw_idx + 2, &[2, 4]);
+        assert!(
+            opts.contains(&PartitionOption::Split {
+                dim: PartDim::Channel,
+                parts: 4
+            }),
+            "got {opts:?}"
+        );
+        // Channel split divides the weights of BOTH layers and ships the
+        // full group input to every worker.
+        let split = analyze_group(
+            &model,
+            pw_idx,
+            pw_idx + 2,
+            PartitionOption::Split {
+                dim: PartDim::Channel,
+                parts: 4,
+            },
+        )
+        .unwrap();
+        let single = analyze_group(&model, pw_idx, pw_idx + 2, PartitionOption::Single).unwrap();
+        let w_total: u64 = split.partitions.iter().map(|p| p.weight_bytes).sum();
+        assert!(w_total.abs_diff(single.partitions[0].weight_bytes) <= 8);
+        for p in &split.partitions {
+            assert_eq!(p.input_bytes, single.partitions[0].input_bytes);
+        }
+    }
+
+    #[test]
+    fn analyze_rejects_invalid_combinations() {
+        let rnn = zoo::rnn(2);
+        assert!(analyze_group(
+            &rnn,
+            0,
+            1,
+            PartitionOption::Split {
+                dim: PartDim::Height,
+                parts: 2
+            }
+        )
+        .is_err());
+        let vgg = zoo::vgg11();
+        assert!(analyze_group(&vgg, 0, 0, PartitionOption::Single).is_err());
+        assert!(analyze_group(
+            &vgg,
+            0,
+            1,
+            PartitionOption::Split {
+                dim: PartDim::Height,
+                parts: 1
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn option_display() {
+        assert_eq!(PartitionOption::Single.to_string(), "single");
+        assert_eq!(
+            PartitionOption::Split {
+                dim: PartDim::Height,
+                parts: 8
+            }
+            .to_string(),
+            "Hx8"
+        );
+        assert_eq!(
+            PartitionOption::Split {
+                dim: PartDim::Channel,
+                parts: 4
+            }
+            .to_string(),
+            "Cx4"
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Plan latency and cost prediction using the performance model.
+//!
+//! This is the evaluation function both partitioning algorithms optimize:
+//! the DP consults it inside Algorithm 1, and the RL agents receive its
+//! outputs as reward signals during simulated training episodes (§IV-C).
+
+use serde::{Deserialize, Serialize};
+
+use gillis_faas::billing::billed_ms;
+use gillis_model::LinearModel;
+use gillis_perf::PerfModel;
+
+use crate::partition::{GroupAnalysis, PartitionWork};
+use crate::plan::{ExecutionPlan, Placement};
+use crate::Result;
+
+/// Predicted timing of one group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupPrediction {
+    /// Master → workers dispatch time (0 for master-only groups).
+    pub fork_ms: f64,
+    /// Parallel compute phase: max over partitions.
+    pub compute_ms: f64,
+    /// Workers → master collection time.
+    pub join_ms: f64,
+    /// Per-worker function durations (for billing).
+    pub worker_ms: Vec<f64>,
+}
+
+impl GroupPrediction {
+    /// End-to-end group latency.
+    pub fn latency_ms(&self) -> f64 {
+        self.fork_ms + self.compute_ms + self.join_ms
+    }
+}
+
+/// Predicted timing and cost of a whole plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanPrediction {
+    /// Per-group predictions, in execution order.
+    pub groups: Vec<GroupPrediction>,
+    /// End-to-end inference latency (also the master's duration).
+    pub latency_ms: f64,
+    /// Billed duration across master + workers at the platform granularity —
+    /// the paper's cost metric (Eq. 2).
+    pub billed_ms: u64,
+    /// Dollar cost at the platform's GB-second price (all functions billed
+    /// at the instance size).
+    pub usd: f64,
+}
+
+/// Predicts compute time of one partition: the sum of per-class regression
+/// predictions.
+pub fn partition_compute_ms(perf: &PerfModel, work: &PartitionWork) -> f64 {
+    work.flops
+        .iter()
+        .map(|&(class, flops)| perf.predict_compute_ms(flops, class))
+        .sum()
+}
+
+/// Predicts one group's timing given its analysis and placement.
+pub fn predict_group(
+    perf: &PerfModel,
+    analysis: &GroupAnalysis,
+    placement: Placement,
+) -> GroupPrediction {
+    let parts = &analysis.partitions;
+    match placement {
+        Placement::Master => GroupPrediction {
+            fork_ms: 0.0,
+            compute_ms: partition_compute_ms(perf, &parts[0]),
+            join_ms: 0.0,
+            worker_ms: Vec::new(),
+        },
+        Placement::Workers | Placement::MasterAndWorkers => {
+            let worker_parts: &[PartitionWork] = if placement == Placement::Workers {
+                parts
+            } else {
+                &parts[1..]
+            };
+            let master_compute = if placement == Placement::MasterAndWorkers {
+                partition_compute_ms(perf, &parts[0])
+            } else {
+                0.0
+            };
+            if worker_parts.is_empty() {
+                // Degenerate: "MasterAndWorkers" of a single partition.
+                return GroupPrediction {
+                    fork_ms: 0.0,
+                    compute_ms: master_compute,
+                    join_ms: 0.0,
+                    worker_ms: Vec::new(),
+                };
+            }
+            let in_sizes: Vec<u64> = worker_parts.iter().map(|p| p.input_bytes).collect();
+            let out_sizes: Vec<u64> = worker_parts.iter().map(|p| p.output_bytes).collect();
+            let fork_ms = perf.comm.group_transfer_parts_ms(&in_sizes);
+            let join_ms = perf.comm.group_transfer_parts_ms(&out_sizes);
+            let worker_compute: Vec<f64> = worker_parts
+                .iter()
+                .map(|p| partition_compute_ms(perf, p))
+                .collect();
+            let compute_ms = worker_compute
+                .iter()
+                .copied()
+                .fold(master_compute, f64::max);
+            // A worker is billed from payload receipt to response emission.
+            let worker_ms = worker_parts
+                .iter()
+                .zip(worker_compute.iter())
+                .map(|(p, &c)| {
+                    c + perf.comm.per_byte_ms() * (p.input_bytes + p.output_bytes) as f64
+                })
+                .collect();
+            GroupPrediction {
+                fork_ms,
+                compute_ms,
+                join_ms,
+                worker_ms,
+            }
+        }
+    }
+}
+
+/// Predicts the latency and cost of a full plan (paper §IV-A's end-to-end
+/// prediction, evaluated for accuracy in Fig 15 bottom).
+///
+/// # Errors
+///
+/// Propagates group-analysis failures for invalid plans.
+pub fn predict_plan(
+    model: &LinearModel,
+    plan: &ExecutionPlan,
+    perf: &PerfModel,
+) -> Result<PlanPrediction> {
+    let analyses = plan.analyses(model)?;
+    let mut groups = Vec::with_capacity(analyses.len());
+    let mut latency = 0.0;
+    for (g, a) in plan.groups().iter().zip(analyses.iter()) {
+        let gp = predict_group(perf, a, g.placement);
+        latency += gp.latency_ms();
+        groups.push(gp);
+    }
+    let d = perf.platform.billing_granularity_ms;
+    let gb = perf.platform.instance_memory_bytes as f64 / 1e9;
+    let mut billed = billed_ms(latency, d);
+    let mut usd = billed as f64 / 1000.0 * gb * perf.platform.price_per_gb_s
+        + perf.platform.price_per_invocation;
+    for gp in &groups {
+        for &w in &gp.worker_ms {
+            let b = billed_ms(w, d);
+            billed += b;
+            usd += b as f64 / 1000.0 * gb * perf.platform.price_per_gb_s
+                + perf.platform.price_per_invocation;
+        }
+    }
+    Ok(PlanPrediction {
+        groups,
+        latency_ms: latency,
+        billed_ms: billed,
+        usd,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{PartDim, PartitionOption};
+    use crate::plan::PlannedGroup;
+    use gillis_faas::PlatformProfile;
+    use gillis_model::zoo;
+    use gillis_perf::PerfModel;
+
+    fn perf() -> PerfModel {
+        PerfModel::analytic(&PlatformProfile::aws_lambda())
+    }
+
+    #[test]
+    fn single_function_prediction_equals_model_runtime() {
+        let vgg = zoo::vgg11();
+        let perf = perf();
+        let plan = ExecutionPlan::single_function(&vgg);
+        let pred = predict_plan(&vgg, &plan, &perf).unwrap();
+        let runtime = perf.layer.predict_model_ms(&vgg);
+        assert!(
+            (pred.latency_ms - runtime).abs() / runtime < 0.01,
+            "{} vs {}",
+            pred.latency_ms,
+            runtime
+        );
+        // One master invocation, no workers.
+        assert!(pred.groups.iter().all(|g| g.worker_ms.is_empty()));
+    }
+
+    #[test]
+    fn naive_per_layer_parallelization_is_communication_bound() {
+        // Layer-wise parallelization ships every intermediate activation
+        // through the master — the overhead the paper's coarse-grained
+        // grouping exists to avoid (§III-C, Fig 7). At 224x224 activations
+        // this is strictly worse than serving in one function.
+        let vgg = zoo::vgg16();
+        let perf = perf();
+        let n = vgg.layers().len();
+        let single = predict_plan(&vgg, &ExecutionPlan::single_function(&vgg), &perf).unwrap();
+
+        let mut groups = Vec::new();
+        for (i, layer) in vgg.layers().iter().enumerate() {
+            let spatial = layer.class.supports_spatial();
+            groups.push(PlannedGroup {
+                start: i,
+                end: i + 1,
+                option: if spatial {
+                    PartitionOption::Split {
+                        dim: PartDim::Height,
+                        parts: 4,
+                    }
+                } else {
+                    PartitionOption::Single
+                },
+                placement: if spatial {
+                    Placement::MasterAndWorkers
+                } else {
+                    Placement::Master
+                },
+            });
+        }
+        assert_eq!(groups.len(), n);
+        let plan = ExecutionPlan::new(groups);
+        plan.validate(&vgg, 1_400_000_000).unwrap();
+        let par = predict_plan(&vgg, &plan, &perf).unwrap();
+        // Communication dominates the parallel plan...
+        let comm: f64 = par.groups.iter().map(|g| g.fork_ms + g.join_ms).sum();
+        let compute: f64 = par.groups.iter().map(|g| g.compute_ms).sum();
+        assert!(comm > compute, "comm {comm:.0} vs compute {compute:.0}");
+        // ...and the billed cost exceeds single-function serving.
+        assert!(par.billed_ms > single.billed_ms);
+        assert!(par.usd > single.usd);
+    }
+
+    #[test]
+    fn worker_only_pays_an_extra_round_trip() {
+        let vgg = zoo::vgg11();
+        let perf = perf();
+        let a = crate::partition::analyze_group(
+            &vgg,
+            0,
+            1,
+            PartitionOption::Split {
+                dim: PartDim::Height,
+                parts: 4,
+            },
+        )
+        .unwrap();
+        let with_master = predict_group(&perf, &a, Placement::MasterAndWorkers);
+        let workers_only = predict_group(&perf, &a, Placement::Workers);
+        // Worker-only ships one more payload.
+        assert!(workers_only.fork_ms > with_master.fork_ms);
+        assert_eq!(with_master.worker_ms.len(), 3);
+        assert_eq!(workers_only.worker_ms.len(), 4);
+    }
+
+    #[test]
+    fn master_only_group_has_no_comm() {
+        let vgg = zoo::vgg11();
+        let perf = perf();
+        let a = crate::partition::analyze_group(&vgg, 0, 1, PartitionOption::Single).unwrap();
+        let g = predict_group(&perf, &a, Placement::Master);
+        assert_eq!(g.fork_ms, 0.0);
+        assert_eq!(g.join_ms, 0.0);
+        assert!(g.compute_ms > 0.0);
+    }
+
+    #[test]
+    fn gcf_billing_rounds_to_100ms() {
+        let vgg = zoo::vgg11();
+        let perf = PerfModel::analytic(&PlatformProfile::gcf());
+        let plan = ExecutionPlan::single_function(&vgg);
+        let pred = predict_plan(&vgg, &plan, &perf).unwrap();
+        assert_eq!(pred.billed_ms % 100, 0);
+        assert!(pred.billed_ms as f64 >= pred.latency_ms);
+    }
+}

@@ -1,0 +1,169 @@
+//! Tail-latency prediction — the paper's §VI extension.
+//!
+//! The paper notes that its RL optimization applies to tail-latency SLOs
+//! "as long as the tail latency can be accurately predicted". This module
+//! provides that predictor: a Monte-Carlo estimate of any latency quantile
+//! of a plan, drawing every random quantity from the *fitted* performance
+//! model (the profiled jitter distribution and the profiled compute-noise
+//! estimate) — never from the simulator's ground truth.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gillis_faas::stats::sample_standard_normal;
+use gillis_model::LinearModel;
+use gillis_perf::PerfModel;
+
+use crate::error::CoreError;
+use crate::partition::PartitionWork;
+use crate::plan::{ExecutionPlan, Placement};
+use crate::predict::partition_compute_ms;
+use crate::Result;
+
+/// Monte-Carlo prediction of the `quantile`-th latency percentile of a plan
+/// (e.g. `0.99` for p99), using `samples` draws from the performance model.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for a quantile outside `(0, 1)` or
+/// zero samples, and propagates plan-analysis failures.
+pub fn predict_latency_quantile(
+    model: &LinearModel,
+    plan: &ExecutionPlan,
+    perf: &PerfModel,
+    quantile: f64,
+    samples: usize,
+    seed: u64,
+) -> Result<f64> {
+    if !(quantile > 0.0 && quantile < 1.0) {
+        return Err(CoreError::InvalidArgument(format!(
+            "quantile must be in (0, 1), got {quantile}"
+        )));
+    }
+    if samples == 0 {
+        return Err(CoreError::InvalidArgument("zero samples".into()));
+    }
+    let analyses = plan.analyses(model)?;
+    // Precompute per-partition mean compute times once.
+    let mean_compute: Vec<Vec<f64>> = analyses
+        .iter()
+        .map(|a| {
+            a.partitions
+                .iter()
+                .map(|p| partition_compute_ms(perf, p))
+                .collect()
+        })
+        .collect();
+    let noise = perf.layer.noise_rel_std();
+    let jitter = perf.comm.jitter();
+    let per_byte = perf.comm.per_byte_ms();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut draws = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut latency = 0.0;
+        for ((g, a), means) in plan.groups().iter().zip(analyses.iter()).zip(mean_compute.iter()) {
+            let sample_compute = |mean: f64, rng: &mut StdRng| {
+                mean * (1.0 + noise * sample_standard_normal(rng)).max(0.1)
+            };
+            match g.placement {
+                Placement::Master => {
+                    latency += sample_compute(means[0], &mut rng);
+                }
+                Placement::Workers | Placement::MasterAndWorkers => {
+                    let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+                    let worker_parts: &[PartitionWork] = &a.partitions[offset..];
+                    let master = if offset == 1 {
+                        sample_compute(means[0], &mut rng)
+                    } else {
+                        0.0
+                    };
+                    if worker_parts.is_empty() {
+                        latency += master;
+                        continue;
+                    }
+                    let n = worker_parts.len();
+                    let fork_jitter = (0..n).map(|_| jitter.sample(&mut rng)).fold(0.0, f64::max);
+                    let join_jitter = (0..n).map(|_| jitter.sample(&mut rng)).fold(0.0, f64::max);
+                    let in_bytes: u64 = worker_parts.iter().map(|p| p.input_bytes).sum();
+                    let out_bytes: u64 = worker_parts.iter().map(|p| p.output_bytes).sum();
+                    let slowest = worker_parts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, _)| sample_compute(means[i + offset], &mut rng))
+                        .fold(master, f64::max);
+                    latency += fork_jitter
+                        + per_byte * in_bytes as f64
+                        + slowest
+                        + join_jitter
+                        + per_byte * out_bytes as f64;
+                }
+            }
+        }
+        draws.push(latency);
+    }
+    draws.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((quantile * samples as f64).ceil() as usize).clamp(1, samples);
+    Ok(draws[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DpPartitioner;
+    use crate::predict::predict_plan;
+    use gillis_faas::PlatformProfile;
+    use gillis_model::zoo;
+
+    fn setup() -> (LinearModel, ExecutionPlan, PerfModel, PlatformProfile) {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let model = zoo::vgg11();
+        let plan = DpPartitioner::default().partition(&model, &perf).unwrap();
+        (model, plan, perf, platform)
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_the_mean() {
+        let (model, plan, perf, _) = setup();
+        let mean = predict_plan(&model, &plan, &perf).unwrap().latency_ms;
+        let p50 = predict_latency_quantile(&model, &plan, &perf, 0.50, 2000, 1).unwrap();
+        let p90 = predict_latency_quantile(&model, &plan, &perf, 0.90, 2000, 1).unwrap();
+        let p99 = predict_latency_quantile(&model, &plan, &perf, 0.99, 2000, 1).unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p99 > mean, "p99 {p99} should exceed the mean {mean}");
+        // The median sits near the mean prediction for mildly-skewed sums.
+        assert!((p50 - mean).abs() / mean < 0.10, "p50 {p50} vs mean {mean}");
+    }
+
+    #[test]
+    fn predicted_tail_matches_simulated_tail() {
+        // The predictor (fitted quantities only) must track the simulator's
+        // ground-truth tail within a few percent.
+        let (model, plan, perf, platform) = setup();
+        let p99_pred = predict_latency_quantile(&model, &plan, &perf, 0.99, 4000, 2).unwrap();
+        let rt = crate::forkjoin::ForkJoinRuntime::new(&model, &plan, platform).unwrap();
+        let mut rng: StdRng = SeedableRng::seed_from_u64(3);
+        let mut sim: Vec<f64> = (0..4000).map(|_| rt.simulate_query(&mut rng).latency_ms).collect();
+        sim.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p99_sim = sim[(0.99 * 4000.0) as usize - 1];
+        let rel = (p99_pred - p99_sim).abs() / p99_sim;
+        assert!(rel < 0.05, "p99 predicted {p99_pred:.1} vs simulated {p99_sim:.1}");
+    }
+
+    #[test]
+    fn rejects_invalid_arguments() {
+        let (model, plan, perf, _) = setup();
+        assert!(predict_latency_quantile(&model, &plan, &perf, 0.0, 100, 1).is_err());
+        assert!(predict_latency_quantile(&model, &plan, &perf, 1.0, 100, 1).is_err());
+        assert!(predict_latency_quantile(&model, &plan, &perf, 0.5, 0, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (model, plan, perf, _) = setup();
+        let a = predict_latency_quantile(&model, &plan, &perf, 0.95, 500, 7).unwrap();
+        let b = predict_latency_quantile(&model, &plan, &perf, 0.95, 500, 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

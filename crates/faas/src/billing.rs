@@ -1,0 +1,133 @@
+//! Pay-per-use billing (paper §IV-C, Eq. 2).
+//!
+//! Platforms bill function duration rounded *up* to the billing granularity
+//! `D` (1 ms on Lambda, 100 ms on GCF), multiplied by the configured memory.
+//! The paper measures inference cost as total billed duration and notes that
+//! invocation charges are two orders of magnitude smaller.
+
+use serde::{Deserialize, Serialize};
+
+/// Rounds a duration up to the billing granularity (paper Eq. 2's `⌈T/D⌉·D`).
+///
+/// # Panics
+///
+/// Panics if `granularity_ms == 0`.
+pub fn billed_ms(duration_ms: f64, granularity_ms: u64) -> u64 {
+    assert!(granularity_ms > 0, "billing granularity must be positive");
+    if duration_ms <= 0.0 {
+        return 0;
+    }
+    let units = (duration_ms / granularity_ms as f64).ceil() as u64;
+    units.max(1) * granularity_ms
+}
+
+/// Accumulates the billed duration and dollar cost of a serving experiment.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BillingMeter {
+    granularity_ms: u64,
+    price_per_gb_s: f64,
+    price_per_invocation: f64,
+    billed_ms_total: u64,
+    usd_total: f64,
+    invocations: u64,
+}
+
+impl BillingMeter {
+    /// Creates a meter with the platform's billing constants.
+    pub fn new(granularity_ms: u64, price_per_gb_s: f64, price_per_invocation: f64) -> Self {
+        BillingMeter {
+            granularity_ms,
+            price_per_gb_s,
+            price_per_invocation,
+            ..BillingMeter::default()
+        }
+    }
+
+    /// Records one function execution and returns its billed milliseconds.
+    pub fn record(&mut self, duration_ms: f64, memory_bytes: u64) -> u64 {
+        let billed = billed_ms(duration_ms, self.granularity_ms);
+        self.billed_ms_total += billed;
+        let gb = memory_bytes as f64 / 1e9;
+        self.usd_total +=
+            billed as f64 / 1000.0 * gb * self.price_per_gb_s + self.price_per_invocation;
+        self.invocations += 1;
+        billed
+    }
+
+    /// Total billed duration in milliseconds — the paper's cost metric.
+    pub fn billed_ms_total(&self) -> u64 {
+        self.billed_ms_total
+    }
+
+    /// Total dollar cost including invocation charges.
+    pub fn usd_total(&self) -> f64 {
+        self.usd_total
+    }
+
+    /// Number of recorded executions.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Merges another meter's records into this one.
+    pub fn merge(&mut self, other: &BillingMeter) {
+        self.billed_ms_total += other.billed_ms_total;
+        self.usd_total += other.usd_total;
+        self.invocations += other.invocations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_up_to_granularity() {
+        assert_eq!(billed_ms(0.1, 1), 1);
+        assert_eq!(billed_ms(1.0, 1), 1);
+        assert_eq!(billed_ms(1.01, 1), 2);
+        assert_eq!(billed_ms(250.0, 100), 300);
+        assert_eq!(billed_ms(300.0, 100), 300);
+        assert_eq!(billed_ms(301.0, 100), 400);
+        assert_eq!(billed_ms(0.0, 100), 0);
+        assert_eq!(billed_ms(-3.0, 100), 0);
+    }
+
+    #[test]
+    fn coarse_granularity_never_cheaper() {
+        for d in [0.5, 7.0, 99.9, 100.0, 101.0, 1234.5] {
+            assert!(billed_ms(d, 100) >= billed_ms(d, 1), "duration {d}");
+        }
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let mut m = BillingMeter::new(100, 0.0000025, 0.0000004);
+        assert_eq!(m.record(250.0, 4_000_000_000), 300);
+        assert_eq!(m.record(90.0, 4_000_000_000), 100);
+        assert_eq!(m.billed_ms_total(), 400);
+        assert_eq!(m.invocations(), 2);
+        // 0.4 s * 4 GB * price + 2 invocations.
+        let expected = 0.4 * 4.0 * 0.0000025 + 2.0 * 0.0000004;
+        assert!((m.usd_total() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_meters() {
+        let mut a = BillingMeter::new(1, 0.0000166667, 0.0);
+        a.record(10.0, 3_000_000_000);
+        let mut b = BillingMeter::new(1, 0.0000166667, 0.0);
+        b.record(20.0, 3_000_000_000);
+        let usd_b = b.usd_total();
+        a.merge(&b);
+        assert_eq!(a.billed_ms_total(), 30);
+        assert_eq!(a.invocations(), 2);
+        assert!(a.usd_total() > usd_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn zero_granularity_panics() {
+        let _ = billed_ms(5.0, 0);
+    }
+}

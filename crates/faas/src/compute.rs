@@ -1,0 +1,110 @@
+//! Simulated compute ground truth.
+//!
+//! A real deployment measures layer execution on actual vCPUs; here the
+//! platform defines a ground-truth cost surface (peak GFLOP/s × per-class
+//! efficiency + fixed per-layer overhead, with small multiplicative noise).
+//! The performance model in `gillis-perf` never reads these constants — it
+//! *profiles* layer executions and fits a regression, exactly like the paper
+//! does against MXNet on Lambda (§IV-A).
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::platform::PlatformProfile;
+use crate::stats::sample_standard_normal;
+
+/// Layer-class tag used to select an efficiency factor. This is the only
+/// model-level information the simulator needs about a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EffClass {
+    /// Convolution kernels.
+    Conv,
+    /// Dense (fully connected) kernels.
+    Dense,
+    /// Recurrent (LSTM) kernels.
+    Recurrent,
+    /// Pooling sweeps.
+    Pool,
+    /// Element-wise kernels.
+    ElementWise,
+}
+
+impl PlatformProfile {
+    fn efficiency_of(&self, class: EffClass) -> f64 {
+        match class {
+            EffClass::Conv => self.efficiency.conv,
+            EffClass::Dense => self.efficiency.dense,
+            EffClass::Recurrent => self.efficiency.recurrent,
+            EffClass::Pool => self.efficiency.pool,
+            EffClass::ElementWise => self.efficiency.element_wise,
+        }
+    }
+
+    /// Ground-truth mean execution time of `flops` floating-point operations
+    /// of the given class on one instance, in milliseconds.
+    pub fn compute_ms(&self, flops: u64, class: EffClass) -> f64 {
+        let eff = self.efficiency_of(class);
+        self.per_layer_overhead_ms + flops as f64 / (self.cpu_gflops * 1e6 * eff)
+    }
+
+    /// One noisy observation of [`PlatformProfile::compute_ms`] — what a
+    /// profiling run actually measures.
+    pub fn compute_ms_noisy<R: RngExt + ?Sized>(
+        &self,
+        flops: u64,
+        class: EffClass,
+        rng: &mut R,
+    ) -> f64 {
+        let noise = 1.0 + self.compute_noise_rel_std * sample_standard_normal(rng);
+        self.compute_ms(flops, class) * noise.max(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn compute_time_is_linear_in_flops() {
+        let p = PlatformProfile::aws_lambda();
+        let t1 = p.compute_ms(1_000_000_000, EffClass::Conv);
+        let t2 = p.compute_ms(2_000_000_000, EffClass::Conv);
+        let overhead = p.per_layer_overhead_ms;
+        assert!(((t2 - overhead) - 2.0 * (t1 - overhead)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_is_slower_per_flop_than_conv() {
+        let p = PlatformProfile::aws_lambda();
+        assert!(
+            p.compute_ms(1_000_000_000, EffClass::Dense)
+                > p.compute_ms(1_000_000_000, EffClass::Conv)
+        );
+    }
+
+    #[test]
+    fn lambda_serves_wrn50_3_in_over_two_seconds() {
+        // Fig 1 anchor: WRN-50-3 takes > 2000 ms on a Lambda function.
+        // WRN-50-3 forward ≈ 74 GFLOPs of conv work (ResNet-50 ≈ 8.2 GFLOPs,
+        // widened 3x ≈ 9x the conv work).
+        let p = PlatformProfile::aws_lambda();
+        let t = p.compute_ms(74_000_000_000, EffClass::Conv);
+        assert!(t > 2000.0 && t < 3500.0, "t = {t}");
+    }
+
+    #[test]
+    fn noise_is_small_and_unbiased() {
+        let p = PlatformProfile::aws_lambda();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean_true = p.compute_ms(5_000_000_000, EffClass::Conv);
+        let xs: Vec<f64> = (0..2000)
+            .map(|_| p.compute_ms_noisy(5_000_000_000, EffClass::Conv, &mut rng))
+            .collect();
+        let m = crate::stats::mean(&xs);
+        assert!((m - mean_true).abs() / mean_true < 0.01);
+        let sd = crate::stats::variance(&xs).sqrt();
+        assert!(sd / mean_true < 0.04);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the platform simulator.
+
+use std::fmt;
+
+/// Error returned by simulator operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaasError {
+    /// A function was deployed or invoked with a memory requirement above
+    /// the platform's instance size — the out-of-memory condition that
+    /// motivates the whole paper.
+    OutOfMemory {
+        /// Requested bytes.
+        requested: u64,
+        /// Instance limit in bytes.
+        limit: u64,
+    },
+    /// An object key was not found in the store.
+    NoSuchObject(String),
+    /// A function name was not found in the fleet registry.
+    NoSuchFunction(String),
+    /// An argument was structurally invalid (e.g. a non-positive rate).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FaasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaasError::OutOfMemory { requested, limit } => write!(
+                f,
+                "out of memory: requested {requested} bytes exceeds instance limit {limit}"
+            ),
+            FaasError::NoSuchObject(key) => write!(f, "no such object: {key}"),
+            FaasError::NoSuchFunction(name) => write!(f, "no such function: {name}"),
+            FaasError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FaasError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FaasError::OutOfMemory {
+            requested: 2_000_000_000,
+            limit: 1_400_000_000,
+        };
+        assert!(e.to_string().contains("out of memory"));
+        assert!(FaasError::NoSuchObject("k".into()).to_string().contains('k'));
+        assert!(FaasError::NoSuchFunction("f".into()).to_string().contains('f'));
+        assert!(FaasError::InvalidArgument("x".into()).to_string().contains('x'));
+    }
+}

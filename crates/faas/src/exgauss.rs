@@ -1,0 +1,205 @@
+//! The exponentially-modified Gaussian (exGaussian) distribution.
+//!
+//! The paper's measurements show function communication delays in AWS Lambda
+//! follow an exGaussian (§IV-A); the performance model predicts the maximum
+//! delay of `n` concurrent invocations with the `n`-th order statistic of the
+//! fitted distribution. This module provides sampling, density/CDF, moments,
+//! and a numerical expected-maximum.
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FaasError;
+use crate::stats::{normal_cdf, sample_exponential, sample_standard_normal};
+use crate::Result;
+
+/// ExGaussian distribution: `Normal(mu, sigma) + Exp(rate)`, all in the same
+/// unit (the simulator uses milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExGaussian {
+    /// Gaussian mean.
+    pub mu: f64,
+    /// Gaussian standard deviation.
+    pub sigma: f64,
+    /// Exponential rate (inverse of the exponential tail's mean).
+    pub rate: f64,
+}
+
+impl ExGaussian {
+    /// Creates an exGaussian, validating its parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::InvalidArgument`] unless `sigma > 0` and
+    /// `rate > 0`.
+    pub fn new(mu: f64, sigma: f64, rate: f64) -> Result<Self> {
+        if !(sigma > 0.0) || !(rate > 0.0) || !mu.is_finite() {
+            return Err(FaasError::InvalidArgument(format!(
+                "exgaussian needs sigma > 0 and rate > 0, got mu={mu}, sigma={sigma}, rate={rate}"
+            )));
+        }
+        Ok(ExGaussian { mu, sigma, rate })
+    }
+
+    /// Distribution mean: `mu + 1/rate`.
+    pub fn mean(&self) -> f64 {
+        self.mu + 1.0 / self.rate
+    }
+
+    /// Distribution variance: `sigma^2 + 1/rate^2`.
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma + 1.0 / (self.rate * self.rate)
+    }
+
+    /// Distribution skewness.
+    pub fn skewness(&self) -> f64 {
+        let tau = 1.0 / self.rate;
+        2.0 * tau.powi(3) / self.variance().powf(1.5)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * sample_standard_normal(rng) + sample_exponential(rng, self.rate)
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let u = (x - self.mu) / self.sigma;
+        let ls = self.rate * self.sigma;
+        // F(x) = Phi(u) - exp(-rate (x - mu) + (rate sigma)^2 / 2) Phi(u - ls)
+        let v = u - ls;
+        let exponent = -self.rate * (x - self.mu) + 0.5 * ls * ls;
+        let correction = if v < -6.0 {
+            // The exponential amplifies Phi(v)'s absolute error
+            // catastrophically when ls is large. In log space with the
+            // Mills-ratio asymptotic Phi(v) ~ phi(v)/(-v), the product
+            // collapses algebraically: exp(exponent) * phi(v) = phi(u), so
+            // exp(exponent) * Phi(v) ~ phi(u)/(-v) — stable and monotone.
+            crate::stats::normal_pdf(u) / (-v)
+        } else if exponent > 700.0 {
+            // Far left tail with moderate v: the CDF is 0 to double
+            // precision.
+            return 0.0;
+        } else {
+            exponent.exp() * normal_cdf(v)
+        };
+        (normal_cdf(u) - correction).clamp(0.0, 1.0)
+    }
+
+    /// Expected maximum of `n` i.i.d. draws (the `n`-th order statistic's
+    /// mean), computed by numerically integrating `E[max] = ub - ∫ F(x)^n dx`
+    /// over a generous support.
+    ///
+    /// This is the quantity the paper's performance model uses to predict the
+    /// fork latency of `n` concurrent worker invocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn expected_max(&self, n: usize) -> f64 {
+        assert!(n > 0, "expected_max of zero samples");
+        let sd = self.variance().sqrt();
+        // Support comfortably covering the max of n draws.
+        let lo = self.mu - 8.0 * self.sigma;
+        let hi = self.mean() + sd * (10.0 + 3.0 * (n as f64).ln());
+        let steps = 4000;
+        let dx = (hi - lo) / steps as f64;
+        // E[max] = lo + ∫_lo^hi (1 - F(x)^n) dx for max >= lo a.s. (approx).
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let x = lo + (i as f64 + 0.5) * dx;
+            acc += (1.0 - self.cdf(x).powi(n as i32)) * dx;
+        }
+        lo + acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean as smean, skewness as sskew, variance as svar};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dist() -> ExGaussian {
+        ExGaussian::new(5.0, 1.5, 1.0 / 7.0).unwrap()
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(ExGaussian::new(1.0, 0.0, 1.0).is_err());
+        assert!(ExGaussian::new(1.0, 1.0, 0.0).is_err());
+        assert!(ExGaussian::new(f64::NAN, 1.0, 1.0).is_err());
+        assert!(ExGaussian::new(0.0, 0.1, 10.0).is_ok());
+    }
+
+    #[test]
+    fn analytic_moments() {
+        let d = dist();
+        assert!((d.mean() - 12.0).abs() < 1e-9);
+        assert!((d.variance() - (2.25 + 49.0)).abs() < 1e-9);
+        assert!(d.skewness() > 0.0);
+    }
+
+    #[test]
+    fn sample_moments_match_analytic() {
+        let d = dist();
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..30_000).map(|_| d.sample(&mut rng)).collect();
+        assert!((smean(&xs) - d.mean()).abs() / d.mean() < 0.02);
+        assert!((svar(&xs) - d.variance()).abs() / d.variance() < 0.06);
+        assert!((sskew(&xs) - d.skewness()).abs() < 0.15);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let d = dist();
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let x = -20.0 + i as f64 * 0.5;
+            let f = d.cdf(x);
+            assert!(f >= prev - 1e-12, "cdf not monotone at {x}");
+            assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        assert!(d.cdf(-100.0) < 1e-9);
+        assert!(d.cdf(500.0) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn cdf_median_brackets_mean_for_skewed_dist() {
+        let d = dist();
+        // Positively skewed: median < mean.
+        assert!(d.cdf(d.mean()) > 0.5);
+    }
+
+    #[test]
+    fn expected_max_is_monotone_in_n() {
+        let d = dist();
+        let m1 = d.expected_max(1);
+        let m2 = d.expected_max(2);
+        let m8 = d.expected_max(8);
+        let m16 = d.expected_max(16);
+        assert!((m1 - d.mean()).abs() / d.mean() < 0.02, "E[max_1] = {m1}");
+        assert!(m1 < m2 && m2 < m8 && m8 < m16);
+    }
+
+    #[test]
+    fn expected_max_matches_monte_carlo() {
+        let d = dist();
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [2usize, 4, 8, 16] {
+            let mc: f64 = (0..4000)
+                .map(|_| {
+                    (0..n)
+                        .map(|_| d.sample(&mut rng))
+                        .fold(f64::NEG_INFINITY, f64::max)
+                })
+                .sum::<f64>()
+                / 4000.0;
+            let analytic = d.expected_max(n);
+            let rel = (analytic - mc).abs() / mc;
+            assert!(rel < 0.05, "n={n}: analytic {analytic:.2} vs mc {mc:.2}");
+        }
+    }
+}

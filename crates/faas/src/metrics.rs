@@ -1,0 +1,119 @@
+//! Latency recorders for serving experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates latency samples (milliseconds) and reports summary statistics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples_ms: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one latency sample in milliseconds.
+    pub fn record(&mut self, ms: f64) {
+        self.samples_ms.push(ms);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// Mean latency — the paper's SLO metric (§IV-C).
+    pub fn mean(&self) -> f64 {
+        crate::stats::mean(&self.samples_ms)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        crate::stats::variance(&self.samples_ms).sqrt()
+    }
+
+    /// The `p`-th percentile (0 < p <= 100), by nearest-rank on the sorted
+    /// samples. Returns 0 for an empty recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+
+    /// Minimum sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.samples_ms.iter().copied().fold(f64::INFINITY, f64::min).min(f64::MAX)
+            .clamp(0.0, f64::MAX)
+            * if self.samples_ms.is_empty() { 0.0 } else { 1.0 }
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples_ms.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Immutable view of the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = LatencyStats::new();
+        for v in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 30.0).abs() < 1e-9);
+        assert_eq!(s.percentile(50.0), 30.0);
+        assert_eq!(s.percentile(100.0), 50.0);
+        assert_eq!(s.percentile(20.0), 10.0);
+        assert_eq!(s.min(), 10.0);
+        assert_eq!(s.max(), 50.0);
+        assert!(s.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn empty_recorder_is_safe() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.min(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn out_of_range_percentile_panics() {
+        let s = LatencyStats::new();
+        let _ = s.percentile(0.0);
+    }
+
+    #[test]
+    fn p99_catches_tail() {
+        let mut s = LatencyStats::new();
+        for _ in 0..99 {
+            s.record(10.0);
+        }
+        s.record(1000.0);
+        assert_eq!(s.percentile(99.0), 10.0);
+        assert_eq!(s.percentile(99.5), 1000.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! An S3-like object store.
+//!
+//! The Pipeline baseline (§V-B) stages model partitions in external storage
+//! and streams them into a single function at query time; its latency is
+//! dominated by these reads (paper Fig 11). The store tracks object sizes
+//! and charges the platform's storage latency + streaming time per GET.
+
+use std::collections::HashMap;
+
+use crate::error::FaasError;
+use crate::platform::PlatformProfile;
+use crate::Result;
+
+/// A simulated object store holding named blobs (sizes only — the simulator
+/// never materializes weight bytes).
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    objects: HashMap<String, u64>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Uploads (or replaces) an object of `bytes` size.
+    pub fn put(&mut self, key: impl Into<String>, bytes: u64) {
+        self.objects.insert(key.into(), bytes);
+    }
+
+    /// Size of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::NoSuchObject`] for unknown keys.
+    pub fn size(&self, key: &str) -> Result<u64> {
+        self.objects
+            .get(key)
+            .copied()
+            .ok_or_else(|| FaasError::NoSuchObject(key.to_string()))
+    }
+
+    /// Mean time for a function on `platform` to GET the object, in ms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::NoSuchObject`] for unknown keys.
+    pub fn read_ms(&self, key: &str, platform: &PlatformProfile) -> Result<f64> {
+        Ok(platform.storage_read_ms(self.size(key)?))
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = ObjectStore::new();
+        assert!(s.is_empty());
+        s.put("part-0", 100_000_000);
+        s.put("part-1", 50_000_000);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.size("part-0").unwrap(), 100_000_000);
+        s.put("part-0", 1);
+        assert_eq!(s.size("part-0").unwrap(), 1);
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        let s = ObjectStore::new();
+        assert!(matches!(s.size("nope"), Err(FaasError::NoSuchObject(_))));
+    }
+
+    #[test]
+    fn read_time_scales_with_size() {
+        let mut s = ObjectStore::new();
+        s.put("small", 1_000_000);
+        s.put("large", 1_000_000_000);
+        let p = PlatformProfile::aws_lambda();
+        let small = s.read_ms("small", &p).unwrap();
+        let large = s.read_ms("large", &p).unwrap();
+        assert!(large > 100.0 * small / 2.0);
+        // Streaming 1 GB of weights takes seconds — the Fig 11 bottleneck.
+        assert!(large > 8000.0);
+    }
+}

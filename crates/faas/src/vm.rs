@@ -1,0 +1,166 @@
+//! A minimal VM serving pool — the conventional substrate the paper's
+//! motivation compares against (§II-A).
+//!
+//! VMs deliver cost-effective throughput for stable load but provision in
+//! minutes, so bursts either queue (under-provisioned) or waste money
+//! (over-provisioned, e.g. SageMaker's 2× factor). This model captures just
+//! that: a fixed pool of VM workers with FIFO queueing and an hourly price.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FaasError;
+use crate::time::Micros;
+use crate::Result;
+
+/// A fixed pool of identical VM servers, each serving one query at a time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmPool {
+    /// Number of VMs.
+    pub vms: usize,
+    /// Service time of one query on one VM, in milliseconds.
+    pub service_ms: f64,
+    /// Price per VM-hour (USD).
+    pub price_per_hour: f64,
+    /// Time each VM becomes free.
+    next_free: Vec<Micros>,
+    queued: u64,
+    served: u64,
+}
+
+/// Outcome of offering a query to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmService {
+    /// When service begins (>= arrival when the pool is busy).
+    pub start: Micros,
+    /// When the response is ready.
+    pub done: Micros,
+    /// Whether the query had to wait in the queue.
+    pub queued: bool,
+}
+
+impl VmPool {
+    /// Creates a pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::InvalidArgument`] for an empty pool or
+    /// non-positive service time.
+    pub fn new(vms: usize, service_ms: f64, price_per_hour: f64) -> Result<Self> {
+        if vms == 0 || !(service_ms > 0.0) {
+            return Err(FaasError::InvalidArgument(
+                "vm pool needs >= 1 vm and positive service time".into(),
+            ));
+        }
+        Ok(VmPool {
+            vms,
+            service_ms,
+            price_per_hour,
+            next_free: vec![Micros::ZERO; vms],
+            queued: 0,
+            served: 0,
+        })
+    }
+
+    /// When the next VM would be free for a query arriving at `now` —
+    /// without committing it. Use to decide whether to offload to
+    /// serverless instead.
+    pub fn earliest_start(&self, now: Micros) -> Micros {
+        self.next_free
+            .iter()
+            .copied()
+            .min()
+            .expect("pool is non-empty")
+            .max(now)
+    }
+
+    /// Serves a query arriving at `now` on the earliest-free VM (FIFO).
+    pub fn serve(&mut self, now: Micros) -> VmService {
+        let idx = self
+            .next_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("pool is non-empty");
+        let start = self.next_free[idx].max(now);
+        let done = start + Micros::from_ms(self.service_ms);
+        let queued = start > now;
+        self.next_free[idx] = done;
+        self.queued += queued as u64;
+        self.served += 1;
+        VmService {
+            start,
+            done,
+            queued,
+        }
+    }
+
+    /// `(served, queued)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.served, self.queued)
+    }
+
+    /// Total VM cost for an experiment spanning `duration` (the pool is
+    /// always on, whether busy or idle).
+    pub fn cost_usd(&self, duration: Micros) -> f64 {
+        self.vms as f64 * self.price_per_hour * duration.as_secs() / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> VmPool {
+        VmPool::new(2, 100.0, 0.34).unwrap()
+    }
+
+    #[test]
+    fn validates_arguments() {
+        assert!(VmPool::new(0, 100.0, 0.1).is_err());
+        assert!(VmPool::new(1, 0.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn idle_pool_serves_immediately() {
+        let mut p = pool();
+        let s = p.serve(Micros::from_ms(5.0));
+        assert_eq!(s.start, Micros::from_ms(5.0));
+        assert_eq!(s.done, Micros::from_ms(105.0));
+        assert!(!s.queued);
+    }
+
+    #[test]
+    fn saturated_pool_queues_fifo() {
+        let mut p = pool();
+        // Three simultaneous arrivals on two VMs: the third waits.
+        let a = p.serve(Micros::ZERO);
+        let b = p.serve(Micros::ZERO);
+        let c = p.serve(Micros::ZERO);
+        assert!(!a.queued && !b.queued);
+        assert!(c.queued);
+        assert_eq!(c.start, a.done.min(b.done));
+        let (served, queued) = p.stats();
+        assert_eq!((served, queued), (3, 1));
+    }
+
+    #[test]
+    fn earliest_start_previews_without_committing() {
+        let mut p = pool();
+        let _ = p.serve(Micros::ZERO);
+        let _ = p.serve(Micros::ZERO);
+        let preview = p.earliest_start(Micros::from_ms(1.0));
+        assert_eq!(preview, Micros::from_ms(100.0));
+        let (served, _) = p.stats();
+        assert_eq!(served, 2, "preview must not serve");
+    }
+
+    #[test]
+    fn cost_scales_with_time_and_size() {
+        let p = pool();
+        let one_hour = Micros::from_secs(3600);
+        assert!((p.cost_usd(one_hour) - 0.68).abs() < 1e-9);
+        let p4 = VmPool::new(4, 100.0, 0.34).unwrap();
+        assert!((p4.cost_usd(one_hour) - 1.36).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Client workload generators for end-to-end serving experiments.
+
+use rand::RngExt;
+
+use crate::error::FaasError;
+use crate::stats::sample_exponential;
+use crate::time::Micros;
+use crate::Result;
+
+/// A closed-loop client population: `clients` concurrent clients, each
+/// issuing its next query as soon as the previous response returns (plus an
+/// optional think time), until `total_queries` have been issued.
+///
+/// This is the paper's §V-C workload: "100 clients that concurrently query
+/// the inference service 1000 times".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedLoop {
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Total queries across all clients.
+    pub total_queries: usize,
+    /// Pause between receiving a response and sending the next query.
+    pub think_time: Micros,
+    issued: usize,
+}
+
+impl ClosedLoop {
+    /// Creates the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::InvalidArgument`] if `clients == 0`.
+    pub fn new(clients: usize, total_queries: usize, think_time: Micros) -> Result<Self> {
+        if clients == 0 {
+            return Err(FaasError::InvalidArgument(
+                "closed loop needs at least one client".into(),
+            ));
+        }
+        Ok(ClosedLoop {
+            clients,
+            total_queries,
+            think_time,
+            issued: 0,
+        })
+    }
+
+    /// The paper's §V-C configuration: 100 clients × 1000 queries, no think
+    /// time.
+    pub fn paper_slo_workload() -> Self {
+        ClosedLoop::new(100, 1000, Micros::ZERO).expect("valid workload")
+    }
+
+    /// Claims the next query to issue; returns `false` once the budget is
+    /// exhausted. The initial `clients` queries all arrive at time zero.
+    pub fn try_issue(&mut self) -> bool {
+        if self.issued < self.total_queries {
+            self.issued += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How many queries have been issued so far.
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+}
+
+/// Open-loop Poisson arrivals at a fixed rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a Poisson arrival process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::InvalidArgument`] unless the rate is positive.
+    pub fn new(rate_per_sec: f64) -> Result<Self> {
+        if !(rate_per_sec > 0.0) {
+            return Err(FaasError::InvalidArgument(
+                "arrival rate must be positive".into(),
+            ));
+        }
+        Ok(PoissonArrivals { rate_per_sec })
+    }
+
+    /// Samples the gap to the next arrival.
+    pub fn next_gap<R: RngExt + ?Sized>(&self, rng: &mut R) -> Micros {
+        let secs = sample_exponential(rng, self.rate_per_sec);
+        Micros::from_ms(secs * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn closed_loop_issues_exactly_total() {
+        let mut w = ClosedLoop::new(4, 10, Micros::ZERO).unwrap();
+        let mut n = 0;
+        while w.try_issue() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        assert_eq!(w.issued(), 10);
+        assert!(!w.try_issue());
+    }
+
+    #[test]
+    fn closed_loop_validates_clients() {
+        assert!(ClosedLoop::new(0, 10, Micros::ZERO).is_err());
+        let paper = ClosedLoop::paper_slo_workload();
+        assert_eq!(paper.clients, 100);
+        assert_eq!(paper.total_queries, 1000);
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let p = PoissonArrivals::new(50.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let total: f64 = (0..5000).map(|_| p.next_gap(&mut rng).as_secs()).sum();
+        let mean_gap = total / 5000.0;
+        assert!((mean_gap - 0.02).abs() < 0.002, "mean gap {mean_gap}");
+        assert!(PoissonArrivals::new(0.0).is_err());
+        assert!(PoissonArrivals::new(-1.0).is_err());
+    }
+}

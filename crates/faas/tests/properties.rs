@@ -1,0 +1,135 @@
+//! Property-based tests of the platform simulator's invariants.
+
+use proptest::prelude::*;
+
+use gillis_faas::billing::billed_ms;
+use gillis_faas::des::EventQueue;
+use gillis_faas::fleet::{Fleet, FunctionSpec};
+use gillis_faas::{ExGaussian, Micros, PlatformProfile};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_time_order_fifo_ties(
+        events in prop::collection::vec((0u64..1000, any::<u16>()), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &(t, payload)) in events.iter().enumerate() {
+            q.push(Micros(t), (i, payload));
+        }
+        let mut last: Option<(Micros, usize)> = None;
+        let mut popped = 0;
+        while let Some((t, (seq, _))) = q.pop() {
+            popped += 1;
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(seq > lseq, "FIFO violated among ties");
+                }
+            }
+            last = Some((t, seq));
+        }
+        prop_assert_eq!(popped, events.len());
+    }
+
+    #[test]
+    fn billing_rounds_up_within_one_granule(
+        duration in 0.0f64..1e6,
+        granularity in 1u64..500,
+    ) {
+        let billed = billed_ms(duration, granularity);
+        prop_assert!(billed as f64 >= duration);
+        if duration > 0.0 {
+            prop_assert!((billed as f64) < duration + granularity as f64);
+            prop_assert_eq!(billed % granularity, 0);
+        }
+    }
+
+    #[test]
+    fn billing_is_monotone_in_duration(
+        a in 0.0f64..1e5,
+        b in 0.0f64..1e5,
+        granularity in 1u64..500,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(billed_ms(lo, granularity) <= billed_ms(hi, granularity));
+    }
+
+    #[test]
+    fn exgaussian_cdf_is_monotone_for_random_params(
+        mu in -10.0f64..50.0,
+        sigma in 0.1f64..10.0,
+        rate in 0.01f64..5.0,
+        xs in prop::collection::vec(-50.0f64..200.0, 2..40),
+    ) {
+        let d = ExGaussian::new(mu, sigma, rate).unwrap();
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Tolerance matches the erf approximation's absolute error
+        // (Abramowitz–Stegun 7.1.26: ~1.5e-7): tail values below that are
+        // numerical noise.
+        let mut prev = -1e-12;
+        for x in sorted {
+            let f = d.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev - 5e-7, "cdf not monotone at {x}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn expected_max_is_monotone_and_above_mean(
+        mu in 0.0f64..20.0,
+        sigma in 0.1f64..5.0,
+        rate in 0.05f64..2.0,
+    ) {
+        let d = ExGaussian::new(mu, sigma, rate).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for n in [1usize, 2, 4, 8] {
+            let m = d.expected_max(n);
+            prop_assert!(m >= prev);
+            prev = m;
+        }
+        prop_assert!(d.expected_max(4) >= d.mean() - 1e-6);
+    }
+
+    #[test]
+    fn fleet_acquire_release_never_loses_instances(
+        script in prop::collection::vec((any::<bool>(), 0u64..10_000), 1..100)
+    ) {
+        let mut fleet = Fleet::new(PlatformProfile::aws_lambda());
+        fleet
+            .deploy(FunctionSpec {
+                name: "f".into(),
+                memory_bytes: 1_000_000_000,
+                package_bytes: 1_000,
+            })
+            .unwrap();
+        let mut now = Micros::ZERO;
+        let mut held = 0usize;
+        for (acquire, dt) in script {
+            now += Micros(dt);
+            if acquire {
+                let a = fleet.acquire("f", now).unwrap();
+                prop_assert!(a.ready_at >= now);
+                held += 1;
+            } else if held > 0 {
+                fleet.release("f", now).unwrap();
+                held -= 1;
+            }
+        }
+        let (cold, warm, peak) = fleet.stats("f").unwrap();
+        // Every start is cold or warm, and the pool never exceeds its peak.
+        prop_assert!(cold + warm >= held as u64);
+        prop_assert!(peak >= held);
+    }
+
+    #[test]
+    fn micros_roundtrip_and_ordering(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let (ma, mb) = (Micros(a), Micros(b));
+        prop_assert_eq!((ma + mb).0, a + b);
+        prop_assert_eq!(ma.saturating_sub(mb).0, a.saturating_sub(b));
+        prop_assert_eq!(ma < mb, a < b);
+        let ms = Micros::from_ms(ma.as_ms());
+        prop_assert_eq!(ms, ma);
+    }
+}

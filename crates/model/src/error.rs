@@ -1,0 +1,75 @@
+//! Error type for graph construction, merging, and execution.
+
+use std::fmt;
+
+use gillis_tensor::TensorError;
+
+/// Error returned by graph construction, shape inference, merging, and the
+/// reference executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A node referenced an input id that does not exist (or comes later in
+    /// the construction order).
+    UnknownNode(usize),
+    /// An operation received inputs whose count or shapes are invalid.
+    BadWiring(String),
+    /// The graph violates a structural assumption of the merging pass, e.g.
+    /// a branch module whose arms cannot be merged.
+    Unmergeable(String),
+    /// The executor was asked for a computation the layer does not support
+    /// (e.g. a row-range of a dense layer).
+    Unsupported(String),
+    /// Weights were missing or malformed for a node.
+    BadWeights(String),
+    /// An underlying tensor kernel failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            ModelError::BadWiring(msg) => write!(f, "bad wiring: {msg}"),
+            ModelError::Unmergeable(msg) => write!(f, "unmergeable graph: {msg}"),
+            ModelError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            ModelError::BadWeights(msg) => write!(f, "bad weights: {msg}"),
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for ModelError {
+    fn from(e: TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillis_tensor::Shape;
+
+    #[test]
+    fn display_and_source() {
+        let e = ModelError::Tensor(TensorError::DimOutOfRange { dim: 3, rank: 2 });
+        assert!(e.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e2 = ModelError::Unmergeable("x".into());
+        assert!(std::error::Error::source(&e2).is_none());
+        let _ = ModelError::Tensor(TensorError::ShapeMismatch {
+            expected: Shape::new(vec![1]),
+            actual: Shape::new(vec![2]),
+        })
+        .to_string();
+    }
+}

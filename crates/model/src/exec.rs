@@ -1,0 +1,824 @@
+//! Reference executor: full, row-range, and channel-range forward passes.
+//!
+//! This module stands in for the paper's MXNet backend. Its row-range and
+//! channel-range entry points compute exactly what a fork-join *worker*
+//! computes for a spatial or channel partition of a layer group, so the
+//! equivalence `concat(partitions) == full forward` can be asserted in tests
+//! — the property that makes Gillis's partitioning accuracy-lossless.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use gillis_tensor::ops::{
+    avg_pool2d, batch_norm, conv2d, dense, depthwise_conv2d, global_avg_pool, lstm_sequence,
+    max_pool2d, relu, softmax, BatchNormParams, Conv2dParams, Padding, Pool2dParams,
+};
+use gillis_tensor::{Shape, Tensor};
+
+use crate::error::ModelError;
+use crate::graph::{Graph, NodeId};
+use crate::linear::{LinearModel, MergedLayer, ReceptiveField};
+use crate::op::LayerOp;
+use crate::weights::{ModelWeights, NodeWeights};
+use crate::Result;
+
+/// Executes (sub-)models against materialized weights.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor<'a> {
+    graph: &'a Graph,
+    weights: &'a ModelWeights,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor over a graph and its weights.
+    pub fn new(graph: &'a Graph, weights: &'a ModelWeights) -> Self {
+        Executor { graph, weights }
+    }
+
+    /// Runs the whole model on a query tensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel and weight errors.
+    pub fn forward(&self, model: &LinearModel, input: &Tensor) -> Result<Tensor> {
+        self.run_segment(model.layers(), input)
+    }
+
+    /// Runs a consecutive segment of merged layers on the segment's input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unsupported`] for an empty segment and
+    /// propagates kernel and weight errors.
+    pub fn run_segment(&self, layers: &[MergedLayer], input: &Tensor) -> Result<Tensor> {
+        let seed = self.segment_seed(layers)?;
+        let mut values: HashMap<NodeId, Tensor> = HashMap::new();
+        values.insert(seed, input.clone());
+        let mut last = seed;
+        for layer in layers {
+            for &id in &layer.nodes {
+                let node = self.graph.node(id)?;
+                let inputs: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|i| {
+                        values
+                            .get(i)
+                            .ok_or_else(|| ModelError::BadWiring(format!("value for node {} missing", i.0)))
+                    })
+                    .collect::<Result<_>>()?;
+                let out = self.eval_node(id, &inputs)?;
+                values.insert(id, out);
+                last = id;
+            }
+        }
+        values
+            .remove(&last)
+            .ok_or_else(|| ModelError::Unsupported("empty segment".into()))
+    }
+
+    /// Computes output rows `rows` of a spatial segment, given the segment's
+    /// *full* input — i.e. what one fork-join worker produces for a
+    /// height-partition. The worker internally slices the halo it needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unsupported`] if the segment contains an
+    /// operation without local spatial response (dense, global pooling,
+    /// LSTM), exactly the layers Gillis's grouping rule excludes.
+    pub fn run_segment_rows(
+        &self,
+        layers: &[MergedLayer],
+        input: &Tensor,
+        rows: Range<usize>,
+    ) -> Result<Tensor> {
+        let seed = self.segment_seed(layers)?;
+        let last = *layers
+            .last()
+            .and_then(|l| l.nodes.last())
+            .ok_or_else(|| ModelError::Unsupported("empty segment".into()))?;
+        self.span_of(last, 1, rows, seed, input)
+    }
+
+    /// Width-dimension counterpart of [`Executor::run_segment_rows`]:
+    /// computes output *columns* `cols` of a spatial segment.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::run_segment_rows`].
+    pub fn run_segment_cols(
+        &self,
+        layers: &[MergedLayer],
+        input: &Tensor,
+        cols: Range<usize>,
+    ) -> Result<Tensor> {
+        let seed = self.segment_seed(layers)?;
+        let last = *layers
+            .last()
+            .and_then(|l| l.nodes.last())
+            .ok_or_else(|| ModelError::Unsupported("empty segment".into()))?;
+        self.span_of(last, 2, cols, seed, input)
+    }
+
+    /// Computes output channels `channels` of a segment, given the segment's
+    /// full input — the worker-side computation for a channel partition
+    /// (Fig 2b): the head layer's filter bank is split, subsequent layers
+    /// must be channel-local.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unsupported`] if the segment head is not
+    /// weight-splittable or a downstream layer is not channel-local.
+    pub fn run_segment_channels(
+        &self,
+        layers: &[MergedLayer],
+        input: &Tensor,
+        channels: Range<usize>,
+    ) -> Result<Tensor> {
+        let seed = self.segment_seed(layers)?;
+        let last = *layers
+            .last()
+            .and_then(|l| l.nodes.last())
+            .ok_or_else(|| ModelError::Unsupported("empty segment".into()))?;
+        self.chs_of(last, channels, seed, input)
+    }
+
+    /// The node whose output feeds the segment.
+    fn segment_seed(&self, layers: &[MergedLayer]) -> Result<NodeId> {
+        let first = layers
+            .first()
+            .and_then(|l| l.nodes.first())
+            .ok_or_else(|| ModelError::Unsupported("empty segment".into()))?;
+        let node = self.graph.node(*first)?;
+        node.inputs.first().copied().ok_or_else(|| {
+            ModelError::BadWiring(format!("segment head {} has no input", node.name))
+        })
+    }
+
+    fn eval_node(&self, id: NodeId, inputs: &[&Tensor]) -> Result<Tensor> {
+        let node = self.graph.node(id)?;
+        match &node.op {
+            LayerOp::Input { .. } => Err(ModelError::Unsupported(
+                "input node is seeded, not evaluated".into(),
+            )),
+            LayerOp::Conv2d {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let (w, b) = self.conv_weights(id)?;
+                Ok(conv2d(
+                    inputs[0],
+                    w,
+                    Some(b),
+                    &Conv2dParams::square(*kernel, *stride, *padding),
+                )?)
+            }
+            LayerOp::DepthwiseConv2d {
+                kernel,
+                stride,
+                padding,
+            } => {
+                let (w, b) = self.depthwise_weights(id)?;
+                Ok(depthwise_conv2d(
+                    inputs[0],
+                    w,
+                    Some(b),
+                    &Conv2dParams::square(*kernel, *stride, *padding),
+                )?)
+            }
+            LayerOp::BatchNorm => {
+                let params = self.bn_weights(id)?;
+                Ok(batch_norm(inputs[0], params)?)
+            }
+            LayerOp::Relu => Ok(relu(inputs[0])),
+            LayerOp::MaxPool2d {
+                kernel,
+                stride,
+                padding,
+            } => Ok(max_pool2d(
+                inputs[0],
+                &Pool2dParams::square(*kernel, *stride, *padding),
+            )?),
+            LayerOp::AvgPool2d {
+                kernel,
+                stride,
+                padding,
+            } => Ok(avg_pool2d(
+                inputs[0],
+                &Pool2dParams::square(*kernel, *stride, *padding),
+            )?),
+            LayerOp::GlobalAvgPool => Ok(global_avg_pool(inputs[0])?),
+            LayerOp::Flatten => {
+                let len = inputs[0].shape().len();
+                Ok(inputs[0].clone().reshape(Shape::new(vec![len]))?)
+            }
+            LayerOp::Dense { .. } => {
+                let (w, b) = self.dense_weights(id)?;
+                Ok(dense(inputs[0], w, Some(b))?)
+            }
+            LayerOp::Add => Ok(inputs[0].add(inputs[1])?),
+            LayerOp::Concat => Ok(Tensor::concat(
+                &inputs.iter().map(|t| (*t).clone()).collect::<Vec<_>>(),
+                0,
+            )?),
+            LayerOp::Lstm { .. } => {
+                let params = self.lstm_weights(id)?;
+                let seq = inputs[0].shape().dims()[0];
+                let feat = inputs[0].shape().dims()[1];
+                let steps: Vec<Tensor> = (0..seq)
+                    .map(|t| {
+                        inputs[0]
+                            .slice(0, t..t + 1)
+                            .and_then(|s| s.reshape(Shape::new(vec![feat])))
+                    })
+                    .collect::<std::result::Result<_, _>>()?;
+                let (outs, _) = lstm_sequence(&steps, params)?;
+                let hidden = params.hidden_size();
+                let mut data = Vec::with_capacity(seq * hidden);
+                for o in &outs {
+                    data.extend_from_slice(o.data());
+                }
+                Ok(Tensor::from_vec(Shape::new(vec![seq, hidden]), data)?)
+            }
+            LayerOp::Softmax => Ok(softmax(inputs[0])?),
+        }
+    }
+
+    /// Demand-driven evaluation of an output span of node `id` along a
+    /// spatial dimension (`dim` 1 = height/rows, 2 = width/columns).
+    fn span_of(
+        &self,
+        id: NodeId,
+        dim: usize,
+        span: Range<usize>,
+        seed: NodeId,
+        seed_value: &Tensor,
+    ) -> Result<Tensor> {
+        debug_assert!(dim == 1 || dim == 2, "span dim must be spatial");
+        if id == seed {
+            return Ok(seed_value.slice(dim, span)?);
+        }
+        let node = self.graph.node(id)?;
+        match &node.op {
+            LayerOp::Conv2d {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let (input, lo, hi) = self.span_of_window(
+                    node.inputs[0], dim, &span, *kernel, *stride, *padding, seed, seed_value,
+                )?;
+                let (w, b) = self.conv_weights(id)?;
+                let params = Conv2dParams {
+                    kernel: (*kernel, *kernel),
+                    stride: (*stride, *stride),
+                    padding: span_padding(dim, lo, hi, *padding),
+                };
+                Ok(conv2d(&input, w, Some(b), &params)?)
+            }
+            LayerOp::DepthwiseConv2d {
+                kernel,
+                stride,
+                padding,
+            } => {
+                let (input, lo, hi) = self.span_of_window(
+                    node.inputs[0], dim, &span, *kernel, *stride, *padding, seed, seed_value,
+                )?;
+                let (w, b) = self.depthwise_weights(id)?;
+                let params = Conv2dParams {
+                    kernel: (*kernel, *kernel),
+                    stride: (*stride, *stride),
+                    padding: span_padding(dim, lo, hi, *padding),
+                };
+                Ok(depthwise_conv2d(&input, w, Some(b), &params)?)
+            }
+            LayerOp::MaxPool2d {
+                kernel,
+                stride,
+                padding,
+            }
+            | LayerOp::AvgPool2d {
+                kernel,
+                stride,
+                padding,
+            } => {
+                let (input, lo, hi) = self.span_of_window(
+                    node.inputs[0], dim, &span, *kernel, *stride, *padding, seed, seed_value,
+                )?;
+                let params = Pool2dParams {
+                    kernel: (*kernel, *kernel),
+                    stride: (*stride, *stride),
+                    padding: span_padding(dim, lo, hi, *padding),
+                };
+                match node.op {
+                    LayerOp::MaxPool2d { .. } => Ok(max_pool2d(&input, &params)?),
+                    _ => Ok(avg_pool2d(&input, &params)?),
+                }
+            }
+            LayerOp::BatchNorm => {
+                let input = self.span_of(node.inputs[0], dim, span, seed, seed_value)?;
+                Ok(batch_norm(&input, self.bn_weights(id)?)?)
+            }
+            LayerOp::Relu => {
+                let input = self.span_of(node.inputs[0], dim, span, seed, seed_value)?;
+                Ok(relu(&input))
+            }
+            LayerOp::Add => {
+                let a = self.span_of(node.inputs[0], dim, span.clone(), seed, seed_value)?;
+                let b = self.span_of(node.inputs[1], dim, span, seed, seed_value)?;
+                Ok(a.add(&b)?)
+            }
+            LayerOp::Concat => {
+                let parts: Vec<Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|&i| self.span_of(i, dim, span.clone(), seed, seed_value))
+                    .collect::<Result<_>>()?;
+                Ok(Tensor::concat(&parts, 0)?)
+            }
+            other => Err(ModelError::Unsupported(format!(
+                "spatial-range execution of {other:?} (no local spatial response)"
+            ))),
+        }
+    }
+
+    /// Fetches the input span a windowed op needs for an output span along
+    /// `dim`, returning the tensor plus the leading/trailing zero-padding
+    /// the partition must apply on that dimension.
+    #[allow(clippy::too_many_arguments)]
+    fn span_of_window(
+        &self,
+        input_id: NodeId,
+        dim: usize,
+        span: &Range<usize>,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: NodeId,
+        seed_value: &Tensor,
+    ) -> Result<(Tensor, usize, usize)> {
+        let extent = if input_id == seed {
+            seed_value.shape().dim(dim)?
+        } else {
+            self.graph.node(input_id)?.output_shape.dim(dim)?
+        };
+        let rf = ReceptiveField {
+            kernel,
+            stride,
+            padding,
+        };
+        let (in_span, lo, hi) = rf.input_rows(span.clone(), extent);
+        let input = self.span_of(input_id, dim, in_span, seed, seed_value)?;
+        Ok((input, lo, hi))
+    }
+
+    /// Demand-driven evaluation of output channels `channels` of node `id`.
+    fn chs_of(
+        &self,
+        id: NodeId,
+        channels: Range<usize>,
+        seed: NodeId,
+        seed_value: &Tensor,
+    ) -> Result<Tensor> {
+        if id == seed {
+            // Channel-local group: the head slices its input channels.
+            return Ok(seed_value.slice(0, channels)?);
+        }
+        let node = self.graph.node(id)?;
+        match &node.op {
+            LayerOp::Conv2d {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                // Weight-split head: full input, filter subset.
+                let input = self.full_of(node.inputs[0], seed, seed_value)?;
+                let (w, b) = self.conv_weights(id)?;
+                let w = w.slice(0, channels.clone())?;
+                let b = b.slice(0, channels)?;
+                Ok(conv2d(
+                    &input,
+                    &w,
+                    Some(&b),
+                    &Conv2dParams::square(*kernel, *stride, *padding),
+                )?)
+            }
+            LayerOp::Dense { .. } => {
+                let input = self.full_of(node.inputs[0], seed, seed_value)?;
+                let (w, b) = self.dense_weights(id)?;
+                let w = w.slice(0, channels.clone())?;
+                let b = b.slice(0, channels)?;
+                Ok(dense(&input, &w, Some(&b))?)
+            }
+            LayerOp::BatchNorm => {
+                let input = self.chs_of(node.inputs[0], channels.clone(), seed, seed_value)?;
+                let p = self.bn_weights(id)?;
+                let sliced = BatchNormParams {
+                    gamma: p.gamma.slice(0, channels.clone())?,
+                    beta: p.beta.slice(0, channels.clone())?,
+                    mean: p.mean.slice(0, channels.clone())?,
+                    var: p.var.slice(0, channels)?,
+                    eps: p.eps,
+                };
+                Ok(batch_norm(&input, &sliced)?)
+            }
+            LayerOp::Relu => {
+                let input = self.chs_of(node.inputs[0], channels, seed, seed_value)?;
+                Ok(relu(&input))
+            }
+            LayerOp::DepthwiseConv2d {
+                kernel,
+                stride,
+                padding,
+            } => {
+                // Channel-local: slice both the input channels and the
+                // per-channel filters.
+                let input = self.chs_of(node.inputs[0], channels.clone(), seed, seed_value)?;
+                let (w, b) = self.depthwise_weights(id)?;
+                let w = w.slice(0, channels.clone())?;
+                let b = b.slice(0, channels)?;
+                Ok(depthwise_conv2d(
+                    &input,
+                    &w,
+                    Some(&b),
+                    &Conv2dParams::square(*kernel, *stride, *padding),
+                )?)
+            }
+            LayerOp::MaxPool2d {
+                kernel,
+                stride,
+                padding,
+            } => {
+                let input = self.chs_of(node.inputs[0], channels, seed, seed_value)?;
+                Ok(max_pool2d(&input, &Pool2dParams::square(*kernel, *stride, *padding))?)
+            }
+            LayerOp::AvgPool2d {
+                kernel,
+                stride,
+                padding,
+            } => {
+                let input = self.chs_of(node.inputs[0], channels, seed, seed_value)?;
+                Ok(avg_pool2d(&input, &Pool2dParams::square(*kernel, *stride, *padding))?)
+            }
+            LayerOp::GlobalAvgPool => {
+                let input = self.chs_of(node.inputs[0], channels, seed, seed_value)?;
+                Ok(global_avg_pool(&input)?)
+            }
+            LayerOp::Flatten => {
+                let input = self.chs_of(node.inputs[0], channels, seed, seed_value)?;
+                let len = input.shape().len();
+                Ok(input.reshape(Shape::new(vec![len]))?)
+            }
+            other => Err(ModelError::Unsupported(format!(
+                "channel-range execution of {other:?}"
+            ))),
+        }
+    }
+
+    /// Full value of a node — only permitted for the seed and `Flatten`s of
+    /// the seed, i.e. the inputs a weight-split head consumes whole.
+    fn full_of(&self, id: NodeId, seed: NodeId, seed_value: &Tensor) -> Result<Tensor> {
+        if id == seed {
+            return Ok(seed_value.clone());
+        }
+        let node = self.graph.node(id)?;
+        match node.op {
+            LayerOp::Flatten => {
+                let input = self.full_of(node.inputs[0], seed, seed_value)?;
+                let len = input.shape().len();
+                Ok(input.reshape(Shape::new(vec![len]))?)
+            }
+            _ => Err(ModelError::Unsupported(
+                "channel partition requires the weight-split layer at the group head".into(),
+            )),
+        }
+    }
+
+    fn conv_weights(&self, id: NodeId) -> Result<(&Tensor, &Tensor)> {
+        match self.weights.get(id)? {
+            NodeWeights::Conv { weight, bias } => Ok((weight, bias)),
+            _ => Err(ModelError::BadWeights(format!(
+                "node {} expected conv weights",
+                id.0
+            ))),
+        }
+    }
+
+    fn depthwise_weights(&self, id: NodeId) -> Result<(&Tensor, &Tensor)> {
+        match self.weights.get(id)? {
+            NodeWeights::Depthwise { weight, bias } => Ok((weight, bias)),
+            _ => Err(ModelError::BadWeights(format!(
+                "node {} expected depthwise weights",
+                id.0
+            ))),
+        }
+    }
+
+    fn bn_weights(&self, id: NodeId) -> Result<&BatchNormParams> {
+        match self.weights.get(id)? {
+            NodeWeights::Bn(p) => Ok(p),
+            _ => Err(ModelError::BadWeights(format!(
+                "node {} expected batch-norm weights",
+                id.0
+            ))),
+        }
+    }
+
+    fn dense_weights(&self, id: NodeId) -> Result<(&Tensor, &Tensor)> {
+        match self.weights.get(id)? {
+            NodeWeights::Dense { weight, bias } => Ok((weight, bias)),
+            _ => Err(ModelError::BadWeights(format!(
+                "node {} expected dense weights",
+                id.0
+            ))),
+        }
+    }
+
+    fn lstm_weights(&self, id: NodeId) -> Result<&gillis_tensor::ops::LstmParams> {
+        match self.weights.get(id)? {
+            NodeWeights::Lstm(p) => Ok(p),
+            _ => Err(ModelError::BadWeights(format!(
+                "node {} expected lstm weights",
+                id.0
+            ))),
+        }
+    }
+}
+
+/// Builds the asymmetric padding for a span partition: the partition pads
+/// `lo`/`hi` on the partitioned dimension and keeps the full symmetric
+/// padding on the other spatial dimension.
+fn span_padding(dim: usize, lo: usize, hi: usize, full: usize) -> Padding {
+    if dim == 1 {
+        Padding {
+            top: lo,
+            bottom: hi,
+            left: full,
+            right: full,
+        }
+    } else {
+        Padding {
+            top: full,
+            bottom: full,
+            left: lo,
+            right: hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::init_weights;
+    use crate::zoo;
+
+    fn query(shape: &Shape, seed: u64) -> Tensor {
+        let mut x = seed;
+        Tensor::from_fn(shape.clone(), |_| {
+            // xorshift for a cheap deterministic pattern
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x % 1000) as f32 / 500.0) - 1.0
+        })
+    }
+
+    #[test]
+    fn full_forward_produces_logits() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 3).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 11);
+        let out = exec.forward(&model, &input).unwrap();
+        assert_eq!(out.shape().dims(), &[10]);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn segment_composition_equals_full_forward() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 5).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 4);
+        let full = exec.forward(&model, &input).unwrap();
+        // Split the merged-layer chain at every point and compose.
+        let layers = model.layers();
+        for split in 1..layers.len() {
+            let mid = exec.run_segment(&layers[..split], &input).unwrap();
+            let out = exec.run_segment(&layers[split..], &mid).unwrap();
+            assert!(
+                full.max_abs_diff(&out).unwrap() < 1e-4,
+                "split at {split} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn row_partitioned_segment_equals_full() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 9).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 2);
+        // First two merged layers (conv group + pool) are spatial.
+        let spatial: Vec<_> = model
+            .layers()
+            .iter()
+            .take_while(|l| l.class.supports_spatial())
+            .cloned()
+            .collect();
+        assert!(spatial.len() >= 2);
+        let seg = &spatial[..2];
+        let full = exec.run_segment(seg, &input).unwrap();
+        let out_h = seg.last().unwrap().out_shape.dims()[1];
+        for n in [2usize, 4] {
+            let mut parts = Vec::new();
+            for p in 0..n {
+                let lo = p * out_h / n;
+                let hi = (p + 1) * out_h / n;
+                parts.push(exec.run_segment_rows(seg, &input, lo..hi).unwrap());
+            }
+            let stitched = Tensor::concat(&parts, 1).unwrap();
+            assert!(
+                full.max_abs_diff(&stitched).unwrap() < 1e-4,
+                "{n}-way row partition diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn row_partitioned_residual_blocks_equal_full() {
+        let model = zoo::tiny_resnet();
+        let weights = init_weights(model.graph(), 13).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 8);
+        let spatial: Vec<_> = model
+            .layers()
+            .iter()
+            .take_while(|l| l.class.supports_spatial())
+            .cloned()
+            .collect();
+        // Group three consecutive spatial layers including a residual block.
+        let seg = &spatial[1..4];
+        let seg_input = exec.run_segment(&spatial[..1], &input).unwrap();
+        let full = exec.run_segment(seg, &seg_input).unwrap();
+        let out_h = seg.last().unwrap().out_shape.dims()[1];
+        let mut parts = Vec::new();
+        let n = 4;
+        for p in 0..n {
+            let lo = p * out_h / n;
+            let hi = (p + 1) * out_h / n;
+            parts.push(exec.run_segment_rows(seg, &seg_input, lo..hi).unwrap());
+        }
+        let stitched = Tensor::concat(&parts, 1).unwrap();
+        assert!(full.max_abs_diff(&stitched).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn col_partitioned_segment_equals_full() {
+        // Width partitioning must match height partitioning in rigor: same
+        // halo math along dimension 2.
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 14).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 12);
+        let spatial: Vec<_> = model
+            .layers()
+            .iter()
+            .take_while(|l| l.class.supports_spatial())
+            .cloned()
+            .collect();
+        let seg = &spatial[..2];
+        let full = exec.run_segment(seg, &input).unwrap();
+        let out_w = seg.last().unwrap().out_shape.dims()[2];
+        for n in [2usize, 4] {
+            let mut parts = Vec::new();
+            for p in 0..n {
+                let lo = p * out_w / n;
+                let hi = (p + 1) * out_w / n;
+                parts.push(exec.run_segment_cols(seg, &input, lo..hi).unwrap());
+            }
+            let stitched = Tensor::concat(&parts, 2).unwrap();
+            assert!(
+                full.max_abs_diff(&stitched).unwrap() < 1e-4,
+                "{n}-way column partition diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn channel_partitioned_conv_group_equals_full() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 21).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 5);
+        // Head conv merged layer is channel-splittable.
+        let seg = &model.layers()[..1];
+        assert!(seg[0].class.channel_splittable());
+        let full = exec.run_segment(seg, &input).unwrap();
+        let out_c = seg[0].out_shape.dims()[0];
+        let mut parts = Vec::new();
+        for p in 0..2 {
+            let lo = p * out_c / 2;
+            let hi = (p + 1) * out_c / 2;
+            parts.push(exec.run_segment_channels(seg, &input, lo..hi).unwrap());
+        }
+        let stitched = Tensor::concat(&parts, 0).unwrap();
+        assert!(full.max_abs_diff(&stitched).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn channel_partitioned_dense_equals_full() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 22).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let layers = model.layers();
+        // Last merged layer is flatten+fc2 (DenseLike).
+        let dense_idx = layers.len() - 1;
+        let seg = &layers[dense_idx..];
+        let input = exec
+            .run_segment(&layers[..dense_idx], &query(model.input_shape(), 6))
+            .unwrap();
+        let full = exec.run_segment(seg, &input).unwrap();
+        let out_n = seg[0].out_shape.dims()[0];
+        let parts: Vec<Tensor> = (0..2)
+            .map(|p| {
+                exec.run_segment_channels(seg, &input, p * out_n / 2..(p + 1) * out_n / 2)
+                    .unwrap()
+            })
+            .collect();
+        let stitched = Tensor::concat(&parts, 0).unwrap();
+        assert!(full.max_abs_diff(&stitched).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn rnn_segment_placement_equals_full() {
+        // Split a 3-layer RNN between functions: output must be identical.
+        let mut g = Graph::new();
+        let input = g
+            .add(
+                "input",
+                LayerOp::Input {
+                    shape: Shape::new(vec![4, 8]),
+                },
+                &[],
+            )
+            .unwrap();
+        let l1 = g.add("lstm1", LayerOp::Lstm { hidden: 8 }, &[input]).unwrap();
+        let l2 = g.add("lstm2", LayerOp::Lstm { hidden: 8 }, &[l1]).unwrap();
+        g.add("lstm3", LayerOp::Lstm { hidden: 8 }, &[l2]).unwrap();
+        let model = crate::merge::merge_graph("rnn3", g).unwrap();
+        let weights = init_weights(model.graph(), 30).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 3);
+        let full = exec.forward(&model, &input).unwrap();
+        let mid = exec.run_segment(&model.layers()[..2], &input).unwrap();
+        let out = exec.run_segment(&model.layers()[2..], &mid).unwrap();
+        assert!(full.max_abs_diff(&out).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn row_range_of_dense_is_unsupported() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 1).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let layers = model.layers();
+        let dense_seg = &layers[layers.len() - 1..];
+        let fake_input = Tensor::zeros(dense_seg[0].in_shape.clone());
+        assert!(matches!(
+            exec.run_segment_rows(dense_seg, &fake_input, 0..1),
+            Err(ModelError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn channel_range_rejects_non_head_conv() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 1).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        // Segment of two conv merged layers: second conv is not channel-local,
+        // so channel partitioning the pair must fail.
+        let layers = model.layers();
+        let conv_indices: Vec<usize> = layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.class.channel_splittable() && l.class.supports_spatial())
+            .map(|(i, _)| i)
+            .collect();
+        // tiny-vgg: conv2 (idx 2) and conv3 (idx 3) are adjacent convs.
+        let adjacent = conv_indices.windows(2).find(|w| w[1] == w[0] + 1);
+        let (a, b) = match adjacent {
+            Some(w) => (w[0], w[1]),
+            None => panic!("expected adjacent convs in tiny-vgg"),
+        };
+        let seg = &layers[a..=b];
+        let input = Tensor::zeros(seg[0].in_shape.clone());
+        assert!(matches!(
+            exec.run_segment_channels(seg, &input, 0..4),
+            Err(ModelError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,201 @@
+//! Function communication delay model (paper §IV-A, "Function Communication
+//! Delay").
+//!
+//! The model has two parts, both learned from profiling transfers of varying
+//! sizes through REST invocations:
+//!
+//! - a per-byte streaming cost (the master's bandwidth share), and
+//! - an exGaussian per-invocation jitter, whose `n`-th order statistic
+//!   predicts the max delay of `n` concurrent worker invocations.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gillis_faas::{ExGaussian, PlatformProfile};
+
+use crate::fit::fit_exgaussian;
+use crate::regression::LinearRegression;
+
+/// Fitted communication model.
+#[derive(Debug, Clone)]
+pub struct CommModel {
+    jitter: ExGaussian,
+    per_byte_ms: f64,
+    /// Precomputed `E[max of n]` for n = 1..=MAX_FANOUT_TABLE (order
+    /// statistics are queried on every group prediction; the numerical
+    /// integration is too slow to repeat inside the DP/RL/BO loops).
+    max_table: Vec<f64>,
+}
+
+const MAX_FANOUT_TABLE: usize = 64;
+
+fn build_max_table(jitter: &ExGaussian) -> Vec<f64> {
+    (1..=MAX_FANOUT_TABLE).map(|n| jitter.expected_max(n)).collect()
+}
+
+impl CommModel {
+    /// Profiles the platform: transfers payloads of varying sizes, regresses
+    /// delay on size to recover the per-byte cost, and fits an exGaussian to
+    /// the residual jitter.
+    pub fn profiled(platform: &PlatformProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sizes: [u64; 6] = [
+            64 * 1024,
+            256 * 1024,
+            512 * 1024,
+            1024 * 1024,
+            2 * 1024 * 1024,
+            4 * 1024 * 1024,
+        ];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &size in &sizes {
+            for _ in 0..400 {
+                let delay =
+                    platform.invoke_latency_ms.sample(&mut rng) + platform.transfer_ms(size);
+                xs.push(vec![size as f64]);
+                ys.push(delay);
+            }
+        }
+        let line = LinearRegression::fit(&xs, &ys).expect("delay sweep is well-posed");
+        let per_byte_ms = line.coeffs[0].max(0.0);
+        // Jitter = measured delay minus the size-dependent part.
+        let residuals: Vec<f64> = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(x, y)| y - per_byte_ms * x[0])
+            .collect();
+        let jitter = fit_exgaussian(&residuals).expect("jitter residuals fit an exGaussian");
+        let max_table = build_max_table(&jitter);
+        CommModel {
+            jitter,
+            per_byte_ms,
+            max_table,
+        }
+    }
+
+    /// Builds the exact communication model from ground-truth constants.
+    pub fn analytic(platform: &PlatformProfile) -> Self {
+        let jitter = platform.invoke_latency_ms;
+        CommModel {
+            jitter,
+            per_byte_ms: 8.0 / platform.network_bandwidth_bps * 1000.0,
+            max_table: build_max_table(&jitter),
+        }
+    }
+
+    /// The fitted invocation-jitter distribution.
+    pub fn jitter(&self) -> &ExGaussian {
+        &self.jitter
+    }
+
+    /// `E[max of n]` of the jitter, from the precomputed table (falling
+    /// back to direct integration beyond the table).
+    fn expected_max_jitter(&self, n: usize) -> f64 {
+        if n >= 1 && n <= self.max_table.len() {
+            self.max_table[n - 1]
+        } else {
+            self.jitter.expected_max(n)
+        }
+    }
+
+    /// Fitted per-byte streaming cost in milliseconds.
+    pub fn per_byte_ms(&self) -> f64 {
+        self.per_byte_ms
+    }
+
+    /// Predicted mean delay of one transfer of `bytes`.
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        self.jitter.mean() + self.per_byte_ms * bytes as f64
+    }
+
+    /// Predicted delay for the master to exchange `bytes` with each of `n`
+    /// workers concurrently: payload streams share the master's bandwidth
+    /// (so they serialize), while invocation jitters overlap and cost the
+    /// expected maximum of `n` draws — the order-statistic prediction of
+    /// §IV-A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn group_transfer_ms(&self, bytes: u64, n: usize) -> f64 {
+        assert!(n > 0, "group transfer needs at least one worker");
+        self.expected_max_jitter(n) + self.per_byte_ms * (bytes as f64) * n as f64
+    }
+
+    /// Like [`CommModel::group_transfer_ms`] but with per-worker payload
+    /// sizes (spatial partitions at the tensor border carry fewer halo rows
+    /// than interior ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part_bytes` is empty.
+    pub fn group_transfer_parts_ms(&self, part_bytes: &[u64]) -> f64 {
+        assert!(!part_bytes.is_empty(), "group transfer needs at least one worker");
+        let total: u64 = part_bytes.iter().sum();
+        self.expected_max_jitter(part_bytes.len()) + self.per_byte_ms * total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn profiled_matches_analytic() {
+        let platform = PlatformProfile::aws_lambda();
+        let profiled = CommModel::profiled(&platform, 3);
+        let analytic = CommModel::analytic(&platform);
+        let rel_bw =
+            (profiled.per_byte_ms() - analytic.per_byte_ms()).abs() / analytic.per_byte_ms();
+        assert!(rel_bw < 0.05, "per-byte rel error {rel_bw}");
+        for bytes in [100_000u64, 1_000_000, 4_000_000] {
+            let a = analytic.transfer_ms(bytes);
+            let p = profiled.transfer_ms(bytes);
+            assert!((a - p).abs() / a < 0.08, "{bytes}: {p} vs {a}");
+        }
+    }
+
+    #[test]
+    fn order_statistic_prediction_error_is_small() {
+        // Fig 15 (top right): ~6% average error predicting max-of-n delays.
+        let platform = PlatformProfile::aws_lambda();
+        let profiled = CommModel::profiled(&platform, 11);
+        let mut rng = StdRng::seed_from_u64(99);
+        let bytes = 1_000_000u64;
+        let mut total_rel = 0.0;
+        let ns = [1usize, 2, 4, 8, 16];
+        for &n in &ns {
+            // Monte-Carlo ground truth of the concurrent exchange.
+            let mc: f64 = (0..2000)
+                .map(|_| {
+                    let jitter_max = (0..n)
+                        .map(|_| platform.invoke_latency_ms.sample(&mut rng))
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    jitter_max + platform.transfer_ms(bytes) * n as f64
+                })
+                .sum::<f64>()
+                / 2000.0;
+            let pred = profiled.group_transfer_ms(bytes, n);
+            total_rel += (pred - mc).abs() / mc;
+        }
+        let avg_rel = total_rel / ns.len() as f64;
+        assert!(avg_rel < 0.08, "average prediction error {avg_rel}");
+    }
+
+    #[test]
+    fn group_transfer_monotone_in_n_and_bytes() {
+        let m = CommModel::analytic(&PlatformProfile::aws_lambda());
+        assert!(m.group_transfer_ms(1_000_000, 2) < m.group_transfer_ms(1_000_000, 4));
+        assert!(m.group_transfer_ms(1_000_000, 4) < m.group_transfer_ms(2_000_000, 4));
+        let _ = rand::rngs::StdRng::seed_from_u64(0).random::<u8>(); // keep RngExt import used
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let m = CommModel::analytic(&PlatformProfile::aws_lambda());
+        let _ = m.group_transfer_ms(1, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for the performance model.
+
+use std::fmt;
+
+/// Error returned by regression fitting and model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerfError {
+    /// Not enough samples (or degenerate samples) to fit a model.
+    InsufficientData(String),
+    /// The normal-equations system was singular.
+    SingularSystem,
+    /// An argument was structurally invalid.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            PerfError::SingularSystem => write!(f, "singular regression system"),
+            PerfError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PerfError::InsufficientData("x".into()).to_string().contains('x'));
+        assert!(PerfError::SingularSystem.to_string().contains("singular"));
+        assert!(PerfError::InvalidArgument("y".into()).to_string().contains('y'));
+    }
+}

@@ -1,0 +1,97 @@
+//! Fitting an exGaussian to delay samples by the method of moments.
+
+use gillis_faas::stats::{mean, skewness, variance};
+use gillis_faas::ExGaussian;
+
+use crate::error::PerfError;
+use crate::Result;
+
+/// Fits an [`ExGaussian`] to samples using moment matching:
+/// with sample mean `m`, standard deviation `s`, and skewness `g`,
+/// `tau = s * (g/2)^(1/3)`, `mu = m - tau`,
+/// `sigma^2 = s^2 * (1 - (g/2)^(2/3))`, `rate = 1/tau`.
+///
+/// Skewness is clamped into a numerically safe range: an exGaussian cannot
+/// represent non-positive skew, and extreme skews would drive `sigma` to 0.
+///
+/// # Errors
+///
+/// Returns [`PerfError::InsufficientData`] for fewer than 8 samples or
+/// degenerate (zero-variance) data.
+pub fn fit_exgaussian(samples: &[f64]) -> Result<ExGaussian> {
+    if samples.len() < 8 {
+        return Err(PerfError::InsufficientData(format!(
+            "{} delay samples",
+            samples.len()
+        )));
+    }
+    let m = mean(samples);
+    let var = variance(samples);
+    if var <= 0.0 {
+        return Err(PerfError::InsufficientData(
+            "zero-variance delay samples".into(),
+        ));
+    }
+    let s = var.sqrt();
+    let g = skewness(samples).clamp(0.02, 1.9);
+    let ratio = (g / 2.0).powf(1.0 / 3.0);
+    let tau = s * ratio;
+    let sigma2 = var * (1.0 - ratio * ratio);
+    let sigma = sigma2.max(var * 1e-4).sqrt();
+    ExGaussian::new(m - tau, sigma, 1.0 / tau)
+        .map_err(|e| PerfError::InvalidArgument(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_known_parameters() {
+        let truth = ExGaussian::new(5.0, 1.5, 1.0 / 7.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let samples: Vec<f64> = (0..50_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = fit_exgaussian(&samples).unwrap();
+        assert!((fitted.mean() - truth.mean()).abs() / truth.mean() < 0.02);
+        assert!(
+            (fitted.variance() - truth.variance()).abs() / truth.variance() < 0.1,
+            "var {} vs {}",
+            fitted.variance(),
+            truth.variance()
+        );
+        assert!((fitted.mu - truth.mu).abs() < 0.8, "mu {}", fitted.mu);
+    }
+
+    #[test]
+    fn fitted_order_statistics_track_truth() {
+        // The property the paper actually uses: E[max of n] predictions.
+        let truth = ExGaussian::new(5.0, 1.5, 1.0 / 7.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let samples: Vec<f64> = (0..30_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = fit_exgaussian(&samples).unwrap();
+        for n in [2usize, 8, 16] {
+            let a = truth.expected_max(n);
+            let b = fitted.expected_max(n);
+            assert!((a - b).abs() / a < 0.05, "n={n}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_tiny_or_degenerate_samples() {
+        assert!(fit_exgaussian(&[1.0, 2.0]).is_err());
+        assert!(fit_exgaussian(&[3.0; 20]).is_err());
+    }
+
+    #[test]
+    fn tolerates_low_skew_data() {
+        // Nearly symmetric data still produces a valid distribution.
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| 10.0 + gillis_faas::stats::sample_standard_normal(&mut rng))
+            .collect();
+        let fitted = fit_exgaussian(&samples).unwrap();
+        assert!((fitted.mean() - 10.0).abs() < 0.2);
+    }
+}

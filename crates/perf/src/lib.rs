@@ -1,0 +1,131 @@
+//! The Gillis performance model (paper §IV-A).
+//!
+//! Gillis predicts the latency and cost of candidate parallelization schemes
+//! from two profiled components:
+//!
+//! 1. **Model runtime** — for each layer type, layer executions are profiled
+//!    in a single function and a regression model is fitted
+//!    ([`layer_model::LayerRuntimeModel`]). A DNN's runtime is the sum of its
+//!    predicted layer times.
+//! 2. **Function communication delay** — transfer delays are profiled across
+//!    payload sizes; the jitter follows an exponentially-modified Gaussian,
+//!    and the fork delay of `n` concurrent workers is predicted with the
+//!    `n`-th order statistic ([`comm_model::CommModel`]).
+//!
+//! [`PerfModel`] bundles both and is what the partitioning algorithms (DP,
+//! RL, BO) consult. [`PerfModel::profiled`] runs the actual profiling
+//! workflow against the simulator's ground truth — prediction error is
+//! evaluated in the Fig 15 reproduction; [`PerfModel::analytic`] short-cuts
+//! to the exact ground-truth surface for tests.
+
+pub mod comm_model;
+pub mod error;
+pub mod fit;
+pub mod layer_model;
+pub mod regression;
+
+pub use comm_model::CommModel;
+pub use error::PerfError;
+pub use layer_model::{class_of_op, eff_class_of_layer, flops_by_class, LayerRuntimeModel};
+pub use regression::LinearRegression;
+
+use gillis_faas::compute::EffClass;
+use gillis_faas::PlatformProfile;
+
+/// Convenient result alias for fallible performance-model operations.
+pub type Result<T> = std::result::Result<T, PerfError>;
+
+/// The complete performance model for one platform.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    /// Per-layer-class runtime regressions.
+    pub layer: LayerRuntimeModel,
+    /// Communication delay model.
+    pub comm: CommModel,
+    /// The platform being modelled (used for billing constants and memory
+    /// budgets, which are published, not profiled).
+    pub platform: PlatformProfile,
+}
+
+impl PerfModel {
+    /// Builds the performance model by *profiling* the platform: running
+    /// layer executions and transfers against the simulator's noisy ground
+    /// truth and fitting regressions, as the paper does on real functions.
+    pub fn profiled(platform: &PlatformProfile, seed: u64) -> Self {
+        PerfModel {
+            layer: LayerRuntimeModel::profiled(platform, seed),
+            comm: CommModel::profiled(platform, seed ^ 0x9e37_79b9_7f4a_7c15),
+            platform: platform.clone(),
+        }
+    }
+
+    /// Builds an exact (noise-free) performance model directly from the
+    /// platform's ground-truth constants. Useful in tests and when the
+    /// profiling step itself is not under evaluation.
+    pub fn analytic(platform: &PlatformProfile) -> Self {
+        PerfModel {
+            layer: LayerRuntimeModel::analytic(platform),
+            comm: CommModel::analytic(platform),
+            platform: platform.clone(),
+        }
+    }
+
+    /// Predicted execution time of `flops` of work of `class` in one
+    /// function, in milliseconds.
+    pub fn predict_compute_ms(&self, flops: u64, class: EffClass) -> f64 {
+        self.layer.predict_ms(flops, class)
+    }
+
+    /// Predicted time for the master to fork `n` workers, shipping
+    /// `payload_bytes` to each: payload uploads share the master's egress
+    /// bandwidth (serialized), while per-invocation jitter overlaps and
+    /// costs the expected maximum of `n` draws.
+    pub fn fork_ms(&self, payload_bytes: u64, n: usize) -> f64 {
+        self.comm.group_transfer_ms(payload_bytes, n)
+    }
+
+    /// Predicted time for the master to collect `n` worker responses of
+    /// `payload_bytes` each (same structure as [`PerfModel::fork_ms`]).
+    pub fn join_ms(&self, payload_bytes: u64, n: usize) -> f64 {
+        self.comm.group_transfer_ms(payload_bytes, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiled_model_tracks_analytic_within_a_few_percent() {
+        let platform = PlatformProfile::aws_lambda();
+        let analytic = PerfModel::analytic(&platform);
+        let profiled = PerfModel::profiled(&platform, 42);
+        for flops in [100_000_000u64, 1_000_000_000, 10_000_000_000] {
+            for class in [EffClass::Conv, EffClass::Dense, EffClass::Recurrent] {
+                let a = analytic.predict_compute_ms(flops, class);
+                let p = profiled.predict_compute_ms(flops, class);
+                let rel = (a - p).abs() / a;
+                assert!(rel < 0.05, "{class:?} {flops}: analytic {a}, profiled {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fork_cost_grows_with_fanout() {
+        let model = PerfModel::analytic(&PlatformProfile::aws_lambda());
+        let f1 = model.fork_ms(1_000_000, 1);
+        let f4 = model.fork_ms(1_000_000, 4);
+        let f16 = model.fork_ms(1_000_000, 16);
+        assert!(f1 < f4 && f4 < f16);
+        // Payload serialization dominates at high fan-out: at least linear
+        // growth in total payload.
+        assert!(f16 > 12.0 * (f1 - model.comm.jitter().mean()));
+    }
+
+    #[test]
+    fn knix_forks_much_faster_than_lambda() {
+        let lambda = PerfModel::analytic(&PlatformProfile::aws_lambda());
+        let knix = PerfModel::analytic(&PlatformProfile::knix());
+        assert!(knix.fork_ms(1_000_000, 8) < lambda.fork_ms(1_000_000, 8) / 4.0);
+    }
+}

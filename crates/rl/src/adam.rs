@@ -1,0 +1,84 @@
+//! The Adam optimizer (paper §IV-C uses Adam for both policy networks).
+
+/// Adam state over a flat parameter vector.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer for `n` parameters with learning rate `lr` and
+    /// the standard default moments (0.9, 0.999).
+    pub fn new(n: usize, lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    /// Applies one *ascent* step (`params += step`): REINFORCE maximizes the
+    /// expected reward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree with the optimizer's state.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "param length mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] += self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascends_a_concave_objective() {
+        // Maximize f(x) = -(x - 3)^2; gradient = -2 (x - 3).
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![-2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn step_size_is_bounded_by_lr() {
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.01);
+        opt.step(&mut x, &[1e9]);
+        // Adam normalizes: the first step is ~lr.
+        assert!(x[0].abs() <= 0.011, "step {}", x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn validates_lengths() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut x = vec![0.0];
+        opt.step(&mut x, &[1.0]);
+    }
+}

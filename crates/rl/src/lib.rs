@@ -1,0 +1,27 @@
+//! SLO-aware, cost-minimizing partitioning with reinforcement learning
+//! (paper §IV-C).
+//!
+//! The paper encodes the partitioning policy into two small neural networks
+//! trained jointly with REINFORCE against the performance model, entirely in
+//! simulation:
+//!
+//! - the **partitioner** walks the merged layers, deciding where groups end
+//!   and how each group is parallelized;
+//! - the **placer** decides, per group, whether the master computes a
+//!   partition (consuming master memory) or all partitions go to workers.
+//!
+//! The reward (paper Eq. 4) is `B − C` when the mean-latency SLO is met
+//! (`C` = billed cost), `T_max − L` when violated, and a large negative
+//! value for OOM attempts. Policy gradients follow Eq. 5–6, optimized with
+//! Adam and a moving-average baseline.
+
+pub mod adam;
+pub mod agents;
+pub mod nn;
+pub mod policy;
+pub mod trainer;
+
+pub use trainer::{slo_aware_partition, SloAwareConfig, SloAwareResult};
+
+/// Convenient result alias (re-uses the core error type).
+pub type Result<T> = std::result::Result<T, gillis_core::CoreError>;

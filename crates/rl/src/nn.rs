@@ -1,0 +1,213 @@
+//! A two-layer perceptron with manual backpropagation.
+//!
+//! The paper's agents are "two-layer neural networks" (§IV-C); this module
+//! implements exactly that: `logits = W2 · tanh(W1 · x + b1) + b2`, with
+//! gradients computed in closed form (no autodiff dependency).
+
+use rand::RngExt;
+
+/// A two-layer MLP with a tanh hidden layer.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    input: usize,
+    hidden: usize,
+    output: usize,
+    /// Flattened parameters: `[w1 (h×in), b1 (h), w2 (out×h), b2 (out)]`.
+    params: Vec<f64>,
+}
+
+/// Gradient buffer matching [`Mlp::params`] layout.
+#[derive(Debug, Clone)]
+pub struct Grads(pub Vec<f64>);
+
+/// Cached forward activations needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct Forward {
+    /// Input features.
+    pub x: Vec<f64>,
+    /// Hidden activations (after tanh).
+    pub h: Vec<f64>,
+    /// Output logits.
+    pub logits: Vec<f64>,
+}
+
+impl Mlp {
+    /// Creates an MLP with small random weights.
+    pub fn new<R: RngExt + ?Sized>(input: usize, hidden: usize, output: usize, rng: &mut R) -> Self {
+        let n = hidden * input + hidden + output * hidden + output;
+        let scale_1 = (1.0 / input.max(1) as f64).sqrt();
+        let scale_2 = (1.0 / hidden.max(1) as f64).sqrt();
+        let mut params = Vec::with_capacity(n);
+        for i in 0..n {
+            let scale = if i < hidden * input + hidden { scale_1 } else { scale_2 };
+            params.push((rng.random::<f64>() * 2.0 - 1.0) * scale);
+        }
+        Mlp {
+            input,
+            hidden,
+            output,
+            params,
+        }
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Immutable parameter view (for the optimizer).
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Mutable parameter view (for the optimizer).
+    pub fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    /// Zeroed gradient buffer.
+    pub fn zero_grads(&self) -> Grads {
+        Grads(vec![0.0; self.params.len()])
+    }
+
+    fn split(&self) -> (usize, usize, usize) {
+        let w1_end = self.hidden * self.input;
+        let b1_end = w1_end + self.hidden;
+        let w2_end = b1_end + self.output * self.hidden;
+        (w1_end, b1_end, w2_end)
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input`.
+    pub fn forward(&self, x: &[f64]) -> Forward {
+        assert_eq!(x.len(), self.input, "feature size mismatch");
+        let (w1_end, b1_end, w2_end) = self.split();
+        let w1 = &self.params[..w1_end];
+        let b1 = &self.params[w1_end..b1_end];
+        let w2 = &self.params[b1_end..w2_end];
+        let b2 = &self.params[w2_end..];
+        let mut h = Vec::with_capacity(self.hidden);
+        for j in 0..self.hidden {
+            let mut a = b1[j];
+            for (i, &xi) in x.iter().enumerate() {
+                a += w1[j * self.input + i] * xi;
+            }
+            h.push(a.tanh());
+        }
+        let mut logits = Vec::with_capacity(self.output);
+        for k in 0..self.output {
+            let mut a = b2[k];
+            for (j, &hj) in h.iter().enumerate() {
+                a += w2[k * self.hidden + j] * hj;
+            }
+            logits.push(a);
+        }
+        Forward {
+            x: x.to_vec(),
+            h,
+            logits,
+        }
+    }
+
+    /// Accumulates gradients of `sum(dlogits · logits)` into `grads`.
+    pub fn backward(&self, fwd: &Forward, dlogits: &[f64], grads: &mut Grads) {
+        assert_eq!(dlogits.len(), self.output, "dlogits size mismatch");
+        let (w1_end, b1_end, w2_end) = self.split();
+        let w2 = &self.params[b1_end..w2_end];
+        let g = &mut grads.0;
+
+        // dW2, db2, and dh.
+        let mut dh = vec![0.0; self.hidden];
+        for k in 0..self.output {
+            let dk = dlogits[k];
+            g[w2_end + k] += dk;
+            for j in 0..self.hidden {
+                g[b1_end + k * self.hidden + j] += dk * fwd.h[j];
+                dh[j] += dk * w2[k * self.hidden + j];
+            }
+        }
+        // Through tanh, then dW1, db1.
+        for j in 0..self.hidden {
+            let da = dh[j] * (1.0 - fwd.h[j] * fwd.h[j]);
+            g[w1_end + j] += da;
+            for (i, &xi) in fwd.x.iter().enumerate() {
+                g[j * self.input + i] += da * xi;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(3, 5, 2, &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let m = mlp(1);
+        let f = m.forward(&[0.1, -0.2, 0.3]);
+        assert_eq!(f.h.len(), 5);
+        assert_eq!(f.logits.len(), 2);
+        let f2 = m.forward(&[0.1, -0.2, 0.3]);
+        assert_eq!(f.logits, f2.logits);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut m = mlp(2);
+        let x = [0.4, -0.7, 0.9];
+        let dlogits = [1.0, -0.5]; // objective = logits[0] - 0.5 * logits[1]
+        let fwd = m.forward(&x);
+        let mut grads = m.zero_grads();
+        m.backward(&fwd, &dlogits, &mut grads);
+
+        let objective = |m: &Mlp| {
+            let f = m.forward(&x);
+            f.logits[0] - 0.5 * f.logits[1]
+        };
+        let eps = 1e-6;
+        for idx in (0..m.param_count()).step_by(7) {
+            let orig = m.params()[idx];
+            m.params_mut()[idx] = orig + eps;
+            let plus = objective(&m);
+            m.params_mut()[idx] = orig - eps;
+            let minus = objective(&m);
+            m.params_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = grads.0[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "param {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_accumulates() {
+        let m = mlp(3);
+        let fwd = m.forward(&[1.0, 2.0, 3.0]);
+        let mut grads = m.zero_grads();
+        m.backward(&fwd, &[1.0, 0.0], &mut grads);
+        let snapshot = grads.0.clone();
+        m.backward(&fwd, &[1.0, 0.0], &mut grads);
+        for (a, b) in snapshot.iter().zip(grads.0.iter()) {
+            assert!((b - 2.0 * a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature size mismatch")]
+    fn forward_validates_input_size() {
+        let m = mlp(4);
+        let _ = m.forward(&[1.0]);
+    }
+}

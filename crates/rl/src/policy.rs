@@ -1,0 +1,162 @@
+//! Categorical stochastic policies over masked action sets.
+
+use rand::RngExt;
+
+/// Softmax probabilities of `logits` restricted to unmasked actions.
+/// Masked actions get probability 0.
+///
+/// # Panics
+///
+/// Panics if the mask disables every action or lengths differ.
+pub fn masked_softmax(logits: &[f64], mask: &[bool]) -> Vec<f64> {
+    assert_eq!(logits.len(), mask.len(), "mask length mismatch");
+    assert!(mask.iter().any(|&m| m), "all actions masked");
+    let max = logits
+        .iter()
+        .zip(mask.iter())
+        .filter(|(_, &m)| m)
+        .map(|(&l, _)| l)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits
+        .iter()
+        .zip(mask.iter())
+        .map(|(&l, &m)| if m { (l - max).exp() } else { 0.0 })
+        .collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Samples an action index from the probability vector.
+pub fn sample_categorical<R: RngExt + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    // Floating-point slack: return the last unmasked action.
+    probs
+        .iter()
+        .rposition(|&p| p > 0.0)
+        .expect("non-degenerate distribution")
+}
+
+/// Gradient of `advantage * log p(action)` with respect to the logits:
+/// `advantage * (onehot(action) − probs)` — the REINFORCE ascent direction.
+pub fn logp_grad(probs: &[f64], action: usize, advantage: f64) -> Vec<f64> {
+    probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| advantage * ((i == action) as u8 as f64 - p))
+        .collect()
+}
+
+/// Gradient of the policy entropy `H = -Σ p log p` with respect to the
+/// logits: `∂H/∂z_k = -p_k (log p_k + H)`. Added to the REINFORCE ascent
+/// direction (scaled by an entropy coefficient) it discourages premature
+/// collapse of the policy — a standard exploration aid.
+pub fn entropy_grad(probs: &[f64]) -> Vec<f64> {
+    let h: f64 = -probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>();
+    probs
+        .iter()
+        .map(|&p| if p > 0.0 { -p * (p.ln() + h) } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masked_softmax_zeroes_masked_actions() {
+        let probs = masked_softmax(&[1.0, 2.0, 3.0], &[true, false, true]);
+        assert_eq!(probs[1], 0.0);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(probs[2] > probs[0]);
+    }
+
+    #[test]
+    fn sampling_respects_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let probs = masked_softmax(&[0.0, 2.0], &[true, true]);
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| sample_categorical(&probs, &mut rng) == 1)
+            .count();
+        let freq = ones as f64 / n as f64;
+        assert!((freq - probs[1]).abs() < 0.02, "freq {freq} vs {}", probs[1]);
+    }
+
+    #[test]
+    fn sampling_never_picks_masked() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let probs = masked_softmax(&[5.0, 1.0, 1.0], &[false, true, true]);
+        for _ in 0..1000 {
+            assert_ne!(sample_categorical(&probs, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn logp_grad_points_toward_action() {
+        let probs = masked_softmax(&[0.0, 0.0], &[true, true]);
+        let g = logp_grad(&probs, 0, 2.0);
+        assert!(g[0] > 0.0 && g[1] < 0.0);
+        // Negative advantage flips the direction.
+        let g = logp_grad(&probs, 0, -2.0);
+        assert!(g[0] < 0.0 && g[1] > 0.0);
+        // Gradient sums to zero.
+        assert!((g[0] + g[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_grad_matches_finite_differences() {
+        let logits = [0.3, -0.8, 1.2];
+        let mask = [true, true, true];
+        let probs = masked_softmax(&logits, &mask);
+        let g = entropy_grad(&probs);
+        let entropy = |z: &[f64]| {
+            let p = masked_softmax(z, &[true, true, true]);
+            -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>()
+        };
+        let eps = 1e-6;
+        for k in 0..3 {
+            let mut zp = logits;
+            zp[k] += eps;
+            let mut zm = logits;
+            zm[k] -= eps;
+            let numeric = (entropy(&zp) - entropy(&zm)) / (2.0 * eps);
+            assert!(
+                (numeric - g[k]).abs() < 1e-6,
+                "k={k}: numeric {numeric} vs analytic {}",
+                g[k]
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_grad_is_zero_at_uniform() {
+        let probs = masked_softmax(&[1.0, 1.0, 1.0, 1.0], &[true; 4]);
+        for g in entropy_grad(&probs) {
+            assert!(g.abs() < 1e-12);
+        }
+        // A peaked distribution is pushed toward uniform: the gradient is
+        // negative on the dominant action.
+        let peaked = masked_softmax(&[5.0, 0.0, 0.0], &[true; 3]);
+        let g = entropy_grad(&peaked);
+        assert!(g[0] < 0.0 && g[1] > 0.0 && g[2] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all actions masked")]
+    fn empty_mask_panics() {
+        let _ = masked_softmax(&[1.0], &[false]);
+    }
+}

@@ -1,0 +1,493 @@
+//! Joint REINFORCE training of the partitioner and placer (paper §IV-C).
+//!
+//! Each episode samples a complete partitioning strategy, evaluates its
+//! latency and billed cost with the performance model (simulated
+//! experiments — no function is ever invoked during training), computes the
+//! reward of Eq. 4, and accumulates policy gradients per Eq. 5–6. Updates
+//! use Adam with a moving-average baseline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gillis_core::partition::analyze_group;
+use gillis_core::plan::{ExecutionPlan, Placement, PlannedGroup};
+use gillis_core::predict::{predict_plan, PlanPrediction};
+use gillis_core::CoreError;
+use gillis_model::LinearModel;
+use gillis_perf::PerfModel;
+
+use crate::adam::Adam;
+use crate::agents::{
+    boundary_features, group_features, placer_features, Agents, OptionMenu,
+};
+use crate::nn::Forward;
+use crate::policy::{entropy_grad, logp_grad, masked_softmax, sample_categorical};
+use crate::Result;
+
+/// Configuration of the SLO-aware trainer.
+#[derive(Debug, Clone)]
+pub struct SloAwareConfig {
+    /// Mean-latency SLO in milliseconds (the paper's `T_max`).
+    pub t_max_ms: f64,
+    /// Cost budget `B` of the reward function; `None` picks one
+    /// automatically (comfortably above typical plan costs).
+    pub budget_b_ms: Option<f64>,
+    /// Training episodes.
+    pub episodes: usize,
+    /// Episodes per gradient update.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Hidden width of the two-layer policy networks.
+    pub hidden: usize,
+    /// Penalty for strategies with no memory-feasible option (paper: "a
+    /// large negative reward" for OOM attempts), in reward units.
+    pub oom_penalty: f64,
+    /// When set, the SLO constrains this latency *quantile* (e.g. `0.99`
+    /// for p99) instead of the mean — the paper's §VI extension. Requires
+    /// the Monte-Carlo tail predictor, so training is slower.
+    pub tail_quantile: Option<f64>,
+    /// Monte-Carlo samples per episode when `tail_quantile` is set.
+    pub tail_samples: usize,
+    /// Entropy-bonus coefficient: discourages premature policy collapse.
+    pub entropy_beta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SloAwareConfig {
+    fn default() -> Self {
+        SloAwareConfig {
+            t_max_ms: 1000.0,
+            budget_b_ms: None,
+            episodes: 400,
+            batch: 8,
+            lr: 0.02,
+            hidden: 16,
+            oom_penalty: 50.0,
+            tail_quantile: None,
+            tail_samples: 300,
+            entropy_beta: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// Output of SLO-aware training.
+#[derive(Debug, Clone)]
+pub struct SloAwareResult {
+    /// The best SLO-compliant plan found during training.
+    pub plan: ExecutionPlan,
+    /// Its predicted latency and cost.
+    pub predicted: PlanPrediction,
+    /// Episodes actually run.
+    pub episodes_run: usize,
+    /// Mean reward per batch (training curve).
+    pub reward_history: Vec<f64>,
+}
+
+/// One sampled decision: which net, its forward cache, probabilities, and
+/// the action taken.
+enum Step {
+    Boundary(Forward, Vec<f64>, usize),
+    Option(Forward, Vec<f64>, usize),
+    Placer(Forward, Vec<f64>, usize),
+}
+
+/// Trains the hierarchical policy and returns the best SLO-compliant plan.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] if training never finds a plan meeting
+/// the SLO (e.g. an SLO below the physically possible latency).
+pub fn slo_aware_partition(
+    model: &LinearModel,
+    perf: &PerfModel,
+    config: &SloAwareConfig,
+) -> Result<SloAwareResult> {
+    // The latency the SLO constrains: the mean prediction, or a Monte-Carlo
+    // quantile when a tail SLO is configured.
+    let slo_latency = |plan: &ExecutionPlan, pred: &PlanPrediction| -> f64 {
+        match config.tail_quantile {
+            None => pred.latency_ms,
+            Some(q) => gillis_core::predict_latency_quantile(
+                model,
+                plan,
+                perf,
+                q,
+                config.tail_samples,
+                config.seed ^ 0x7a11_5eed,
+            )
+            .unwrap_or(f64::INFINITY),
+        }
+    };
+    let n = model.layers().len();
+    if n == 0 {
+        return Err(CoreError::InvalidArgument("empty model".into()));
+    }
+    let budget = perf.platform.model_memory_budget;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut agents = Agents::new(config.hidden, OptionMenu::default(), &mut rng);
+    let mut opt_boundary = Adam::new(agents.boundary.param_count(), config.lr);
+    let mut opt_option = Adam::new(agents.option.param_count(), config.lr);
+    let mut opt_placer = Adam::new(agents.placer.param_count(), config.lr);
+
+    // Auto budget B: a loose upper envelope of plan costs so that meeting
+    // the SLO always yields a positive reward (paper: "set large enough").
+    let b = config.budget_b_ms.unwrap_or_else(|| {
+        let single = predict_plan(model, &ExecutionPlan::single_function(model), perf)
+            .map(|p| p.billed_ms as f64)
+            .unwrap_or(10_000.0);
+        (single * 8.0).max(20.0 * config.t_max_ms)
+    });
+
+    let mut baseline = 0.0;
+    let mut baseline_init = false;
+    // Seed the incumbent with the latency-optimal DP plan when it already
+    // meets the SLO: Gillis computes it anyway, and it guarantees an
+    // SLO-compliant answer that training then undercuts on cost.
+    let mut best: Option<(f64, ExecutionPlan, PlanPrediction)> =
+        gillis_core::DpPartitioner::default()
+            .partition(model, perf)
+            .ok()
+            .and_then(|plan| {
+                let pred = predict_plan(model, &plan, perf).ok()?;
+                (slo_latency(&plan, &pred) <= config.t_max_ms)
+                    .then(|| (pred.billed_ms as f64, plan, pred))
+            });
+    let mut reward_history = Vec::new();
+
+    let mut gb = agents.boundary.zero_grads();
+    let mut go = agents.option.zero_grads();
+    let mut gp = agents.placer.zero_grads();
+    let mut batch_steps: Vec<(Vec<Step>, f64)> = Vec::new();
+
+    for episode in 0..config.episodes {
+        let (steps, plan) = sample_episode(model, &agents, budget, &mut rng);
+        let reward = match &plan {
+            Some(plan) => match predict_plan(model, plan, perf) {
+                Ok(pred) => {
+                    let latency = slo_latency(plan, &pred);
+                    let r = if latency <= config.t_max_ms {
+                        (b - pred.billed_ms as f64) / 1000.0
+                    } else {
+                        (config.t_max_ms - latency) / 1000.0
+                    };
+                    if latency <= config.t_max_ms {
+                        let better = best
+                            .as_ref()
+                            .map(|(c, _, _)| (pred.billed_ms as f64) < *c)
+                            .unwrap_or(true);
+                        if better {
+                            best = Some((pred.billed_ms as f64, plan.clone(), pred));
+                        }
+                    }
+                    r
+                }
+                Err(_) => -config.oom_penalty,
+            },
+            // No memory-feasible option existed for some sampled group.
+            None => -config.oom_penalty,
+        };
+        batch_steps.push((steps, reward));
+
+        if batch_steps.len() == config.batch || episode + 1 == config.episodes {
+            let mean_reward: f64 =
+                batch_steps.iter().map(|(_, r)| r).sum::<f64>() / batch_steps.len() as f64;
+            if !baseline_init {
+                baseline = mean_reward;
+                baseline_init = true;
+            }
+            for (steps, reward) in batch_steps.drain(..) {
+                let advantage = reward - baseline;
+                // Ascent direction: advantage-weighted log-prob gradient plus
+                // an entropy bonus.
+                let dlogits = |probs: &[f64], action: usize| -> Vec<f64> {
+                    let mut d = logp_grad(probs, action, advantage);
+                    if config.entropy_beta > 0.0 {
+                        for (dk, ek) in d.iter_mut().zip(entropy_grad(probs)) {
+                            *dk += config.entropy_beta * ek;
+                        }
+                    }
+                    d
+                };
+                for step in steps {
+                    match step {
+                        Step::Boundary(fwd, probs, action) => agents
+                            .boundary
+                            .backward(&fwd, &dlogits(&probs, action), &mut gb),
+                        Step::Option(fwd, probs, action) => agents
+                            .option
+                            .backward(&fwd, &dlogits(&probs, action), &mut go),
+                        Step::Placer(fwd, probs, action) => agents
+                            .placer
+                            .backward(&fwd, &dlogits(&probs, action), &mut gp),
+                    }
+                }
+            }
+            baseline = 0.9 * baseline + 0.1 * mean_reward;
+            reward_history.push(mean_reward);
+            opt_boundary.step(agents.boundary.params_mut(), &gb.0);
+            opt_option.step(agents.option.params_mut(), &go.0);
+            opt_placer.step(agents.placer.params_mut(), &gp.0);
+            gb = agents.boundary.zero_grads();
+            go = agents.option.zero_grads();
+            gp = agents.placer.zero_grads();
+        }
+    }
+
+    match best {
+        Some((_, plan, predicted)) => Ok(SloAwareResult {
+            plan,
+            predicted,
+            episodes_run: config.episodes,
+            reward_history,
+        }),
+        None => Err(CoreError::Infeasible(format!(
+            "no plan met the {} ms SLO within {} episodes",
+            config.t_max_ms, config.episodes
+        ))),
+    }
+}
+
+/// Samples one strategy. Returns `None` as the plan when a sampled group has
+/// no memory-feasible option (an OOM attempt).
+fn sample_episode(
+    model: &LinearModel,
+    agents: &Agents,
+    budget: u64,
+    rng: &mut StdRng,
+) -> (Vec<Step>, Option<ExecutionPlan>) {
+    let n = model.layers().len();
+    let degrees = agents.menu.degrees();
+    let mut steps = Vec::new();
+    let mut groups = Vec::new();
+    let mut remaining = budget;
+    let mut start = 0;
+
+    for t in 0..n {
+        // Can the group s..t+1 be extended to s..t+2?
+        let can_extend = t + 1 < n
+            && !gillis_core::partition::group_options(model, start, t + 2, &degrees).is_empty();
+        let cut = if !can_extend {
+            true
+        } else {
+            let feats = boundary_features(model, start, t, can_extend);
+            let fwd = agents.boundary.forward(&feats);
+            let probs = masked_softmax(&fwd.logits, &[true, true]);
+            let action = sample_categorical(&probs, rng);
+            steps.push(Step::Boundary(fwd, probs.clone(), action));
+            action == 1
+        };
+        if !cut {
+            continue;
+        }
+        let end = t + 1;
+        // Option choice, masked to memory-feasible entries.
+        let mask = agents.menu.mask(model, start, end, budget);
+        if !mask.iter().any(|&m| m) {
+            return (steps, None);
+        }
+        let feats = group_features(model, start, end);
+        let fwd = agents.option.forward(&feats);
+        let probs = masked_softmax(&fwd.logits, &mask);
+        let action = sample_categorical(&probs, rng);
+        let option = agents.menu.entries[action];
+        steps.push(Step::Option(fwd, probs, action));
+
+        // Placer: master participation, masked by the remaining budget.
+        let analysis =
+            analyze_group(model, start, end, option).expect("masked option is analyzable");
+        let w0 = analysis.partitions[0].weight_bytes;
+        let master_ok = w0 <= remaining;
+        let feats = placer_features(model, start, end, w0, remaining, option.parts());
+        let fwd = agents.placer.forward(&feats);
+        let probs = masked_softmax(&fwd.logits, &[true, master_ok]);
+        let action = sample_categorical(&probs, rng);
+        steps.push(Step::Placer(fwd, probs, action));
+        let placement = if action == 1 {
+            remaining -= w0;
+            if option.parts() == 1 {
+                Placement::Master
+            } else {
+                Placement::MasterAndWorkers
+            }
+        } else {
+            Placement::Workers
+        };
+        groups.push(PlannedGroup {
+            start,
+            end,
+            option,
+            placement,
+        });
+        start = end;
+    }
+    (steps, Some(ExecutionPlan::new(groups)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillis_core::predict::predict_plan;
+    use gillis_faas::PlatformProfile;
+    use gillis_model::zoo;
+
+    fn quick_config(t_max_ms: f64) -> SloAwareConfig {
+        SloAwareConfig {
+            t_max_ms,
+            episodes: 120,
+            batch: 6,
+            seed: 7,
+            ..SloAwareConfig::default()
+        }
+    }
+
+    #[test]
+    fn finds_slo_compliant_plan_for_tiny_model() {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let tiny = zoo::tiny_vgg();
+        let single = predict_plan(&tiny, &ExecutionPlan::single_function(&tiny), &perf)
+            .unwrap()
+            .latency_ms;
+        let result = slo_aware_partition(&tiny, &perf, &quick_config(single * 2.0)).unwrap();
+        assert!(result.predicted.latency_ms <= single * 2.0);
+        result.plan.validate(&tiny, platform.model_memory_budget).unwrap();
+        assert!(!result.reward_history.is_empty());
+    }
+
+    #[test]
+    fn loose_slo_prefers_cheap_plans() {
+        // With a very loose SLO the cheapest plan is single-function
+        // serving: the learned plan's cost should approach it.
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let tiny = zoo::tiny_vgg();
+        let single = predict_plan(&tiny, &ExecutionPlan::single_function(&tiny), &perf).unwrap();
+        let result =
+            slo_aware_partition(&tiny, &perf, &quick_config(single.latency_ms * 10.0)).unwrap();
+        assert!(
+            result.predicted.billed_ms <= single.billed_ms * 2,
+            "learned cost {} vs single {}",
+            result.predicted.billed_ms,
+            single.billed_ms
+        );
+    }
+
+    #[test]
+    fn impossible_slo_is_reported_infeasible() {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let tiny = zoo::tiny_vgg();
+        let err = slo_aware_partition(&tiny, &perf, &quick_config(0.0001));
+        assert!(matches!(err, Err(CoreError::Infeasible(_))));
+    }
+
+    #[test]
+    fn training_is_deterministic_in_seed() {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let tiny = zoo::tiny_vgg();
+        let a = slo_aware_partition(&tiny, &perf, &quick_config(500.0)).unwrap();
+        let b = slo_aware_partition(&tiny, &perf, &quick_config(500.0)).unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.reward_history, b.reward_history);
+    }
+
+    #[test]
+    fn rewards_improve_over_training() {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let tiny = zoo::tiny_vgg();
+        let config = SloAwareConfig {
+            t_max_ms: 400.0,
+            episodes: 240,
+            batch: 6,
+            seed: 3,
+            ..SloAwareConfig::default()
+        };
+        let result = slo_aware_partition(&tiny, &perf, &config).unwrap();
+        let h = &result.reward_history;
+        let early: f64 = h[..4].iter().sum::<f64>() / 4.0;
+        let late: f64 = h[h.len() - 4..].iter().sum::<f64>() / 4.0;
+        assert!(
+            late >= early,
+            "rewards regressed: early {early:.2}, late {late:.2}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tail_tests {
+    use super::*;
+    use gillis_faas::PlatformProfile;
+    use gillis_model::zoo;
+
+    #[test]
+    fn tail_slo_is_stricter_than_mean_slo() {
+        // For the same threshold, a p99 SLO admits fewer plans than a mean
+        // SLO, so the tail-aware result can never be cheaper.
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let model = zoo::vgg11();
+        let t_max = 400.0;
+        let base = SloAwareConfig {
+            t_max_ms: t_max,
+            episodes: 120,
+            batch: 6,
+            seed: 11,
+            ..SloAwareConfig::default()
+        };
+        let mean = slo_aware_partition(&model, &perf, &base).unwrap();
+        let tail = slo_aware_partition(
+            &model,
+            &perf,
+            &SloAwareConfig {
+                tail_quantile: Some(0.99),
+                tail_samples: 200,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(tail.predicted.billed_ms >= mean.predicted.billed_ms);
+        // The tail-aware plan's predicted p99 actually meets the target.
+        let p99 = gillis_core::predict_latency_quantile(
+            &model, &tail.plan, &perf, 0.99, 2000, 5,
+        )
+        .unwrap();
+        assert!(p99 <= t_max * 1.02, "p99 {p99} vs target {t_max}");
+    }
+
+    #[test]
+    fn tail_served_workload_meets_p99() {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let model = zoo::vgg11();
+        let t_max = 450.0;
+        let result = slo_aware_partition(
+            &model,
+            &perf,
+            &SloAwareConfig {
+                t_max_ms: t_max,
+                episodes: 120,
+                batch: 6,
+                seed: 4,
+                tail_quantile: Some(0.99),
+                tail_samples: 200,
+                ..SloAwareConfig::default()
+            },
+        )
+        .unwrap();
+        let rt = gillis_core::ForkJoinRuntime::new(&model, &result.plan, platform).unwrap();
+        let report = rt
+            .serve_workload(
+                gillis_faas::workload::ClosedLoop::new(10, 300, gillis_faas::Micros::ZERO)
+                    .unwrap(),
+                6,
+            )
+            .unwrap();
+        let p99 = report.latency.percentile(99.0);
+        assert!(p99 <= t_max * 1.05, "served p99 {p99:.0} vs target {t_max}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Error returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Shape the operation expected.
+        expected: Shape,
+        /// Shape the operation actually received.
+        actual: Shape,
+    },
+    /// A dimension index was out of range for the tensor's rank.
+    DimOutOfRange {
+        /// The offending dimension index.
+        dim: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A slice range fell outside the tensor along a dimension.
+    RangeOutOfBounds {
+        /// The dimension being sliced.
+        dim: usize,
+        /// Requested start index (inclusive).
+        start: usize,
+        /// Requested end index (exclusive).
+        end: usize,
+        /// The size of that dimension.
+        size: usize,
+    },
+    /// The operation received an argument that is structurally invalid,
+    /// e.g. a convolution whose kernel is larger than its padded input.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::DimOutOfRange { dim, rank } => {
+                write!(f, "dimension {dim} out of range for rank-{rank} tensor")
+            }
+            TensorError::RangeOutOfBounds {
+                dim,
+                start,
+                end,
+                size,
+            } => write!(
+                f,
+                "range {start}..{end} out of bounds for dimension {dim} of size {size}"
+            ),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            TensorError::ShapeMismatch {
+                expected: Shape::new(vec![1, 2]),
+                actual: Shape::new(vec![2, 1]),
+            },
+            TensorError::DimOutOfRange { dim: 5, rank: 2 },
+            TensorError::RangeOutOfBounds {
+                dim: 0,
+                start: 3,
+                end: 9,
+                size: 4,
+            },
+            TensorError::InvalidArgument("kernel larger than input".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

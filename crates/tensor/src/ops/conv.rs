@@ -1,0 +1,290 @@
+//! 2-D convolution over `CHW` tensors.
+
+use serde::{Deserialize, Serialize};
+
+use super::Padding;
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conv2dParams {
+    /// Kernel height and width.
+    pub kernel: (usize, usize),
+    /// Vertical and horizontal stride.
+    pub stride: (usize, usize),
+    /// Per-side zero padding.
+    pub padding: Padding,
+}
+
+impl Conv2dParams {
+    /// Square kernel with equal stride and symmetric padding — the common
+    /// case in the paper's CNN zoo.
+    pub fn square(kernel: usize, stride: usize, padding: usize) -> Self {
+        Conv2dParams {
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: Padding::symmetric(padding),
+        }
+    }
+}
+
+/// Output spatial size of a convolution/pooling window sweep.
+///
+/// Returns `None` if the padded input is smaller than the kernel.
+pub fn conv2d_output_hw(
+    in_hw: (usize, usize),
+    params: &Conv2dParams,
+) -> Option<(usize, usize)> {
+    let (kh, kw) = params.kernel;
+    let (sh, sw) = params.stride;
+    let h = in_hw.0 + params.padding.top + params.padding.bottom;
+    let w = in_hw.1 + params.padding.left + params.padding.right;
+    if h < kh || w < kw || sh == 0 || sw == 0 {
+        return None;
+    }
+    Some(((h - kh) / sh + 1, (w - kw) / sw + 1))
+}
+
+/// 2-D convolution: `input` is `CHW`, `weight` is `[out_c, in_c, kh, kw]`,
+/// `bias` is `[out_c]` (optional).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if the shapes are inconsistent or
+/// the padded input is smaller than the kernel, and
+/// [`TensorError::ShapeMismatch`] if `bias` does not match `out_c`.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    let in_dims = input.shape().dims();
+    let w_dims = weight.shape().dims();
+    if in_dims.len() != 3 {
+        return Err(TensorError::InvalidArgument(format!(
+            "conv2d input must be CHW, got rank {}",
+            in_dims.len()
+        )));
+    }
+    if w_dims.len() != 4 {
+        return Err(TensorError::InvalidArgument(format!(
+            "conv2d weight must be [out_c, in_c, kh, kw], got rank {}",
+            w_dims.len()
+        )));
+    }
+    let (in_c, in_h, in_w) = (in_dims[0], in_dims[1], in_dims[2]);
+    let (out_c, w_in_c, kh, kw) = (w_dims[0], w_dims[1], w_dims[2], w_dims[3]);
+    if in_c != w_in_c {
+        return Err(TensorError::InvalidArgument(format!(
+            "conv2d input channels {in_c} != weight input channels {w_in_c}"
+        )));
+    }
+    if (kh, kw) != params.kernel {
+        return Err(TensorError::InvalidArgument(format!(
+            "weight kernel ({kh}, {kw}) != declared kernel {:?}",
+            params.kernel
+        )));
+    }
+    if let Some(b) = bias {
+        if b.shape().dims() != [out_c] {
+            return Err(TensorError::ShapeMismatch {
+                expected: Shape::new(vec![out_c]),
+                actual: b.shape().clone(),
+            });
+        }
+    }
+    let (out_h, out_w) = conv2d_output_hw((in_h, in_w), params).ok_or_else(|| {
+        TensorError::InvalidArgument(format!(
+            "padded input ({in_h}, {in_w}) smaller than kernel {:?}",
+            params.kernel
+        ))
+    })?;
+
+    let (sh, sw) = params.stride;
+    let pt = params.padding.top as isize;
+    let pl = params.padding.left as isize;
+    let in_plane = in_h * in_w;
+    let k_plane = kh * kw;
+    let w_per_out = in_c * k_plane;
+    let input_data = input.data();
+    let weight_data = weight.data();
+
+    let mut out = vec![0.0f32; out_c * out_h * out_w];
+    for oc in 0..out_c {
+        let w_base = oc * w_per_out;
+        let b = bias.map(|b| b.data()[oc]).unwrap_or(0.0);
+        for oy in 0..out_h {
+            let iy0 = (oy * sh) as isize - pt;
+            for ox in 0..out_w {
+                let ix0 = (ox * sw) as isize - pl;
+                let mut acc = b;
+                for ic in 0..in_c {
+                    let in_base = ic * in_plane;
+                    let wk_base = w_base + ic * k_plane;
+                    for ky in 0..kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= in_h as isize {
+                            continue;
+                        }
+                        let row = in_base + iy as usize * in_w;
+                        let wrow = wk_base + ky * kw;
+                        for kx in 0..kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= in_w as isize {
+                                continue;
+                            }
+                            acc += input_data[row + ix as usize] * weight_data[wrow + kx];
+                        }
+                    }
+                }
+                out[oc * out_h * out_w + oy * out_w + ox] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new(vec![out_c, out_h, out_w]), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
+        Tensor::from_vec(Shape::new(shape), data).unwrap()
+    }
+
+    #[test]
+    fn output_size_formula() {
+        let p = Conv2dParams::square(3, 1, 1);
+        assert_eq!(conv2d_output_hw((8, 8), &p), Some((8, 8)));
+        let p = Conv2dParams::square(3, 2, 1);
+        assert_eq!(conv2d_output_hw((8, 8), &p), Some((4, 4)));
+        let p = Conv2dParams::square(7, 2, 3);
+        assert_eq!(conv2d_output_hw((224, 224), &p), Some((112, 112)));
+        let p = Conv2dParams::square(5, 1, 0);
+        assert_eq!(conv2d_output_hw((3, 3), &p), None);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1 is the identity for a single channel.
+        let input = t(vec![1, 3, 3], (1..=9).map(|x| x as f32).collect());
+        let weight = t(vec![1, 1, 1, 1], vec![1.0]);
+        let out = conv2d(&input, &weight, None, &Conv2dParams::square(1, 1, 0)).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // All-ones 3x3 kernel over an all-ones 3x3 input, no padding:
+        // single output = 9.
+        let input = Tensor::full(Shape::new(vec![1, 3, 3]), 1.0);
+        let weight = Tensor::full(Shape::new(vec![1, 1, 3, 3]), 1.0);
+        let out = conv2d(&input, &weight, None, &Conv2dParams::square(3, 1, 0)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 1]);
+        assert_eq!(out.data(), &[9.0]);
+    }
+
+    #[test]
+    fn padding_contributes_zeros() {
+        let input = Tensor::full(Shape::new(vec![1, 1, 1]), 2.0);
+        let weight = Tensor::full(Shape::new(vec![1, 1, 3, 3]), 1.0);
+        let out = conv2d(&input, &weight, None, &Conv2dParams::square(3, 1, 1)).unwrap();
+        // Only the centre tap sees the input.
+        assert_eq!(out.shape().dims(), &[1, 1, 1]);
+        assert_eq!(out.data(), &[2.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_output_channel() {
+        let input = Tensor::zeros(Shape::new(vec![1, 2, 2]));
+        let weight = Tensor::zeros(Shape::new(vec![2, 1, 1, 1]));
+        let bias = t(vec![2], vec![0.5, -1.5]);
+        let out = conv2d(&input, &weight, Some(&bias), &Conv2dParams::square(1, 1, 0)).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 2, 2]);
+        assert_eq!(&out.data()[..4], &[0.5; 4]);
+        assert_eq!(&out.data()[4..], &[-1.5; 4]);
+    }
+
+    #[test]
+    fn multi_channel_accumulates() {
+        // Two input channels of constants 1 and 10; 1x1 weights 2 and 3
+        // => every output = 1*2 + 10*3 = 32.
+        let mut input = Tensor::zeros(Shape::new(vec![2, 2, 2]));
+        for i in 0..4 {
+            input.data_mut()[i] = 1.0;
+            input.data_mut()[4 + i] = 10.0;
+        }
+        let weight = t(vec![1, 2, 1, 1], vec![2.0, 3.0]);
+        let out = conv2d(&input, &weight, None, &Conv2dParams::square(1, 1, 0)).unwrap();
+        assert!(out.data().iter().all(|&x| x == 32.0));
+    }
+
+    #[test]
+    fn asymmetric_padding_equivalence_on_split() {
+        // Convolving the full input with symmetric padding must equal
+        // convolving halo-extended halves with one-sided padding, stitched.
+        let input = Tensor::from_fn(Shape::new(vec![2, 6, 5]), |i| (i as f32).sin());
+        let weight = Tensor::from_fn(Shape::new(vec![3, 2, 3, 3]), |i| (i as f32 * 0.1).cos());
+        let full = conv2d(&input, &weight, None, &Conv2dParams::square(3, 1, 1)).unwrap();
+
+        // Split output rows 0..3 and 3..6. With k=3, s=1, p=1 the first part
+        // needs input rows 0..4 (pad top only), second needs rows 2..6 (pad
+        // bottom only).
+        let top = input.slice(1, 0..4).unwrap();
+        let bot = input.slice(1, 2..6).unwrap();
+        let p_top = Conv2dParams {
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding {
+                top: 1,
+                bottom: 0,
+                left: 1,
+                right: 1,
+            },
+        };
+        let p_bot = Conv2dParams {
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding {
+                top: 0,
+                bottom: 1,
+                left: 1,
+                right: 1,
+            },
+        };
+        let out_top = conv2d(&top, &weight, None, &p_top).unwrap();
+        let out_bot = conv2d(&bot, &weight, None, &p_bot).unwrap();
+        let stitched = Tensor::concat(&[out_top, out_bot], 1).unwrap();
+        assert!(full.max_abs_diff(&stitched).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn channel_partition_equivalence() {
+        // Partitioning output channels: each worker applies a subset of
+        // filters to the whole input; concat along channel dim reproduces it.
+        let input = Tensor::from_fn(Shape::new(vec![3, 4, 4]), |i| i as f32 * 0.01);
+        let weight = Tensor::from_fn(Shape::new(vec![4, 3, 3, 3]), |i| (i % 7) as f32 * 0.1);
+        let params = Conv2dParams::square(3, 1, 1);
+        let full = conv2d(&input, &weight, None, &params).unwrap();
+        let w0 = weight.slice(0, 0..2).unwrap();
+        let w1 = weight.slice(0, 2..4).unwrap();
+        let o0 = conv2d(&input, &w0, None, &params).unwrap();
+        let o1 = conv2d(&input, &w1, None, &params).unwrap();
+        let stitched = Tensor::concat(&[o0, o1], 0).unwrap();
+        assert!(full.max_abs_diff(&stitched).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_inconsistent_shapes() {
+        let input = Tensor::zeros(Shape::new(vec![2, 4, 4]));
+        let weight = Tensor::zeros(Shape::new(vec![1, 3, 3, 3]));
+        assert!(conv2d(&input, &weight, None, &Conv2dParams::square(3, 1, 1)).is_err());
+        let bad_rank = Tensor::zeros(Shape::new(vec![4, 4]));
+        let w = Tensor::zeros(Shape::new(vec![1, 2, 3, 3]));
+        assert!(conv2d(&bad_rank, &w, None, &Conv2dParams::square(3, 1, 1)).is_err());
+    }
+}

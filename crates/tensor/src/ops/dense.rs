@@ -1,0 +1,103 @@
+//! Dense (fully connected) layers.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Dense layer: `y = W·x + b` with `W` of shape `[out, in]`, `x` of shape
+/// `[in]`, optional `b` of shape `[out]`.
+///
+/// Output-unit partitioning slices `W` (and `b`) along dimension 0; each
+/// worker needs the full input vector, mirroring how Gillis partitions fully
+/// connected layers (every output neuron depends on the entire input).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for rank mismatches and
+/// [`TensorError::ShapeMismatch`] for inconsistent sizes.
+pub fn dense(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    let x_dims = input.shape().dims();
+    let w_dims = weight.shape().dims();
+    if x_dims.len() != 1 || w_dims.len() != 2 {
+        return Err(TensorError::InvalidArgument(format!(
+            "dense expects x rank 1 and W rank 2, got {} and {}",
+            x_dims.len(),
+            w_dims.len()
+        )));
+    }
+    let (out_n, in_n) = (w_dims[0], w_dims[1]);
+    if x_dims[0] != in_n {
+        return Err(TensorError::ShapeMismatch {
+            expected: Shape::new(vec![in_n]),
+            actual: input.shape().clone(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape().dims() != [out_n] {
+            return Err(TensorError::ShapeMismatch {
+                expected: Shape::new(vec![out_n]),
+                actual: b.shape().clone(),
+            });
+        }
+    }
+    let x = input.data();
+    let w = weight.data();
+    let mut out = Vec::with_capacity(out_n);
+    for o in 0..out_n {
+        let row = &w[o * in_n..(o + 1) * in_n];
+        let mut acc = bias.map(|b| b.data()[o]).unwrap_or(0.0);
+        for (wi, xi) in row.iter().zip(x.iter()) {
+            acc += wi * xi;
+        }
+        out.push(acc);
+    }
+    Tensor::from_vec(Shape::new(vec![out_n]), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
+        Tensor::from_vec(Shape::new(shape), data).unwrap()
+    }
+
+    #[test]
+    fn known_matvec() {
+        let x = t(vec![3], vec![1.0, 2.0, 3.0]);
+        let w = t(vec![2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+        let b = t(vec![2], vec![10.0, -10.0]);
+        let y = dense(&x, &w, Some(&b)).unwrap();
+        assert_eq!(y.data(), &[11.0, -5.0]);
+    }
+
+    #[test]
+    fn output_unit_partition_equivalence() {
+        let x = Tensor::from_fn(Shape::new(vec![8]), |i| (i as f32).sqrt());
+        let w = Tensor::from_fn(Shape::new(vec![6, 8]), |i| (i as f32 * 0.3).sin());
+        let b = Tensor::from_fn(Shape::new(vec![6]), |i| i as f32);
+        let full = dense(&x, &w, Some(&b)).unwrap();
+        let parts: Vec<Tensor> = (0..3)
+            .map(|p| {
+                let wp = w.slice(0, p * 2..(p + 1) * 2).unwrap();
+                let bp = b.slice(0, p * 2..(p + 1) * 2).unwrap();
+                dense(&x, &wp, Some(&bp)).unwrap()
+            })
+            .collect();
+        let stitched = Tensor::concat(&parts, 0).unwrap();
+        assert!(full.max_abs_diff(&stitched).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_mismatched_sizes() {
+        let x = Tensor::zeros(Shape::new(vec![4]));
+        let w = Tensor::zeros(Shape::new(vec![2, 5]));
+        assert!(dense(&x, &w, None).is_err());
+        let w2 = Tensor::zeros(Shape::new(vec![2, 4]));
+        let bad_bias = Tensor::zeros(Shape::new(vec![3]));
+        assert!(dense(&x, &w2, Some(&bad_bias)).is_err());
+        let mat_in = Tensor::zeros(Shape::new(vec![2, 2]));
+        assert!(dense(&mat_in, &w2, None).is_err());
+    }
+}

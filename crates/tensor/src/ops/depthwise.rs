@@ -1,0 +1,203 @@
+//! Depthwise 2-D convolution: one filter per channel.
+//!
+//! Depthwise convolutions (MobileNet-style) are *channel-local*: output
+//! channel `c` depends only on input channel `c`. For Gillis this is the
+//! best of both worlds — a depthwise layer chains through both spatial
+//! partitions (it is convolution-like) and channel partitions (it is
+//! channel-local), so it never breaks a group.
+
+use super::conv::conv2d_output_hw;
+use super::Conv2dParams;
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Depthwise convolution: `input` is `CHW`, `weight` is `[c, kh, kw]` (one
+/// filter per channel), `bias` is `[c]` (optional).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for inconsistent shapes or a
+/// kernel larger than the padded input, and [`TensorError::ShapeMismatch`]
+/// for a bias of the wrong length.
+pub fn depthwise_conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    let in_dims = input.shape().dims();
+    let w_dims = weight.shape().dims();
+    if in_dims.len() != 3 {
+        return Err(TensorError::InvalidArgument(format!(
+            "depthwise input must be CHW, got rank {}",
+            in_dims.len()
+        )));
+    }
+    if w_dims.len() != 3 {
+        return Err(TensorError::InvalidArgument(format!(
+            "depthwise weight must be [c, kh, kw], got rank {}",
+            w_dims.len()
+        )));
+    }
+    let (c, in_h, in_w) = (in_dims[0], in_dims[1], in_dims[2]);
+    if w_dims[0] != c {
+        return Err(TensorError::InvalidArgument(format!(
+            "depthwise weight has {} filters for {c} channels",
+            w_dims[0]
+        )));
+    }
+    if (w_dims[1], w_dims[2]) != params.kernel {
+        return Err(TensorError::InvalidArgument(format!(
+            "weight kernel ({}, {}) != declared kernel {:?}",
+            w_dims[1], w_dims[2], params.kernel
+        )));
+    }
+    if let Some(b) = bias {
+        if b.shape().dims() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                expected: Shape::new(vec![c]),
+                actual: b.shape().clone(),
+            });
+        }
+    }
+    let (out_h, out_w) = conv2d_output_hw((in_h, in_w), params).ok_or_else(|| {
+        TensorError::InvalidArgument(format!(
+            "padded input ({in_h}, {in_w}) smaller than kernel {:?}",
+            params.kernel
+        ))
+    })?;
+    let (kh, kw) = params.kernel;
+    let (sh, sw) = params.stride;
+    let pt = params.padding.top as isize;
+    let pl = params.padding.left as isize;
+    let in_plane = in_h * in_w;
+    let k_plane = kh * kw;
+    let x = input.data();
+    let w = weight.data();
+
+    let mut out = vec![0.0f32; c * out_h * out_w];
+    for ch in 0..c {
+        let in_base = ch * in_plane;
+        let w_base = ch * k_plane;
+        let b = bias.map(|b| b.data()[ch]).unwrap_or(0.0);
+        for oy in 0..out_h {
+            let iy0 = (oy * sh) as isize - pt;
+            for ox in 0..out_w {
+                let ix0 = (ox * sw) as isize - pl;
+                let mut acc = b;
+                for ky in 0..kh {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= in_h as isize {
+                        continue;
+                    }
+                    let row = in_base + iy as usize * in_w;
+                    let wrow = w_base + ky * kw;
+                    for kx in 0..kw {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix >= in_w as isize {
+                            continue;
+                        }
+                        acc += x[row + ix as usize] * w[wrow + kx];
+                    }
+                }
+                out[ch * out_h * out_w + oy * out_w + ox] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new(vec![c, out_h, out_w]), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv2d;
+    use crate::ops::Padding;
+
+    #[test]
+    fn matches_block_diagonal_full_convolution() {
+        // A depthwise conv equals a full conv whose filter bank is
+        // block-diagonal across channels.
+        let input = Tensor::from_fn(Shape::new(vec![3, 6, 6]), |i| ((i * 7) % 11) as f32 * 0.1);
+        let dw_weight = Tensor::from_fn(Shape::new(vec![3, 3, 3]), |i| ((i * 5) % 13) as f32 * 0.1);
+        let bias = Tensor::from_fn(Shape::new(vec![3]), |i| i as f32);
+        let params = Conv2dParams::square(3, 1, 1);
+        let dw = depthwise_conv2d(&input, &dw_weight, Some(&bias), &params).unwrap();
+
+        let mut full_w = Tensor::zeros(Shape::new(vec![3, 3, 3, 3]));
+        for c in 0..3usize {
+            for k in 0..9usize {
+                let v = dw_weight.data()[c * 9 + k];
+                full_w.data_mut()[c * 27 + c * 9 + k] = v;
+            }
+        }
+        let full = conv2d(&input, &full_w, Some(&bias), &params).unwrap();
+        assert!(dw.max_abs_diff(&full).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn channel_partition_is_exact() {
+        // The channel-local property: slicing input channels and weights
+        // slices the output exactly.
+        let input = Tensor::from_fn(Shape::new(vec![4, 5, 5]), |i| (i as f32).sin());
+        let weight = Tensor::from_fn(Shape::new(vec![4, 3, 3]), |i| (i as f32 * 0.3).cos());
+        let params = Conv2dParams::square(3, 1, 1);
+        let full = depthwise_conv2d(&input, &weight, None, &params).unwrap();
+        let mut parts = Vec::new();
+        for p in 0..2 {
+            let ins = input.slice(0, p * 2..(p + 1) * 2).unwrap();
+            let ws = weight.slice(0, p * 2..(p + 1) * 2).unwrap();
+            parts.push(depthwise_conv2d(&ins, &ws, None, &params).unwrap());
+        }
+        let stitched = Tensor::concat(&parts, 0).unwrap();
+        assert!(full.max_abs_diff(&stitched).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn spatial_partition_with_halo_is_exact() {
+        let input = Tensor::from_fn(Shape::new(vec![2, 8, 8]), |i| ((i * 13) % 7) as f32);
+        let weight = Tensor::from_fn(Shape::new(vec![2, 3, 3]), |i| (i % 4) as f32 * 0.25);
+        let sym = Conv2dParams::square(3, 1, 1);
+        let full = depthwise_conv2d(&input, &weight, None, &sym).unwrap();
+        let top_in = input.slice(1, 0..5).unwrap();
+        let bot_in = input.slice(1, 3..8).unwrap();
+        let p_top = Conv2dParams {
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding {
+                top: 1,
+                bottom: 0,
+                left: 1,
+                right: 1,
+            },
+        };
+        let p_bot = Conv2dParams {
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding {
+                top: 0,
+                bottom: 1,
+                left: 1,
+                right: 1,
+            },
+        };
+        let top = depthwise_conv2d(&top_in, &weight, None, &p_top).unwrap();
+        let bot = depthwise_conv2d(&bot_in, &weight, None, &p_bot).unwrap();
+        let stitched = Tensor::concat(&[top, bot], 1).unwrap();
+        assert!(full.max_abs_diff(&stitched).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let input = Tensor::zeros(Shape::new(vec![3, 4, 4]));
+        let wrong_c = Tensor::zeros(Shape::new(vec![2, 3, 3]));
+        let params = Conv2dParams::square(3, 1, 1);
+        assert!(depthwise_conv2d(&input, &wrong_c, None, &params).is_err());
+        let w = Tensor::zeros(Shape::new(vec![3, 3, 3]));
+        let bad_bias = Tensor::zeros(Shape::new(vec![5]));
+        assert!(depthwise_conv2d(&input, &w, Some(&bad_bias), &params).is_err());
+        let flat = Tensor::zeros(Shape::new(vec![4]));
+        assert!(depthwise_conv2d(&flat, &w, None, &params).is_err());
+    }
+}

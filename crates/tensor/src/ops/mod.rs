@@ -1,0 +1,71 @@
+//! Layer compute kernels.
+//!
+//! All kernels operate on single-query (batch-free) tensors: convolutional
+//! layers use `CHW` layout, dense layers use rank-1 vectors. Convolution and
+//! pooling accept *asymmetric* padding via [`Padding`], which is what lets a
+//! fork-join worker run on a halo-extended spatial slice and pad only the
+//! sides that coincide with the true tensor border.
+
+mod activation;
+mod conv;
+mod depthwise;
+mod dense;
+mod norm;
+mod pool;
+mod rnn;
+
+pub use activation::{relu, sigmoid, softmax, tanh};
+pub use conv::{conv2d, conv2d_output_hw, Conv2dParams};
+pub use depthwise::depthwise_conv2d;
+pub use dense::dense;
+pub use norm::{batch_norm, BatchNormParams};
+pub use pool::{avg_pool2d, global_avg_pool, max_pool2d, Pool2dParams};
+pub use rnn::{lstm_cell, lstm_sequence, LstmParams, LstmState};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-side spatial padding for convolution and pooling.
+///
+/// Symmetric padding `p` is `Padding::symmetric(p)`. Asymmetric padding lets a
+/// spatial partition pad only its outer border: an interior partition that has
+/// been halo-extended uses zero padding on its interior edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Padding {
+    /// Rows added above the input.
+    pub top: usize,
+    /// Rows added below the input.
+    pub bottom: usize,
+    /// Columns added left of the input.
+    pub left: usize,
+    /// Columns added right of the input.
+    pub right: usize,
+}
+
+impl Padding {
+    /// Equal padding on all four sides.
+    pub fn symmetric(p: usize) -> Self {
+        Padding {
+            top: p,
+            bottom: p,
+            left: p,
+            right: p,
+        }
+    }
+
+    /// No padding.
+    pub fn none() -> Self {
+        Padding::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_padding_sets_all_sides() {
+        let p = Padding::symmetric(2);
+        assert_eq!((p.top, p.bottom, p.left, p.right), (2, 2, 2, 2));
+        assert_eq!(Padding::none(), Padding::default());
+    }
+}

@@ -1,0 +1,225 @@
+//! Max/average pooling over `CHW` tensors.
+
+use serde::{Deserialize, Serialize};
+
+use super::conv::{conv2d_output_hw, Conv2dParams};
+use super::Padding;
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Parameters of a 2-D pooling window sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pool2dParams {
+    /// Window height and width.
+    pub kernel: (usize, usize),
+    /// Vertical and horizontal stride.
+    pub stride: (usize, usize),
+    /// Per-side padding. Max pooling pads with `-inf`; average pooling pads
+    /// with zeros that *do not* count toward the divisor (the common
+    /// `count_include_pad = false` convention).
+    pub padding: Padding,
+}
+
+impl Pool2dParams {
+    /// Square window with equal stride and symmetric padding.
+    pub fn square(kernel: usize, stride: usize, padding: usize) -> Self {
+        Pool2dParams {
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: Padding::symmetric(padding),
+        }
+    }
+
+    fn as_conv(&self) -> Conv2dParams {
+        Conv2dParams {
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        }
+    }
+}
+
+fn pool2d(
+    input: &Tensor,
+    params: &Pool2dParams,
+    is_max: bool,
+) -> Result<Tensor> {
+    let dims = input.shape().dims();
+    if dims.len() != 3 {
+        return Err(TensorError::InvalidArgument(format!(
+            "pool2d input must be CHW, got rank {}",
+            dims.len()
+        )));
+    }
+    let (c, in_h, in_w) = (dims[0], dims[1], dims[2]);
+    let (out_h, out_w) = conv2d_output_hw((in_h, in_w), &params.as_conv()).ok_or_else(|| {
+        TensorError::InvalidArgument(format!(
+            "padded input ({in_h}, {in_w}) smaller than pooling window {:?}",
+            params.kernel
+        ))
+    })?;
+    let (kh, kw) = params.kernel;
+    let (sh, sw) = params.stride;
+    let pt = params.padding.top as isize;
+    let pl = params.padding.left as isize;
+    let plane = in_h * in_w;
+    let data = input.data();
+
+    let mut out = vec![0.0f32; c * out_h * out_w];
+    for ch in 0..c {
+        let base = ch * plane;
+        for oy in 0..out_h {
+            let iy0 = (oy * sh) as isize - pt;
+            for ox in 0..out_w {
+                let ix0 = (ox * sw) as isize - pl;
+                let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                let mut count = 0usize;
+                for ky in 0..kh {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= in_h as isize {
+                        continue;
+                    }
+                    let row = base + iy as usize * in_w;
+                    for kx in 0..kw {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix >= in_w as isize {
+                            continue;
+                        }
+                        let v = data[row + ix as usize];
+                        if is_max {
+                            acc = acc.max(v);
+                        } else {
+                            acc += v;
+                        }
+                        count += 1;
+                    }
+                }
+                out[ch * out_h * out_w + oy * out_w + ox] = if is_max {
+                    acc
+                } else if count > 0 {
+                    acc / count as f32
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new(vec![c, out_h, out_w]), out)
+}
+
+/// Max pooling over a `CHW` tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for non-`CHW` inputs or windows
+/// larger than the padded input.
+pub fn max_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
+    pool2d(input, params, true)
+}
+
+/// Average pooling over a `CHW` tensor (padding excluded from the divisor).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for non-`CHW` inputs or windows
+/// larger than the padded input.
+pub fn avg_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
+    pool2d(input, params, false)
+}
+
+/// Global average pooling: reduces `CHW` to `[C]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for non-`CHW` inputs.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let dims = input.shape().dims();
+    if dims.len() != 3 {
+        return Err(TensorError::InvalidArgument(format!(
+            "global_avg_pool input must be CHW, got rank {}",
+            dims.len()
+        )));
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let plane = h * w;
+    if plane == 0 {
+        return Err(TensorError::InvalidArgument(
+            "global_avg_pool over empty spatial plane".into(),
+        ));
+    }
+    let data = input.data();
+    let out = (0..c)
+        .map(|ch| data[ch * plane..(ch + 1) * plane].iter().sum::<f32>() / plane as f32)
+        .collect();
+    Tensor::from_vec(Shape::new(vec![c]), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_2x2() {
+        let input = Tensor::from_vec(
+            Shape::new(vec![1, 2, 4]),
+            vec![1.0, 3.0, 2.0, 4.0, 5.0, 0.0, -1.0, 9.0],
+        )
+        .unwrap();
+        let out = max_pool2d(&input, &Pool2dParams::square(2, 2, 0)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2]);
+        assert_eq!(out.data(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn avg_pool_excludes_padding_from_divisor() {
+        let input = Tensor::full(Shape::new(vec![1, 2, 2]), 4.0);
+        // 3x3 window with padding 1 over a 2x2 input of all 4s: each window
+        // covers exactly the 4 real elements at stride 2 start (0,0).
+        let out = avg_pool2d(&input, &Pool2dParams::square(3, 2, 1)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 1]);
+        assert_eq!(out.data(), &[4.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_means_each_channel() {
+        let input = Tensor::from_vec(
+            Shape::new(vec![2, 1, 2]),
+            vec![1.0, 3.0, 10.0, 20.0],
+        )
+        .unwrap();
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[2]);
+        assert_eq!(out.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn pool_spatial_split_equivalence() {
+        // Pooling a full input equals pooling halo-extended halves stitched,
+        // for a 2x2/2 window (no halo needed at even split points).
+        let input = Tensor::from_fn(Shape::new(vec![3, 8, 6]), |i| ((i * 37) % 11) as f32);
+        let params = Pool2dParams::square(2, 2, 0);
+        let full = max_pool2d(&input, &params).unwrap();
+        let top = input.slice(1, 0..4).unwrap();
+        let bot = input.slice(1, 4..8).unwrap();
+        let stitched = Tensor::concat(
+            &[
+                max_pool2d(&top, &params).unwrap(),
+                max_pool2d(&bot, &params).unwrap(),
+            ],
+            1,
+        )
+        .unwrap();
+        assert_eq!(full, stitched);
+    }
+
+    #[test]
+    fn rejects_bad_rank_and_oversize_window() {
+        let flat = Tensor::zeros(Shape::new(vec![4]));
+        assert!(max_pool2d(&flat, &Pool2dParams::square(2, 2, 0)).is_err());
+        assert!(global_avg_pool(&flat).is_err());
+        let tiny = Tensor::zeros(Shape::new(vec![1, 2, 2]));
+        assert!(avg_pool2d(&tiny, &Pool2dParams::square(5, 1, 0)).is_err());
+    }
+}

@@ -1,0 +1,368 @@
+//! The dense `f32` tensor and its slicing/stitching primitives.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::Result;
+
+/// A dense, row-major `f32` tensor.
+///
+/// This is the value type flowing through the Gillis fork-join runtime: the
+/// master slices inputs with [`Tensor::slice`], ships the pieces to workers,
+/// and reassembles worker outputs with [`Tensor::concat`].
+///
+/// # Examples
+///
+/// ```
+/// use gillis_tensor::{Shape, Tensor};
+///
+/// # fn main() -> Result<(), gillis_tensor::TensorError> {
+/// let t = Tensor::from_vec(Shape::new(vec![2, 4]), (0..8).map(|x| x as f32).collect())?;
+/// let halves = [t.slice(1, 0..2)?, t.slice(1, 2..4)?];
+/// let back = Tensor::concat(&halves, 1)?;
+/// assert_eq!(back, t);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and matching data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self> {
+        if data.len() != shape.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected: shape.clone(),
+                actual: Shape::new(vec![data.len()]),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor whose elements are produced by `f(flat_index)`.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(usize) -> f32) -> Self {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: (0..len).map(&mut f).collect(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// A view of the underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// A mutable view of the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its underlying data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access by multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts bounds; see [`Shape::offset`].
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element access by multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts bounds; see [`Shape::offset`].
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
+    pub fn reshape(self, shape: Shape) -> Result<Self> {
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected: shape,
+                actual: self.shape,
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data,
+        })
+    }
+
+    /// Extracts the sub-tensor `range` along dimension `dim`, copying.
+    ///
+    /// All other dimensions are kept whole. This is the scatter primitive of
+    /// the fork-join master: spatial partitions slice the height/width
+    /// dimension (with halos), channel partitions slice the channel dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimOutOfRange`] for a bad `dim` and
+    /// [`TensorError::RangeOutOfBounds`] for a bad `range`.
+    pub fn slice(&self, dim: usize, range: std::ops::Range<usize>) -> Result<Tensor> {
+        let size = self.shape.dim(dim)?;
+        if range.start > range.end || range.end > size {
+            return Err(TensorError::RangeOutOfBounds {
+                dim,
+                start: range.start,
+                end: range.end,
+                size,
+            });
+        }
+        let dims = self.shape.dims();
+        // outer = product of dims before `dim`; inner = product after.
+        let outer: usize = dims[..dim].iter().product();
+        let inner: usize = dims[dim + 1..].iter().product();
+        let new_len = range.len();
+        let mut out = Vec::with_capacity(outer * new_len * inner);
+        for o in 0..outer {
+            let base = o * size * inner;
+            out.extend_from_slice(&self.data[base + range.start * inner..base + range.end * inner]);
+        }
+        let new_shape = self.shape.with_dim(dim, new_len)?;
+        Tensor::from_vec(new_shape, out)
+    }
+
+    /// Concatenates tensors along dimension `dim`, copying.
+    ///
+    /// This is the gather primitive of the fork-join master: worker outputs
+    /// are stitched back into the full tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `parts` is empty, and
+    /// [`TensorError::ShapeMismatch`] if the parts disagree on any dimension
+    /// other than `dim`.
+    pub fn concat(parts: &[Tensor], dim: usize) -> Result<Tensor> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("concat of zero tensors".into()))?;
+        let rank = first.shape.rank();
+        if dim >= rank {
+            return Err(TensorError::DimOutOfRange { dim, rank });
+        }
+        let mut total = 0;
+        for p in parts {
+            if p.shape.rank() != rank {
+                return Err(TensorError::ShapeMismatch {
+                    expected: first.shape.clone(),
+                    actual: p.shape.clone(),
+                });
+            }
+            for d in 0..rank {
+                if d != dim && p.shape.dims()[d] != first.shape.dims()[d] {
+                    return Err(TensorError::ShapeMismatch {
+                        expected: first.shape.clone(),
+                        actual: p.shape.clone(),
+                    });
+                }
+            }
+            total += p.shape.dims()[dim];
+        }
+        let out_shape = first.shape.with_dim(dim, total)?;
+        let dims = first.shape.dims();
+        let outer: usize = dims[..dim].iter().product();
+        let inner: usize = dims[dim + 1..].iter().product();
+        let mut out = Vec::with_capacity(out_shape.len());
+        for o in 0..outer {
+            for p in parts {
+                let psize = p.shape.dims()[dim];
+                let base = o * psize * inner;
+                out.extend_from_slice(&p.data[base..base + psize * inner]);
+            }
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape.clone(),
+                actual: other.shape.clone(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Maximum absolute difference between two tensors of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape.clone(),
+                actual: other.shape.clone(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(shape: Vec<usize>) -> Tensor {
+        Tensor::from_fn(Shape::new(shape), |i| i as f32)
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0; 4]).is_ok());
+        assert!(Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn slice_middle_dimension() {
+        let t = iota(vec![2, 4, 3]);
+        let s = t.slice(1, 1..3).unwrap();
+        assert_eq!(s.shape().dims(), &[2, 2, 3]);
+        // Row o=0, slice rows 1..3 of dim1.
+        assert_eq!(&s.data()[..6], &[3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        // Row o=1 starts at offset 12 in the original.
+        assert_eq!(&s.data()[6..], &[15.0, 16.0, 17.0, 18.0, 19.0, 20.0]);
+    }
+
+    #[test]
+    fn slice_then_concat_roundtrips() {
+        let t = iota(vec![3, 5, 2]);
+        for dim in 0..3 {
+            let size = t.shape().dims()[dim];
+            let mid = size / 2;
+            let a = t.slice(dim, 0..mid).unwrap();
+            let b = t.slice(dim, mid..size).unwrap();
+            let back = Tensor::concat(&[a, b], dim).unwrap();
+            assert_eq!(back, t, "roundtrip failed on dim {dim}");
+        }
+    }
+
+    #[test]
+    fn slice_rejects_bad_ranges() {
+        let t = iota(vec![2, 3]);
+        assert!(matches!(
+            t.slice(1, 2..5),
+            Err(TensorError::RangeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            t.slice(5, 0..1),
+            Err(TensorError::DimOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_slice_is_allowed() {
+        let t = iota(vec![2, 3]);
+        let s = t.slice(1, 1..1).unwrap();
+        assert_eq!(s.shape().dims(), &[2, 0]);
+        assert!(s.data().is_empty());
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_parts() {
+        let a = iota(vec![2, 3]);
+        let b = iota(vec![3, 3]);
+        // dim 0 concat is fine (other dims equal)...
+        assert!(Tensor::concat(&[a.clone(), b.clone()], 0).is_ok());
+        // ...but dim 1 concat must reject differing dim 0.
+        assert!(Tensor::concat(&[a, b], 1).is_err());
+        assert!(Tensor::concat(&[], 0).is_err());
+    }
+
+    #[test]
+    fn add_and_map() {
+        let a = iota(vec![2, 2]);
+        let b = a.add(&a).unwrap();
+        assert_eq!(b.data(), &[0.0, 2.0, 4.0, 6.0]);
+        let c = a.map(|x| x * 10.0);
+        assert_eq!(c.data(), &[0.0, 10.0, 20.0, 30.0]);
+        assert!(a.add(&iota(vec![4])).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = iota(vec![2, 6]);
+        let r = t.clone().reshape(Shape::new(vec![3, 4])).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(Shape::new(vec![5])).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = iota(vec![4]);
+        let mut b = a.clone();
+        b.data_mut()[2] += 0.5;
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        assert_eq!(a.max_abs_diff(&a).unwrap(), 0.0);
+    }
+}

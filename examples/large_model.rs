@@ -1,0 +1,50 @@
+//! Serving a model that cannot fit in any single serverless function:
+//! WRN-50-4 (~1.6 GB of weights vs the 1.4 GB Lambda budget).
+//!
+//! Default serving OOMs; the Pipeline baseline streams weights from storage
+//! and is dominated by loading; Gillis partitions the model across functions
+//! and serves it an order of magnitude faster (paper Fig 11).
+//!
+//! ```sh
+//! cargo run --release --example large_model
+//! ```
+
+use gillis::core::baselines::{default_serving_ms, pipeline_serving};
+use gillis::core::{DpPartitioner, ForkJoinRuntime};
+use gillis::faas::PlatformProfile;
+use gillis::model::zoo;
+use gillis::perf::PerfModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::wrn50(4);
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::profiled(&platform, 17);
+    println!(
+        "model {}: {:.2} GB of weights vs {:.2} GB function budget",
+        model.name(),
+        model.weight_bytes() as f64 / 1e9,
+        platform.model_memory_budget as f64 / 1e9,
+    );
+
+    // Default serving fails with OOM.
+    match default_serving_ms(&model, &perf) {
+        Err(e) => println!("\ndefault serving: {e}"),
+        Ok(ms) => println!("\ndefault serving unexpectedly succeeded: {ms:.0} ms"),
+    }
+
+    // Pipeline baseline: stage weights in S3, stream per query.
+    let pipe = pipeline_serving(&model, &platform, 9)?;
+    println!(
+        "pipeline serving: {:.0} ms ({} stages; {:.0} ms loading + {:.0} ms compute)",
+        pipe.total_ms, pipe.stages, pipe.load_ms, pipe.compute_ms
+    );
+
+    // Gillis: partition across functions.
+    let plan = DpPartitioner::default().partition(&model, &perf)?;
+    let runtime = ForkJoinRuntime::new(&model, &plan, platform)?;
+    let gillis_ms = runtime.mean_latency_ms(100, 2);
+    println!("gillis serving  : {gillis_ms:.0} ms ({} groups)", plan.groups().len());
+    println!("speedup over pipeline: {:.1}x", pipe.total_ms / gillis_ms);
+    println!("\n{}", plan.describe(&model)?);
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! The same model served on all three platforms the paper evaluates:
+//! AWS Lambda, Google Cloud Functions, and KNIX. Faster function
+//! communication (KNIX) lets Gillis parallelize more aggressively (paper
+//! §VI: "next-generation serverless platforms enable increasingly faster
+//! function communications, making Gillis's parallelization more
+//! efficient").
+//!
+//! ```sh
+//! cargo run --release --example platform_comparison
+//! ```
+
+use gillis::core::{DpPartitioner, ExecutionPlan, ForkJoinRuntime};
+use gillis::faas::PlatformProfile;
+use gillis::model::zoo;
+use gillis::perf::PerfModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::vgg16();
+    println!("serving {} on three platforms:\n", model.name());
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>11}",
+        "platform", "default(ms)", "gillis(ms)", "speedup", "max fan-out"
+    );
+    for platform in [
+        PlatformProfile::aws_lambda(),
+        PlatformProfile::gcf(),
+        PlatformProfile::knix(),
+    ] {
+        let perf = PerfModel::profiled(&platform, 5);
+        let plan = DpPartitioner::default().partition(&model, &perf)?;
+        let gillis = ForkJoinRuntime::new(&model, &plan, platform.clone())?.mean_latency_ms(100, 3);
+        let single = ExecutionPlan::single_function(&model);
+        let default = ForkJoinRuntime::new(&model, &single, platform.clone())?.mean_latency_ms(100, 3);
+        let fanout = plan.groups().iter().map(|g| g.option.parts()).max().unwrap_or(1);
+        println!(
+            "{:>8} {:>12.0} {:>12.0} {:>8.2}x {:>11}",
+            platform.kind.label(),
+            default,
+            gillis,
+            default / gillis,
+            fanout
+        );
+    }
+    println!("\nfaster communication -> more profitable parallelism (paper Figs 7, 10).");
+    Ok(())
+}

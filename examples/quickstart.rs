@@ -1,0 +1,48 @@
+//! Quickstart: partition a model for latency-optimal serverless serving.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gillis::core::{predict_plan, DpPartitioner, ExecutionPlan, ForkJoinRuntime, PartitionerConfig};
+use gillis::faas::PlatformProfile;
+use gillis::model::zoo;
+use gillis::perf::PerfModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a model and a platform.
+    let model = zoo::vgg11();
+    let platform = PlatformProfile::aws_lambda();
+    println!(
+        "model {}: {:.0} MB of weights, {:.1} GFLOPs per query",
+        model.name(),
+        model.weight_bytes() as f64 / 1e6,
+        model.total_flops() as f64 / 1e9
+    );
+
+    // 2. Profile the platform and build the performance model (§IV-A).
+    let perf = PerfModel::profiled(&platform, 42);
+
+    // 3. Latency-optimal partitioning (§IV-B).
+    let plan = DpPartitioner::new(PartitionerConfig::default()).partition(&model, &perf)?;
+    println!("\n{}", plan.describe(&model)?);
+
+    // 4. Predict, then measure against the simulated platform.
+    let predicted = predict_plan(&model, &plan, &perf)?;
+    let runtime = ForkJoinRuntime::new(&model, &plan, platform.clone())?;
+    let measured = runtime.mean_latency_ms(100, 7);
+
+    let single = ExecutionPlan::single_function(&model);
+    let baseline = ForkJoinRuntime::new(&model, &single, platform)?.mean_latency_ms(100, 7);
+
+    println!("default (single function) : {baseline:.0} ms");
+    println!("gillis, predicted          : {:.0} ms", predicted.latency_ms);
+    println!("gillis, measured           : {measured:.0} ms");
+    println!("speedup                    : {:.2}x", baseline / measured);
+    println!(
+        "billed cost per query      : {} ms ({} worker invocations/group max)",
+        predicted.billed_ms,
+        plan.groups().iter().map(|g| g.worker_count()).max().unwrap_or(0)
+    );
+    Ok(())
+}

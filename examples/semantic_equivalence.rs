@@ -1,0 +1,82 @@
+//! Partitioning is accuracy-lossless: a partitioned plan computes *exactly*
+//! the same output as the unpartitioned model (no compression, no
+//! approximation — the paper's core argument for partitioning over
+//! compression, §II-C).
+//!
+//! This example materializes real weights for a small CNN, runs the full
+//! forward pass, then executes a Gillis plan with real tensor math — slicing
+//! halo rows, computing partitions, stitching outputs — and compares.
+//!
+//! ```sh
+//! cargo run --release --example semantic_equivalence
+//! ```
+
+use gillis::core::{
+    execute_plan_tensors, ExecutionPlan, PartDim, PartitionOption, Placement, PlannedGroup,
+};
+use gillis::model::exec::Executor;
+use gillis::model::weights::init_weights;
+use gillis::model::zoo;
+use gillis::tensor::{Shape, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::tiny_vgg();
+    let weights = init_weights(model.graph(), 2024)?;
+    println!(
+        "model {} with materialized weights ({} weighted nodes)",
+        model.name(),
+        weights.len()
+    );
+
+    // A deterministic query tensor.
+    let input = Tensor::from_fn(Shape::new(model.input_shape().dims().to_vec()), |i| {
+        ((i * 2654435761) % 1000) as f32 / 500.0 - 1.0
+    });
+
+    // Reference: unpartitioned forward pass.
+    let exec = Executor::new(model.graph(), &weights);
+    let reference = exec.forward(&model, &input)?;
+    println!("reference logits: {:?}", &reference.data()[..5]);
+
+    // For a model this small the latency-optimal plan is a single group
+    // (parallelism never pays — the optimizer is right), so build an
+    // aggressive plan by hand to demonstrate partitioned execution: spatial
+    // layers split 4-way with halos, the classifier split by output units.
+    let mut groups = Vec::new();
+    for (i, layer) in model.layers().iter().enumerate() {
+        let option = if layer.class.supports_spatial() && layer.out_shape.dims()[1] >= 4 {
+            PartitionOption::Split {
+                dim: PartDim::Height,
+                parts: 4,
+            }
+        } else if layer.class.channel_splittable() && layer.out_shape.dims()[0] >= 2 {
+            PartitionOption::Split {
+                dim: PartDim::Channel,
+                parts: 2,
+            }
+        } else {
+            PartitionOption::Single
+        };
+        groups.push(PlannedGroup {
+            start: i,
+            end: i + 1,
+            option,
+            placement: if option == PartitionOption::Single {
+                Placement::Master
+            } else {
+                Placement::Workers
+            },
+        });
+    }
+    let plan = ExecutionPlan::new(groups);
+    plan.validate(&model, u64::MAX)?;
+    println!("\n{}", plan.describe(&model)?);
+    let partitioned = execute_plan_tensors(&model, &plan, &weights, &input)?;
+    println!("partitioned logits: {:?}", &partitioned.data()[..5]);
+
+    let diff = reference.max_abs_diff(&partitioned)?;
+    println!("\nmax |difference| = {diff:e}");
+    assert!(diff < 1e-4, "partitioned execution diverged");
+    println!("partitioned execution is numerically identical — no accuracy loss.");
+    Ok(())
+}

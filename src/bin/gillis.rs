@@ -1,0 +1,184 @@
+//! `gillis` — command-line front end for the reproduction.
+//!
+//! ```text
+//! gillis models
+//! gillis info     --model vgg16
+//! gillis plan     --model vgg16 --platform lambda [--slo 500] [--out plan.txt]
+//! gillis describe --model wrn-34-5 --platform lambda [--plan plan.txt]
+//! gillis predict  --model vgg16 --platform lambda [--plan plan.txt]
+//! gillis serve    --model vgg16 --platform lambda [--plan plan.txt]
+//!                 [--clients 100] [--queries 1000]
+//! ```
+//!
+//! Plans are stored in the stable text format of
+//! [`gillis::core::ExecutionPlan::to_text`]; when `--plan` is omitted the
+//! latency-optimal plan is computed on the fly.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use gillis::serving::{lookup_model, lookup_platform, model_catalog};
+
+use gillis::core::{predict_plan, DpPartitioner, ExecutionPlan, ForkJoinRuntime};
+use gillis::faas::workload::ClosedLoop;
+use gillis::faas::Micros;
+use gillis::model::LinearModel;
+use gillis::perf::PerfModel;
+use gillis::rl::{slo_aware_partition, SloAwareConfig};
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn load_or_plan(
+    flags: &HashMap<String, String>,
+    model: &LinearModel,
+    perf: &PerfModel,
+) -> Result<ExecutionPlan, String> {
+    match flags.get("plan") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read plan {path}: {e}"))?;
+            let plan = ExecutionPlan::from_text(&text).map_err(|e| e.to_string())?;
+            plan.validate(model, perf.platform.model_memory_budget)
+                .map_err(|e| format!("plan does not fit {}: {e}", model.name()))?;
+            Ok(plan)
+        }
+        None => DpPartitioner::default()
+            .partition(model, perf)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err("usage: gillis <models|info|plan|describe|predict|serve> [--flags]".into());
+    };
+    if command == "models" {
+        println!("{:<16} {:>12} {:>10}", "model", "weights(MB)", "layers");
+        for (name, f) in model_catalog() {
+            let m = f();
+            println!(
+                "{:<16} {:>12.0} {:>10}",
+                name,
+                m.weight_bytes() as f64 / 1e6,
+                m.layers().len()
+            );
+        }
+        return Ok(());
+    }
+
+    let flags = parse_flags(&args[1..])?;
+    let model_name = flags
+        .get("model")
+        .ok_or_else(|| "--model is required".to_string())?;
+    let model = lookup_model(model_name).map_err(|e| e.to_string())?;
+    let platform = lookup_platform(flags.get("platform").map(String::as_str).unwrap_or("lambda"))
+        .map_err(|e| e.to_string())?;
+    let perf = PerfModel::profiled(&platform, 42);
+
+    match command.as_str() {
+        "info" => {
+            print!("{}", model.summary());
+        }
+        "plan" => {
+            let plan = match flags.get("slo") {
+                Some(slo) => {
+                    let t_max_ms: f64 = slo.parse().map_err(|_| format!("bad --slo: {slo}"))?;
+                    slo_aware_partition(
+                        &model,
+                        &perf,
+                        &SloAwareConfig {
+                            t_max_ms,
+                            ..SloAwareConfig::default()
+                        },
+                    )
+                    .map_err(|e| e.to_string())?
+                    .plan
+                }
+                None => DpPartitioner::default()
+                    .partition(&model, &perf)
+                    .map_err(|e| e.to_string())?,
+            };
+            let text = plan.to_text();
+            match flags.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("wrote {path} ({} groups)", plan.groups().len());
+                }
+                None => print!("{text}"),
+            }
+        }
+        "describe" => {
+            let plan = load_or_plan(&flags, &model, &perf)?;
+            print!("{}", plan.describe(&model).map_err(|e| e.to_string())?);
+        }
+        "predict" => {
+            let plan = load_or_plan(&flags, &model, &perf)?;
+            let pred = predict_plan(&model, &plan, &perf).map_err(|e| e.to_string())?;
+            println!("latency : {:.1} ms", pred.latency_ms);
+            println!("billed  : {} ms/query", pred.billed_ms);
+            println!("cost    : ${:.6}/query", pred.usd);
+        }
+        "serve" => {
+            let plan = load_or_plan(&flags, &model, &perf)?;
+            let clients = flags
+                .get("clients")
+                .map(|v| v.parse().map_err(|_| format!("bad --clients: {v}")))
+                .transpose()?
+                .unwrap_or(100);
+            let queries = flags
+                .get("queries")
+                .map(|v| v.parse().map_err(|_| format!("bad --queries: {v}")))
+                .transpose()?
+                .unwrap_or(1000);
+            let rt = ForkJoinRuntime::new(&model, &plan, platform).map_err(|e| e.to_string())?;
+            let report = rt
+                .serve_workload(
+                    ClosedLoop::new(clients, queries, Micros::ZERO).map_err(|e| e.to_string())?,
+                    7,
+                )
+                .map_err(|e| e.to_string())?;
+            println!(
+                "served {} queries: mean {:.1} ms, p50 {:.1} ms, p99 {:.1} ms",
+                report.latency.count(),
+                report.latency.mean(),
+                report.latency.percentile(50.0),
+                report.latency.percentile(99.0),
+            );
+            println!(
+                "billed {} ms total (${:.4}); {} cold starts, {} retries",
+                report.billing.billed_ms_total(),
+                report.billing.usd_total(),
+                report.cold_starts,
+                report.retries,
+            );
+        }
+        other => return Err(format!("unknown command '{other}'")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

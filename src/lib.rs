@@ -1,0 +1,44 @@
+//! # Gillis
+//!
+//! A reproduction of *"Gillis: Serving Large Neural Networks in Serverless
+//! Functions with Automatic Model Partitioning"* (ICDCS 2021).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`tensor`] — dense f32 tensors and layer kernels.
+//! - [`model`] — the DNN graph IR, layer merging, and the benchmark model zoo.
+//! - [`faas`] — a discrete-event serverless platform simulator (Lambda, GCF,
+//!   KNIX profiles) with billing, warm pools, and an S3-like object store.
+//! - [`perf`] — the profiling-driven performance model (layer-runtime
+//!   regression + exGaussian communication delays with order statistics).
+//! - [`core`] — partitioning algorithms (latency-optimal dynamic programming)
+//!   and the fork-join serving runtime plus baselines.
+//! - [`rl`] — the SLO-aware REINFORCE partitioner/placer agents.
+//! - [`bo`] — the Bayesian-optimization and brute-force baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gillis::core::{DpPartitioner, PartitionerConfig};
+//! use gillis::faas::PlatformProfile;
+//! use gillis::model::zoo;
+//! use gillis::perf::PerfModel;
+//!
+//! let model = zoo::vgg11();
+//! let platform = PlatformProfile::aws_lambda();
+//! let perf = PerfModel::analytic(&platform);
+//! let plan = DpPartitioner::new(PartitionerConfig::default())
+//!     .partition(&model, &perf)
+//!     .expect("partitioning succeeds");
+//! assert!(!plan.groups().is_empty());
+//! ```
+
+pub mod serving;
+
+pub use gillis_bo as bo;
+pub use gillis_core as core;
+pub use gillis_faas as faas;
+pub use gillis_model as model;
+pub use gillis_perf as perf;
+pub use gillis_rl as rl;
+pub use gillis_tensor as tensor;

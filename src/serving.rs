@@ -1,0 +1,344 @@
+//! High-level serving facade: the workflow of paper Fig 3 in one builder.
+//!
+//! ```text
+//! profile → partition (latency-optimal | SLO-aware | tail-aware) → deploy → serve
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use gillis::serving::{Gillis, Mode};
+//! use gillis::faas::PlatformProfile;
+//! use gillis::model::zoo;
+//!
+//! # fn main() -> Result<(), gillis::core::CoreError> {
+//! let deployment = Gillis::new(zoo::tiny_vgg())
+//!     .platform(PlatformProfile::aws_lambda())
+//!     .mode(Mode::LatencyOptimal)
+//!     .deploy()?;
+//! let latency = deployment.mean_latency_ms(10, 1);
+//! assert!(latency > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use gillis_core::{
+    predict_plan, CoreError, DpPartitioner, ExecutionPlan, ForkJoinRuntime, PartitionerConfig,
+    PlanPrediction, ServingReport,
+};
+use gillis_faas::workload::ClosedLoop;
+use gillis_faas::PlatformProfile;
+use gillis_model::LinearModel;
+use gillis_perf::PerfModel;
+use gillis_rl::{slo_aware_partition, SloAwareConfig};
+
+/// The models available by name — the zoo exposed to the CLI and tests.
+pub fn model_catalog() -> Vec<(&'static str, fn() -> LinearModel)> {
+    use gillis_model::zoo;
+    vec![
+        ("vgg11", zoo::vgg11 as fn() -> LinearModel),
+        ("vgg16", zoo::vgg16),
+        ("vgg19", zoo::vgg19),
+        ("resnet34", zoo::resnet34),
+        ("resnet50", zoo::resnet50),
+        ("resnet101", zoo::resnet101),
+        ("mobilenet", zoo::mobilenet),
+        ("wrn-34-3", || zoo::wrn34(3)),
+        ("wrn-34-4", || zoo::wrn34(4)),
+        ("wrn-34-5", || zoo::wrn34(5)),
+        ("wrn-50-3", || zoo::wrn50(3)),
+        ("wrn-50-4", || zoo::wrn50(4)),
+        ("wrn-50-5", || zoo::wrn50(5)),
+        ("rnn-3", || zoo::rnn(3)),
+        ("rnn-6", || zoo::rnn(6)),
+        ("rnn-9", || zoo::rnn(9)),
+        ("rnn-12", || zoo::rnn(12)),
+        ("rnn-18", || zoo::rnn(18)),
+        ("tiny-vgg", zoo::tiny_vgg),
+        ("tiny-resnet", zoo::tiny_resnet),
+        ("tiny-inception", zoo::tiny_inception),
+        ("tiny-mobilenet", zoo::tiny_mobilenet),
+    ]
+}
+
+/// Builds a zoo model by its catalog name.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for unknown names.
+pub fn lookup_model(name: &str) -> Result<LinearModel, CoreError> {
+    model_catalog()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| f())
+        .ok_or_else(|| CoreError::InvalidArgument(format!("unknown model '{name}'")))
+}
+
+/// Builds a platform profile by name (`lambda`/`aws`, `gcf`/`google`,
+/// `knix`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for unknown names.
+pub fn lookup_platform(name: &str) -> Result<PlatformProfile, CoreError> {
+    match name {
+        "lambda" | "aws" => Ok(PlatformProfile::aws_lambda()),
+        "gcf" | "google" => Ok(PlatformProfile::gcf()),
+        "knix" => Ok(PlatformProfile::knix()),
+        other => Err(CoreError::InvalidArgument(format!(
+            "unknown platform '{other}' (lambda | gcf | knix)"
+        ))),
+    }
+}
+
+/// Which partitioning objective to use (paper §IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Minimize inference latency (§IV-B, dynamic programming).
+    LatencyOptimal,
+    /// Minimize billed cost subject to a mean-latency SLO (§IV-C,
+    /// reinforcement learning).
+    SloAware {
+        /// Mean-latency threshold in milliseconds.
+        t_max_ms: f64,
+    },
+    /// Minimize billed cost subject to a latency-*quantile* SLO (the §VI
+    /// extension), e.g. `quantile: 0.99` for p99.
+    TailAware {
+        /// Latency quantile the SLO constrains (in `(0, 1)`).
+        quantile: f64,
+        /// Latency threshold in milliseconds.
+        t_max_ms: f64,
+    },
+}
+
+/// Builder for a Gillis deployment.
+#[derive(Debug, Clone)]
+pub struct Gillis {
+    model: LinearModel,
+    platform: PlatformProfile,
+    mode: Mode,
+    profile_seed: u64,
+    episodes: usize,
+}
+
+impl Gillis {
+    /// Starts a deployment of `model` (defaults: AWS Lambda,
+    /// latency-optimal).
+    pub fn new(model: LinearModel) -> Self {
+        Gillis {
+            model,
+            platform: PlatformProfile::aws_lambda(),
+            mode: Mode::LatencyOptimal,
+            profile_seed: 42,
+            episodes: 400,
+        }
+    }
+
+    /// Sets the target platform.
+    pub fn platform(mut self, platform: PlatformProfile) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Sets the partitioning objective.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the profiling / training seed (deployments are deterministic in
+    /// it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.profile_seed = seed;
+        self
+    }
+
+    /// Sets the RL episode budget for the SLO-aware modes.
+    pub fn episodes(mut self, episodes: usize) -> Self {
+        self.episodes = episodes;
+        self
+    }
+
+    /// Runs the full offline workflow: profile the platform, search for a
+    /// plan under the chosen objective, and validate it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] when no plan fits the memory budget
+    /// or meets the SLO, and propagates analysis errors.
+    pub fn deploy(self) -> Result<Deployment, CoreError> {
+        let perf = PerfModel::profiled(&self.platform, self.profile_seed);
+        let plan = match self.mode {
+            Mode::LatencyOptimal => {
+                DpPartitioner::new(PartitionerConfig::default()).partition(&self.model, &perf)?
+            }
+            Mode::SloAware { t_max_ms } => {
+                slo_aware_partition(
+                    &self.model,
+                    &perf,
+                    &SloAwareConfig {
+                        t_max_ms,
+                        episodes: self.episodes,
+                        seed: self.profile_seed,
+                        ..SloAwareConfig::default()
+                    },
+                )?
+                .plan
+            }
+            Mode::TailAware { quantile, t_max_ms } => {
+                slo_aware_partition(
+                    &self.model,
+                    &perf,
+                    &SloAwareConfig {
+                        t_max_ms,
+                        episodes: self.episodes,
+                        seed: self.profile_seed,
+                        tail_quantile: Some(quantile),
+                        ..SloAwareConfig::default()
+                    },
+                )?
+                .plan
+            }
+        };
+        let prediction = predict_plan(&self.model, &plan, &perf)?;
+        Ok(Deployment {
+            model: self.model,
+            platform: self.platform,
+            plan,
+            prediction,
+        })
+    }
+}
+
+/// A deployed model: the plan plus everything needed to serve it.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    model: LinearModel,
+    platform: PlatformProfile,
+    plan: ExecutionPlan,
+    prediction: PlanPrediction,
+}
+
+impl Deployment {
+    /// The chosen execution plan.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// Predicted latency and cost.
+    pub fn predicted(&self) -> &PlanPrediction {
+        &self.prediction
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &LinearModel {
+        &self.model
+    }
+
+    /// Human-readable plan description (Fig 14 style).
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-analysis failures.
+    pub fn describe(&self) -> Result<String, CoreError> {
+        self.plan.describe(&self.model)
+    }
+
+    /// Mean warm-query latency over `n` simulated queries.
+    pub fn mean_latency_ms(&self, n: usize, seed: u64) -> f64 {
+        ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())
+            .expect("deployed plan is valid")
+            .mean_latency_ms(n, seed)
+    }
+
+    /// Serves a closed-loop client workload end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fleet and deployment errors.
+    pub fn serve(&self, workload: ClosedLoop, seed: u64) -> Result<ServingReport, CoreError> {
+        ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())?
+            .serve_workload(workload, seed)
+    }
+
+    /// Serves an open-loop Poisson stream (see
+    /// [`ForkJoinRuntime::serve_open_loop`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fleet and deployment errors.
+    pub fn serve_open_loop(
+        &self,
+        rate_per_sec: f64,
+        queries: usize,
+        prewarm: usize,
+        seed: u64,
+    ) -> Result<ServingReport, CoreError> {
+        ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())?
+            .serve_open_loop(rate_per_sec, queries, prewarm, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillis_faas::Micros;
+    use gillis_model::zoo;
+
+    #[test]
+    fn latency_optimal_deployment_serves() {
+        let d = Gillis::new(zoo::tiny_vgg())
+            .platform(PlatformProfile::aws_lambda())
+            .mode(Mode::LatencyOptimal)
+            .deploy()
+            .unwrap();
+        assert!(d.predicted().latency_ms > 0.0);
+        let report = d
+            .serve(ClosedLoop::new(4, 20, Micros::ZERO).unwrap(), 1)
+            .unwrap();
+        assert_eq!(report.latency.count(), 20);
+        assert!(d.describe().unwrap().contains("group"));
+    }
+
+    #[test]
+    fn slo_aware_deployment_meets_target() {
+        let single = Gillis::new(zoo::tiny_vgg()).deploy().unwrap();
+        let budget = single.predicted().latency_ms * 3.0;
+        let d = Gillis::new(zoo::tiny_vgg())
+            .mode(Mode::SloAware { t_max_ms: budget })
+            .episodes(100)
+            .deploy()
+            .unwrap();
+        assert!(d.predicted().latency_ms <= budget);
+    }
+
+    #[test]
+    fn open_loop_serving_reports() {
+        let d = Gillis::new(zoo::tiny_vgg()).deploy().unwrap();
+        let report = d.serve_open_loop(50.0, 100, 8, 3).unwrap();
+        assert_eq!(report.latency.count(), 100);
+        assert!(report.billing.billed_ms_total() > 0);
+    }
+
+    #[test]
+    fn catalog_names_build_their_models() {
+        for (name, _) in model_catalog() {
+            let model = lookup_model(name).unwrap();
+            assert!(!model.layers().is_empty(), "{name} has no layers");
+        }
+        assert!(lookup_model("nonexistent").is_err());
+        assert!(lookup_platform("lambda").is_ok());
+        assert!(lookup_platform("knix").is_ok());
+        assert!(lookup_platform("azure").is_err());
+    }
+
+    #[test]
+    fn infeasible_slo_errors() {
+        let err = Gillis::new(zoo::tiny_vgg())
+            .mode(Mode::SloAware { t_max_ms: 0.0001 })
+            .episodes(40)
+            .deploy();
+        assert!(matches!(err, Err(CoreError::Infeasible(_))));
+    }
+}

@@ -1,0 +1,83 @@
+//! Integration tests of the `gillis` CLI binary.
+
+use std::process::Command;
+
+fn gillis(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_gillis"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn models_lists_the_catalog() {
+    let out = gillis(&["models"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in ["vgg11", "wrn-50-4", "rnn-9", "tiny-vgg", "mobilenet"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn info_prints_layer_summary() {
+    let out = gillis(&["info", "--model", "tiny-vgg"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("tiny-vgg"));
+    assert!(stdout.contains("conv-like"));
+    assert!(stdout.contains("dense"));
+}
+
+#[test]
+fn plan_predict_serve_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("gillis-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan_path = dir.join("plan.txt");
+    let plan_str = plan_path.to_str().unwrap();
+
+    let out = gillis(&["plan", "--model", "tiny-vgg", "--out", plan_str]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&plan_path).unwrap();
+    assert!(text.starts_with("gillis-plan v1"));
+
+    let out = gillis(&["predict", "--model", "tiny-vgg", "--plan", plan_str]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("latency"));
+    assert!(stdout.contains("billed"));
+
+    let out = gillis(&[
+        "serve", "--model", "tiny-vgg", "--plan", plan_str, "--clients", "4", "--queries", "20",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("served 20 queries"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn describe_names_groups() {
+    let out = gillis(&["describe", "--model", "tiny-vgg"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("group"));
+}
+
+#[test]
+fn errors_are_reported_cleanly() {
+    let out = gillis(&["plan", "--model", "not-a-model"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown model"));
+
+    let out = gillis(&["frobnicate", "--model", "tiny-vgg"]);
+    assert!(!out.status.success());
+
+    let out = gillis(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
+
+    let out = gillis(&["plan", "--model", "tiny-vgg", "--platform", "azure"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown platform"));
+}

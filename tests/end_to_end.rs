@@ -1,0 +1,137 @@
+//! End-to-end integration tests spanning all crates: profile a platform,
+//! partition a model, validate the plan, and serve queries.
+
+use gillis::core::baselines::{default_serving_ms, pipeline_serving};
+use gillis::core::{predict_plan, CoreError, DpPartitioner, ExecutionPlan, ForkJoinRuntime};
+use gillis::faas::PlatformProfile;
+use gillis::model::zoo;
+use gillis::perf::PerfModel;
+
+#[test]
+fn latency_optimal_pipeline_on_vgg11() {
+    let platform = PlatformProfile::aws_lambda();
+    // Full workflow: profile -> partition -> predict -> simulate.
+    let perf = PerfModel::profiled(&platform, 1);
+    let model = zoo::vgg11();
+    let plan = DpPartitioner::default().partition(&model, &perf).unwrap();
+    plan.validate(&model, platform.model_memory_budget).unwrap();
+
+    let predicted = predict_plan(&model, &plan, &perf).unwrap();
+    let runtime = ForkJoinRuntime::new(&model, &plan, platform.clone()).unwrap();
+    let measured = runtime.mean_latency_ms(100, 2);
+    // Fig 15 (bottom): end-to-end prediction error within ~6%.
+    let rel = (predicted.latency_ms - measured).abs() / measured;
+    assert!(rel < 0.08, "prediction error {:.1}%", rel * 100.0);
+
+    // And the plan beats Default serving (Fig 9).
+    let default = default_serving_ms(&model, &perf).unwrap();
+    assert!(
+        measured < default,
+        "gillis {measured:.0} ms vs default {default:.0} ms"
+    );
+}
+
+#[test]
+fn oversized_models_oom_on_default_but_serve_with_gillis() {
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::analytic(&platform);
+    for model in [zoo::wrn34(5), zoo::wrn50(4)] {
+        assert!(matches!(
+            default_serving_ms(&model, &perf),
+            Err(CoreError::OutOfMemory { .. })
+        ));
+        let plan = DpPartitioner::default().partition(&model, &perf).unwrap();
+        plan.validate(&model, platform.model_memory_budget).unwrap();
+        let runtime = ForkJoinRuntime::new(&model, &plan, platform.clone()).unwrap();
+        let latency = runtime.mean_latency_ms(20, 3);
+        assert!(latency > 0.0 && latency < 60_000.0);
+    }
+}
+
+#[test]
+fn gillis_beats_pipeline_on_large_models() {
+    // Fig 11: roughly an order of magnitude over the S3-staged pipeline.
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::analytic(&platform);
+    let model = zoo::wrn50(4);
+    let pipeline = pipeline_serving(&model, &platform, 7).unwrap();
+    let plan = DpPartitioner::default().partition(&model, &perf).unwrap();
+    let gillis = ForkJoinRuntime::new(&model, &plan, platform)
+        .unwrap()
+        .mean_latency_ms(20, 4);
+    let speedup = pipeline.total_ms / gillis;
+    assert!(
+        speedup > 4.0,
+        "speedup {speedup:.1}x (pipeline {:.0} ms, gillis {gillis:.0} ms)",
+        pipeline.total_ms
+    );
+}
+
+#[test]
+fn rnn_scales_linearly_past_the_memory_cliff() {
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::analytic(&platform);
+    // Default OOMs at 10+ layers...
+    assert!(default_serving_ms(&zoo::rnn(12), &perf).is_err());
+    // ...Gillis keeps scaling, linearly in depth (Fig 12).
+    let mut latencies = Vec::new();
+    for layers in [6usize, 12, 18] {
+        let model = zoo::rnn(layers);
+        let plan = DpPartitioner::default().partition(&model, &perf).unwrap();
+        let runtime = ForkJoinRuntime::new(&model, &plan, platform.clone()).unwrap();
+        latencies.push(runtime.mean_latency_ms(20, 5));
+    }
+    let per_layer: Vec<f64> = latencies
+        .iter()
+        .zip([6.0f64, 12.0, 18.0])
+        .map(|(t, l)| t / l)
+        .collect();
+    let min = per_layer.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_layer.iter().copied().fold(0.0, f64::max);
+    assert!(
+        max / min < 1.35,
+        "per-layer latency not linear: {per_layer:?}"
+    );
+}
+
+#[test]
+fn knix_speedups_exceed_lambda_speedups() {
+    // Fig 10's headline: faster communication -> more profitable
+    // parallelism.
+    let model = zoo::vgg16();
+    let mut speedups = Vec::new();
+    for platform in [PlatformProfile::aws_lambda(), PlatformProfile::knix()] {
+        let perf = PerfModel::analytic(&platform);
+        let plan = DpPartitioner::default().partition(&model, &perf).unwrap();
+        let gillis = ForkJoinRuntime::new(&model, &plan, platform.clone())
+            .unwrap()
+            .mean_latency_ms(30, 6);
+        let single = ExecutionPlan::single_function(&model);
+        let default = ForkJoinRuntime::new(&model, &single, platform)
+            .unwrap()
+            .mean_latency_ms(30, 6);
+        speedups.push(default / gillis);
+    }
+    assert!(
+        speedups[1] > speedups[0] * 1.3,
+        "KNIX {:.2}x vs Lambda {:.2}x",
+        speedups[1],
+        speedups[0]
+    );
+}
+
+#[test]
+fn billing_granularity_shapes_gcf_costs() {
+    // GCF rounds to 100 ms: billed duration is never below the granularity
+    // and is coarser than Lambda's for the same plan shape.
+    let model = zoo::vgg11();
+    let lambda_perf = PerfModel::analytic(&PlatformProfile::aws_lambda());
+    let gcf_perf = PerfModel::analytic(&PlatformProfile::gcf());
+    let plan = ExecutionPlan::single_function(&model);
+    let lambda = predict_plan(&model, &plan, &lambda_perf).unwrap();
+    let gcf = predict_plan(&model, &plan, &gcf_perf).unwrap();
+    assert_eq!(gcf.billed_ms % 100, 0);
+    assert!(gcf.billed_ms as f64 >= gcf.latency_ms);
+    assert!(lambda.billed_ms as f64 >= lambda.latency_ms);
+    assert!((lambda.billed_ms as f64) < lambda.latency_ms + 1.0 + 1e-9);
+}

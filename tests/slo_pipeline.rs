@@ -1,0 +1,154 @@
+//! Integration tests of the SLO-aware stack: RL partitioner, BO baseline,
+//! and brute force agree on feasibility and rank as the paper reports.
+
+use gillis::bo::{brute_force, BayesOpt, BoConfig};
+use gillis::core::{predict_plan, ExecutionPlan, ForkJoinRuntime};
+use gillis::faas::workload::ClosedLoop;
+use gillis::faas::{Micros, PlatformProfile};
+use gillis::model::zoo;
+use gillis::perf::PerfModel;
+use gillis::rl::{slo_aware_partition, SloAwareConfig};
+
+fn lambda_perf() -> (PlatformProfile, PerfModel) {
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::analytic(&platform);
+    (platform, perf)
+}
+
+#[test]
+fn all_three_searchers_meet_a_reachable_slo() {
+    let (_platform, perf) = lambda_perf();
+    let model = zoo::tiny_vgg();
+    let single = predict_plan(&model, &ExecutionPlan::single_function(&model), &perf).unwrap();
+    // tiny_vgg computes in well under a millisecond, so parallelization can
+    // never beat single-function serving (communication costs ~20 ms); an
+    // achievable SLO sits at or above the single-function latency.
+    let t_max = single.latency_ms * 1.2;
+
+    let sa = slo_aware_partition(
+        &model,
+        &perf,
+        &SloAwareConfig {
+            t_max_ms: t_max,
+            episodes: 150,
+            seed: 1,
+            ..SloAwareConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(sa.predicted.latency_ms <= t_max);
+
+    let bo = BayesOpt::new(BoConfig {
+        t_max_ms: t_max,
+        iterations: 25,
+        seed: 1,
+        ..BoConfig::default()
+    })
+    .search(&model, &perf)
+    .unwrap();
+
+    let bf = brute_force(&model, &perf, t_max, &[2, 4], 2_000_000).unwrap();
+    assert!(!bf.truncated);
+    assert!(bf.predicted.latency_ms <= t_max);
+
+    // Brute force is optimal: nothing beats it on cost among SLO-compliant
+    // plans.
+    assert!(
+        bf.predicted.billed_ms <= sa.predicted.billed_ms,
+        "bf {} vs sa {}",
+        bf.predicted.billed_ms,
+        sa.predicted.billed_ms
+    );
+    if bo.meets_slo {
+        assert!(bf.predicted.billed_ms <= bo.predicted.billed_ms);
+    }
+}
+
+#[test]
+fn rl_matches_brute_force_on_tiny_model() {
+    // Paper Fig 13a: Gillis(SA) learns the same partitioning strategy as
+    // brute force on the smallest model. We require it within 15% on cost.
+    let (_platform, perf) = lambda_perf();
+    let model = zoo::tiny_vgg();
+    let single = predict_plan(&model, &ExecutionPlan::single_function(&model), &perf).unwrap();
+    let t_max = single.latency_ms * 1.5;
+
+    let bf = brute_force(&model, &perf, t_max, &[2, 4], 2_000_000).unwrap();
+    let sa = (0..3)
+        .filter_map(|seed| {
+            slo_aware_partition(
+                &model,
+                &perf,
+                &SloAwareConfig {
+                    t_max_ms: t_max,
+                    episodes: 200,
+                    seed,
+                    ..SloAwareConfig::default()
+                },
+            )
+            .ok()
+        })
+        .min_by_key(|r| r.predicted.billed_ms)
+        .unwrap();
+    let ratio = sa.predicted.billed_ms as f64 / bf.predicted.billed_ms as f64;
+    assert!(ratio <= 1.15, "sa/bf cost ratio {ratio:.3}");
+}
+
+#[test]
+fn learned_plan_meets_slo_when_served_under_load() {
+    // Close the loop: the predicted-compliant plan must also meet the SLO
+    // when actually served to concurrent clients (warm pools, jitter).
+    let (platform, perf) = lambda_perf();
+    let model = zoo::vgg11();
+    let single = predict_plan(&model, &ExecutionPlan::single_function(&model), &perf).unwrap();
+    let t_max = single.latency_ms * 0.8;
+    let sa = slo_aware_partition(
+        &model,
+        &perf,
+        &SloAwareConfig {
+            t_max_ms: t_max,
+            episodes: 200,
+            seed: 2,
+            ..SloAwareConfig::default()
+        },
+    )
+    .unwrap();
+    let runtime = ForkJoinRuntime::new(&model, &sa.plan, platform).unwrap();
+    let report = runtime
+        .serve_workload(ClosedLoop::new(20, 200, Micros::ZERO).unwrap(), 4)
+        .unwrap();
+    assert!(
+        report.latency.mean() <= t_max * 1.05,
+        "measured {:.0} ms vs SLO {t_max:.0} ms",
+        report.latency.mean()
+    );
+    assert_eq!(report.cold_starts, 0, "pre-warming should cover the fleet");
+}
+
+#[test]
+fn tighter_slos_cost_more() {
+    // The latency/cost trade-off must be monotone: tightening the SLO never
+    // makes serving cheaper.
+    let (_platform, perf) = lambda_perf();
+    let model = zoo::vgg11();
+    let single = predict_plan(&model, &ExecutionPlan::single_function(&model), &perf).unwrap();
+    let mut costs = Vec::new();
+    for factor in [0.7, 1.2, 3.0] {
+        let sa = slo_aware_partition(
+            &model,
+            &perf,
+            &SloAwareConfig {
+                t_max_ms: single.latency_ms * factor,
+                episodes: 150,
+                seed: 5,
+                ..SloAwareConfig::default()
+            },
+        )
+        .unwrap();
+        costs.push(sa.predicted.billed_ms);
+    }
+    assert!(
+        costs[0] >= costs[1] && costs[1] >= costs[2],
+        "costs not monotone: {costs:?}"
+    );
+}
