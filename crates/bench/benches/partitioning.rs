@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use gillis_core::{analyze_group, group_options, DpPartitioner, PartDim, PartitionOption, PartitionerConfig};
+use gillis_core::{
+    analyze_group, group_options, DpPartitioner, PartDim, PartitionOption, PartitionerConfig,
+};
 use gillis_faas::PlatformProfile;
 use gillis_model::zoo;
 use gillis_perf::PerfModel;

@@ -40,12 +40,19 @@ fn bench_fitting(c: &mut Criterion) {
     c.bench_function("fit_exgaussian_2000", |b| {
         b.iter(|| fit_exgaussian(black_box(&samples)).unwrap())
     });
-    let xs: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64, (i * i % 97) as f64]).collect();
+    let xs: Vec<Vec<f64>> = (0..500)
+        .map(|i| vec![i as f64, (i * i % 97) as f64])
+        .collect();
     let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[1] + 1.0).collect();
     c.bench_function("linear_regression_500x2", |b| {
         b.iter(|| LinearRegression::fit(black_box(&xs), &ys).unwrap())
     });
 }
 
-criterion_group!(benches, bench_predict_plan, bench_order_statistics, bench_fitting);
+criterion_group!(
+    benches,
+    bench_predict_plan,
+    bench_order_statistics,
+    bench_fitting
+);
 criterion_main!(benches);

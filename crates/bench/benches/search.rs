@@ -72,7 +72,9 @@ fn bench_gp(c: &mut Criterion) {
         .map(|_| random_plan(&vgg, budget, &[2, 4, 8], &mut rng).unwrap())
         .collect();
     let xs: Vec<Vec<f64>> = plans.iter().map(|p| encode_plan(&vgg, p)).collect();
-    let ys: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7).sin() * 100.0 + 500.0).collect();
+    let ys: Vec<f64> = (0..30)
+        .map(|i| (i as f64 * 0.7).sin() * 100.0 + 500.0)
+        .collect();
     c.bench_function("gp_fit_30_points", |b| {
         b.iter(|| Gp::fit(black_box(xs.clone()), &ys, GpConfig::default()).unwrap())
     });
@@ -94,5 +96,11 @@ fn bench_brute_force(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mlp, bench_rl_training, bench_gp, bench_brute_force);
+criterion_group!(
+    benches,
+    bench_mlp,
+    bench_rl_training,
+    bench_gp,
+    bench_brute_force
+);
 criterion_main!(benches);

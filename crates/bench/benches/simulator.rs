@@ -65,5 +65,10 @@ fn bench_fleet(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simulate_query, bench_serve_workload, bench_fleet);
+criterion_group!(
+    benches,
+    bench_simulate_query,
+    bench_serve_workload,
+    bench_fleet
+);
 criterion_main!(benches);

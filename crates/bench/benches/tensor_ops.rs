@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use gillis_tensor::ops::{conv2d, dense, lstm_cell, max_pool2d, Conv2dParams, LstmParams, LstmState, Pool2dParams};
+use gillis_tensor::ops::{
+    conv2d, dense, lstm_cell, max_pool2d, Conv2dParams, LstmParams, LstmState, Pool2dParams,
+};
 use gillis_tensor::{Shape, Tensor};
 
 fn bench_conv2d(c: &mut Criterion) {
@@ -37,8 +39,12 @@ fn bench_dense(c: &mut Criterion) {
 fn bench_lstm(c: &mut Criterion) {
     let hidden = 256;
     let params = LstmParams {
-        w_ih: Tensor::from_fn(Shape::new(vec![4 * hidden, hidden]), |i| (i % 7) as f32 * 1e-3),
-        w_hh: Tensor::from_fn(Shape::new(vec![4 * hidden, hidden]), |i| (i % 5) as f32 * 1e-3),
+        w_ih: Tensor::from_fn(Shape::new(vec![4 * hidden, hidden]), |i| {
+            (i % 7) as f32 * 1e-3
+        }),
+        w_hh: Tensor::from_fn(Shape::new(vec![4 * hidden, hidden]), |i| {
+            (i % 5) as f32 * 1e-3
+        }),
         bias: Tensor::zeros(Shape::new(vec![4 * hidden])),
     };
     let x = Tensor::from_fn(Shape::new(vec![hidden]), |i| (i % 3) as f32 * 0.1);
@@ -53,7 +59,9 @@ fn bench_slice_concat(c: &mut Criterion) {
     c.bench_function("slice_rows_64x112x112", |b| {
         b.iter(|| t.slice(1, 28..84).unwrap())
     });
-    let parts: Vec<Tensor> = (0..4).map(|p| t.slice(1, p * 28..(p + 1) * 28).unwrap()).collect();
+    let parts: Vec<Tensor> = (0..4)
+        .map(|p| t.slice(1, p * 28..(p + 1) * 28).unwrap())
+        .collect();
     c.bench_function("concat_rows_4x_64x28x112", |b| {
         b.iter(|| Tensor::concat(black_box(&parts), 1).unwrap())
     });

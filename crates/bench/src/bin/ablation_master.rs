@@ -38,7 +38,9 @@ fn main() {
         let l_without = ForkJoinRuntime::new(&model, &without, platform.clone())
             .expect("runtime")
             .mean_latency_ms(50, 9);
-        let c_with = predict_plan(&model, &with, &perf).expect("prediction").billed_ms;
+        let c_with = predict_plan(&model, &with, &perf)
+            .expect("prediction")
+            .billed_ms;
         let c_without = predict_plan(&model, &without, &perf)
             .expect("prediction")
             .billed_ms;

@@ -1,0 +1,213 @@
+//! Machine-readable perf baseline: runs the core tensor + partitioning bench
+//! cases and writes `BENCH_tensor.json` / `BENCH_planner.json` at the repo
+//! root (or the directory given as the first CLI argument), so the perf
+//! trajectory is tracked across PRs.
+//!
+//! Each entry records the current median ns/iter alongside the seed-kernel
+//! baseline (naive 6-loop conv, hand-rolled matmuls, sequential uncached DP)
+//! captured on the same reference machine, giving a stable before/after
+//! speedup column.
+
+use gillis_bench::report::{measure, render_json, ReportEntry};
+use gillis_core::{
+    analyze_group, DpPartitioner, EvalCache, PartDim, PartitionOption, PartitionerConfig,
+};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+use gillis_perf::PerfModel;
+use gillis_tensor::ops::{
+    batch_norm, conv2d, dense, depthwise_conv2d, lstm_cell, max_pool2d, BatchNormParams,
+    Conv2dParams, LstmParams, LstmState, Pool2dParams,
+};
+use gillis_tensor::{Shape, Tensor};
+
+/// Seed-kernel ns/iter (naive loops, sequential uncached DP) measured with
+/// this same harness on the reference machine at the pre-optimization
+/// commit. Keyed by `op/shape` below; used to populate the
+/// `baseline_ns_per_iter` / `speedup` columns.
+const SEED_BASELINE_NS: &[(&str, f64)] = &[
+    ("conv2d/in=16x32x32 w=16x16x3x3 s1 p1", 6_155_851.3),
+    (
+        "conv2d/in=256x56x56 w=256x256x3x3 s1 p1 (VGG-16 conv3_2)",
+        4_650_743_263.0,
+    ),
+    ("depthwise_conv2d/in=64x56x56 w=64x3x3 s1 p1", 4_815_878.8),
+    ("dense/4096->1000", 2_966_642.4),
+    ("lstm_cell/hidden=256", 324_074.3),
+    ("max_pool2d/in=64x56x56 k2 s2", 437_961.4),
+    ("batch_norm/in=256x56x56", 1_026_948.9),
+    ("dp_partition/vgg11", 2_821_061.7),
+    ("dp_partition/vgg16", 6_680_037.3),
+    ("dp_partition/wrn50x4", 8_466_318.8),
+    ("dp_partition/wrn50x5", 8_607_641.6),
+    ("analyze_group/vgg16[0..4] height x8", 1_494.8),
+];
+
+fn baseline_for(op: &str, shape: &str) -> Option<f64> {
+    let key = format!("{op}/{shape}");
+    SEED_BASELINE_NS
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, ns)| *ns)
+}
+
+fn entry<O, F: FnMut() -> O>(op: &str, shape: &str, samples: usize, routine: F) -> ReportEntry {
+    let (ns_per_iter, taken) = measure(samples, routine);
+    let e = ReportEntry {
+        op: op.to_string(),
+        shape: shape.to_string(),
+        ns_per_iter,
+        samples: taken,
+        baseline_ns_per_iter: baseline_for(op, shape),
+    };
+    match e.speedup() {
+        Some(s) => println!("{op:<16} {shape:<40} {ns_per_iter:>14.1} ns/iter  ({s:.2}x vs seed)"),
+        None => println!("{op:<16} {shape:<40} {ns_per_iter:>14.1} ns/iter"),
+    }
+    e
+}
+
+fn tensor_suite() -> Vec<ReportEntry> {
+    let mut entries = Vec::new();
+
+    // Small conv (matches the criterion bench case).
+    let input = Tensor::from_fn(Shape::new(vec![16, 32, 32]), |i| (i % 7) as f32 * 0.1);
+    let weight = Tensor::from_fn(Shape::new(vec![16, 16, 3, 3]), |i| (i % 5) as f32 * 0.01);
+    let bias = Tensor::zeros(Shape::new(vec![16]));
+    let params = Conv2dParams::square(3, 1, 1);
+    entries.push(entry("conv2d", "in=16x32x32 w=16x16x3x3 s1 p1", 10, || {
+        conv2d(&input, &weight, Some(&bias), &params).unwrap()
+    }));
+
+    // VGG-16-scale conv: conv3_2 (256 channels at 56x56, 3x3), ~3.7 GFLOP.
+    let input = Tensor::from_fn(Shape::new(vec![256, 56, 56]), |i| (i % 7) as f32 * 0.1);
+    let weight = Tensor::from_fn(Shape::new(vec![256, 256, 3, 3]), |i| (i % 5) as f32 * 0.01);
+    let bias = Tensor::zeros(Shape::new(vec![256]));
+    entries.push(entry(
+        "conv2d",
+        "in=256x56x56 w=256x256x3x3 s1 p1 (VGG-16 conv3_2)",
+        3,
+        || conv2d(&input, &weight, Some(&bias), &params).unwrap(),
+    ));
+
+    // Depthwise conv (MobileNet-style block).
+    let input = Tensor::from_fn(Shape::new(vec![64, 56, 56]), |i| (i % 7) as f32 * 0.1);
+    let weight = Tensor::from_fn(Shape::new(vec![64, 3, 3]), |i| (i % 5) as f32 * 0.01);
+    entries.push(entry(
+        "depthwise_conv2d",
+        "in=64x56x56 w=64x3x3 s1 p1",
+        10,
+        || depthwise_conv2d(&input, &weight, None, &params).unwrap(),
+    ));
+
+    // Dense (VGG classifier head scale).
+    let x = Tensor::from_fn(Shape::new(vec![4096]), |i| (i % 13) as f32);
+    let w = Tensor::from_fn(Shape::new(vec![1000, 4096]), |i| (i % 11) as f32 * 1e-3);
+    let b = Tensor::zeros(Shape::new(vec![1000]));
+    entries.push(entry("dense", "4096->1000", 10, || {
+        dense(&x, &w, Some(&b)).unwrap()
+    }));
+
+    // LSTM cell (paper's RNN workload scale).
+    let hidden = 256;
+    let lstm = LstmParams {
+        w_ih: Tensor::from_fn(Shape::new(vec![4 * hidden, hidden]), |i| {
+            (i % 7) as f32 * 1e-3
+        }),
+        w_hh: Tensor::from_fn(Shape::new(vec![4 * hidden, hidden]), |i| {
+            (i % 5) as f32 * 1e-3
+        }),
+        bias: Tensor::zeros(Shape::new(vec![4 * hidden])),
+    };
+    let x = Tensor::from_fn(Shape::new(vec![hidden]), |i| (i % 3) as f32 * 0.1);
+    let state = LstmState::zeros(hidden);
+    entries.push(entry("lstm_cell", "hidden=256", 10, || {
+        lstm_cell(&x, &state, &lstm).unwrap()
+    }));
+
+    // Pooling + batch norm hot loops.
+    let input = Tensor::from_fn(Shape::new(vec![64, 56, 56]), |i| i as f32);
+    let pool = Pool2dParams::square(2, 2, 0);
+    entries.push(entry("max_pool2d", "in=64x56x56 k2 s2", 10, || {
+        max_pool2d(&input, &pool).unwrap()
+    }));
+    let input = Tensor::from_fn(Shape::new(vec![256, 56, 56]), |i| (i % 9) as f32);
+    let bn = BatchNormParams::identity(256);
+    entries.push(entry("batch_norm", "in=256x56x56", 10, || {
+        batch_norm(&input, &bn).unwrap()
+    }));
+
+    entries
+}
+
+fn planner_suite() -> Vec<ReportEntry> {
+    let perf = PerfModel::analytic(&PlatformProfile::aws_lambda());
+    let mut entries = Vec::new();
+
+    for (name, model) in [
+        ("vgg11", zoo::vgg11()),
+        ("vgg16", zoo::vgg16()),
+        ("wrn50x4", zoo::wrn50(4)),
+        ("wrn50x5", zoo::wrn50(5)),
+    ] {
+        entries.push(entry("dp_partition", name, 5, || {
+            DpPartitioner::new(PartitionerConfig::default())
+                .partition(&model, &perf)
+                .unwrap()
+        }));
+    }
+
+    // Warm-cache planner: one EvalCache shared across every iteration, as
+    // the RL trainer and BO search use it. First iteration pays the misses;
+    // the rest answer each DP cell from memoized (group, budget) choices.
+    let model = zoo::wrn50(5);
+    let cache = std::sync::Arc::new(EvalCache::new());
+    entries.push(entry("dp_partition_cached", "wrn50x5 warm", 5, || {
+        DpPartitioner::new(PartitionerConfig::default())
+            .with_cache(std::sync::Arc::clone(&cache))
+            .partition(&model, &perf)
+            .unwrap()
+    }));
+
+    let vgg = zoo::vgg16();
+    entries.push(entry("analyze_group", "vgg16[0..4] height x8", 10, || {
+        analyze_group(
+            &vgg,
+            0,
+            4,
+            PartitionOption::Split {
+                dim: PartDim::Height,
+                parts: 8,
+            },
+        )
+        .unwrap()
+    }));
+
+    entries
+}
+
+fn threads() -> usize {
+    std::env::var("GILLIS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let threads = threads();
+
+    println!("== tensor suite ==");
+    let tensor = tensor_suite();
+    println!("== planner suite ==");
+    let planner = planner_suite();
+
+    let tensor_path = format!("{out_dir}/BENCH_tensor.json");
+    let planner_path = format!("{out_dir}/BENCH_planner.json");
+    std::fs::write(&tensor_path, render_json("tensor", threads, &tensor))
+        .expect("write BENCH_tensor.json");
+    std::fs::write(&planner_path, render_json("planner", threads, &planner))
+        .expect("write BENCH_planner.json");
+    println!("wrote {tensor_path} and {planner_path}");
+}

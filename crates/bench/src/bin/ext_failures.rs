@@ -17,7 +17,9 @@ fn main() {
     let base = PlatformProfile::aws_lambda();
     let perf = PerfModel::analytic(&base);
     let model = zoo::vgg16();
-    let plan = DpPartitioner::default().partition(&model, &perf).expect("plan");
+    let plan = DpPartitioner::default()
+        .partition(&model, &perf)
+        .expect("plan");
 
     let mut table = Table::new(&[
         "failure rate",
@@ -32,7 +34,10 @@ fn main() {
         let rt = ForkJoinRuntime::new(&model, &plan, platform).expect("runtime");
         let queries = 500;
         let report = rt
-            .serve_workload(ClosedLoop::new(10, queries, Micros::ZERO).expect("workload"), 3)
+            .serve_workload(
+                ClosedLoop::new(10, queries, Micros::ZERO).expect("workload"),
+                3,
+            )
             .expect("serving");
         table.row(vec![
             format!("{:.0}%", rate * 100.0),

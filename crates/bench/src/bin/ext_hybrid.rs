@@ -57,7 +57,9 @@ fn main() {
     let platform = PlatformProfile::aws_lambda();
     let perf = PerfModel::analytic(&platform);
     let model = zoo::vgg11();
-    let plan = DpPartitioner::default().partition(&model, &perf).expect("plan");
+    let plan = DpPartitioner::default()
+        .partition(&model, &perf)
+        .expect("plan");
     let rt = ForkJoinRuntime::new(&model, &plan, platform.clone()).expect("runtime");
 
     // A VM (c5-class, ~$0.34/h) serves the model ~2x faster than a 3 GB

@@ -17,7 +17,9 @@ fn main() {
     let platform = PlatformProfile::aws_lambda();
     let perf = PerfModel::analytic(&platform);
     let model = zoo::vgg11();
-    let plan = DpPartitioner::default().partition(&model, &perf).expect("plan");
+    let plan = DpPartitioner::default()
+        .partition(&model, &perf)
+        .expect("plan");
     let rt = ForkJoinRuntime::new(&model, &plan, platform).expect("runtime");
 
     // Pool pre-warmed for ~10 concurrent queries; the sweep pushes past it.

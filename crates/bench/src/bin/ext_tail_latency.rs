@@ -50,7 +50,10 @@ fn main() {
     for (name, result) in [("mean-aware", &mean_aware), ("tail-aware", &tail_aware)] {
         let rt = ForkJoinRuntime::new(&model, &result.plan, platform.clone()).expect("runtime");
         let report = rt
-            .serve_workload(ClosedLoop::new(50, 2000, Micros::ZERO).expect("workload"), 8)
+            .serve_workload(
+                ClosedLoop::new(50, 2000, Micros::ZERO).expect("workload"),
+                8,
+            )
             .expect("serving");
         let p99 = report.latency.percentile(99.0);
         table.row(vec![

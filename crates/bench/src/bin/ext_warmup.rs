@@ -20,7 +20,9 @@ fn main() {
     let platform = PlatformProfile::aws_lambda();
     let perf = PerfModel::analytic(&platform);
     let model = zoo::vgg11();
-    let plan = DpPartitioner::default().partition(&model, &perf).expect("plan");
+    let plan = DpPartitioner::default()
+        .partition(&model, &perf)
+        .expect("plan");
     let rt = ForkJoinRuntime::new(&model, &plan, platform.clone()).expect("runtime");
 
     // Cold fleet: serve sequential queries and watch the first pay for

@@ -13,12 +13,7 @@ use gillis_model::zoo;
 fn main() {
     println!("Fig 1: WResNet-50-k inference latency on a single serverless function");
     println!("(100 warm queries per point, as in the paper)\n");
-    let mut table = Table::new(&[
-        "widening",
-        "weights(MB)",
-        "Lambda(ms)",
-        "GCF(ms)",
-    ]);
+    let mut table = Table::new(&["widening", "weights(MB)", "Lambda(ms)", "GCF(ms)"]);
     let platforms = [PlatformProfile::aws_lambda(), PlatformProfile::gcf()];
     for k in 1..=5usize {
         let model = zoo::wrn50(k);

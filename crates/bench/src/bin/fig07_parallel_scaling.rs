@@ -69,8 +69,8 @@ fn main() {
                 });
             }
             let plan = ExecutionPlan::new(groups);
-            let rt = ForkJoinRuntime::new(&model, &plan, platform.clone())
-                .expect("manual fan-out plan");
+            let rt =
+                ForkJoinRuntime::new(&model, &plan, platform.clone()).expect("manual fan-out plan");
             let mut total = 0.0;
             let mut comm = 0.0;
             let mut compute = 0.0;

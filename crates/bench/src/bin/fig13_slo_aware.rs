@@ -23,10 +23,20 @@ struct Measured {
     met: bool,
 }
 
-fn serve(model: &LinearModel, plan: &ExecutionPlan, platform: &PlatformProfile, t_max: f64, clients: usize, queries: usize) -> Measured {
+fn serve(
+    model: &LinearModel,
+    plan: &ExecutionPlan,
+    platform: &PlatformProfile,
+    t_max: f64,
+    clients: usize,
+    queries: usize,
+) -> Measured {
     let rt = ForkJoinRuntime::new(model, plan, platform.clone()).expect("plan is servable");
     let report = rt
-        .serve_workload(ClosedLoop::new(clients, queries, Micros::ZERO).expect("workload"), 13)
+        .serve_workload(
+            ClosedLoop::new(clients, queries, Micros::ZERO).expect("workload"),
+            13,
+        )
         .expect("workload serving");
     let latency_ms = report.latency.mean();
     Measured {
@@ -53,7 +63,9 @@ fn main() {
         (100, 1000, 400, 50)
     };
     println!("Fig 13: SLO-aware serving — Gillis(SA) vs BO vs BF on Lambda");
-    println!("({clients} clients x {queries} queries; per-query billed cost; '(!)' = SLO missed)\n");
+    println!(
+        "({clients} clients x {queries} queries; per-query billed cost; '(!)' = SLO missed)\n"
+    );
 
     let platform = PlatformProfile::aws_lambda();
     let perf = PerfModel::profiled(&platform, 99);

@@ -26,10 +26,12 @@ fn main() {
     let n = groups.len();
     let low = &groups[..n / 2];
     let high = &groups[n / 2..];
-    let avg_len =
-        |gs: &[gillis_core::PlannedGroup]| gs.iter().map(|g| g.end - g.start).sum::<usize>() as f64 / gs.len() as f64;
-    let avg_fanout =
-        |gs: &[gillis_core::PlannedGroup]| gs.iter().map(|g| g.option.parts()).sum::<usize>() as f64 / gs.len() as f64;
+    let avg_len = |gs: &[gillis_core::PlannedGroup]| {
+        gs.iter().map(|g| g.end - g.start).sum::<usize>() as f64 / gs.len() as f64
+    };
+    let avg_fanout = |gs: &[gillis_core::PlannedGroup]| {
+        gs.iter().map(|g| g.option.parts()).sum::<usize>() as f64 / gs.len() as f64
+    };
     let master_share = |gs: &[gillis_core::PlannedGroup]| {
         gs.iter()
             .filter(|g| matches!(g.placement, Placement::Master | Placement::MasterAndWorkers))
@@ -37,9 +39,21 @@ fn main() {
             / gs.len() as f64
     };
     println!("observation checks (low half vs high half of the network):");
-    println!("  group length : {:.2} vs {:.2}", avg_len(low), avg_len(high));
-    println!("  fan-out      : {:.2} vs {:.2}", avg_fanout(low), avg_fanout(high));
-    println!("  master share : {:.2} vs {:.2}", master_share(low), master_share(high));
+    println!(
+        "  group length : {:.2} vs {:.2}",
+        avg_len(low),
+        avg_len(high)
+    );
+    println!(
+        "  fan-out      : {:.2} vs {:.2}",
+        avg_fanout(low),
+        avg_fanout(high)
+    );
+    println!(
+        "  master share : {:.2} vs {:.2}",
+        master_share(low),
+        master_share(high)
+    );
     println!("\npaper anchors: more fusion at the bottom, wider fan-out (16) for low");
     println!("groups, and master participation concentrated in low groups.");
 }

@@ -65,16 +65,23 @@ fn main() {
         ]);
     }
     table.print();
-    println!("average error: {:.1}% (paper: 6.3%)", total_err / ns.len() as f64);
+    println!(
+        "average error: {:.1}% (paper: 6.3%)",
+        total_err / ns.len() as f64
+    );
 
     // --- End-to-end latency of latency-optimal plans ---
     println!("\nend-to-end latency (latency-optimal plans):");
     let mut table = Table::new(&["model", "actual(ms)", "predicted(ms)", "error"]);
     for model in [zoo::vgg16(), zoo::vgg19(), zoo::wrn50(3), zoo::rnn(6)] {
-        let plan = DpPartitioner::default().partition(&model, &perf).expect("plan");
+        let plan = DpPartitioner::default()
+            .partition(&model, &perf)
+            .expect("plan");
         let rt = ForkJoinRuntime::new(&model, &plan, platform.clone()).expect("runtime");
         let actual = rt.mean_latency_ms(100, 17);
-        let predicted = predict_plan(&model, &plan, &perf).expect("prediction").latency_ms;
+        let predicted = predict_plan(&model, &plan, &perf)
+            .expect("prediction")
+            .latency_ms;
         table.row(vec![
             model.name().to_string(),
             format!("{actual:.0}"),

@@ -5,6 +5,8 @@
 //! plumbing they share: aligned table printing and the standard
 //! latency-optimal measurement loop (100 warm queries, as in §V-B).
 
+pub mod report;
+
 use gillis_core::{DpPartitioner, ExecutionPlan, ForkJoinRuntime, PartitionerConfig};
 use gillis_faas::PlatformProfile;
 use gillis_model::LinearModel;

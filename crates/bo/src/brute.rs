@@ -7,9 +7,12 @@
 //! pruning and a configurable node cap it is tractable here for small
 //! models and coarse menus.
 
-use gillis_core::partition::{analyze_group, group_options, GroupAnalysis, PartitionOption};
+use std::sync::Arc;
+
+use gillis_core::cache::EvalCache;
+use gillis_core::partition::{group_options, GroupAnalysis, PartitionOption};
 use gillis_core::plan::{ExecutionPlan, Placement, PlannedGroup};
-use gillis_core::predict::{predict_group, predict_plan, PlanPrediction};
+use gillis_core::predict::{predict_group, predict_plan_cached, PlanPrediction};
 use gillis_core::CoreError;
 use gillis_faas::billing::billed_ms;
 use gillis_model::LinearModel;
@@ -43,6 +46,8 @@ struct Search<'a> {
     best: Option<Vec<PlannedGroup>>,
     /// (analysis, latency, worker billed) memo per (start, end, option).
     memo: std::collections::HashMap<(usize, usize, PartitionOption, Placement), (f64, f64)>,
+    /// Group analyses shared with the DP incumbent seeding.
+    cache: Arc<EvalCache>,
 }
 
 /// Exhaustively finds the cheapest plan whose predicted mean latency meets
@@ -62,13 +67,14 @@ pub fn brute_force(
     // Branch-and-bound needs a good incumbent to prune effectively: seed
     // with the latency-optimal DP plan when it meets the SLO (a valid plan,
     // so the search remains exact when it completes un-truncated).
+    let cache = Arc::new(EvalCache::new());
     let incumbent = gillis_core::DpPartitioner::default()
+        .with_cache(Arc::clone(&cache))
         .partition(model, perf)
         .ok()
         .and_then(|plan| {
-            let pred = predict_plan(model, &plan, perf).ok()?;
-            (pred.latency_ms <= t_max_ms)
-                .then(|| (pred.billed_ms as f64, plan.groups().to_vec()))
+            let pred = predict_plan_cached(model, &plan, perf, &cache).ok()?;
+            (pred.latency_ms <= t_max_ms).then(|| (pred.billed_ms as f64, plan.groups().to_vec()))
         });
     let mut search = Search {
         model,
@@ -81,6 +87,7 @@ pub fn brute_force(
         best_cost: incumbent.as_ref().map(|(c, _)| *c).unwrap_or(f64::INFINITY),
         best: incumbent.map(|(_, g)| g),
         memo: std::collections::HashMap::new(),
+        cache: Arc::clone(&cache),
     };
     let mut prefix = Vec::new();
     search.dfs(0, 0, 0.0, 0.0, &mut prefix)?;
@@ -88,7 +95,7 @@ pub fn brute_force(
     match search.best {
         Some(groups) => {
             let plan = ExecutionPlan::new(groups);
-            let predicted = predict_plan(model, &plan, perf)?;
+            let predicted = predict_plan_cached(model, &plan, perf, &cache)?;
             Ok(BruteForceResult {
                 plan,
                 predicted,
@@ -162,11 +169,15 @@ impl Search<'_> {
                 break;
             }
             for option in options {
-                let analysis = match analyze_group(self.model, start, end, option) {
+                let analysis = match self.cache.analysis(self.model, start, end, option) {
                     Ok(a) => a,
                     Err(_) => continue,
                 };
-                if analysis.partitions.iter().any(|p| p.mem_bytes() > self.budget) {
+                if analysis
+                    .partitions
+                    .iter()
+                    .any(|p| p.mem_bytes() > self.budget)
+                {
                     continue;
                 }
                 let w0 = analysis.partitions[0].weight_bytes;
@@ -184,7 +195,11 @@ impl Search<'_> {
                 for placement in placements {
                     let (glat, gworkers) =
                         self.group_cost(start, end, option, placement, &analysis);
-                    let used = if placement == Placement::Workers { 0 } else { w0 };
+                    let used = if placement == Placement::Workers {
+                        0
+                    } else {
+                        w0
+                    };
                     prefix.push(PlannedGroup {
                         start,
                         end,
@@ -209,6 +224,7 @@ impl Search<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gillis_core::predict::predict_plan;
     use gillis_faas::PlatformProfile;
     use gillis_model::zoo;
 
@@ -220,7 +236,8 @@ mod tests {
         let perf = PerfModel::analytic(&platform);
         let tiny = zoo::tiny_vgg();
         let single = predict_plan(&tiny, &ExecutionPlan::single_function(&tiny), &perf).unwrap();
-        let result = brute_force(&tiny, &perf, single.latency_ms * 5.0, &[2, 4], 2_000_000).unwrap();
+        let result =
+            brute_force(&tiny, &perf, single.latency_ms * 5.0, &[2, 4], 2_000_000).unwrap();
         assert!(!result.truncated);
         assert!(result.predicted.billed_ms <= single.billed_ms);
         assert!(result.predicted.latency_ms <= single.latency_ms * 5.0);
@@ -239,8 +256,8 @@ mod tests {
         assert!(!result.truncated);
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..40 {
-            let plan = random_plan(&tiny, perf.platform.model_memory_budget, &[2, 4], &mut rng)
-                .unwrap();
+            let plan =
+                random_plan(&tiny, perf.platform.model_memory_budget, &[2, 4], &mut rng).unwrap();
             let pred = predict_plan(&tiny, &plan, &perf).unwrap();
             if pred.latency_ms <= t_max {
                 assert!(

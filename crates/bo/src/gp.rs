@@ -78,8 +78,8 @@ impl Gp {
         for i in 0..n {
             for j in 0..=i {
                 let mut sum = k[i][j];
-                for t in 0..j {
-                    sum -= chol[i][t] * chol[j][t];
+                for (cit, cjt) in chol[i][..j].iter().zip(&chol[j][..j]) {
+                    sum -= cit * cjt;
                 }
                 if i == j {
                     if sum <= 0.0 || !sum.is_finite() {
@@ -97,13 +97,13 @@ impl Gp {
         let mut alpha = ys_std;
         for i in 0..n {
             for t in 0..i {
-                alpha[i] = alpha[i] - chol[i][t] * alpha[t];
+                alpha[i] -= chol[i][t] * alpha[t];
             }
             alpha[i] /= chol[i][i];
         }
         for i in (0..n).rev() {
             for t in i + 1..n {
-                alpha[i] = alpha[i] - chol[t][i] * alpha[t];
+                alpha[i] -= chol[t][i] * alpha[t];
             }
             alpha[i] /= chol[i][i];
         }
@@ -121,12 +121,16 @@ impl Gp {
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
         let n = self.xs.len();
         let kstar: Vec<f64> = self.xs.iter().map(|xi| rbf(xi, x, &self.config)).collect();
-        let mean_std: f64 = kstar.iter().zip(self.alpha.iter()).map(|(k, a)| k * a).sum();
+        let mean_std: f64 = kstar
+            .iter()
+            .zip(self.alpha.iter())
+            .map(|(k, a)| k * a)
+            .sum();
         // v = L^-1 k*; var = k(x,x) - v.v
         let mut v = kstar;
         for i in 0..n {
             for t in 0..i {
-                v[i] = v[i] - self.chol[i][t] * v[t];
+                v[i] -= self.chol[i][t] * v[t];
             }
             v[i] /= self.chol[i][i];
         }
@@ -147,11 +151,11 @@ impl Gp {
         // yᵀα is not directly stored; recompute y from (K + σ²I) α = y.
         let n = self.xs.len();
         let mut y = vec![0.0; n];
-        for i in 0..n {
+        for (i, yi) in y.iter_mut().enumerate() {
             for j in 0..n {
                 let k = rbf(&self.xs[i], &self.xs[j], &self.config)
                     + if i == j { self.config.noise_var } else { 0.0 };
-                y[i] += k * self.alpha[j];
+                *yi += k * self.alpha[j];
             }
         }
         let fit: f64 = y.iter().zip(self.alpha.iter()).map(|(y, a)| y * a).sum();

@@ -11,8 +11,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use gillis_core::cache::EvalCache;
 use gillis_core::plan::ExecutionPlan;
-use gillis_core::predict::{predict_plan, PlanPrediction};
+use gillis_core::predict::{predict_plan_cached, PlanPrediction};
 use gillis_core::CoreError;
 use gillis_model::LinearModel;
 use gillis_perf::PerfModel;
@@ -96,16 +97,19 @@ impl BayesOpt {
     pub fn search(&self, model: &LinearModel, perf: &PerfModel) -> Result<BoResult> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let budget = perf.platform.model_memory_budget;
+        // Candidate plans overlap heavily in their groups: memoize group
+        // analyses across every prediction of the search.
+        let cache = EvalCache::new();
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
         let mut evaluated: Vec<(ExecutionPlan, PlanPrediction, f64)> = Vec::new();
 
         let evaluate = |plan: ExecutionPlan,
-                            xs: &mut Vec<Vec<f64>>,
-                            ys: &mut Vec<f64>,
-                            evaluated: &mut Vec<(ExecutionPlan, PlanPrediction, f64)>|
+                        xs: &mut Vec<Vec<f64>>,
+                        ys: &mut Vec<f64>,
+                        evaluated: &mut Vec<(ExecutionPlan, PlanPrediction, f64)>|
          -> Result<f64> {
-            let pred = predict_plan(model, &plan, perf)?;
+            let pred = predict_plan_cached(model, &plan, perf, &cache)?;
             let y = self.objective(&pred);
             xs.push(encode_plan(model, &plan));
             ys.push(y);
@@ -134,7 +138,11 @@ impl BayesOpt {
                 let x = encode_plan(model, &plan);
                 let (mean, var) = gp.predict(&x);
                 let ei = expected_improvement(mean, var, best_y);
-                if best_candidate.as_ref().map(|(b, _)| ei > *b).unwrap_or(true) {
+                if best_candidate
+                    .as_ref()
+                    .map(|(b, _)| ei > *b)
+                    .unwrap_or(true)
+                {
                     best_candidate = Some((ei, plan));
                 }
             }
@@ -181,9 +189,14 @@ mod tests {
         let platform = PlatformProfile::aws_lambda();
         let perf = PerfModel::analytic(&platform);
         let tiny = zoo::tiny_vgg();
-        let result = BayesOpt::new(quick(10_000.0, 1)).search(&tiny, &perf).unwrap();
+        let result = BayesOpt::new(quick(10_000.0, 1))
+            .search(&tiny, &perf)
+            .unwrap();
         assert!(result.meets_slo);
-        result.plan.validate(&tiny, platform.model_memory_budget).unwrap();
+        result
+            .plan
+            .validate(&tiny, platform.model_memory_budget)
+            .unwrap();
         assert!(result.objective_history.len() >= 21);
     }
 
@@ -206,8 +219,12 @@ mod tests {
         let platform = PlatformProfile::aws_lambda();
         let perf = PerfModel::analytic(&platform);
         let tiny = zoo::tiny_vgg();
-        let a = BayesOpt::new(quick(5000.0, 9)).search(&tiny, &perf).unwrap();
-        let b = BayesOpt::new(quick(5000.0, 9)).search(&tiny, &perf).unwrap();
+        let a = BayesOpt::new(quick(5000.0, 9))
+            .search(&tiny, &perf)
+            .unwrap();
+        let b = BayesOpt::new(quick(5000.0, 9))
+            .search(&tiny, &perf)
+            .unwrap();
         assert_eq!(a.objective_history, b.objective_history);
         assert_eq!(a.plan, b.plan);
     }

@@ -162,7 +162,10 @@ mod tests {
         let t3 = default_serving_ms(&zoo::wrn50(3), &perf).unwrap();
         assert!(t2 / t1 > 2.5, "t2/t1 = {}", t2 / t1);
         assert!(t3 / t1 > 6.0, "t3/t1 = {}", t3 / t1);
-        assert!(t3 > 2000.0, "WRN-50-3 on Lambda should exceed 2 s, got {t3}");
+        assert!(
+            t3 > 2000.0,
+            "WRN-50-3 on Lambda should exceed 2 s, got {t3}"
+        );
         assert!(matches!(
             default_serving_ms(&zoo::wrn50(4), &perf),
             Err(CoreError::OutOfMemory { .. })

@@ -11,11 +11,16 @@
 //! this implementation detail open); optimality holds up to one grid step of
 //! memory-allocation granularity.
 
+use std::sync::Arc;
+
 use gillis_model::LinearModel;
 use gillis_perf::PerfModel;
 
+use crate::cache::EvalCache;
 use crate::error::CoreError;
-use crate::partition::{analyze_group, group_options, PartitionOption};
+use crate::partition::{
+    analyze_group_with, group_options, GroupAnalysis, ModelFlops, PartitionOption,
+};
 use crate::plan::{ExecutionPlan, Placement, PlannedGroup};
 use crate::predict::predict_group;
 use crate::Result;
@@ -54,22 +59,72 @@ impl Default for PartitionerConfig {
 #[derive(Debug, Clone, Default)]
 pub struct DpPartitioner {
     config: PartitionerConfig,
+    /// Shared memoization layer for group analyses and Algorithm 1 results.
+    cache: Option<Arc<EvalCache>>,
+    /// Thread-count override for per-group option evaluation; `None` follows
+    /// `GILLIS_THREADS` / the machine parallelism.
+    eval_threads: Option<usize>,
 }
 
-/// Result of Algorithm 1 for one (group, budget-threshold) pair.
-#[derive(Debug, Clone, Copy)]
-struct GroupChoice {
-    latency_ms: f64,
-    option: PartitionOption,
-    placement: Placement,
+/// Result of Algorithm 1 for one (group, budget-threshold) pair: the best
+/// evaluated latency with the option and placement achieving it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupEval {
+    /// Predicted end-to-end latency of the group under this choice.
+    pub latency_ms: f64,
+    /// The winning parallelization option.
+    pub option: PartitionOption,
+    /// Where the partitions run.
+    pub placement: Placement,
     /// Grid steps of master budget this choice consumes.
-    budget_steps: usize,
+    pub budget_steps: usize,
 }
+
+/// Per-option outcome of Algorithm 1's inner evaluation: `None` when some
+/// partition exceeds the per-function budget, otherwise the worker-only
+/// evaluation plus (when master participation is allowed) the
+/// master-participating one.
+type OptionOutcome = Option<(GroupEval, Option<GroupEval>)>;
 
 impl DpPartitioner {
     /// Creates a partitioner with the given configuration.
     pub fn new(config: PartitionerConfig) -> Self {
-        DpPartitioner { config }
+        DpPartitioner {
+            config,
+            cache: None,
+            eval_threads: None,
+        }
+    }
+
+    /// Attaches a shared [`EvalCache`]: group analyses and Algorithm 1
+    /// results are looked up before computing and stored after, so repeated
+    /// `partition` calls (and other planners sharing the cache) skip
+    /// re-evaluating identical cells. Plans are identical with or without a
+    /// cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Overrides the number of threads used to evaluate a group's option set
+    /// (default: `GILLIS_THREADS` or the machine parallelism). Results are
+    /// bit-identical for any thread count; this exists for tests and for
+    /// callers embedding the partitioner in an already-parallel context.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.eval_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Fingerprint of the configuration knobs that shape Algorithm 1's
+    /// per-cell result (the memory grid changes `budget_steps`, the degree
+    /// set and master flag change the candidate space).
+    fn config_tag(&self) -> Vec<u64> {
+        let mut tag: Vec<u64> = self.config.degrees.iter().map(|&d| d as u64).collect();
+        tag.push(u64::from(self.config.allow_master_participation));
+        tag.push(self.config.mem_grid_bytes.max(1));
+        tag
     }
 
     /// Finds the latency-optimal plan for `model` on the platform behind
@@ -92,18 +147,28 @@ impl DpPartitioner {
         let grid = self.config.mem_grid_bytes.max(1);
         let steps = (budget / grid) as usize;
 
+        // Hoist the per-layer FLOPs tables: every group analysis below reads
+        // them, and recomputing per (group, option) pair dominates the run.
+        let flops = match &self.cache {
+            Some(cache) => cache.flops(model),
+            None => Arc::new(ModelFlops::new(model)),
+        };
+        let eval_key = self
+            .cache
+            .as_ref()
+            .map(|_| EvalCache::eval_key(model, perf, &self.config_tag()));
+
         // candidates[i][j - i - 1]: best worker-only and master-participating
         // choices (Algorithm 1) for group i..j.
-        let mut candidates: Vec<Vec<(Option<GroupChoice>, Option<GroupChoice>)>> =
-            vec![Vec::new(); n];
-        for i in 0..n {
+        let mut candidates: Vec<Vec<(Option<GroupEval>, Option<GroupEval>)>> = vec![Vec::new(); n];
+        for (i, row) in candidates.iter_mut().enumerate() {
             let max_j = self
                 .config
                 .max_group_len
                 .map(|l| (i + l).min(n))
                 .unwrap_or(n);
             for j in i + 1..=max_j {
-                candidates[i].push(self.find_opt_latency(model, perf, i, j, budget, grid)?);
+                row.push(self.find_opt_latency(model, perf, &flops, eval_key, i, j, budget, grid)?);
             }
         }
 
@@ -111,16 +176,12 @@ impl DpPartitioner {
         // budget; back[j][m] records the chosen group.
         const INF: f64 = f64::INFINITY;
         let mut best = vec![vec![INF; steps + 1]; n + 1];
-        let mut back: Vec<Vec<Option<(usize, GroupChoice)>>> = vec![vec![None; steps + 1]; n + 1];
-        for m in 0..=steps {
-            best[0][m] = 0.0;
-        }
+        let mut back: Vec<Vec<Option<(usize, GroupEval)>>> = vec![vec![None; steps + 1]; n + 1];
+        best[0].fill(0.0);
         for j in 1..=n {
             for m in 0..=steps {
                 for i in 0..j {
-                    let Some(&(worker_only, with_master)) =
-                        candidates[i].get(j - i - 1)
-                    else {
+                    let Some(&(worker_only, with_master)) = candidates[i].get(j - i - 1) else {
                         continue;
                     };
                     if let Some(c) = worker_only {
@@ -176,69 +237,153 @@ impl DpPartitioner {
     /// Algorithm 1: search the group's parallelization options and return
     /// the best worker-only choice and the best master-participating choice
     /// (whose budget requirement is the master partition's weight bytes).
+    ///
+    /// Options are evaluated in parallel; the winner is reduced sequentially
+    /// in option order afterwards, so the result — including first-wins
+    /// tie-breaking — is bit-identical for every thread count.
+    #[allow(clippy::too_many_arguments)]
     fn find_opt_latency(
         &self,
         model: &LinearModel,
         perf: &PerfModel,
+        flops: &ModelFlops,
+        eval_key: Option<u64>,
         i: usize,
         j: usize,
         budget: u64,
         grid: u64,
-    ) -> Result<(Option<GroupChoice>, Option<GroupChoice>)> {
-        let mut best_worker_only: Option<GroupChoice> = None;
-        let mut best_with_master: Option<GroupChoice> = None;
-        for option in group_options(model, i, j, &self.config.degrees) {
-            let analysis = analyze_group(model, i, j, option)?;
-            // Partition too large to fit into any function: skip option.
-            if analysis
-                .partitions
-                .iter()
-                .any(|p| p.mem_bytes() > budget)
-            {
+    ) -> Result<(Option<GroupEval>, Option<GroupEval>)> {
+        if let (Some(cache), Some(key)) = (&self.cache, eval_key) {
+            if let Some(pair) = cache.choice(key, i, j, budget) {
+                return Ok(pair);
+            }
+        }
+
+        let options = group_options(model, i, j, &self.config.degrees);
+        let outcomes = self.evaluate_options(model, perf, flops, i, j, budget, grid, &options);
+
+        // Sequential reduction in option order: first strictly-better latency
+        // wins the worker-only slot; the master slot additionally prefers
+        // fewer budget steps at equal latency.
+        let mut best_worker_only: Option<GroupEval> = None;
+        let mut best_with_master: Option<GroupEval> = None;
+        for outcome in outcomes {
+            let Some((wo, mp)) = outcome? else {
                 continue;
+            };
+            if best_worker_only
+                .map(|b| wo.latency_ms < b.latency_ms)
+                .unwrap_or(true)
+            {
+                best_worker_only = Some(wo);
+            }
+            if let Some(mp) = mp {
+                if best_with_master
+                    .map(|b| {
+                        mp.latency_ms < b.latency_ms
+                            || (mp.latency_ms == b.latency_ms && mp.budget_steps < b.budget_steps)
+                    })
+                    .unwrap_or(true)
+                {
+                    best_with_master = Some(mp);
+                }
+            }
+        }
+
+        let pair = (best_worker_only, best_with_master);
+        if let (Some(cache), Some(key)) = (&self.cache, eval_key) {
+            cache.store_choice(key, i, j, budget, pair);
+        }
+        Ok(pair)
+    }
+
+    /// Evaluates every option of one group, returning outcomes index-aligned
+    /// with `options`. Work is split into contiguous chunks across threads;
+    /// each slot is written by exactly one thread, so the returned order (and
+    /// hence the caller's reduction) is independent of the thread count.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_options(
+        &self,
+        model: &LinearModel,
+        perf: &PerfModel,
+        flops: &ModelFlops,
+        i: usize,
+        j: usize,
+        budget: u64,
+        grid: u64,
+        options: &[PartitionOption],
+    ) -> Vec<Result<OptionOutcome>> {
+        let evaluate = |option: PartitionOption| -> Result<OptionOutcome> {
+            let cached;
+            let owned;
+            let analysis: &GroupAnalysis = match &self.cache {
+                Some(cache) => {
+                    cached = cache.analysis(model, i, j, option)?;
+                    &cached
+                }
+                None => {
+                    owned = analyze_group_with(model, flops, i, j, option)?;
+                    &owned
+                }
+            };
+            // Partition too large to fit into any function: skip option.
+            if analysis.partitions.iter().any(|p| p.mem_bytes() > budget) {
+                return Ok(None);
             }
 
             // Worker-only placement: every partition on a worker.
-            let wo = predict_group(perf, &analysis, Placement::Workers);
-            let latency = wo.latency_ms();
-            if best_worker_only.map(|b| latency < b.latency_ms).unwrap_or(true) {
-                best_worker_only = Some(GroupChoice {
-                    latency_ms: latency,
-                    option,
-                    placement: Placement::Workers,
-                    budget_steps: 0,
-                });
-            }
-
-            if !self.config.allow_master_participation {
-                continue;
-            }
-            // Master-participating placement: partition 0 in the master.
-            let placement = if option.parts() == 1 {
-                Placement::Master
-            } else {
-                Placement::MasterAndWorkers
+            let wo = predict_group(perf, analysis, Placement::Workers);
+            let worker_only = GroupEval {
+                latency_ms: wo.latency_ms(),
+                option,
+                placement: Placement::Workers,
+                budget_steps: 0,
             };
-            let mp = predict_group(perf, &analysis, placement);
-            let latency = mp.latency_ms();
-            let w0 = analysis.partitions[0].weight_bytes;
-            let budget_steps = w0.div_ceil(grid) as usize;
-            if best_with_master
-                .map(|b| {
-                    latency < b.latency_ms
-                        || (latency == b.latency_ms && budget_steps < b.budget_steps)
-                })
-                .unwrap_or(true)
-            {
-                best_with_master = Some(GroupChoice {
-                    latency_ms: latency,
+
+            let with_master = self.config.allow_master_participation.then(|| {
+                // Master-participating placement: partition 0 in the master.
+                let placement = if option.parts() == 1 {
+                    Placement::Master
+                } else {
+                    Placement::MasterAndWorkers
+                };
+                let mp = predict_group(perf, analysis, placement);
+                let w0 = analysis.partitions[0].weight_bytes;
+                GroupEval {
+                    latency_ms: mp.latency_ms(),
                     option,
                     placement,
-                    budget_steps,
+                    budget_steps: w0.div_ceil(grid) as usize,
+                }
+            });
+            Ok(Some((worker_only, with_master)))
+        };
+
+        let threads = self
+            .eval_threads
+            .unwrap_or_else(gillis_tensor::gemm::gillis_threads)
+            .clamp(1, options.len().max(1));
+        if threads <= 1 {
+            return options.iter().map(|&o| evaluate(o)).collect();
+        }
+
+        let mut outcomes: Vec<Option<Result<OptionOutcome>>> =
+            options.iter().map(|_| None).collect();
+        let chunk = options.len().div_ceil(threads);
+        let evaluate = &evaluate;
+        crossbeam::thread::scope(|s| {
+            for (opts, slots) in options.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (&option, slot) in opts.iter().zip(slots.iter_mut()) {
+                        *slot = Some(evaluate(option));
+                    }
                 });
             }
-        }
-        Ok((best_worker_only, best_with_master))
+        });
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every option slot is filled by its owning thread"))
+            .collect()
     }
 }
 
@@ -248,9 +393,64 @@ mod tests {
     use crate::predict::predict_plan;
     use gillis_faas::PlatformProfile;
     use gillis_model::zoo;
+    use proptest::prelude::*;
 
     fn perf(platform: &PlatformProfile) -> PerfModel {
         PerfModel::analytic(platform)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        #[test]
+        fn dp_plans_invariant_to_threads_and_cache(
+            (model_idx, grid_shift, degree_mask) in (0usize..4, 0u32..3, 1usize..8),
+        ) {
+            let model = match model_idx {
+                0 => zoo::tiny_vgg(),
+                1 => zoo::vgg11(),
+                2 => zoo::rnn(6),
+                _ => zoo::mobilenet(),
+            };
+            let platform = PlatformProfile::aws_lambda();
+            let perf = PerfModel::analytic(&platform);
+            let base = [2usize, 4, 8];
+            let degrees: Vec<usize> = base
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| degree_mask & (1 << i) != 0)
+                .map(|(_, &d)| d)
+                .collect();
+            let config = PartitionerConfig {
+                degrees,
+                mem_grid_bytes: (16u64 * 1024 * 1024) << grid_shift,
+                ..PartitionerConfig::default()
+            };
+            let serial = DpPartitioner::new(config.clone())
+                .with_threads(1)
+                .partition(&model, &perf)
+                .unwrap();
+            let threaded = DpPartitioner::new(config.clone())
+                .with_threads(8)
+                .partition(&model, &perf)
+                .unwrap();
+            prop_assert_eq!(&serial, &threaded);
+
+            let cache = Arc::new(EvalCache::new());
+            let cold = DpPartitioner::new(config.clone())
+                .with_cache(Arc::clone(&cache))
+                .partition(&model, &perf)
+                .unwrap();
+            prop_assert_eq!(&serial, &cold);
+            // Warm cache (and a different thread count): identical plan, and
+            // every DP cell answers from the cache.
+            let warm = DpPartitioner::new(config)
+                .with_cache(Arc::clone(&cache))
+                .with_threads(8)
+                .partition(&model, &perf)
+                .unwrap();
+            prop_assert_eq!(&serial, &warm);
+            prop_assert!(cache.stats().hits > 0);
+        }
     }
 
     #[test]
@@ -278,10 +478,7 @@ mod tests {
         let plan = DpPartitioner::default().partition(&wrn, &perf).unwrap();
         plan.validate(&wrn, platform.model_memory_budget).unwrap();
         // Some group must be split or offloaded to workers.
-        assert!(plan
-            .groups()
-            .iter()
-            .any(|g| g.worker_count() > 0));
+        assert!(plan.groups().iter().any(|g| g.worker_count() > 0));
     }
 
     #[test]
@@ -321,8 +518,7 @@ mod tests {
         let plan = DpPartitioner::default().partition(&rnn, &perf).unwrap();
         assert!(plan.groups().iter().all(|g| g.worker_count() == 0));
         let pred = predict_plan(&rnn, &plan, &perf).unwrap();
-        let single =
-            predict_plan(&rnn, &ExecutionPlan::single_function(&rnn), &perf).unwrap();
+        let single = predict_plan(&rnn, &ExecutionPlan::single_function(&rnn), &perf).unwrap();
         assert!((pred.latency_ms - single.latency_ms).abs() / single.latency_ms < 0.05);
     }
 
@@ -337,7 +533,9 @@ mod tests {
             degrees: vec![2, 4],
             ..PartitionerConfig::default()
         };
-        let plan = DpPartitioner::new(config.clone()).partition(&tiny, &perf).unwrap();
+        let plan = DpPartitioner::new(config.clone())
+            .partition(&tiny, &perf)
+            .unwrap();
         let dp_latency = predict_plan(&tiny, &plan, &perf).unwrap().latency_ms;
 
         let budget = platform.model_memory_budget;
@@ -364,7 +562,8 @@ mod tests {
             }
             for end in start + 1..=n {
                 for option in group_options(model, start, end, &config.degrees) {
-                    let analysis = analyze_group(model, start, end, option).unwrap();
+                    let analysis =
+                        crate::partition::analyze_group(model, start, end, option).unwrap();
                     if analysis.partitions.iter().any(|p| p.mem_bytes() > budget) {
                         continue;
                     }
@@ -409,7 +608,16 @@ mod tests {
             }
         }
         enumerate(
-            &tiny, &perf, &config, budget, 0, n, &mut Vec::new(), 0, 0.0, &mut best,
+            &tiny,
+            &perf,
+            &config,
+            budget,
+            0,
+            n,
+            &mut Vec::new(),
+            0,
+            0.0,
+            &mut best,
         );
         assert!(best.is_finite());
         assert!(

@@ -166,9 +166,7 @@ impl<'a> ForkJoinRuntime<'a> {
                             worker_ms.push(
                                 extra
                                     + c
-                                    + self
-                                        .platform
-                                        .transfer_ms(p.input_bytes + p.output_bytes),
+                                    + self.platform.transfer_ms(p.input_bytes + p.output_bytes),
                             );
                         }
                         (fork, slowest, join)
@@ -215,7 +213,11 @@ impl<'a> ForkJoinRuntime<'a> {
             .zip(self.analyses.iter())
             .enumerate()
         {
-            let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+            let offset = if g.placement == Placement::Workers {
+                0
+            } else {
+                1
+            };
             for (pi, p) in a.partitions.iter().enumerate().skip(offset) {
                 if g.placement == Placement::Master {
                     continue;
@@ -277,7 +279,11 @@ impl<'a> ForkJoinRuntime<'a> {
             if g.placement == Placement::Master {
                 continue;
             }
-            let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+            let offset = if g.placement == Placement::Workers {
+                0
+            } else {
+                1
+            };
             for pi in offset..g.option.parts() {
                 let (c, _, _) = fleet.stats(&format!("g{gi}p{pi}"))?;
                 cold_starts += c;
@@ -323,7 +329,8 @@ impl<'a> ForkJoinRuntime<'a> {
         let mut now = Micros::ZERO;
         for _ in 0..queries {
             now += arrivals.next_gap(&mut rng);
-            let done = self.run_query_on_fleet(&mut fleet, &mut billing, now, &mut rng, &mut retries)?;
+            let done =
+                self.run_query_on_fleet(&mut fleet, &mut billing, now, &mut rng, &mut retries)?;
             latency.record((done - now).as_ms());
         }
         let mut cold_starts = 0;
@@ -333,7 +340,11 @@ impl<'a> ForkJoinRuntime<'a> {
             if g.placement == Placement::Master {
                 continue;
             }
-            let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+            let offset = if g.placement == Placement::Workers {
+                0
+            } else {
+                1
+            };
             for pi in offset..g.option.parts() {
                 let (c, _, _) = fleet.stats(&format!("g{gi}p{pi}"))?;
                 cold_starts += c;
@@ -359,7 +370,11 @@ impl<'a> ForkJoinRuntime<'a> {
             if g.placement == Placement::Master {
                 continue;
             }
-            let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+            let offset = if g.placement == Placement::Workers {
+                0
+            } else {
+                1
+            };
             for pi in offset..g.option.parts() {
                 fleet.prewarm(&format!("g{gi}p{pi}"), count, Micros::ZERO)?;
             }
@@ -411,7 +426,11 @@ impl<'a> ForkJoinRuntime<'a> {
                     now += Micros::from_ms(self.sample_compute_ms(&a.partitions[0], rng));
                 }
                 Placement::Workers | Placement::MasterAndWorkers => {
-                    let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+                    let offset = if g.placement == Placement::Workers {
+                        0
+                    } else {
+                        1
+                    };
                     let worker_parts = &a.partitions[offset..];
                     let master_compute = if offset == 1 {
                         self.sample_compute_ms(&a.partitions[0], rng)
@@ -467,8 +486,7 @@ impl<'a> ForkJoinRuntime<'a> {
                         group_end = group_end.max(end);
                     }
                     // Collection jitter on the way back.
-                    let join_jitter =
-                        Micros::from_ms(self.platform.invoke_latency_ms.sample(rng));
+                    let join_jitter = Micros::from_ms(self.platform.invoke_latency_ms.sample(rng));
                     now = group_end.max(dispatch_done) + join_jitter;
                 }
             }
@@ -566,7 +584,9 @@ mod tests {
         let tiny = zoo::tiny_vgg();
         let weights = init_weights(tiny.graph(), 77).unwrap();
         let exec = Executor::new(tiny.graph(), &weights);
-        let input = Tensor::from_fn(tiny.input_shape().clone(), |i| ((i % 17) as f32 - 8.0) / 8.0);
+        let input = Tensor::from_fn(tiny.input_shape().clone(), |i| {
+            ((i % 17) as f32 - 8.0) / 8.0
+        });
         let full = exec.forward(&tiny, &input).unwrap();
 
         let platform = PlatformProfile::aws_lambda();
@@ -595,21 +615,20 @@ mod tests {
         let mut groups = Vec::new();
         for i in 0..n {
             let layer = &tiny.layers()[i];
-            let option = if layer.class.supports_spatial()
-                && tiny.layers()[i].out_shape.dims()[1] >= 4
-            {
-                PartitionOption::Split {
-                    dim: PartDim::Height,
-                    parts: 4,
-                }
-            } else if layer.class.channel_splittable() && layer.out_shape.dims()[0] >= 2 {
-                PartitionOption::Split {
-                    dim: PartDim::Channel,
-                    parts: 2,
-                }
-            } else {
-                PartitionOption::Single
-            };
+            let option =
+                if layer.class.supports_spatial() && tiny.layers()[i].out_shape.dims()[1] >= 4 {
+                    PartitionOption::Split {
+                        dim: PartDim::Height,
+                        parts: 4,
+                    }
+                } else if layer.class.channel_splittable() && layer.out_shape.dims()[0] >= 2 {
+                    PartitionOption::Split {
+                        dim: PartDim::Channel,
+                        parts: 2,
+                    }
+                } else {
+                    PartitionOption::Single
+                };
             groups.push(PlannedGroup {
                 start: i,
                 end: i + 1,
@@ -670,7 +689,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let f: Vec<QueryOutcome> = (0..50).map(|_| flaky.simulate_query(&mut rng)).collect();
         let total_retries: u64 = f.iter().map(|q| q.retries).sum();
-        assert!(total_retries > 0, "expected some retries at 15% failure rate");
+        assert!(
+            total_retries > 0,
+            "expected some retries at 15% failure rate"
+        );
         let f_mean = f.iter().map(|q| q.latency_ms).sum::<f64>() / 50.0;
         assert!(f_mean > h_mean, "flaky {f_mean} vs healthy {h_mean}");
 
@@ -694,12 +716,7 @@ mod tests {
         let rt = ForkJoinRuntime::new(&vgg, &plan, platform).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let q = rt.simulate_query(&mut rng);
-        let invocations: usize = rt
-            .plan
-            .groups()
-            .iter()
-            .map(|g| g.worker_count())
-            .sum();
+        let invocations: usize = rt.plan.groups().iter().map(|g| g.worker_count()).sum();
         assert!(q.latency_ms.is_finite());
         assert!(q.retries <= (invocations as u64) * (MAX_ATTEMPTS as u64 - 1));
     }
@@ -721,11 +738,23 @@ mod tests {
         // Query 1: all-cold. Query 2 (starting after 1 finished): all-warm.
         let mut retries = 0;
         let done_first = runtime
-            .run_query_on_fleet(&mut fleet, &mut billing, Micros::ZERO, &mut rng, &mut retries)
+            .run_query_on_fleet(
+                &mut fleet,
+                &mut billing,
+                Micros::ZERO,
+                &mut rng,
+                &mut retries,
+            )
             .unwrap();
         let start_later = done_first;
         let done_later = runtime
-            .run_query_on_fleet(&mut fleet, &mut billing, start_later, &mut rng, &mut retries)
+            .run_query_on_fleet(
+                &mut fleet,
+                &mut billing,
+                start_later,
+                &mut rng,
+                &mut retries,
+            )
             .unwrap();
         let first = done_first.as_ms();
         let later = (done_later - start_later).as_ms();

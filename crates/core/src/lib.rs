@@ -38,6 +38,7 @@
 //! ```
 
 pub mod baselines;
+pub mod cache;
 pub mod dp;
 pub mod error;
 pub mod forkjoin;
@@ -46,12 +47,15 @@ pub mod plan;
 pub mod predict;
 pub mod tail;
 
-pub use dp::{DpPartitioner, PartitionerConfig};
+pub use cache::{CacheStats, EvalCache};
+pub use dp::{DpPartitioner, GroupEval, PartitionerConfig};
 pub use error::CoreError;
 pub use forkjoin::{execute_plan_tensors, ForkJoinRuntime, QueryOutcome, ServingReport};
-pub use partition::{analyze_group, group_options, PartDim, PartitionOption};
+pub use partition::{
+    analyze_group, analyze_group_with, group_options, ModelFlops, PartDim, PartitionOption,
+};
 pub use plan::{ExecutionPlan, Placement, PlannedGroup};
-pub use predict::{predict_plan, PlanPrediction};
+pub use predict::{predict_plan, predict_plan_cached, PlanPrediction};
 pub use tail::predict_latency_quantile;
 
 /// Convenient result alias for fallible partitioning/serving operations.

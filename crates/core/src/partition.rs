@@ -110,13 +110,64 @@ pub struct GroupAnalysis {
 impl GroupAnalysis {
     /// Largest per-partition memory footprint.
     pub fn max_partition_mem(&self) -> u64 {
-        self.partitions.iter().map(PartitionWork::mem_bytes).max().unwrap_or(0)
+        self.partitions
+            .iter()
+            .map(PartitionWork::mem_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total FLOPs across partitions (>= the unpartitioned group FLOPs for
     /// spatial splits — the difference is halo redundancy, §III-C).
     pub fn total_flops(&self) -> u64 {
         self.partitions.iter().map(PartitionWork::total_flops).sum()
+    }
+}
+
+/// Per-layer FLOPs-by-class tables for a whole model, computed once and
+/// shared across every group analysis.
+///
+/// `flops_by_class` walks a merged layer's constituent graph nodes, which is
+/// far too slow to repeat for every `(group, option)` pair the planner
+/// visits — the DP alone analyzes `O(n²)` groups with ~a dozen options each.
+/// Build this table once per model (or let
+/// [`EvalCache`](crate::cache::EvalCache) do it) and analyze groups through
+/// [`analyze_group_with`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelFlops {
+    per_layer: Vec<Vec<(EffClass, u64)>>,
+}
+
+impl ModelFlops {
+    /// Computes the per-layer tables for `model`.
+    pub fn new(model: &LinearModel) -> Self {
+        ModelFlops {
+            per_layer: model
+                .layers()
+                .iter()
+                .map(|l| flops_by_class(model, l))
+                .collect(),
+        }
+    }
+
+    /// The tables of layers `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds for the model this table was
+    /// built from.
+    pub fn layers(&self, start: usize, end: usize) -> &[Vec<(EffClass, u64)>] {
+        &self.per_layer[start..end]
+    }
+
+    /// Number of layers covered.
+    pub fn len(&self) -> usize {
+        self.per_layer.len()
+    }
+
+    /// Whether the model had no layers.
+    pub fn is_empty(&self) -> bool {
+        self.per_layer.is_empty()
     }
 }
 
@@ -166,7 +217,12 @@ enum ChannelMode {
 /// Returns an empty vector for structurally invalid groups (e.g. a dense
 /// layer grouped with convolutions — Fig 6's `L3` barrier). Singleton groups
 /// always admit at least [`PartitionOption::Single`].
-pub fn group_options(model: &LinearModel, start: usize, end: usize, degrees: &[usize]) -> Vec<PartitionOption> {
+pub fn group_options(
+    model: &LinearModel,
+    start: usize,
+    end: usize,
+    degrees: &[usize],
+) -> Vec<PartitionOption> {
     let layers = &model.layers()[start..end];
     if layers.is_empty() {
         return Vec::new();
@@ -179,7 +235,10 @@ pub fn group_options(model: &LinearModel, start: usize, end: usize, degrees: &[u
 
     if spatial {
         let out = &layers[layers.len() - 1].out_shape;
-        for (dim, extent) in [(PartDim::Height, out.dims()[1]), (PartDim::Width, out.dims()[2])] {
+        for (dim, extent) in [
+            (PartDim::Height, out.dims()[1]),
+            (PartDim::Width, out.dims()[2]),
+        ] {
             for &parts in degrees {
                 if parts >= 2 && extent >= parts {
                     options.push(PartitionOption::Split { dim, parts });
@@ -215,12 +274,48 @@ pub fn analyze_group(
     end: usize,
     option: PartitionOption,
 ) -> Result<GroupAnalysis> {
-    let layers = &model.layers()[start..end];
+    let layers = model
+        .layers()
+        .get(start..end)
+        .ok_or_else(|| CoreError::InvalidArgument(format!("group {start}..{end} out of range")))?;
+    let tables: Vec<Vec<(EffClass, u64)>> =
+        layers.iter().map(|l| flops_by_class(model, l)).collect();
+    analyze_group_inner(layers, &tables, start, end, option)
+}
+
+/// [`analyze_group`] against a precomputed [`ModelFlops`] table, skipping the
+/// per-layer graph walks. Results are identical to `analyze_group`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] if the option is not applicable to
+/// the group.
+pub fn analyze_group_with(
+    model: &LinearModel,
+    flops: &ModelFlops,
+    start: usize,
+    end: usize,
+    option: PartitionOption,
+) -> Result<GroupAnalysis> {
+    let layers = model
+        .layers()
+        .get(start..end)
+        .ok_or_else(|| CoreError::InvalidArgument(format!("group {start}..{end} out of range")))?;
+    analyze_group_inner(layers, flops.layers(start, end), start, end, option)
+}
+
+fn analyze_group_inner(
+    layers: &[MergedLayer],
+    per_layer_flops: &[Vec<(EffClass, u64)>],
+    start: usize,
+    end: usize,
+    option: PartitionOption,
+) -> Result<GroupAnalysis> {
     if layers.is_empty() {
         return Err(CoreError::InvalidArgument("empty group".into()));
     }
     let partitions = match option {
-        PartitionOption::Single => vec![whole_group_work(model, layers)],
+        PartitionOption::Single => vec![whole_group_work(layers, per_layer_flops)],
         PartitionOption::Split { dim, parts } => {
             if parts < 2 {
                 return Err(CoreError::InvalidArgument(
@@ -234,7 +329,7 @@ pub fn analyze_group(
                             "group {start}..{end} is not spatially partitionable"
                         )));
                     }
-                    spatial_partition_work(model, layers, dim, parts)?
+                    spatial_partition_work(layers, per_layer_flops, dim, parts)?
                 }
                 PartDim::Channel => {
                     let mode = group_channel_mode(layers).ok_or_else(|| {
@@ -242,7 +337,7 @@ pub fn analyze_group(
                             "group {start}..{end} is not channel-partitionable"
                         ))
                     })?;
-                    channel_partition_work(model, layers, parts, mode)?
+                    channel_partition_work(layers, per_layer_flops, parts, mode)?
                 }
             }
         }
@@ -251,10 +346,13 @@ pub fn analyze_group(
 }
 
 /// The whole group as a single partition.
-fn whole_group_work(model: &LinearModel, layers: &[MergedLayer]) -> PartitionWork {
+fn whole_group_work(
+    layers: &[MergedLayer],
+    per_layer_flops: &[Vec<(EffClass, u64)>],
+) -> PartitionWork {
     let mut flops: Vec<(EffClass, u64)> = Vec::new();
-    for layer in layers {
-        for (class, f) in flops_by_class(model, layer) {
+    for table in per_layer_flops {
+        for &(class, f) in table {
             merge_flops(&mut flops, class, f);
         }
     }
@@ -280,8 +378,8 @@ fn merge_flops(acc: &mut Vec<(EffClass, u64)>, class: EffClass, f: u64) {
 /// fields, accumulating per-layer fractional FLOPs (halo redundancy falls
 /// out naturally) and the input slice each partition needs.
 fn spatial_partition_work(
-    model: &LinearModel,
     layers: &[MergedLayer],
+    per_layer_flops: &[Vec<(EffClass, u64)>],
     dim: PartDim,
     parts: usize,
 ) -> Result<Vec<PartitionWork>> {
@@ -293,8 +391,6 @@ fn spatial_partition_work(
     let last = &layers[layers.len() - 1];
     let out_extent = last.out_shape.dims()[dim_idx];
     let group_weights: u64 = layers.iter().map(|l| l.weight_bytes).sum();
-    let per_layer_flops: Vec<Vec<(EffClass, u64)>> =
-        layers.iter().map(|l| flops_by_class(model, l)).collect();
 
     let mut out = Vec::with_capacity(parts);
     for range in balanced_ranges(out_extent, parts) {
@@ -309,10 +405,9 @@ fn spatial_partition_work(
             for &(class, f) in &per_layer_flops[li] {
                 merge_flops(&mut flops, class, (f as f64 * frac).round() as u64);
             }
-            let rf = layer
-                .class
-                .receptive_field()
-                .ok_or_else(|| CoreError::InvalidArgument("non-spatial layer in spatial group".into()))?;
+            let rf = layer.class.receptive_field().ok_or_else(|| {
+                CoreError::InvalidArgument("non-spatial layer in spatial group".into())
+            })?;
             let in_extent = layer.in_shape.dims()[dim_idx];
             let (in_range, _, _) = rf.input_rows(cur.clone(), in_extent);
             cur = in_range;
@@ -347,8 +442,8 @@ fn spatial_partition_work(
 /// all-local groups, the input channels are sliced); downstream layers scale
 /// proportionally.
 fn channel_partition_work(
-    model: &LinearModel,
     layers: &[MergedLayer],
+    per_layer_flops: &[Vec<(EffClass, u64)>],
     parts: usize,
     mode: ChannelMode,
 ) -> Result<Vec<PartitionWork>> {
@@ -356,8 +451,6 @@ fn channel_partition_work(
     let out_extent = last.out_shape.dims()[0];
     let in_bytes_full = layers[0].in_bytes();
     let out_bytes_full = last.out_bytes();
-    let per_layer_flops: Vec<Vec<(EffClass, u64)>> =
-        layers.iter().map(|l| flops_by_class(model, l)).collect();
 
     let mut out = Vec::with_capacity(parts);
     for range in balanced_ranges(out_extent, parts) {
@@ -523,7 +616,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(split.partitions.len(), 8);
-        let single = analyze_group(&vgg, dense_idx, dense_idx + 1, PartitionOption::Single).unwrap();
+        let single =
+            analyze_group(&vgg, dense_idx, dense_idx + 1, PartitionOption::Single).unwrap();
         // fc6 is 4096 units: each of 8 partitions holds 1/8 of ~411 MB.
         let w = split.partitions[0].weight_bytes;
         assert!((w as f64 - single.partitions[0].weight_bytes as f64 / 8.0).abs() < 1e5);
@@ -611,6 +705,25 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn hoisted_flops_table_matches_direct_analysis() {
+        for model in [zoo::vgg11(), zoo::resnet34(), zoo::mobilenet(), zoo::rnn(3)] {
+            let flops = ModelFlops::new(&model);
+            assert_eq!(flops.len(), model.layers().len());
+            let n = model.layers().len();
+            for start in 0..n {
+                for end in start + 1..=(start + 3).min(n) {
+                    for option in group_options(&model, start, end, &[2, 4, 8]) {
+                        let direct = analyze_group(&model, start, end, option).unwrap();
+                        let hoisted =
+                            analyze_group_with(&model, &flops, start, end, option).unwrap();
+                        assert_eq!(direct, hoisted, "{} {start}..{end} {option}", model.name());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -201,7 +201,13 @@ impl ExecutionPlan {
     pub fn describe(&self, model: &LinearModel) -> Result<String> {
         use std::fmt::Write as _;
         let mut s = String::new();
-        writeln!(s, "plan for {} ({} merged layers):", model.name(), model.layers().len()).ok();
+        writeln!(
+            s,
+            "plan for {} ({} merged layers):",
+            model.name(),
+            model.layers().len()
+        )
+        .ok();
         for (gi, g) in self.groups.iter().enumerate() {
             let a = analyze_group(model, g.start, g.end, g.option)?;
             let names: Vec<&str> = model.layers()[g.start..g.end]
@@ -303,7 +309,15 @@ impl ExecutionPlan {
         use std::fmt::Write as _;
         let mut s = String::from("gillis-plan v1\n");
         for g in &self.groups {
-            writeln!(s, "{} {} {} {}", g.start, g.end, g.option, g.placement.tag()).ok();
+            writeln!(
+                s,
+                "{} {} {} {}",
+                g.start,
+                g.end,
+                g.option,
+                g.placement.tag()
+            )
+            .ok();
         }
         s
     }
@@ -511,7 +525,10 @@ mod tests {
         let a = crate::predict::predict_plan(&vgg, &plan, &perf).unwrap();
         let b = crate::predict::predict_plan(&vgg, &coalesced, &perf).unwrap();
         assert!(b.latency_ms <= a.latency_ms);
-        assert!((a.latency_ms - b.latency_ms) < 1.0, "overhead delta too large");
+        assert!(
+            (a.latency_ms - b.latency_ms) < 1.0,
+            "overhead delta too large"
+        );
         assert!(a.billed_ms.abs_diff(b.billed_ms) <= 2);
     }
 

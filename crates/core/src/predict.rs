@@ -10,6 +10,7 @@ use gillis_faas::billing::billed_ms;
 use gillis_model::LinearModel;
 use gillis_perf::PerfModel;
 
+use crate::cache::EvalCache;
 use crate::partition::{GroupAnalysis, PartitionWork};
 use crate::plan::{ExecutionPlan, Placement};
 use crate::Result;
@@ -134,9 +135,43 @@ pub fn predict_plan(
     perf: &PerfModel,
 ) -> Result<PlanPrediction> {
     let analyses = plan.analyses(model)?;
-    let mut groups = Vec::with_capacity(analyses.len());
+    Ok(predict_plan_from(plan, perf, analyses.iter()))
+}
+
+/// [`predict_plan`] with group analyses served from (and stored into) a
+/// shared [`EvalCache`] — the hot path of RL reward evaluation and BO
+/// candidate scoring, which re-analyze overlapping groups constantly.
+/// Predictions are identical to the uncached path.
+///
+/// # Errors
+///
+/// Propagates group-analysis failures for invalid plans.
+pub fn predict_plan_cached(
+    model: &LinearModel,
+    plan: &ExecutionPlan,
+    perf: &PerfModel,
+    cache: &EvalCache,
+) -> Result<PlanPrediction> {
+    let analyses: Vec<_> = plan
+        .groups()
+        .iter()
+        .map(|g| cache.analysis(model, g.start, g.end, g.option))
+        .collect::<Result<_>>()?;
+    Ok(predict_plan_from(
+        plan,
+        perf,
+        analyses.iter().map(|a| a.as_ref()),
+    ))
+}
+
+fn predict_plan_from<'a>(
+    plan: &ExecutionPlan,
+    perf: &PerfModel,
+    analyses: impl Iterator<Item = &'a GroupAnalysis>,
+) -> PlanPrediction {
+    let mut groups = Vec::with_capacity(plan.groups().len());
     let mut latency = 0.0;
-    for (g, a) in plan.groups().iter().zip(analyses.iter()) {
+    for (g, a) in plan.groups().iter().zip(analyses) {
         let gp = predict_group(perf, a, g.placement);
         latency += gp.latency_ms();
         groups.push(gp);
@@ -154,12 +189,12 @@ pub fn predict_plan(
                 + perf.platform.price_per_invocation;
         }
     }
-    Ok(PlanPrediction {
+    PlanPrediction {
         groups,
         latency_ms: latency,
         billed_ms: billed,
         usd,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +303,24 @@ mod tests {
         assert_eq!(g.fork_ms, 0.0);
         assert_eq!(g.join_ms, 0.0);
         assert!(g.compute_ms > 0.0);
+    }
+
+    #[test]
+    fn cached_prediction_matches_uncached() {
+        let vgg = zoo::vgg11();
+        let perf = perf();
+        let cache = EvalCache::new();
+        let plan = crate::DpPartitioner::default()
+            .partition(&vgg, &perf)
+            .unwrap();
+        let direct = predict_plan(&vgg, &plan, &perf).unwrap();
+        let cached = predict_plan_cached(&vgg, &plan, &perf, &cache).unwrap();
+        assert_eq!(direct, cached);
+        // Second call answers every group from the cache.
+        let before = cache.stats().misses;
+        let again = predict_plan_cached(&vgg, &plan, &perf, &cache).unwrap();
+        assert_eq!(direct, again);
+        assert_eq!(cache.stats().misses, before);
     }
 
     #[test]

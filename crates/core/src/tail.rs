@@ -62,7 +62,12 @@ pub fn predict_latency_quantile(
     let mut draws = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut latency = 0.0;
-        for ((g, a), means) in plan.groups().iter().zip(analyses.iter()).zip(mean_compute.iter()) {
+        for ((g, a), means) in plan
+            .groups()
+            .iter()
+            .zip(analyses.iter())
+            .zip(mean_compute.iter())
+        {
             let sample_compute = |mean: f64, rng: &mut StdRng| {
                 mean * (1.0 + noise * sample_standard_normal(rng)).max(0.1)
             };
@@ -71,7 +76,11 @@ pub fn predict_latency_quantile(
                     latency += sample_compute(means[0], &mut rng);
                 }
                 Placement::Workers | Placement::MasterAndWorkers => {
-                    let offset = if g.placement == Placement::Workers { 0 } else { 1 };
+                    let offset = if g.placement == Placement::Workers {
+                        0
+                    } else {
+                        1
+                    };
                     let worker_parts: &[PartitionWork] = &a.partitions[offset..];
                     let master = if offset == 1 {
                         sample_compute(means[0], &mut rng)
@@ -144,11 +153,16 @@ mod tests {
         let p99_pred = predict_latency_quantile(&model, &plan, &perf, 0.99, 4000, 2).unwrap();
         let rt = crate::forkjoin::ForkJoinRuntime::new(&model, &plan, platform).unwrap();
         let mut rng: StdRng = SeedableRng::seed_from_u64(3);
-        let mut sim: Vec<f64> = (0..4000).map(|_| rt.simulate_query(&mut rng).latency_ms).collect();
+        let mut sim: Vec<f64> = (0..4000)
+            .map(|_| rt.simulate_query(&mut rng).latency_ms)
+            .collect();
         sim.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p99_sim = sim[(0.99 * 4000.0) as usize - 1];
         let rel = (p99_pred - p99_sim).abs() / p99_sim;
-        assert!(rel < 0.05, "p99 predicted {p99_pred:.1} vs simulated {p99_sim:.1}");
+        assert!(
+            rel < 0.05,
+            "p99 predicted {p99_pred:.1} vs simulated {p99_sim:.1}"
+        );
     }
 
     #[test]

@@ -49,8 +49,14 @@ mod tests {
             limit: 1_400_000_000,
         };
         assert!(e.to_string().contains("out of memory"));
-        assert!(FaasError::NoSuchObject("k".into()).to_string().contains('k'));
-        assert!(FaasError::NoSuchFunction("f".into()).to_string().contains('f'));
-        assert!(FaasError::InvalidArgument("x".into()).to_string().contains('x'));
+        assert!(FaasError::NoSuchObject("k".into())
+            .to_string()
+            .contains('k'));
+        assert!(FaasError::NoSuchFunction("f".into())
+            .to_string()
+            .contains('f'));
+        assert!(FaasError::InvalidArgument("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -33,7 +33,7 @@ impl ExGaussian {
     /// Returns [`FaasError::InvalidArgument`] unless `sigma > 0` and
     /// `rate > 0`.
     pub fn new(mu: f64, sigma: f64, rate: f64) -> Result<Self> {
-        if !(sigma > 0.0) || !(rate > 0.0) || !mu.is_finite() {
+        if sigma <= 0.0 || sigma.is_nan() || rate <= 0.0 || rate.is_nan() || !mu.is_finite() {
             return Err(FaasError::InvalidArgument(format!(
                 "exgaussian needs sigma > 0 and rate > 0, got mu={mu}, sigma={sigma}, rate={rate}"
             )));

@@ -53,7 +53,11 @@ impl LatencyStats {
 
     /// Minimum sample (0 when empty).
     pub fn min(&self) -> f64 {
-        self.samples_ms.iter().copied().fold(f64::INFINITY, f64::min).min(f64::MAX)
+        self.samples_ms
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::MAX)
             .clamp(0.0, f64::MAX)
             * if self.samples_ms.is_empty() { 0.0 } else { 1.0 }
     }

@@ -113,7 +113,9 @@ mod tests {
     #[test]
     fn box_muller_moments() {
         let mut rng = StdRng::seed_from_u64(7);
-        let xs: Vec<f64> = (0..20_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         assert!(mean(&xs).abs() < 0.03, "mean {}", mean(&xs));
         assert!((variance(&xs) - 1.0).abs() < 0.05, "var {}", variance(&xs));
         assert!(skewness(&xs).abs() < 0.06, "skew {}", skewness(&xs));

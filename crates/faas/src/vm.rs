@@ -46,7 +46,7 @@ impl VmPool {
     /// Returns [`FaasError::InvalidArgument`] for an empty pool or
     /// non-positive service time.
     pub fn new(vms: usize, service_ms: f64, price_per_hour: f64) -> Result<Self> {
-        if vms == 0 || !(service_ms > 0.0) {
+        if vms == 0 || service_ms <= 0.0 || service_ms.is_nan() {
             return Err(FaasError::InvalidArgument(
                 "vm pool needs >= 1 vm and positive service time".into(),
             ));

@@ -80,7 +80,7 @@ impl PoissonArrivals {
     ///
     /// Returns [`FaasError::InvalidArgument`] unless the rate is positive.
     pub fn new(rate_per_sec: f64) -> Result<Self> {
-        if !(rate_per_sec > 0.0) {
+        if rate_per_sec <= 0.0 || rate_per_sec.is_nan() {
             return Err(FaasError::InvalidArgument(
                 "arrival rate must be positive".into(),
             ));

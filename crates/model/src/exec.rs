@@ -62,9 +62,9 @@ impl<'a> Executor<'a> {
                     .inputs
                     .iter()
                     .map(|i| {
-                        values
-                            .get(i)
-                            .ok_or_else(|| ModelError::BadWiring(format!("value for node {} missing", i.0)))
+                        values.get(i).ok_or_else(|| {
+                            ModelError::BadWiring(format!("value for node {} missing", i.0))
+                        })
                     })
                     .collect::<Result<_>>()?;
                 let out = self.eval_node(id, &inputs)?;
@@ -269,7 +269,14 @@ impl<'a> Executor<'a> {
                 ..
             } => {
                 let (input, lo, hi) = self.span_of_window(
-                    node.inputs[0], dim, &span, *kernel, *stride, *padding, seed, seed_value,
+                    node.inputs[0],
+                    dim,
+                    &span,
+                    *kernel,
+                    *stride,
+                    *padding,
+                    seed,
+                    seed_value,
                 )?;
                 let (w, b) = self.conv_weights(id)?;
                 let params = Conv2dParams {
@@ -285,7 +292,14 @@ impl<'a> Executor<'a> {
                 padding,
             } => {
                 let (input, lo, hi) = self.span_of_window(
-                    node.inputs[0], dim, &span, *kernel, *stride, *padding, seed, seed_value,
+                    node.inputs[0],
+                    dim,
+                    &span,
+                    *kernel,
+                    *stride,
+                    *padding,
+                    seed,
+                    seed_value,
                 )?;
                 let (w, b) = self.depthwise_weights(id)?;
                 let params = Conv2dParams {
@@ -306,7 +320,14 @@ impl<'a> Executor<'a> {
                 padding,
             } => {
                 let (input, lo, hi) = self.span_of_window(
-                    node.inputs[0], dim, &span, *kernel, *stride, *padding, seed, seed_value,
+                    node.inputs[0],
+                    dim,
+                    &span,
+                    *kernel,
+                    *stride,
+                    *padding,
+                    seed,
+                    seed_value,
                 )?;
                 let params = Pool2dParams {
                     kernel: (*kernel, *kernel),
@@ -454,7 +475,10 @@ impl<'a> Executor<'a> {
                 padding,
             } => {
                 let input = self.chs_of(node.inputs[0], channels, seed, seed_value)?;
-                Ok(max_pool2d(&input, &Pool2dParams::square(*kernel, *stride, *padding))?)
+                Ok(max_pool2d(
+                    &input,
+                    &Pool2dParams::square(*kernel, *stride, *padding),
+                )?)
             }
             LayerOp::AvgPool2d {
                 kernel,
@@ -462,7 +486,10 @@ impl<'a> Executor<'a> {
                 padding,
             } => {
                 let input = self.chs_of(node.inputs[0], channels, seed, seed_value)?;
-                Ok(avg_pool2d(&input, &Pool2dParams::square(*kernel, *stride, *padding))?)
+                Ok(avg_pool2d(
+                    &input,
+                    &Pool2dParams::square(*kernel, *stride, *padding),
+                )?)
             }
             LayerOp::GlobalAvgPool => {
                 let input = self.chs_of(node.inputs[0], channels, seed, seed_value)?;
@@ -767,7 +794,9 @@ mod tests {
                 &[],
             )
             .unwrap();
-        let l1 = g.add("lstm1", LayerOp::Lstm { hidden: 8 }, &[input]).unwrap();
+        let l1 = g
+            .add("lstm1", LayerOp::Lstm { hidden: 8 }, &[input])
+            .unwrap();
         let l2 = g.add("lstm2", LayerOp::Lstm { hidden: 8 }, &[l1]).unwrap();
         g.add("lstm3", LayerOp::Lstm { hidden: 8 }, &[l2]).unwrap();
         let model = crate::merge::merge_graph("rnn3", g).unwrap();

@@ -68,7 +68,12 @@ impl Graph {
     ///
     /// Returns [`ModelError::UnknownNode`] if an input id is out of range and
     /// [`ModelError::BadWiring`] if shape inference fails.
-    pub fn add(&mut self, name: impl Into<String>, op: LayerOp, inputs: &[NodeId]) -> Result<NodeId> {
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        op: LayerOp,
+        inputs: &[NodeId],
+    ) -> Result<NodeId> {
         let id = NodeId(self.nodes.len());
         let mut in_shapes = Vec::with_capacity(inputs.len());
         for &i in inputs {
@@ -127,8 +132,11 @@ impl Graph {
         self.nodes
             .iter()
             .map(|n| {
-                let in_shapes: Vec<&Shape> =
-                    n.inputs.iter().map(|&i| &self.nodes[i.0].output_shape).collect();
+                let in_shapes: Vec<&Shape> = n
+                    .inputs
+                    .iter()
+                    .map(|&i| &self.nodes[i.0].output_shape)
+                    .collect();
                 n.op.flops(&in_shapes, &n.output_shape)
             })
             .sum()
@@ -139,8 +147,11 @@ impl Graph {
         self.nodes
             .iter()
             .map(|n| {
-                let in_shapes: Vec<&Shape> =
-                    n.inputs.iter().map(|&i| &self.nodes[i.0].output_shape).collect();
+                let in_shapes: Vec<&Shape> = n
+                    .inputs
+                    .iter()
+                    .map(|&i| &self.nodes[i.0].output_shape)
+                    .collect();
                 n.op.param_count(&in_shapes, &n.output_shape)
             })
             .sum()

@@ -392,7 +392,9 @@ mod tests {
             )
             .unwrap();
         let f = g.add("flatten", LayerOp::Flatten, &[p]).unwrap();
-        let d = g.add("fc", LayerOp::Dense { out_features: 10 }, &[f]).unwrap();
+        let d = g
+            .add("fc", LayerOp::Dense { out_features: 10 }, &[f])
+            .unwrap();
         g.add("softmax", LayerOp::Softmax, &[d]).unwrap();
         g
     }
@@ -401,7 +403,12 @@ mod tests {
     fn chain_merging_folds_element_wise() {
         let model = merge_graph("small", small_cnn()).unwrap();
         let layers = model.layers();
-        assert_eq!(layers.len(), 3, "{:?}", layers.iter().map(|l| &l.name).collect::<Vec<_>>());
+        assert_eq!(
+            layers.len(),
+            3,
+            "{:?}",
+            layers.iter().map(|l| &l.name).collect::<Vec<_>>()
+        );
         // conv1 + bn + relu
         assert_eq!(layers[0].name, "conv1");
         assert_eq!(layers[0].nodes.len(), 3);
@@ -520,7 +527,9 @@ mod tests {
                 &[],
             )
             .unwrap();
-        let l1 = g.add("lstm1", LayerOp::Lstm { hidden: 16 }, &[input]).unwrap();
+        let l1 = g
+            .add("lstm1", LayerOp::Lstm { hidden: 16 }, &[input])
+            .unwrap();
         g.add("lstm2", LayerOp::Lstm { hidden: 16 }, &[l1]).unwrap();
         let model = merge_graph("rnn", g).unwrap();
         assert_eq!(model.layers().len(), 2);
@@ -545,7 +554,8 @@ mod tests {
         let c = g.add("conv", conv(8, 3, 1, 1), &[input]).unwrap();
         let gap = g.add("gap", LayerOp::GlobalAvgPool, &[c]).unwrap();
         let f = g.add("flat", LayerOp::Flatten, &[gap]).unwrap();
-        g.add("fc", LayerOp::Dense { out_features: 10 }, &[f]).unwrap();
+        g.add("fc", LayerOp::Dense { out_features: 10 }, &[f])
+            .unwrap();
         let model = merge_graph("m", g).unwrap();
         let classes: Vec<_> = model.layers().iter().map(|l| l.class).collect();
         assert_eq!(

@@ -147,9 +147,10 @@ impl LayerOp {
             } => {
                 let s = one(inputs)?;
                 let d = chw(&s)?;
-                let (oh, ow) = spatial_out(d.1, d.2, *kernel, *stride, *padding).ok_or_else(
-                    || ModelError::BadWiring(format!("conv kernel {kernel} larger than input {s}")),
-                )?;
+                let (oh, ow) =
+                    spatial_out(d.1, d.2, *kernel, *stride, *padding).ok_or_else(|| {
+                        ModelError::BadWiring(format!("conv kernel {kernel} larger than input {s}"))
+                    })?;
                 Ok(Shape::new(vec![*out_channels, oh, ow]))
             }
             LayerOp::DepthwiseConv2d {
@@ -159,13 +160,12 @@ impl LayerOp {
             } => {
                 let s = one(inputs)?;
                 let d = chw(&s)?;
-                let (oh, ow) = spatial_out(d.1, d.2, *kernel, *stride, *padding).ok_or_else(
-                    || {
+                let (oh, ow) =
+                    spatial_out(d.1, d.2, *kernel, *stride, *padding).ok_or_else(|| {
                         ModelError::BadWiring(format!(
                             "depthwise kernel {kernel} larger than input {s}"
                         ))
-                    },
-                )?;
+                    })?;
                 Ok(Shape::new(vec![d.0, oh, ow]))
             }
             LayerOp::BatchNorm | LayerOp::Relu => one(inputs),
@@ -181,9 +181,10 @@ impl LayerOp {
             } => {
                 let s = one(inputs)?;
                 let d = chw(&s)?;
-                let (oh, ow) = spatial_out(d.1, d.2, *kernel, *stride, *padding).ok_or_else(
-                    || ModelError::BadWiring(format!("pool window {kernel} larger than input {s}")),
-                )?;
+                let (oh, ow) =
+                    spatial_out(d.1, d.2, *kernel, *stride, *padding).ok_or_else(|| {
+                        ModelError::BadWiring(format!("pool window {kernel} larger than input {s}"))
+                    })?;
                 Ok(Shape::new(vec![d.0, oh, ow]))
             }
             LayerOp::GlobalAvgPool => {
@@ -321,7 +322,9 @@ impl LayerOp {
 fn chw(s: &Shape) -> Result<(usize, usize, usize)> {
     let d = s.dims();
     if d.len() != 3 {
-        return Err(ModelError::BadWiring(format!("expected CHW shape, got {s}")));
+        return Err(ModelError::BadWiring(format!(
+            "expected CHW shape, got {s}"
+        )));
     }
     Ok((d[0], d[1], d[2]))
 }
@@ -387,7 +390,10 @@ mod tests {
             &[64, 56, 56]
         );
         let gap = LayerOp::GlobalAvgPool;
-        assert_eq!(gap.infer_shape(&[&s(vec![512, 7, 7])]).unwrap().dims(), &[512]);
+        assert_eq!(
+            gap.infer_shape(&[&s(vec![512, 7, 7])]).unwrap().dims(),
+            &[512]
+        );
     }
 
     #[test]

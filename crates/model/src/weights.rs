@@ -126,30 +126,24 @@ pub fn init_weights(graph: &Graph, seed: u64) -> Result<ModelWeights> {
             LayerOp::DepthwiseConv2d { kernel, .. } => {
                 let c = in_shapes[0].dims()[0];
                 let fan_in = kernel * kernel;
-                let weight =
-                    random_tensor(&mut rng, Shape::new(vec![c, *kernel, *kernel]), fan_in);
+                let weight = random_tensor(&mut rng, Shape::new(vec![c, *kernel, *kernel]), fan_in);
                 let bias = random_tensor(&mut rng, Shape::new(vec![c]), fan_in);
                 weights.insert(node.id, NodeWeights::Depthwise { weight, bias });
             }
             LayerOp::BatchNorm => {
                 let c = in_shapes[0].dims()[0];
                 let params = BatchNormParams {
-                    gamma: Tensor::from_fn(Shape::new(vec![c]), |_| {
-                        0.5 + rng.random::<f32>()
-                    }),
+                    gamma: Tensor::from_fn(Shape::new(vec![c]), |_| 0.5 + rng.random::<f32>()),
                     beta: random_tensor(&mut rng, Shape::new(vec![c]), 1),
                     mean: random_tensor(&mut rng, Shape::new(vec![c]), 1),
-                    var: Tensor::from_fn(Shape::new(vec![c]), |_| {
-                        0.5 + rng.random::<f32>()
-                    }),
+                    var: Tensor::from_fn(Shape::new(vec![c]), |_| 0.5 + rng.random::<f32>()),
                     eps: 1e-5,
                 };
                 weights.insert(node.id, NodeWeights::Bn(params));
             }
             LayerOp::Dense { out_features } => {
                 let in_n = in_shapes[0].len();
-                let weight =
-                    random_tensor(&mut rng, Shape::new(vec![*out_features, in_n]), in_n);
+                let weight = random_tensor(&mut rng, Shape::new(vec![*out_features, in_n]), in_n);
                 let bias = random_tensor(&mut rng, Shape::new(vec![*out_features]), in_n);
                 weights.insert(node.id, NodeWeights::Dense { weight, bias });
             }
@@ -199,9 +193,11 @@ mod tests {
             }
         }
         // Different seed produces different weights somewhere.
-        let differs = model.graph().nodes().iter().any(|n| {
-            n.op.has_weights() && a.get(n.id).unwrap() != c.get(n.id).unwrap()
-        });
+        let differs = model
+            .graph()
+            .nodes()
+            .iter()
+            .any(|n| n.op.has_weights() && a.get(n.id).unwrap() != c.get(n.id).unwrap());
         assert!(differs);
     }
 

@@ -87,7 +87,11 @@ fn vgg_from_plan(name: &str, plan: &[Option<usize>], resolution: usize) -> Linea
     cur = g.add("flatten", LayerOp::Flatten, &[cur]).expect("flatten");
     for (i, out) in [4096usize, 4096, 1000].iter().enumerate() {
         cur = g
-            .add(format!("fc{}", i + 6), LayerOp::Dense { out_features: *out }, &[cur])
+            .add(
+                format!("fc{}", i + 6),
+                LayerOp::Dense { out_features: *out },
+                &[cur],
+            )
             .expect("dense node");
         if i < 2 {
             cur = g
@@ -213,9 +217,15 @@ fn resnet_impl(
     let w = |c: usize| c * width_mult;
 
     // Stem: 7x7/2 conv + BN + ReLU + 3x3/2 max pool.
-    cur = g.add("stem_conv", conv(w(64), 7, 2, 3), &[cur]).expect("stem");
-    cur = g.add("stem_bn", LayerOp::BatchNorm, &[cur]).expect("stem bn");
-    cur = g.add("stem_relu", LayerOp::Relu, &[cur]).expect("stem relu");
+    cur = g
+        .add("stem_conv", conv(w(64), 7, 2, 3), &[cur])
+        .expect("stem");
+    cur = g
+        .add("stem_bn", LayerOp::BatchNorm, &[cur])
+        .expect("stem bn");
+    cur = g
+        .add("stem_relu", LayerOp::Relu, &[cur])
+        .expect("stem relu");
     cur = g
         .add(
             "stem_pool",
@@ -248,28 +258,44 @@ fn resnet_impl(
                     b = g
                         .add(format!("{tag}_conv1"), conv(base, 3, stride, 1), &[b])
                         .expect("conv1");
-                    b = g.add(format!("{tag}_bn1"), LayerOp::BatchNorm, &[b]).expect("bn1");
-                    b = g.add(format!("{tag}_relu1"), LayerOp::Relu, &[b]).expect("relu1");
+                    b = g
+                        .add(format!("{tag}_bn1"), LayerOp::BatchNorm, &[b])
+                        .expect("bn1");
+                    b = g
+                        .add(format!("{tag}_relu1"), LayerOp::Relu, &[b])
+                        .expect("relu1");
                     b = g
                         .add(format!("{tag}_conv2"), conv(base, 3, 1, 1), &[b])
                         .expect("conv2");
-                    b = g.add(format!("{tag}_bn2"), LayerOp::BatchNorm, &[b]).expect("bn2");
+                    b = g
+                        .add(format!("{tag}_bn2"), LayerOp::BatchNorm, &[b])
+                        .expect("bn2");
                 }
                 BlockKind::Bottleneck => {
                     b = g
                         .add(format!("{tag}_conv1"), conv(base, 1, 1, 0), &[b])
                         .expect("conv1");
-                    b = g.add(format!("{tag}_bn1"), LayerOp::BatchNorm, &[b]).expect("bn1");
-                    b = g.add(format!("{tag}_relu1"), LayerOp::Relu, &[b]).expect("relu1");
+                    b = g
+                        .add(format!("{tag}_bn1"), LayerOp::BatchNorm, &[b])
+                        .expect("bn1");
+                    b = g
+                        .add(format!("{tag}_relu1"), LayerOp::Relu, &[b])
+                        .expect("relu1");
                     b = g
                         .add(format!("{tag}_conv2"), conv(base, 3, stride, 1), &[b])
                         .expect("conv2");
-                    b = g.add(format!("{tag}_bn2"), LayerOp::BatchNorm, &[b]).expect("bn2");
-                    b = g.add(format!("{tag}_relu2"), LayerOp::Relu, &[b]).expect("relu2");
+                    b = g
+                        .add(format!("{tag}_bn2"), LayerOp::BatchNorm, &[b])
+                        .expect("bn2");
+                    b = g
+                        .add(format!("{tag}_relu2"), LayerOp::Relu, &[b])
+                        .expect("relu2");
                     b = g
                         .add(format!("{tag}_conv3"), conv(out_channels, 1, 1, 0), &[b])
                         .expect("conv3");
-                    b = g.add(format!("{tag}_bn3"), LayerOp::BatchNorm, &[b]).expect("bn3");
+                    b = g
+                        .add(format!("{tag}_bn3"), LayerOp::BatchNorm, &[b])
+                        .expect("bn3");
                 }
             }
 
@@ -307,17 +333,35 @@ fn resnet_impl(
 
 /// ResNet-34.
 pub fn resnet34() -> LinearModel {
-    resnet_impl("resnet34", BlockKind::Basic, [3, 4, 6, 3], 1, CNN_RESOLUTION)
+    resnet_impl(
+        "resnet34",
+        BlockKind::Basic,
+        [3, 4, 6, 3],
+        1,
+        CNN_RESOLUTION,
+    )
 }
 
 /// ResNet-50.
 pub fn resnet50() -> LinearModel {
-    resnet_impl("resnet50", BlockKind::Bottleneck, [3, 4, 6, 3], 1, CNN_RESOLUTION)
+    resnet_impl(
+        "resnet50",
+        BlockKind::Bottleneck,
+        [3, 4, 6, 3],
+        1,
+        CNN_RESOLUTION,
+    )
 }
 
 /// ResNet-101.
 pub fn resnet101() -> LinearModel {
-    resnet_impl("resnet101", BlockKind::Bottleneck, [3, 4, 23, 3], 1, CNN_RESOLUTION)
+    resnet_impl(
+        "resnet101",
+        BlockKind::Bottleneck,
+        [3, 4, 23, 3],
+        1,
+        CNN_RESOLUTION,
+    )
 }
 
 /// Wide ResNet `WRN-34-k`: ResNet-34 with every convolution widened `k`×.
@@ -386,8 +430,7 @@ pub fn rnn(layers: usize) -> LinearModel {
 /// models with real weights.
 pub fn tiny_vgg() -> LinearModel {
     let c = |n| Some(n);
-    vgg_from_plan("tiny-vgg", &[c(8), None, c(16), c(16), None], 16)
-        .rename_fc_for_tiny()
+    vgg_from_plan("tiny-vgg", &[c(8), None, c(16), c(16), None], 16).rename_fc_for_tiny()
 }
 
 /// A small two-stage ResNet over 3×16×16 inputs — used by tests that execute
@@ -433,13 +476,21 @@ fn mobilenet_impl(name: &str, resolution: usize, width: usize, classes: usize) -
                 &[cur],
             )
             .expect("dw");
-        cur = g.add(format!("{tag}_dw_bn"), LayerOp::BatchNorm, &[cur]).expect("bn");
-        cur = g.add(format!("{tag}_dw_relu"), LayerOp::Relu, &[cur]).expect("relu");
+        cur = g
+            .add(format!("{tag}_dw_bn"), LayerOp::BatchNorm, &[cur])
+            .expect("bn");
+        cur = g
+            .add(format!("{tag}_dw_relu"), LayerOp::Relu, &[cur])
+            .expect("relu");
         cur = g
             .add(format!("{tag}_pw"), conv(width * mult, 1, 1, 0), &[cur])
             .expect("pw");
-        cur = g.add(format!("{tag}_pw_bn"), LayerOp::BatchNorm, &[cur]).expect("bn");
-        cur = g.add(format!("{tag}_pw_relu"), LayerOp::Relu, &[cur]).expect("relu");
+        cur = g
+            .add(format!("{tag}_pw_bn"), LayerOp::BatchNorm, &[cur])
+            .expect("bn");
+        cur = g
+            .add(format!("{tag}_pw_relu"), LayerOp::Relu, &[cur])
+            .expect("relu");
     }
     cur = g.add("gap", LayerOp::GlobalAvgPool, &[cur]).expect("gap");
     cur = g.add("flatten", LayerOp::Flatten, &[cur]).expect("flatten");
@@ -487,15 +538,21 @@ pub fn tiny_inception() -> LinearModel {
         let b1 = g
             .add(format!("{tag}_b1_conv"), conv(4, 1, 1, 0), &[cur])
             .expect("1x1 branch");
-        let b1 = g.add(format!("{tag}_b1_relu"), LayerOp::Relu, &[b1]).expect("relu");
+        let b1 = g
+            .add(format!("{tag}_b1_relu"), LayerOp::Relu, &[b1])
+            .expect("relu");
         let b3 = g
             .add(format!("{tag}_b3_conv"), conv(6, 3, 1, 1), &[cur])
             .expect("3x3 branch");
-        let b3 = g.add(format!("{tag}_b3_relu"), LayerOp::Relu, &[b3]).expect("relu");
+        let b3 = g
+            .add(format!("{tag}_b3_relu"), LayerOp::Relu, &[b3])
+            .expect("relu");
         let b5 = g
             .add(format!("{tag}_b5_conv"), conv(2, 5, 1, 2), &[cur])
             .expect("5x5 branch");
-        let b5 = g.add(format!("{tag}_b5_relu"), LayerOp::Relu, &[b5]).expect("relu");
+        let b5 = g
+            .add(format!("{tag}_b5_relu"), LayerOp::Relu, &[b5])
+            .expect("relu");
         cur = g
             .add(format!("{tag}_concat"), LayerOp::Concat, &[b1, b3, b5])
             .expect("concat join");

@@ -30,7 +30,9 @@ pub struct CommModel {
 const MAX_FANOUT_TABLE: usize = 64;
 
 fn build_max_table(jitter: &ExGaussian) -> Vec<f64> {
-    (1..=MAX_FANOUT_TABLE).map(|n| jitter.expected_max(n)).collect()
+    (1..=MAX_FANOUT_TABLE)
+        .map(|n| jitter.expected_max(n))
+        .collect()
 }
 
 impl CommModel {
@@ -131,7 +133,10 @@ impl CommModel {
     ///
     /// Panics if `part_bytes` is empty.
     pub fn group_transfer_parts_ms(&self, part_bytes: &[u64]) -> f64 {
-        assert!(!part_bytes.is_empty(), "group transfer needs at least one worker");
+        assert!(
+            !part_bytes.is_empty(),
+            "group transfer needs at least one worker"
+        );
         let total: u64 = part_bytes.iter().sum();
         self.expected_max_jitter(part_bytes.len()) + self.per_byte_ms * total as f64
     }

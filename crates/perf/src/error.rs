@@ -31,8 +31,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(PerfError::InsufficientData("x".into()).to_string().contains('x'));
+        assert!(PerfError::InsufficientData("x".into())
+            .to_string()
+            .contains('x'));
         assert!(PerfError::SingularSystem.to_string().contains("singular"));
-        assert!(PerfError::InvalidArgument("y".into()).to_string().contains('y'));
+        assert!(PerfError::InvalidArgument("y".into())
+            .to_string()
+            .contains('y'));
     }
 }

@@ -53,12 +53,38 @@ pub fn eff_class_of_layer(layer: &MergedLayer) -> EffClass {
     }
 }
 
+/// Emission order of [`flops_by_class`]: alphabetical by debug name, the
+/// order the historical `format!("{c:?}")` sort produced.
+const CLASS_EMIT_ORDER: [EffClass; 5] = [
+    EffClass::Conv,
+    EffClass::Dense,
+    EffClass::ElementWise,
+    EffClass::Pool,
+    EffClass::Recurrent,
+];
+
+/// Dense index of a class into [`CLASS_EMIT_ORDER`].
+fn class_rank(class: EffClass) -> usize {
+    match class {
+        EffClass::Conv => 0,
+        EffClass::Dense => 1,
+        EffClass::ElementWise => 2,
+        EffClass::Pool => 3,
+        EffClass::Recurrent => 4,
+    }
+}
+
 /// Breaks a merged layer's FLOPs down by profiling class, walking its
 /// constituent graph nodes. The partitioner scales these per-class totals by
 /// the partition fraction when predicting partition compute times.
+///
+/// This sits on the planner's innermost path (every group analysis of every
+/// DP cell consults it), so totals accumulate into a fixed five-slot array
+/// indexed by class rank — no hashing, no allocation beyond the result.
 pub fn flops_by_class(model: &LinearModel, layer: &MergedLayer) -> Vec<(EffClass, u64)> {
     let graph = model.graph();
-    let mut totals: HashMap<EffClass, u64> = HashMap::new();
+    let mut totals = [0u64; CLASS_EMIT_ORDER.len()];
+    let mut seen = [false; CLASS_EMIT_ORDER.len()];
     for &id in &layer.nodes {
         let node = &graph.nodes()[id.0];
         if let Some(class) = class_of_op(&node.op) {
@@ -67,12 +93,18 @@ pub fn flops_by_class(model: &LinearModel, layer: &MergedLayer) -> Vec<(EffClass
                 .iter()
                 .map(|&i| &graph.nodes()[i.0].output_shape)
                 .collect();
-            *totals.entry(class).or_insert(0) += node.op.flops(&in_shapes, &node.output_shape);
+            let rank = class_rank(class);
+            totals[rank] += node.op.flops(&in_shapes, &node.output_shape);
+            seen[rank] = true;
         }
     }
-    let mut out: Vec<(EffClass, u64)> = totals.into_iter().collect();
-    out.sort_by_key(|(c, _)| format!("{c:?}"));
-    out
+    CLASS_EMIT_ORDER
+        .iter()
+        .zip(totals)
+        .zip(seen)
+        .filter(|&(_, s)| s)
+        .map(|((&c, f), _)| (c, f))
+        .collect()
 }
 
 /// Per-class linear runtime models fitted from profiling runs.
@@ -139,7 +171,8 @@ impl LayerRuntimeModel {
         let mut per_class = HashMap::new();
         for class in ALL_CLASSES {
             // Ground truth is exactly linear: time = overhead + flops/peak.
-            let per_flop = platform.compute_ms(1_000_000_000, class) - platform.per_layer_overhead_ms;
+            let per_flop =
+                platform.compute_ms(1_000_000_000, class) - platform.per_layer_overhead_ms;
             per_class.insert(
                 class,
                 LinearRegression {
@@ -217,8 +250,14 @@ mod tests {
             }),
             Some(EffClass::Conv)
         );
-        assert_eq!(class_of_op(&LayerOp::Dense { out_features: 1 }), Some(EffClass::Dense));
-        assert_eq!(class_of_op(&LayerOp::Lstm { hidden: 1 }), Some(EffClass::Recurrent));
+        assert_eq!(
+            class_of_op(&LayerOp::Dense { out_features: 1 }),
+            Some(EffClass::Dense)
+        );
+        assert_eq!(
+            class_of_op(&LayerOp::Lstm { hidden: 1 }),
+            Some(EffClass::Recurrent)
+        );
         assert_eq!(class_of_op(&LayerOp::Flatten), None);
         assert_eq!(class_of_op(&LayerOp::Relu), Some(EffClass::ElementWise));
         assert_eq!(class_of_op(&LayerOp::GlobalAvgPool), Some(EffClass::Pool));
@@ -246,6 +285,30 @@ mod tests {
         let v16 = runtime.predict_model_ms(&zoo::vgg16());
         let v19 = runtime.predict_model_ms(&zoo::vgg19());
         assert!(v11 < v16 && v16 < v19);
+    }
+
+    #[test]
+    fn flops_by_class_emits_debug_alphabetical_order() {
+        // The rank table must match the historical `format!("{c:?}")` sort.
+        let ranked: Vec<String> = CLASS_EMIT_ORDER.iter().map(|c| format!("{c:?}")).collect();
+        let mut sorted = ranked.clone();
+        sorted.sort();
+        assert_eq!(ranked, sorted);
+        for (i, &c) in CLASS_EMIT_ORDER.iter().enumerate() {
+            assert_eq!(class_rank(c), i);
+        }
+        // And real layers come out sorted.
+        for model in [zoo::vgg16(), zoo::mobilenet(), zoo::rnn(2)] {
+            for layer in model.layers() {
+                let names: Vec<String> = flops_by_class(&model, layer)
+                    .iter()
+                    .map(|(c, _)| format!("{c:?}"))
+                    .collect();
+                let mut sorted = names.clone();
+                sorted.sort();
+                assert_eq!(names, sorted, "{}", layer.name);
+            }
+        }
     }
 
     #[test]

@@ -141,8 +141,8 @@ pub fn solve_spd(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>> {
     for i in 0..n {
         for j in 0..=i {
             let mut sum = a[i][j];
-            for k in 0..j {
-                sum -= a[i][k] * a[j][k];
+            for (aik, ajk) in a[i][..j].iter().zip(&a[j][..j]) {
+                sum -= aik * ajk;
             }
             if i == j {
                 if sum <= 0.0 || !sum.is_finite() {

@@ -6,6 +6,7 @@
 //! **placer** then decides whether the master computes partition 0 of the
 //! group. Both are two-layer networks with stochastic categorical policies.
 
+use gillis_core::cache::EvalCache;
 use gillis_core::partition::{analyze_group, group_options, PartDim, PartitionOption};
 use gillis_model::{LayerClass, LinearModel};
 
@@ -57,22 +58,44 @@ impl OptionMenu {
     /// Feasibility mask of the menu for group `start..end` under the
     /// per-function memory budget: structurally valid *and* every partition
     /// fits a function.
-    pub fn mask(
+    pub fn mask(&self, model: &LinearModel, start: usize, end: usize, budget: u64) -> Vec<bool> {
+        self.mask_impl(model, start, end, budget, None)
+    }
+
+    /// [`OptionMenu::mask`] with group analyses memoized in a shared
+    /// [`EvalCache`] — the trainer masks the same groups every episode.
+    pub fn mask_cached(
         &self,
         model: &LinearModel,
         start: usize,
         end: usize,
         budget: u64,
+        cache: &EvalCache,
+    ) -> Vec<bool> {
+        self.mask_impl(model, start, end, budget, Some(cache))
+    }
+
+    fn mask_impl(
+        &self,
+        model: &LinearModel,
+        start: usize,
+        end: usize,
+        budget: u64,
+        cache: Option<&EvalCache>,
     ) -> Vec<bool> {
         let valid = group_options(model, start, end, &self.degrees());
+        let fits = |o: PartitionOption| match cache {
+            Some(cache) => cache
+                .analysis(model, start, end, o)
+                .map(|a| a.partitions.iter().all(|p| p.mem_bytes() <= budget))
+                .unwrap_or(false),
+            None => analyze_group(model, start, end, o)
+                .map(|a| a.partitions.iter().all(|p| p.mem_bytes() <= budget))
+                .unwrap_or(false),
+        };
         self.entries
             .iter()
-            .map(|o| {
-                valid.contains(o)
-                    && analyze_group(model, start, end, *o)
-                        .map(|a| a.partitions.iter().all(|p| p.mem_bytes() <= budget))
-                        .unwrap_or(false)
-            })
+            .map(|o| valid.contains(o) && fits(*o))
             .collect()
     }
 }

@@ -33,13 +33,22 @@ pub struct Forward {
 
 impl Mlp {
     /// Creates an MLP with small random weights.
-    pub fn new<R: RngExt + ?Sized>(input: usize, hidden: usize, output: usize, rng: &mut R) -> Self {
+    pub fn new<R: RngExt + ?Sized>(
+        input: usize,
+        hidden: usize,
+        output: usize,
+        rng: &mut R,
+    ) -> Self {
         let n = hidden * input + hidden + output * hidden + output;
         let scale_1 = (1.0 / input.max(1) as f64).sqrt();
         let scale_2 = (1.0 / hidden.max(1) as f64).sqrt();
         let mut params = Vec::with_capacity(n);
         for i in 0..n {
-            let scale = if i < hidden * input + hidden { scale_1 } else { scale_2 };
+            let scale = if i < hidden * input + hidden {
+                scale_1
+            } else {
+                scale_2
+            };
             params.push((rng.random::<f64>() * 2.0 - 1.0) * scale);
         }
         Mlp {

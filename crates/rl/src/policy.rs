@@ -92,7 +92,11 @@ mod tests {
             .filter(|_| sample_categorical(&probs, &mut rng) == 1)
             .count();
         let freq = ones as f64 / n as f64;
-        assert!((freq - probs[1]).abs() < 0.02, "freq {freq} vs {}", probs[1]);
+        assert!(
+            (freq - probs[1]).abs() < 0.02,
+            "freq {freq} vs {}",
+            probs[1]
+        );
     }
 
     #[test]
@@ -124,7 +128,10 @@ mod tests {
         let g = entropy_grad(&probs);
         let entropy = |z: &[f64]| {
             let p = masked_softmax(z, &[true, true, true]);
-            -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>()
+            -p.iter()
+                .filter(|&&x| x > 0.0)
+                .map(|&x| x * x.ln())
+                .sum::<f64>()
         };
         let eps = 1e-6;
         for k in 0..3 {

@@ -6,20 +6,20 @@
 //! reward of Eq. 4, and accumulates policy gradients per Eq. 5–6. Updates
 //! use Adam with a moving-average baseline.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use gillis_core::partition::analyze_group;
+use gillis_core::cache::EvalCache;
 use gillis_core::plan::{ExecutionPlan, Placement, PlannedGroup};
-use gillis_core::predict::{predict_plan, PlanPrediction};
+use gillis_core::predict::{predict_plan_cached, PlanPrediction};
 use gillis_core::CoreError;
 use gillis_model::LinearModel;
 use gillis_perf::PerfModel;
 
 use crate::adam::Adam;
-use crate::agents::{
-    boundary_features, group_features, placer_features, Agents, OptionMenu,
-};
+use crate::agents::{boundary_features, group_features, placer_features, Agents, OptionMenu};
 use crate::nn::Forward;
 use crate::policy::{entropy_grad, logp_grad, masked_softmax, sample_categorical};
 use crate::Result;
@@ -125,6 +125,10 @@ pub fn slo_aware_partition(
     if n == 0 {
         return Err(CoreError::InvalidArgument("empty model".into()));
     }
+    // One memoization layer for the whole run: episodes keep re-analyzing
+    // the same groups (masking, placer features, reward prediction), and the
+    // DP incumbent seed shares it too.
+    let cache = Arc::new(EvalCache::new());
     let budget = perf.platform.model_memory_budget;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut agents = Agents::new(config.hidden, OptionMenu::default(), &mut rng);
@@ -135,9 +139,10 @@ pub fn slo_aware_partition(
     // Auto budget B: a loose upper envelope of plan costs so that meeting
     // the SLO always yields a positive reward (paper: "set large enough").
     let b = config.budget_b_ms.unwrap_or_else(|| {
-        let single = predict_plan(model, &ExecutionPlan::single_function(model), perf)
-            .map(|p| p.billed_ms as f64)
-            .unwrap_or(10_000.0);
+        let single =
+            predict_plan_cached(model, &ExecutionPlan::single_function(model), perf, &cache)
+                .map(|p| p.billed_ms as f64)
+                .unwrap_or(10_000.0);
         (single * 8.0).max(20.0 * config.t_max_ms)
     });
 
@@ -148,12 +153,16 @@ pub fn slo_aware_partition(
     // SLO-compliant answer that training then undercuts on cost.
     let mut best: Option<(f64, ExecutionPlan, PlanPrediction)> =
         gillis_core::DpPartitioner::default()
+            .with_cache(Arc::clone(&cache))
             .partition(model, perf)
             .ok()
             .and_then(|plan| {
-                let pred = predict_plan(model, &plan, perf).ok()?;
-                (slo_latency(&plan, &pred) <= config.t_max_ms)
-                    .then(|| (pred.billed_ms as f64, plan, pred))
+                let pred = predict_plan_cached(model, &plan, perf, &cache).ok()?;
+                (slo_latency(&plan, &pred) <= config.t_max_ms).then_some((
+                    pred.billed_ms as f64,
+                    plan,
+                    pred,
+                ))
             });
     let mut reward_history = Vec::new();
 
@@ -163,9 +172,9 @@ pub fn slo_aware_partition(
     let mut batch_steps: Vec<(Vec<Step>, f64)> = Vec::new();
 
     for episode in 0..config.episodes {
-        let (steps, plan) = sample_episode(model, &agents, budget, &mut rng);
+        let (steps, plan) = sample_episode(model, &agents, budget, &cache, &mut rng);
         let reward = match &plan {
-            Some(plan) => match predict_plan(model, plan, perf) {
+            Some(plan) => match predict_plan_cached(model, plan, perf, &cache) {
                 Ok(pred) => {
                     let latency = slo_latency(plan, &pred);
                     let r = if latency <= config.t_max_ms {
@@ -213,15 +222,21 @@ pub fn slo_aware_partition(
                 };
                 for step in steps {
                     match step {
-                        Step::Boundary(fwd, probs, action) => agents
-                            .boundary
-                            .backward(&fwd, &dlogits(&probs, action), &mut gb),
-                        Step::Option(fwd, probs, action) => agents
-                            .option
-                            .backward(&fwd, &dlogits(&probs, action), &mut go),
-                        Step::Placer(fwd, probs, action) => agents
-                            .placer
-                            .backward(&fwd, &dlogits(&probs, action), &mut gp),
+                        Step::Boundary(fwd, probs, action) => {
+                            agents
+                                .boundary
+                                .backward(&fwd, &dlogits(&probs, action), &mut gb)
+                        }
+                        Step::Option(fwd, probs, action) => {
+                            agents
+                                .option
+                                .backward(&fwd, &dlogits(&probs, action), &mut go)
+                        }
+                        Step::Placer(fwd, probs, action) => {
+                            agents
+                                .placer
+                                .backward(&fwd, &dlogits(&probs, action), &mut gp)
+                        }
                     }
                 }
             }
@@ -256,6 +271,7 @@ fn sample_episode(
     model: &LinearModel,
     agents: &Agents,
     budget: u64,
+    cache: &EvalCache,
     rng: &mut StdRng,
 ) -> (Vec<Step>, Option<ExecutionPlan>) {
     let n = model.layers().len();
@@ -284,7 +300,7 @@ fn sample_episode(
         }
         let end = t + 1;
         // Option choice, masked to memory-feasible entries.
-        let mask = agents.menu.mask(model, start, end, budget);
+        let mask = agents.menu.mask_cached(model, start, end, budget, cache);
         if !mask.iter().any(|&m| m) {
             return (steps, None);
         }
@@ -296,8 +312,9 @@ fn sample_episode(
         steps.push(Step::Option(fwd, probs, action));
 
         // Placer: master participation, masked by the remaining budget.
-        let analysis =
-            analyze_group(model, start, end, option).expect("masked option is analyzable");
+        let analysis = cache
+            .analysis(model, start, end, option)
+            .expect("masked option is analyzable");
         let w0 = analysis.partitions[0].weight_bytes;
         let master_ok = w0 <= remaining;
         let feats = placer_features(model, start, end, w0, remaining, option.parts());
@@ -353,7 +370,10 @@ mod tests {
             .latency_ms;
         let result = slo_aware_partition(&tiny, &perf, &quick_config(single * 2.0)).unwrap();
         assert!(result.predicted.latency_ms <= single * 2.0);
-        result.plan.validate(&tiny, platform.model_memory_budget).unwrap();
+        result
+            .plan
+            .validate(&tiny, platform.model_memory_budget)
+            .unwrap();
         assert!(!result.reward_history.is_empty());
     }
 
@@ -452,10 +472,8 @@ mod tail_tests {
         .unwrap();
         assert!(tail.predicted.billed_ms >= mean.predicted.billed_ms);
         // The tail-aware plan's predicted p99 actually meets the target.
-        let p99 = gillis_core::predict_latency_quantile(
-            &model, &tail.plan, &perf, 0.99, 2000, 5,
-        )
-        .unwrap();
+        let p99 = gillis_core::predict_latency_quantile(&model, &tail.plan, &perf, 0.99, 2000, 5)
+            .unwrap();
         assert!(p99 <= t_max * 1.02, "p99 {p99} vs target {t_max}");
     }
 
@@ -482,8 +500,7 @@ mod tail_tests {
         let rt = gillis_core::ForkJoinRuntime::new(&model, &result.plan, platform).unwrap();
         let report = rt
             .serve_workload(
-                gillis_faas::workload::ClosedLoop::new(10, 300, gillis_faas::Micros::ZERO)
-                    .unwrap(),
+                gillis_faas::workload::ClosedLoop::new(10, 300, gillis_faas::Micros::ZERO).unwrap(),
                 6,
             )
             .unwrap();

@@ -1,0 +1,420 @@
+//! Cache-blocked f32 GEMM, matrix–vector products, and the im2col lowering
+//! that route every dense kernel in this crate through one tuned inner loop.
+//!
+//! All heavy ops (`conv2d`, `dense`, `depthwise_conv2d`, the LSTM gate
+//! matmuls) lower to [`gemm`] / [`gemv`] here. The naive 6-loop kernels they
+//! replace are kept in their modules as `#[cfg(test)]` references.
+//!
+//! # Determinism contract
+//!
+//! [`gemm`] accumulates each output element strictly in ascending-`k` order,
+//! regardless of the cache-block sizes and regardless of the worker-thread
+//! count (threads split output *rows*; every element is computed entirely by
+//! one thread). Results are therefore bit-identical across `GILLIS_THREADS`
+//! settings, and identical to a naive `acc += a[i][k] * b[k][j]` loop — which
+//! is exactly the accumulation order of the reference convolution kernel, so
+//! the im2col path reproduces it to the last bit (padding taps contribute
+//! explicit `±0.0` additions, which only affect the sign of zero).
+
+use std::sync::OnceLock;
+
+/// k-dimension block: one panel of `B` rows kept hot across the row sweep.
+const KC: usize = 128;
+/// n-dimension block: keeps a `KC`×`NC` panel of `B` (~512 KiB) cache-resident.
+const NC: usize = 1024;
+
+/// Worker-thread count for the kernels in this crate: the `GILLIS_THREADS`
+/// environment variable if set to a positive integer, otherwise the machine's
+/// available parallelism. Read once and cached for the process lifetime.
+pub fn gillis_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("GILLIS_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// `C += A·B` with `A` row-major `m`×`k`, `B` row-major `k`×`n`, `C`
+/// row-major `m`×`n`. `C` must be pre-initialized by the caller (zeros, or a
+/// broadcast bias), which is how conv/dense fold their bias add into the
+/// accumulation for free.
+///
+/// Uses [`gillis_threads`] workers; see the module docs for the determinism
+/// contract.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_with_threads(m, n, k, a, b, c, gillis_threads());
+}
+
+/// [`gemm`] with an explicit worker count — the entry point tests use to
+/// check bit-identical results across thread counts without racing on the
+/// process environment.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm_with_threads(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, m);
+    if threads == 1 {
+        gemm_rows(n, k, a, b, c);
+        return;
+    }
+    // Contiguous row chunks, one per worker: each output element is owned by
+    // exactly one thread, so the reduction order never depends on scheduling.
+    let rows_per = m.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (a_chunk, c_chunk) in a.chunks(rows_per * k).zip(c.chunks_mut(rows_per * n)) {
+            s.spawn(move || gemm_rows(n, k, a_chunk, b, c_chunk));
+        }
+    });
+}
+
+/// Sequential blocked kernel over a contiguous chunk of output rows.
+///
+/// Loop order is `kb → nb → i → kk → j`: a `KC`×`NC` panel of `B` stays
+/// cache-hot while all rows sweep over it, and the `j` loop is a pure axpy
+/// over contiguous slices, which the compiler vectorizes. Per output element
+/// the additions happen in ascending-`k` order for any block sizes.
+fn gemm_rows(n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let m = a.len() / k;
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + KC).min(k);
+        let mut nb = 0;
+        while nb < n {
+            let nend = (nb + NC).min(n);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n + nb..i * n + nend];
+                for kk in kb..kend {
+                    let aik = a_row[kk];
+                    let b_row = &b[kk * n + nb..kk * n + nend];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += aik * *bv;
+                    }
+                }
+            }
+            nb = nend;
+        }
+        kb = kend;
+    }
+}
+
+/// `out += W·x` with `W` row-major `rows`×`cols`: the matrix–vector product
+/// behind `dense` and the LSTM gate pre-activations. `out` must be
+/// pre-initialized (zeros or bias).
+///
+/// Each row's dot product runs over eight independent accumulator lanes
+/// (reassociating the sum, so results differ from a serial dot by normal f32
+/// rounding), then lanes are combined in a fixed order — deterministic for a
+/// given length, and identical across thread counts because each output row
+/// is owned by one thread.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemv(rows: usize, cols: usize, w: &[f32], x: &[f32], out: &mut [f32]) {
+    assert_eq!(w.len(), rows * cols, "W must be rows*cols");
+    assert_eq!(x.len(), cols, "x must be cols");
+    assert_eq!(out.len(), rows, "out must be rows");
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let threads = gillis_threads().clamp(1, rows);
+    if threads == 1 {
+        gemv_rows(cols, w, x, out);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (w_chunk, out_chunk) in w.chunks(rows_per * cols).zip(out.chunks_mut(rows_per)) {
+            s.spawn(move || gemv_rows(cols, w_chunk, x, out_chunk));
+        }
+    });
+}
+
+fn gemv_rows(cols: usize, w: &[f32], x: &[f32], out: &mut [f32]) {
+    const LANES: usize = 8;
+    for (r, o) in out.iter_mut().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut acc = [0.0f32; LANES];
+        let mut chunks = row.chunks_exact(LANES).zip(x.chunks_exact(LANES));
+        for (wc, xc) in &mut chunks {
+            for l in 0..LANES {
+                acc[l] += wc[l] * xc[l];
+            }
+        }
+        let tail: f32 = row
+            .chunks_exact(LANES)
+            .remainder()
+            .iter()
+            .zip(x.chunks_exact(LANES).remainder())
+            .map(|(a, b)| a * b)
+            .sum();
+        let folded =
+            ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+        *o += folded + tail;
+    }
+}
+
+/// Lowers a CHW image to the im2col matrix for a convolution: row
+/// `(ic·kh + ky)·kw + kx`, column `oy·out_w + ox` holds the input value that
+/// tap touches for that output position, or `0.0` where the tap falls in the
+/// padding. The resulting `(channels·kh·kw)` × `(out_h·out_w)` matrix
+/// multiplies against the `[out_c, in_c·kh·kw]` weight matrix — the weights'
+/// native layout — so `conv2d` is a single [`gemm`].
+///
+/// `col` is cleared and resized; reusing one buffer across calls avoids
+/// repeated allocation.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    input: &[f32],
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    pad_top: usize,
+    pad_left: usize,
+    out_hw: (usize, usize),
+    col: &mut Vec<f32>,
+) {
+    let (kh, kw) = kernel;
+    let (sh, sw) = stride;
+    let (out_h, out_w) = out_hw;
+    let (pt, pl) = (pad_top as isize, pad_left as isize);
+    let n = out_h * out_w;
+    col.clear();
+    col.resize(channels * kh * kw * n, 0.0);
+    let in_plane = in_h * in_w;
+    let mut row_idx = 0;
+    for ic in 0..channels {
+        let in_base = ic * in_plane;
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let dst = &mut col[row_idx * n..(row_idx + 1) * n];
+                row_idx += 1;
+                for oy in 0..out_h {
+                    let iy = (oy * sh) as isize - pt + ky as isize;
+                    if iy < 0 || iy >= in_h as isize {
+                        continue; // stays zero-padded
+                    }
+                    let src_row = in_base + iy as usize * in_w;
+                    let dst_row = &mut dst[oy * out_w..(oy + 1) * out_w];
+                    if sw == 1 {
+                        // Stride-1 columns are a contiguous shifted copy.
+                        let shift = kx as isize - pl; // ix = ox + shift
+                        let ox0 = (-shift).max(0) as usize;
+                        let ox1 = (in_w as isize - shift).clamp(0, out_w as isize) as usize;
+                        if ox0 < ox1 {
+                            let src0 = (ox0 as isize + shift) as usize;
+                            dst_row[ox0..ox1].copy_from_slice(
+                                &input[src_row + src0..src_row + src0 + (ox1 - ox0)],
+                            );
+                        }
+                    } else {
+                        for (ox, d) in dst_row.iter_mut().enumerate() {
+                            let ix = (ox * sw) as isize - pl + kx as isize;
+                            if ix >= 0 && ix < in_w as isize {
+                                *d = input[src_row + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Textbook triple loop in the same per-element accumulation order.
+    fn gemm_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    #[test]
+    fn known_2x2_product() {
+        // [[1,2],[3,4]] · [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn bias_preinit_is_added() {
+        let a = [1.0, 0.0];
+        let b = [2.0, 3.0, 100.0, 100.0];
+        let mut c = [10.0, 20.0];
+        gemm(1, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [12.0, 23.0]);
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut c = [1.0f32; 4];
+        gemm(2, 2, 0, &[], &[], &mut c);
+        assert_eq!(c, [1.0; 4]);
+        gemm(0, 0, 3, &[], &[], &mut []);
+    }
+
+    #[test]
+    fn gemv_matches_serial_dot_for_small_rows() {
+        // cols < 8 exercises only the tail loop: exact match with naive.
+        let w = [1.0, 0.0, 0.0, 0.0, 1.0, 1.0];
+        let x = [1.0, 2.0, 3.0];
+        let mut out = [10.0, -10.0];
+        gemv(2, 3, &w, &x, &mut out);
+        assert_eq!(out, [11.0, -5.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn gemm_matches_naive_bitwise(
+            (m, n, k) in (1usize..8, 1usize..40, 1usize..20),
+            seed in 0u32..1000,
+        ) {
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 - 500.0) * 1e-3)
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| (((i as u32).wrapping_mul(40503).wrapping_add(seed) % 1000) as f32 - 500.0) * 1e-3)
+                .collect();
+            let init: Vec<f32> = (0..m * n).map(|i| (i % 7) as f32 * 0.5).collect();
+            let mut want = init.clone();
+            gemm_naive(m, n, k, &a, &b, &mut want);
+            let mut got = init.clone();
+            gemm_with_threads(m, n, k, &a, &b, &mut got, 1);
+            prop_assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
+        #[test]
+        fn gemm_is_bit_identical_across_thread_counts(
+            (m, n, k) in (1usize..12, 1usize..30, 1usize..16),
+            seed in 0u32..1000,
+        ) {
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| ((i as u32 ^ seed).wrapping_mul(747796405) % 997) as f32 * 1e-3 - 0.5)
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i as u32 ^ seed).wrapping_mul(277803737) % 991) as f32 * 1e-3 - 0.5)
+                .collect();
+            let mut c1 = vec![0.25f32; m * n];
+            let mut c8 = c1.clone();
+            gemm_with_threads(m, n, k, &a, &b, &mut c1, 1);
+            gemm_with_threads(m, n, k, &a, &b, &mut c8, 8);
+            prop_assert_eq!(
+                c1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                c8.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
+        #[test]
+        fn gemv_close_to_serial_dot(
+            (rows, cols) in (1usize..10, 1usize..70),
+            seed in 0u32..1000,
+        ) {
+            let w: Vec<f32> = (0..rows * cols)
+                .map(|i| ((i as u32 ^ seed).wrapping_mul(2891336453) % 1009) as f32 * 1e-3 - 0.5)
+                .collect();
+            let x: Vec<f32> = (0..cols)
+                .map(|i| ((i as u32 ^ seed).wrapping_mul(1181783497) % 1013) as f32 * 1e-3 - 0.5)
+                .collect();
+            let mut got = vec![0.0f32; rows];
+            gemv(rows, cols, &w, &x, &mut got);
+            for r in 0..rows {
+                let want: f32 = w[r * cols..(r + 1) * cols]
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                prop_assert!((got[r] - want).abs() < 1e-4, "row {}: {} vs {}", r, got[r], want);
+            }
+        }
+
+        #[test]
+        fn im2col_strided_matches_dense_gather(
+            (in_h, in_w) in (3usize..9, 3usize..9),
+            (sh, sw) in (1usize..3, 1usize..3),
+            pad in 0usize..2,
+        ) {
+            // Cross-check the stride-1 copy fast path against the generic
+            // gather by forcing both code paths over the same geometry.
+            let (kh, kw) = (3, 3);
+            let h = in_h + 2 * pad;
+            let w = in_w + 2 * pad;
+            prop_assume!(h >= kh && w >= kw);
+            let out_h = (h - kh) / sh + 1;
+            let out_w = (w - kw) / sw + 1;
+            let input: Vec<f32> = (0..2 * in_h * in_w).map(|i| i as f32 + 1.0).collect();
+            let mut col = Vec::new();
+            im2col(&input, 2, in_h, in_w, (kh, kw), (sh, sw), pad, pad, (out_h, out_w), &mut col);
+            let n = out_h * out_w;
+            for ic in 0..2 {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let row = &col[((ic * kh + ky) * kw + kx) * n..][..n];
+                        for oy in 0..out_h {
+                            for ox in 0..out_w {
+                                let iy = (oy * sh + ky) as isize - pad as isize;
+                                let ix = (ox * sw + kx) as isize - pad as isize;
+                                let want = if iy >= 0
+                                    && iy < in_h as isize
+                                    && ix >= 0
+                                    && ix < in_w as isize
+                                {
+                                    input[ic * in_h * in_w + iy as usize * in_w + ix as usize]
+                                } else {
+                                    0.0
+                                };
+                                prop_assert_eq!(row[oy * out_w + ox], want);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

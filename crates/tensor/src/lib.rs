@@ -26,6 +26,7 @@
 //! ```
 
 pub mod error;
+pub mod gemm;
 pub mod ops;
 pub mod shape;
 pub mod tensor;

@@ -34,7 +34,11 @@ pub fn softmax(input: &Tensor) -> Result<Tensor> {
             "softmax expects a non-empty rank-1 tensor".into(),
         ));
     }
-    let max = input.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let max = input
+        .data()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = input.data().iter().map(|&x| (x - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     Tensor::from_vec(

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use super::Padding;
 use crate::error::TensorError;
+use crate::gemm;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -34,10 +35,7 @@ impl Conv2dParams {
 /// Output spatial size of a convolution/pooling window sweep.
 ///
 /// Returns `None` if the padded input is smaller than the kernel.
-pub fn conv2d_output_hw(
-    in_hw: (usize, usize),
-    params: &Conv2dParams,
-) -> Option<(usize, usize)> {
+pub fn conv2d_output_hw(in_hw: (usize, usize), params: &Conv2dParams) -> Option<(usize, usize)> {
     let (kh, kw) = params.kernel;
     let (sh, sw) = params.stride;
     let h = in_hw.0 + params.padding.top + params.padding.bottom;
@@ -104,6 +102,61 @@ pub fn conv2d(
         ))
     })?;
 
+    // Lower to im2col + blocked GEMM: the weight tensor's native
+    // [out_c, in_c*kh*kw] layout is already the A matrix, the column matrix
+    // is B, and the bias pre-initializes C so the accumulation order matches
+    // the reference kernel exactly (see crate::gemm's determinism contract).
+    let input_data = input.data();
+    let weight_data = weight.data();
+    let n_dim = out_h * out_w;
+    let k_dim = in_c * kh * kw;
+    let mut out = vec![0.0f32; out_c * n_dim];
+    if let Some(b) = bias {
+        for (row, &bv) in out.chunks_mut(n_dim).zip(b.data().iter()) {
+            row.fill(bv);
+        }
+    }
+    let pad = params.padding;
+    if (kh, kw) == (1, 1)
+        && params.stride == (1, 1)
+        && (pad.top, pad.bottom, pad.left, pad.right) == (0, 0, 0, 0)
+    {
+        // Pointwise conv: the input already is the im2col matrix.
+        gemm::gemm(out_c, n_dim, k_dim, weight_data, input_data, &mut out);
+    } else {
+        let mut col = Vec::new();
+        gemm::im2col(
+            input_data,
+            in_c,
+            in_h,
+            in_w,
+            params.kernel,
+            params.stride,
+            pad.top,
+            pad.left,
+            (out_h, out_w),
+            &mut col,
+        );
+        gemm::gemm(out_c, n_dim, k_dim, weight_data, &col, &mut out);
+    }
+    Tensor::from_vec(Shape::new(vec![out_c, out_h, out_w]), out)
+}
+
+/// Reference 6-loop convolution the GEMM path is validated against: same
+/// validation, bias-first accumulation in ascending (ic, ky, kx) tap order,
+/// skipping out-of-bounds taps.
+#[cfg(test)]
+pub(crate) fn conv2d_naive(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    let in_dims = input.shape().dims();
+    let w_dims = weight.shape().dims();
+    let (in_c, in_h, in_w) = (in_dims[0], in_dims[1], in_dims[2]);
+    let (out_c, kh, kw) = (w_dims[0], w_dims[2], w_dims[3]);
+    let (out_h, out_w) = conv2d_output_hw((in_h, in_w), params).unwrap();
     let (sh, sw) = params.stride;
     let pt = params.padding.top as isize;
     let pl = params.padding.left as isize;
@@ -151,9 +204,42 @@ pub fn conv2d(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn t(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
         Tensor::from_vec(Shape::new(shape), data).unwrap()
+    }
+
+    fn pseudo(i: usize, seed: u32) -> f32 {
+        ((i as u32 ^ seed).wrapping_mul(2654435761) % 2001) as f32 * 1e-3 - 1.0
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn gemm_path_matches_naive_reference(
+            (in_c, out_c) in (1usize..5, 1usize..5),
+            (in_h, in_w) in (3usize..10, 3usize..10),
+            kernel in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..2,
+            seed in 0u32..1000,
+        ) {
+            let params = Conv2dParams::square(kernel, stride, pad);
+            prop_assume!(conv2d_output_hw((in_h, in_w), &params).is_some());
+            let input =
+                Tensor::from_fn(Shape::new(vec![in_c, in_h, in_w]), |i| pseudo(i, seed));
+            let weight = Tensor::from_fn(Shape::new(vec![out_c, in_c, kernel, kernel]), |i| {
+                pseudo(i, seed ^ 0xbeef)
+            });
+            let bias = Tensor::from_fn(Shape::new(vec![out_c]), |i| pseudo(i, seed ^ 0x77));
+            let fast = conv2d(&input, &weight, Some(&bias), &params).unwrap();
+            let naive = conv2d_naive(&input, &weight, Some(&bias), &params).unwrap();
+            // The im2col+GEMM path preserves the reference accumulation
+            // order, so the match is exact (up to the sign of zero).
+            prop_assert_eq!(fast.max_abs_diff(&naive).unwrap(), 0.0);
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Dense (fully connected) layers.
 
 use crate::error::TensorError;
+use crate::gemm;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -41,6 +42,24 @@ pub fn dense(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<T
             });
         }
     }
+    // Bias pre-initializes the output, then one multi-lane gemv.
+    let mut out = match bias {
+        Some(b) => b.data().to_vec(),
+        None => vec![0.0f32; out_n],
+    };
+    gemm::gemv(out_n, in_n, weight.data(), input.data(), &mut out);
+    Tensor::from_vec(Shape::new(vec![out_n]), out)
+}
+
+/// Reference row-wise dot product the gemv path is validated against.
+#[cfg(test)]
+pub(crate) fn dense_naive(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+) -> Result<Tensor> {
+    let w_dims = weight.shape().dims();
+    let (out_n, in_n) = (w_dims[0], w_dims[1]);
     let x = input.data();
     let w = weight.data();
     let mut out = Vec::with_capacity(out_n);
@@ -58,9 +77,31 @@ pub fn dense(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<T
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn t(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
         Tensor::from_vec(Shape::new(shape), data).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn gemv_path_matches_naive_reference(
+            (out_n, in_n) in (1usize..12, 1usize..80),
+            seed in 0u32..1000,
+        ) {
+            let pseudo = |i: usize, s: u32| {
+                ((i as u32 ^ s).wrapping_mul(2654435761) % 2001) as f32 * 1e-3 - 1.0
+            };
+            let x = Tensor::from_fn(Shape::new(vec![in_n]), |i| pseudo(i, seed));
+            let w = Tensor::from_fn(Shape::new(vec![out_n, in_n]), |i| pseudo(i, seed ^ 0xabc));
+            let b = Tensor::from_fn(Shape::new(vec![out_n]), |i| pseudo(i, seed ^ 0x5));
+            let fast = dense(&x, &w, Some(&b)).unwrap();
+            let naive = dense_naive(&x, &w, Some(&b)).unwrap();
+            // The multi-lane dot reassociates the sum, so allow f32 rounding.
+            prop_assert!(fast.max_abs_diff(&naive).unwrap() < 1e-4);
+        }
     }
 
     #[test]

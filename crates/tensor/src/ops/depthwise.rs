@@ -9,6 +9,7 @@
 use super::conv::conv2d_output_hw;
 use super::Conv2dParams;
 use crate::error::TensorError;
+use crate::gemm;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -68,6 +69,76 @@ pub fn depthwise_conv2d(
             params.kernel
         ))
     })?;
+    // Each channel is an independent 1×(kh·kw) by (kh·kw)×(out_h·out_w)
+    // GEMM over that channel's im2col matrix; channels are split across
+    // worker threads (each channel computed entirely by one thread, so
+    // results are thread-count independent).
+    let (kh, kw) = params.kernel;
+    let in_plane = in_h * in_w;
+    let k_plane = kh * kw;
+    let n_dim = out_h * out_w;
+    let x = input.data();
+    let w = weight.data();
+
+    let mut out = vec![0.0f32; c * n_dim];
+    if let Some(b) = bias {
+        for (row, &bv) in out.chunks_mut(n_dim).zip(b.data().iter()) {
+            row.fill(bv);
+        }
+    }
+    let channel_block = |ch0: usize, out_block: &mut [f32]| {
+        let mut col = Vec::new();
+        for (off, out_ch) in out_block.chunks_mut(n_dim).enumerate() {
+            let ch = ch0 + off;
+            gemm::im2col(
+                &x[ch * in_plane..(ch + 1) * in_plane],
+                1,
+                in_h,
+                in_w,
+                params.kernel,
+                params.stride,
+                params.padding.top,
+                params.padding.left,
+                (out_h, out_w),
+                &mut col,
+            );
+            gemm::gemm_with_threads(
+                1,
+                n_dim,
+                k_plane,
+                &w[ch * k_plane..(ch + 1) * k_plane],
+                &col,
+                out_ch,
+                1,
+            );
+        }
+    };
+    let threads = gemm::gillis_threads().clamp(1, c);
+    if threads == 1 {
+        channel_block(0, &mut out);
+    } else {
+        let per = c.div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (b_idx, out_block) in out.chunks_mut(per * n_dim).enumerate() {
+                let channel_block = &channel_block;
+                s.spawn(move || channel_block(b_idx * per, out_block));
+            }
+        });
+    }
+    Tensor::from_vec(Shape::new(vec![c, out_h, out_w]), out)
+}
+
+/// Reference per-channel loop the GEMM path is validated against.
+#[cfg(test)]
+pub(crate) fn depthwise_conv2d_naive(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    let in_dims = input.shape().dims();
+    let (c, in_h, in_w) = (in_dims[0], in_dims[1], in_dims[2]);
+    let (out_h, out_w) = conv2d_output_hw((in_h, in_w), params).unwrap();
     let (kh, kw) = params.kernel;
     let (sh, sw) = params.stride;
     let pt = params.padding.top as isize;
@@ -114,6 +185,36 @@ mod tests {
     use super::*;
     use crate::ops::conv2d;
     use crate::ops::Padding;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn gemm_path_matches_naive_reference(
+            c in 1usize..6,
+            (in_h, in_w) in (3usize..10, 3usize..10),
+            kernel in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..2,
+            seed in 0u32..1000,
+        ) {
+            let params = Conv2dParams::square(kernel, stride, pad);
+            prop_assume!(conv2d_output_hw((in_h, in_w), &params).is_some());
+            let pseudo = |i: usize, s: u32| {
+                ((i as u32 ^ s).wrapping_mul(2654435761) % 2001) as f32 * 1e-3 - 1.0
+            };
+            let input =
+                Tensor::from_fn(Shape::new(vec![c, in_h, in_w]), |i| pseudo(i, seed));
+            let weight = Tensor::from_fn(Shape::new(vec![c, kernel, kernel]), |i| {
+                pseudo(i, seed ^ 0xbeef)
+            });
+            let bias = Tensor::from_fn(Shape::new(vec![c]), |i| pseudo(i, seed ^ 0x77));
+            let fast = depthwise_conv2d(&input, &weight, Some(&bias), &params).unwrap();
+            let naive = depthwise_conv2d_naive(&input, &weight, Some(&bias), &params).unwrap();
+            prop_assert_eq!(fast.max_abs_diff(&naive).unwrap(), 0.0);
+        }
+    }
 
     #[test]
     fn matches_block_diagonal_full_convolution() {

@@ -8,16 +8,16 @@
 
 mod activation;
 mod conv;
-mod depthwise;
 mod dense;
+mod depthwise;
 mod norm;
 mod pool;
 mod rnn;
 
 pub use activation::{relu, sigmoid, softmax, tanh};
 pub use conv::{conv2d, conv2d_output_hw, Conv2dParams};
-pub use depthwise::depthwise_conv2d;
 pub use dense::dense;
+pub use depthwise::depthwise_conv2d;
 pub use norm::{batch_norm, BatchNormParams};
 pub use pool::{avg_pool2d, global_avg_pool, max_pool2d, Pool2dParams};
 pub use rnn::{lstm_cell, lstm_sequence, LstmParams, LstmState};

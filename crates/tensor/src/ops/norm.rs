@@ -69,19 +69,40 @@ pub fn batch_norm(input: &Tensor, params: &BatchNormParams) -> Result<Tensor> {
             });
         }
     }
-    let plane = h * w;
-    let mut out = Vec::with_capacity(c * plane);
-    let x = input.data();
+    let mut out = Vec::new();
+    batch_norm_into(input.data(), c, h * w, params, &mut out);
+    Tensor::from_vec(input.shape().clone(), out)
+}
+
+/// Batch-norm hot loop writing into a caller-reusable buffer (`out` is
+/// cleared and resized, keeping its allocation across calls).
+///
+/// The per-channel affine is folded into two constants up front —
+/// `y = x·scale + shift` with `scale = gamma/√(var+eps)` and
+/// `shift = beta − mean·scale` — so the inner loop is a single fused
+/// scale-and-add over the contiguous channel plane.
+fn batch_norm_into(
+    x: &[f32],
+    c: usize,
+    plane: usize,
+    params: &BatchNormParams,
+    out: &mut Vec<f32>,
+) {
+    out.clear();
+    out.resize(c * plane, 0.0);
     for ch in 0..c {
         let g = params.gamma.data()[ch];
         let b = params.beta.data()[ch];
         let m = params.mean.data()[ch];
         let inv_std = 1.0 / (params.var.data()[ch] + params.eps).sqrt();
-        for &v in &x[ch * plane..(ch + 1) * plane] {
-            out.push(g * (v - m) * inv_std + b);
+        let scale = g * inv_std;
+        let shift = b - m * scale;
+        let src = &x[ch * plane..(ch + 1) * plane];
+        let dst = &mut out[ch * plane..(ch + 1) * plane];
+        for (o, &v) in dst.iter_mut().zip(src.iter()) {
+            *o = v * scale + shift;
         }
     }
-    Tensor::from_vec(input.shape().clone(), out)
 }
 
 #[cfg(test)]

@@ -41,11 +41,7 @@ impl Pool2dParams {
     }
 }
 
-fn pool2d(
-    input: &Tensor,
-    params: &Pool2dParams,
-    is_max: bool,
-) -> Result<Tensor> {
+fn pool2d(input: &Tensor, params: &Pool2dParams, is_max: bool) -> Result<Tensor> {
     let dims = input.shape().dims();
     if dims.len() != 3 {
         return Err(TensorError::InvalidArgument(format!(
@@ -60,53 +56,126 @@ fn pool2d(
             params.kernel
         ))
     })?;
+    let mut out = Vec::new();
+    pool2d_into(
+        input.data(),
+        c,
+        (in_h, in_w),
+        (out_h, out_w),
+        params,
+        is_max,
+        &mut out,
+    );
+    Tensor::from_vec(Shape::new(vec![c, out_h, out_w]), out)
+}
+
+/// Pooling hot loop writing into a caller-reusable buffer (`out` is cleared
+/// and resized, keeping its allocation across calls).
+///
+/// Output positions whose windows lie fully inside the input — all of them
+/// when there is no padding — take a tight unchecked path with a fixed
+/// divisor; only the border bands pay per-tap bounds checks. Taps are visited
+/// in the same (ky, kx) order on both paths, so results are identical to the
+/// fully-checked loop.
+fn pool2d_into(
+    data: &[f32],
+    c: usize,
+    (in_h, in_w): (usize, usize),
+    (out_h, out_w): (usize, usize),
+    params: &Pool2dParams,
+    is_max: bool,
+    out: &mut Vec<f32>,
+) {
     let (kh, kw) = params.kernel;
     let (sh, sw) = params.stride;
-    let pt = params.padding.top as isize;
-    let pl = params.padding.left as isize;
+    let (pt, pl) = (params.padding.top, params.padding.left);
     let plane = in_h * in_w;
-    let data = input.data();
+    let out_plane = out_h * out_w;
+    out.clear();
+    out.resize(c * out_plane, 0.0);
 
-    let mut out = vec![0.0f32; c * out_h * out_w];
+    // Output rows/cols whose windows never touch the padding.
+    let oy_lo = pt.div_ceil(sh).min(out_h);
+    let oy_hi = if in_h + pt >= kh {
+        ((in_h + pt - kh) / sh + 1).clamp(oy_lo, out_h)
+    } else {
+        oy_lo
+    };
+    let ox_lo = pl.div_ceil(sw).min(out_w);
+    let ox_hi = if in_w + pl >= kw {
+        ((in_w + pl - kw) / sw + 1).clamp(ox_lo, out_w)
+    } else {
+        ox_lo
+    };
+
     for ch in 0..c {
         let base = ch * plane;
-        for oy in 0..out_h {
-            let iy0 = (oy * sh) as isize - pt;
-            for ox in 0..out_w {
-                let ix0 = (ox * sw) as isize - pl;
-                let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
-                let mut count = 0usize;
-                for ky in 0..kh {
-                    let iy = iy0 + ky as isize;
-                    if iy < 0 || iy >= in_h as isize {
+        let out_base = ch * out_plane;
+        let edge = |oy: usize, ox: usize| -> f32 {
+            let iy0 = (oy * sh) as isize - pt as isize;
+            let ix0 = (ox * sw) as isize - pl as isize;
+            let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+            let mut count = 0usize;
+            for ky in 0..kh {
+                let iy = iy0 + ky as isize;
+                if iy < 0 || iy >= in_h as isize {
+                    continue;
+                }
+                let row = base + iy as usize * in_w;
+                for kx in 0..kw {
+                    let ix = ix0 + kx as isize;
+                    if ix < 0 || ix >= in_w as isize {
                         continue;
                     }
-                    let row = base + iy as usize * in_w;
-                    for kx in 0..kw {
-                        let ix = ix0 + kx as isize;
-                        if ix < 0 || ix >= in_w as isize {
-                            continue;
-                        }
-                        let v = data[row + ix as usize];
-                        if is_max {
+                    let v = data[row + ix as usize];
+                    if is_max {
+                        acc = acc.max(v);
+                    } else {
+                        acc += v;
+                    }
+                    count += 1;
+                }
+            }
+            if is_max {
+                acc
+            } else if count > 0 {
+                acc / count as f32
+            } else {
+                0.0
+            }
+        };
+        for oy in (0..oy_lo).chain(oy_hi..out_h) {
+            for ox in 0..out_w {
+                out[out_base + oy * out_w + ox] = edge(oy, ox);
+            }
+        }
+        let window = (kh * kw) as f32;
+        for oy in oy_lo..oy_hi {
+            for ox in (0..ox_lo).chain(ox_hi..out_w) {
+                out[out_base + oy * out_w + ox] = edge(oy, ox);
+            }
+            let iy0 = oy * sh - pt;
+            let out_row = out_base + oy * out_w;
+            for ox in ox_lo..ox_hi {
+                let ix0 = ox * sw - pl;
+                let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                for ky in 0..kh {
+                    let row = base + (iy0 + ky) * in_w + ix0;
+                    let win = &data[row..row + kw];
+                    if is_max {
+                        for &v in win {
                             acc = acc.max(v);
-                        } else {
+                        }
+                    } else {
+                        for &v in win {
                             acc += v;
                         }
-                        count += 1;
                     }
                 }
-                out[ch * out_h * out_w + oy * out_w + ox] = if is_max {
-                    acc
-                } else if count > 0 {
-                    acc / count as f32
-                } else {
-                    0.0
-                };
+                out[out_row + ox] = if is_max { acc } else { acc / window };
             }
         }
     }
-    Tensor::from_vec(Shape::new(vec![c, out_h, out_w]), out)
 }
 
 /// Max pooling over a `CHW` tensor.
@@ -184,11 +253,8 @@ mod tests {
 
     #[test]
     fn global_avg_pool_means_each_channel() {
-        let input = Tensor::from_vec(
-            Shape::new(vec![2, 1, 2]),
-            vec![1.0, 3.0, 10.0, 20.0],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(Shape::new(vec![2, 1, 2]), vec![1.0, 3.0, 10.0, 20.0]).unwrap();
         let out = global_avg_pool(&input).unwrap();
         assert_eq!(out.shape().dims(), &[2]);
         assert_eq!(out.data(), &[2.0, 15.0]);

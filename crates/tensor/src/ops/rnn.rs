@@ -83,6 +83,16 @@ impl LstmState {
 
 fn matvec(w: &Tensor, x: &Tensor) -> Vec<f32> {
     let (rows, cols) = (w.shape().dims()[0], w.shape().dims()[1]);
+    let mut out = vec![0.0f32; rows];
+    crate::gemm::gemv(rows, cols, w.data(), x.data(), &mut out);
+    out
+}
+
+/// Reference serial dot product the gemv-backed [`matvec`] is validated
+/// against.
+#[cfg(test)]
+fn matvec_naive(w: &Tensor, x: &Tensor) -> Vec<f32> {
+    let (rows, cols) = (w.shape().dims()[0], w.shape().dims()[1]);
     let wd = w.data();
     let xd = x.data();
     (0..rows)
@@ -163,10 +173,7 @@ pub fn lstm_cell(x: &Tensor, state: &LstmState, params: &LstmParams) -> Result<L
 /// # Errors
 ///
 /// Propagates any shape error from [`lstm_cell`].
-pub fn lstm_sequence(
-    inputs: &[Tensor],
-    params: &LstmParams,
-) -> Result<(Vec<Tensor>, LstmState)> {
+pub fn lstm_sequence(inputs: &[Tensor], params: &LstmParams) -> Result<(Vec<Tensor>, LstmState)> {
     let mut state = LstmState::zeros(params.hidden_size());
     let mut outputs = Vec::with_capacity(inputs.len());
     for x in inputs {
@@ -179,6 +186,28 @@ pub fn lstm_sequence(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn gate_matvec_matches_naive_reference(
+            (rows, cols) in (1usize..16, 1usize..64),
+            seed in 0u32..1000,
+        ) {
+            let pseudo = |i: usize, s: u32| {
+                ((i as u32 ^ s).wrapping_mul(2654435761) % 2001) as f32 * 1e-3 - 1.0
+            };
+            let w = Tensor::from_fn(Shape::new(vec![rows, cols]), |i| pseudo(i, seed));
+            let x = Tensor::from_fn(Shape::new(vec![cols]), |i| pseudo(i, seed ^ 0x9));
+            let fast = matvec(&w, &x);
+            let naive = matvec_naive(&w, &x);
+            for (a, b) in fast.iter().zip(naive.iter()) {
+                prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+            }
+        }
+    }
 
     fn small_params(input: usize, hidden: usize, scale: f32) -> LstmParams {
         LstmParams {

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = DpPartitioner::default().partition(&model, &perf)?;
     let runtime = ForkJoinRuntime::new(&model, &plan, platform)?;
     let gillis_ms = runtime.mean_latency_ms(100, 2);
-    println!("gillis serving  : {gillis_ms:.0} ms ({} groups)", plan.groups().len());
+    println!(
+        "gillis serving  : {gillis_ms:.0} ms ({} groups)",
+        plan.groups().len()
+    );
     println!("speedup over pipeline: {:.1}x", pipe.total_ms / gillis_ms);
     println!("\n{}", plan.describe(&model)?);
     Ok(())

@@ -30,8 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plan = DpPartitioner::default().partition(&model, &perf)?;
         let gillis = ForkJoinRuntime::new(&model, &plan, platform.clone())?.mean_latency_ms(100, 3);
         let single = ExecutionPlan::single_function(&model);
-        let default = ForkJoinRuntime::new(&model, &single, platform.clone())?.mean_latency_ms(100, 3);
-        let fanout = plan.groups().iter().map(|g| g.option.parts()).max().unwrap_or(1);
+        let default =
+            ForkJoinRuntime::new(&model, &single, platform.clone())?.mean_latency_ms(100, 3);
+        let fanout = plan
+            .groups()
+            .iter()
+            .map(|g| g.option.parts())
+            .max()
+            .unwrap_or(1);
         println!(
             "{:>8} {:>12.0} {:>12.0} {:>8.2}x {:>11}",
             platform.kind.label(),

@@ -4,7 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use gillis::core::{predict_plan, DpPartitioner, ExecutionPlan, ForkJoinRuntime, PartitionerConfig};
+use gillis::core::{
+    predict_plan, DpPartitioner, ExecutionPlan, ForkJoinRuntime, PartitionerConfig,
+};
 use gillis::faas::PlatformProfile;
 use gillis::model::zoo;
 use gillis::perf::PerfModel;
@@ -36,13 +38,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let baseline = ForkJoinRuntime::new(&model, &single, platform)?.mean_latency_ms(100, 7);
 
     println!("default (single function) : {baseline:.0} ms");
-    println!("gillis, predicted          : {:.0} ms", predicted.latency_ms);
+    println!(
+        "gillis, predicted          : {:.0} ms",
+        predicted.latency_ms
+    );
     println!("gillis, measured           : {measured:.0} ms");
     println!("speedup                    : {:.2}x", baseline / measured);
     println!(
         "billed cost per query      : {} ms ({} worker invocations/group max)",
         predicted.billed_ms,
-        plan.groups().iter().map(|g| g.worker_count()).max().unwrap_or(0)
+        plan.groups()
+            .iter()
+            .map(|g| g.worker_count())
+            .max()
+            .unwrap_or(0)
     );
     Ok(())
 }

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = PlatformProfile::aws_lambda();
     let perf = PerfModel::profiled(&platform, 1);
     let t_max_ms = 400.0;
-    println!("serving {} under a {t_max_ms} ms mean-latency SLO\n", model.name());
+    println!(
+        "serving {} under a {t_max_ms} ms mean-latency SLO\n",
+        model.name()
+    );
 
     // Gillis SLO-aware: hierarchical REINFORCE against the performance model.
     let sa = slo_aware_partition(
@@ -61,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.latency.mean(),
         report.latency.percentile(99.0),
         report.latency.count(),
-        if report.latency.mean() <= t_max_ms { "met" } else { "MISSED" },
+        if report.latency.mean() <= t_max_ms {
+            "met"
+        } else {
+            "MISSED"
+        },
     );
     println!(
         "billed {} ms total (~{} ms/query), ${:.4} total",

@@ -87,8 +87,13 @@ fn run() -> Result<(), String> {
         .get("model")
         .ok_or_else(|| "--model is required".to_string())?;
     let model = lookup_model(model_name).map_err(|e| e.to_string())?;
-    let platform = lookup_platform(flags.get("platform").map(String::as_str).unwrap_or("lambda"))
-        .map_err(|e| e.to_string())?;
+    let platform = lookup_platform(
+        flags
+            .get("platform")
+            .map(String::as_str)
+            .unwrap_or("lambda"),
+    )
+    .map_err(|e| e.to_string())?;
     let perf = PerfModel::profiled(&platform, 42);
 
     match command.as_str() {

@@ -32,8 +32,11 @@ use gillis_model::LinearModel;
 use gillis_perf::PerfModel;
 use gillis_rl::{slo_aware_partition, SloAwareConfig};
 
+/// A zoo entry: model name and its constructor.
+pub type ModelEntry = (&'static str, fn() -> LinearModel);
+
 /// The models available by name — the zoo exposed to the CLI and tests.
-pub fn model_catalog() -> Vec<(&'static str, fn() -> LinearModel)> {
+pub fn model_catalog() -> Vec<ModelEntry> {
     use gillis_model::zoo;
     vec![
         ("vgg11", zoo::vgg11 as fn() -> LinearModel),
@@ -275,8 +278,12 @@ impl Deployment {
         prewarm: usize,
         seed: u64,
     ) -> Result<ServingReport, CoreError> {
-        ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())?
-            .serve_open_loop(rate_per_sec, queries, prewarm, seed)
+        ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())?.serve_open_loop(
+            rate_per_sec,
+            queries,
+            prewarm,
+            seed,
+        )
     }
 }
 

@@ -37,7 +37,11 @@ fn plan_predict_serve_roundtrip() {
     let plan_str = plan_path.to_str().unwrap();
 
     let out = gillis(&["plan", "--model", "tiny-vgg", "--out", plan_str]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&plan_path).unwrap();
     assert!(text.starts_with("gillis-plan v1"));
 
@@ -48,7 +52,15 @@ fn plan_predict_serve_roundtrip() {
     assert!(stdout.contains("billed"));
 
     let out = gillis(&[
-        "serve", "--model", "tiny-vgg", "--plan", plan_str, "--clients", "4", "--queries", "20",
+        "serve",
+        "--model",
+        "tiny-vgg",
+        "--plan",
+        plan_str,
+        "--clients",
+        "4",
+        "--queries",
+        "20",
     ]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
@@ -68,7 +80,9 @@ fn describe_names_groups() {
 fn errors_are_reported_cleanly() {
     let out = gillis(&["plan", "--model", "not-a-model"]);
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown model"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown model"));
 
     let out = gillis(&["frobnicate", "--model", "tiny-vgg"]);
     assert!(!out.status.success());
@@ -79,5 +93,7 @@ fn errors_are_reported_cleanly() {
 
     let out = gillis(&["plan", "--model", "tiny-vgg", "--platform", "azure"]);
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown platform"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown platform"));
 }

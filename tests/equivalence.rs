@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 
-use gillis::core::{
-    execute_plan_tensors, ExecutionPlan, PartitionOption, Placement, PlannedGroup,
-};
+use gillis::core::{execute_plan_tensors, ExecutionPlan, PartitionOption, Placement, PlannedGroup};
 use gillis::model::exec::Executor;
 use gillis::model::weights::init_weights;
 use gillis::model::zoo;
@@ -23,8 +21,8 @@ fn plan_from_choices(
     let mut groups = Vec::new();
     let mut start = 0;
     for end in 1..=n {
-        let force_cut = end == n
-            || gillis::core::group_options(model, start, end + 1, &[2, 4]).is_empty();
+        let force_cut =
+            end == n || gillis::core::group_options(model, start, end + 1, &[2, 4]).is_empty();
         let cut = force_cut || cuts[end - 1];
         if !cut {
             continue;

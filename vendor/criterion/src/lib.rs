@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion API the bench suite uses
+//! (`Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!`) as a small wall-clock harness:
+//! each benchmark is calibrated to a per-sample time budget, timed over a
+//! fixed number of samples, and the median ns/iter is printed. No
+//! statistics, plots, or CLI — but the numbers are robust enough to track
+//! the perf trajectory in `BENCH_*.json`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent per sample once calibrated.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
+/// Cap on total time spent in a single benchmark.
+const BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+/// One timed measurement: `iters` runs of the routine in `elapsed`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` `self.iters` times, recording total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Result of one benchmark: median ns per iteration over the samples.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub id: String,
+    pub ns_per_iter: f64,
+    pub samples: usize,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) -> Measurement {
+    // Calibration pass: one iteration to estimate cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter_ns = (b.elapsed.as_nanos().max(1)) as f64 / b.iters as f64;
+    let iters_per_sample = (SAMPLE_BUDGET.as_nanos() as f64 / per_iter_ns)
+        .clamp(1.0, 1e9)
+        .round() as u64;
+
+    let deadline = Instant::now() + BENCH_BUDGET;
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let m = Measurement {
+        id: id.to_string(),
+        ns_per_iter: median,
+        samples: samples.len(),
+    };
+    println!(
+        "{:<44} time: {:>14.1} ns/iter  ({} samples x {} iters)",
+        m.id, m.ns_per_iter, m.samples, iters_per_sample
+    );
+    m
+}
+
+/// Benchmark driver standing in for `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    /// All measurements taken through this driver, for callers (like the
+    /// `bench_report` binary) that want machine-readable results.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let m = run_bench(&id.into(), self.sample_size, &mut f);
+        self.measurements.push(m);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+}
+
+/// Named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let m = run_bench(&id, self.sample_size, &mut f);
+        self.criterion.measurements.push(m);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_measurement() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.measurements.len(), 1);
+        assert!(c.measurements[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("case", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(c.measurements[0].id, "grp/case");
+    }
+}

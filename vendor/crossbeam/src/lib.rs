@@ -1,0 +1,30 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`).
+//!
+//! Since Rust 1.63 the standard library's `std::thread::scope` provides the
+//! structured-concurrency guarantee crossbeam's scoped threads pioneered
+//! (borrowed data may be captured because all spawned threads join before
+//! `scope` returns), so this shim simply re-exports it under the crossbeam
+//! paths the workspace uses.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut partial = [0u64; 2];
+        let (lo, hi) = partial.split_at_mut(1);
+        super::scope(|s| {
+            s.spawn(|| lo[0] = data[..2].iter().sum());
+            s.spawn(|| hi[0] = data[2..].iter().sum());
+        });
+        assert_eq!(partial, [3, 7]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Exposes just enough surface for `use serde::{Deserialize, Serialize}` +
+//! `#[derive(Serialize, Deserialize)]` to compile: marker traits plus no-op
+//! derive macros. Swap the workspace dependency back to the real crate when
+//! a registry is reachable; no call sites need to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in air-gapped environments where crates.io is not
+//! reachable, so the real serde stack is replaced by a minimal local shim
+//! (see `vendor/README.md`). No code in this repository serializes anything
+//! yet — the derives exist purely so type definitions can keep their
+//! `#[derive(Serialize, Deserialize)]` annotations, ready for the real serde
+//! to be swapped back in. These macros therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
