@@ -1,7 +1,7 @@
-//! Machine-readable perf baseline: runs the core tensor + partitioning bench
-//! cases and writes `BENCH_tensor.json` / `BENCH_planner.json` at the repo
-//! root (or the directory given as the first CLI argument), so the perf
-//! trajectory is tracked across PRs.
+//! Machine-readable perf baseline: runs the core tensor, partitioning, and
+//! serving bench cases and writes `BENCH_tensor.json` / `BENCH_planner.json`
+//! / `BENCH_serving.json` at the repo root (or the directory given as the
+//! first CLI argument), so the perf trajectory is tracked across PRs.
 //!
 //! Each entry records the current median ns/iter alongside the seed-kernel
 //! baseline (naive 6-loop conv, hand-rolled matmuls, sequential uncached DP)
@@ -10,11 +10,14 @@
 
 use gillis_bench::report::{measure, render_json, ReportEntry};
 use gillis_core::{
-    analyze_group, DpPartitioner, EvalCache, PartDim, PartitionOption, PartitionerConfig,
+    analyze_group, execute_plan_tensors_with_threads, DpPartitioner, EvalCache, ExecutionPlan,
+    ForkJoinRuntime, PartDim, PartitionOption, PartitionerConfig, Placement, PlannedGroup,
 };
 use gillis_faas::PlatformProfile;
+use gillis_model::weights::init_weights;
 use gillis_model::zoo;
 use gillis_perf::PerfModel;
+use gillis_rl::{slo_aware_partition, SloAwareConfig};
 use gillis_tensor::ops::{
     batch_norm, conv2d, dense, depthwise_conv2d, lstm_cell, max_pool2d, BatchNormParams,
     Conv2dParams, LstmParams, LstmState, Pool2dParams,
@@ -186,28 +189,128 @@ fn planner_suite() -> Vec<ReportEntry> {
     entries
 }
 
-fn threads() -> usize {
-    std::env::var("GILLIS_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(1)
+/// A hand-built aggressively parallel plan for `tiny_vgg`: spatial layers
+/// split 4-way, channel-splittable layers 2-way — every group has multiple
+/// worker partitions, so the pooled `execute_plan_tensors` path actually
+/// fans out (the DP plan for a model this small is all-`Single`).
+fn forced_parallel_plan(model: &gillis_model::LinearModel) -> ExecutionPlan {
+    let mut groups = Vec::new();
+    for (i, layer) in model.layers().iter().enumerate() {
+        let option = if layer.class.supports_spatial() && layer.out_shape.dims()[1] >= 4 {
+            PartitionOption::Split {
+                dim: PartDim::Height,
+                parts: 4,
+            }
+        } else if layer.class.channel_splittable() && layer.out_shape.dims()[0] >= 2 {
+            PartitionOption::Split {
+                dim: PartDim::Channel,
+                parts: 2,
+            }
+        } else {
+            PartitionOption::Single
+        };
+        groups.push(PlannedGroup {
+            start: i,
+            end: i + 1,
+            option,
+            placement: if option == PartitionOption::Single {
+                Placement::Master
+            } else {
+                Placement::Workers
+            },
+        });
+    }
+    ExecutionPlan::new(groups)
+}
+
+fn serving_suite() -> Vec<ReportEntry> {
+    let width = gillis_pool::gillis_threads();
+    let mut entries = Vec::new();
+
+    // Real-tensor plan execution, sequential vs pooled, on a plan whose
+    // every group fans out to multiple worker partitions.
+    let tiny = zoo::tiny_vgg();
+    let weights = init_weights(tiny.graph(), 42).unwrap();
+    let input = gillis_tensor::Tensor::from_fn(tiny.input_shape().clone(), |i| {
+        ((i % 17) as f32 - 8.0) / 8.0
+    });
+    let plan = forced_parallel_plan(&tiny);
+    entries.push(entry(
+        "execute_plan",
+        "tiny-vgg forced 4-way, sequential",
+        10,
+        || execute_plan_tensors_with_threads(&tiny, &plan, &weights, &input, 1).unwrap(),
+    ));
+    entries.push(entry(
+        "execute_plan",
+        &format!("tiny-vgg forced 4-way, pooled x{width}"),
+        10,
+        || execute_plan_tensors_with_threads(&tiny, &plan, &weights, &input, width).unwrap(),
+    ));
+
+    // Monte-Carlo latency simulation: independent seeded replications.
+    let platform = PlatformProfile::aws_lambda();
+    let perf = PerfModel::analytic(&platform);
+    let vgg = zoo::vgg11();
+    let dp_plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+    let runtime = ForkJoinRuntime::new(&vgg, &dp_plan, platform).unwrap();
+    entries.push(entry("mean_latency", "vgg11 n=500, sequential", 10, || {
+        runtime.mean_latency_ms_with_threads(500, 7, 1)
+    }));
+    entries.push(entry(
+        "mean_latency",
+        &format!("vgg11 n=500, pooled x{width}"),
+        10,
+        || runtime.mean_latency_ms_with_threads(500, 7, width),
+    ));
+
+    // RL training throughput: batch episode rollouts on the pool.
+    let tiny = zoo::tiny_vgg();
+    for (label, threads) in [("sequential", 1), ("pooled", width)] {
+        let shape = if threads == 1 {
+            format!("tiny-vgg 48 episodes, {label}")
+        } else {
+            format!("tiny-vgg 48 episodes, {label} x{width}")
+        };
+        entries.push(entry("slo_train", &shape, 3, || {
+            slo_aware_partition(
+                &tiny,
+                &perf,
+                &SloAwareConfig {
+                    t_max_ms: 500.0,
+                    episodes: 48,
+                    batch: 8,
+                    seed: 7,
+                    threads: Some(threads),
+                    ..SloAwareConfig::default()
+                },
+            )
+            .unwrap()
+        }));
+    }
+
+    entries
 }
 
 fn main() {
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
-    let threads = threads();
+    let threads = gillis_pool::gillis_threads();
 
     println!("== tensor suite ==");
     let tensor = tensor_suite();
     println!("== planner suite ==");
     let planner = planner_suite();
+    println!("== serving suite ==");
+    let serving = serving_suite();
 
     let tensor_path = format!("{out_dir}/BENCH_tensor.json");
     let planner_path = format!("{out_dir}/BENCH_planner.json");
+    let serving_path = format!("{out_dir}/BENCH_serving.json");
     std::fs::write(&tensor_path, render_json("tensor", threads, &tensor))
         .expect("write BENCH_tensor.json");
     std::fs::write(&planner_path, render_json("planner", threads, &planner))
         .expect("write BENCH_planner.json");
-    println!("wrote {tensor_path} and {planner_path}");
+    std::fs::write(&serving_path, render_json("serving", threads, &serving))
+        .expect("write BENCH_serving.json");
+    println!("wrote {tensor_path}, {planner_path}, and {serving_path}");
 }

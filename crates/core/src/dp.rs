@@ -298,9 +298,10 @@ impl DpPartitioner {
     }
 
     /// Evaluates every option of one group, returning outcomes index-aligned
-    /// with `options`. Work is split into contiguous chunks across threads;
-    /// each slot is written by exactly one thread, so the returned order (and
-    /// hence the caller's reduction) is independent of the thread count.
+    /// with `options`. Options are evaluated as independent tasks on the
+    /// shared persistent pool; each slot is written by exactly one task, so
+    /// the returned order (and hence the caller's reduction) is independent
+    /// of the thread count.
     #[allow(clippy::too_many_arguments)]
     fn evaluate_options(
         &self,
@@ -361,29 +362,15 @@ impl DpPartitioner {
 
         let threads = self
             .eval_threads
-            .unwrap_or_else(gillis_tensor::gemm::gillis_threads)
+            .unwrap_or_else(gillis_pool::gillis_threads)
             .clamp(1, options.len().max(1));
         if threads <= 1 {
             return options.iter().map(|&o| evaluate(o)).collect();
         }
 
-        let mut outcomes: Vec<Option<Result<OptionOutcome>>> =
-            options.iter().map(|_| None).collect();
-        let chunk = options.len().div_ceil(threads);
-        let evaluate = &evaluate;
-        crossbeam::thread::scope(|s| {
-            for (opts, slots) in options.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
-                s.spawn(move || {
-                    for (&option, slot) in opts.iter().zip(slots.iter_mut()) {
-                        *slot = Some(evaluate(option));
-                    }
-                });
-            }
-        });
-        outcomes
-            .into_iter()
-            .map(|o| o.expect("every option slot is filled by its owning thread"))
-            .collect()
+        // Index-ordered slots on the shared pool: slot `i` is written only by
+        // task `i`, so the returned order is independent of scheduling.
+        gillis_pool::Pool::global().run(options.len(), |i| evaluate(options[i]))
     }
 }
 

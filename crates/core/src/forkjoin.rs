@@ -100,6 +100,15 @@ impl<'a> ForkJoinRuntime<'a> {
             .sum()
     }
 
+    /// Samples the master-side delay of exchanging one payload per part with
+    /// `sizes.len()` functions: payload streams serialize over the master's
+    /// egress (one transfer of the total bytes) while the per-invocation
+    /// jitters overlap and cost their maximum. This is *the* fork/join
+    /// model — [`ForkJoinRuntime::simulate_query`] and the fleet path
+    /// ([`ForkJoinRuntime::run_query_at`] / workload serving) both sample
+    /// it, so single-query simulation and fleet serving agree by
+    /// construction, and both match the order-statistic predictor
+    /// (`CommModel::group_transfer_parts_ms`) in expectation.
     fn sample_transfer_parts<R: RngExt + ?Sized>(&self, sizes: &[u64], rng: &mut R) -> f64 {
         let total: u64 = sizes.iter().sum();
         let jitter_max = (0..sizes.len())
@@ -185,12 +194,33 @@ impl<'a> ForkJoinRuntime<'a> {
     }
 
     /// Mean latency over `n` simulated warm queries.
+    ///
+    /// Replications are independent Monte-Carlo draws, each seeded with
+    /// [`replication_seed`]`(seed, i)` and evaluated on the shared
+    /// [`gillis_pool::Pool`]; the sum reduces sequentially in replication
+    /// order, so the result is bit-identical for any `GILLIS_THREADS`.
     pub fn mean_latency_ms(&self, n: usize, seed: u64) -> f64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n.max(1))
-            .map(|_| self.simulate_query(&mut rng).latency_ms)
-            .sum::<f64>()
-            / n.max(1) as f64
+        self.mean_latency_ms_with_threads(n, seed, gillis_pool::gillis_threads())
+    }
+
+    /// [`mean_latency_ms`](Self::mean_latency_ms) with an explicit thread
+    /// count (`threads <= 1` runs inline on the caller).
+    pub fn mean_latency_ms_with_threads(&self, n: usize, seed: u64, threads: usize) -> f64 {
+        let n = n.max(1);
+        let latencies: Vec<f64> = if threads <= 1 || n == 1 {
+            (0..n)
+                .map(|i| {
+                    let mut rng = StdRng::seed_from_u64(replication_seed(seed, i as u64));
+                    self.simulate_query(&mut rng).latency_ms
+                })
+                .collect()
+        } else {
+            gillis_pool::Pool::global().run(n, |i| {
+                let mut rng = StdRng::seed_from_u64(replication_seed(seed, i as u64));
+                self.simulate_query(&mut rng).latency_ms
+            })
+        };
+        latencies.iter().sum::<f64>() / n as f64
     }
 
     /// Deploys the plan's functions into a fleet: one master (holding the
@@ -441,23 +471,24 @@ impl<'a> ForkJoinRuntime<'a> {
                         now += Micros::from_ms(master_compute);
                         continue;
                     }
-                    // Dispatch payloads serially over the master's egress;
-                    // invocation jitter overlaps.
-                    let mut dispatch_done = now;
-                    let mut group_end = now + Micros::from_ms(master_compute);
+                    // Fork: same egress model as `simulate_query` — one
+                    // shared helper, so fleet serving and single-query
+                    // simulation cannot drift apart.
+                    let ins: Vec<u64> = worker_parts.iter().map(|p| p.input_bytes).collect();
+                    let outs: Vec<u64> = worker_parts.iter().map(|p| p.output_bytes).collect();
+                    let dispatched = now + Micros::from_ms(self.sample_transfer_parts(&ins, rng));
+                    let mut compute_end = dispatched + Micros::from_ms(master_compute);
                     for (pi, p) in worker_parts.iter().enumerate() {
                         let fname = format!("g{gi}p{}", pi + offset);
-                        dispatch_done += Micros::from_ms(self.platform.transfer_ms(p.input_bytes));
                         // Invoke with retries: a failed attempt bills its
                         // partial duration, releases the instance, and the
-                        // master re-invokes (possibly on a fresh instance).
-                        let mut attempt_at = dispatch_done;
+                        // master re-invokes (possibly on a fresh instance)
+                        // after a fresh jitter draw.
+                        let mut attempt_at = dispatched;
                         let mut local_attempts = 0u32;
                         let end = loop {
-                            let jitter =
-                                Micros::from_ms(self.platform.invoke_latency_ms.sample(rng));
-                            let acq = fleet.acquire(&fname, attempt_at + jitter)?;
-                            let work_start = acq.ready_at.max(attempt_at + jitter);
+                            let acq = fleet.acquire(&fname, attempt_at)?;
+                            let work_start = acq.ready_at.max(attempt_at);
                             let compute = Micros::from_ms(self.sample_compute_ms(p, rng));
                             let failed = self.platform.invocation_failure_rate > 0.0
                                 && local_attempts < MAX_ATTEMPTS - 1
@@ -471,23 +502,26 @@ impl<'a> ForkJoinRuntime<'a> {
                                     self.platform.instance_memory_bytes,
                                 );
                                 fleet.release(&fname, crash)?;
-                                attempt_at = crash;
+                                attempt_at = crash
+                                    + Micros::from_ms(self.platform.invoke_latency_ms.sample(rng));
                                 continue;
                             }
-                            let reply = Micros::from_ms(self.platform.transfer_ms(p.output_bytes));
-                            let end = work_start + compute + reply;
+                            let end = work_start + compute;
+                            // Billed from payload receipt to response
+                            // emission, as in `QueryOutcome::worker_ms`.
                             billing.record(
-                                (end - work_start).as_ms(),
+                                (end - work_start).as_ms()
+                                    + self.platform.transfer_ms(p.input_bytes + p.output_bytes),
                                 self.platform.instance_memory_bytes,
                             );
                             fleet.release(&fname, end)?;
                             break end;
                         };
-                        group_end = group_end.max(end);
+                        compute_end = compute_end.max(end);
                     }
-                    // Collection jitter on the way back.
-                    let join_jitter = Micros::from_ms(self.platform.invoke_latency_ms.sample(rng));
-                    now = group_end.max(dispatch_done) + join_jitter;
+                    // Join: collection jitter + serialized replies, again via
+                    // the shared helper.
+                    now = compute_end + Micros::from_ms(self.sample_transfer_parts(&outs, rng));
                 }
             }
         }
@@ -500,11 +534,31 @@ impl<'a> ForkJoinRuntime<'a> {
     }
 }
 
+/// Derives the RNG seed for Monte-Carlo replication `index` of a run keyed
+/// by `seed` (splitmix64 finalizer). Replications get decorrelated streams
+/// that depend only on `(seed, index)` — never on which thread runs them —
+/// so parallel simulation and training stay bit-identical at any pool width.
+#[must_use]
+pub fn replication_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Executes a plan with real tensor math: for each group, slices the input
 /// according to the partition option (halo rows for spatial splits, whole
 /// input for weight splits), runs every partition through the reference
 /// executor, and stitches the outputs back together. The result must equal
 /// the unpartitioned forward pass — Gillis's no-accuracy-loss property.
+///
+/// Partitions within a [`PartitionOption::Split`] group are independent (they
+/// read the shared group input and each produces a disjoint output slice), so
+/// they run concurrently on the shared [`gillis_pool::Pool`]; pieces are
+/// collected and concatenated in range order, making the output bit-identical
+/// to the sequential path.
 ///
 /// # Errors
 ///
@@ -516,6 +570,23 @@ pub fn execute_plan_tensors(
     weights: &ModelWeights,
     input: &Tensor,
 ) -> Result<Tensor> {
+    execute_plan_tensors_with_threads(model, plan, weights, input, gillis_pool::gillis_threads())
+}
+
+/// [`execute_plan_tensors`] with an explicit thread count (`threads <= 1`
+/// runs every partition inline on the caller).
+///
+/// # Errors
+///
+/// Propagates executor errors; returns [`crate::CoreError::InvalidPlan`] if the
+/// plan does not validate against the model.
+pub fn execute_plan_tensors_with_threads(
+    model: &LinearModel,
+    plan: &ExecutionPlan,
+    weights: &ModelWeights,
+    input: &Tensor,
+    threads: usize,
+) -> Result<Tensor> {
     plan.validate(model, u64::MAX)?;
     let exec = Executor::new(model.graph(), weights);
     let mut cur = input.clone();
@@ -523,32 +594,33 @@ pub fn execute_plan_tensors(
         let layers = &model.layers()[g.start..g.end];
         cur = match g.option {
             PartitionOption::Single => exec.run_segment(layers, &cur)?,
-            PartitionOption::Split { dim, parts } => match dim {
-                PartDim::Height => {
-                    let out_h = layers[layers.len() - 1].out_shape.dims()[1];
-                    let mut pieces = Vec::with_capacity(parts);
-                    for r in balanced_ranges(out_h, parts) {
-                        pieces.push(exec.run_segment_rows(layers, &cur, r)?);
-                    }
-                    Tensor::concat(&pieces, 1).map_err(gillis_model::ModelError::from)?
+            PartitionOption::Split { dim, parts } => {
+                let (axis, total) = match dim {
+                    PartDim::Height => (1usize, layers[layers.len() - 1].out_shape.dims()[1]),
+                    PartDim::Width => (2usize, layers[layers.len() - 1].out_shape.dims()[2]),
+                    PartDim::Channel => (0usize, layers[layers.len() - 1].out_shape.dims()[0]),
+                };
+                let ranges = balanced_ranges(total, parts);
+                let run_piece = |r: std::ops::Range<usize>| match dim {
+                    PartDim::Height => exec.run_segment_rows(layers, &cur, r),
+                    PartDim::Width => exec.run_segment_cols(layers, &cur, r),
+                    PartDim::Channel => exec.run_segment_channels(layers, &cur, r),
+                };
+                let results: Vec<gillis_model::Result<Tensor>> = if threads <= 1
+                    || ranges.len() <= 1
+                {
+                    ranges.into_iter().map(run_piece).collect()
+                } else {
+                    gillis_pool::Pool::global().run(ranges.len(), |i| run_piece(ranges[i].clone()))
+                };
+                // Surface the first error in partition order, matching the
+                // sequential path's early return.
+                let mut pieces = Vec::with_capacity(results.len());
+                for r in results {
+                    pieces.push(r?);
                 }
-                PartDim::Width => {
-                    let out_w = layers[layers.len() - 1].out_shape.dims()[2];
-                    let mut pieces = Vec::with_capacity(parts);
-                    for r in balanced_ranges(out_w, parts) {
-                        pieces.push(exec.run_segment_cols(layers, &cur, r)?);
-                    }
-                    Tensor::concat(&pieces, 2).map_err(gillis_model::ModelError::from)?
-                }
-                PartDim::Channel => {
-                    let out_c = layers[layers.len() - 1].out_shape.dims()[0];
-                    let mut pieces = Vec::with_capacity(parts);
-                    for r in balanced_ranges(out_c, parts) {
-                        pieces.push(exec.run_segment_channels(layers, &cur, r)?);
-                    }
-                    Tensor::concat(&pieces, 0).map_err(gillis_model::ModelError::from)?
-                }
-            },
+                Tensor::concat(&pieces, axis).map_err(gillis_model::ModelError::from)?
+            }
         };
     }
     Ok(cur)
@@ -643,6 +715,60 @@ mod tests {
         let plan = ExecutionPlan::new(groups);
         let out = execute_plan_tensors(&tiny, &plan, &weights, &input).unwrap();
         assert!(full.max_abs_diff(&out).unwrap() < 1e-4);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+
+        /// Tentpole determinism contract: the pooled tensor path produces
+        /// *bit-identical* floats to the sequential path for any thread
+        /// count, because partitions own disjoint output slices and are
+        /// concatenated in range order.
+        #[test]
+        fn plan_execution_is_bit_identical_across_thread_counts(
+            (weight_seed, input_scale) in (0u64..1000, 1usize..5),
+        ) {
+            let tiny = zoo::tiny_vgg();
+            let weights = init_weights(tiny.graph(), weight_seed).unwrap();
+            let input = Tensor::from_fn(tiny.input_shape().clone(), |i| {
+                ((i % (7 * input_scale)) as f32 - 3.0) / (4.0 * input_scale as f32)
+            });
+            let platform = PlatformProfile::aws_lambda();
+            let perf = PerfModel::analytic(&platform);
+            let config = PartitionerConfig {
+                degrees: vec![2, 4],
+                ..PartitionerConfig::default()
+            };
+            let plan = DpPartitioner::new(config).partition(&tiny, &perf).unwrap();
+            let seq = execute_plan_tensors_with_threads(&tiny, &plan, &weights, &input, 1).unwrap();
+            for threads in [2usize, 8] {
+                let par =
+                    execute_plan_tensors_with_threads(&tiny, &plan, &weights, &input, threads)
+                        .unwrap();
+                proptest::prop_assert_eq!(seq.data().len(), par.data().len());
+                for (a, b) in seq.data().iter().zip(par.data()) {
+                    proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+
+        /// Monte-Carlo replications are seeded per index, so the simulated
+        /// mean is bit-identical for any thread count.
+        #[test]
+        fn mean_latency_is_bit_identical_across_thread_counts(
+            (seed, n) in (0u64..1000, 1usize..60),
+        ) {
+            let platform = PlatformProfile::aws_lambda();
+            let perf = PerfModel::analytic(&platform);
+            let vgg = zoo::vgg11();
+            let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+            let runtime = ForkJoinRuntime::new(&vgg, &plan, platform).unwrap();
+            let seq = runtime.mean_latency_ms_with_threads(n, seed, 1);
+            for threads in [2usize, 8] {
+                let par = runtime.mean_latency_ms_with_threads(n, seed, threads);
+                proptest::prop_assert_eq!(seq.to_bits(), par.to_bits());
+            }
+        }
     }
 
     #[test]

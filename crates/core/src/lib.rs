@@ -50,7 +50,10 @@ pub mod tail;
 pub use cache::{CacheStats, EvalCache};
 pub use dp::{DpPartitioner, GroupEval, PartitionerConfig};
 pub use error::CoreError;
-pub use forkjoin::{execute_plan_tensors, ForkJoinRuntime, QueryOutcome, ServingReport};
+pub use forkjoin::{
+    execute_plan_tensors, execute_plan_tensors_with_threads, replication_seed, ForkJoinRuntime,
+    QueryOutcome, ServingReport,
+};
 pub use partition::{
     analyze_group, analyze_group_with, group_options, ModelFlops, PartDim, PartitionOption,
 };

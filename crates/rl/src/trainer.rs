@@ -53,6 +53,10 @@ pub struct SloAwareConfig {
     pub entropy_beta: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Threads for batch episode rollouts; `None` uses
+    /// [`gillis_pool::gillis_threads`]. Training is bit-identical for any
+    /// value: episodes are seeded individually and reduced in order.
+    pub threads: Option<usize>,
 }
 
 impl Default for SloAwareConfig {
@@ -69,6 +73,7 @@ impl Default for SloAwareConfig {
             tail_samples: 300,
             entropy_beta: 0.01,
             seed: 0,
+            threads: None,
         }
     }
 }
@@ -93,6 +98,10 @@ enum Step {
     Option(Forward, Vec<f64>, usize),
     Placer(Forward, Vec<f64>, usize),
 }
+
+/// One rolled-out episode: its decisions plus, when the sampled strategy was
+/// feasible and predictable, `(slo_latency, prediction, plan)`.
+type Rollout = (Vec<Step>, Option<(f64, PlanPrediction, ExecutionPlan)>);
 
 /// Trains the hierarchical policy and returns the best SLO-compliant plan.
 ///
@@ -170,37 +179,64 @@ pub fn slo_aware_partition(
     let mut go = agents.option.zero_grads();
     let mut gp = agents.placer.zero_grads();
     let mut batch_steps: Vec<(Vec<Step>, f64)> = Vec::new();
+    let threads = config.threads.unwrap_or_else(gillis_pool::gillis_threads);
 
-    for episode in 0..config.episodes {
-        let (steps, plan) = sample_episode(model, &agents, budget, &cache, &mut rng);
-        let reward = match &plan {
-            Some(plan) => match predict_plan_cached(model, plan, perf, &cache) {
-                Ok(pred) => {
-                    let latency = slo_latency(plan, &pred);
-                    let r = if latency <= config.t_max_ms {
+    let mut episode = 0;
+    while episode < config.episodes {
+        let batch_len = config.batch.max(1).min(config.episodes - episode);
+        // Roll out the batch on the shared pool: the policy is frozen until
+        // the gradient update below, so episodes within a batch are
+        // independent given their per-episode seeds. The reward model
+        // (prediction + SLO check) runs inside the rollout; the incumbent
+        // update and gradient accumulation reduce sequentially in episode
+        // order, keeping training bit-identical for any thread count.
+        let rollout = |i: usize| {
+            let mut ep_rng = StdRng::seed_from_u64(gillis_core::replication_seed(
+                config.seed,
+                (episode + i) as u64,
+            ));
+            let (steps, plan) = sample_episode(model, &agents, budget, &cache, &mut ep_rng);
+            // `None` covers both OOM attempts (no feasible option for a
+            // sampled group) and unpredictable plans; both draw the penalty.
+            let outcome = plan.and_then(|plan| {
+                let pred = predict_plan_cached(model, &plan, perf, &cache).ok()?;
+                let latency = slo_latency(&plan, &pred);
+                Some((latency, pred, plan))
+            });
+            (steps, outcome)
+        };
+        let rollouts: Vec<Rollout> = if threads <= 1 || batch_len == 1 {
+            (0..batch_len).map(rollout).collect()
+        } else {
+            gillis_pool::Pool::global().run(batch_len, rollout)
+        };
+        episode += batch_len;
+        for (steps, outcome) in rollouts {
+            let reward = match &outcome {
+                Some((latency, pred, _)) => {
+                    if *latency <= config.t_max_ms {
                         (b - pred.billed_ms as f64) / 1000.0
                     } else {
                         (config.t_max_ms - latency) / 1000.0
-                    };
-                    if latency <= config.t_max_ms {
-                        let better = best
-                            .as_ref()
-                            .map(|(c, _, _)| (pred.billed_ms as f64) < *c)
-                            .unwrap_or(true);
-                        if better {
-                            best = Some((pred.billed_ms as f64, plan.clone(), pred));
-                        }
                     }
-                    r
                 }
-                Err(_) => -config.oom_penalty,
-            },
-            // No memory-feasible option existed for some sampled group.
-            None => -config.oom_penalty,
-        };
-        batch_steps.push((steps, reward));
+                None => -config.oom_penalty,
+            };
+            if let Some((latency, pred, plan)) = outcome {
+                if latency <= config.t_max_ms {
+                    let better = best
+                        .as_ref()
+                        .map(|(c, _, _)| (pred.billed_ms as f64) < *c)
+                        .unwrap_or(true);
+                    if better {
+                        best = Some((pred.billed_ms as f64, plan, pred));
+                    }
+                }
+            }
+            batch_steps.push((steps, reward));
+        }
 
-        if batch_steps.len() == config.batch || episode + 1 == config.episodes {
+        {
             let mean_reward: f64 =
                 batch_steps.iter().map(|(_, r)| r).sum::<f64>() / batch_steps.len() as f64;
             if !baseline_init {
@@ -413,6 +449,38 @@ mod tests {
         let b = slo_aware_partition(&tiny, &perf, &quick_config(500.0)).unwrap();
         assert_eq!(a.plan, b.plan);
         assert_eq!(a.reward_history, b.reward_history);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(3))]
+
+        /// Episodes are seeded individually and reduced in order, so the
+        /// trained policy — plan, prediction, and the full reward curve —
+        /// is bit-identical for any rollout thread count.
+        #[test]
+        fn training_is_bit_identical_across_thread_counts(seed in 0u64..100) {
+            let platform = PlatformProfile::aws_lambda();
+            let perf = PerfModel::analytic(&platform);
+            let tiny = zoo::tiny_vgg();
+            let config = |threads: usize| SloAwareConfig {
+                threads: Some(threads),
+                seed,
+                ..quick_config(500.0)
+            };
+            let seq = slo_aware_partition(&tiny, &perf, &config(1)).unwrap();
+            for threads in [2usize, 8] {
+                let par = slo_aware_partition(&tiny, &perf, &config(threads)).unwrap();
+                proptest::prop_assert_eq!(&seq.plan, &par.plan);
+                proptest::prop_assert_eq!(seq.predicted.billed_ms, par.predicted.billed_ms);
+                proptest::prop_assert_eq!(
+                    seq.reward_history.len(),
+                    par.reward_history.len()
+                );
+                for (a, b) in seq.reward_history.iter().zip(&par.reward_history) {
+                    proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,30 +15,45 @@
 //! is exactly the accumulation order of the reference convolution kernel, so
 //! the im2col path reproduces it to the last bit (padding taps contribute
 //! explicit `±0.0` additions, which only affect the sign of zero).
+//!
+//! # Threading
+//!
+//! Multi-threaded paths run on the process-wide persistent pool
+//! ([`gillis_pool::Pool::global`]) instead of spawning OS threads per call.
+//! Small problems skip the pool entirely: below the measured thresholds
+//! [`GEMM_PAR_MIN_MNK`] / [`GEMV_PAR_MIN_CELLS`] the dispatch overhead
+//! exceeds the parallel win, so [`gemm`] and [`gemv`] stay on the calling
+//! thread (the explicit `*_with_threads` entry points honour the caller's
+//! count unconditionally — results are bit-identical either way).
 
-use std::sync::OnceLock;
+use gillis_pool::{Pool, Task};
 
 /// k-dimension block: one panel of `B` rows kept hot across the row sweep.
 const KC: usize = 128;
 /// n-dimension block: keeps a `KC`×`NC` panel of `B` (~512 KiB) cache-resident.
 const NC: usize = 1024;
 
-/// Worker-thread count for the kernels in this crate: the `GILLIS_THREADS`
-/// environment variable if set to a positive integer, otherwise the machine's
-/// available parallelism. Read once and cached for the process lifetime.
+/// Small-GEMM cutoff on `m·n·k` (multiply-add count). Below this the whole
+/// product finishes in roughly the time a pool round trip costs, so [`gemm`]
+/// stays single-threaded. `128·32·32 = 131072` MACs is ~60–100 µs of blocked
+/// kernel on one core — comfortably above batch-dispatch latency but small
+/// enough that splitting it buys nothing. Fixes the dense/LSTM small-matmul
+/// regression margin observed in `BENCH_tensor.json` before thresholds.
+pub const GEMM_PAR_MIN_MNK: usize = 1 << 17;
+
+/// Small-GEMV cutoff on `rows·cols` (weight cells). A matrix–vector product
+/// is memory-bound — one pass over the weight matrix — so the parallel win
+/// only covers dispatch once the matrix is a few megabytes. `1 << 19` cells
+/// (2 MiB of f32 weights) keeps the LSTM gate GEMVs (`1024×256`) and other
+/// sub-megabyte products on the calling thread while the VGG classifier
+/// head (`1000×4096`, 16 MiB) still fans out.
+pub const GEMV_PAR_MIN_CELLS: usize = 1 << 19;
+
+/// Worker-thread count for the kernels in this crate — re-exported from
+/// [`gillis_pool::gillis_threads`] (the `GILLIS_THREADS` environment
+/// variable, or the machine's available parallelism).
 pub fn gillis_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::env::var("GILLIS_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-    })
+    gillis_pool::gillis_threads()
 }
 
 /// `C += A·B` with `A` row-major `m`×`k`, `B` row-major `k`×`n`, `C`
@@ -53,7 +68,12 @@ pub fn gillis_threads() -> usize {
 ///
 /// Panics if the slice lengths do not match the given dimensions.
 pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    gemm_with_threads(m, n, k, a, b, c, gillis_threads());
+    let threads = if m.saturating_mul(n).saturating_mul(k) < GEMM_PAR_MIN_MNK {
+        1
+    } else {
+        gillis_threads()
+    };
+    gemm_with_threads(m, n, k, a, b, c, threads);
 }
 
 /// [`gemm`] with an explicit worker count — the entry point tests use to
@@ -83,14 +103,17 @@ pub fn gemm_with_threads(
         gemm_rows(n, k, a, b, c);
         return;
     }
-    // Contiguous row chunks, one per worker: each output element is owned by
-    // exactly one thread, so the reduction order never depends on scheduling.
+    // Contiguous row chunks, one per task: each output element is owned by
+    // exactly one task, so the reduction order never depends on scheduling.
     let rows_per = m.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (a_chunk, c_chunk) in a.chunks(rows_per * k).zip(c.chunks_mut(rows_per * n)) {
-            s.spawn(move || gemm_rows(n, k, a_chunk, b, c_chunk));
-        }
-    });
+    let tasks: Vec<Task> = a
+        .chunks(rows_per * k)
+        .zip(c.chunks_mut(rows_per * n))
+        .map(|(a_chunk, c_chunk)| -> Task {
+            Box::new(move || gemm_rows(n, k, a_chunk, b, c_chunk))
+        })
+        .collect();
+    Pool::global().join_all(tasks);
 }
 
 /// Sequential blocked kernel over a contiguous chunk of output rows.
@@ -138,23 +161,49 @@ fn gemm_rows(n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
 ///
 /// Panics if the slice lengths do not match the given dimensions.
 pub fn gemv(rows: usize, cols: usize, w: &[f32], x: &[f32], out: &mut [f32]) {
+    let threads = if rows.saturating_mul(cols) < GEMV_PAR_MIN_CELLS {
+        1
+    } else {
+        gillis_threads()
+    };
+    gemv_with_threads(rows, cols, w, x, out, threads);
+}
+
+/// [`gemv`] with an explicit worker count, bypassing the small-work
+/// threshold — the entry point tests use to check bit-identical results
+/// across thread counts.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemv_with_threads(
+    rows: usize,
+    cols: usize,
+    w: &[f32],
+    x: &[f32],
+    out: &mut [f32],
+    threads: usize,
+) {
     assert_eq!(w.len(), rows * cols, "W must be rows*cols");
     assert_eq!(x.len(), cols, "x must be cols");
     assert_eq!(out.len(), rows, "out must be rows");
     if rows == 0 || cols == 0 {
         return;
     }
-    let threads = gillis_threads().clamp(1, rows);
+    let threads = threads.clamp(1, rows);
     if threads == 1 {
         gemv_rows(cols, w, x, out);
         return;
     }
     let rows_per = rows.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (w_chunk, out_chunk) in w.chunks(rows_per * cols).zip(out.chunks_mut(rows_per)) {
-            s.spawn(move || gemv_rows(cols, w_chunk, x, out_chunk));
-        }
-    });
+    let tasks: Vec<Task> = w
+        .chunks(rows_per * cols)
+        .zip(out.chunks_mut(rows_per))
+        .map(|(w_chunk, out_chunk)| -> Task {
+            Box::new(move || gemv_rows(cols, w_chunk, x, out_chunk))
+        })
+        .collect();
+    Pool::global().join_all(tasks);
 }
 
 fn gemv_rows(cols: usize, w: &[f32], x: &[f32], out: &mut [f32]) {
@@ -348,6 +397,27 @@ mod tests {
             prop_assert_eq!(
                 c1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 c8.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
+        #[test]
+        fn gemv_is_bit_identical_across_thread_counts(
+            (rows, cols) in (1usize..24, 1usize..40),
+            seed in 0u32..1000,
+        ) {
+            let w: Vec<f32> = (0..rows * cols)
+                .map(|i| ((i as u32 ^ seed).wrapping_mul(2891336453) % 1009) as f32 * 1e-3 - 0.5)
+                .collect();
+            let x: Vec<f32> = (0..cols)
+                .map(|i| ((i as u32 ^ seed).wrapping_mul(1181783497) % 1013) as f32 * 1e-3 - 0.5)
+                .collect();
+            let mut out1 = vec![0.125f32; rows];
+            let mut out8 = out1.clone();
+            gemv_with_threads(rows, cols, &w, &x, &mut out1, 1);
+            gemv_with_threads(rows, cols, &w, &x, &mut out8, 8);
+            prop_assert_eq!(
+                out1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out8.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
             );
         }
 

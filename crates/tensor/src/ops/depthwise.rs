@@ -113,17 +113,30 @@ pub fn depthwise_conv2d(
             );
         }
     };
-    let threads = gemm::gillis_threads().clamp(1, c);
+    // Small-work threshold: below ~GEMM_PAR_MIN_MNK multiply-adds for the
+    // whole layer, pool dispatch costs more than the split saves.
+    let total_macs = c
+        .saturating_mul(n_dim)
+        .saturating_mul(k_plane)
+        .saturating_mul(2);
+    let threads = if total_macs < gemm::GEMM_PAR_MIN_MNK {
+        1
+    } else {
+        gemm::gillis_threads().clamp(1, c)
+    };
     if threads == 1 {
         channel_block(0, &mut out);
     } else {
         let per = c.div_ceil(threads);
-        crossbeam::thread::scope(|s| {
-            for (b_idx, out_block) in out.chunks_mut(per * n_dim).enumerate() {
-                let channel_block = &channel_block;
-                s.spawn(move || channel_block(b_idx * per, out_block));
-            }
-        });
+        let channel_block = &channel_block;
+        let tasks: Vec<gillis_pool::Task> = out
+            .chunks_mut(per * n_dim)
+            .enumerate()
+            .map(|(b_idx, out_block)| -> gillis_pool::Task {
+                Box::new(move || channel_block(b_idx * per, out_block))
+            })
+            .collect();
+        gillis_pool::Pool::global().join_all(tasks);
     }
     Tensor::from_vec(Shape::new(vec![c, out_h, out_w]), out)
 }

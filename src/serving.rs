@@ -23,14 +23,16 @@
 //! ```
 
 use gillis_core::{
-    predict_plan, CoreError, DpPartitioner, ExecutionPlan, ForkJoinRuntime, PartitionerConfig,
-    PlanPrediction, ServingReport,
+    execute_plan_tensors, predict_plan, CoreError, DpPartitioner, ExecutionPlan, ForkJoinRuntime,
+    PartitionerConfig, PlanPrediction, ServingReport,
 };
 use gillis_faas::workload::ClosedLoop;
 use gillis_faas::PlatformProfile;
+use gillis_model::weights::ModelWeights;
 use gillis_model::LinearModel;
 use gillis_perf::PerfModel;
 use gillis_rl::{slo_aware_partition, SloAwareConfig};
+use gillis_tensor::Tensor;
 
 /// A zoo entry: model name and its constructor.
 pub type ModelEntry = (&'static str, fn() -> LinearModel);
@@ -248,6 +250,21 @@ impl Deployment {
         self.plan.describe(&self.model)
     }
 
+    /// Runs one real inference through the partitioned plan: slices `input`
+    /// per group, executes the worker partitions concurrently on the shared
+    /// thread pool ([`gillis_core::execute_plan_tensors`]), and stitches the
+    /// outputs. The result is bit-identical to the unpartitioned forward
+    /// pass — Gillis's no-accuracy-loss property, now also exercised through
+    /// the facade.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor and plan-validation errors (e.g. an input whose
+    /// shape does not match the model).
+    pub fn infer(&self, weights: &ModelWeights, input: &Tensor) -> Result<Tensor, CoreError> {
+        execute_plan_tensors(&self.model, &self.plan, weights, input)
+    }
+
     /// Mean warm-query latency over `n` simulated queries.
     pub fn mean_latency_ms(&self, n: usize, seed: u64) -> f64 {
         ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())
@@ -318,6 +335,24 @@ mod tests {
             .deploy()
             .unwrap();
         assert!(d.predicted().latency_ms <= budget);
+    }
+
+    #[test]
+    fn deployment_inference_matches_unpartitioned_forward() {
+        use gillis_model::exec::Executor;
+        use gillis_model::weights::init_weights;
+
+        let tiny = zoo::tiny_vgg();
+        let d = Gillis::new(tiny.clone()).deploy().unwrap();
+        let weights = init_weights(tiny.graph(), 9).unwrap();
+        let input = Tensor::from_fn(tiny.input_shape().clone(), |i| {
+            ((i % 13) as f32 - 6.0) / 6.0
+        });
+        let partitioned = d.infer(&weights, &input).unwrap();
+        let reference = Executor::new(tiny.graph(), &weights)
+            .forward(&tiny, &input)
+            .unwrap();
+        assert!(reference.max_abs_diff(&partitioned).unwrap() < 1e-4);
     }
 
     #[test]
