@@ -13,7 +13,7 @@
 //!   into the Gillis deployment.
 
 use gillis_bench::Table;
-use gillis_core::{DpPartitioner, ForkJoinRuntime};
+use gillis_core::{DpPartitioner, ForkJoinRuntime, ResilienceCounters};
 use gillis_faas::billing::BillingMeter;
 use gillis_faas::fleet::Fleet;
 use gillis_faas::metrics::LatencyStats;
@@ -66,7 +66,7 @@ fn main() {
     // function; the pool is sized for the base rate (16 q/s x 0.14 s ~ 2.3
     // busy VMs, provision 4 for headroom).
     let vm_service_ms = perf.layer.predict_model_ms(&model) / 2.0;
-    let queries = arrivals(7);
+    let queries = arrivals(gillis_bench::bench_seed(7));
     let span = *queries.last().expect("non-empty workload");
 
     let mut table = Table::new(&[
@@ -103,11 +103,18 @@ fn main() {
         let mut billing =
             BillingMeter::new(1, platform.price_per_gb_s, platform.price_per_invocation);
         let mut stats = LatencyStats::new();
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut retries = 0;
-        for &t in &queries {
+        let mut rng = StdRng::seed_from_u64(gillis_bench::bench_seed(3));
+        let mut counters = ResilienceCounters::default();
+        for (q, &t) in queries.iter().enumerate() {
             let done = rt
-                .run_query_at(&mut fleet, &mut billing, t, &mut rng, &mut retries)
+                .run_query_at(
+                    &mut fleet,
+                    &mut billing,
+                    t,
+                    &mut rng,
+                    q as u64,
+                    &mut counters,
+                )
                 .expect("query");
             stats.record((done - t).as_ms());
         }
@@ -129,10 +136,10 @@ fn main() {
         let mut billing =
             BillingMeter::new(1, platform.price_per_gb_s, platform.price_per_invocation);
         let mut stats = LatencyStats::new();
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut retries = 0;
+        let mut rng = StdRng::seed_from_u64(gillis_bench::bench_seed(3));
+        let mut counters = ResilienceCounters::default();
         let mut offloaded = 0u64;
-        for &t in &queries {
+        for (q, &t) in queries.iter().enumerate() {
             let wait = pool.earliest_start(t).saturating_sub(t);
             if wait <= Micros::from_ms(50.0) {
                 let s = pool.serve(t);
@@ -140,7 +147,14 @@ fn main() {
             } else {
                 offloaded += 1;
                 let done = rt
-                    .run_query_at(&mut fleet, &mut billing, t, &mut rng, &mut retries)
+                    .run_query_at(
+                        &mut fleet,
+                        &mut billing,
+                        t,
+                        &mut rng,
+                        q as u64,
+                        &mut counters,
+                    )
                     .expect("query");
                 stats.record((done - t).as_ms());
             }

@@ -6,7 +6,7 @@
 //! and without pre-warming and reports the first-wave penalty.
 
 use gillis_bench::Table;
-use gillis_core::{DpPartitioner, ForkJoinRuntime};
+use gillis_core::{DpPartitioner, ForkJoinRuntime, ResilienceCounters};
 use gillis_faas::billing::BillingMeter;
 use gillis_faas::fleet::Fleet;
 use gillis_faas::{Micros, PlatformProfile};
@@ -30,13 +30,13 @@ fn main() {
     let mut fleet = Fleet::new(platform.clone());
     rt.deploy(&mut fleet).expect("deploy");
     let mut billing = BillingMeter::new(1, platform.price_per_gb_s, platform.price_per_invocation);
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = StdRng::seed_from_u64(gillis_bench::bench_seed(11));
     let mut t = Micros::ZERO;
     let mut latencies = Vec::new();
-    let mut retries = 0;
-    for _ in 0..20 {
+    let mut counters = ResilienceCounters::default();
+    for q in 0..20u64 {
         let done = rt
-            .run_query_at(&mut fleet, &mut billing, t, &mut rng, &mut retries)
+            .run_query_at(&mut fleet, &mut billing, t, &mut rng, q, &mut counters)
             .expect("query");
         latencies.push((done - t).as_ms());
         t = done;

@@ -123,6 +123,17 @@ pub fn measure_latency_optimal(
     }
 }
 
+/// The RNG seed a benchmark binary should use: `GILLIS_BENCH_SEED` from the
+/// environment when set (and parseable as `u64`), else `default`. Every
+/// `fig*`/`ext_*` binary routes its seeds through this, so a whole benchmark
+/// run can be re-rolled (or pinned in CI) without touching code.
+pub fn bench_seed(default: u64) -> u64 {
+    std::env::var("GILLIS_BENCH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Formats milliseconds compactly.
 pub fn ms(v: f64) -> String {
     format!("{v:.0}")
@@ -175,5 +186,13 @@ mod tests {
         assert_eq!(ms(123.4), "123");
         assert_eq!(speedup(Some(1.234)), "1.23x");
         assert_eq!(speedup(None), "-");
+    }
+
+    #[test]
+    fn bench_seed_falls_back_to_default() {
+        // The env var is not set under `cargo test`; the default wins.
+        if std::env::var("GILLIS_BENCH_SEED").is_err() {
+            assert_eq!(bench_seed(42), 42);
+        }
     }
 }

@@ -24,6 +24,28 @@ pub enum CoreError {
     },
     /// An argument was structurally invalid.
     InvalidArgument(String),
+    /// A worker partition exhausted its retry budget and graceful
+    /// degradation (master-local recompute) was disabled.
+    WorkerFailed {
+        /// Plan group index.
+        group: usize,
+        /// Partition index within the group.
+        part: usize,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+        /// What the last failure looked like.
+        reason: String,
+    },
+    /// A worker panicked and the panic payload was not an injected fault —
+    /// a genuine executor bug surfaced at the join.
+    WorkerPanic {
+        /// Plan group index.
+        group: usize,
+        /// Partition index within the group.
+        part: usize,
+        /// The panic message, if it was a string.
+        message: String,
+    },
     /// Error from the model layer.
     Model(ModelError),
     /// Error from the platform simulator.
@@ -42,6 +64,23 @@ impl fmt::Display for CoreError {
                 "out of memory: {required} bytes required, {budget} bytes available"
             ),
             CoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            CoreError::WorkerFailed {
+                group,
+                part,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "worker for group {group} part {part} failed after {attempts} attempts: {reason}"
+            ),
+            CoreError::WorkerPanic {
+                group,
+                part,
+                message,
+            } => write!(
+                f,
+                "worker for group {group} part {part} panicked: {message}"
+            ),
             CoreError::Model(e) => write!(f, "model error: {e}"),
             CoreError::Faas(e) => write!(f, "platform error: {e}"),
             CoreError::Perf(e) => write!(f, "performance model error: {e}"),
@@ -100,5 +139,18 @@ mod tests {
         };
         assert!(e.to_string().contains("out of memory"));
         assert!(std::error::Error::source(&e).is_none());
+        let e = CoreError::WorkerFailed {
+            group: 2,
+            part: 1,
+            attempts: 4,
+            reason: "injected crash".into(),
+        };
+        assert!(e.to_string().contains("failed after 4 attempts"));
+        let e = CoreError::WorkerPanic {
+            group: 0,
+            part: 3,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("panicked: boom"));
     }
 }

@@ -12,11 +12,26 @@
 //! - [`execute_plan_tensors`] — runs the plan with *real tensor math*
 //!   (slicing inputs with halos, running partitions, stitching outputs),
 //!   proving the plan is semantics-preserving.
+//!
+//! # Failure model
+//!
+//! Both the simulated paths and the real tensor path share one fault model:
+//! a [`FaultInjector`] samples per-execution faults as a pure function of
+//! the execution's identity ([`FaultSite`]), and a [`ResiliencePolicy`]
+//! decides what the master does about them — retries with exponential
+//! backoff, per-attempt timeouts, hedged duplicates, and (on budget
+//! exhaustion) graceful degradation: the master recomputes the failed shard
+//! locally instead of pretending a final attempt always succeeds. Outcomes
+//! are counted honestly in [`ResilienceCounters`]. The master itself is
+//! assumed reliable — only worker invocations fault.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use gillis_faas::billing::BillingMeter;
+use gillis_faas::chaos::{
+    ChaosConfig, Fault, FaultInjector, FaultSite, QueryStatus, ResilienceCounters, ResiliencePolicy,
+};
 use gillis_faas::des::EventQueue;
 use gillis_faas::fleet::{Fleet, FunctionSpec};
 use gillis_faas::metrics::LatencyStats;
@@ -27,9 +42,15 @@ use gillis_model::weights::ModelWeights;
 use gillis_model::LinearModel;
 use gillis_tensor::Tensor;
 
+use crate::error::CoreError;
 use crate::partition::{balanced_ranges, GroupAnalysis, PartDim, PartitionOption, PartitionWork};
 use crate::plan::{ExecutionPlan, Placement};
 use crate::Result;
+
+/// Seed of the injector derived from the legacy
+/// `PlatformProfile::invocation_failure_rate` knob, so profiles that only
+/// set a failure rate keep getting deterministic faults.
+const LEGACY_FAILURE_SEED: u64 = 0xFA11_5EED;
 
 /// Outcome of a single simulated query.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,26 +61,57 @@ pub struct QueryOutcome {
     pub group_ms: Vec<(f64, f64, f64)>,
     /// Durations of every worker execution, for billing.
     pub worker_ms: Vec<f64>,
-    /// Worker invocations that failed and were retried by the master.
-    pub retries: u64,
+    /// How the query ended.
+    pub status: QueryStatus,
+    /// Retry/hedge/timeout/degradation accounting for this query (the
+    /// per-run `*_queries` tallies stay zero here; `status` carries the
+    /// query's own terminal state).
+    pub resilience: ResilienceCounters,
 }
 
-/// Retry budget per worker invocation. The final attempt is treated as
-/// successful so a query always completes; with realistic failure rates the
-/// probability of exhausting the budget is negligible.
-const MAX_ATTEMPTS: u32 = 4;
-
-/// Result of serving a closed-loop workload.
+/// Result of serving a workload.
 #[derive(Debug, Clone)]
 pub struct ServingReport {
-    /// Query latency distribution.
+    /// Query latency distribution (failed queries record their error
+    /// response time).
     pub latency: LatencyStats,
     /// Accumulated billing.
     pub billing: BillingMeter,
     /// Cold starts observed across all functions.
     pub cold_starts: u64,
-    /// Worker invocations that failed and were retried.
-    pub retries: u64,
+    /// Honest resilience accounting: ok/degraded/failed queries, retries,
+    /// hedges, hedge wins, timeouts, locally recomputed shards.
+    pub resilience: ResilienceCounters,
+}
+
+/// Latency distribution plus resilience accounting over a batch of
+/// independent simulated queries (see [`ForkJoinRuntime::simulate_many`]).
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Warm-query latency distribution in replication order.
+    pub latency: LatencyStats,
+    /// Accumulated resilience counters, including per-status query tallies.
+    pub resilience: ResilienceCounters,
+}
+
+/// One worker-lane execution as observed by the master: sampled noise plus
+/// any injected fault, capped by the per-attempt timeout.
+#[derive(Debug, Clone, Copy)]
+struct LaneExec {
+    /// Invocation jitter before work starts (zero when the fork transfer
+    /// already covered it).
+    jitter_ms: f64,
+    /// Master-observed time from work start to resolution: full compute,
+    /// partial compute for a crash, zero for an invocation failure, or the
+    /// timeout cap when the master abandons the lane.
+    run_ms: f64,
+    /// Worker-side busy time to bill — never capped by the abandon, the
+    /// function keeps running.
+    billed_ms: f64,
+    /// The lane produced a usable result.
+    success: bool,
+    /// The master abandoned the lane at its timeout.
+    timed_out: bool,
 }
 
 /// The plan executor over the simulated platform.
@@ -69,10 +121,21 @@ pub struct ForkJoinRuntime<'a> {
     plan: &'a ExecutionPlan,
     platform: PlatformProfile,
     analyses: Vec<GroupAnalysis>,
+    injector: Option<FaultInjector>,
+    policy: ResiliencePolicy,
+    /// Predicted p95 of one attempt per `[group][partition]`: mean compute
+    /// at the 95th noise percentile plus the invocation-jitter p95. Timeouts
+    /// and hedge delays are multiples of this, so they scale with the
+    /// partition instead of being absolute knobs.
+    attempt_p95_ms: Vec<Vec<f64>>,
 }
 
 impl<'a> ForkJoinRuntime<'a> {
-    /// Prepares a runtime for a validated plan.
+    /// Prepares a runtime for a validated plan with the default
+    /// [`ResiliencePolicy`]. A nonzero
+    /// `PlatformProfile::invocation_failure_rate` is expressed as a
+    /// [`ChaosConfig::invoke_only`] injector (fixed seed), so the legacy
+    /// knob and explicit chaos configs share one failure model.
     ///
     /// # Errors
     ///
@@ -85,12 +148,56 @@ impl<'a> ForkJoinRuntime<'a> {
     ) -> Result<Self> {
         plan.validate(model, platform.model_memory_budget)?;
         let analyses = plan.analyses(model)?;
+        let injector = if platform.invocation_failure_rate > 0.0 {
+            let rate = platform.invocation_failure_rate.min(1.0);
+            Some(ChaosConfig::invoke_only(rate, LEGACY_FAILURE_SEED).build()?)
+        } else {
+            None
+        };
+        let jitter_p95 = platform.invoke_latency_ms.upper_quantile(0.95);
+        let noise_p95 = 1.0 + 1.645 * platform.compute_noise_rel_std;
+        let attempt_p95_ms = analyses
+            .iter()
+            .map(|a| {
+                a.partitions
+                    .iter()
+                    .map(|p| {
+                        let mean: f64 = p
+                            .flops
+                            .iter()
+                            .map(|&(class, flops)| platform.compute_ms(flops, class))
+                            .sum();
+                        mean * noise_p95 + jitter_p95
+                    })
+                    .collect()
+            })
+            .collect();
         Ok(ForkJoinRuntime {
             model,
             plan,
             platform,
             analyses,
+            injector,
+            policy: ResiliencePolicy::default(),
+            attempt_p95_ms,
         })
+    }
+
+    /// Replaces the fault injector with one built from `config` (overriding
+    /// any injector derived from the platform's legacy failure-rate knob).
+    ///
+    /// # Errors
+    ///
+    /// Returns the config's validation error.
+    pub fn with_chaos(mut self, config: ChaosConfig) -> Result<Self> {
+        self.injector = Some(config.build()?);
+        Ok(self)
+    }
+
+    /// Sets the resilience policy.
+    pub fn with_policy(mut self, policy: ResiliencePolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     fn sample_compute_ms<R: RngExt + ?Sized>(&self, work: &PartitionWork, rng: &mut R) -> f64 {
@@ -117,44 +224,179 @@ impl<'a> ForkJoinRuntime<'a> {
         jitter_max + self.platform.transfer_ms(total)
     }
 
-    /// Samples the delay a worker invocation spends on failed attempts
-    /// before one succeeds: each failure costs the invocation jitter plus a
-    /// fraction of the compute (the platform detects the crash and returns
-    /// an error). Returns `(extra_delay_ms, retries)`.
-    fn sample_failures<R: RngExt + ?Sized>(&self, compute_ms: f64, rng: &mut R) -> (f64, u64) {
-        let rate = self.platform.invocation_failure_rate;
-        if rate <= 0.0 {
-            return (0.0, 0);
-        }
-        let mut extra = 0.0;
-        let mut retries = 0;
-        for _ in 0..MAX_ATTEMPTS - 1 {
-            if rng.random::<f64>() >= rate {
-                break;
+    /// Samples one worker-lane execution: invocation jitter (unless the fork
+    /// transfer covered it), noisy compute, the injected fault at `site`,
+    /// and the per-attempt timeout cap. Both simulated serving paths run
+    /// every lane through this — the single shared failure model.
+    fn sample_lane<R: RngExt + ?Sized>(
+        &self,
+        site: FaultSite,
+        work: &PartitionWork,
+        jitter_covered_by_fork: bool,
+        timeout_ms: f64,
+        rng: &mut R,
+    ) -> LaneExec {
+        let jitter_ms = if jitter_covered_by_fork {
+            0.0
+        } else {
+            self.platform.invoke_latency_ms.sample(rng)
+        };
+        let compute_ms = self.sample_compute_ms(work, rng);
+        let fault = self.injector.as_ref().and_then(|inj| inj.fault(site));
+        let (natural_ms, ok) = match fault {
+            None => (compute_ms, true),
+            // Fails right after the invocation round-trip.
+            Some(Fault::InvokeFailure) => (0.0, false),
+            Some(Fault::Crash { work_done }) => (work_done * compute_ms, false),
+            Some(Fault::Straggler { slowdown }) => (slowdown * compute_ms, true),
+            // Full compute, but the master rejects the response at the join.
+            Some(Fault::Corrupt) => (compute_ms, false),
+        };
+        if jitter_ms + natural_ms > timeout_ms {
+            LaneExec {
+                jitter_ms,
+                run_ms: (timeout_ms - jitter_ms).max(0.0),
+                billed_ms: natural_ms,
+                success: false,
+                timed_out: true,
             }
-            extra += self.platform.invoke_latency_ms.sample(rng) + 0.3 * compute_ms;
-            retries += 1;
+        } else {
+            LaneExec {
+                jitter_ms,
+                run_ms: natural_ms,
+                billed_ms: natural_ms,
+                success: ok,
+                timed_out: false,
+            }
         }
-        (extra, retries)
+    }
+
+    /// Runs one worker partition to resolution in time relative to the
+    /// group's dispatch: attempts with backoff, an optional hedge per
+    /// attempt (first success wins), billing every launched lane into
+    /// `worker_ms` (the accepted lane also carries the payload transfer).
+    ///
+    /// Returns `(resolution, master_observed_end)`: `resolution` is the
+    /// accepted result's arrival time, `None` when the retry budget is
+    /// exhausted; `master_observed_end` is when the master stopped waiting.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_worker<R: RngExt + ?Sized>(
+        &self,
+        query: u64,
+        group: u32,
+        part: u32,
+        work: &PartitionWork,
+        p95_ms: f64,
+        rng: &mut R,
+        worker_ms: &mut Vec<f64>,
+        counters: &mut ResilienceCounters,
+    ) -> (Option<f64>, f64) {
+        let timeout_ms = self.policy.attempt_timeout_factor * p95_ms;
+        let hedge_delay_ms = self.policy.hedge_delay_factor * p95_ms;
+        let transfer_ms = self
+            .platform
+            .transfer_ms(work.input_bytes + work.output_bytes);
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut t = 0.0f64;
+        for attempt in 0..max_attempts {
+            let p_site = FaultSite {
+                query,
+                group,
+                part,
+                attempt,
+                lane: 0,
+            };
+            let primary = self.sample_lane(p_site, work, attempt == 0, timeout_ms, rng);
+            if primary.timed_out {
+                counters.timeouts += 1;
+            }
+            let p_end = t + primary.jitter_ms + primary.run_ms;
+            let mut resolved = primary.success.then_some(p_end);
+            let mut attempt_end = p_end;
+            let mut hedge_won = false;
+            let mut hedge_exec: Option<LaneExec> = None;
+            if self.policy.hedged() {
+                let hedge_at = t + hedge_delay_ms;
+                if p_end > hedge_at {
+                    let hedge = self.sample_lane(
+                        FaultSite { lane: 1, ..p_site },
+                        work,
+                        false,
+                        timeout_ms,
+                        rng,
+                    );
+                    counters.hedges += 1;
+                    if hedge.timed_out {
+                        counters.timeouts += 1;
+                    }
+                    let h_end = hedge_at + hedge.jitter_ms + hedge.run_ms;
+                    if hedge.success && resolved.is_none_or(|r| h_end < r) {
+                        hedge_won = true;
+                        resolved = Some(h_end);
+                    }
+                    attempt_end = attempt_end.max(h_end);
+                    hedge_exec = Some(hedge);
+                }
+            }
+            if hedge_won {
+                counters.hedge_wins += 1;
+            }
+            let primary_carries = resolved.is_some() && !hedge_won;
+            worker_ms.push(primary.billed_ms + if primary_carries { transfer_ms } else { 0.0 });
+            if let Some(hedge) = hedge_exec {
+                worker_ms.push(hedge.billed_ms + if hedge_won { transfer_ms } else { 0.0 });
+            }
+            if let Some(r) = resolved {
+                return (Some(r), r);
+            }
+            if attempt + 1 < max_attempts {
+                counters.retries += 1;
+                let unit = self
+                    .injector
+                    .as_ref()
+                    .map_or(0.5, |inj| inj.backoff_unit(p_site));
+                t = attempt_end + self.policy.backoff_ms(attempt, unit);
+            } else {
+                return (None, attempt_end);
+            }
+        }
+        (None, t)
     }
 
     /// Simulates one query on warm instances, sampling compute noise and
-    /// communication jitter.
+    /// communication jitter. Equivalent to
+    /// [`simulate_query_at`](Self::simulate_query_at) with query index 0.
     pub fn simulate_query<R: RngExt + ?Sized>(&self, rng: &mut R) -> QueryOutcome {
+        self.simulate_query_at(0, rng)
+    }
+
+    /// Simulates warm query number `query`: the index keys fault sampling
+    /// ([`FaultSite::query`]), so distinct queries draw independent faults
+    /// while the same `(chaos seed, query)` pair always faults identically —
+    /// whatever thread runs it.
+    pub fn simulate_query_at<R: RngExt + ?Sized>(&self, query: u64, rng: &mut R) -> QueryOutcome {
         let mut latency = 0.0;
         let mut group_ms = Vec::with_capacity(self.analyses.len());
         let mut worker_ms = Vec::new();
-        let mut retries = 0u64;
-        for (g, a) in self.plan.groups().iter().zip(self.analyses.iter()) {
+        let mut counters = ResilienceCounters::default();
+        let mut status = QueryStatus::Ok;
+        for (gi, (g, a)) in self
+            .plan
+            .groups()
+            .iter()
+            .zip(self.analyses.iter())
+            .enumerate()
+        {
             let (fork, compute, join) = match g.placement {
                 Placement::Master => (0.0, self.sample_compute_ms(&a.partitions[0], rng), 0.0),
                 Placement::Workers | Placement::MasterAndWorkers => {
-                    let worker_parts: &[PartitionWork] = if g.placement == Placement::Workers {
-                        &a.partitions
+                    let offset = if g.placement == Placement::Workers {
+                        0
                     } else {
-                        &a.partitions[1..]
+                        1
                     };
-                    let master_compute = if g.placement == Placement::MasterAndWorkers {
+                    let worker_parts = &a.partitions[offset..];
+                    let master_compute = if offset == 1 {
                         self.sample_compute_ms(&a.partitions[0], rng)
                     } else {
                         0.0
@@ -167,21 +409,53 @@ impl<'a> ForkJoinRuntime<'a> {
                         let fork = self.sample_transfer_parts(&ins, rng);
                         let join = self.sample_transfer_parts(&outs, rng);
                         let mut slowest = master_compute;
-                        for p in worker_parts {
-                            let c = self.sample_compute_ms(p, rng);
-                            let (extra, r) = self.sample_failures(c, rng);
-                            retries += r;
-                            slowest = slowest.max(extra + c);
-                            worker_ms.push(
-                                extra
-                                    + c
-                                    + self.platform.transfer_ms(p.input_bytes + p.output_bytes),
+                        let mut exhausted: Vec<usize> = Vec::new();
+                        for (pi, p) in worker_parts.iter().enumerate() {
+                            let part_idx = pi + offset;
+                            let (resolved, observed_end) = self.simulate_worker(
+                                query,
+                                gi as u32,
+                                part_idx as u32,
+                                p,
+                                self.attempt_p95_ms[gi][part_idx],
+                                rng,
+                                &mut worker_ms,
+                                &mut counters,
                             );
+                            match resolved {
+                                Some(r) => slowest = slowest.max(r),
+                                None => {
+                                    slowest = slowest.max(observed_end);
+                                    exhausted.push(pi);
+                                }
+                            }
                         }
-                        (fork, slowest, join)
+                        let mut compute = slowest;
+                        if !exhausted.is_empty() {
+                            if self.policy.local_fallback {
+                                // Graceful degradation: the master recomputes
+                                // the lost shards itself, serially, after the
+                                // surviving workers finish.
+                                for &pi in &exhausted {
+                                    counters.degraded_shards += 1;
+                                    compute += self.sample_compute_ms(&worker_parts[pi], rng);
+                                }
+                                status = QueryStatus::Degraded;
+                            } else {
+                                status = QueryStatus::Failed;
+                            }
+                        }
+                        (fork, compute, join)
                     }
                 }
             };
+            if status == QueryStatus::Failed {
+                // The master gives up mid-plan and emits an error response:
+                // the fork and the waiting are paid, the join is not.
+                latency += fork + compute;
+                group_ms.push((fork, compute, 0.0));
+                break;
+            }
             latency += fork + compute + join;
             group_ms.push((fork, compute, join));
         }
@@ -189,7 +463,8 @@ impl<'a> ForkJoinRuntime<'a> {
             latency_ms: latency,
             group_ms,
             worker_ms,
-            retries,
+            status,
+            resilience: counters,
         }
     }
 
@@ -206,21 +481,52 @@ impl<'a> ForkJoinRuntime<'a> {
     /// [`mean_latency_ms`](Self::mean_latency_ms) with an explicit thread
     /// count (`threads <= 1` runs inline on the caller).
     pub fn mean_latency_ms_with_threads(&self, n: usize, seed: u64, threads: usize) -> f64 {
+        self.simulate_many_with_threads(n, seed, threads)
+            .latency
+            .mean()
+    }
+
+    /// Simulates `n` independent warm queries and aggregates their latency
+    /// distribution and resilience counters. Query `i` uses RNG seed
+    /// [`replication_seed`]`(seed, i)` and fault-site query index `i`.
+    pub fn simulate_many(&self, n: usize, seed: u64) -> SimulationReport {
+        self.simulate_many_with_threads(n, seed, gillis_pool::gillis_threads())
+    }
+
+    /// [`simulate_many`](Self::simulate_many) with an explicit thread count.
+    ///
+    /// Replications run on the shared pool but reduce sequentially in
+    /// replication order on the caller, so the report — latencies,
+    /// percentiles, and every counter — is bit-identical for any
+    /// `GILLIS_THREADS`.
+    pub fn simulate_many_with_threads(
+        &self,
+        n: usize,
+        seed: u64,
+        threads: usize,
+    ) -> SimulationReport {
         let n = n.max(1);
-        let latencies: Vec<f64> = if threads <= 1 || n == 1 {
-            (0..n)
-                .map(|i| {
-                    let mut rng = StdRng::seed_from_u64(replication_seed(seed, i as u64));
-                    self.simulate_query(&mut rng).latency_ms
-                })
-                .collect()
-        } else {
-            gillis_pool::Pool::global().run(n, |i| {
-                let mut rng = StdRng::seed_from_u64(replication_seed(seed, i as u64));
-                self.simulate_query(&mut rng).latency_ms
-            })
+        let run_one = |i: usize| {
+            let mut rng = StdRng::seed_from_u64(replication_seed(seed, i as u64));
+            let q = self.simulate_query_at(i as u64, &mut rng);
+            (q.latency_ms, q.status, q.resilience)
         };
-        latencies.iter().sum::<f64>() / n as f64
+        let outcomes: Vec<(f64, QueryStatus, ResilienceCounters)> = if threads <= 1 || n == 1 {
+            (0..n).map(run_one).collect()
+        } else {
+            gillis_pool::Pool::global().run(n, run_one)
+        };
+        let mut latency = LatencyStats::new();
+        let mut resilience = ResilienceCounters::default();
+        for (ms, status, c) in outcomes {
+            latency.record(ms);
+            resilience.absorb(&c);
+            resilience.record_status(status);
+        }
+        SimulationReport {
+            latency,
+            resilience,
+        }
     }
 
     /// Deploys the plan's functions into a fleet: one master (holding the
@@ -285,7 +591,8 @@ impl<'a> ForkJoinRuntime<'a> {
             self.platform.price_per_invocation,
         );
         let mut latency = LatencyStats::new();
-        let mut retries = 0u64;
+        let mut resilience = ResilienceCounters::default();
+        let mut query_idx = 0u64;
 
         // Event = a client ready to issue a query.
         let mut queue: EventQueue<usize> = EventQueue::new();
@@ -296,34 +603,25 @@ impl<'a> ForkJoinRuntime<'a> {
             if !workload.try_issue() {
                 continue;
             }
-            let done =
-                self.run_query_on_fleet(&mut fleet, &mut billing, now, &mut rng, &mut retries)?;
+            let done = self.run_query_on_fleet(
+                &mut fleet,
+                &mut billing,
+                now,
+                &mut rng,
+                query_idx,
+                &mut resilience,
+            )?;
+            query_idx += 1;
             latency.record((done - now).as_ms());
             queue.push(done + workload.think_time, client);
         }
 
-        let mut cold_starts = 0;
-        let (c, _, _) = fleet.stats("master")?;
-        cold_starts += c;
-        for (gi, g) in self.plan.groups().iter().enumerate() {
-            if g.placement == Placement::Master {
-                continue;
-            }
-            let offset = if g.placement == Placement::Workers {
-                0
-            } else {
-                1
-            };
-            for pi in offset..g.option.parts() {
-                let (c, _, _) = fleet.stats(&format!("g{gi}p{pi}"))?;
-                cold_starts += c;
-            }
-        }
+        let cold_starts = self.count_cold_starts(&fleet)?;
         Ok(ServingReport {
             latency,
             billing,
             cold_starts,
-            retries,
+            resilience,
         })
     }
 
@@ -355,14 +653,30 @@ impl<'a> ForkJoinRuntime<'a> {
             self.platform.price_per_invocation,
         );
         let mut latency = LatencyStats::new();
-        let mut retries = 0u64;
+        let mut resilience = ResilienceCounters::default();
         let mut now = Micros::ZERO;
-        for _ in 0..queries {
+        for q in 0..queries {
             now += arrivals.next_gap(&mut rng);
-            let done =
-                self.run_query_on_fleet(&mut fleet, &mut billing, now, &mut rng, &mut retries)?;
+            let done = self.run_query_on_fleet(
+                &mut fleet,
+                &mut billing,
+                now,
+                &mut rng,
+                q as u64,
+                &mut resilience,
+            )?;
             latency.record((done - now).as_ms());
         }
+        let cold_starts = self.count_cold_starts(&fleet)?;
+        Ok(ServingReport {
+            latency,
+            billing,
+            cold_starts,
+            resilience,
+        })
+    }
+
+    fn count_cold_starts(&self, fleet: &Fleet) -> Result<u64> {
         let mut cold_starts = 0;
         let (c, _, _) = fleet.stats("master")?;
         cold_starts += c;
@@ -380,12 +694,7 @@ impl<'a> ForkJoinRuntime<'a> {
                 cold_starts += c;
             }
         }
-        Ok(ServingReport {
-            latency,
-            billing,
-            cold_starts,
-            retries,
-        })
+        Ok(cold_starts)
     }
 
     /// Pre-warms `count` instances of the master and of every worker
@@ -413,9 +722,11 @@ impl<'a> ForkJoinRuntime<'a> {
     }
 
     /// Executes one query against an externally-managed fleet starting at
-    /// `start`, charging `billing`, and returns its completion time. Public
-    /// for cold-start studies that need control over pre-warming; workload
-    /// serving should use [`ForkJoinRuntime::serve_workload`].
+    /// `start`, charging `billing`, and returns its completion time. `query`
+    /// keys fault sampling; `counters` accumulates resilience accounting
+    /// (including this query's terminal status). Public for cold-start
+    /// studies that need control over pre-warming; workload serving should
+    /// use [`ForkJoinRuntime::serve_workload`].
     ///
     /// # Errors
     ///
@@ -426,25 +737,32 @@ impl<'a> ForkJoinRuntime<'a> {
         billing: &mut BillingMeter,
         start: Micros,
         rng: &mut StdRng,
-        retries: &mut u64,
+        query: u64,
+        counters: &mut ResilienceCounters,
     ) -> Result<Micros> {
-        self.run_query_on_fleet(fleet, billing, start, rng, retries)
+        self.run_query_on_fleet(fleet, billing, start, rng, query, counters)
     }
 
     /// Executes one query against the fleet, charging billing, and returns
-    /// its completion time.
+    /// its completion time. Lane outcomes come from [`Self::sample_lane`] —
+    /// the same failure model as [`Self::simulate_query_at`] — with
+    /// instance acquisition (and its cold starts) layered on top.
     fn run_query_on_fleet(
         &self,
         fleet: &mut Fleet,
         billing: &mut BillingMeter,
         start: Micros,
         rng: &mut StdRng,
-        attempts: &mut u64,
+        query: u64,
+        counters: &mut ResilienceCounters,
     ) -> Result<Micros> {
+        let mem = self.platform.instance_memory_bytes;
+        let max_attempts = self.policy.max_attempts.max(1);
         let master = fleet.acquire("master", start)?;
         let mut now = master.ready_at;
         let master_began = now;
-        for (gi, (g, a)) in self
+        let mut status = QueryStatus::Ok;
+        'groups: for (gi, (g, a)) in self
             .plan
             .groups()
             .iter()
@@ -478,46 +796,125 @@ impl<'a> ForkJoinRuntime<'a> {
                     let outs: Vec<u64> = worker_parts.iter().map(|p| p.output_bytes).collect();
                     let dispatched = now + Micros::from_ms(self.sample_transfer_parts(&ins, rng));
                     let mut compute_end = dispatched + Micros::from_ms(master_compute);
+                    let mut exhausted: Vec<usize> = Vec::new();
                     for (pi, p) in worker_parts.iter().enumerate() {
-                        let fname = format!("g{gi}p{}", pi + offset);
-                        // Invoke with retries: a failed attempt bills its
-                        // partial duration, releases the instance, and the
-                        // master re-invokes (possibly on a fresh instance)
-                        // after a fresh jitter draw.
-                        let mut attempt_at = dispatched;
-                        let mut local_attempts = 0u32;
-                        let end = loop {
-                            let acq = fleet.acquire(&fname, attempt_at)?;
-                            let work_start = acq.ready_at.max(attempt_at);
-                            let compute = Micros::from_ms(self.sample_compute_ms(p, rng));
-                            let failed = self.platform.invocation_failure_rate > 0.0
-                                && local_attempts < MAX_ATTEMPTS - 1
-                                && rng.random::<f64>() < self.platform.invocation_failure_rate;
-                            if failed {
-                                *attempts += 1;
-                                local_attempts += 1;
-                                let crash = work_start + Micros::from_ms(0.3 * compute.as_ms());
-                                billing.record(
-                                    (crash - work_start).as_ms(),
-                                    self.platform.instance_memory_bytes,
-                                );
-                                fleet.release(&fname, crash)?;
-                                attempt_at = crash
-                                    + Micros::from_ms(self.platform.invoke_latency_ms.sample(rng));
-                                continue;
+                        let part_idx = pi + offset;
+                        let fname = format!("g{gi}p{part_idx}");
+                        let p95 = self.attempt_p95_ms[gi][part_idx];
+                        let timeout_ms = self.policy.attempt_timeout_factor * p95;
+                        let transfer = self.platform.transfer_ms(p.input_bytes + p.output_bytes);
+                        let mut t = dispatched;
+                        let mut resolved: Option<Micros> = None;
+                        let mut observed_end = dispatched;
+                        for attempt in 0..max_attempts {
+                            let p_site = FaultSite {
+                                query,
+                                group: gi as u32,
+                                part: part_idx as u32,
+                                attempt,
+                                lane: 0,
+                            };
+                            let primary =
+                                self.sample_lane(p_site, p, attempt == 0, timeout_ms, rng);
+                            if primary.timed_out {
+                                counters.timeouts += 1;
                             }
-                            let end = work_start + compute;
+                            let acq = fleet.acquire(&fname, t)?;
+                            let work_start =
+                                acq.ready_at.max(t + Micros::from_ms(primary.jitter_ms));
+                            let p_end = work_start + Micros::from_ms(primary.run_ms);
+                            let p_busy_end = work_start + Micros::from_ms(primary.billed_ms);
+                            resolved = primary.success.then_some(p_end);
+                            let mut attempt_end = p_end;
+                            let mut hedge_won = false;
+                            let mut hedge_bill: Option<(Micros, Micros)> = None;
+                            if self.policy.hedged() {
+                                let hedge_at =
+                                    t + Micros::from_ms(self.policy.hedge_delay_factor * p95);
+                                if p_end > hedge_at {
+                                    let hedge = self.sample_lane(
+                                        FaultSite { lane: 1, ..p_site },
+                                        p,
+                                        false,
+                                        timeout_ms,
+                                        rng,
+                                    );
+                                    counters.hedges += 1;
+                                    if hedge.timed_out {
+                                        counters.timeouts += 1;
+                                    }
+                                    let h_acq = fleet.acquire(&fname, hedge_at)?;
+                                    let h_start = h_acq
+                                        .ready_at
+                                        .max(hedge_at + Micros::from_ms(hedge.jitter_ms));
+                                    let h_end = h_start + Micros::from_ms(hedge.run_ms);
+                                    let h_busy_end = h_start + Micros::from_ms(hedge.billed_ms);
+                                    if hedge.success && resolved.is_none_or(|r| h_end < r) {
+                                        hedge_won = true;
+                                        resolved = Some(h_end);
+                                    }
+                                    attempt_end = attempt_end.max(h_end);
+                                    hedge_bill = Some((h_start, h_busy_end));
+                                }
+                            }
+                            if hedge_won {
+                                counters.hedge_wins += 1;
+                            }
                             // Billed from payload receipt to response
-                            // emission, as in `QueryOutcome::worker_ms`.
+                            // emission; the accepted lane also carries the
+                            // payload transfer. Abandoned lanes bill their
+                            // full busy time — the function keeps running.
+                            let primary_carries = resolved.is_some() && !hedge_won;
                             billing.record(
-                                (end - work_start).as_ms()
-                                    + self.platform.transfer_ms(p.input_bytes + p.output_bytes),
-                                self.platform.instance_memory_bytes,
+                                (p_busy_end - work_start).as_ms()
+                                    + if primary_carries { transfer } else { 0.0 },
+                                mem,
                             );
-                            fleet.release(&fname, end)?;
-                            break end;
-                        };
-                        compute_end = compute_end.max(end);
+                            fleet.release(&fname, p_busy_end)?;
+                            if let Some((h_start, h_busy_end)) = hedge_bill {
+                                billing.record(
+                                    (h_busy_end - h_start).as_ms()
+                                        + if hedge_won { transfer } else { 0.0 },
+                                    mem,
+                                );
+                                fleet.release(&fname, h_busy_end)?;
+                            }
+                            if let Some(r) = resolved {
+                                observed_end = r;
+                                break;
+                            }
+                            observed_end = attempt_end;
+                            if attempt + 1 < max_attempts {
+                                counters.retries += 1;
+                                let unit = self
+                                    .injector
+                                    .as_ref()
+                                    .map_or(0.5, |inj| inj.backoff_unit(p_site));
+                                t = attempt_end
+                                    + Micros::from_ms(self.policy.backoff_ms(attempt, unit));
+                            }
+                        }
+                        match resolved {
+                            Some(r) => compute_end = compute_end.max(r),
+                            None => {
+                                compute_end = compute_end.max(observed_end);
+                                exhausted.push(pi);
+                            }
+                        }
+                    }
+                    if !exhausted.is_empty() {
+                        if self.policy.local_fallback {
+                            for &pi in &exhausted {
+                                counters.degraded_shards += 1;
+                                compute_end +=
+                                    Micros::from_ms(self.sample_compute_ms(&worker_parts[pi], rng));
+                            }
+                            status = QueryStatus::Degraded;
+                        } else {
+                            status = QueryStatus::Failed;
+                            now = compute_end;
+                            break 'groups;
+                        }
                     }
                     // Join: collection jitter + serialized replies, again via
                     // the shared helper.
@@ -525,11 +922,9 @@ impl<'a> ForkJoinRuntime<'a> {
                 }
             }
         }
-        billing.record(
-            (now - master_began).as_ms(),
-            self.platform.instance_memory_bytes,
-        );
+        billing.record((now - master_began).as_ms(), mem);
         fleet.release("master", now)?;
+        counters.record_status(status);
         Ok(now)
     }
 }
@@ -548,6 +943,17 @@ pub fn replication_seed(seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Marker payload of a fault-injected worker crash in the tensor path; a
+/// panic with any other payload is a genuine executor bug.
+struct InjectedCrash;
+
+/// How one injected-fault piece execution failed (real model errors abort
+/// the query instead of retrying — they are deterministic).
+enum PieceFault {
+    Injected(&'static str),
+    Exec(gillis_model::ModelError),
+}
+
 /// Executes a plan with real tensor math: for each group, slices the input
 /// according to the partition option (halo rows for spatial splits, whole
 /// input for weight splits), runs every partition through the reference
@@ -559,6 +965,11 @@ pub fn replication_seed(seed: u64, index: u64) -> u64 {
 /// they run concurrently on the shared [`gillis_pool::Pool`]; pieces are
 /// collected and concatenated in range order, making the output bit-identical
 /// to the sequential path.
+///
+/// Faults can be injected from the environment (`GILLIS_CHAOS_RATE` /
+/// `GILLIS_CHAOS_SEED`, see [`gillis_faas::chaos::ChaosConfig::from_env`]);
+/// the default [`ResiliencePolicy`] retries and locally recomputes exhausted
+/// shards, so the output stays exactly correct under injected faults.
 ///
 /// # Errors
 ///
@@ -587,10 +998,62 @@ pub fn execute_plan_tensors_with_threads(
     input: &Tensor,
     threads: usize,
 ) -> Result<Tensor> {
+    let (out, _) = execute_plan_tensors_resilient(
+        model,
+        plan,
+        weights,
+        input,
+        gillis_faas::chaos::env_injector(),
+        &ResiliencePolicy::default(),
+        threads,
+    )?;
+    Ok(out)
+}
+
+/// [`execute_plan_tensors`] with explicit fault injection and resilience:
+/// each piece execution of each group consults `injector` (keyed by
+/// [`FaultSite`] with query index 0) — an injected crash panics the worker
+/// closure and is captured at the join ([`gillis_pool::Pool::try_run`]), an
+/// injected invocation failure or transfer corruption fails the piece
+/// without a result, and a straggler is a timing-only fault with no effect
+/// on real execution. Failed pieces are retried up to
+/// `policy.max_attempts`; pieces that exhaust the budget are recomputed
+/// inline by the master when `policy.local_fallback` is set (counted as
+/// degraded shards) or abort with [`CoreError::WorkerFailed`] otherwise.
+///
+/// The returned counters account one query. The output tensor is
+/// bit-identical to the fault-free run whenever a result is returned — the
+/// process never panics on injected crashes, at any thread count.
+///
+/// # Errors
+///
+/// Propagates executor errors; [`CoreError::WorkerFailed`] on budget
+/// exhaustion without fallback; [`CoreError::WorkerPanic`] if a worker
+/// panic was not an injected fault.
+pub fn execute_plan_tensors_resilient(
+    model: &LinearModel,
+    plan: &ExecutionPlan,
+    weights: &ModelWeights,
+    input: &Tensor,
+    injector: Option<&FaultInjector>,
+    policy: &ResiliencePolicy,
+    threads: usize,
+) -> Result<(Tensor, ResilienceCounters)> {
     plan.validate(model, u64::MAX)?;
     let exec = Executor::new(model.graph(), weights);
+    let mut counters = ResilienceCounters::default();
+    let max_attempts = policy.max_attempts.max(1);
+    // A width-1 pool runs batches inline on the caller while still capturing
+    // per-piece panics, so fault semantics do not depend on the thread count.
+    let inline_pool;
+    let pool: &gillis_pool::Pool = if threads <= 1 {
+        inline_pool = gillis_pool::Pool::new(1);
+        &inline_pool
+    } else {
+        gillis_pool::Pool::global()
+    };
     let mut cur = input.clone();
-    for g in plan.groups() {
+    for (gi, g) in plan.groups().iter().enumerate() {
         let layers = &model.layers()[g.start..g.end];
         cur = match g.option {
             PartitionOption::Single => exec.run_segment(layers, &cur)?,
@@ -606,24 +1069,106 @@ pub fn execute_plan_tensors_with_threads(
                     PartDim::Width => exec.run_segment_cols(layers, &cur, r),
                     PartDim::Channel => exec.run_segment_channels(layers, &cur, r),
                 };
-                let results: Vec<gillis_model::Result<Tensor>> = if threads <= 1
-                    || ranges.len() <= 1
-                {
-                    ranges.into_iter().map(run_piece).collect()
-                } else {
-                    gillis_pool::Pool::global().run(ranges.len(), |i| run_piece(ranges[i].clone()))
-                };
-                // Surface the first error in partition order, matching the
-                // sequential path's early return.
-                let mut pieces = Vec::with_capacity(results.len());
-                for r in results {
-                    pieces.push(r?);
+                let mut pieces: Vec<Option<Tensor>> = (0..ranges.len()).map(|_| None).collect();
+                let mut last_fault: Vec<&'static str> = vec!["no fault"; ranges.len()];
+                let mut pending: Vec<usize> = (0..ranges.len()).collect();
+                let mut attempt = 0u32;
+                while !pending.is_empty() && attempt < max_attempts {
+                    let worker = |k: usize| -> std::result::Result<Tensor, PieceFault> {
+                        let j = pending[k];
+                        let site = FaultSite {
+                            query: 0,
+                            group: gi as u32,
+                            part: j as u32,
+                            attempt,
+                            lane: 0,
+                        };
+                        match injector.and_then(|inj| inj.fault(site)) {
+                            Some(Fault::InvokeFailure) => {
+                                return Err(PieceFault::Injected("invocation failure"))
+                            }
+                            Some(Fault::Crash { .. }) => {
+                                std::panic::panic_any(InjectedCrash);
+                            }
+                            Some(Fault::Corrupt) => {
+                                // The worker computes, but the response is
+                                // corrupted in transfer and rejected at the
+                                // join.
+                                let _ = run_piece(ranges[j].clone());
+                                return Err(PieceFault::Injected("corrupted response"));
+                            }
+                            // Stragglers only affect timing, which the real
+                            // path does not model.
+                            Some(Fault::Straggler { .. }) | None => {}
+                        }
+                        run_piece(ranges[j].clone()).map_err(PieceFault::Exec)
+                    };
+                    let results = pool.try_run(pending.len(), worker);
+                    let mut still: Vec<usize> = Vec::new();
+                    for (k, res) in results.into_iter().enumerate() {
+                        let j = pending[k];
+                        match res {
+                            Ok(Ok(t)) => pieces[j] = Some(t),
+                            // Deterministic model errors are not retryable.
+                            Ok(Err(PieceFault::Exec(e))) => return Err(e.into()),
+                            Ok(Err(PieceFault::Injected(reason))) => {
+                                last_fault[j] = reason;
+                                still.push(j);
+                            }
+                            Err(payload) => {
+                                if payload.downcast_ref::<InjectedCrash>().is_some() {
+                                    last_fault[j] = "worker crash";
+                                    still.push(j);
+                                } else {
+                                    let message = payload
+                                        .downcast_ref::<&str>()
+                                        .map(|s| (*s).to_string())
+                                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "non-string panic payload".into());
+                                    return Err(CoreError::WorkerPanic {
+                                        group: gi,
+                                        part: j,
+                                        message,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    attempt += 1;
+                    if !still.is_empty() && attempt < max_attempts {
+                        counters.retries += still.len() as u64;
+                    }
+                    pending = still;
                 }
+                for &j in &pending {
+                    if !policy.local_fallback {
+                        return Err(CoreError::WorkerFailed {
+                            group: gi,
+                            part: j,
+                            attempts: max_attempts,
+                            reason: format!("retry budget exhausted (last: {})", last_fault[j]),
+                        });
+                    }
+                    // Graceful degradation: the master recomputes the shard
+                    // itself, with no fault injection — the master is
+                    // reliable by assumption.
+                    counters.degraded_shards += 1;
+                    pieces[j] = Some(run_piece(ranges[j].clone())?);
+                }
+                let pieces: Vec<Tensor> = pieces
+                    .into_iter()
+                    .map(|p| p.expect("every piece resolved or degraded"))
+                    .collect();
                 Tensor::concat(&pieces, axis).map_err(gillis_model::ModelError::from)?
             }
         };
     }
-    Ok(cur)
+    counters.record_status(if counters.degraded_shards > 0 {
+        QueryStatus::Degraded
+    } else {
+        QueryStatus::Ok
+    });
+    Ok((cur, counters))
 }
 
 #[cfg(test)]
@@ -674,33 +1219,38 @@ mod tests {
 
     #[test]
     fn forced_parallel_plan_execution_preserves_semantics() {
-        use crate::plan::PlannedGroup;
         let tiny = zoo::tiny_vgg();
         let weights = init_weights(tiny.graph(), 78).unwrap();
         let exec = Executor::new(tiny.graph(), &weights);
         let input = Tensor::from_fn(tiny.input_shape().clone(), |i| (i as f32 * 0.37).sin());
         let full = exec.forward(&tiny, &input).unwrap();
 
-        // Hand-built aggressive plan: conv group split 4-way spatially,
-        // pools split 2-way, dense layers split by output units.
-        let n = tiny.layers().len();
+        let plan = forced_split_plan(&tiny);
+        let out = execute_plan_tensors(&tiny, &plan, &weights, &input).unwrap();
+        assert!(full.max_abs_diff(&out).unwrap() < 1e-4);
+    }
+
+    /// Hand-built aggressive plan for `tiny_vgg`: convs split 4-way
+    /// spatially, channel-splittable layers 2-way — guaranteeing worker
+    /// partitions (the DP planner keeps a model this small unsplit).
+    fn forced_split_plan(tiny: &LinearModel) -> ExecutionPlan {
+        use crate::plan::PlannedGroup;
         let mut groups = Vec::new();
-        for i in 0..n {
+        for i in 0..tiny.layers().len() {
             let layer = &tiny.layers()[i];
-            let option =
-                if layer.class.supports_spatial() && tiny.layers()[i].out_shape.dims()[1] >= 4 {
-                    PartitionOption::Split {
-                        dim: PartDim::Height,
-                        parts: 4,
-                    }
-                } else if layer.class.channel_splittable() && layer.out_shape.dims()[0] >= 2 {
-                    PartitionOption::Split {
-                        dim: PartDim::Channel,
-                        parts: 2,
-                    }
-                } else {
-                    PartitionOption::Single
-                };
+            let option = if layer.class.supports_spatial() && layer.out_shape.dims()[1] >= 4 {
+                PartitionOption::Split {
+                    dim: PartDim::Height,
+                    parts: 4,
+                }
+            } else if layer.class.channel_splittable() && layer.out_shape.dims()[0] >= 2 {
+                PartitionOption::Split {
+                    dim: PartDim::Channel,
+                    parts: 2,
+                }
+            } else {
+                PartitionOption::Single
+            };
             groups.push(PlannedGroup {
                 start: i,
                 end: i + 1,
@@ -712,9 +1262,19 @@ mod tests {
                 },
             });
         }
-        let plan = ExecutionPlan::new(groups);
-        let out = execute_plan_tensors(&tiny, &plan, &weights, &input).unwrap();
-        assert!(full.max_abs_diff(&out).unwrap() < 1e-4);
+        ExecutionPlan::new(groups)
+    }
+
+    /// A chaos config exercising every fault kind at once.
+    fn stress_chaos(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            invoke_failure_rate: 0.08,
+            crash_rate: 0.08,
+            straggler_rate: 0.08,
+            straggler_slowdown: 6.0,
+            corrupt_rate: 0.06,
+        }
     }
 
     proptest::proptest! {
@@ -769,6 +1329,38 @@ mod tests {
                 proptest::prop_assert_eq!(seq.to_bits(), par.to_bits());
             }
         }
+
+        /// Acceptance criterion: with a fixed chaos seed, serving results —
+        /// latency stats and every retry/hedge/timeout/degradation counter —
+        /// are bit-identical for any thread count, because faults are a pure
+        /// function of `(seed, FaultSite)` and never of scheduling.
+        #[test]
+        fn chaos_serving_is_bit_identical_across_thread_counts(
+            (chaos_seed, run_seed, n) in (0u64..1000, 0u64..1000, 10usize..50),
+        ) {
+            let platform = PlatformProfile::aws_lambda();
+            let perf = PerfModel::analytic(&platform);
+            let vgg = zoo::vgg11();
+            let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+            let runtime = ForkJoinRuntime::new(&vgg, &plan, platform)
+                .unwrap()
+                .with_chaos(stress_chaos(chaos_seed))
+                .unwrap()
+                .with_policy(ResiliencePolicy::backoff_hedged());
+            let seq = runtime.simulate_many_with_threads(n, run_seed, 1);
+            for threads in [2usize, 8] {
+                let par = runtime.simulate_many_with_threads(n, run_seed, threads);
+                proptest::prop_assert_eq!(
+                    seq.latency.mean().to_bits(),
+                    par.latency.mean().to_bits()
+                );
+                proptest::prop_assert_eq!(
+                    seq.latency.percentile(99.0).to_bits(),
+                    par.latency.percentile(99.0).to_bits()
+                );
+                proptest::prop_assert_eq!(&seq.resilience, &par.resilience);
+            }
+        }
     }
 
     #[test]
@@ -785,6 +1377,10 @@ mod tests {
         assert!(report.billing.invocations() >= 40);
         // Pre-warming (paper §III-A) eliminates cold starts entirely.
         assert_eq!(report.cold_starts, 0);
+        // A healthy platform serves every query cleanly.
+        assert_eq!(report.resilience.ok_queries, 40);
+        assert_eq!(report.resilience.retries, 0);
+        assert_eq!(report.resilience.degraded_queries, 0);
         // The workload mean matches the warm single-query mean.
         let mean = report.latency.mean();
         let warm = runtime.mean_latency_ms(40, 5);
@@ -803,37 +1399,41 @@ mod tests {
 
         // Healthy platform: zero retries.
         let healthy = ForkJoinRuntime::new(&vgg, &plan, platform.clone()).unwrap();
-        let mut rng = StdRng::seed_from_u64(31);
-        let h: Vec<QueryOutcome> = (0..50).map(|_| healthy.simulate_query(&mut rng)).collect();
-        assert!(h.iter().all(|q| q.retries == 0));
-        let h_mean = h.iter().map(|q| q.latency_ms).sum::<f64>() / 50.0;
+        let h = healthy.simulate_many(50, 31);
+        assert_eq!(h.resilience.retries, 0);
+        assert_eq!(h.resilience.ok_queries, 50);
 
         // 15% of worker invocations fail: queries still complete, retries
         // appear, and the mean latency rises.
         platform.invocation_failure_rate = 0.15;
         let flaky = ForkJoinRuntime::new(&vgg, &plan, platform.clone()).unwrap();
-        let mut rng = StdRng::seed_from_u64(31);
-        let f: Vec<QueryOutcome> = (0..50).map(|_| flaky.simulate_query(&mut rng)).collect();
-        let total_retries: u64 = f.iter().map(|q| q.retries).sum();
+        let f = flaky.simulate_many(50, 31);
         assert!(
-            total_retries > 0,
+            f.resilience.retries > 0,
             "expected some retries at 15% failure rate"
         );
-        let f_mean = f.iter().map(|q| q.latency_ms).sum::<f64>() / 50.0;
-        assert!(f_mean > h_mean, "flaky {f_mean} vs healthy {h_mean}");
+        assert_eq!(f.resilience.failed_queries, 0, "local fallback never fails");
+        assert!(
+            f.latency.mean() > h.latency.mean(),
+            "flaky {} vs healthy {}",
+            f.latency.mean(),
+            h.latency.mean()
+        );
 
         // Workload serving also completes and reports the retries.
         let report = flaky
             .serve_workload(ClosedLoop::new(4, 40, Micros::ZERO).unwrap(), 7)
             .unwrap();
         assert_eq!(report.latency.count(), 40);
-        assert!(report.retries > 0);
+        assert!(report.resilience.retries > 0);
+        assert_eq!(report.resilience.queries(), 40);
     }
 
     #[test]
-    fn retry_budget_bounds_worst_case() {
-        // Even at an absurd failure rate every query completes within the
-        // retry budget (the final attempt always succeeds).
+    fn budget_exhaustion_degrades_gracefully() {
+        // At an absurd failure rate, the "final attempt always succeeds"
+        // fiction is gone: budgets exhaust, and the master recomputes the
+        // lost shards locally — queries complete, honestly marked Degraded.
         let mut platform = PlatformProfile::aws_lambda();
         platform.invocation_failure_rate = 0.95;
         let perf = PerfModel::analytic(&PlatformProfile::aws_lambda());
@@ -843,8 +1443,180 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let q = rt.simulate_query(&mut rng);
         let invocations: usize = rt.plan.groups().iter().map(|g| g.worker_count()).sum();
+        let max_attempts = rt.policy.max_attempts as u64;
         assert!(q.latency_ms.is_finite());
-        assert!(q.retries <= (invocations as u64) * (MAX_ATTEMPTS as u64 - 1));
+        assert!(q.resilience.retries <= (invocations as u64) * (max_attempts - 1));
+        assert_eq!(q.status, QueryStatus::Degraded);
+        assert!(q.resilience.degraded_shards > 0);
+
+        // Without local fallback the same query honestly fails.
+        let rt = rt.with_policy(ResiliencePolicy {
+            local_fallback: false,
+            ..ResiliencePolicy::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = rt.simulate_query(&mut rng);
+        assert_eq!(q.status, QueryStatus::Failed);
+        assert!(q.latency_ms.is_finite());
+
+        // Fleet serving counts the degraded/failed queries the same way.
+        let rt = rt.with_policy(ResiliencePolicy::default());
+        let report = rt
+            .serve_workload(ClosedLoop::new(2, 10, Micros::ZERO).unwrap(), 5)
+            .unwrap();
+        assert_eq!(report.resilience.queries(), 10);
+        assert!(report.resilience.degraded_queries > 0);
+        assert_eq!(report.resilience.failed_queries, 0);
+    }
+
+    #[test]
+    fn hedging_reduces_tail_latency_under_stragglers() {
+        // The HydraServe-style motivation: speculative duplicates convert
+        // straggler tail latency into a second chance at the median.
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let vgg = zoo::vgg11();
+        let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+        let chaos = ChaosConfig {
+            seed: 42,
+            invoke_failure_rate: 0.05,
+            crash_rate: 0.0,
+            straggler_rate: 0.15,
+            straggler_slowdown: 8.0,
+            corrupt_rate: 0.0,
+        };
+        let naive = ForkJoinRuntime::new(&vgg, &plan, platform.clone())
+            .unwrap()
+            .with_chaos(chaos)
+            .unwrap()
+            .with_policy(ResiliencePolicy::naive_retry());
+        let hedged = ForkJoinRuntime::new(&vgg, &plan, platform)
+            .unwrap()
+            .with_chaos(chaos)
+            .unwrap()
+            .with_policy(ResiliencePolicy::backoff_hedged());
+        let n = naive.simulate_many(200, 9);
+        let h = hedged.simulate_many(200, 9);
+        assert!(h.resilience.hedges > 0);
+        assert!(h.resilience.hedge_wins > 0);
+        assert!(
+            h.latency.percentile(99.0) < n.latency.percentile(99.0),
+            "hedged p99 {} vs naive p99 {}",
+            h.latency.percentile(99.0),
+            n.latency.percentile(99.0)
+        );
+    }
+
+    #[test]
+    fn timeouts_abandon_extreme_stragglers() {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let vgg = zoo::vgg11();
+        let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+        let chaos = ChaosConfig {
+            seed: 7,
+            straggler_rate: 0.2,
+            straggler_slowdown: 50.0,
+            ..ChaosConfig::default()
+        };
+        let rt = ForkJoinRuntime::new(&vgg, &plan, platform)
+            .unwrap()
+            .with_chaos(chaos)
+            .unwrap()
+            .with_policy(ResiliencePolicy {
+                attempt_timeout_factor: 2.0,
+                ..ResiliencePolicy::backoff()
+            });
+        let report = rt.simulate_many(50, 3);
+        assert!(report.resilience.timeouts > 0, "{:?}", report.resilience);
+        // Every query still completes (retry or local fallback).
+        assert_eq!(report.resilience.queries(), 50);
+        assert_eq!(report.resilience.failed_queries, 0);
+        assert!(report.latency.max().is_finite());
+    }
+
+    #[test]
+    fn crash_recovery_returns_exact_tensor() {
+        // Acceptance criterion: under injected worker crashes (panics
+        // captured at the join), retries/local fallback still produce the
+        // exact fault-free output, and the process never panics.
+        let tiny = zoo::tiny_vgg();
+        let weights = init_weights(tiny.graph(), 91).unwrap();
+        let input = Tensor::from_fn(tiny.input_shape().clone(), |i| {
+            ((i % 13) as f32 - 6.0) / 6.0
+        });
+        let plan = forced_split_plan(&tiny);
+        let clean = execute_plan_tensors_with_threads(&tiny, &plan, &weights, &input, 1).unwrap();
+
+        let injector = ChaosConfig {
+            seed: 1234,
+            invoke_failure_rate: 0.15,
+            crash_rate: 0.25,
+            corrupt_rate: 0.1,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .unwrap();
+        let mut any_faults = false;
+        for threads in [1usize, 4] {
+            let (out, counters) = execute_plan_tensors_resilient(
+                &tiny,
+                &plan,
+                &weights,
+                &input,
+                Some(&injector),
+                &ResiliencePolicy::default(),
+                threads,
+            )
+            .unwrap();
+            assert_eq!(clean.data().len(), out.data().len());
+            for (a, b) in clean.data().iter().zip(out.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            any_faults |= counters.retries > 0 || counters.degraded_shards > 0;
+        }
+        assert!(any_faults, "chaos config injected no faults at all");
+    }
+
+    #[test]
+    fn exhausted_tensor_budget_degrades_or_fails() {
+        let tiny = zoo::tiny_vgg();
+        let weights = init_weights(tiny.graph(), 92).unwrap();
+        let input = Tensor::from_fn(tiny.input_shape().clone(), |i| (i as f32 * 0.11).cos());
+        let plan = forced_split_plan(&tiny);
+        let clean = execute_plan_tensors_with_threads(&tiny, &plan, &weights, &input, 1).unwrap();
+
+        // Every invocation fails: all split pieces exhaust their budget.
+        let always_fail = ChaosConfig::invoke_only(1.0, 5).build().unwrap();
+        let (out, counters) = execute_plan_tensors_resilient(
+            &tiny,
+            &plan,
+            &weights,
+            &input,
+            Some(&always_fail),
+            &ResiliencePolicy::default(),
+            2,
+        )
+        .unwrap();
+        assert_eq!(clean.max_abs_diff(&out).unwrap(), 0.0);
+        assert!(counters.degraded_shards > 0);
+        assert_eq!(counters.degraded_queries, 1);
+
+        // Without fallback, exhaustion is an honest error, not a panic.
+        let err = execute_plan_tensors_resilient(
+            &tiny,
+            &plan,
+            &weights,
+            &input,
+            Some(&always_fail),
+            &ResiliencePolicy {
+                local_fallback: false,
+                ..ResiliencePolicy::default()
+            },
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::WorkerFailed { .. }), "{err}");
     }
 
     #[test]
@@ -862,14 +1634,15 @@ mod tests {
         let mut billing = BillingMeter::new(1, 0.0, 0.0);
         let mut rng = StdRng::seed_from_u64(9);
         // Query 1: all-cold. Query 2 (starting after 1 finished): all-warm.
-        let mut retries = 0;
+        let mut counters = ResilienceCounters::default();
         let done_first = runtime
             .run_query_on_fleet(
                 &mut fleet,
                 &mut billing,
                 Micros::ZERO,
                 &mut rng,
-                &mut retries,
+                0,
+                &mut counters,
             )
             .unwrap();
         let start_later = done_first;
@@ -879,7 +1652,8 @@ mod tests {
                 &mut billing,
                 start_later,
                 &mut rng,
-                &mut retries,
+                1,
+                &mut counters,
             )
             .unwrap();
         let first = done_first.as_ms();

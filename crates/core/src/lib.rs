@@ -51,8 +51,11 @@ pub use cache::{CacheStats, EvalCache};
 pub use dp::{DpPartitioner, GroupEval, PartitionerConfig};
 pub use error::CoreError;
 pub use forkjoin::{
-    execute_plan_tensors, execute_plan_tensors_with_threads, replication_seed, ForkJoinRuntime,
-    QueryOutcome, ServingReport,
+    execute_plan_tensors, execute_plan_tensors_resilient, execute_plan_tensors_with_threads,
+    replication_seed, ForkJoinRuntime, QueryOutcome, ServingReport, SimulationReport,
+};
+pub use gillis_faas::chaos::{
+    ChaosConfig, Fault, FaultInjector, FaultSite, QueryStatus, ResilienceCounters, ResiliencePolicy,
 };
 pub use partition::{
     analyze_group, analyze_group_with, group_options, ModelFlops, PartDim, PartitionOption,

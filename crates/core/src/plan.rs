@@ -620,4 +620,73 @@ mod tests {
         let first_two: u64 = vgg.layers()[..2].iter().map(|l| l.weight_bytes).sum();
         assert_eq!(master, vgg.weight_bytes() - first_two);
     }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The parser is total: arbitrary bytes (lossily decoded) produce
+        /// `Ok` or `Err`, never a panic — plan files are a user-editable
+        /// deployment artifact.
+        #[test]
+        fn from_text_never_panics_on_arbitrary_bytes(
+            bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..256),
+        ) {
+            let text = String::from_utf8_lossy(&bytes);
+            let _ = ExecutionPlan::from_text(&text);
+        }
+
+        /// Same, restricted to the plan-format alphabet (and with a valid
+        /// header prepended) so inputs reach the field parsers instead of
+        /// dying at the header check.
+        #[test]
+        fn from_text_never_panics_on_plan_alphabet(
+            bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..256),
+        ) {
+            const ALPHABET: &[u8] = b"gillis-plan v1\n 0123456789HWCxmasterworkers+";
+            let body: String = bytes
+                .iter()
+                .map(|&b| ALPHABET[b as usize % ALPHABET.len()] as char)
+                .collect();
+            let _ = ExecutionPlan::from_text(&body);
+            let _ = ExecutionPlan::from_text(&format!("gillis-plan v1\n{body}"));
+        }
+
+        /// `to_text` -> `from_text` round-trips arbitrary structurally-valid
+        /// plans exactly (validation against a model is a separate step).
+        #[test]
+        fn text_round_trip_preserves_plan(
+            (seed, n) in (0u64..100_000, 1usize..12),
+        ) {
+            let mut state = seed;
+            let mut next = move |m: usize| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                ((state >> 33) as usize) % m
+            };
+            let mut groups = Vec::new();
+            let mut start = next(3);
+            for _ in 0..n {
+                let end = start + 1 + next(4);
+                let option = match next(4) {
+                    0 => PartitionOption::Single,
+                    1 => PartitionOption::Split { dim: PartDim::Height, parts: 2 + next(7) },
+                    2 => PartitionOption::Split { dim: PartDim::Width, parts: 2 + next(7) },
+                    _ => PartitionOption::Split { dim: PartDim::Channel, parts: 2 + next(7) },
+                };
+                let placement = if option == PartitionOption::Single {
+                    Placement::Master
+                } else if next(2) == 0 {
+                    Placement::Workers
+                } else {
+                    Placement::MasterAndWorkers
+                };
+                groups.push(PlannedGroup { start, end, option, placement });
+                start = end;
+            }
+            let plan = ExecutionPlan::new(groups);
+            let parsed = ExecutionPlan::from_text(&plan.to_text()).unwrap();
+            proptest::prop_assert_eq!(&plan, &parsed);
+        }
+    }
 }

@@ -1,0 +1,614 @@
+//! Deterministic fault injection and resilience policies.
+//!
+//! Gillis's fork-join pattern multiplies the per-query invocation count, so
+//! one flaky or slow worker inflates every query (paper §III/§V-C). This
+//! module provides the two halves needed to *measure* mitigation policies
+//! against injected faults:
+//!
+//! - [`FaultInjector`] — samples per-invocation faults (invocation failure,
+//!   mid-compute crash, straggler slowdown, transfer corruption) as a *pure
+//!   function* of a seed and the invocation's identity
+//!   ([`FaultSite`]: query, group, partition, attempt, lane). Because no
+//!   shared RNG stream is consumed, the fault pattern is bit-identical
+//!   however the run is threaded or replayed.
+//! - [`ResiliencePolicy`] — what the master does about faults: retry budget,
+//!   exponential backoff with deterministic jitter, per-attempt timeouts
+//!   derived from the predicted latency, hedged (speculative duplicate)
+//!   requests, and local-fallback degradation when the budget is exhausted.
+//!
+//! [`ResilienceCounters`] accumulates the honest outcome accounting
+//! (ok/degraded/failed queries, retries, hedges, hedge wins, timeouts) that
+//! replaced the old "final attempt always succeeds" fiction in the serving
+//! runtime.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FaasError;
+use crate::Result;
+
+/// splitmix64 finalizer: the workspace-standard seed scrambler.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Identity of one worker execution — the key fault sampling hashes.
+///
+/// `lane` distinguishes the primary execution (0) from its hedge (1) so a
+/// hedge can draw an independent fault for the same attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSite {
+    /// Query index within the run.
+    pub query: u64,
+    /// Plan group index.
+    pub group: u32,
+    /// Partition index within the group.
+    pub part: u32,
+    /// Retry attempt (0 = first try).
+    pub attempt: u32,
+    /// 0 = primary, 1 = hedge.
+    pub lane: u32,
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The invocation never starts (platform-level error, detected after
+    /// the invocation jitter).
+    InvokeFailure,
+    /// The worker crashes mid-compute after `work_done` of its compute
+    /// (fraction in `(0, 1)`); the partial duration is still billed.
+    Crash {
+        /// Fraction of the compute finished before the crash.
+        work_done: f64,
+    },
+    /// The worker runs to completion but `slowdown`× slower than normal.
+    Straggler {
+        /// Compute-time multiplier (≥ 1).
+        slowdown: f64,
+    },
+    /// The worker completes but its response is corrupted in transfer; the
+    /// master detects it at the join and must treat the attempt as failed.
+    Corrupt,
+}
+
+/// Fault-injection knobs. All rates are per worker *execution* (an attempt
+/// or a hedge), mutually exclusive, and must sum to at most 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Seed driving every fault decision (splitmix64-hashed with the site).
+    pub seed: u64,
+    /// Probability an invocation fails outright.
+    pub invoke_failure_rate: f64,
+    /// Probability the worker crashes mid-compute.
+    pub crash_rate: f64,
+    /// Probability the worker straggles.
+    pub straggler_rate: f64,
+    /// Compute-time multiplier for a straggling worker (≥ 1); the actual
+    /// slowdown is drawn deterministically between half and full effect.
+    pub straggler_slowdown: f64,
+    /// Probability the response is corrupted in transfer.
+    pub corrupt_rate: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            invoke_failure_rate: 0.0,
+            crash_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 4.0,
+            corrupt_rate: 0.0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Config that only fails invocations, at `rate` — the legacy
+    /// `invocation_failure_rate` platform knob expressed as chaos.
+    pub fn invoke_only(rate: f64, seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            invoke_failure_rate: rate,
+            ..ChaosConfig::default()
+        }
+    }
+
+    /// Reads chaos knobs from the environment: `GILLIS_CHAOS_RATE` (total
+    /// fault rate, split 40% invocation failures / 40% crashes / 20%
+    /// corruption) and `GILLIS_CHAOS_SEED` (default `0xC4A05EED`). Returns
+    /// `None` when `GILLIS_CHAOS_RATE` is unset or not a positive number.
+    /// This is how CI's chaos job injects faults into the test suite.
+    pub fn from_env() -> Option<Self> {
+        let rate: f64 = std::env::var("GILLIS_CHAOS_RATE").ok()?.parse().ok()?;
+        // NaN-rejecting: only a definitely-positive rate enables chaos.
+        if rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return None;
+        }
+        let rate = rate.min(1.0);
+        let seed = std::env::var("GILLIS_CHAOS_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0xC4A0_5EED);
+        Some(ChaosConfig {
+            seed,
+            invoke_failure_rate: 0.4 * rate,
+            crash_rate: 0.4 * rate,
+            straggler_rate: 0.0,
+            straggler_slowdown: 4.0,
+            corrupt_rate: 0.2 * rate,
+        })
+    }
+
+    /// Validates the config and builds the injector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::InvalidArgument`] when a rate is outside
+    /// `[0, 1]`, the rates sum past 1, or the slowdown is below 1.
+    pub fn build(self) -> Result<FaultInjector> {
+        let rates = [
+            self.invoke_failure_rate,
+            self.crash_rate,
+            self.straggler_rate,
+            self.corrupt_rate,
+        ];
+        if rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return Err(FaasError::InvalidArgument(format!(
+                "chaos rates must each be in [0, 1]: {self:?}"
+            )));
+        }
+        if rates.iter().sum::<f64>() > 1.0 + 1e-12 {
+            return Err(FaasError::InvalidArgument(format!(
+                "chaos rates must sum to at most 1: {self:?}"
+            )));
+        }
+        // NaN-rejecting comparison: NaN fails the `>= 1` requirement.
+        if self.straggler_slowdown.partial_cmp(&1.0) == Some(std::cmp::Ordering::Less)
+            || self.straggler_slowdown.is_nan()
+        {
+            return Err(FaasError::InvalidArgument(format!(
+                "straggler slowdown must be >= 1: {}",
+                self.straggler_slowdown
+            )));
+        }
+        Ok(FaultInjector { cfg: self })
+    }
+}
+
+/// Salt constants separating the independent per-site decisions.
+mod salt {
+    pub const KIND: u64 = 0x11;
+    pub const CRASH_FRAC: u64 = 0x22;
+    pub const SLOWDOWN: u64 = 0x33;
+    pub const BACKOFF: u64 = 0x44;
+}
+
+/// Seedable, deterministic fault sampler: every decision is a pure function
+/// of `(config.seed, site)`, so runs are bit-identical across thread counts
+/// and the same site re-queried always faults the same way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    cfg: ChaosConfig,
+}
+
+impl FaultInjector {
+    /// The config this injector samples from.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    fn word(&self, site: FaultSite, salt: u64) -> u64 {
+        let mut h = splitmix64(self.cfg.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        h = splitmix64(h ^ site.query);
+        h = splitmix64(
+            h ^ (((site.group as u64) << 40)
+                | ((site.part as u64) << 16)
+                | ((site.lane as u64) << 8)),
+        );
+        splitmix64(h ^ site.attempt as u64)
+    }
+
+    fn unit(&self, site: FaultSite, salt: u64) -> f64 {
+        (self.word(site, salt) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Samples the fault (if any) of one worker execution.
+    pub fn fault(&self, site: FaultSite) -> Option<Fault> {
+        let u = self.unit(site, salt::KIND);
+        let mut acc = self.cfg.invoke_failure_rate;
+        if u < acc {
+            return Some(Fault::InvokeFailure);
+        }
+        acc += self.cfg.crash_rate;
+        if u < acc {
+            // Crash somewhere in the middle 15%–85% of the compute.
+            let work_done = 0.15 + 0.7 * self.unit(site, salt::CRASH_FRAC);
+            return Some(Fault::Crash { work_done });
+        }
+        acc += self.cfg.corrupt_rate;
+        if u < acc {
+            return Some(Fault::Corrupt);
+        }
+        acc += self.cfg.straggler_rate;
+        if u < acc {
+            let excess = self.cfg.straggler_slowdown - 1.0;
+            let slowdown = 1.0 + excess * (0.5 + 0.5 * self.unit(site, salt::SLOWDOWN));
+            return Some(Fault::Straggler { slowdown });
+        }
+        None
+    }
+
+    /// Deterministic `U[0, 1)` draw used for backoff jitter at this site.
+    pub fn backoff_unit(&self, site: FaultSite) -> f64 {
+        self.unit(site, salt::BACKOFF)
+    }
+}
+
+/// The process-wide environment-driven injector (see
+/// [`ChaosConfig::from_env`]), built once. `None` when the environment sets
+/// no chaos, or sets an invalid config.
+pub fn env_injector() -> Option<&'static FaultInjector> {
+    use std::sync::OnceLock;
+    static INJECTOR: OnceLock<Option<FaultInjector>> = OnceLock::new();
+    INJECTOR
+        .get_or_init(|| ChaosConfig::from_env().and_then(|cfg| cfg.build().ok()))
+        .as_ref()
+}
+
+/// What the master does about worker faults.
+///
+/// Timeouts and hedge delays are expressed as multiples of the *predicted*
+/// p95 latency of the attempt (compute prediction plus invocation-jitter
+/// quantile), so the knobs transfer across partitions of very different
+/// sizes. `f64::INFINITY` disables the respective mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResiliencePolicy {
+    /// Total attempts per worker partition, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds (0 = immediate).
+    pub backoff_base_ms: f64,
+    /// Multiplier applied per further retry.
+    pub backoff_multiplier: f64,
+    /// Upper bound on a single backoff, in milliseconds.
+    pub backoff_cap_ms: f64,
+    /// Jitter fraction in `[0, 1]`: a backoff `b` becomes
+    /// `b × (1 − frac/2 + frac × u)` for a deterministic `u ∈ [0, 1)`.
+    pub backoff_jitter_frac: f64,
+    /// Per-attempt timeout = this factor × predicted attempt p95.
+    pub attempt_timeout_factor: f64,
+    /// Hedge launch delay = this factor × predicted attempt p95; the hedge
+    /// runs the same partition on a second instance, first result wins.
+    pub hedge_delay_factor: f64,
+    /// On retry-budget exhaustion, the master recomputes the shard locally
+    /// (degrading that group to single-function semantics) instead of
+    /// failing the query.
+    pub local_fallback: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy::backoff()
+    }
+}
+
+impl ResiliencePolicy {
+    /// No resilience at all: one attempt, no hedge; failures degrade to a
+    /// master-local recompute.
+    pub fn none() -> Self {
+        ResiliencePolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0.0,
+            backoff_multiplier: 1.0,
+            backoff_cap_ms: 0.0,
+            backoff_jitter_frac: 0.0,
+            attempt_timeout_factor: f64::INFINITY,
+            hedge_delay_factor: f64::INFINITY,
+            local_fallback: true,
+        }
+    }
+
+    /// Naive immediate retry (the pre-resilience behaviour, minus the
+    /// "final attempt always succeeds" fiction): four attempts, no backoff,
+    /// no timeout, no hedge.
+    pub fn naive_retry() -> Self {
+        ResiliencePolicy {
+            max_attempts: 4,
+            ..ResiliencePolicy::none()
+        }
+    }
+
+    /// Exponential backoff with deterministic jitter and per-attempt
+    /// timeouts — the default.
+    pub fn backoff() -> Self {
+        ResiliencePolicy {
+            max_attempts: 4,
+            backoff_base_ms: 2.0,
+            backoff_multiplier: 2.0,
+            backoff_cap_ms: 60.0,
+            backoff_jitter_frac: 0.5,
+            attempt_timeout_factor: 10.0,
+            hedge_delay_factor: f64::INFINITY,
+            local_fallback: true,
+        }
+    }
+
+    /// Backoff plus hedged requests: a speculative duplicate is launched
+    /// once an attempt exceeds its predicted p95, first result wins.
+    pub fn backoff_hedged() -> Self {
+        ResiliencePolicy {
+            hedge_delay_factor: 1.0,
+            ..ResiliencePolicy::backoff()
+        }
+    }
+
+    /// Whether hedging is enabled.
+    pub fn hedged(&self) -> bool {
+        self.hedge_delay_factor.is_finite()
+    }
+
+    /// Backoff before retry number `retry + 1` (zero-based retry index),
+    /// jittered by a deterministic `unit ∈ [0, 1)`.
+    pub fn backoff_ms(&self, retry: u32, unit: f64) -> f64 {
+        if self.backoff_base_ms <= 0.0 {
+            return 0.0;
+        }
+        let raw = self.backoff_base_ms * self.backoff_multiplier.powi(retry as i32);
+        let capped = raw.min(self.backoff_cap_ms);
+        let f = self.backoff_jitter_frac;
+        capped * (1.0 - f / 2.0 + f * unit)
+    }
+}
+
+/// Terminal status of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryStatus {
+    /// Every worker partition succeeded within its retry budget.
+    Ok,
+    /// At least one shard exhausted its budget and was recomputed locally
+    /// by the master (correct result, degraded latency).
+    Degraded,
+    /// A shard exhausted its budget with local fallback disabled; the
+    /// query produced no result.
+    Failed,
+}
+
+/// Honest resilience accounting across a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResilienceCounters {
+    /// Retry attempts launched (beyond each worker's first attempt).
+    pub retries: u64,
+    /// Hedged (speculative duplicate) executions launched.
+    pub hedges: u64,
+    /// Hedges whose result was accepted over the primary's.
+    pub hedge_wins: u64,
+    /// Attempts abandoned at the per-attempt timeout.
+    pub timeouts: u64,
+    /// Shards recomputed locally by the master after budget exhaustion.
+    pub degraded_shards: u64,
+    /// Queries fully served by workers.
+    pub ok_queries: u64,
+    /// Queries that completed only via local fallback.
+    pub degraded_queries: u64,
+    /// Queries that produced no result.
+    pub failed_queries: u64,
+}
+
+impl ResilienceCounters {
+    /// Folds another counter set into this one.
+    pub fn absorb(&mut self, other: &ResilienceCounters) {
+        self.retries += other.retries;
+        self.hedges += other.hedges;
+        self.hedge_wins += other.hedge_wins;
+        self.timeouts += other.timeouts;
+        self.degraded_shards += other.degraded_shards;
+        self.ok_queries += other.ok_queries;
+        self.degraded_queries += other.degraded_queries;
+        self.failed_queries += other.failed_queries;
+    }
+
+    /// Records one query's terminal status.
+    pub fn record_status(&mut self, status: QueryStatus) {
+        match status {
+            QueryStatus::Ok => self.ok_queries += 1,
+            QueryStatus::Degraded => self.degraded_queries += 1,
+            QueryStatus::Failed => self.failed_queries += 1,
+        }
+    }
+
+    /// Total queries accounted for.
+    pub fn queries(&self) -> u64 {
+        self.ok_queries + self.degraded_queries + self.failed_queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(query: u64, attempt: u32) -> FaultSite {
+        FaultSite {
+            query,
+            group: 1,
+            part: 2,
+            attempt,
+            lane: 0,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ChaosConfig::default().build().is_ok());
+        assert!(ChaosConfig {
+            invoke_failure_rate: 1.2,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .is_err());
+        assert!(ChaosConfig {
+            invoke_failure_rate: 0.6,
+            crash_rate: 0.6,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .is_err());
+        assert!(ChaosConfig {
+            straggler_rate: 0.1,
+            straggler_slowdown: 0.5,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .is_err());
+        assert!(ChaosConfig {
+            invoke_failure_rate: f64::NAN,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        let a = ChaosConfig {
+            seed: 7,
+            invoke_failure_rate: 0.2,
+            crash_rate: 0.2,
+            straggler_rate: 0.2,
+            corrupt_rate: 0.2,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .unwrap();
+        let b = ChaosConfig {
+            seed: 8,
+            ..*a.config()
+        }
+        .build()
+        .unwrap();
+        let sites: Vec<FaultSite> = (0..200).map(|q| site(q, 0)).collect();
+        let fa: Vec<_> = sites.iter().map(|&s| a.fault(s)).collect();
+        let fa2: Vec<_> = sites.iter().map(|&s| a.fault(s)).collect();
+        assert_eq!(fa, fa2, "same seed + site must fault identically");
+        let fb: Vec<_> = sites.iter().map(|&s| b.fault(s)).collect();
+        assert_ne!(fa, fb, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn fault_rates_are_respected() {
+        let inj = ChaosConfig {
+            seed: 3,
+            invoke_failure_rate: 0.1,
+            crash_rate: 0.1,
+            straggler_rate: 0.1,
+            corrupt_rate: 0.1,
+            straggler_slowdown: 4.0,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .unwrap();
+        let n = 20_000u64;
+        let mut counts = [0u64; 5];
+        for q in 0..n {
+            match inj.fault(site(q, 0)) {
+                None => counts[0] += 1,
+                Some(Fault::InvokeFailure) => counts[1] += 1,
+                Some(Fault::Crash { work_done }) => {
+                    assert!((0.15..=0.85).contains(&work_done));
+                    counts[2] += 1;
+                }
+                Some(Fault::Straggler { slowdown }) => {
+                    assert!((1.0..=4.0).contains(&slowdown));
+                    counts[3] += 1;
+                }
+                Some(Fault::Corrupt) => counts[4] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.6).abs() < 0.02);
+        for &c in &counts[1..] {
+            assert!(
+                (c as f64 / n as f64 - 0.1).abs() < 0.01,
+                "counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lanes_and_attempts_are_independent() {
+        let inj = ChaosConfig {
+            seed: 5,
+            invoke_failure_rate: 0.5,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .unwrap();
+        let primary: Vec<_> = (0..200)
+            .map(|q| {
+                inj.fault(FaultSite {
+                    lane: 0,
+                    ..site(q, 0)
+                })
+            })
+            .collect();
+        let hedge: Vec<_> = (0..200)
+            .map(|q| {
+                inj.fault(FaultSite {
+                    lane: 1,
+                    ..site(q, 0)
+                })
+            })
+            .collect();
+        let retry: Vec<_> = (0..200).map(|q| inj.fault(site(q, 1))).collect();
+        assert_ne!(primary, hedge);
+        assert_ne!(primary, retry);
+    }
+
+    #[test]
+    fn backoff_schedule_grows_and_caps() {
+        let p = ResiliencePolicy::backoff();
+        let b0 = p.backoff_ms(0, 0.5);
+        let b1 = p.backoff_ms(1, 0.5);
+        let b9 = p.backoff_ms(9, 0.5);
+        assert!(b0 > 0.0 && b1 > b0);
+        assert!(b9 <= p.backoff_cap_ms * (1.0 + p.backoff_jitter_frac / 2.0));
+        // Jitter brackets the nominal value.
+        assert!(p.backoff_ms(0, 0.0) < p.backoff_ms(0, 0.999));
+        // Naive retry never waits.
+        assert_eq!(ResiliencePolicy::naive_retry().backoff_ms(3, 0.7), 0.0);
+    }
+
+    #[test]
+    fn policy_presets() {
+        assert_eq!(ResiliencePolicy::none().max_attempts, 1);
+        assert!(!ResiliencePolicy::backoff().hedged());
+        assert!(ResiliencePolicy::backoff_hedged().hedged());
+        assert_eq!(
+            ResiliencePolicy::default(),
+            ResiliencePolicy::backoff(),
+            "default policy is plain backoff"
+        );
+    }
+
+    #[test]
+    fn counters_absorb_and_account() {
+        let mut a = ResilienceCounters {
+            retries: 1,
+            hedges: 2,
+            ..ResilienceCounters::default()
+        };
+        a.record_status(QueryStatus::Ok);
+        a.record_status(QueryStatus::Degraded);
+        a.record_status(QueryStatus::Failed);
+        let mut b = ResilienceCounters::default();
+        b.absorb(&a);
+        b.absorb(&a);
+        assert_eq!(b.retries, 2);
+        assert_eq!(b.hedges, 4);
+        assert_eq!(b.queries(), 6);
+        assert_eq!(b.ok_queries, 2);
+        assert_eq!(b.degraded_queries, 2);
+        assert_eq!(b.failed_queries, 2);
+    }
+}

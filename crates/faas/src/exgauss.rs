@@ -86,6 +86,29 @@ impl ExGaussian {
         (normal_cdf(u) - correction).clamp(0.0, 1.0)
     }
 
+    /// Approximate upper quantile at probability `p` (e.g. `0.95`):
+    /// `mu + sigma * z_p + (-ln(1 - p)) / rate`, the Gaussian quantile plus
+    /// the exponential tail's quantile. The sum of component quantiles
+    /// slightly over-estimates the true quantile, which is the conservative
+    /// direction for deriving timeouts and hedge delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `(0, 1)`.
+    pub fn upper_quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0, 1)");
+        // Acklam-style rational approximation of the standard normal
+        // quantile, accurate to ~1e-9 over (0, 1).
+        let z = {
+            let (a, b) = if p < 0.5 { (p, -1.0) } else { (1.0 - p, 1.0) };
+            let t = (-2.0 * a.ln()).sqrt();
+            b * (t
+                - (2.515517 + 0.802853 * t + 0.010328 * t * t)
+                    / (1.0 + 1.432788 * t + 0.189269 * t * t + 0.001308 * t * t * t))
+        };
+        self.mu + self.sigma * z + (-(1.0 - p).ln()) / self.rate
+    }
+
     /// Expected maximum of `n` i.i.d. draws (the `n`-th order statistic's
     /// mean), computed by numerically integrating `E[max] = ub - ∫ F(x)^n dx`
     /// over a generous support.
@@ -171,6 +194,22 @@ mod tests {
         let d = dist();
         // Positively skewed: median < mean.
         assert!(d.cdf(d.mean()) > 0.5);
+    }
+
+    #[test]
+    fn upper_quantile_is_conservative_and_monotone() {
+        let d = dist();
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.9, 0.95, 0.99] {
+            let q = d.upper_quantile(p);
+            assert!(q > prev);
+            prev = q;
+            // Component-quantile sum over-estimates: at least p of the mass
+            // lies below it (small slack for the normal-quantile approx).
+            assert!(d.cdf(q) >= p - 0.005, "p={p}: cdf({q}) = {}", d.cdf(q));
+        }
+        // Not wildly conservative at p95.
+        assert!(d.cdf(d.upper_quantile(0.95)) < 0.999);
     }
 
     #[test]

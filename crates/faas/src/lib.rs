@@ -24,6 +24,7 @@
 //! profiling, exactly as the paper profiles real functions.
 
 pub mod billing;
+pub mod chaos;
 pub mod compute;
 pub mod des;
 pub mod error;
@@ -37,6 +38,10 @@ pub mod time;
 pub mod vm;
 pub mod workload;
 
+pub use chaos::{
+    env_injector, ChaosConfig, Fault, FaultInjector, FaultSite, QueryStatus, ResilienceCounters,
+    ResiliencePolicy,
+};
 pub use error::FaasError;
 pub use exgauss::ExGaussian;
 pub use platform::{PlatformKind, PlatformProfile};

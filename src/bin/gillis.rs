@@ -170,7 +170,16 @@ fn run() -> Result<(), String> {
                 report.billing.billed_ms_total(),
                 report.billing.usd_total(),
                 report.cold_starts,
-                report.retries,
+                report.resilience.retries,
+            );
+            println!(
+                "outcomes: {} ok, {} degraded, {} failed ({} hedges, {} hedge wins, {} timeouts)",
+                report.resilience.ok_queries,
+                report.resilience.degraded_queries,
+                report.resilience.failed_queries,
+                report.resilience.hedges,
+                report.resilience.hedge_wins,
+                report.resilience.timeouts,
             );
         }
         other => return Err(format!("unknown command '{other}'")),

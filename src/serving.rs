@@ -23,8 +23,9 @@
 //! ```
 
 use gillis_core::{
-    execute_plan_tensors, predict_plan, CoreError, DpPartitioner, ExecutionPlan, ForkJoinRuntime,
-    PartitionerConfig, PlanPrediction, ServingReport,
+    execute_plan_tensors_resilient, predict_plan, ChaosConfig, CoreError, DpPartitioner,
+    ExecutionPlan, ForkJoinRuntime, PartitionerConfig, PlanPrediction, ResilienceCounters,
+    ResiliencePolicy, ServingReport,
 };
 use gillis_faas::workload::ClosedLoop;
 use gillis_faas::PlatformProfile;
@@ -125,6 +126,8 @@ pub struct Gillis {
     mode: Mode,
     profile_seed: u64,
     episodes: usize,
+    chaos: Option<ChaosConfig>,
+    policy: ResiliencePolicy,
 }
 
 impl Gillis {
@@ -137,6 +140,8 @@ impl Gillis {
             mode: Mode::LatencyOptimal,
             profile_seed: 42,
             episodes: 400,
+            chaos: None,
+            policy: ResiliencePolicy::default(),
         }
     }
 
@@ -162,6 +167,22 @@ impl Gillis {
     /// Sets the RL episode budget for the SLO-aware modes.
     pub fn episodes(mut self, episodes: usize) -> Self {
         self.episodes = episodes;
+        self
+    }
+
+    /// Injects deterministic faults into serving and inference: worker
+    /// invocation failures, mid-compute crashes, stragglers, and transfer
+    /// corruption, sampled as a pure function of `(config.seed, fault
+    /// site)` — validated at [`Gillis::deploy`].
+    pub fn chaos(mut self, config: ChaosConfig) -> Self {
+        self.chaos = Some(config);
+        self
+    }
+
+    /// Sets how the fork-join master responds to worker faults (retries,
+    /// backoff, timeouts, hedging, graceful degradation).
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -207,11 +228,18 @@ impl Gillis {
             }
         };
         let prediction = predict_plan(&self.model, &plan, &perf)?;
+        // Validate the chaos config now, at deploy time, not when serving
+        // starts.
+        if let Some(ref chaos) = self.chaos {
+            chaos.build()?;
+        }
         Ok(Deployment {
             model: self.model,
             platform: self.platform,
             plan,
             prediction,
+            chaos: self.chaos,
+            policy: self.policy,
         })
     }
 }
@@ -223,6 +251,8 @@ pub struct Deployment {
     platform: PlatformProfile,
     plan: ExecutionPlan,
     prediction: PlanPrediction,
+    chaos: Option<ChaosConfig>,
+    policy: ResiliencePolicy,
 }
 
 impl Deployment {
@@ -262,12 +292,49 @@ impl Deployment {
     /// Propagates executor and plan-validation errors (e.g. an input whose
     /// shape does not match the model).
     pub fn infer(&self, weights: &ModelWeights, input: &Tensor) -> Result<Tensor, CoreError> {
-        execute_plan_tensors(&self.model, &self.plan, weights, input)
+        self.infer_with_report(weights, input).map(|(out, _)| out)
+    }
+
+    /// [`Deployment::infer`] plus the resilience accounting of the query:
+    /// how many worker executions were retried, and how many shards the
+    /// master recomputed locally after exhausting their retry budget. The
+    /// tensor is bit-identical to the fault-free result either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor and plan-validation errors.
+    pub fn infer_with_report(
+        &self,
+        weights: &ModelWeights,
+        input: &Tensor,
+    ) -> Result<(Tensor, ResilienceCounters), CoreError> {
+        let injector = match &self.chaos {
+            Some(cfg) => Some(cfg.build()?),
+            None => None,
+        };
+        execute_plan_tensors_resilient(
+            &self.model,
+            &self.plan,
+            weights,
+            input,
+            injector.as_ref(),
+            &self.policy,
+            gillis_pool::gillis_threads(),
+        )
+    }
+
+    fn runtime(&self) -> Result<ForkJoinRuntime<'_>, CoreError> {
+        let rt = ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())?
+            .with_policy(self.policy);
+        match self.chaos {
+            Some(cfg) => rt.with_chaos(cfg),
+            None => Ok(rt),
+        }
     }
 
     /// Mean warm-query latency over `n` simulated queries.
     pub fn mean_latency_ms(&self, n: usize, seed: u64) -> f64 {
-        ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())
+        self.runtime()
             .expect("deployed plan is valid")
             .mean_latency_ms(n, seed)
     }
@@ -278,8 +345,7 @@ impl Deployment {
     ///
     /// Propagates fleet and deployment errors.
     pub fn serve(&self, workload: ClosedLoop, seed: u64) -> Result<ServingReport, CoreError> {
-        ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())?
-            .serve_workload(workload, seed)
+        self.runtime()?.serve_workload(workload, seed)
     }
 
     /// Serves an open-loop Poisson stream (see
@@ -295,12 +361,8 @@ impl Deployment {
         prewarm: usize,
         seed: u64,
     ) -> Result<ServingReport, CoreError> {
-        ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())?.serve_open_loop(
-            rate_per_sec,
-            queries,
-            prewarm,
-            seed,
-        )
+        self.runtime()?
+            .serve_open_loop(rate_per_sec, queries, prewarm, seed)
     }
 }
 
@@ -373,6 +435,55 @@ mod tests {
         assert!(lookup_platform("lambda").is_ok());
         assert!(lookup_platform("knix").is_ok());
         assert!(lookup_platform("azure").is_err());
+    }
+
+    #[test]
+    fn chaotic_deployment_serves_and_infers_exactly() {
+        use gillis_model::exec::Executor;
+        use gillis_model::weights::init_weights;
+
+        let tiny = zoo::tiny_vgg();
+        let chaos = ChaosConfig {
+            seed: 99,
+            invoke_failure_rate: 0.1,
+            crash_rate: 0.1,
+            straggler_rate: 0.1,
+            straggler_slowdown: 5.0,
+            corrupt_rate: 0.05,
+        };
+        let d = Gillis::new(tiny.clone())
+            .chaos(chaos)
+            .resilience(ResiliencePolicy::backoff_hedged())
+            .deploy()
+            .unwrap();
+
+        // Serving under chaos completes every query and reports honestly.
+        let report = d
+            .serve(ClosedLoop::new(4, 30, Micros::ZERO).unwrap(), 2)
+            .unwrap();
+        assert_eq!(report.latency.count(), 30);
+        assert_eq!(report.resilience.queries(), 30);
+        assert_eq!(report.resilience.failed_queries, 0);
+
+        // Inference under chaos is still exactly correct.
+        let weights = init_weights(tiny.graph(), 11).unwrap();
+        let input = Tensor::from_fn(tiny.input_shape().clone(), |i| {
+            ((i % 11) as f32 - 5.0) / 5.0
+        });
+        let (out, _counters) = d.infer_with_report(&weights, &input).unwrap();
+        let reference = Executor::new(tiny.graph(), &weights)
+            .forward(&tiny, &input)
+            .unwrap();
+        assert!(reference.max_abs_diff(&out).unwrap() < 1e-4);
+
+        // An invalid chaos config is rejected at deploy time.
+        let bad = Gillis::new(zoo::tiny_vgg())
+            .chaos(ChaosConfig {
+                invoke_failure_rate: 1.5,
+                ..ChaosConfig::default()
+            })
+            .deploy();
+        assert!(bad.is_err());
     }
 
     #[test]
