@@ -1,0 +1,440 @@
+//! Plan-level compiled execution: the steady-state warm path of a deployment.
+//!
+//! [`CompiledPlanExec`] lowers an [`ExecutionPlan`] over a model into a chain
+//! of [`CompiledPartition`]s (one per planned group) plus one preallocated
+//! join buffer per group. Compilation — plan validation, range balancing,
+//! weight pre-slicing, batch-norm folding, and conv panel packing — happens
+//! once per `(plan, model)`; a query then flows through the chain touching
+//! only preallocated buffers.
+//!
+//! Piece dispatch mirrors [`execute_plan_tensors`](crate::forkjoin): the same
+//! `PartDim` → axis mapping, the same [`balanced_ranges`] cuts, and a gather
+//! in exactly [`Tensor::concat`]'s memory order, so the output is
+//! bit-identical to the uncompiled path at any thread count (see the
+//! property test at the bottom). With `threads <= 1` every piece runs inline
+//! on the caller and the warm path performs zero heap allocations; with more
+//! threads, pieces of a group fan out on the shared pool and channel-split
+//! groups write their disjoint slices of the join buffer directly.
+//!
+//! Compilation fails with an error (never wrong results) on models the
+//! compiled path does not cover — branching graphs (ResNet's `Add`,
+//! inception `Concat`) and recurrent layers. Callers fall back to
+//! [`execute_plan_tensors`](crate::forkjoin::execute_plan_tensors).
+
+use gillis_model::compiled::{CompiledPartition, PanelCache, PieceSpec};
+use gillis_model::weights::ModelWeights;
+use gillis_model::LinearModel;
+use gillis_tensor::{Shape, Tensor};
+
+use crate::partition::{balanced_ranges, PartDim, PartitionOption};
+use crate::plan::ExecutionPlan;
+use crate::{CoreError, Result};
+
+/// One planned group, compiled, plus its preallocated join buffer.
+struct CompiledGroup {
+    partition: CompiledPartition,
+    /// Join buffer the group's pieces are gathered (or directly written)
+    /// into; doubles as the next group's input.
+    out: Vec<f32>,
+}
+
+/// A whole execution plan compiled for repeated inference.
+///
+/// Build once with [`CompiledPlanExec::compile`]; run once per query with
+/// [`CompiledPlanExec::run_raw`] (borrowed output, allocation-free when
+/// warm) or [`CompiledPlanExec::run`] (owned [`Tensor`]).
+pub struct CompiledPlanExec {
+    groups: Vec<CompiledGroup>,
+    in_len: usize,
+    /// Packed conv panels, kept so recompiles against the same weights can
+    /// share them and for capacity reporting.
+    panels: PanelCache,
+}
+
+impl CompiledPlanExec {
+    /// Compiles `plan` over `model` and `weights`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPlan`] if the plan does not validate, and
+    /// the underlying [`ModelError`](gillis_model::ModelError) if the model
+    /// is outside the compiled subset (branching graphs, recurrent layers) —
+    /// in which case callers should fall back to the uncompiled path.
+    pub fn compile(
+        model: &LinearModel,
+        plan: &ExecutionPlan,
+        weights: &ModelWeights,
+    ) -> Result<Self> {
+        plan.validate(model, u64::MAX)?;
+        let mut cache = PanelCache::new();
+        let mut groups = Vec::with_capacity(plan.groups().len());
+        let mut prev_len = model.input_shape().len();
+        for g in plan.groups() {
+            let layers = &model.layers()[g.start..g.end];
+            let (specs, axis) = match g.option {
+                PartitionOption::Single => (vec![PieceSpec::Full], 0),
+                PartitionOption::Split { dim, parts } => {
+                    let last = &layers[layers.len() - 1];
+                    let (axis, total) = match dim {
+                        PartDim::Height => (1usize, last.out_shape.dims()[1]),
+                        PartDim::Width => (2usize, last.out_shape.dims()[2]),
+                        PartDim::Channel => (0usize, last.out_shape.dims()[0]),
+                    };
+                    let specs = balanced_ranges(total, parts)
+                        .into_iter()
+                        .map(|r| match dim {
+                            PartDim::Height => PieceSpec::Rows(r),
+                            PartDim::Width => PieceSpec::Cols(r),
+                            PartDim::Channel => PieceSpec::Channels(r),
+                        })
+                        .collect();
+                    (specs, axis)
+                }
+            };
+            let partition = CompiledPartition::compile(
+                model.graph(),
+                weights,
+                layers,
+                &specs,
+                axis,
+                &mut cache,
+            )?;
+            if partition.in_len() != prev_len {
+                return Err(CoreError::InvalidPlan(format!(
+                    "compiled group {}..{} expects input length {}, previous group produces {}",
+                    g.start,
+                    g.end,
+                    partition.in_len(),
+                    prev_len
+                )));
+            }
+            prev_len = partition.out_shape().len();
+            let out = vec![0.0f32; prev_len];
+            groups.push(CompiledGroup { partition, out });
+        }
+        Ok(CompiledPlanExec {
+            groups,
+            in_len: model.input_shape().len(),
+            panels: cache,
+        })
+    }
+
+    /// Expected input element count.
+    pub fn in_len(&self) -> usize {
+        self.in_len
+    }
+
+    /// Shape of the model output.
+    pub fn out_shape(&self) -> &Shape {
+        self.groups
+            .last()
+            .expect("a validated plan has at least one group")
+            .partition
+            .out_shape()
+    }
+
+    /// Total bytes of packed conv panels held by this compilation.
+    pub fn panel_bytes(&self) -> usize {
+        self.panels.bytes()
+    }
+
+    /// Runs one query, returning a borrow of the final join buffer (and its
+    /// shape). Uses the ambient [`gillis_pool::gillis_threads`] width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates piece-execution errors (stale weights).
+    pub fn run_raw(&mut self, weights: &ModelWeights, input: &[f32]) -> Result<(&[f32], &Shape)> {
+        self.run_raw_with_threads(weights, input, gillis_pool::gillis_threads())
+    }
+
+    /// [`CompiledPlanExec::run_raw`] with an explicit thread count;
+    /// `threads <= 1` runs every piece inline on the caller (the
+    /// allocation-free path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates piece-execution errors (stale weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from [`CompiledPlanExec::in_len`].
+    pub fn run_raw_with_threads(
+        &mut self,
+        weights: &ModelWeights,
+        input: &[f32],
+        threads: usize,
+    ) -> Result<(&[f32], &Shape)> {
+        assert_eq!(input.len(), self.in_len, "compiled plan input length");
+        let n = self.groups.len();
+        for i in 0..n {
+            let (done, rest) = self.groups.split_at_mut(i);
+            let cur: &[f32] = if i == 0 { input } else { &done[i - 1].out };
+            let g = &mut rest[0];
+            run_group(g, weights, cur, threads)?;
+        }
+        let last = &self.groups[n - 1];
+        Ok((&last.out, last.partition.out_shape()))
+    }
+
+    /// Runs one query and materializes the output as an owned [`Tensor`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates piece-execution errors (stale weights).
+    pub fn run(&mut self, weights: &ModelWeights, input: &Tensor) -> Result<Tensor> {
+        let (data, shape) = self.run_raw(weights, input.data())?;
+        let shape = shape.clone();
+        let data = data.to_vec();
+        Ok(Tensor::from_vec(shape, data).map_err(gillis_model::ModelError::from)?)
+    }
+}
+
+/// Runs one compiled group's pieces into its join buffer.
+///
+/// Sequential when `threads <= 1` or the group has a single piece; otherwise
+/// the pieces fan out on the shared pool — contiguous joins (channel splits)
+/// write disjoint `&mut` slices of the join buffer directly, strided joins
+/// (spatial splits) run into per-piece buffers and gather afterwards in
+/// [`Tensor::concat`] order.
+fn run_group(
+    g: &mut CompiledGroup,
+    weights: &ModelWeights,
+    input: &[f32],
+    threads: usize,
+) -> Result<()> {
+    let n_pieces = g.partition.pieces_mut().len();
+    if threads <= 1 || n_pieces <= 1 {
+        g.partition.run_into(weights, input, &mut g.out)?;
+        return Ok(());
+    }
+    let pool = gillis_pool::Pool::global();
+    let mut errs: Vec<Option<gillis_model::ModelError>> = (0..n_pieces).map(|_| None).collect();
+    match g.partition.contiguous_ranges() {
+        Some(ranges) => {
+            // Disjoint output slices: pieces write the join buffer in place.
+            let mut tail: &mut [f32] = &mut g.out;
+            let mut offset = 0;
+            let mut slots = Vec::with_capacity(n_pieces);
+            for r in &ranges {
+                let (piece_out, rest) = tail.split_at_mut(r.end - offset);
+                offset = r.end;
+                tail = rest;
+                slots.push(piece_out);
+            }
+            let tasks: Vec<gillis_pool::Task> = g
+                .partition
+                .pieces_mut()
+                .iter_mut()
+                .zip(slots)
+                .zip(errs.iter_mut())
+                .map(|((piece, out), err)| {
+                    Box::new(move || {
+                        if let Err(e) = piece.run_into(weights, input, out) {
+                            *err = Some(e);
+                        }
+                    }) as gillis_pool::Task
+                })
+                .collect();
+            pool.join_all(tasks);
+        }
+        None => {
+            let tasks: Vec<gillis_pool::Task> = g
+                .partition
+                .pieces_mut()
+                .iter_mut()
+                .zip(errs.iter_mut())
+                .map(|(piece, err)| {
+                    Box::new(move || {
+                        if let Err(e) = piece.run(weights, input) {
+                            *err = Some(e);
+                        }
+                    }) as gillis_pool::Task
+                })
+                .collect();
+            pool.join_all(tasks);
+            if errs.iter().all(Option::is_none) {
+                g.partition.gather(&mut g.out);
+            }
+        }
+    }
+    match errs.into_iter().flatten().next() {
+        Some(e) => Err(e.into()),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forkjoin::execute_plan_tensors_with_threads;
+    use crate::plan::{Placement, PlannedGroup};
+    use gillis_model::weights::init_weights;
+    use gillis_model::zoo;
+    use proptest::prelude::*;
+
+    fn query(shape: &Shape, seed: u64) -> Tensor {
+        let mut x = seed | 1;
+        Tensor::from_fn(shape.clone(), |_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x % 1000) as f32 / 500.0) - 1.0
+        })
+    }
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+        }
+    }
+
+    /// Random valid plans for tiny-vgg: contiguous groups with a random
+    /// option drawn from the group's feasible set.
+    fn arb_plan(model: &LinearModel) -> impl Strategy<Value = ExecutionPlan> {
+        let n = model.layers().len();
+        let model = model.clone();
+        // Random cut mask over layer boundaries + per-group option picks.
+        (
+            proptest::collection::vec(any::<bool>(), n - 1),
+            proptest::collection::vec(0usize..64, n),
+        )
+            .prop_map(move |(cuts, picks)| {
+                let mut bounds = vec![0usize];
+                for (i, &c) in cuts.iter().enumerate() {
+                    if c {
+                        bounds.push(i + 1);
+                    }
+                }
+                bounds.push(n);
+                let mut groups = Vec::new();
+                for (gi, w) in bounds.windows(2).enumerate() {
+                    let opts = crate::partition::group_options(&model, w[0], w[1], &[2, 3, 4]);
+                    let option = opts[picks[gi % picks.len()] % opts.len()];
+                    groups.push(PlannedGroup {
+                        start: w[0],
+                        end: w[1],
+                        option,
+                        placement: match option {
+                            PartitionOption::Single => Placement::Master,
+                            _ => Placement::Workers,
+                        },
+                    });
+                }
+                ExecutionPlan::new(groups)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The ISSUE's acceptance property: compiled execution is
+        /// bit-identical to the uncompiled fork-join path for random plans
+        /// on tiny-vgg, across thread counts 1, 2, and 8.
+        #[test]
+        fn compiled_plan_is_bit_identical_across_threads(
+            plan_seed in arb_plan(&zoo::tiny_vgg()),
+            wseed in 0u64..1000,
+            qseed in 0u64..1000,
+        ) {
+            let model = zoo::tiny_vgg();
+            let weights = init_weights(model.graph(), wseed).unwrap();
+            let input = query(model.input_shape(), qseed);
+            let reference =
+                execute_plan_tensors_with_threads(&model, &plan_seed, &weights, &input, 1)
+                    .unwrap();
+            let mut compiled = CompiledPlanExec::compile(&model, &plan_seed, &weights).unwrap();
+            for threads in [1usize, 2, 8] {
+                let out = {
+                    let (data, shape) = compiled
+                        .run_raw_with_threads(&weights, input.data(), threads)
+                        .unwrap();
+                    Tensor::from_vec(shape.clone(), data.to_vec()).unwrap()
+                };
+                assert_bits_eq(&out, &reference, "compiled vs reference");
+                // The uncompiled path must itself be thread-invariant.
+                let unc =
+                    execute_plan_tensors_with_threads(&model, &plan_seed, &weights, &input, threads)
+                        .unwrap();
+                assert_bits_eq(&unc, &reference, "uncompiled thread invariance");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_four_way_height_split_matches() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 7).unwrap();
+        let input = query(model.input_shape(), 3);
+        let n = model.layers().len();
+        let spatial_end = model
+            .layers()
+            .iter()
+            .take_while(|l| l.class.supports_spatial())
+            .count();
+        let plan = ExecutionPlan::new(vec![
+            PlannedGroup {
+                start: 0,
+                end: spatial_end,
+                option: PartitionOption::Split {
+                    dim: PartDim::Height,
+                    parts: 4,
+                },
+                placement: Placement::Workers,
+            },
+            PlannedGroup {
+                start: spatial_end,
+                end: n,
+                option: PartitionOption::Single,
+                placement: Placement::Master,
+            },
+        ]);
+        plan.validate(&model, u64::MAX).unwrap();
+        let reference =
+            execute_plan_tensors_with_threads(&model, &plan, &weights, &input, 1).unwrap();
+        let mut compiled = CompiledPlanExec::compile(&model, &plan, &weights).unwrap();
+        for threads in [1usize, 2, 8] {
+            let (data, shape) = compiled
+                .run_raw_with_threads(&weights, input.data(), threads)
+                .unwrap();
+            let out = Tensor::from_vec(shape.clone(), data.to_vec()).unwrap();
+            assert_bits_eq(&out, &reference, "4-way height split");
+        }
+        assert!(compiled.panel_bytes() > 0);
+    }
+
+    #[test]
+    fn recurrent_and_branching_models_fail_to_compile() {
+        for model in [zoo::tiny_resnet(), zoo::tiny_inception()] {
+            let weights = init_weights(model.graph(), 1).unwrap();
+            let plan = ExecutionPlan::single_function(&model);
+            assert!(
+                CompiledPlanExec::compile(&model, &plan, &weights).is_err(),
+                "{} must fall back to the uncompiled path",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_queries_share_output_storage() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 5).unwrap();
+        let plan = ExecutionPlan::single_function(&model);
+        let mut compiled = CompiledPlanExec::compile(&model, &plan, &weights).unwrap();
+        let a = query(model.input_shape(), 1);
+        let b = query(model.input_shape(), 2);
+        let ptr_a = compiled
+            .run_raw_with_threads(&weights, a.data(), 1)
+            .unwrap()
+            .0
+            .as_ptr();
+        let ptr_b = compiled
+            .run_raw_with_threads(&weights, b.data(), 1)
+            .unwrap()
+            .0
+            .as_ptr();
+        assert_eq!(ptr_a, ptr_b);
+    }
+}

@@ -1076,6 +1076,7 @@ pub fn execute_plan_tensors_resilient(
                 while !pending.is_empty() && attempt < max_attempts {
                     let worker = |k: usize| -> std::result::Result<Tensor, PieceFault> {
                         let j = pending[k];
+                        let piece = ranges[j].clone();
                         let site = FaultSite {
                             query: 0,
                             group: gi as u32,
@@ -1094,14 +1095,14 @@ pub fn execute_plan_tensors_resilient(
                                 // The worker computes, but the response is
                                 // corrupted in transfer and rejected at the
                                 // join.
-                                let _ = run_piece(ranges[j].clone());
+                                let _ = run_piece(piece);
                                 return Err(PieceFault::Injected("corrupted response"));
                             }
                             // Stragglers only affect timing, which the real
                             // path does not model.
                             Some(Fault::Straggler { .. }) | None => {}
                         }
-                        run_piece(ranges[j].clone()).map_err(PieceFault::Exec)
+                        run_piece(piece).map_err(PieceFault::Exec)
                     };
                     let results = pool.try_run(pending.len(), worker);
                     let mut still: Vec<usize> = Vec::new();

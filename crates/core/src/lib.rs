@@ -39,6 +39,7 @@
 
 pub mod baselines;
 pub mod cache;
+pub mod compiled_exec;
 pub mod dp;
 pub mod error;
 pub mod forkjoin;
@@ -48,6 +49,7 @@ pub mod predict;
 pub mod tail;
 
 pub use cache::{CacheStats, EvalCache};
+pub use compiled_exec::CompiledPlanExec;
 pub use dp::{DpPartitioner, GroupEval, PartitionerConfig};
 pub use error::CoreError;
 pub use forkjoin::{

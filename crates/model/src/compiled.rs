@@ -1,0 +1,1586 @@
+//! Deployment-time compiled execution: pre-sliced weights, packed GEMM
+//! panels, and preallocated intermediate buffers.
+//!
+//! The reference [`Executor`](crate::exec::Executor) re-derives everything on
+//! every query: it slices weight subsets for channel partitions, recomputes
+//! halo spans for spatial partitions, and allocates a fresh tensor per layer.
+//! None of that work depends on the query — only on the `(plan, model)` pair,
+//! which is fixed at deployment time. This module hoists all of it into a
+//! one-time compile step:
+//!
+//! - [`CompiledSegment`] — one fork-join piece of one layer group, lowered to
+//!   a flat list of steps with precomputed shapes, asymmetric paddings,
+//!   folded batch-norm constants, pre-sliced weight subsets, and packed
+//!   convolution panels. Running a step writes into a buffer allocated at
+//!   compile time, so the warm path performs no heap allocation.
+//! - [`CompiledPartition`] — all pieces of one group plus the join geometry
+//!   (concat axis, per-piece extents) needed to gather piece outputs into a
+//!   caller-owned buffer in exactly [`Tensor::concat`]'s memory order.
+//! - [`PanelCache`] — shares packed conv panels between pieces: spatial
+//!   pieces of the same group use the *full* filter bank and therefore the
+//!   same panel; channel pieces pack their filter subset once.
+//!
+//! Compilation is deliberately restricted to single-input layer chains (the
+//! shape of every VGG-style benchmark model). Graphs with `Add`, `Concat`,
+//! or `Lstm` nodes fail to compile with [`ModelError::Unsupported`]; callers
+//! fall back to the uncompiled executor, which supports everything.
+//!
+//! Every compiled fast path is bit-identical to the reference executor: the
+//! packed GEMM kernel preserves the accumulation order of the unpacked one,
+//! batch-norm folding uses the executor's exact expressions, and gathers
+//! copy in [`Tensor::concat`]'s loop order. Property tests at the bottom of
+//! this module (and in `gillis-core`) compare outputs with `f32::to_bits`.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use gillis_tensor::gemm::PackedA;
+use gillis_tensor::ops::{
+    avg_pool2d_into, batch_norm_fold, batch_norm_folded_into, conv2d_output_hw, conv2d_packed_into,
+    dense_into, depthwise_conv2d_into, global_avg_pool_into, max_pool2d_into, relu_into,
+    softmax_into, BatchNormParams, Conv2dParams, Pool2dParams,
+};
+use gillis_tensor::{Shape, Tensor};
+
+use crate::error::ModelError;
+use crate::exec::span_padding;
+use crate::graph::{Graph, NodeId};
+use crate::linear::{MergedLayer, ReceptiveField};
+use crate::op::LayerOp;
+use crate::weights::{ModelWeights, NodeWeights};
+use crate::Result;
+
+/// What slice of a layer group's output one compiled piece computes.
+///
+/// Mirrors the reference executor's entry points: `Full` ↔ `run_segment`,
+/// `Rows` ↔ `run_segment_rows`, `Cols` ↔ `run_segment_cols`, `Channels` ↔
+/// `run_segment_channels`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PieceSpec {
+    /// The whole group output (an unpartitioned group).
+    Full,
+    /// Output rows (height dimension) of a spatial partition.
+    Rows(Range<usize>),
+    /// Output columns (width dimension) of a spatial partition.
+    Cols(Range<usize>),
+    /// Output channels of a weight-split or channel-local partition.
+    Channels(Range<usize>),
+}
+
+/// Cache of packed convolution weight panels, keyed by conv node and filter
+/// subset (`None` = the full filter bank).
+///
+/// Spatial pieces of the same group all convolve with the full filter bank,
+/// so they share one panel; channel pieces pack their row subset once and
+/// reuse it across recompiles (e.g. several plans over one model).
+/// Panel-cache key: conv node plus optional filter-row subset.
+type PanelKey = (NodeId, Option<(usize, usize)>);
+
+#[derive(Debug, Default)]
+pub struct PanelCache {
+    panels: HashMap<PanelKey, Arc<PackedA>>,
+}
+
+impl PanelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PanelCache::default()
+    }
+
+    fn key(id: NodeId, channels: Option<&Range<usize>>) -> PanelKey {
+        (id, channels.map(|r| (r.start, r.end)))
+    }
+
+    fn lookup(&self, id: NodeId, channels: Option<&Range<usize>>) -> Option<Arc<PackedA>> {
+        self.panels.get(&Self::key(id, channels)).map(Arc::clone)
+    }
+
+    fn insert(
+        &mut self,
+        id: NodeId,
+        channels: Option<&Range<usize>>,
+        panel: PackedA,
+    ) -> Arc<PackedA> {
+        let panel = Arc::new(panel);
+        self.panels
+            .insert(Self::key(id, channels), Arc::clone(&panel));
+        panel
+    }
+
+    /// Number of distinct panels held.
+    pub fn len(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// Whether the cache holds no panels.
+    pub fn is_empty(&self) -> bool {
+        self.panels.is_empty()
+    }
+
+    /// Total bytes of packed panel data (for capacity reporting).
+    pub fn bytes(&self) -> usize {
+        self.panels.values().map(|p| p.bytes()).sum()
+    }
+}
+
+/// Weights a step either resolves from the live weight map (full subsets —
+/// no copy, no allocation) or owns outright (channel-sliced subsets,
+/// materialized once at compile time).
+#[derive(Debug)]
+enum StepWeights {
+    /// Resolve the node's full weights from `ModelWeights` at run time.
+    Node(NodeId),
+    /// Pre-sliced weight/bias pair owned by the step.
+    Owned { weight: Tensor, bias: Tensor },
+}
+
+/// One lowered operation with every parameter pre-resolved.
+#[derive(Debug)]
+enum StepKind {
+    /// Copy `range` of the segment input along a dimension with the given
+    /// slice geometry (the seed slice of a partitioned piece).
+    SliceInput {
+        outer: usize,
+        size: usize,
+        inner: usize,
+        range: Range<usize>,
+    },
+    /// Verbatim copy of the input (flatten-only chains).
+    Copy,
+    Conv {
+        packed: Arc<PackedA>,
+        bias: Vec<f32>,
+        params: Conv2dParams,
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        out_hw: (usize, usize),
+    },
+    Depthwise {
+        weights: StepWeights,
+        params: Conv2dParams,
+        c: usize,
+        in_h: usize,
+        in_w: usize,
+        out_hw: (usize, usize),
+    },
+    /// Batch norm folded to `y = x·scale + shift` at compile time.
+    Bn {
+        scale: Vec<f32>,
+        shift: Vec<f32>,
+        plane: usize,
+    },
+    Relu,
+    Pool {
+        params: Pool2dParams,
+        is_max: bool,
+        c: usize,
+        in_hw: (usize, usize),
+        out_hw: (usize, usize),
+    },
+    GlobalAvgPool {
+        c: usize,
+        plane: usize,
+    },
+    Dense {
+        weights: StepWeights,
+    },
+    Softmax,
+}
+
+/// A lowered op plus its preallocated output buffer.
+#[derive(Debug)]
+struct Step {
+    kind: StepKind,
+    buf: Vec<f32>,
+}
+
+impl Step {
+    fn new(kind: StepKind, out_len: usize) -> Self {
+        Step {
+            kind,
+            buf: vec![0.0; out_len],
+        }
+    }
+}
+
+fn resolve_depthwise<'a>(
+    weights: &'a StepWeights,
+    map: &'a ModelWeights,
+) -> Result<(&'a [f32], &'a [f32])> {
+    match weights {
+        StepWeights::Owned { weight, bias } => Ok((weight.data(), bias.data())),
+        StepWeights::Node(id) => match map.get(*id)? {
+            NodeWeights::Depthwise { weight, bias } => Ok((weight.data(), bias.data())),
+            _ => Err(ModelError::BadWeights(format!(
+                "node {} expected depthwise weights",
+                id.0
+            ))),
+        },
+    }
+}
+
+fn resolve_dense<'a>(
+    weights: &'a StepWeights,
+    map: &'a ModelWeights,
+) -> Result<(&'a [f32], &'a [f32])> {
+    match weights {
+        StepWeights::Owned { weight, bias } => Ok((weight.data(), bias.data())),
+        StepWeights::Node(id) => match map.get(*id)? {
+            NodeWeights::Dense { weight, bias } => Ok((weight.data(), bias.data())),
+            _ => Err(ModelError::BadWeights(format!(
+                "node {} expected dense weights",
+                id.0
+            ))),
+        },
+    }
+}
+
+/// Executes one lowered op from `input` into `out`. On the warm path every
+/// arm is allocation-free: buffers are caller-owned, kernel temporaries come
+/// from the per-thread scratch arena, and weight lookups borrow.
+fn exec_step(kind: &StepKind, map: &ModelWeights, input: &[f32], out: &mut [f32]) -> Result<()> {
+    match kind {
+        StepKind::SliceInput {
+            outer,
+            size,
+            inner,
+            range,
+        } => {
+            let rlen = range.len() * inner;
+            for o in 0..*outer {
+                let src = o * size * inner + range.start * inner;
+                out[o * rlen..(o + 1) * rlen].copy_from_slice(&input[src..src + rlen]);
+            }
+        }
+        StepKind::Copy => out.copy_from_slice(input),
+        StepKind::Conv {
+            packed,
+            bias,
+            params,
+            in_c,
+            in_h,
+            in_w,
+            out_hw,
+        } => conv2d_packed_into(
+            input, *in_c, *in_h, *in_w, packed, bias, params, *out_hw, out,
+        ),
+        StepKind::Depthwise {
+            weights,
+            params,
+            c,
+            in_h,
+            in_w,
+            out_hw,
+        } => {
+            let (w, b) = resolve_depthwise(weights, map)?;
+            depthwise_conv2d_into(input, *c, *in_h, *in_w, w, Some(b), params, *out_hw, out);
+        }
+        StepKind::Bn {
+            scale,
+            shift,
+            plane,
+        } => batch_norm_folded_into(input, *plane, scale, shift, out),
+        StepKind::Relu => relu_into(input, out),
+        StepKind::Pool {
+            params,
+            is_max,
+            c,
+            in_hw,
+            out_hw,
+        } => {
+            if *is_max {
+                max_pool2d_into(input, *c, *in_hw, *out_hw, params, out);
+            } else {
+                avg_pool2d_into(input, *c, *in_hw, *out_hw, params, out);
+            }
+        }
+        StepKind::GlobalAvgPool { c, plane } => global_avg_pool_into(input, *c, *plane, out),
+        StepKind::Dense { weights } => {
+            let (w, b) = resolve_dense(weights, map)?;
+            dense_into(w, input, Some(b), out);
+        }
+        StepKind::Softmax => softmax_into(input, out),
+    }
+    Ok(())
+}
+
+/// One fork-join piece of one layer group, compiled to a step list with
+/// preallocated buffers.
+///
+/// Compile once per `(plan, model)`; run once per query. The run is
+/// bit-identical to the corresponding reference-executor entry point and,
+/// once buffers and per-thread scratch are warm, allocation-free.
+///
+/// `run` must be called with the same weights the segment was compiled
+/// against: packed panels, folded batch-norm constants, and channel slices
+/// are materialized from them at compile time.
+#[derive(Debug)]
+pub struct CompiledSegment {
+    in_len: usize,
+    out_shape: Shape,
+    steps: Vec<Step>,
+}
+
+impl CompiledSegment {
+    /// Compiles one piece of the group `layers` (a consecutive run of merged
+    /// layers of `graph`). `spec` selects which slice of the group output
+    /// this piece computes; conv panels are packed through `cache`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unsupported`] for anything the compiled path
+    /// does not model — multi-input nodes (`Add`, `Concat`), `Lstm`, specs
+    /// the reference executor itself rejects (e.g. `Rows` of a dense layer),
+    /// or empty pieces. Callers are expected to fall back to the uncompiled
+    /// executor on error.
+    pub fn compile(
+        graph: &Graph,
+        weights: &ModelWeights,
+        layers: &[MergedLayer],
+        spec: &PieceSpec,
+        cache: &mut PanelCache,
+    ) -> Result<Self> {
+        let mut chain: Vec<NodeId> = Vec::new();
+        for layer in layers {
+            chain.extend(layer.nodes.iter().copied());
+        }
+        let first = *chain
+            .first()
+            .ok_or_else(|| ModelError::Unsupported("empty segment".into()))?;
+        let seed = graph
+            .node(first)?
+            .inputs
+            .first()
+            .copied()
+            .ok_or_else(|| ModelError::BadWiring("segment head has no input".into()))?;
+        // Compiled execution only models single-input chains: every node
+        // consumes exactly the previous node's output (the first consumes the
+        // seed). Branching graphs fall back to the reference executor.
+        let mut prev = seed;
+        for &id in &chain {
+            let node = graph.node(id)?;
+            if node.inputs.len() != 1 || node.inputs[0] != prev {
+                return Err(ModelError::Unsupported(
+                    "compiled execution requires a single-input layer chain".into(),
+                ));
+            }
+            prev = id;
+        }
+        let seed_shape = graph.node(seed)?.output_shape.clone();
+        let mut b = Builder {
+            graph,
+            weights,
+            cache,
+            seed_shape,
+            chain,
+            steps: Vec::new(),
+        };
+        let out_dims = match spec {
+            PieceSpec::Full => b.build_full()?,
+            PieceSpec::Rows(r) => b.build_span(1, r)?,
+            PieceSpec::Cols(r) => b.build_span(2, r)?,
+            PieceSpec::Channels(r) => b.build_channels(r)?,
+        };
+        if b.steps.is_empty() {
+            // Flatten-only chain: keep one copy step so `run` has a buffer
+            // to hand out.
+            let len = b.seed_shape.len();
+            b.steps.push(Step::new(StepKind::Copy, len));
+        }
+        Ok(CompiledSegment {
+            in_len: b.seed_shape.len(),
+            out_shape: Shape::new(out_dims),
+            steps: b.steps,
+        })
+    }
+
+    /// Expected input length (the seed tensor's element count).
+    pub fn in_len(&self) -> usize {
+        self.in_len
+    }
+
+    /// Shape of this piece's output.
+    pub fn out_shape(&self) -> &Shape {
+        &self.out_shape
+    }
+
+    /// Runs the piece, returning a borrow of its output buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadWeights`] if `weights` no longer matches the
+    /// node ids compiled against; shape errors cannot occur (shapes were
+    /// fixed at compile time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from [`CompiledSegment::in_len`].
+    pub fn run(&mut self, weights: &ModelWeights, input: &[f32]) -> Result<&[f32]> {
+        assert_eq!(input.len(), self.in_len, "compiled segment input length");
+        for i in 0..self.steps.len() {
+            let (done, rest) = self.steps.split_at_mut(i);
+            let cur: &[f32] = if i == 0 { input } else { &done[i - 1].buf };
+            let step = &mut rest[0];
+            exec_step(&step.kind, weights, cur, &mut step.buf)?;
+        }
+        Ok(self.output())
+    }
+
+    /// Like [`CompiledSegment::run`], but writes the final step's output into
+    /// `out` — used to write a piece directly into its disjoint slice of a
+    /// join buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSegment::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` or `out.len()` disagree with the compiled
+    /// geometry.
+    pub fn run_into(
+        &mut self,
+        weights: &ModelWeights,
+        input: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        assert_eq!(input.len(), self.in_len, "compiled segment input length");
+        assert_eq!(
+            out.len(),
+            self.out_shape.len(),
+            "compiled segment output length"
+        );
+        let n = self.steps.len();
+        for i in 0..n - 1 {
+            let (done, rest) = self.steps.split_at_mut(i);
+            let cur: &[f32] = if i == 0 { input } else { &done[i - 1].buf };
+            let step = &mut rest[0];
+            exec_step(&step.kind, weights, cur, &mut step.buf)?;
+        }
+        let cur: &[f32] = if n == 1 {
+            input
+        } else {
+            &self.steps[n - 2].buf
+        };
+        exec_step(&self.steps[n - 1].kind, weights, cur, out)
+    }
+
+    /// The piece's output buffer (valid after the latest [`CompiledSegment::run`]).
+    pub fn output(&self) -> &[f32] {
+        &self
+            .steps
+            .last()
+            .expect("compiled segment has at least one step")
+            .buf
+    }
+}
+
+/// Compile-time state shared by the per-spec builders.
+struct Builder<'a> {
+    graph: &'a Graph,
+    weights: &'a ModelWeights,
+    cache: &'a mut PanelCache,
+    seed_shape: Shape,
+    chain: Vec<NodeId>,
+    steps: Vec<Step>,
+}
+
+impl Builder<'_> {
+    fn conv_weights(&self, id: NodeId) -> Result<(&Tensor, &Tensor)> {
+        match self.weights.get(id)? {
+            NodeWeights::Conv { weight, bias } => Ok((weight, bias)),
+            _ => Err(ModelError::BadWeights(format!(
+                "node {} expected conv weights",
+                id.0
+            ))),
+        }
+    }
+
+    fn depthwise_weights(&self, id: NodeId) -> Result<(&Tensor, &Tensor)> {
+        match self.weights.get(id)? {
+            NodeWeights::Depthwise { weight, bias } => Ok((weight, bias)),
+            _ => Err(ModelError::BadWeights(format!(
+                "node {} expected depthwise weights",
+                id.0
+            ))),
+        }
+    }
+
+    fn bn_weights(&self, id: NodeId) -> Result<&BatchNormParams> {
+        match self.weights.get(id)? {
+            NodeWeights::Bn(p) => Ok(p),
+            _ => Err(ModelError::BadWeights(format!(
+                "node {} expected batch-norm weights",
+                id.0
+            ))),
+        }
+    }
+
+    fn dense_weights(&self, id: NodeId) -> Result<(&Tensor, &Tensor)> {
+        match self.weights.get(id)? {
+            NodeWeights::Dense { weight, bias } => Ok((weight, bias)),
+            _ => Err(ModelError::BadWeights(format!(
+                "node {} expected dense weights",
+                id.0
+            ))),
+        }
+    }
+
+    /// Packs (or fetches) the panel for a conv node's filter rows.
+    fn conv_panel(&mut self, id: NodeId, channels: Option<&Range<usize>>) -> Result<Arc<PackedA>> {
+        if let Some(p) = self.cache.lookup(id, channels) {
+            return Ok(p);
+        }
+        let (w, _) = self.conv_weights(id)?;
+        let dims = w.shape().dims();
+        if dims.len() != 4 {
+            return Err(ModelError::BadWeights(format!(
+                "conv weight must be rank 4, got rank {}",
+                dims.len()
+            )));
+        }
+        let k = dims[1] * dims[2] * dims[3];
+        let panel = match channels {
+            None => PackedA::pack(dims[0], k, w.data()),
+            Some(r) => {
+                let rows = w.slice(0, r.clone())?;
+                PackedA::pack(r.len(), k, rows.data())
+            }
+        };
+        Ok(self.cache.insert(id, channels, panel))
+    }
+
+    /// Folds a node's batch-norm parameters, optionally restricted to a
+    /// channel range. Slicing before folding equals folding before slicing —
+    /// the fold is per-channel — so this matches the reference executor's
+    /// slice-then-normalize exactly.
+    fn bn_fold(&self, id: NodeId, channels: Option<&Range<usize>>) -> Result<(Vec<f32>, Vec<f32>)> {
+        let p = self.bn_weights(id)?;
+        match channels {
+            None => Ok(batch_norm_fold(p)),
+            Some(r) => {
+                let sliced = BatchNormParams {
+                    gamma: p.gamma.slice(0, r.clone())?,
+                    beta: p.beta.slice(0, r.clone())?,
+                    mean: p.mean.slice(0, r.clone())?,
+                    var: p.var.slice(0, r.clone())?,
+                    eps: p.eps,
+                };
+                Ok(batch_norm_fold(&sliced))
+            }
+        }
+    }
+
+    fn push(&mut self, kind: StepKind, out_len: usize) {
+        self.steps.push(Step::new(kind, out_len));
+    }
+
+    fn require_chw(dims: &[usize], what: &str) -> Result<(usize, usize, usize)> {
+        if dims.len() != 3 {
+            return Err(ModelError::Unsupported(format!(
+                "{what} requires a CHW input, got rank {}",
+                dims.len()
+            )));
+        }
+        Ok((dims[0], dims[1], dims[2]))
+    }
+
+    /// Appends the conv step for `id` over a `dims` input with the given
+    /// padding and optional filter subset; returns the output dims.
+    fn push_conv(
+        &mut self,
+        id: NodeId,
+        dims: &[usize],
+        params: Conv2dParams,
+        channels: Option<&Range<usize>>,
+    ) -> Result<Vec<usize>> {
+        let (in_c, in_h, in_w) = Self::require_chw(dims, "conv2d")?;
+        let (w, b) = self.conv_weights(id)?;
+        let wd = w.shape().dims();
+        if wd.len() != 4 || wd[1] != in_c || (wd[2], wd[3]) != params.kernel {
+            return Err(ModelError::BadWeights(format!(
+                "conv weight {wd:?} does not match input {dims:?} / kernel {:?}",
+                params.kernel
+            )));
+        }
+        let out_hw = conv2d_output_hw((in_h, in_w), &params).ok_or_else(|| {
+            ModelError::Unsupported("conv kernel larger than padded input".into())
+        })?;
+        let bias = match channels {
+            None => b.data().to_vec(),
+            Some(r) => b.slice(0, r.clone())?.data().to_vec(),
+        };
+        let packed = self.conv_panel(id, channels)?;
+        let out_c = packed.m();
+        let out_dims = vec![out_c, out_hw.0, out_hw.1];
+        let out_len = out_c * out_hw.0 * out_hw.1;
+        self.push(
+            StepKind::Conv {
+                packed,
+                bias,
+                params,
+                in_c,
+                in_h,
+                in_w,
+                out_hw,
+            },
+            out_len,
+        );
+        Ok(out_dims)
+    }
+
+    /// Appends the depthwise step for `id`; `channels` selects a pre-sliced
+    /// filter subset (channel partitions) or the live full weights.
+    fn push_depthwise(
+        &mut self,
+        id: NodeId,
+        dims: &[usize],
+        params: Conv2dParams,
+        channels: Option<&Range<usize>>,
+    ) -> Result<Vec<usize>> {
+        let (c, in_h, in_w) = Self::require_chw(dims, "depthwise conv2d")?;
+        let weights = match channels {
+            None => StepWeights::Node(id),
+            Some(r) => {
+                let (w, b) = self.depthwise_weights(id)?;
+                StepWeights::Owned {
+                    weight: w.slice(0, r.clone())?,
+                    bias: b.slice(0, r.clone())?,
+                }
+            }
+        };
+        let out_hw = conv2d_output_hw((in_h, in_w), &params).ok_or_else(|| {
+            ModelError::Unsupported("depthwise kernel larger than padded input".into())
+        })?;
+        let out_dims = vec![c, out_hw.0, out_hw.1];
+        let out_len = c * out_hw.0 * out_hw.1;
+        self.push(
+            StepKind::Depthwise {
+                weights,
+                params,
+                c,
+                in_h,
+                in_w,
+                out_hw,
+            },
+            out_len,
+        );
+        Ok(out_dims)
+    }
+
+    fn push_pool(
+        &mut self,
+        dims: &[usize],
+        params: Pool2dParams,
+        is_max: bool,
+    ) -> Result<Vec<usize>> {
+        let (c, in_h, in_w) = Self::require_chw(dims, "pool2d")?;
+        let conv_params = Conv2dParams {
+            kernel: params.kernel,
+            stride: params.stride,
+            padding: params.padding,
+        };
+        let out_hw = conv2d_output_hw((in_h, in_w), &conv_params).ok_or_else(|| {
+            ModelError::Unsupported("pooling window larger than padded input".into())
+        })?;
+        let out_dims = vec![c, out_hw.0, out_hw.1];
+        let out_len = c * out_hw.0 * out_hw.1;
+        self.push(
+            StepKind::Pool {
+                params,
+                is_max,
+                c,
+                in_hw: (in_h, in_w),
+                out_hw,
+            },
+            out_len,
+        );
+        Ok(out_dims)
+    }
+
+    fn push_bn(
+        &mut self,
+        id: NodeId,
+        dims: &[usize],
+        channels: Option<&Range<usize>>,
+    ) -> Result<Vec<usize>> {
+        let (_, h, w) = Self::require_chw(dims, "batch norm")?;
+        let (scale, shift) = self.bn_fold(id, channels)?;
+        if scale.len() != dims[0] {
+            return Err(ModelError::BadWeights(format!(
+                "batch-norm channels {} != input channels {}",
+                scale.len(),
+                dims[0]
+            )));
+        }
+        let len: usize = dims.iter().product();
+        self.push(
+            StepKind::Bn {
+                scale,
+                shift,
+                plane: h * w,
+            },
+            len,
+        );
+        Ok(dims.to_vec())
+    }
+
+    /// Full-output compilation: the step list mirrors `run_segment` on a
+    /// linear chain.
+    fn build_full(&mut self) -> Result<Vec<usize>> {
+        let mut dims = self.seed_shape.dims().to_vec();
+        for i in 0..self.chain.len() {
+            let id = self.chain[i];
+            let op = self.graph.node(id)?.op.clone();
+            dims = match op {
+                LayerOp::Conv2d {
+                    kernel,
+                    stride,
+                    padding,
+                    ..
+                } => self.push_conv(
+                    id,
+                    &dims,
+                    Conv2dParams::square(kernel, stride, padding),
+                    None,
+                )?,
+                LayerOp::DepthwiseConv2d {
+                    kernel,
+                    stride,
+                    padding,
+                } => self.push_depthwise(
+                    id,
+                    &dims,
+                    Conv2dParams::square(kernel, stride, padding),
+                    None,
+                )?,
+                LayerOp::BatchNorm => self.push_bn(id, &dims, None)?,
+                LayerOp::Relu => {
+                    let len: usize = dims.iter().product();
+                    self.push(StepKind::Relu, len);
+                    dims
+                }
+                LayerOp::MaxPool2d {
+                    kernel,
+                    stride,
+                    padding,
+                } => self.push_pool(&dims, Pool2dParams::square(kernel, stride, padding), true)?,
+                LayerOp::AvgPool2d {
+                    kernel,
+                    stride,
+                    padding,
+                } => self.push_pool(&dims, Pool2dParams::square(kernel, stride, padding), false)?,
+                LayerOp::GlobalAvgPool => {
+                    let (c, h, w) = Self::require_chw(&dims, "global average pool")?;
+                    self.push(StepKind::GlobalAvgPool { c, plane: h * w }, c);
+                    vec![c]
+                }
+                LayerOp::Flatten => {
+                    // Reshape only: the data stream is unchanged.
+                    vec![dims.iter().product()]
+                }
+                LayerOp::Dense { .. } => self.push_dense(id, &dims, None)?,
+                LayerOp::Softmax => {
+                    if dims.len() != 1 {
+                        return Err(ModelError::Unsupported(
+                            "softmax requires a rank-1 input".into(),
+                        ));
+                    }
+                    self.push(StepKind::Softmax, dims[0]);
+                    dims
+                }
+                other => {
+                    return Err(ModelError::Unsupported(format!(
+                        "compiled execution of {other:?}"
+                    )))
+                }
+            };
+        }
+        Ok(dims)
+    }
+
+    fn push_dense(
+        &mut self,
+        id: NodeId,
+        dims: &[usize],
+        channels: Option<&Range<usize>>,
+    ) -> Result<Vec<usize>> {
+        if dims.len() != 1 {
+            return Err(ModelError::Unsupported(
+                "dense requires a rank-1 input".into(),
+            ));
+        }
+        let in_n = dims[0];
+        let (w, b) = self.dense_weights(id)?;
+        let wd = w.shape().dims();
+        if wd.len() != 2 || wd[1] != in_n {
+            return Err(ModelError::BadWeights(format!(
+                "dense weight {wd:?} does not match input length {in_n}"
+            )));
+        }
+        let (weights, out_n) = match channels {
+            None => (StepWeights::Node(id), wd[0]),
+            Some(r) => (
+                StepWeights::Owned {
+                    weight: w.slice(0, r.clone())?,
+                    bias: b.slice(0, r.clone())?,
+                },
+                r.len(),
+            ),
+        };
+        self.push(StepKind::Dense { weights }, out_n);
+        Ok(vec![out_n])
+    }
+
+    /// Spatial-span compilation along `dim` (1 = rows, 2 = cols): a backward
+    /// pass derives each node's required output span via the receptive-field
+    /// arithmetic (exactly `Executor::span_of`), then the forward step list
+    /// is emitted with the resulting halo paddings.
+    fn build_span(&mut self, dim: usize, span: &Range<usize>) -> Result<Vec<usize>> {
+        if span.is_empty() {
+            return Err(ModelError::Unsupported("empty spatial piece".into()));
+        }
+        // Backward: required span, plus (lo, hi) halo padding per windowed op.
+        let mut cur = span.clone();
+        let mut halos: Vec<Option<(usize, usize)>> = vec![None; self.chain.len()];
+        for i in (0..self.chain.len()).rev() {
+            let id = self.chain[i];
+            let node = self.graph.node(id)?;
+            match &node.op {
+                LayerOp::Conv2d {
+                    kernel,
+                    stride,
+                    padding,
+                    ..
+                }
+                | LayerOp::DepthwiseConv2d {
+                    kernel,
+                    stride,
+                    padding,
+                }
+                | LayerOp::MaxPool2d {
+                    kernel,
+                    stride,
+                    padding,
+                }
+                | LayerOp::AvgPool2d {
+                    kernel,
+                    stride,
+                    padding,
+                } => {
+                    let input_id = node.inputs[0];
+                    let extent = if i == 0 {
+                        self.seed_shape.dim(dim)?
+                    } else {
+                        self.graph.node(input_id)?.output_shape.dim(dim)?
+                    };
+                    let rf = ReceptiveField {
+                        kernel: *kernel,
+                        stride: *stride,
+                        padding: *padding,
+                    };
+                    let (in_span, lo, hi) = rf.input_rows(cur.clone(), extent);
+                    halos[i] = Some((lo, hi));
+                    cur = in_span;
+                }
+                LayerOp::BatchNorm | LayerOp::Relu => {}
+                other => {
+                    return Err(ModelError::Unsupported(format!(
+                        "spatial-range execution of {other:?} (no local spatial response)"
+                    )))
+                }
+            }
+        }
+        // Forward: slice the seed span, then emit each op with its halo
+        // padding.
+        let seed_dims = self.seed_shape.dims().to_vec();
+        if seed_dims.len() != 3 {
+            return Err(ModelError::Unsupported(
+                "spatial partition requires a CHW segment input".into(),
+            ));
+        }
+        let outer: usize = seed_dims[..dim].iter().product();
+        let inner: usize = seed_dims[dim + 1..].iter().product();
+        let mut dims = seed_dims.clone();
+        dims[dim] = cur.len();
+        let in_slice_len: usize = dims.iter().product();
+        self.push(
+            StepKind::SliceInput {
+                outer,
+                size: seed_dims[dim],
+                inner,
+                range: cur,
+            },
+            in_slice_len,
+        );
+        for (i, halo) in halos.iter().copied().enumerate() {
+            let id = self.chain[i];
+            let op = self.graph.node(id)?.op.clone();
+            dims = match op {
+                LayerOp::Conv2d {
+                    kernel,
+                    stride,
+                    padding,
+                    ..
+                } => {
+                    let (lo, hi) = halo.expect("windowed op recorded a halo");
+                    let params = Conv2dParams {
+                        kernel: (kernel, kernel),
+                        stride: (stride, stride),
+                        padding: span_padding(dim, lo, hi, padding),
+                    };
+                    self.push_conv(id, &dims, params, None)?
+                }
+                LayerOp::DepthwiseConv2d {
+                    kernel,
+                    stride,
+                    padding,
+                } => {
+                    let (lo, hi) = halo.expect("windowed op recorded a halo");
+                    let params = Conv2dParams {
+                        kernel: (kernel, kernel),
+                        stride: (stride, stride),
+                        padding: span_padding(dim, lo, hi, padding),
+                    };
+                    self.push_depthwise(id, &dims, params, None)?
+                }
+                LayerOp::MaxPool2d {
+                    kernel,
+                    stride,
+                    padding,
+                }
+                | LayerOp::AvgPool2d {
+                    kernel,
+                    stride,
+                    padding,
+                } => {
+                    let (lo, hi) = halo.expect("windowed op recorded a halo");
+                    let params = Pool2dParams {
+                        kernel: (kernel, kernel),
+                        stride: (stride, stride),
+                        padding: span_padding(dim, lo, hi, padding),
+                    };
+                    self.push_pool(&dims, params, matches!(op, LayerOp::MaxPool2d { .. }))?
+                }
+                LayerOp::BatchNorm => self.push_bn(id, &dims, None)?,
+                LayerOp::Relu => {
+                    let len: usize = dims.iter().product();
+                    self.push(StepKind::Relu, len);
+                    dims
+                }
+                _ => unreachable!("backward pass rejected unsupported spatial ops"),
+            };
+        }
+        Ok(dims)
+    }
+
+    /// Channel-range compilation: mirrors `Executor::chs_of`. The chain is
+    /// scanned from the output down; the first weight-split layer (conv or
+    /// dense) becomes the head, consumes the full group input, and slices
+    /// its filter rows. Everything above it must be channel-local;
+    /// everything below it must be `Flatten`. Without a head the group is
+    /// channel-local and the seed itself is sliced along dimension 0.
+    fn build_channels(&mut self, channels: &Range<usize>) -> Result<Vec<usize>> {
+        if channels.is_empty() {
+            return Err(ModelError::Unsupported("empty channel piece".into()));
+        }
+        let mut head: Option<usize> = None;
+        for i in (0..self.chain.len()).rev() {
+            let id = self.chain[i];
+            match &self.graph.node(id)?.op {
+                LayerOp::BatchNorm
+                | LayerOp::Relu
+                | LayerOp::DepthwiseConv2d { .. }
+                | LayerOp::MaxPool2d { .. }
+                | LayerOp::AvgPool2d { .. }
+                | LayerOp::GlobalAvgPool
+                | LayerOp::Flatten => continue,
+                LayerOp::Conv2d { .. } | LayerOp::Dense { .. } => {
+                    head = Some(i);
+                    break;
+                }
+                other => {
+                    return Err(ModelError::Unsupported(format!(
+                        "channel-range execution of {other:?}"
+                    )))
+                }
+            }
+        }
+        let mut dims;
+        let start;
+        match head {
+            Some(i) => {
+                // Everything below the head must be Flatten-of-seed (the
+                // weight-split head consumes the full group input).
+                for &pid in &self.chain[..i] {
+                    if !matches!(self.graph.node(pid)?.op, LayerOp::Flatten) {
+                        return Err(ModelError::Unsupported(
+                            "channel partition requires the weight-split layer at the group head"
+                                .into(),
+                        ));
+                    }
+                }
+                let id = self.chain[i];
+                let op = self.graph.node(id)?.op.clone();
+                dims = match op {
+                    LayerOp::Conv2d {
+                        kernel,
+                        stride,
+                        padding,
+                        ..
+                    } => {
+                        if i != 0 {
+                            return Err(ModelError::Unsupported(
+                                "conv head cannot consume a flattened input".into(),
+                            ));
+                        }
+                        let seed_dims = self.seed_shape.dims().to_vec();
+                        self.push_conv(
+                            id,
+                            &seed_dims,
+                            Conv2dParams::square(kernel, stride, padding),
+                            Some(channels),
+                        )?
+                    }
+                    LayerOp::Dense { .. } => {
+                        if i == 0 && self.seed_shape.rank() != 1 {
+                            return Err(ModelError::Unsupported(
+                                "dense requires a rank-1 input".into(),
+                            ));
+                        }
+                        // Flattens below the head leave the data untouched.
+                        let flat = vec![self.seed_shape.len()];
+                        self.push_dense(id, &flat, Some(channels))?
+                    }
+                    _ => unreachable!("head is conv or dense"),
+                };
+                start = i + 1;
+            }
+            None => {
+                // Channel-local group: slice the seed's channel dimension.
+                let seed_dims = self.seed_shape.dims().to_vec();
+                if seed_dims.is_empty() {
+                    return Err(ModelError::Unsupported(
+                        "channel partition of a scalar input".into(),
+                    ));
+                }
+                let inner: usize = seed_dims[1..].iter().product();
+                dims = seed_dims.clone();
+                dims[0] = channels.len();
+                let out_len: usize = dims.iter().product();
+                self.push(
+                    StepKind::SliceInput {
+                        outer: 1,
+                        size: seed_dims[0],
+                        inner,
+                        range: channels.clone(),
+                    },
+                    out_len,
+                );
+                start = 0;
+            }
+        }
+        for idx in start..self.chain.len() {
+            let id = self.chain[idx];
+            let op = self.graph.node(id)?.op.clone();
+            dims = match op {
+                LayerOp::BatchNorm => self.push_bn(id, &dims, Some(channels))?,
+                LayerOp::Relu => {
+                    let len: usize = dims.iter().product();
+                    self.push(StepKind::Relu, len);
+                    dims
+                }
+                LayerOp::DepthwiseConv2d {
+                    kernel,
+                    stride,
+                    padding,
+                } => self.push_depthwise(
+                    id,
+                    &dims,
+                    Conv2dParams::square(kernel, stride, padding),
+                    Some(channels),
+                )?,
+                LayerOp::MaxPool2d {
+                    kernel,
+                    stride,
+                    padding,
+                } => self.push_pool(&dims, Pool2dParams::square(kernel, stride, padding), true)?,
+                LayerOp::AvgPool2d {
+                    kernel,
+                    stride,
+                    padding,
+                } => self.push_pool(&dims, Pool2dParams::square(kernel, stride, padding), false)?,
+                LayerOp::GlobalAvgPool => {
+                    let (c, h, w) = Self::require_chw(&dims, "global average pool")?;
+                    self.push(StepKind::GlobalAvgPool { c, plane: h * w }, c);
+                    vec![c]
+                }
+                LayerOp::Flatten => vec![dims.iter().product()],
+                _ => unreachable!("backward scan rejected unsupported channel ops"),
+            };
+        }
+        Ok(dims)
+    }
+}
+
+/// All compiled pieces of one layer group plus the join geometry needed to
+/// gather their outputs in [`Tensor::concat`]'s memory order.
+#[derive(Debug)]
+pub struct CompiledPartition {
+    pieces: Vec<CompiledSegment>,
+    axis: usize,
+    out_shape: Shape,
+    /// Product of output dims before / after `axis`.
+    outer: usize,
+    inner: usize,
+    /// Each piece's extent along `axis`.
+    piece_sizes: Vec<usize>,
+}
+
+impl CompiledPartition {
+    /// Compiles every piece of a group. `axis` is the output dimension the
+    /// piece outputs are concatenated along (0 = channel, 1 = height,
+    /// 2 = width); `specs` carries one [`PieceSpec`] per piece in join
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates piece-compilation errors; rejects empty groups and pieces
+    /// whose output shapes disagree off-axis.
+    pub fn compile(
+        graph: &Graph,
+        weights: &ModelWeights,
+        layers: &[MergedLayer],
+        specs: &[PieceSpec],
+        axis: usize,
+        cache: &mut PanelCache,
+    ) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(ModelError::Unsupported("group with zero pieces".into()));
+        }
+        let pieces: Vec<CompiledSegment> = specs
+            .iter()
+            .map(|s| CompiledSegment::compile(graph, weights, layers, s, cache))
+            .collect::<Result<_>>()?;
+        let first = pieces[0].out_shape().clone();
+        let rank = first.rank();
+        if axis >= rank {
+            return Err(ModelError::Unsupported(format!(
+                "join axis {axis} out of range for rank {rank}"
+            )));
+        }
+        let mut total = 0;
+        let mut piece_sizes = Vec::with_capacity(pieces.len());
+        for p in &pieces {
+            let d = p.out_shape().dims();
+            if d.len() != rank
+                || d.iter()
+                    .enumerate()
+                    .any(|(i, &v)| i != axis && v != first.dims()[i])
+            {
+                return Err(ModelError::Unsupported(
+                    "piece output shapes disagree off the join axis".into(),
+                ));
+            }
+            piece_sizes.push(d[axis]);
+            total += d[axis];
+        }
+        let out_shape = first.with_dim(axis, total)?;
+        let outer: usize = first.dims()[..axis].iter().product();
+        let inner: usize = first.dims()[axis + 1..].iter().product();
+        Ok(CompiledPartition {
+            pieces,
+            axis,
+            out_shape,
+            outer,
+            inner,
+            piece_sizes,
+        })
+    }
+
+    /// Shape of the gathered group output.
+    pub fn out_shape(&self) -> &Shape {
+        &self.out_shape
+    }
+
+    /// Expected input length for every piece (they share the group input).
+    pub fn in_len(&self) -> usize {
+        self.pieces[0].in_len()
+    }
+
+    /// The join axis pieces are concatenated along.
+    pub fn axis(&self) -> usize {
+        self.axis
+    }
+
+    /// The compiled pieces, for callers that dispatch them in parallel.
+    pub fn pieces_mut(&mut self) -> &mut [CompiledSegment] {
+        &mut self.pieces
+    }
+
+    /// When the join is contiguous (each piece owns one contiguous region of
+    /// the output — true iff `outer == 1`, e.g. any channel join), returns
+    /// each piece's output range so pieces can [`CompiledSegment::run_into`]
+    /// disjoint `&mut` slices of the join buffer directly.
+    pub fn contiguous_ranges(&self) -> Option<Vec<Range<usize>>> {
+        if self.outer != 1 {
+            return None;
+        }
+        let mut ofs = 0;
+        Some(
+            self.piece_sizes
+                .iter()
+                .map(|&s| {
+                    let r = ofs..ofs + s * self.inner;
+                    ofs = r.end;
+                    r
+                })
+                .collect(),
+        )
+    }
+
+    /// Gathers the piece outputs (valid after each piece ran) into `out`,
+    /// in exactly [`Tensor::concat`]'s memory order: outer blocks first,
+    /// pieces in order within each block. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the gathered output length.
+    pub fn gather(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.out_shape.len(), "join buffer length");
+        let mut dst = 0;
+        for o in 0..self.outer {
+            for (p, &psize) in self.pieces.iter().zip(self.piece_sizes.iter()) {
+                let rows = psize * self.inner;
+                let src = o * rows;
+                out[dst..dst + rows].copy_from_slice(&p.output()[src..src + rows]);
+                dst += rows;
+            }
+        }
+    }
+
+    /// Runs every piece sequentially and gathers into `out`. Parallel
+    /// callers drive [`CompiledPartition::pieces_mut`] /
+    /// [`CompiledPartition::gather`] themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates piece errors (see [`CompiledSegment::run`]).
+    pub fn run_into(
+        &mut self,
+        weights: &ModelWeights,
+        input: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        if self.outer == 1 {
+            // Contiguous join: pieces write their slice of `out` directly,
+            // with no per-call range allocation (the warm path must not
+            // touch the heap).
+            let mut ofs = 0;
+            for (piece, &psize) in self.pieces.iter_mut().zip(self.piece_sizes.iter()) {
+                let end = ofs + psize * self.inner;
+                piece.run_into(weights, input, &mut out[ofs..end])?;
+                ofs = end;
+            }
+            return Ok(());
+        }
+        for piece in &mut self.pieces {
+            piece.run(weights, input)?;
+        }
+        self.gather(out);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::weights::init_weights;
+    use crate::zoo;
+
+    fn query(shape: &Shape, seed: u64) -> Tensor {
+        let mut x = seed;
+        Tensor::from_fn(shape.clone(), |_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x % 1000) as f32 / 500.0) - 1.0
+        })
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn full_compiled_forward_is_bit_identical() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 3).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 11);
+        let reference = exec.forward(&model, &input).unwrap();
+
+        let mut cache = PanelCache::new();
+        let mut seg = CompiledSegment::compile(
+            model.graph(),
+            &weights,
+            model.layers(),
+            &PieceSpec::Full,
+            &mut cache,
+        )
+        .unwrap();
+        assert_eq!(seg.out_shape(), reference.shape());
+        let out = seg.run(&weights, input.data()).unwrap();
+        assert_bits_eq(out, reference.data(), "full forward");
+    }
+
+    #[test]
+    fn row_and_col_pieces_are_bit_identical() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 9).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 2);
+        let spatial: Vec<_> = model
+            .layers()
+            .iter()
+            .take_while(|l| l.class.supports_spatial())
+            .cloned()
+            .collect();
+        let seg_layers = &spatial[..2];
+        let mut cache = PanelCache::new();
+        for (dim, make) in [
+            (1usize, (|r: Range<usize>| PieceSpec::Rows(r)) as fn(_) -> _),
+            (2usize, |r: Range<usize>| PieceSpec::Cols(r)),
+        ] {
+            let total = seg_layers.last().unwrap().out_shape.dims()[dim];
+            for p in 0..3usize {
+                let lo = p * total / 3;
+                let hi = (p + 1) * total / 3;
+                let reference = match dim {
+                    1 => exec.run_segment_rows(seg_layers, &input, lo..hi).unwrap(),
+                    _ => exec.run_segment_cols(seg_layers, &input, lo..hi).unwrap(),
+                };
+                let mut seg = CompiledSegment::compile(
+                    model.graph(),
+                    &weights,
+                    seg_layers,
+                    &make(lo..hi),
+                    &mut cache,
+                )
+                .unwrap();
+                assert_eq!(seg.out_shape(), reference.shape());
+                let out = seg.run(&weights, input.data()).unwrap();
+                assert_bits_eq(out, reference.data(), "spatial piece");
+            }
+        }
+        // Spatial pieces all use the full filter bank: one panel per conv in
+        // the segment, shared by all six pieces.
+        let convs = seg_layers
+            .iter()
+            .flat_map(|l| l.nodes.iter())
+            .filter(|&&id| matches!(model.graph().node(id).unwrap().op, LayerOp::Conv2d { .. }))
+            .count();
+        assert_eq!(cache.len(), convs);
+    }
+
+    #[test]
+    fn channel_pieces_are_bit_identical() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 21).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 5);
+        let mut cache = PanelCache::new();
+        // Head conv group (weight-split conv head).
+        let seg_layers = &model.layers()[..1];
+        let out_c = seg_layers[0].out_shape.dims()[0];
+        for p in 0..2usize {
+            let r = p * out_c / 2..(p + 1) * out_c / 2;
+            let reference = exec
+                .run_segment_channels(seg_layers, &input, r.clone())
+                .unwrap();
+            let mut seg = CompiledSegment::compile(
+                model.graph(),
+                &weights,
+                seg_layers,
+                &PieceSpec::Channels(r),
+                &mut cache,
+            )
+            .unwrap();
+            assert_eq!(seg.out_shape(), reference.shape());
+            let out = seg.run(&weights, input.data()).unwrap();
+            assert_bits_eq(out, reference.data(), "channel piece");
+        }
+
+        // Dense tail group (weight-split dense head behind a flatten).
+        let layers = model.layers();
+        let dense_idx = layers.len() - 1;
+        let seg_layers = &layers[dense_idx..];
+        let seg_input = exec.run_segment(&layers[..dense_idx], &input).unwrap();
+        let out_n = seg_layers[0].out_shape.dims()[0];
+        for p in 0..2usize {
+            let r = p * out_n / 2..(p + 1) * out_n / 2;
+            let reference = exec
+                .run_segment_channels(seg_layers, &seg_input, r.clone())
+                .unwrap();
+            let mut seg = CompiledSegment::compile(
+                model.graph(),
+                &weights,
+                seg_layers,
+                &PieceSpec::Channels(r),
+                &mut cache,
+            )
+            .unwrap();
+            let out = seg.run(&weights, seg_input.data()).unwrap();
+            assert_bits_eq(out, reference.data(), "dense channel piece");
+        }
+    }
+
+    #[test]
+    fn compiled_partition_gather_matches_concat() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 9).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 7);
+        let spatial: Vec<_> = model
+            .layers()
+            .iter()
+            .take_while(|l| l.class.supports_spatial())
+            .cloned()
+            .collect();
+        let seg_layers = &spatial[..2];
+        let out_h = seg_layers.last().unwrap().out_shape.dims()[1];
+        let specs: Vec<PieceSpec> = (0..4)
+            .map(|p| PieceSpec::Rows(p * out_h / 4..(p + 1) * out_h / 4))
+            .collect();
+        let mut cache = PanelCache::new();
+        let mut part =
+            CompiledPartition::compile(model.graph(), &weights, seg_layers, &specs, 1, &mut cache)
+                .unwrap();
+        let reference = {
+            let parts: Vec<Tensor> = (0..4)
+                .map(|p| {
+                    exec.run_segment_rows(seg_layers, &input, p * out_h / 4..(p + 1) * out_h / 4)
+                        .unwrap()
+                })
+                .collect();
+            Tensor::concat(&parts, 1).unwrap()
+        };
+        let mut out = vec![0.0f32; part.out_shape().len()];
+        part.run_into(&weights, input.data(), &mut out).unwrap();
+        assert_eq!(part.out_shape(), reference.shape());
+        assert_bits_eq(&out, reference.data(), "spatial gather");
+        // Spatial join along height is strided (outer = channels > 1).
+        assert!(part.contiguous_ranges().is_none());
+
+        // Channel join is contiguous: pieces write the join buffer directly.
+        let head = &model.layers()[..1];
+        let out_c = head[0].out_shape.dims()[0];
+        let specs: Vec<PieceSpec> = (0..2)
+            .map(|p| PieceSpec::Channels(p * out_c / 2..(p + 1) * out_c / 2))
+            .collect();
+        let mut part =
+            CompiledPartition::compile(model.graph(), &weights, head, &specs, 0, &mut cache)
+                .unwrap();
+        assert!(part.contiguous_ranges().is_some());
+        let reference = {
+            let parts: Vec<Tensor> = (0..2)
+                .map(|p| {
+                    exec.run_segment_channels(head, &input, p * out_c / 2..(p + 1) * out_c / 2)
+                        .unwrap()
+                })
+                .collect();
+            Tensor::concat(&parts, 0).unwrap()
+        };
+        let mut out = vec![0.0f32; part.out_shape().len()];
+        part.run_into(&weights, input.data(), &mut out).unwrap();
+        assert_bits_eq(&out, reference.data(), "channel gather");
+    }
+
+    #[test]
+    fn branching_graphs_fail_to_compile() {
+        let model = zoo::tiny_resnet();
+        let weights = init_weights(model.graph(), 13).unwrap();
+        let mut cache = PanelCache::new();
+        let err = CompiledSegment::compile(
+            model.graph(),
+            &weights,
+            model.layers(),
+            &PieceSpec::Full,
+            &mut cache,
+        );
+        assert!(matches!(err, Err(ModelError::Unsupported(_))));
+    }
+
+    #[test]
+    fn spatial_piece_of_dense_fails_to_compile() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 1).unwrap();
+        let layers = model.layers();
+        let mut cache = PanelCache::new();
+        let err = CompiledSegment::compile(
+            model.graph(),
+            &weights,
+            &layers[layers.len() - 1..],
+            &PieceSpec::Rows(0..1),
+            &mut cache,
+        );
+        assert!(matches!(err, Err(ModelError::Unsupported(_))));
+    }
+
+    #[test]
+    fn channel_piece_rejects_non_head_conv() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 1).unwrap();
+        let layers = model.layers();
+        let conv_indices: Vec<usize> = layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.class.channel_splittable() && l.class.supports_spatial())
+            .map(|(i, _)| i)
+            .collect();
+        let adjacent = conv_indices
+            .windows(2)
+            .find(|w| w[1] == w[0] + 1)
+            .expect("adjacent convs in tiny-vgg");
+        let seg = &layers[adjacent[0]..=adjacent[1]];
+        let mut cache = PanelCache::new();
+        let err = CompiledSegment::compile(
+            model.graph(),
+            &weights,
+            seg,
+            &PieceSpec::Channels(0..4),
+            &mut cache,
+        );
+        assert!(matches!(err, Err(ModelError::Unsupported(_))));
+    }
+
+    #[test]
+    fn warm_queries_reuse_buffers() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 3).unwrap();
+        let mut cache = PanelCache::new();
+        let mut seg = CompiledSegment::compile(
+            model.graph(),
+            &weights,
+            model.layers(),
+            &PieceSpec::Full,
+            &mut cache,
+        )
+        .unwrap();
+        let a = query(model.input_shape(), 1);
+        let b = query(model.input_shape(), 2);
+        let ptr_a = seg.run(&weights, a.data()).unwrap().as_ptr();
+        let out_a: Vec<f32> = seg.run(&weights, a.data()).unwrap().to_vec();
+        let ptr_b = seg.run(&weights, b.data()).unwrap().as_ptr();
+        // Same output storage across queries; different inputs change values.
+        assert_eq!(ptr_a, ptr_b);
+        let out_b = seg.run(&weights, b.data()).unwrap();
+        assert_ne!(out_a, out_b);
+    }
+}

@@ -219,10 +219,7 @@ impl<'a> Executor<'a> {
                 Ok(dense(inputs[0], w, Some(b))?)
             }
             LayerOp::Add => Ok(inputs[0].add(inputs[1])?),
-            LayerOp::Concat => Ok(Tensor::concat(
-                &inputs.iter().map(|t| (*t).clone()).collect::<Vec<_>>(),
-                0,
-            )?),
+            LayerOp::Concat => Ok(Tensor::concat(inputs, 0)?),
             LayerOp::Lstm { .. } => {
                 let params = self.lstm_weights(id)?;
                 let seq = inputs[0].shape().dims()[0];
@@ -579,7 +576,7 @@ impl<'a> Executor<'a> {
 /// Builds the asymmetric padding for a span partition: the partition pads
 /// `lo`/`hi` on the partitioned dimension and keeps the full symmetric
 /// padding on the other spatial dimension.
-fn span_padding(dim: usize, lo: usize, hi: usize, full: usize) -> Padding {
+pub(crate) fn span_padding(dim: usize, lo: usize, hi: usize, full: usize) -> Padding {
     if dim == 1 {
         Padding {
             top: lo,

@@ -27,6 +27,7 @@
 //! assert!(mb > 400.0 && mb < 700.0);
 //! ```
 
+pub mod compiled;
 pub mod error;
 pub mod exec;
 pub mod graph;

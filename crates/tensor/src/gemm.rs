@@ -116,6 +116,266 @@ pub fn gemm_with_threads(
     Pool::global().join_all(tasks);
 }
 
+/// Micro-panel row height of [`PackedA`]: four `A` rows interleaved per
+/// `k`-step so the packed kernel updates four output rows per sweep of a `B`
+/// panel row.
+const MR: usize = 4;
+/// Register-tile width of the packed micro-kernel: 4×8 accumulators live in
+/// registers across a `KC` block.
+const NR: usize = 8;
+
+/// The `A` operand of [`gemm`] repacked once into cache- and register-
+/// friendly micro-panels, for matrices that are reused across many calls —
+/// convolution filter banks in im2col form, where `A` is the weight matrix.
+///
+/// Layout: for each `KC`-wide block of `k`, rows are grouped into [`MR`]-high
+/// blocks (a shorter remainder block at the bottom); within a block the
+/// values are stored `k`-major with the block's rows interleaved
+/// (`a[r0][kk], a[r0+1][kk], …`), so the micro-kernel reads one contiguous
+/// little column per `k`-step.
+///
+/// [`gemm_packed`] consumes this layout and is bit-identical to [`gemm`] on
+/// the unpacked matrix: packing only rearranges memory, and the kernel
+/// accumulates every output element in the same ascending-`k` order (see the
+/// module's determinism contract).
+#[derive(Debug, Clone)]
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    data: Vec<f32>,
+}
+
+impl PackedA {
+    /// Packs the row-major `m`×`k` matrix `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k`.
+    pub fn pack(m: usize, k: usize, a: &[f32]) -> Self {
+        assert_eq!(a.len(), m * k, "A must be m*k");
+        let mut data = vec![0.0f32; m * k];
+        let mut off = 0;
+        let mut kb = 0;
+        while kb < k {
+            let kend = (kb + KC).min(k);
+            let mut r0 = 0;
+            while r0 < m {
+                let bh = (m - r0).min(MR);
+                for kk in kb..kend {
+                    for r in 0..bh {
+                        data[off] = a[(r0 + r) * k + kk];
+                        off += 1;
+                    }
+                }
+                r0 += bh;
+            }
+            kb = kend;
+        }
+        PackedA { m, k, data }
+    }
+
+    /// Row count of the packed matrix.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Column (reduction) count of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Packed size in bytes — what a panel cache accounts against memory.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// `C += A·B` with a pre-packed `A` (see [`PackedA`]); bit-identical to
+/// [`gemm`] with the unpacked matrix, for any thread count.
+///
+/// Uses the same small-work threshold as [`gemm`]: below
+/// [`GEMM_PAR_MIN_MNK`] multiply-adds the call stays on the calling thread
+/// (no pool dispatch, no task allocation).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the packed dimensions.
+pub fn gemm_packed(packed: &PackedA, n: usize, b: &[f32], c: &mut [f32]) {
+    let work = packed.m.saturating_mul(n).saturating_mul(packed.k);
+    let threads = if work < GEMM_PAR_MIN_MNK {
+        1
+    } else {
+        gillis_threads()
+    };
+    gemm_packed_with_threads(packed, n, b, c, threads);
+}
+
+/// [`gemm_packed`] with an explicit worker count. Threads split output rows
+/// at [`MR`]-block granularity, so every element is owned by one thread and
+/// results are bit-identical for any count.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the packed dimensions.
+pub fn gemm_packed_with_threads(
+    packed: &PackedA,
+    n: usize,
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) {
+    let (m, k) = (packed.m, packed.k);
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let nblocks = m.div_ceil(MR);
+    let threads = threads.clamp(1, nblocks);
+    if threads == 1 {
+        packed_rows(packed, 0, n, b, c);
+        return;
+    }
+    let rows_per = nblocks.div_ceil(threads) * MR;
+    let tasks: Vec<Task> = c
+        .chunks_mut(rows_per * n)
+        .enumerate()
+        .map(|(t, c_chunk)| -> Task {
+            let row0 = t * rows_per;
+            Box::new(move || packed_rows(packed, row0, n, b, c_chunk))
+        })
+        .collect();
+    Pool::global().join_all(tasks);
+}
+
+/// Packed kernel over output rows `row0 .. row0 + c.len()/n`. `row0` must be
+/// [`MR`]-aligned (thread chunks split at block boundaries).
+fn packed_rows(packed: &PackedA, row0: usize, n: usize, b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(row0 % MR, 0);
+    let (m, k) = (packed.m, packed.k);
+    let row1 = row0 + c.len() / n;
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + KC).min(k);
+        let kc = kend - kb;
+        // Packed data for this k-block starts at m*kb; row block r0 within
+        // it starts r0*kc further (blocks are stored in row order).
+        let block_base = m * kb;
+        let mut nb = 0;
+        while nb < n {
+            let nend = (nb + NC).min(n);
+            let mut r0 = row0;
+            while r0 < row1 {
+                let bh = (row1 - r0).min(MR);
+                let panel = &packed.data[block_base + r0 * kc..block_base + (r0 + bh) * kc];
+                let c_rows = &mut c[(r0 - row0) * n..(r0 - row0 + bh) * n];
+                if bh == MR {
+                    packed_micro_4(panel, kc, kb, n, nb, nend, b, c_rows);
+                } else {
+                    packed_micro_rem(panel, bh, kc, kb, n, nb, nend, b, c_rows);
+                }
+                r0 += bh;
+            }
+            nb = nend;
+        }
+        kb = kend;
+    }
+}
+
+/// 4-row register-blocked micro-kernel: 4×[`NR`] accumulators are loaded
+/// from `C`, swept over the `KC` block in ascending-`k` order, and stored
+/// back — one pass over each `B` panel row feeds four output rows, and `C`
+/// traffic drops to once per `KC` block. The accumulators start from the
+/// current `C` values, so per-element accumulation order is exactly that of
+/// [`gemm`].
+#[allow(clippy::too_many_arguments)]
+fn packed_micro_4(
+    panel: &[f32],
+    kc: usize,
+    k0: usize,
+    n: usize,
+    nb: usize,
+    nend: usize,
+    b: &[f32],
+    c_rows: &mut [f32],
+) {
+    let (c0, rest) = c_rows.split_at_mut(n);
+    let (c1, rest) = rest.split_at_mut(n);
+    let (c2, c3) = rest.split_at_mut(n);
+    let mut j = nb;
+    while j + NR <= nend {
+        let mut acc0 = [0.0f32; NR];
+        let mut acc1 = [0.0f32; NR];
+        let mut acc2 = [0.0f32; NR];
+        let mut acc3 = [0.0f32; NR];
+        acc0.copy_from_slice(&c0[j..j + NR]);
+        acc1.copy_from_slice(&c1[j..j + NR]);
+        acc2.copy_from_slice(&c2[j..j + NR]);
+        acc3.copy_from_slice(&c3[j..j + NR]);
+        for kk in 0..kc {
+            let ap = &panel[kk * MR..kk * MR + MR];
+            let brow = &b[(k0 + kk) * n + j..(k0 + kk) * n + j + NR];
+            for t in 0..NR {
+                let bv = brow[t];
+                acc0[t] += ap[0] * bv;
+                acc1[t] += ap[1] * bv;
+                acc2[t] += ap[2] * bv;
+                acc3[t] += ap[3] * bv;
+            }
+        }
+        c0[j..j + NR].copy_from_slice(&acc0);
+        c1[j..j + NR].copy_from_slice(&acc1);
+        c2[j..j + NR].copy_from_slice(&acc2);
+        c3[j..j + NR].copy_from_slice(&acc3);
+        j += NR;
+    }
+    while j < nend {
+        let mut a0 = c0[j];
+        let mut a1 = c1[j];
+        let mut a2 = c2[j];
+        let mut a3 = c3[j];
+        for kk in 0..kc {
+            let ap = &panel[kk * MR..kk * MR + MR];
+            let bv = b[(k0 + kk) * n + j];
+            a0 += ap[0] * bv;
+            a1 += ap[1] * bv;
+            a2 += ap[2] * bv;
+            a3 += ap[3] * bv;
+        }
+        c0[j] = a0;
+        c1[j] = a1;
+        c2[j] = a2;
+        c3[j] = a3;
+        j += 1;
+    }
+}
+
+/// Remainder block (fewer than [`MR`] rows at the bottom of the matrix):
+/// plain axpy sweeps in the same per-element order.
+#[allow(clippy::too_many_arguments)]
+fn packed_micro_rem(
+    panel: &[f32],
+    bh: usize,
+    kc: usize,
+    k0: usize,
+    n: usize,
+    nb: usize,
+    nend: usize,
+    b: &[f32],
+    c_rows: &mut [f32],
+) {
+    for r in 0..bh {
+        let c_row = &mut c_rows[r * n + nb..r * n + nend];
+        for kk in 0..kc {
+            let aik = panel[kk * bh + r];
+            let b_row = &b[(k0 + kk) * n + nb..(k0 + kk) * n + nend];
+            for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += aik * *bv;
+            }
+        }
+    }
+}
+
 /// Sequential blocked kernel over a contiguous chunk of output rows.
 ///
 /// Loop order is `kb → nb → i → kk → j`: a `KC`×`NC` panel of `B` stays
@@ -398,6 +658,34 @@ mod tests {
                 c1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 c8.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
             );
+        }
+
+        #[test]
+        fn packed_gemm_is_bit_identical_to_unpacked(
+            (m, n, k) in (1usize..14, 1usize..40, 1usize..300),
+            seed in 0u32..1000,
+        ) {
+            // m ranges over all MR remainders; k crosses the KC=128 block
+            // boundary; n crosses the NR=8 register-tile remainder.
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| ((i as u32 ^ seed).wrapping_mul(747796405) % 997) as f32 * 1e-3 - 0.5)
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i as u32 ^ seed).wrapping_mul(277803737) % 991) as f32 * 1e-3 - 0.5)
+                .collect();
+            let init: Vec<f32> = (0..m * n).map(|i| (i % 5) as f32 * 0.25).collect();
+            let mut want = init.clone();
+            gemm_with_threads(m, n, k, &a, &b, &mut want, 1);
+            let packed = PackedA::pack(m, k, &a);
+            for threads in [1usize, 2, 8] {
+                let mut got = init.clone();
+                gemm_packed_with_threads(&packed, n, &b, &mut got, threads);
+                prop_assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "threads = {}", threads
+                );
+            }
         }
 
         #[test]

@@ -28,6 +28,7 @@
 pub mod error;
 pub mod gemm;
 pub mod ops;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 

@@ -12,6 +12,19 @@ pub fn relu(input: &Tensor) -> Tensor {
     input.map(|x| x.max(0.0))
 }
 
+/// Rectified linear unit over raw buffers writing into a caller-owned
+/// output — the compiled-partition hot path. Bit-identical to [`relu`].
+///
+/// # Panics
+///
+/// Panics if `out.len() != x.len()`.
+pub fn relu_into(x: &[f32], out: &mut [f32]) {
+    assert_eq!(out.len(), x.len(), "out must match input");
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = v.max(0.0);
+    }
+}
+
 /// Logistic sigmoid, element-wise.
 pub fn sigmoid(input: &Tensor) -> Tensor {
     input.map(|x| 1.0 / (1.0 + (-x).exp()))
@@ -34,17 +47,30 @@ pub fn softmax(input: &Tensor) -> Result<Tensor> {
             "softmax expects a non-empty rank-1 tensor".into(),
         ));
     }
-    let max = input
-        .data()
-        .iter()
-        .copied()
-        .fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = input.data().iter().map(|&x| (x - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    Tensor::from_vec(
-        input.shape().clone(),
-        exps.into_iter().map(|e| e / sum).collect(),
-    )
+    let mut out = vec![0.0f32; input.shape().len()];
+    softmax_into(input.data(), &mut out);
+    Tensor::from_vec(input.shape().clone(), out)
+}
+
+/// Numerically stable softmax over raw buffers writing into a caller-owned
+/// output — the compiled-partition hot path. Bit-identical to [`softmax`]:
+/// exponentials are written into `out` first, then normalized in place with
+/// the same summation order.
+///
+/// # Panics
+///
+/// Panics if `x` is empty or `out.len() != x.len()`.
+pub fn softmax_into(x: &[f32], out: &mut [f32]) {
+    assert!(!x.is_empty(), "softmax over empty input");
+    assert_eq!(out.len(), x.len(), "out must match input");
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = (v - max).exp();
+    }
+    let sum: f32 = out.iter().sum();
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
 }
 
 #[cfg(test)]

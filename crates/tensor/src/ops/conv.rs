@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use super::Padding;
 use crate::error::TensorError;
 use crate::gemm;
+use crate::scratch;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -124,7 +125,9 @@ pub fn conv2d(
         // Pointwise conv: the input already is the im2col matrix.
         gemm::gemm(out_c, n_dim, k_dim, weight_data, input_data, &mut out);
     } else {
-        let mut col = Vec::new();
+        // The column matrix is per-thread scratch: reused across layers and
+        // queries, so steady-state conv allocates nothing but its output.
+        let mut col = scratch::take(scratch::Site::Im2col);
         gemm::im2col(
             input_data,
             in_c,
@@ -138,8 +141,77 @@ pub fn conv2d(
             &mut col,
         );
         gemm::gemm(out_c, n_dim, k_dim, weight_data, &col, &mut out);
+        scratch::put(scratch::Site::Im2col, col);
     }
     Tensor::from_vec(Shape::new(vec![out_c, out_h, out_w]), out)
+}
+
+/// Allocation-free convolution over raw buffers with a pre-packed filter
+/// bank — the compiled-partition hot path. `input` is `CHW` data with the
+/// given dimensions, `packed` is the `[out_c, in_c·kh·kw]` weight matrix
+/// packed once via [`gemm::PackedA::pack`], `bias` has `out_c` entries, and
+/// `out` must be exactly `out_c · out_h · out_w` long for the `out_hw`
+/// implied by `params` (callers precompute it via [`conv2d_output_hw`]).
+///
+/// Bit-identical to [`conv2d`] on the same operands: the bias pre-initializes
+/// the output and the packed GEMM accumulates in the same ascending-`k`
+/// order. The im2col matrix lives in per-thread scratch, so a warmed thread
+/// performs no heap allocation here.
+///
+/// # Panics
+///
+/// Panics if buffer lengths are inconsistent with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_packed_into(
+    input: &[f32],
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    packed: &gemm::PackedA,
+    bias: &[f32],
+    params: &Conv2dParams,
+    out_hw: (usize, usize),
+    out: &mut [f32],
+) {
+    let (kh, kw) = params.kernel;
+    let (out_h, out_w) = out_hw;
+    let out_c = packed.m();
+    let n_dim = out_h * out_w;
+    let k_dim = in_c * kh * kw;
+    assert_eq!(input.len(), in_c * in_h * in_w, "input must be CHW");
+    assert_eq!(
+        packed.k(),
+        k_dim,
+        "packed weights must be [out_c, in_c*kh*kw]"
+    );
+    assert_eq!(bias.len(), out_c, "bias must be [out_c]");
+    assert_eq!(out.len(), out_c * n_dim, "out must be out_c*out_h*out_w");
+    for (row, &bv) in out.chunks_mut(n_dim).zip(bias.iter()) {
+        row.fill(bv);
+    }
+    let pad = params.padding;
+    if (kh, kw) == (1, 1)
+        && params.stride == (1, 1)
+        && (pad.top, pad.bottom, pad.left, pad.right) == (0, 0, 0, 0)
+    {
+        gemm::gemm_packed(packed, n_dim, input, out);
+    } else {
+        let mut col = scratch::take(scratch::Site::Im2col);
+        gemm::im2col(
+            input,
+            in_c,
+            in_h,
+            in_w,
+            params.kernel,
+            params.stride,
+            pad.top,
+            pad.left,
+            out_hw,
+            &mut col,
+        );
+        gemm::gemm_packed(packed, n_dim, &col, out);
+        scratch::put(scratch::Site::Im2col, col);
+    }
 }
 
 /// Reference 6-loop convolution the GEMM path is validated against: same
@@ -239,6 +311,37 @@ mod tests {
             // The im2col+GEMM path preserves the reference accumulation
             // order, so the match is exact (up to the sign of zero).
             prop_assert_eq!(fast.max_abs_diff(&naive).unwrap(), 0.0);
+        }
+
+        #[test]
+        fn packed_into_path_is_bit_identical(
+            (in_c, out_c) in (1usize..5, 1usize..7),
+            (in_h, in_w) in (3usize..10, 3usize..10),
+            kernel in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..2,
+            seed in 0u32..1000,
+        ) {
+            let params = Conv2dParams::square(kernel, stride, pad);
+            prop_assume!(conv2d_output_hw((in_h, in_w), &params).is_some());
+            let input =
+                Tensor::from_fn(Shape::new(vec![in_c, in_h, in_w]), |i| pseudo(i, seed));
+            let weight = Tensor::from_fn(Shape::new(vec![out_c, in_c, kernel, kernel]), |i| {
+                pseudo(i, seed ^ 0xbeef)
+            });
+            let bias = Tensor::from_fn(Shape::new(vec![out_c]), |i| pseudo(i, seed ^ 0x77));
+            let want = conv2d(&input, &weight, Some(&bias), &params).unwrap();
+            let out_hw = conv2d_output_hw((in_h, in_w), &params).unwrap();
+            let packed =
+                gemm::PackedA::pack(out_c, in_c * kernel * kernel, weight.data());
+            let mut out = vec![0.0f32; out_c * out_hw.0 * out_hw.1];
+            conv2d_packed_into(
+                input.data(), in_c, in_h, in_w, &packed, bias.data(), &params, out_hw, &mut out,
+            );
+            prop_assert_eq!(
+                want.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
         }
     }
 

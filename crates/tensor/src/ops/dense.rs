@@ -43,12 +43,35 @@ pub fn dense(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<T
         }
     }
     // Bias pre-initializes the output, then one multi-lane gemv.
-    let mut out = match bias {
-        Some(b) => b.data().to_vec(),
-        None => vec![0.0f32; out_n],
-    };
-    gemm::gemv(out_n, in_n, weight.data(), input.data(), &mut out);
+    let mut out = vec![0.0f32; out_n];
+    dense_into(
+        weight.data(),
+        input.data(),
+        bias.map(|b| b.data()),
+        &mut out,
+    );
     Tensor::from_vec(Shape::new(vec![out_n]), out)
+}
+
+/// Dense layer over raw buffers writing into a caller-owned output — the
+/// compiled-partition hot path. `w` is `[out, in]` row-major, `x` is `[in]`,
+/// `bias` (if present) is `[out]`. Bit-identical to [`dense`].
+///
+/// # Panics
+///
+/// Panics if buffer lengths are inconsistent.
+pub fn dense_into(w: &[f32], x: &[f32], bias: Option<&[f32]>, out: &mut [f32]) {
+    let out_n = out.len();
+    let in_n = x.len();
+    assert_eq!(w.len(), out_n * in_n, "weight must be [out, in]");
+    match bias {
+        Some(b) => {
+            assert_eq!(b.len(), out_n, "bias must be [out]");
+            out.copy_from_slice(b);
+        }
+        None => out.fill(0.0),
+    }
+    gemm::gemv(out_n, in_n, w, x, out);
 }
 
 /// Reference row-wise dot product the gemv path is validated against.

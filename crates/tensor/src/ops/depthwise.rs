@@ -10,6 +10,7 @@ use super::conv::conv2d_output_hw;
 use super::Conv2dParams;
 use crate::error::TensorError;
 use crate::gemm;
+use crate::scratch;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -69,25 +70,65 @@ pub fn depthwise_conv2d(
             params.kernel
         ))
     })?;
-    // Each channel is an independent 1×(kh·kw) by (kh·kw)×(out_h·out_w)
-    // GEMM over that channel's im2col matrix; channels are split across
-    // worker threads (each channel computed entirely by one thread, so
-    // results are thread-count independent).
+    let mut out = vec![0.0f32; c * out_h * out_w];
+    depthwise_conv2d_into(
+        input.data(),
+        c,
+        in_h,
+        in_w,
+        weight.data(),
+        bias.map(|b| b.data()),
+        params,
+        (out_h, out_w),
+        &mut out,
+    );
+    Tensor::from_vec(Shape::new(vec![c, out_h, out_w]), out)
+}
+
+/// Depthwise convolution over raw buffers writing into a caller-owned
+/// output — the compiled-partition hot path (shapes are validated once at
+/// compile time, so the per-query call just computes). Bit-identical to
+/// [`depthwise_conv2d`] for any thread count.
+///
+/// Each channel is an independent 1×(kh·kw) by (kh·kw)×(out_h·out_w)
+/// GEMM over that channel's im2col matrix; channels are split across
+/// worker threads (each channel computed entirely by one thread, so
+/// results are thread-count independent). The per-channel column matrix
+/// lives in per-thread scratch, so warmed threads allocate nothing here.
+///
+/// # Panics
+///
+/// Panics if buffer lengths are inconsistent with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn depthwise_conv2d_into(
+    x: &[f32],
+    c: usize,
+    in_h: usize,
+    in_w: usize,
+    w: &[f32],
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    (out_h, out_w): (usize, usize),
+    out: &mut [f32],
+) {
     let (kh, kw) = params.kernel;
     let in_plane = in_h * in_w;
     let k_plane = kh * kw;
     let n_dim = out_h * out_w;
-    let x = input.data();
-    let w = weight.data();
-
-    let mut out = vec![0.0f32; c * n_dim];
-    if let Some(b) = bias {
-        for (row, &bv) in out.chunks_mut(n_dim).zip(b.data().iter()) {
-            row.fill(bv);
+    assert_eq!(x.len(), c * in_plane, "input must be CHW");
+    assert_eq!(w.len(), c * k_plane, "weight must be [c, kh, kw]");
+    assert_eq!(out.len(), c * n_dim, "out must be c*out_h*out_w");
+    match bias {
+        Some(b) => {
+            assert_eq!(b.len(), c, "bias must be [c]");
+            for (row, &bv) in out.chunks_mut(n_dim).zip(b.iter()) {
+                row.fill(bv);
+            }
         }
+        None => out.fill(0.0),
     }
     let channel_block = |ch0: usize, out_block: &mut [f32]| {
-        let mut col = Vec::new();
+        let mut col = scratch::take(scratch::Site::DepthwiseCol);
         for (off, out_ch) in out_block.chunks_mut(n_dim).enumerate() {
             let ch = ch0 + off;
             gemm::im2col(
@@ -112,6 +153,7 @@ pub fn depthwise_conv2d(
                 1,
             );
         }
+        scratch::put(scratch::Site::DepthwiseCol, col);
     };
     // Small-work threshold: below ~GEMM_PAR_MIN_MNK multiply-adds for the
     // whole layer, pool dispatch costs more than the split saves.
@@ -125,7 +167,7 @@ pub fn depthwise_conv2d(
         gemm::gillis_threads().clamp(1, c)
     };
     if threads == 1 {
-        channel_block(0, &mut out);
+        channel_block(0, out);
     } else {
         let per = c.div_ceil(threads);
         let channel_block = &channel_block;
@@ -138,7 +180,6 @@ pub fn depthwise_conv2d(
             .collect();
         gillis_pool::Pool::global().join_all(tasks);
     }
-    Tensor::from_vec(Shape::new(vec![c, out_h, out_w]), out)
 }
 
 /// Reference per-channel loop the GEMM path is validated against.

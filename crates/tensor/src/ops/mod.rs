@@ -14,12 +14,15 @@ mod norm;
 mod pool;
 mod rnn;
 
-pub use activation::{relu, sigmoid, softmax, tanh};
-pub use conv::{conv2d, conv2d_output_hw, Conv2dParams};
-pub use dense::dense;
-pub use depthwise::depthwise_conv2d;
-pub use norm::{batch_norm, BatchNormParams};
-pub use pool::{avg_pool2d, global_avg_pool, max_pool2d, Pool2dParams};
+pub use activation::{relu, relu_into, sigmoid, softmax, softmax_into, tanh};
+pub use conv::{conv2d, conv2d_output_hw, conv2d_packed_into, Conv2dParams};
+pub use dense::{dense, dense_into};
+pub use depthwise::{depthwise_conv2d, depthwise_conv2d_into};
+pub use norm::{batch_norm, batch_norm_fold, batch_norm_folded_into, BatchNormParams};
+pub use pool::{
+    avg_pool2d, avg_pool2d_into, global_avg_pool, global_avg_pool_into, max_pool2d,
+    max_pool2d_into, Pool2dParams,
+};
 pub use rnn::{lstm_cell, lstm_sequence, LstmParams, LstmState};
 
 use serde::{Deserialize, Serialize};

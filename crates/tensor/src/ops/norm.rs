@@ -90,13 +90,54 @@ fn batch_norm_into(
 ) {
     out.clear();
     out.resize(c * plane, 0.0);
+    let (scale, shift) = batch_norm_fold(params);
+    batch_norm_folded_into(x, plane, &scale, &shift, out);
+}
+
+/// Folds frozen batch-norm parameters into per-channel `(scale, shift)`
+/// constants: `y = x·scale + shift` with `scale = gamma/√(var+eps)` and
+/// `shift = beta − mean·scale`.
+///
+/// Uses exactly the same expressions (and operation order) as
+/// [`batch_norm`], so applying the folded form via
+/// [`batch_norm_folded_into`] is bit-identical to the unfolded path.
+pub fn batch_norm_fold(params: &BatchNormParams) -> (Vec<f32>, Vec<f32>) {
+    let c = params.gamma.shape().len();
+    let mut scale = Vec::with_capacity(c);
+    let mut shift = Vec::with_capacity(c);
     for ch in 0..c {
         let g = params.gamma.data()[ch];
         let b = params.beta.data()[ch];
         let m = params.mean.data()[ch];
         let inv_std = 1.0 / (params.var.data()[ch] + params.eps).sqrt();
-        let scale = g * inv_std;
-        let shift = b - m * scale;
+        let s = g * inv_std;
+        scale.push(s);
+        shift.push(b - m * s);
+    }
+    (scale, shift)
+}
+
+/// Applies pre-folded batch norm (`y = x·scale + shift` per channel) over
+/// raw buffers, writing into a caller-owned output — the compiled-partition
+/// hot path. Bit-identical to [`batch_norm`] when `(scale, shift)` come from
+/// [`batch_norm_fold`].
+///
+/// # Panics
+///
+/// Panics if buffer lengths are inconsistent.
+pub fn batch_norm_folded_into(
+    x: &[f32],
+    plane: usize,
+    scale: &[f32],
+    shift: &[f32],
+    out: &mut [f32],
+) {
+    let c = scale.len();
+    assert_eq!(shift.len(), c, "scale/shift length mismatch");
+    assert_eq!(x.len(), c * plane, "input must be CHW");
+    assert_eq!(out.len(), c * plane, "out must match input");
+    for ch in 0..c {
+        let (scale, shift) = (scale[ch], shift[ch]);
         let src = &x[ch * plane..(ch + 1) * plane];
         let dst = &mut out[ch * plane..(ch + 1) * plane];
         for (o, &v) in dst.iter_mut().zip(src.iter()) {

@@ -56,7 +56,7 @@ fn pool2d(input: &Tensor, params: &Pool2dParams, is_max: bool) -> Result<Tensor>
             params.kernel
         ))
     })?;
-    let mut out = Vec::new();
+    let mut out = vec![0.0f32; c * out_h * out_w];
     pool2d_into(
         input.data(),
         c,
@@ -69,14 +69,18 @@ fn pool2d(input: &Tensor, params: &Pool2dParams, is_max: bool) -> Result<Tensor>
     Tensor::from_vec(Shape::new(vec![c, out_h, out_w]), out)
 }
 
-/// Pooling hot loop writing into a caller-reusable buffer (`out` is cleared
-/// and resized, keeping its allocation across calls).
+/// Pooling hot loop writing into a caller-owned buffer — the
+/// compiled-partition hot path. Every output position is written.
 ///
 /// Output positions whose windows lie fully inside the input — all of them
 /// when there is no padding — take a tight unchecked path with a fixed
 /// divisor; only the border bands pay per-tap bounds checks. Taps are visited
 /// in the same (ky, kx) order on both paths, so results are identical to the
 /// fully-checked loop.
+///
+/// # Panics
+///
+/// Panics if `data` or `out` is inconsistent with the dimensions.
 fn pool2d_into(
     data: &[f32],
     c: usize,
@@ -84,15 +88,15 @@ fn pool2d_into(
     (out_h, out_w): (usize, usize),
     params: &Pool2dParams,
     is_max: bool,
-    out: &mut Vec<f32>,
+    out: &mut [f32],
 ) {
     let (kh, kw) = params.kernel;
     let (sh, sw) = params.stride;
     let (pt, pl) = (params.padding.top, params.padding.left);
     let plane = in_h * in_w;
     let out_plane = out_h * out_w;
-    out.clear();
-    out.resize(c * out_plane, 0.0);
+    assert_eq!(data.len(), c * plane, "input must be CHW");
+    assert_eq!(out.len(), c * out_plane, "out must be c*out_h*out_w");
 
     // Output rows/cols whose windows never touch the padding.
     let oy_lo = pt.div_ceil(sh).min(out_h);
@@ -198,6 +202,40 @@ pub fn avg_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
     pool2d(input, params, false)
 }
 
+/// Max pooling over raw buffers writing into a caller-owned output.
+/// Bit-identical to [`max_pool2d`].
+///
+/// # Panics
+///
+/// Panics if buffer lengths are inconsistent with the dimensions.
+pub fn max_pool2d_into(
+    data: &[f32],
+    c: usize,
+    in_hw: (usize, usize),
+    out_hw: (usize, usize),
+    params: &Pool2dParams,
+    out: &mut [f32],
+) {
+    pool2d_into(data, c, in_hw, out_hw, params, true, out);
+}
+
+/// Average pooling over raw buffers writing into a caller-owned output.
+/// Bit-identical to [`avg_pool2d`].
+///
+/// # Panics
+///
+/// Panics if buffer lengths are inconsistent with the dimensions.
+pub fn avg_pool2d_into(
+    data: &[f32],
+    c: usize,
+    in_hw: (usize, usize),
+    out_hw: (usize, usize),
+    params: &Pool2dParams,
+    out: &mut [f32],
+) {
+    pool2d_into(data, c, in_hw, out_hw, params, false, out);
+}
+
 /// Global average pooling: reduces `CHW` to `[C]`.
 ///
 /// # Errors
@@ -218,11 +256,25 @@ pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
             "global_avg_pool over empty spatial plane".into(),
         ));
     }
-    let data = input.data();
-    let out = (0..c)
-        .map(|ch| data[ch * plane..(ch + 1) * plane].iter().sum::<f32>() / plane as f32)
-        .collect();
+    let mut out = vec![0.0f32; c];
+    global_avg_pool_into(input.data(), c, plane, &mut out);
     Tensor::from_vec(Shape::new(vec![c]), out)
+}
+
+/// Global average pooling over raw buffers writing into a caller-owned
+/// output of length `c`. Bit-identical to [`global_avg_pool`].
+///
+/// # Panics
+///
+/// Panics if buffer lengths are inconsistent with the dimensions or the
+/// spatial plane is empty.
+pub fn global_avg_pool_into(data: &[f32], c: usize, plane: usize, out: &mut [f32]) {
+    assert!(plane > 0, "global_avg_pool over empty spatial plane");
+    assert_eq!(data.len(), c * plane, "input must be CHW");
+    assert_eq!(out.len(), c, "out must be [c]");
+    for (ch, o) in out.iter_mut().enumerate() {
+        *o = data[ch * plane..(ch + 1) * plane].iter().sum::<f32>() / plane as f32;
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use super::activation::{sigmoid, tanh};
 use crate::error::TensorError;
+use crate::scratch;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -81,6 +82,7 @@ impl LstmState {
     }
 }
 
+#[cfg(test)]
 fn matvec(w: &Tensor, x: &Tensor) -> Vec<f32> {
     let (rows, cols) = (w.shape().dims()[0], w.shape().dims()[1]);
     let mut out = vec![0.0f32; rows];
@@ -128,15 +130,37 @@ pub fn lstm_cell(x: &Tensor, state: &LstmState, params: &LstmParams) -> Result<L
             actual: state.h.shape().clone(),
         });
     }
-    let gi = matvec(&params.w_ih, x);
-    let gh = matvec(&params.w_hh, &state.h);
+    // Gate pre-activations live in per-thread scratch: after the first step
+    // of a sequence, later steps run these temporaries allocation-free.
+    let mut gi = scratch::take(scratch::Site::LstmGateInput);
+    gi.clear();
+    gi.resize(4 * hidden, 0.0);
+    crate::gemm::gemv(
+        4 * hidden,
+        params.input_size(),
+        params.w_ih.data(),
+        x.data(),
+        &mut gi,
+    );
+    let mut gh = scratch::take(scratch::Site::LstmGateHidden);
+    gh.clear();
+    gh.resize(4 * hidden, 0.0);
+    crate::gemm::gemv(
+        4 * hidden,
+        hidden,
+        params.w_hh.data(),
+        state.h.data(),
+        &mut gh,
+    );
     let b = params.bias.data();
-    let pre: Vec<f32> = gi
-        .iter()
-        .zip(gh.iter())
-        .zip(b.iter())
-        .map(|((a, c), d)| a + c + d)
-        .collect();
+    let mut pre = scratch::take(scratch::Site::LstmPre);
+    pre.clear();
+    pre.extend(
+        gi.iter()
+            .zip(gh.iter())
+            .zip(b.iter())
+            .map(|((a, c), d)| a + c + d),
+    );
 
     let gate = |idx: usize| -> Tensor {
         Tensor::from_vec(
@@ -149,6 +173,9 @@ pub fn lstm_cell(x: &Tensor, state: &LstmState, params: &LstmParams) -> Result<L
     let f = sigmoid(&gate(1));
     let g = tanh(&gate(2));
     let o = sigmoid(&gate(3));
+    scratch::put(scratch::Site::LstmGateInput, gi);
+    scratch::put(scratch::Site::LstmGateHidden, gh);
+    scratch::put(scratch::Site::LstmPre, pre);
 
     let mut c_next = Vec::with_capacity(hidden);
     for k in 0..hidden {

@@ -1,0 +1,130 @@
+//! Per-thread scratch arenas for kernel-internal temporaries.
+//!
+//! Every heavy kernel in this crate needs short-lived working memory — the
+//! im2col column matrix of a convolution, the gate pre-activations of an LSTM
+//! step. Allocating those per call puts the allocator (and the kernel page
+//! faults behind it) on the per-query hot path of the fork-join runtime. The
+//! arena here keeps one buffer per *use site* per thread: a kernel takes the
+//! buffer for its site, clears and resizes it (within capacity after the
+//! first query — no allocation), and puts it back when done.
+//!
+//! Buffers are thread-local, so kernels fanned out across the
+//! [`gillis_pool`](../../gillis_pool/index.html) worker threads each warm
+//! their own arena; there is no cross-thread synchronization on the hot path.
+//! Capacity only ever grows (a put never shrinks), so after one pass over a
+//! model every later query runs allocation-free regardless of the layer
+//! sequence.
+
+use std::cell::RefCell;
+
+/// Identifies the use site a scratch buffer belongs to.
+///
+/// One live buffer per site per thread: a kernel must put a site's buffer
+/// back before any code path that takes the same site again runs on the same
+/// thread (taking an already-taken site yields a fresh empty buffer, which is
+/// correct but defeats reuse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// im2col column matrix of `conv2d`.
+    Im2col = 0,
+    /// Per-channel im2col column matrix of `depthwise_conv2d`.
+    DepthwiseCol = 1,
+    /// LSTM input-to-hidden gate pre-activations.
+    LstmGateInput = 2,
+    /// LSTM hidden-to-hidden gate pre-activations.
+    LstmGateHidden = 3,
+    /// LSTM combined gate pre-activations.
+    LstmPre = 4,
+}
+
+const N_SITES: usize = 5;
+
+/// A per-thread set of reusable `f32` buffers, one slot per [`Site`].
+#[derive(Debug, Default)]
+pub struct Scratch {
+    slots: [Vec<f32>; N_SITES],
+}
+
+impl Scratch {
+    /// Takes the buffer for `site`, leaving an empty slot behind. The buffer
+    /// keeps whatever capacity it grew on earlier queries; callers clear and
+    /// resize it to their needs.
+    pub fn take(&mut self, site: Site) -> Vec<f32> {
+        std::mem::take(&mut self.slots[site as usize])
+    }
+
+    /// Returns a buffer to `site` so later takes on this thread reuse its
+    /// capacity. Keeps the larger of the stored and returned buffers, so
+    /// capacity is monotone even if a site was double-taken.
+    pub fn put(&mut self, site: Site, buf: Vec<f32>) {
+        let slot = &mut self.slots[site as usize];
+        if buf.capacity() > slot.capacity() {
+            *slot = buf;
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Takes the calling thread's buffer for `site`; pair with [`put`].
+pub fn take(site: Site) -> Vec<f32> {
+    SCRATCH.with(|s| s.borrow_mut().take(site))
+}
+
+/// Returns a buffer to the calling thread's slot for `site`.
+pub fn put(site: Site, buf: Vec<f32>) {
+    SCRATCH.with(|s| s.borrow_mut().put(site, buf));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_reuses_capacity() {
+        let mut s = Scratch::default();
+        let mut buf = s.take(Site::Im2col);
+        buf.resize(1024, 0.0);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        s.put(Site::Im2col, buf);
+        let again = s.take(Site::Im2col);
+        assert_eq!(again.capacity(), cap);
+        assert_eq!(again.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let mut s = Scratch::default();
+        let mut a = s.take(Site::Im2col);
+        a.resize(16, 1.0);
+        s.put(Site::Im2col, a);
+        let b = s.take(Site::DepthwiseCol);
+        assert_eq!(b.capacity(), 0);
+    }
+
+    #[test]
+    fn put_keeps_larger_buffer_on_double_take() {
+        let mut s = Scratch::default();
+        let mut big = s.take(Site::LstmPre);
+        big.resize(256, 0.0);
+        let mut small = s.take(Site::LstmPre); // double take: empty
+        small.resize(8, 0.0);
+        s.put(Site::LstmPre, small);
+        s.put(Site::LstmPre, big);
+        assert!(s.take(Site::LstmPre).capacity() >= 256);
+    }
+
+    #[test]
+    fn thread_local_helpers_roundtrip() {
+        let mut buf = take(Site::Im2col);
+        buf.resize(64, 2.0);
+        let cap = buf.capacity();
+        put(Site::Im2col, buf);
+        let again = take(Site::Im2col);
+        assert!(again.capacity() >= cap);
+        put(Site::Im2col, again);
+    }
+}

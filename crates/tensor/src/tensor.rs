@@ -168,23 +168,27 @@ impl Tensor {
     /// Concatenates tensors along dimension `dim`, copying.
     ///
     /// This is the gather primitive of the fork-join master: worker outputs
-    /// are stitched back into the full tensor.
+    /// are stitched back into the full tensor. Accepts anything that borrows
+    /// a tensor (`&[Tensor]`, `&[&Tensor]`, …), so callers holding references
+    /// need not clone the parts first.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidArgument`] if `parts` is empty, and
     /// [`TensorError::ShapeMismatch`] if the parts disagree on any dimension
     /// other than `dim`.
-    pub fn concat(parts: &[Tensor], dim: usize) -> Result<Tensor> {
+    pub fn concat<T: std::borrow::Borrow<Tensor>>(parts: &[T], dim: usize) -> Result<Tensor> {
         let first = parts
             .first()
-            .ok_or_else(|| TensorError::InvalidArgument("concat of zero tensors".into()))?;
+            .ok_or_else(|| TensorError::InvalidArgument("concat of zero tensors".into()))?
+            .borrow();
         let rank = first.shape.rank();
         if dim >= rank {
             return Err(TensorError::DimOutOfRange { dim, rank });
         }
         let mut total = 0;
         for p in parts {
+            let p = p.borrow();
             if p.shape.rank() != rank {
                 return Err(TensorError::ShapeMismatch {
                     expected: first.shape.clone(),
@@ -208,6 +212,7 @@ impl Tensor {
         let mut out = Vec::with_capacity(out_shape.len());
         for o in 0..outer {
             for p in parts {
+                let p = p.borrow();
                 let psize = p.shape.dims()[dim];
                 let base = o * psize * inner;
                 out.extend_from_slice(&p.data[base..base + psize * inner]);
@@ -335,8 +340,10 @@ mod tests {
         // dim 0 concat is fine (other dims equal)...
         assert!(Tensor::concat(&[a.clone(), b.clone()], 0).is_ok());
         // ...but dim 1 concat must reject differing dim 0.
+        // Borrowed parts work without cloning.
+        assert!(Tensor::concat(&[&a, &b], 1).is_err());
         assert!(Tensor::concat(&[a, b], 1).is_err());
-        assert!(Tensor::concat(&[], 0).is_err());
+        assert!(Tensor::concat::<Tensor>(&[], 0).is_err());
     }
 
     #[test]

@@ -22,14 +22,17 @@
 //! # }
 //! ```
 
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
 use gillis_core::{
-    execute_plan_tensors_resilient, predict_plan, ChaosConfig, CoreError, DpPartitioner,
-    ExecutionPlan, ForkJoinRuntime, PartitionerConfig, PlanPrediction, ResilienceCounters,
-    ResiliencePolicy, ServingReport,
+    execute_plan_tensors_resilient, predict_plan, ChaosConfig, CompiledPlanExec, CoreError,
+    DpPartitioner, ExecutionPlan, ForkJoinRuntime, PartitionerConfig, PlanPrediction, QueryStatus,
+    ResilienceCounters, ResiliencePolicy, ServingReport,
 };
 use gillis_faas::workload::ClosedLoop;
 use gillis_faas::PlatformProfile;
-use gillis_model::weights::ModelWeights;
+use gillis_model::weights::{ModelWeights, NodeWeights};
 use gillis_model::LinearModel;
 use gillis_perf::PerfModel;
 use gillis_rl::{slo_aware_partition, SloAwareConfig};
@@ -240,7 +243,91 @@ impl Gillis {
             prediction,
             chaos: self.chaos,
             policy: self.policy,
+            warm: WarmCache::default(),
         })
+    }
+}
+
+/// Identity of the weight set a compiled plan was built against. Compiled
+/// state pre-slices and packs weights, so it is only valid for the exact
+/// weight storage it was compiled from; the token pairs the map's address
+/// and size with the heap pointer of one inner tensor so a recreated or
+/// mutated weight set forces a recompile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WarmToken {
+    map_addr: usize,
+    entries: usize,
+    probe_addr: usize,
+    probe_len: usize,
+}
+
+impl WarmToken {
+    fn of(model: &LinearModel, weights: &ModelWeights) -> Self {
+        let probe = model
+            .graph()
+            .nodes()
+            .iter()
+            .find_map(|n| weights.get(n.id).ok())
+            .map(|w| {
+                let data = match w {
+                    NodeWeights::Conv { weight, .. }
+                    | NodeWeights::Depthwise { weight, .. }
+                    | NodeWeights::Dense { weight, .. } => weight.data(),
+                    NodeWeights::Bn(p) => p.gamma.data(),
+                    NodeWeights::Lstm(p) => p.w_ih.data(),
+                };
+                (data.as_ptr() as usize, data.len())
+            })
+            .unwrap_or((0, 0));
+        WarmToken {
+            map_addr: weights as *const ModelWeights as usize,
+            entries: weights.len(),
+            probe_addr: probe.0,
+            probe_len: probe.1,
+        }
+    }
+}
+
+/// The deployment's steady-state compiled plan.
+#[derive(Default)]
+enum WarmSlot {
+    /// No query has compiled yet.
+    #[default]
+    Empty,
+    /// The model is outside the compiled subset (branching or recurrent);
+    /// remembered so the fallback does not re-attempt compilation per query.
+    Unsupported,
+    /// Compiled and valid for the weight set identified by the token.
+    Ready {
+        token: WarmToken,
+        exec: Box<CompiledPlanExec>,
+    },
+}
+
+/// Shared, lazily-populated compiled state. Clones of a [`Deployment`] share
+/// the same compilation (it is keyed by weight identity, not by clone).
+#[derive(Clone, Default)]
+struct WarmCache(Arc<Mutex<WarmSlot>>);
+
+impl WarmCache {
+    fn lock(&self) -> std::sync::MutexGuard<'_, WarmSlot> {
+        // A poisoning panic can only come from the executor, whose state is
+        // fully overwritten by the next run; recover rather than propagate.
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl fmt::Debug for WarmCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = match *self.lock() {
+            WarmSlot::Empty => "empty",
+            WarmSlot::Unsupported => "unsupported",
+            WarmSlot::Ready { .. } => "ready",
+        };
+        f.debug_tuple("WarmCache").field(&state).finish()
     }
 }
 
@@ -253,6 +340,9 @@ pub struct Deployment {
     prediction: PlanPrediction,
     chaos: Option<ChaosConfig>,
     policy: ResiliencePolicy,
+    /// Lazily-compiled steady-state execution (pre-sliced weights, packed
+    /// panels, preallocated buffers); see [`Deployment::infer`].
+    warm: WarmCache,
 }
 
 impl Deployment {
@@ -282,10 +372,19 @@ impl Deployment {
 
     /// Runs one real inference through the partitioned plan: slices `input`
     /// per group, executes the worker partitions concurrently on the shared
-    /// thread pool ([`gillis_core::execute_plan_tensors`]), and stitches the
-    /// outputs. The result is bit-identical to the unpartitioned forward
-    /// pass — Gillis's no-accuracy-loss property, now also exercised through
-    /// the facade.
+    /// thread pool, and stitches the outputs. The result is bit-identical to
+    /// the unpartitioned forward pass — Gillis's no-accuracy-loss property,
+    /// now also exercised through the facade.
+    ///
+    /// The first query against a weight set compiles the plan
+    /// ([`gillis_core::CompiledPlanExec`]): weight subsets are pre-sliced,
+    /// batch norms folded, conv panels packed, and every intermediate buffer
+    /// preallocated. Subsequent queries reuse that state — the steady-state
+    /// warm path runs without heap allocation at pool width 1. Chaos-enabled
+    /// deployments, branching/recurrent models, and mis-shaped inputs take
+    /// the uncompiled resilient path
+    /// ([`gillis_core::execute_plan_tensors`]); outputs are bit-identical
+    /// either way.
     ///
     /// # Errors
     ///
@@ -308,6 +407,13 @@ impl Deployment {
         weights: &ModelWeights,
         input: &Tensor,
     ) -> Result<(Tensor, ResilienceCounters), CoreError> {
+        if self.chaos.is_none() {
+            if let Some(out) = self.warm_infer(weights, input)? {
+                let mut counters = ResilienceCounters::default();
+                counters.record_status(QueryStatus::Ok);
+                return Ok((out, counters));
+            }
+        }
         let injector = match &self.chaos {
             Some(cfg) => Some(cfg.build()?),
             None => None,
@@ -321,6 +427,50 @@ impl Deployment {
             &self.policy,
             gillis_pool::gillis_threads(),
         )
+    }
+
+    /// The steady-state warm path: compiles the plan on first use (or when
+    /// `weights` changes identity), then serves the query from preallocated
+    /// state. Returns `Ok(None)` when the query must take the uncompiled
+    /// path instead — the model is outside the compiled subset, or the input
+    /// shape is wrong (so the fallback can report the proper error).
+    fn warm_infer(
+        &self,
+        weights: &ModelWeights,
+        input: &Tensor,
+    ) -> Result<Option<Tensor>, CoreError> {
+        if input.shape() != self.model.input_shape() {
+            return Ok(None);
+        }
+        let mut slot = self.warm.lock();
+        if matches!(*slot, WarmSlot::Unsupported) {
+            return Ok(None);
+        }
+        let token = WarmToken::of(&self.model, weights);
+        let stale = match &*slot {
+            WarmSlot::Ready { token: t, .. } => *t != token,
+            _ => true,
+        };
+        if stale {
+            match CompiledPlanExec::compile(&self.model, &self.plan, weights) {
+                Ok(exec) => {
+                    *slot = WarmSlot::Ready {
+                        token,
+                        exec: Box::new(exec),
+                    };
+                }
+                Err(_) => {
+                    // Branching or recurrent model: remember, and let every
+                    // query take the uncompiled path without re-compiling.
+                    *slot = WarmSlot::Unsupported;
+                    return Ok(None);
+                }
+            }
+        }
+        match &mut *slot {
+            WarmSlot::Ready { exec, .. } => exec.run(weights, input).map(Some),
+            _ => unreachable!("slot was just compiled"),
+        }
     }
 
     fn runtime(&self) -> Result<ForkJoinRuntime<'_>, CoreError> {
@@ -484,6 +634,89 @@ mod tests {
             })
             .deploy();
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn warm_path_is_bit_identical_and_tracks_weight_identity() {
+        use gillis_model::weights::init_weights;
+
+        let tiny = zoo::tiny_vgg();
+        let d = Gillis::new(tiny.clone()).deploy().unwrap();
+        let input = Tensor::from_fn(tiny.input_shape().clone(), |i| {
+            ((i % 17) as f32 - 8.0) / 8.0
+        });
+
+        // Cold query (compiles) and warm queries agree bit-for-bit with the
+        // uncompiled path.
+        let weights = init_weights(tiny.graph(), 4).unwrap();
+        let uncompiled =
+            gillis_core::execute_plan_tensors(&tiny, d.plan(), &weights, &input).unwrap();
+        for _ in 0..3 {
+            let out = d.infer(&weights, &input).unwrap();
+            assert_eq!(out.shape(), uncompiled.shape());
+            for (a, b) in out.data().iter().zip(uncompiled.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert!(format!("{:?}", d.warm).contains("ready"));
+
+        // A different weight set forces a recompile and still matches.
+        let weights2 = init_weights(tiny.graph(), 5).unwrap();
+        let expect2 =
+            gillis_core::execute_plan_tensors(&tiny, d.plan(), &weights2, &input).unwrap();
+        let out2 = d.infer(&weights2, &input).unwrap();
+        assert_eq!(
+            out2.data()[0].to_bits(),
+            expect2.data()[0].to_bits(),
+            "recompiled against new weights"
+        );
+
+        // Clones share the compiled state.
+        let clone = d.clone();
+        assert!(format!("{:?}", clone.warm).contains("ready"));
+    }
+
+    #[test]
+    fn branching_model_marks_warm_slot_unsupported_and_still_infers() {
+        use gillis_model::exec::Executor;
+        use gillis_model::weights::init_weights;
+
+        let model = zoo::tiny_resnet();
+        let d = Gillis::new(model.clone()).deploy().unwrap();
+        let weights = init_weights(model.graph(), 2).unwrap();
+        let input = Tensor::from_fn(model.input_shape().clone(), |i| {
+            ((i % 7) as f32 - 3.0) / 3.0
+        });
+        let out = d.infer(&weights, &input).unwrap();
+        let reference = Executor::new(model.graph(), &weights)
+            .forward(&model, &input)
+            .unwrap();
+        assert!(reference.max_abs_diff(&out).unwrap() < 1e-4);
+        assert!(format!("{:?}", d.warm).contains("unsupported"));
+        // Second query goes straight to the fallback without recompiling.
+        let again = d.infer(&weights, &input).unwrap();
+        assert_eq!(out.data()[0].to_bits(), again.data()[0].to_bits());
+    }
+
+    #[test]
+    fn chaos_deployment_never_uses_the_warm_path() {
+        use gillis_model::weights::init_weights;
+
+        let tiny = zoo::tiny_vgg();
+        let d = Gillis::new(tiny.clone())
+            .chaos(ChaosConfig {
+                seed: 3,
+                crash_rate: 0.05,
+                ..ChaosConfig::default()
+            })
+            .deploy()
+            .unwrap();
+        let weights = init_weights(tiny.graph(), 6).unwrap();
+        let input = Tensor::from_fn(tiny.input_shape().clone(), |_| 0.25);
+        d.infer(&weights, &input).unwrap();
+        // Fault-injection sites only exist on the resilient path, so chaos
+        // deployments must not compile a warm plan.
+        assert!(format!("{:?}", d.warm).contains("empty"));
     }
 
     #[test]
