@@ -25,6 +25,9 @@
 //! are counted honestly in [`ResilienceCounters`]. The master itself is
 //! assumed reliable — only worker invocations fault.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -34,7 +37,8 @@ use gillis_faas::chaos::{
 };
 use gillis_faas::des::EventQueue;
 use gillis_faas::fleet::{Fleet, FunctionSpec};
-use gillis_faas::metrics::LatencyStats;
+use gillis_faas::metrics::{LatencyStats, StatusLatency};
+use gillis_faas::overload::{CancelToken, CircuitBreaker, OverloadCounters, OverloadPolicy};
 use gillis_faas::workload::ClosedLoop;
 use gillis_faas::{Micros, PlatformProfile};
 use gillis_model::exec::Executor;
@@ -72,16 +76,24 @@ pub struct QueryOutcome {
 /// Result of serving a workload.
 #[derive(Debug, Clone)]
 pub struct ServingReport {
-    /// Query latency distribution (failed queries record their error
-    /// response time).
+    /// Latency distribution of *admitted* queries (failed queries record
+    /// their error response time; shed queries never run and record
+    /// nothing here).
     pub latency: LatencyStats,
+    /// Latency split by terminal status, so degraded local-fallback and
+    /// deadline-expired latencies do not dilute the ok-path percentiles.
+    pub by_status: StatusLatency,
     /// Accumulated billing.
     pub billing: BillingMeter,
     /// Cold starts observed across all functions.
     pub cold_starts: u64,
-    /// Honest resilience accounting: ok/degraded/failed queries, retries,
-    /// hedges, hedge wins, timeouts, locally recomputed shards.
+    /// Honest resilience accounting: ok/degraded/failed/shed/deadline
+    /// queries, retries, hedges, hedge wins, timeouts, locally recomputed
+    /// shards.
     pub resilience: ResilienceCounters,
+    /// Overload accounting: admissions, sheds, cancelled attempts, queue
+    /// depth, breaker transitions. All zero without an [`OverloadPolicy`].
+    pub overload: OverloadCounters,
 }
 
 /// Latency distribution plus resilience accounting over a batch of
@@ -114,6 +126,15 @@ struct LaneExec {
     timed_out: bool,
 }
 
+/// Overload protection prepared for serving: the policy plus the plan's
+/// predicted warm latency, which admission control adds to the predicted
+/// queue wait when deciding whether an arrival can still meet its deadline.
+#[derive(Debug, Clone)]
+struct OverloadRuntime {
+    policy: OverloadPolicy,
+    predicted_ms: f64,
+}
+
 /// The plan executor over the simulated platform.
 #[derive(Debug, Clone)]
 pub struct ForkJoinRuntime<'a> {
@@ -123,6 +144,7 @@ pub struct ForkJoinRuntime<'a> {
     analyses: Vec<GroupAnalysis>,
     injector: Option<FaultInjector>,
     policy: ResiliencePolicy,
+    overload: Option<OverloadRuntime>,
     /// Predicted p95 of one attempt per `[group][partition]`: mean compute
     /// at the 95th noise percentile plus the invocation-jitter p95. Timeouts
     /// and hedge delays are multiples of this, so they scale with the
@@ -179,6 +201,7 @@ impl<'a> ForkJoinRuntime<'a> {
             analyses,
             injector,
             policy: ResiliencePolicy::default(),
+            overload: None,
             attempt_p95_ms,
         })
     }
@@ -198,6 +221,70 @@ impl<'a> ForkJoinRuntime<'a> {
     pub fn with_policy(mut self, policy: ResiliencePolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Enables overload protection: a bounded admission queue with
+    /// deadline-derived shedding in [`Self::serve_open_loop`], deadline
+    /// propagation with cooperative cancellation into every fork-join
+    /// group, and per-worker-lane circuit breakers. The plan's predicted
+    /// warm latency (analytic performance model) feeds the
+    /// shed-on-predicted-miss decision; use
+    /// [`Self::with_overload_predicted`] to supply a prediction from a
+    /// profiled model instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the policy's validation error, or prediction errors.
+    pub fn with_overload(self, policy: OverloadPolicy) -> Result<Self> {
+        let perf = gillis_perf::PerfModel::analytic(&self.platform);
+        let predicted_ms = crate::predict::predict_plan(self.model, self.plan, &perf)?.latency_ms;
+        self.with_overload_predicted(policy, predicted_ms)
+    }
+
+    /// [`Self::with_overload`] with an explicit predicted warm latency for
+    /// the plan (e.g. `PlanPrediction::latency_ms` from a profiled
+    /// performance model).
+    ///
+    /// # Errors
+    ///
+    /// Returns the policy's validation error, or
+    /// [`CoreError::InvalidArgument`] for a non-positive prediction.
+    pub fn with_overload_predicted(
+        mut self,
+        policy: OverloadPolicy,
+        predicted_ms: f64,
+    ) -> Result<Self> {
+        policy.validate().map_err(CoreError::from)?;
+        // NaN-rejecting: the prediction must be definitely positive.
+        if predicted_ms.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || !predicted_ms.is_finite()
+        {
+            return Err(CoreError::InvalidArgument(format!(
+                "predicted latency must be positive and finite: {predicted_ms}"
+            )));
+        }
+        self.overload = Some(OverloadRuntime {
+            policy,
+            predicted_ms,
+        });
+        Ok(self)
+    }
+
+    /// Fresh per-lane circuit breakers shaped like the plan (one per
+    /// partition slot, including master slots for stable indexing), or
+    /// `None` when the breaker policy is disabled.
+    fn breaker_bank(&self, policy: &OverloadPolicy) -> Option<Vec<Vec<CircuitBreaker>>> {
+        policy.breaker.enabled().then(|| {
+            self.analyses
+                .iter()
+                .map(|a| {
+                    a.partitions
+                        .iter()
+                        .map(|_| CircuitBreaker::new(policy.breaker))
+                        .collect()
+                })
+                .collect()
+        })
     }
 
     fn sample_compute_ms<R: RngExt + ?Sized>(&self, work: &PartitionWork, rng: &mut R) -> f64 {
@@ -591,7 +678,13 @@ impl<'a> ForkJoinRuntime<'a> {
             self.platform.price_per_invocation,
         );
         let mut latency = LatencyStats::new();
+        let mut by_status = StatusLatency::new();
         let mut resilience = ResilienceCounters::default();
+        let mut overload = OverloadCounters::default();
+        let mut breakers = self
+            .overload
+            .as_ref()
+            .and_then(|ov| self.breaker_bank(&ov.policy));
         let mut query_idx = 0u64;
 
         // Event = a client ready to issue a query.
@@ -603,33 +696,64 @@ impl<'a> ForkJoinRuntime<'a> {
             if !workload.try_issue() {
                 continue;
             }
-            let done = self.run_query_on_fleet(
+            // Closed-loop clients self-limit, so there is no admission
+            // queue; deadlines and breakers still apply.
+            let deadline = self
+                .overload
+                .as_ref()
+                .and_then(|ov| ov.policy.deadline_at(now));
+            if self.overload.is_some() {
+                overload.admitted += 1;
+            }
+            let (done, status) = self.run_query_on_fleet(
                 &mut fleet,
                 &mut billing,
                 now,
                 &mut rng,
                 query_idx,
+                deadline,
+                breakers.as_deref_mut(),
+                &mut overload,
                 &mut resilience,
             )?;
             query_idx += 1;
-            latency.record((done - now).as_ms());
+            let ms = (done - now).as_ms();
+            latency.record(ms);
+            by_status.record(status, ms);
             queue.push(done + workload.think_time, client);
         }
 
         let cold_starts = self.count_cold_starts(&fleet)?;
         Ok(ServingReport {
             latency,
+            by_status,
             billing,
             cold_starts,
             resilience,
+            overload,
         })
     }
 
     /// Serves an open-loop Poisson arrival stream of `queries` queries at
     /// `rate_per_sec`, against pre-warmed pools sized for `prewarm_clients`
     /// concurrent queries. Unlike the closed loop, arrivals do not wait for
-    /// responses — overload shows up as cold-start scale-out beyond the
-    /// pre-warmed pool (the §II-A motivation for serverless burst capacity).
+    /// responses.
+    ///
+    /// Without an [`OverloadPolicy`] (see [`Self::with_overload`]), every
+    /// arrival is served immediately — overload shows up as cold-start
+    /// scale-out beyond the pre-warmed pool (the §II-A motivation for
+    /// serverless burst capacity). With a policy, the master front door is
+    /// modelled honestly: at most `max_concurrency` queries run at once,
+    /// excess arrivals wait in a bounded queue (pre-warmed to at least the
+    /// concurrency so capacity never pays cold starts), and arrivals are
+    /// shed — counted, never silently dropped — when the queue is full or
+    /// when predicted wait plus predicted plan latency already exceeds the
+    /// deadline. Admitted queries carry their deadline into the fork-join
+    /// groups (shrinking per-attempt timeouts and cancelling doomed work).
+    ///
+    /// The arrival process, every shed decision, and every query outcome
+    /// are pure functions of `seed` and the query index — the loop is
+    /// sequential, so reports are bit-identical for any `GILLIS_THREADS`.
     ///
     /// # Errors
     ///
@@ -645,7 +769,14 @@ impl<'a> ForkJoinRuntime<'a> {
         let arrivals = gillis_faas::workload::PoissonArrivals::new(rate_per_sec)?;
         let mut fleet = Fleet::new(self.platform.clone());
         self.deploy(&mut fleet)?;
-        self.prewarm(&mut fleet, prewarm_clients)?;
+        let prewarm_count = match &self.overload {
+            // Warm the whole admission capacity: a policy bounds concurrency
+            // at `max_concurrency`, so warming less would just shift early
+            // admitted queries onto cold starts.
+            Some(ov) => prewarm_clients.max(ov.policy.max_concurrency),
+            None => prewarm_clients,
+        };
+        self.prewarm(&mut fleet, prewarm_count)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut billing = BillingMeter::new(
             self.platform.billing_granularity_ms,
@@ -653,26 +784,107 @@ impl<'a> ForkJoinRuntime<'a> {
             self.platform.price_per_invocation,
         );
         let mut latency = LatencyStats::new();
+        let mut by_status = StatusLatency::new();
         let mut resilience = ResilienceCounters::default();
+        let mut overload = OverloadCounters::default();
         let mut now = Micros::ZERO;
+
+        let Some(ov) = self.overload.clone() else {
+            // Legacy unbounded scale-out: every arrival runs immediately.
+            for q in 0..queries {
+                now += arrivals.next_gap(&mut rng);
+                let (done, status) = self.run_query_on_fleet(
+                    &mut fleet,
+                    &mut billing,
+                    now,
+                    &mut rng,
+                    q as u64,
+                    None,
+                    None,
+                    &mut overload,
+                    &mut resilience,
+                )?;
+                let ms = (done - now).as_ms();
+                latency.record(ms);
+                by_status.record(status, ms);
+            }
+            let cold_starts = self.count_cold_starts(&fleet)?;
+            return Ok(ServingReport {
+                latency,
+                by_status,
+                billing,
+                cold_starts,
+                resilience,
+                overload,
+            });
+        };
+
+        let policy = ov.policy;
+        let mut breakers = self.breaker_bank(&policy);
+        // When each of the `max_concurrency` masters next frees up.
+        let mut server_free: BinaryHeap<Reverse<Micros>> = (0..policy.max_concurrency)
+            .map(|_| Reverse(Micros::ZERO))
+            .collect();
+        // Start times of admitted queries; monotone (each start is
+        // `max(arrival, earliest free server)` and both are non-decreasing),
+        // so the entries with `start > now` are exactly the queue.
+        let mut admitted_starts: VecDeque<Micros> = VecDeque::new();
         for q in 0..queries {
             now += arrivals.next_gap(&mut rng);
-            let done = self.run_query_on_fleet(
+            while admitted_starts.front().is_some_and(|&s| s <= now) {
+                admitted_starts.pop_front();
+            }
+            let waiting = admitted_starts.len();
+            let min_free = server_free.peek().expect("max_concurrency >= 1").0;
+            let start = now.max(min_free);
+            let deadline = policy.deadline_at(now);
+            // Shed decisions are pure functions of queue state — no RNG is
+            // consumed, so the admitted queries' fault/noise draws do not
+            // depend on how many arrivals were shed before them.
+            if waiting >= policy.queue_depth {
+                overload.shed_queue_full += 1;
+                resilience.record_status(QueryStatus::Shed);
+                continue;
+            }
+            if policy.shed_on_predicted_miss {
+                if let Some(d) = deadline {
+                    if start + Micros::from_ms(ov.predicted_ms) > d {
+                        overload.shed_predicted_miss += 1;
+                        resilience.record_status(QueryStatus::Shed);
+                        continue;
+                    }
+                }
+            }
+            overload.admitted += 1;
+            let depth_now = waiting + usize::from(start > now);
+            overload.peak_queue_depth = overload.peak_queue_depth.max(depth_now as u64);
+            server_free.pop();
+            let (done, status) = self.run_query_on_fleet(
                 &mut fleet,
                 &mut billing,
-                now,
+                start,
                 &mut rng,
                 q as u64,
+                deadline,
+                breakers.as_deref_mut(),
+                &mut overload,
                 &mut resilience,
             )?;
-            latency.record((done - now).as_ms());
+            server_free.push(Reverse(done));
+            admitted_starts.push_back(start);
+            // Latency is measured from *arrival*: queue wait counts.
+            let ms = (done - now).as_ms();
+            latency.record(ms);
+            by_status.record(status, ms);
         }
         let cold_starts = self.count_cold_starts(&fleet)?;
         Ok(ServingReport {
             latency,
+            by_status,
             billing,
             cold_starts,
             resilience,
+            overload,
         })
     }
 
@@ -740,13 +952,35 @@ impl<'a> ForkJoinRuntime<'a> {
         query: u64,
         counters: &mut ResilienceCounters,
     ) -> Result<Micros> {
-        self.run_query_on_fleet(fleet, billing, start, rng, query, counters)
+        let mut overload = OverloadCounters::default();
+        self.run_query_on_fleet(
+            fleet,
+            billing,
+            start,
+            rng,
+            query,
+            None,
+            None,
+            &mut overload,
+            counters,
+        )
+        .map(|(done, _)| done)
     }
 
     /// Executes one query against the fleet, charging billing, and returns
-    /// its completion time. Lane outcomes come from [`Self::sample_lane`] —
-    /// the same failure model as [`Self::simulate_query_at`] — with
-    /// instance acquisition (and its cold starts) layered on top.
+    /// its completion time and terminal status. Lane outcomes come from
+    /// [`Self::sample_lane`] — the same failure model as
+    /// [`Self::simulate_query_at`] — with instance acquisition (and its
+    /// cold starts) layered on top.
+    ///
+    /// `deadline` is the query's absolute cancellation point: per-attempt
+    /// timeouts shrink to the remaining budget, attempts that would launch
+    /// past it are cancelled (counted in `overload`), and once it expires
+    /// the master abandons remaining groups instead of completing doomed
+    /// work. `breakers` (when lane circuit breaking is on) is consulted per
+    /// worker lane at dispatch: an open lane is routed straight to
+    /// master-local degraded execution without spending its retry budget.
+    #[allow(clippy::too_many_arguments)]
     fn run_query_on_fleet(
         &self,
         fleet: &mut Fleet,
@@ -754,8 +988,11 @@ impl<'a> ForkJoinRuntime<'a> {
         start: Micros,
         rng: &mut StdRng,
         query: u64,
+        deadline: Option<Micros>,
+        mut breakers: Option<&mut [Vec<CircuitBreaker>]>,
+        overload: &mut OverloadCounters,
         counters: &mut ResilienceCounters,
-    ) -> Result<Micros> {
+    ) -> Result<(Micros, QueryStatus)> {
         let mem = self.platform.instance_memory_bytes;
         let max_attempts = self.policy.max_attempts.max(1);
         let master = fleet.acquire("master", start)?;
@@ -769,6 +1006,19 @@ impl<'a> ForkJoinRuntime<'a> {
             .zip(self.analyses.iter())
             .enumerate()
         {
+            // Cooperative cancellation checkpoint at every group boundary:
+            // an expired deadline cancels all remaining work.
+            if let Some(d) = deadline {
+                if now >= d {
+                    let remaining: u64 = self.plan.groups()[gi..]
+                        .iter()
+                        .map(|g| g.worker_count() as u64)
+                        .sum();
+                    overload.cancelled_attempts += remaining;
+                    status = QueryStatus::DeadlineExceeded;
+                    break 'groups;
+                }
+            }
             match g.placement {
                 Placement::Master => {
                     now += Micros::from_ms(self.sample_compute_ms(&a.partitions[0], rng));
@@ -795,10 +1045,30 @@ impl<'a> ForkJoinRuntime<'a> {
                     let ins: Vec<u64> = worker_parts.iter().map(|p| p.input_bytes).collect();
                     let outs: Vec<u64> = worker_parts.iter().map(|p| p.output_bytes).collect();
                     let dispatched = now + Micros::from_ms(self.sample_transfer_parts(&ins, rng));
-                    let mut compute_end = dispatched + Micros::from_ms(master_compute);
+                    // The master's own shard is synchronous local work — it
+                    // cannot be abandoned, so it lower-bounds the time at
+                    // which a cancelled query can return.
+                    let master_busy_end = dispatched + Micros::from_ms(master_compute);
+                    let mut compute_end = master_busy_end;
                     let mut exhausted: Vec<usize> = Vec::new();
+                    let mut deadline_hit = false;
                     for (pi, p) in worker_parts.iter().enumerate() {
                         let part_idx = pi + offset;
+                        // Per-lane circuit breaker: an open lane is routed
+                        // around (straight to master-local degraded
+                        // execution) without spending any retry budget; a
+                        // half-open lane gets a single probe attempt.
+                        let mut lane_attempts = max_attempts;
+                        if let Some(bank) = breakers.as_deref_mut() {
+                            let b = &mut bank[gi][part_idx];
+                            if !b.admits(dispatched, overload) {
+                                exhausted.push(pi);
+                                continue;
+                            }
+                            if b.probing() {
+                                lane_attempts = 1;
+                            }
+                        }
                         let fname = format!("g{gi}p{part_idx}");
                         let p95 = self.attempt_p95_ms[gi][part_idx];
                         let timeout_ms = self.policy.attempt_timeout_factor * p95;
@@ -806,7 +1076,26 @@ impl<'a> ForkJoinRuntime<'a> {
                         let mut t = dispatched;
                         let mut resolved: Option<Micros> = None;
                         let mut observed_end = dispatched;
-                        for attempt in 0..max_attempts {
+                        let mut lane_cancelled = false;
+                        for attempt in 0..lane_attempts {
+                            // An attempt that would launch at or past the
+                            // deadline is cancelled — doomed work the
+                            // master does not perform.
+                            if let Some(d) = deadline {
+                                if t >= d {
+                                    overload.cancelled_attempts += 1;
+                                    lane_cancelled = true;
+                                    break;
+                                }
+                            }
+                            // The remaining deadline budget caps the
+                            // attempt timeout. `sample_lane` draws noise
+                            // and fault *before* applying the cap, so a
+                            // shrunk timeout never shifts the RNG stream.
+                            let eff_timeout_ms = match deadline {
+                                Some(d) => timeout_ms.min((d - t).as_ms()),
+                                None => timeout_ms,
+                            };
                             let p_site = FaultSite {
                                 query,
                                 group: gi as u32,
@@ -815,7 +1104,7 @@ impl<'a> ForkJoinRuntime<'a> {
                                 lane: 0,
                             };
                             let primary =
-                                self.sample_lane(p_site, p, attempt == 0, timeout_ms, rng);
+                                self.sample_lane(p_site, p, attempt == 0, eff_timeout_ms, rng);
                             if primary.timed_out {
                                 counters.timeouts += 1;
                             }
@@ -831,12 +1120,19 @@ impl<'a> ForkJoinRuntime<'a> {
                             if self.policy.hedged() {
                                 let hedge_at =
                                     t + Micros::from_ms(self.policy.hedge_delay_factor * p95);
-                                if p_end > hedge_at {
+                                // A hedge is only worth launching before
+                                // the deadline.
+                                let hedge_allowed = deadline.is_none_or(|d| hedge_at < d);
+                                if p_end > hedge_at && hedge_allowed {
+                                    let hedge_timeout_ms = match deadline {
+                                        Some(d) => timeout_ms.min((d - hedge_at).as_ms()),
+                                        None => timeout_ms,
+                                    };
                                     let hedge = self.sample_lane(
                                         FaultSite { lane: 1, ..p_site },
                                         p,
                                         false,
-                                        timeout_ms,
+                                        hedge_timeout_ms,
                                         rng,
                                     );
                                     counters.hedges += 1;
@@ -895,26 +1191,83 @@ impl<'a> ForkJoinRuntime<'a> {
                             }
                         }
                         match resolved {
-                            Some(r) => compute_end = compute_end.max(r),
+                            Some(r) => {
+                                compute_end = compute_end.max(r);
+                                if deadline.is_some_and(|d| r > d) {
+                                    // The reply exists, but the master
+                                    // stopped waiting at the deadline (cold
+                                    // start or jitter pushed the lane past
+                                    // it): abandoned in flight.
+                                    overload.cancelled_attempts += 1;
+                                    deadline_hit = true;
+                                } else if let Some(bank) = breakers.as_deref_mut() {
+                                    bank[gi][part_idx].record_success(overload);
+                                }
+                            }
                             None => {
                                 compute_end = compute_end.max(observed_end);
-                                exhausted.push(pi);
+                                if lane_cancelled {
+                                    // Deadline cancellations say nothing
+                                    // about lane health — they do not feed
+                                    // the breaker.
+                                    deadline_hit = true;
+                                } else if deadline.is_some_and(|d| observed_end > d) {
+                                    // The lane's last attempt outlived the
+                                    // deadline: the master never observed
+                                    // its failure, it just left.
+                                    overload.cancelled_attempts += 1;
+                                    deadline_hit = true;
+                                } else {
+                                    exhausted.push(pi);
+                                    if let Some(bank) = breakers.as_deref_mut() {
+                                        bank[gi][part_idx].record_failure(observed_end, overload);
+                                    }
+                                }
                             }
                         }
                     }
                     if !exhausted.is_empty() {
-                        if self.policy.local_fallback {
+                        if deadline_hit {
+                            // The query is already doomed: recomputing the
+                            // exhausted shards would be cancelled work.
+                            overload.cancelled_attempts += exhausted.len() as u64;
+                        } else if self.policy.local_fallback {
+                            let mut recomputed = false;
                             for &pi in &exhausted {
+                                // A recompute that cannot start before the
+                                // deadline is cancelled, not performed.
+                                if deadline.is_some_and(|d| compute_end >= d) {
+                                    overload.cancelled_attempts += 1;
+                                    deadline_hit = true;
+                                    continue;
+                                }
                                 counters.degraded_shards += 1;
+                                recomputed = true;
                                 compute_end +=
                                     Micros::from_ms(self.sample_compute_ms(&worker_parts[pi], rng));
                             }
-                            status = QueryStatus::Degraded;
+                            if recomputed {
+                                status = QueryStatus::Degraded;
+                            }
                         } else {
                             status = QueryStatus::Failed;
                             now = compute_end;
                             break 'groups;
                         }
+                    }
+                    if deadline_hit {
+                        // The master abandons the query at its deadline: an
+                        // error response, no join. Only its own synchronous
+                        // shard compute can push the return later.
+                        status = QueryStatus::DeadlineExceeded;
+                        let d = deadline.expect("deadline_hit implies a deadline");
+                        now = master_busy_end.max(d);
+                        let remaining: u64 = self.plan.groups()[gi + 1..]
+                            .iter()
+                            .map(|g| g.worker_count() as u64)
+                            .sum();
+                        overload.cancelled_attempts += remaining;
+                        break 'groups;
                     }
                     // Join: collection jitter + serialized replies, again via
                     // the shared helper.
@@ -922,10 +1275,18 @@ impl<'a> ForkJoinRuntime<'a> {
                 }
             }
         }
+        if let Some(d) = deadline {
+            if now > d && matches!(status, QueryStatus::Ok | QueryStatus::Degraded) {
+                // The result arrived, but after the deadline — the client
+                // has already timed out. Honest accounting over a pleasant
+                // story: the query missed.
+                status = QueryStatus::DeadlineExceeded;
+            }
+        }
         billing.record((now - master_began).as_ms(), mem);
         fleet.release("master", now)?;
         counters.record_status(status);
-        Ok(now)
+        Ok((now, status))
     }
 }
 
@@ -1039,6 +1400,44 @@ pub fn execute_plan_tensors_resilient(
     policy: &ResiliencePolicy,
     threads: usize,
 ) -> Result<(Tensor, ResilienceCounters)> {
+    // A fresh manual token never fires, so the resilient path is the
+    // cancellable path that nobody cancels.
+    execute_plan_tensors_cancellable(
+        model,
+        plan,
+        weights,
+        input,
+        injector,
+        policy,
+        threads,
+        &CancelToken::new(),
+    )
+}
+
+/// [`execute_plan_tensors_resilient`] with cooperative cancellation: the
+/// master consumes one [`CancelToken::checkpoint`] before each plan group
+/// and before each retry round, and aborts with [`CoreError::Cancelled`]
+/// when the token has fired — outstanding work is abandoned instead of
+/// completed. Checkpoints happen only on the (sequential) master path,
+/// never inside worker closures, so for a token built with
+/// [`CancelToken::after_checkpoints`] the cancellation point — and the
+/// entire outcome — is bit-identical at any thread count.
+///
+/// # Errors
+///
+/// [`CoreError::Cancelled`] when the token fires; otherwise as
+/// [`execute_plan_tensors_resilient`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_tensors_cancellable(
+    model: &LinearModel,
+    plan: &ExecutionPlan,
+    weights: &ModelWeights,
+    input: &Tensor,
+    injector: Option<&FaultInjector>,
+    policy: &ResiliencePolicy,
+    threads: usize,
+    cancel: &CancelToken,
+) -> Result<(Tensor, ResilienceCounters)> {
     plan.validate(model, u64::MAX)?;
     let exec = Executor::new(model.graph(), weights);
     let mut counters = ResilienceCounters::default();
@@ -1054,6 +1453,10 @@ pub fn execute_plan_tensors_resilient(
     };
     let mut cur = input.clone();
     for (gi, g) in plan.groups().iter().enumerate() {
+        // Group-boundary cancellation checkpoint (master-side only).
+        if cancel.checkpoint() {
+            return Err(CoreError::Cancelled { group: gi });
+        }
         let layers = &model.layers()[g.start..g.end];
         cur = match g.option {
             PartitionOption::Single => exec.run_segment(layers, &cur)?,
@@ -1074,6 +1477,11 @@ pub fn execute_plan_tensors_resilient(
                 let mut pending: Vec<usize> = (0..ranges.len()).collect();
                 let mut attempt = 0u32;
                 while !pending.is_empty() && attempt < max_attempts {
+                    // Retry-round cancellation checkpoint: a deadline that
+                    // expires mid-group abandons the remaining retries.
+                    if attempt > 0 && cancel.checkpoint() {
+                        return Err(CoreError::Cancelled { group: gi });
+                    }
                     let worker = |k: usize| -> std::result::Result<Tensor, PieceFault> {
                         let j = pending[k];
                         let piece = ranges[j].clone();
@@ -1177,6 +1585,7 @@ mod tests {
     use super::*;
     use crate::dp::{DpPartitioner, PartitionerConfig};
     use crate::predict::predict_plan;
+    use gillis_faas::overload::BreakerPolicy;
     use gillis_model::weights::init_weights;
     use gillis_model::zoo;
     use gillis_perf::PerfModel;
@@ -1637,7 +2046,7 @@ mod tests {
         // Query 1: all-cold. Query 2 (starting after 1 finished): all-warm.
         let mut counters = ResilienceCounters::default();
         let done_first = runtime
-            .run_query_on_fleet(
+            .run_query_at(
                 &mut fleet,
                 &mut billing,
                 Micros::ZERO,
@@ -1648,7 +2057,7 @@ mod tests {
             .unwrap();
         let start_later = done_first;
         let done_later = runtime
-            .run_query_on_fleet(
+            .run_query_at(
                 &mut fleet,
                 &mut billing,
                 start_later,
@@ -1663,5 +2072,256 @@ mod tests {
             first > later * 1.5,
             "cold first query {first} vs warm later {later}"
         );
+    }
+
+    /// VGG-11 runtime plus its analytically predicted plan latency — the
+    /// shared fixture for the overload tests.
+    fn overload_fixture() -> (ForkJoinRuntime<'static>, f64) {
+        use std::sync::OnceLock;
+        static MODEL: OnceLock<LinearModel> = OnceLock::new();
+        static PLAN: OnceLock<ExecutionPlan> = OnceLock::new();
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let vgg = MODEL.get_or_init(zoo::vgg11);
+        let plan = PLAN.get_or_init(|| DpPartitioner::default().partition(vgg, &perf).unwrap());
+        let predicted = predict_plan(vgg, plan, &perf).unwrap().latency_ms;
+        let runtime = ForkJoinRuntime::new(vgg, plan, platform).unwrap();
+        (runtime, predicted)
+    }
+
+    #[test]
+    fn shedding_bounds_admitted_tail_latency_at_overload() {
+        // The tentpole acceptance criterion: at 2x the no-shed saturation
+        // rate, the protected deployment keeps the p99 of admitted queries
+        // near the SLO by shedding honestly, while the unprotected bounded
+        // front door lets the queue (and every admitted latency) grow
+        // without bound.
+        let (runtime, predicted) = overload_fixture();
+        let concurrency = 4;
+        let slo_ms = 2.0 * predicted;
+        let saturation_qps = 1000.0 * concurrency as f64 / predicted;
+        let rate = 2.0 * saturation_qps;
+        let queries = 400;
+
+        let unprotected = runtime
+            .clone()
+            .with_overload(OverloadPolicy::unprotected(concurrency))
+            .unwrap()
+            .serve_open_loop(rate, queries, concurrency, 11)
+            .unwrap();
+        let protected = runtime
+            .clone()
+            .with_overload(OverloadPolicy::for_slo(slo_ms, concurrency))
+            .unwrap()
+            .serve_open_loop(rate, queries, concurrency, 11)
+            .unwrap();
+
+        assert_eq!(unprotected.overload.shed(), 0);
+        assert!(
+            protected.overload.shed() > 0,
+            "2x saturation must shed: {:?}",
+            protected.overload
+        );
+        assert_eq!(
+            protected.overload.admitted + protected.overload.shed(),
+            queries as u64,
+            "every arrival is admitted or shed, never lost"
+        );
+        let protected_p99 = protected.latency.percentile(99.0);
+        let unprotected_p99 = unprotected.latency.percentile(99.0);
+        assert!(
+            protected_p99 <= 1.5 * slo_ms,
+            "admitted p99 {protected_p99:.1} ms vs SLO {slo_ms:.1} ms"
+        );
+        assert!(
+            unprotected_p99 > 3.0 * slo_ms,
+            "unprotected front door should collapse: p99 {unprotected_p99:.1} ms"
+        );
+        // Shed queries never run: they appear in resilience accounting but
+        // not in any latency series.
+        assert_eq!(protected.resilience.shed_queries, protected.overload.shed());
+        assert_eq!(
+            protected.latency.count() as u64,
+            protected.overload.admitted
+        );
+    }
+
+    #[test]
+    fn deadline_cancellation_abandons_doomed_work() {
+        // A deadline far below the plan latency (with predictive shedding
+        // off, so queries are admitted anyway) must cancel mid-plan: the
+        // master abandons the remaining groups and their would-be worker
+        // attempts are counted, not completed.
+        let (runtime, predicted) = overload_fixture();
+        let policy = OverloadPolicy {
+            shed_on_predicted_miss: false,
+            ..OverloadPolicy::for_slo(0.3 * predicted, 2)
+        };
+        let report = runtime
+            .clone()
+            .with_overload(policy)
+            .unwrap()
+            // Sub-saturation rate: no queueing, so recorded latencies are
+            // pure service times.
+            .serve_open_loop(2.0, 40, 2, 5)
+            .unwrap();
+        assert_eq!(report.overload.shed(), 0, "predictive shedding disabled");
+        assert!(
+            report.resilience.deadline_exceeded_queries > 0,
+            "{:?}",
+            report.resilience
+        );
+        assert!(
+            report.overload.cancelled_attempts > 0,
+            "cancellation must abandon outstanding attempts: {:?}",
+            report.overload
+        );
+        assert_eq!(
+            report.by_status.deadline_exceeded.count() as u64,
+            report.resilience.deadline_exceeded_queries
+        );
+        // Deadline-expired queries still return (an error response) early:
+        // the master abandons at the next group boundary instead of running
+        // the plan to completion.
+        let max_ms = report.latency.percentile(100.0);
+        assert!(
+            max_ms < predicted,
+            "max {max_ms:.1} ms vs plan {predicted:.1} ms"
+        );
+    }
+
+    #[test]
+    fn breakers_route_around_dead_lanes_before_retry_budget() {
+        // With every invocation failing, a breaker-enabled deployment stops
+        // burning the retry budget on known-bad lanes: after
+        // `failure_threshold` consecutive failures the lane short-circuits
+        // straight to master-local degraded execution.
+        let (runtime, _) = overload_fixture();
+        let chaos = ChaosConfig::invoke_only(1.0, 77);
+        let workload = || ClosedLoop::new(2, 30, Micros::ZERO).unwrap();
+
+        let without = runtime
+            .clone()
+            .with_chaos(chaos.clone())
+            .unwrap()
+            .serve_workload(workload(), 3)
+            .unwrap();
+        let with_breaker = runtime
+            .clone()
+            .with_chaos(chaos)
+            .unwrap()
+            .with_overload(OverloadPolicy {
+                breaker: BreakerPolicy::standard(),
+                ..OverloadPolicy::unprotected(2)
+            })
+            .unwrap()
+            .serve_workload(workload(), 3)
+            .unwrap();
+
+        assert!(with_breaker.overload.breaker_opens > 0);
+        assert!(
+            with_breaker.overload.breaker_short_circuits > 0,
+            "{:?}",
+            with_breaker.overload
+        );
+        assert!(
+            with_breaker.resilience.retries < without.resilience.retries,
+            "breaker {} retries vs unguarded {}",
+            with_breaker.resilience.retries,
+            without.resilience.retries
+        );
+        // Every query still completes (degraded), so protection does not
+        // trade availability for the saved retries.
+        assert_eq!(
+            with_breaker.resilience.degraded_queries + with_breaker.resilience.ok_queries,
+            30
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+
+        /// Overload decisions are pure functions of seed and query identity:
+        /// the full report — shed set, admission counters, breaker
+        /// transitions, every latency — is bit-identical run to run, and
+        /// the accounting never loses an arrival.
+        #[test]
+        fn overload_serving_is_deterministic_and_accounts_for_every_arrival(
+            (seed, rate_scale, queries) in (0u64..1000, 1u32..5, 20usize..60),
+        ) {
+            let (runtime, predicted) = overload_fixture();
+            let concurrency = 2;
+            let rate = rate_scale as f64 * 500.0 * concurrency as f64 / predicted;
+            let runtime = runtime
+                .with_overload(OverloadPolicy::for_slo(2.0 * predicted, concurrency))
+                .unwrap();
+            let a = runtime.serve_open_loop(rate, queries, concurrency, seed).unwrap();
+            let b = runtime.serve_open_loop(rate, queries, concurrency, seed).unwrap();
+            proptest::prop_assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+            proptest::prop_assert_eq!(
+                a.latency.percentile(99.0).to_bits(),
+                b.latency.percentile(99.0).to_bits()
+            );
+            proptest::prop_assert_eq!(&a.resilience, &b.resilience);
+            proptest::prop_assert_eq!(&a.overload, &b.overload);
+            proptest::prop_assert_eq!(
+                a.overload.admitted + a.overload.shed(),
+                queries as u64
+            );
+            proptest::prop_assert_eq!(a.latency.count() as u64, a.overload.admitted);
+            proptest::prop_assert_eq!(a.by_status.count(), a.latency.count());
+        }
+
+        /// Cooperative cancellation is deterministic at any thread count:
+        /// checkpoints are consumed only on the sequential master path, so a
+        /// token that fires after `k` checkpoints cancels at the same group
+        /// — or lets the query finish with bit-identical output — whether
+        /// pieces run inline or on 8 pool threads.
+        #[test]
+        fn cancellation_is_bit_identical_across_thread_counts(
+            (weight_seed, chaos_seed, k) in (0u64..500, 0u64..500, 0u64..8),
+        ) {
+            let tiny = zoo::tiny_vgg();
+            let weights = init_weights(tiny.graph(), weight_seed).unwrap();
+            let input = Tensor::from_fn(tiny.input_shape().clone(), |i| {
+                ((i % 13) as f32 - 6.0) / 7.0
+            });
+            let plan = forced_split_plan(&tiny);
+            let injector = stress_chaos(chaos_seed).build().unwrap();
+            let policy = ResiliencePolicy::default();
+            let run = |threads: usize| {
+                execute_plan_tensors_cancellable(
+                    &tiny,
+                    &plan,
+                    &weights,
+                    &input,
+                    Some(&injector),
+                    &policy,
+                    threads,
+                    &CancelToken::after_checkpoints(k),
+                )
+            };
+            let seq = run(1);
+            for threads in [2usize, 8] {
+                let par = run(threads);
+                match (&seq, &par) {
+                    (Ok((st, sc)), Ok((pt, pc))) => {
+                        proptest::prop_assert_eq!(st.data().len(), pt.data().len());
+                        for (a, b) in st.data().iter().zip(pt.data()) {
+                            proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+                        }
+                        proptest::prop_assert_eq!(sc, pc);
+                    }
+                    (
+                        Err(CoreError::Cancelled { group: sg }),
+                        Err(CoreError::Cancelled { group: pg }),
+                    ) => proptest::prop_assert_eq!(sg, pg),
+                    (s, p) => proptest::prop_assert!(
+                        false,
+                        "divergent outcomes: seq {s:?} vs {threads}-thread {p:?}"
+                    ),
+                }
+            }
+        }
     }
 }

@@ -53,11 +53,16 @@ pub use compiled_exec::CompiledPlanExec;
 pub use dp::{DpPartitioner, GroupEval, PartitionerConfig};
 pub use error::CoreError;
 pub use forkjoin::{
-    execute_plan_tensors, execute_plan_tensors_resilient, execute_plan_tensors_with_threads,
-    replication_seed, ForkJoinRuntime, QueryOutcome, ServingReport, SimulationReport,
+    execute_plan_tensors, execute_plan_tensors_cancellable, execute_plan_tensors_resilient,
+    execute_plan_tensors_with_threads, replication_seed, ForkJoinRuntime, QueryOutcome,
+    ServingReport, SimulationReport,
 };
 pub use gillis_faas::chaos::{
     ChaosConfig, Fault, FaultInjector, FaultSite, QueryStatus, ResilienceCounters, ResiliencePolicy,
+};
+pub use gillis_faas::metrics::StatusLatency;
+pub use gillis_faas::overload::{
+    BreakerPolicy, BreakerState, CancelToken, CircuitBreaker, OverloadCounters, OverloadPolicy,
 };
 pub use partition::{
     analyze_group, analyze_group_with, group_options, ModelFlops, PartDim, PartitionOption,

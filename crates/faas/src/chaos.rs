@@ -374,6 +374,12 @@ pub enum QueryStatus {
     /// A shard exhausted its budget with local fallback disabled; the
     /// query produced no result.
     Failed,
+    /// The admission queue rejected the query before any work started
+    /// (queue full, or predicted wait + latency already past the deadline).
+    Shed,
+    /// The query was admitted but its deadline expired mid-plan; remaining
+    /// work was cancelled.
+    DeadlineExceeded,
 }
 
 /// Honest resilience accounting across a run.
@@ -395,6 +401,10 @@ pub struct ResilienceCounters {
     pub degraded_queries: u64,
     /// Queries that produced no result.
     pub failed_queries: u64,
+    /// Queries rejected at admission (overload shedding).
+    pub shed_queries: u64,
+    /// Queries cancelled mid-plan by deadline expiry.
+    pub deadline_exceeded_queries: u64,
 }
 
 impl ResilienceCounters {
@@ -408,6 +418,8 @@ impl ResilienceCounters {
         self.ok_queries += other.ok_queries;
         self.degraded_queries += other.degraded_queries;
         self.failed_queries += other.failed_queries;
+        self.shed_queries += other.shed_queries;
+        self.deadline_exceeded_queries += other.deadline_exceeded_queries;
     }
 
     /// Records one query's terminal status.
@@ -416,12 +428,18 @@ impl ResilienceCounters {
             QueryStatus::Ok => self.ok_queries += 1,
             QueryStatus::Degraded => self.degraded_queries += 1,
             QueryStatus::Failed => self.failed_queries += 1,
+            QueryStatus::Shed => self.shed_queries += 1,
+            QueryStatus::DeadlineExceeded => self.deadline_exceeded_queries += 1,
         }
     }
 
-    /// Total queries accounted for.
+    /// Total queries accounted for (including shed and deadline-expired).
     pub fn queries(&self) -> u64 {
-        self.ok_queries + self.degraded_queries + self.failed_queries
+        self.ok_queries
+            + self.degraded_queries
+            + self.failed_queries
+            + self.shed_queries
+            + self.deadline_exceeded_queries
     }
 }
 

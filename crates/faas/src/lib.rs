@@ -31,6 +31,7 @@ pub mod error;
 pub mod exgauss;
 pub mod fleet;
 pub mod metrics;
+pub mod overload;
 pub mod platform;
 pub mod stats;
 pub mod store;
@@ -44,6 +45,9 @@ pub use chaos::{
 };
 pub use error::FaasError;
 pub use exgauss::ExGaussian;
+pub use overload::{
+    BreakerPolicy, BreakerState, CancelToken, CircuitBreaker, OverloadCounters, OverloadPolicy,
+};
 pub use platform::{PlatformKind, PlatformProfile};
 pub use time::Micros;
 

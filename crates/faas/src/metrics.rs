@@ -73,6 +73,52 @@ impl LatencyStats {
     }
 }
 
+/// Latency recorders split by query outcome, so degraded local-fallback
+/// latencies and deadline-expired queries do not dilute the ok-path p99.
+///
+/// Shed queries never execute, so they have no latency and no recorder
+/// here; they appear only in the overload counters.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StatusLatency {
+    /// Queries fully served by workers.
+    pub ok: LatencyStats,
+    /// Queries that completed only via master-local fallback.
+    pub degraded: LatencyStats,
+    /// Queries that produced no result (latency until failure detection).
+    pub failed: LatencyStats,
+    /// Queries cancelled mid-plan by deadline expiry (latency until
+    /// cancellation took effect).
+    pub deadline_exceeded: LatencyStats,
+}
+
+impl StatusLatency {
+    /// Creates empty per-status recorders.
+    pub fn new() -> Self {
+        StatusLatency::default()
+    }
+
+    /// Records one query latency under its terminal status. Shed queries
+    /// are ignored: they never ran.
+    pub fn record(&mut self, status: crate::chaos::QueryStatus, ms: f64) {
+        use crate::chaos::QueryStatus;
+        match status {
+            QueryStatus::Ok => self.ok.record(ms),
+            QueryStatus::Degraded => self.degraded.record(ms),
+            QueryStatus::Failed => self.failed.record(ms),
+            QueryStatus::DeadlineExceeded => self.deadline_exceeded.record(ms),
+            QueryStatus::Shed => {}
+        }
+    }
+
+    /// Total samples across all statuses.
+    pub fn count(&self) -> usize {
+        self.ok.count()
+            + self.degraded.count()
+            + self.failed.count()
+            + self.deadline_exceeded.count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

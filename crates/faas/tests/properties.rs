@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use gillis_faas::billing::billed_ms;
 use gillis_faas::des::EventQueue;
 use gillis_faas::fleet::{Fleet, FunctionSpec};
+use gillis_faas::overload::{BreakerPolicy, OverloadPolicy};
 use gillis_faas::{ExGaussian, Micros, PlatformProfile};
 
 proptest! {
@@ -131,5 +132,47 @@ proptest! {
         prop_assert_eq!(ma < mb, a < b);
         let ms = Micros::from_ms(ma.as_ms());
         prop_assert_eq!(ms, ma);
+    }
+
+    /// Any valid overload policy survives a text round trip exactly — the
+    /// same contract `ExecutionPlan::to_text`/`from_text` upholds for plans.
+    #[test]
+    fn overload_policy_text_round_trips_for_all_valid_policies(
+        concurrency in 1usize..64,
+        bounded_queue in any::<bool>(),
+        queue in 0usize..1024,
+        has_deadline in any::<bool>(),
+        deadline in 1u32..1_000_000,
+        shed in any::<bool>(),
+        breaker_on in any::<bool>(),
+        threshold in 1u32..16,
+        cooldown in 0u32..1_000_000,
+        probes in 1u32..8,
+    ) {
+        // Deadlines and cooldowns are drawn as integer quarter-ms so the
+        // f64 values round-trip exactly through the decimal text form.
+        let policy = OverloadPolicy {
+            max_concurrency: concurrency,
+            queue_depth: if bounded_queue { queue } else { usize::MAX },
+            deadline_ms: if has_deadline {
+                f64::from(deadline) * 0.25
+            } else {
+                f64::INFINITY
+            },
+            shed_on_predicted_miss: shed && has_deadline,
+            breaker: if breaker_on {
+                BreakerPolicy {
+                    failure_threshold: threshold,
+                    cooldown_ms: f64::from(cooldown) * 0.25,
+                    half_open_probes: probes,
+                }
+            } else {
+                BreakerPolicy::disabled()
+            },
+        };
+        prop_assert!(policy.validate().is_ok());
+        let text = policy.to_text();
+        let parsed = OverloadPolicy::from_text(&text).unwrap();
+        prop_assert_eq!(policy, parsed, "{}", text);
     }
 }

@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use gillis::serving::{lookup_model, lookup_platform, model_catalog};
 
-use gillis::core::{predict_plan, DpPartitioner, ExecutionPlan, ForkJoinRuntime};
+use gillis::core::{predict_plan, DpPartitioner, ExecutionPlan, ForkJoinRuntime, OverloadPolicy};
 use gillis::faas::workload::ClosedLoop;
 use gillis::faas::Micros;
 use gillis::model::LinearModel;
@@ -151,7 +151,13 @@ fn run() -> Result<(), String> {
                 .map(|v| v.parse().map_err(|_| format!("bad --queries: {v}")))
                 .transpose()?
                 .unwrap_or(1000);
-            let rt = ForkJoinRuntime::new(&model, &plan, platform).map_err(|e| e.to_string())?;
+            let mut rt =
+                ForkJoinRuntime::new(&model, &plan, platform).map_err(|e| e.to_string())?;
+            // GILLIS_OVERLOAD_* env knobs enable overload protection, the
+            // same way GILLIS_CHAOS_* enables fault injection elsewhere.
+            if let Some(policy) = OverloadPolicy::from_env() {
+                rt = rt.with_overload(policy).map_err(|e| e.to_string())?;
+            }
             let report = rt
                 .serve_workload(
                     ClosedLoop::new(clients, queries, Micros::ZERO).map_err(|e| e.to_string())?,
@@ -181,6 +187,18 @@ fn run() -> Result<(), String> {
                 report.resilience.hedge_wins,
                 report.resilience.timeouts,
             );
+            if report.overload.admitted > 0 {
+                println!(
+                    "overload: {} admitted, {} shed, {} deadline-exceeded, \
+                     {} cancelled attempts, {} breaker opens ({} short circuits)",
+                    report.overload.admitted,
+                    report.overload.shed(),
+                    report.resilience.deadline_exceeded_queries,
+                    report.overload.cancelled_attempts,
+                    report.overload.breaker_opens,
+                    report.overload.breaker_short_circuits,
+                );
+            }
         }
         other => return Err(format!("unknown command '{other}'")),
     }

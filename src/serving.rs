@@ -27,8 +27,8 @@ use std::sync::{Arc, Mutex};
 
 use gillis_core::{
     execute_plan_tensors_resilient, predict_plan, ChaosConfig, CompiledPlanExec, CoreError,
-    DpPartitioner, ExecutionPlan, ForkJoinRuntime, PartitionerConfig, PlanPrediction, QueryStatus,
-    ResilienceCounters, ResiliencePolicy, ServingReport,
+    DpPartitioner, ExecutionPlan, ForkJoinRuntime, OverloadPolicy, PartitionerConfig,
+    PlanPrediction, QueryStatus, ResilienceCounters, ResiliencePolicy, ServingReport,
 };
 use gillis_faas::workload::ClosedLoop;
 use gillis_faas::PlatformProfile;
@@ -131,6 +131,7 @@ pub struct Gillis {
     episodes: usize,
     chaos: Option<ChaosConfig>,
     policy: ResiliencePolicy,
+    overload: Option<OverloadPolicy>,
 }
 
 impl Gillis {
@@ -145,6 +146,7 @@ impl Gillis {
             episodes: 400,
             chaos: None,
             policy: ResiliencePolicy::default(),
+            overload: None,
         }
     }
 
@@ -186,6 +188,16 @@ impl Gillis {
     /// backoff, timeouts, hedging, graceful degradation).
     pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enables overload protection for serving: a bounded admission queue
+    /// with deadline-derived shedding in open-loop serving, deadline
+    /// propagation with cooperative cancellation, and per-worker-lane
+    /// circuit breakers. The deployment's [`PlanPrediction`] feeds the
+    /// shed-on-predicted-miss decision. Validated at [`Gillis::deploy`].
+    pub fn overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = Some(policy);
         self
     }
 
@@ -231,10 +243,13 @@ impl Gillis {
             }
         };
         let prediction = predict_plan(&self.model, &plan, &perf)?;
-        // Validate the chaos config now, at deploy time, not when serving
-        // starts.
+        // Validate the chaos and overload configs now, at deploy time, not
+        // when serving starts.
         if let Some(ref chaos) = self.chaos {
             chaos.build()?;
+        }
+        if let Some(ref overload) = self.overload {
+            overload.validate().map_err(CoreError::from)?;
         }
         Ok(Deployment {
             model: self.model,
@@ -243,6 +258,7 @@ impl Gillis {
             prediction,
             chaos: self.chaos,
             policy: self.policy,
+            overload: self.overload,
             warm: WarmCache::default(),
         })
     }
@@ -340,6 +356,7 @@ pub struct Deployment {
     prediction: PlanPrediction,
     chaos: Option<ChaosConfig>,
     policy: ResiliencePolicy,
+    overload: Option<OverloadPolicy>,
     /// Lazily-compiled steady-state execution (pre-sliced weights, packed
     /// panels, preallocated buffers); see [`Deployment::infer`].
     warm: WarmCache,
@@ -474,8 +491,13 @@ impl Deployment {
     }
 
     fn runtime(&self) -> Result<ForkJoinRuntime<'_>, CoreError> {
-        let rt = ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())?
+        let mut rt = ForkJoinRuntime::new(&self.model, &self.plan, self.platform.clone())?
             .with_policy(self.policy);
+        if let Some(policy) = self.overload {
+            // The deployment's own prediction (profiled performance model)
+            // drives shed-on-predicted-miss.
+            rt = rt.with_overload_predicted(policy, self.prediction.latency_ms)?;
+        }
         match self.chaos {
             Some(cfg) => rt.with_chaos(cfg),
             None => Ok(rt),
@@ -500,6 +522,11 @@ impl Deployment {
 
     /// Serves an open-loop Poisson stream (see
     /// [`ForkJoinRuntime::serve_open_loop`]).
+    ///
+    /// Pools are pre-warmed via `Fleet::prewarm` before the first arrival —
+    /// with an [`OverloadPolicy`], to at least the admission concurrency —
+    /// so early queries do not pay cold starts that would skew overload
+    /// p99s.
     ///
     /// # Errors
     ///
@@ -573,6 +600,47 @@ mod tests {
         let report = d.serve_open_loop(50.0, 100, 8, 3).unwrap();
         assert_eq!(report.latency.count(), 100);
         assert!(report.billing.billed_ms_total() > 0);
+    }
+
+    #[test]
+    fn overload_deployment_prewarms_capacity_and_sheds_only_under_pressure() {
+        let concurrency = 4;
+        let probe = Gillis::new(zoo::tiny_vgg()).deploy().unwrap();
+        let predicted = probe.predicted().latency_ms;
+        let d = Gillis::new(zoo::tiny_vgg())
+            .overload(OverloadPolicy::for_slo(3.0 * predicted, concurrency))
+            .deploy()
+            .unwrap();
+        // Sub-saturation: pools are pre-warmed to the admission concurrency
+        // before the first arrival, so nothing pays a cold start and
+        // nothing sheds.
+        let saturation_qps = 1000.0 * concurrency as f64 / predicted;
+        let calm = d.serve_open_loop(0.4 * saturation_qps, 60, 1, 7).unwrap();
+        assert_eq!(calm.cold_starts, 0, "{:?}", calm.overload);
+        assert_eq!(calm.overload.admitted, 60);
+        assert_eq!(calm.overload.shed(), 0);
+        assert_eq!(calm.by_status.count(), calm.latency.count());
+        // The same deployment sheds honestly when pushed past capacity.
+        let stormy = d.serve_open_loop(3.0 * saturation_qps, 200, 1, 7).unwrap();
+        assert!(stormy.overload.shed() > 0);
+        assert_eq!(
+            stormy.overload.admitted + stormy.overload.shed(),
+            200,
+            "{:?}",
+            stormy.overload
+        );
+    }
+
+    #[test]
+    fn invalid_overload_policy_rejected_at_deploy() {
+        let err = Gillis::new(zoo::tiny_vgg())
+            .overload(OverloadPolicy {
+                max_concurrency: 0,
+                ..OverloadPolicy::unprotected(1)
+            })
+            .deploy()
+            .unwrap_err();
+        assert!(err.to_string().contains("concurrency"), "{err}");
     }
 
     #[test]
