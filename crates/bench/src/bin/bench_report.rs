@@ -55,6 +55,18 @@ fn baseline_for(op: &str, shape: &str) -> Option<f64> {
 }
 
 fn entry<O, F: FnMut() -> O>(op: &str, shape: &str, samples: usize, routine: F) -> ReportEntry {
+    entry_flops(op, shape, samples, None, routine)
+}
+
+/// [`entry`] for GEMM-backed kernels with a closed-form FLOP count, feeding
+/// the report's achieved-GFLOP/s column.
+fn entry_flops<O, F: FnMut() -> O>(
+    op: &str,
+    shape: &str,
+    samples: usize,
+    flops: Option<u64>,
+    routine: F,
+) -> ReportEntry {
     let (ns_per_iter, taken) = measure(samples, routine);
     let e = ReportEntry {
         op: op.to_string(),
@@ -62,12 +74,24 @@ fn entry<O, F: FnMut() -> O>(op: &str, shape: &str, samples: usize, routine: F) 
         ns_per_iter,
         samples: taken,
         baseline_ns_per_iter: baseline_for(op, shape),
+        flops,
+    };
+    let rate = match e.gflops() {
+        Some(g) => format!("  {g:.1} GFLOP/s"),
+        None => String::new(),
     };
     match e.speedup() {
-        Some(s) => println!("{op:<16} {shape:<40} {ns_per_iter:>14.1} ns/iter  ({s:.2}x vs seed)"),
-        None => println!("{op:<16} {shape:<40} {ns_per_iter:>14.1} ns/iter"),
+        Some(s) => {
+            println!("{op:<16} {shape:<40} {ns_per_iter:>14.1} ns/iter  ({s:.2}x vs seed){rate}")
+        }
+        None => println!("{op:<16} {shape:<40} {ns_per_iter:>14.1} ns/iter{rate}"),
     }
     e
+}
+
+/// FLOPs of a dense convolution: 2 MACs per filter tap per output element.
+fn conv_flops(out_c: u64, in_c: u64, k: u64, out_h: u64, out_w: u64) -> u64 {
+    2 * out_c * in_c * k * k * out_h * out_w
 }
 
 fn tensor_suite() -> Vec<ReportEntry> {
@@ -78,18 +102,23 @@ fn tensor_suite() -> Vec<ReportEntry> {
     let weight = Tensor::from_fn(Shape::new(vec![16, 16, 3, 3]), |i| (i % 5) as f32 * 0.01);
     let bias = Tensor::zeros(Shape::new(vec![16]));
     let params = Conv2dParams::square(3, 1, 1);
-    entries.push(entry("conv2d", "in=16x32x32 w=16x16x3x3 s1 p1", 10, || {
-        conv2d(&input, &weight, Some(&bias), &params).unwrap()
-    }));
+    entries.push(entry_flops(
+        "conv2d",
+        "in=16x32x32 w=16x16x3x3 s1 p1",
+        10,
+        Some(conv_flops(16, 16, 3, 32, 32)),
+        || conv2d(&input, &weight, Some(&bias), &params).unwrap(),
+    ));
 
     // VGG-16-scale conv: conv3_2 (256 channels at 56x56, 3x3), ~3.7 GFLOP.
     let input = Tensor::from_fn(Shape::new(vec![256, 56, 56]), |i| (i % 7) as f32 * 0.1);
     let weight = Tensor::from_fn(Shape::new(vec![256, 256, 3, 3]), |i| (i % 5) as f32 * 0.01);
     let bias = Tensor::zeros(Shape::new(vec![256]));
-    entries.push(entry(
+    entries.push(entry_flops(
         "conv2d",
         "in=256x56x56 w=256x256x3x3 s1 p1 (VGG-16 conv3_2)",
         3,
+        Some(conv_flops(256, 256, 3, 56, 56)),
         || conv2d(&input, &weight, Some(&bias), &params).unwrap(),
     ));
 
@@ -107,9 +136,13 @@ fn tensor_suite() -> Vec<ReportEntry> {
     let x = Tensor::from_fn(Shape::new(vec![4096]), |i| (i % 13) as f32);
     let w = Tensor::from_fn(Shape::new(vec![1000, 4096]), |i| (i % 11) as f32 * 1e-3);
     let b = Tensor::zeros(Shape::new(vec![1000]));
-    entries.push(entry("dense", "4096->1000", 10, || {
-        dense(&x, &w, Some(&b)).unwrap()
-    }));
+    entries.push(entry_flops(
+        "dense",
+        "4096->1000",
+        10,
+        Some(2 * 1000 * 4096),
+        || dense(&x, &w, Some(&b)).unwrap(),
+    ));
 
     // LSTM cell (paper's RNN workload scale).
     let hidden = 256;
@@ -124,9 +157,15 @@ fn tensor_suite() -> Vec<ReportEntry> {
     };
     let x = Tensor::from_fn(Shape::new(vec![hidden]), |i| (i % 3) as f32 * 0.1);
     let state = LstmState::zeros(hidden);
-    entries.push(entry("lstm_cell", "hidden=256", 10, || {
-        lstm_cell(&x, &state, &lstm).unwrap()
-    }));
+    // Two 4H x H matrix-vector products dominate the cell.
+    let lstm_flops = 2 * 2 * (4 * hidden as u64) * hidden as u64;
+    entries.push(entry_flops(
+        "lstm_cell",
+        "hidden=256",
+        10,
+        Some(lstm_flops),
+        || lstm_cell(&x, &state, &lstm).unwrap(),
+    ));
 
     // Pooling + batch norm hot loops.
     let input = Tensor::from_fn(Shape::new(vec![64, 56, 56]), |i| i as f32);

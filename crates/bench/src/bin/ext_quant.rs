@@ -1,0 +1,139 @@
+//! Extension: int8-quantized transfers reshape the latency-optimal plan.
+//!
+//! Gillis prices every fork/join transfer through the performance model's
+//! wire format (`PerfModel::wire_bytes`). Switching a deployment from raw
+//! f32 payloads to per-payload int8 quantization shrinks each transfer
+//! ~4×, which shifts the compute/communication balance the DP planner
+//! optimizes: partition degrees that were communication-bound under f32
+//! become profitable under int8.
+//!
+//! For each model this prints the latency-optimal DP plan under both wire
+//! formats, the total bytes a query actually puts on the wire, and the
+//! predicted latency — demonstrating (a) the ~4× payload reduction and
+//! (b) at least one plan changing shape under quantized transfer costs.
+
+use gillis_bench::Table;
+use gillis_core::{
+    predict_plan, DpPartitioner, ExecutionPlan, PartDim, PartitionOption, Placement,
+};
+use gillis_faas::PlatformProfile;
+use gillis_model::zoo;
+use gillis_perf::{PerfModel, TransferFormat};
+
+/// Compact plan shape, e.g. `[0..9 h8 w][9..12 1 m]`.
+fn plan_shape(plan: &ExecutionPlan) -> String {
+    plan.groups()
+        .iter()
+        .map(|g| {
+            let opt = match g.option {
+                PartitionOption::Single => "1".to_string(),
+                PartitionOption::Split { dim, parts } => {
+                    let d = match dim {
+                        PartDim::Height => 'h',
+                        PartDim::Width => 'w',
+                        PartDim::Channel => 'c',
+                    };
+                    format!("{d}{parts}")
+                }
+            };
+            let place = match g.placement {
+                Placement::Master => "m",
+                Placement::Workers => "w",
+                Placement::MasterAndWorkers => "mw",
+            };
+            format!("[{}..{} {opt} {place}]", g.start, g.end)
+        })
+        .collect()
+}
+
+/// Total bytes one query puts on the wire under `perf`'s transfer format:
+/// per worker partition, the shipped input plus the returned output.
+fn plan_wire_bytes(
+    model: &gillis_model::LinearModel,
+    plan: &ExecutionPlan,
+    perf: &PerfModel,
+) -> u64 {
+    let analyses = plan.analyses(model).expect("valid plan");
+    plan.groups()
+        .iter()
+        .zip(analyses.iter())
+        .map(|(g, a)| {
+            let offset = match g.placement {
+                Placement::Master => return 0,
+                Placement::Workers => 0,
+                Placement::MasterAndWorkers => 1,
+            };
+            a.partitions[offset..]
+                .iter()
+                .map(|p| perf.wire_bytes(p.input_bytes) + perf.wire_bytes(p.output_bytes))
+                .sum()
+        })
+        .sum()
+}
+
+fn main() {
+    println!("Extension: DP planning under f32 vs int8 wire formats (AWS Lambda)\n");
+    let platform = PlatformProfile::aws_lambda();
+    let f32_perf = PerfModel::analytic(&platform);
+    let int8_perf = PerfModel::analytic(&platform).with_transfer_format(TransferFormat::Int8);
+
+    let mut table = Table::new(&[
+        "model",
+        "wire",
+        "plan",
+        "transfer(MB)",
+        "latency(ms)",
+        "cost($/1k)",
+    ]);
+    let mut changed = 0usize;
+    for (name, model) in [
+        ("vgg11", zoo::vgg11()),
+        ("vgg16", zoo::vgg16()),
+        ("wrn50x2", zoo::wrn50(2)),
+        ("wrn50x4", zoo::wrn50(4)),
+    ] {
+        let f32_plan = DpPartitioner::default()
+            .partition(&model, &f32_perf)
+            .expect("f32 plan");
+        let int8_plan = DpPartitioner::default()
+            .partition(&model, &int8_perf)
+            .expect("int8 plan");
+        let f32_pred = predict_plan(&model, &f32_plan, &f32_perf).expect("predict");
+        let int8_pred = predict_plan(&model, &int8_plan, &int8_perf).expect("predict");
+        let f32_shape = plan_shape(&f32_plan);
+        let int8_shape = plan_shape(&int8_plan);
+        if f32_shape != int8_shape {
+            changed += 1;
+        }
+        for (wire, plan, pred, perf) in [
+            ("f32", &f32_plan, &f32_pred, &f32_perf),
+            ("int8", &int8_plan, &int8_pred, &int8_perf),
+        ] {
+            table.row(vec![
+                name.to_string(),
+                wire.to_string(),
+                plan_shape(plan),
+                format!("{:.2}", plan_wire_bytes(&model, plan, perf) as f64 / 1e6),
+                format!("{:.0}", pred.latency_ms),
+                format!("{:.3}", pred.usd * 1000.0),
+            ]);
+        }
+
+        // The ~4x check on a fixed plan: the f32 plan's payloads, re-priced
+        // on the int8 wire.
+        let raw = plan_wire_bytes(&model, &f32_plan, &f32_perf);
+        let quant = plan_wire_bytes(&model, &f32_plan, &int8_perf);
+        if raw > 0 {
+            println!(
+                "{name}: f32 plan ships {:.2} MB raw, {:.2} MB quantized ({:.2}x reduction)",
+                raw as f64 / 1e6,
+                quant as f64 / 1e6,
+                raw as f64 / quant as f64
+            );
+        }
+    }
+    println!();
+    table.print();
+    println!("\nplans that changed shape under int8 transfer costs: {changed}");
+    assert!(changed > 0, "int8 wire must reshape at least one DP plan");
+}

@@ -27,12 +27,22 @@ pub struct ReportEntry {
     pub samples: usize,
     /// Seed-kernel (pre-optimization) ns/iter for the same case, if recorded.
     pub baseline_ns_per_iter: Option<f64>,
+    /// Floating-point operations one iteration performs, when the case has a
+    /// closed-form count (GEMM-backed kernels); `None` for ops timed without
+    /// a FLOP model.
+    pub flops: Option<u64>,
 }
 
 impl ReportEntry {
     /// Speedup of this run over the recorded seed baseline.
     pub fn speedup(&self) -> Option<f64> {
         self.baseline_ns_per_iter.map(|b| b / self.ns_per_iter)
+    }
+
+    /// Achieved GFLOP/s (= FLOPs per nanosecond), when a FLOP count is
+    /// recorded.
+    pub fn gflops(&self) -> Option<f64> {
+        self.flops.map(|f| f as f64 / self.ns_per_iter)
     }
 }
 
@@ -81,14 +91,19 @@ pub fn render_json(suite: &str, threads: usize, entries: &[ReportEntry]) -> Stri
             Some(s) => format!("{s:.2}"),
             None => "null".into(),
         };
+        let gflops = match e.gflops() {
+            Some(g) => format!("{g:.2}"),
+            None => "null".into(),
+        };
         out.push_str(&format!(
-            "    {{\"op\": \"{}\", \"shape\": \"{}\", \"ns_per_iter\": {:.1}, \"samples\": {}, \"baseline_ns_per_iter\": {}, \"speedup\": {}}}{}\n",
+            "    {{\"op\": \"{}\", \"shape\": \"{}\", \"ns_per_iter\": {:.1}, \"samples\": {}, \"baseline_ns_per_iter\": {}, \"speedup\": {}, \"gflops\": {}}}{}\n",
             e.op,
             e.shape,
             e.ns_per_iter,
             e.samples,
             baseline,
             speedup,
+            gflops,
             if i + 1 == entries.len() { "" } else { "," },
         ));
     }
@@ -116,6 +131,7 @@ mod tests {
                 ns_per_iter: 1234.5,
                 samples: 10,
                 baseline_ns_per_iter: Some(2469.0),
+                flops: Some(123_450),
             },
             ReportEntry {
                 op: "dense".into(),
@@ -123,6 +139,7 @@ mod tests {
                 ns_per_iter: 10.0,
                 samples: 3,
                 baseline_ns_per_iter: None,
+                flops: None,
             },
         ];
         let json = render_json("tensor", 4, &entries);
@@ -130,9 +147,10 @@ mod tests {
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"baseline_ns_per_iter\": null"));
+        assert!(json.contains("\"gflops\": 100.00"));
         // Exactly one trailing comma between the two entries, none after the last.
         assert_eq!(json.matches("},\n").count(), 1);
-        assert!(json.contains("\"speedup\": null}\n"));
+        assert!(json.contains("\"gflops\": null}\n"));
     }
 
     #[test]
@@ -143,7 +161,9 @@ mod tests {
             ns_per_iter: 50.0,
             samples: 1,
             baseline_ns_per_iter: Some(200.0),
+            flops: Some(100),
         };
         assert_eq!(e.speedup(), Some(4.0));
+        assert_eq!(e.gflops(), Some(2.0));
     }
 }

@@ -21,7 +21,7 @@
 //! inception `Concat`) and recurrent layers. Callers fall back to
 //! [`execute_plan_tensors`](crate::forkjoin::execute_plan_tensors).
 
-use gillis_model::compiled::{CompiledPartition, PanelCache, PieceSpec};
+use gillis_model::compiled::{CompileOptions, CompiledPartition, PanelCache, PieceSpec};
 use gillis_model::weights::ModelWeights;
 use gillis_model::LinearModel;
 use gillis_tensor::{Shape, Tensor};
@@ -65,6 +65,22 @@ impl CompiledPlanExec {
         plan: &ExecutionPlan,
         weights: &ModelWeights,
     ) -> Result<Self> {
+        Self::compile_with(model, plan, weights, CompileOptions::default())
+    }
+
+    /// [`CompiledPlanExec::compile`] with explicit deployment options:
+    /// int8-quantized weight panels and/or the int8 wire simulation on
+    /// partitioned joins (see `gillis_model::compiled::CompileOptions`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledPlanExec::compile`].
+    pub fn compile_with(
+        model: &LinearModel,
+        plan: &ExecutionPlan,
+        weights: &ModelWeights,
+        opts: CompileOptions,
+    ) -> Result<Self> {
         plan.validate(model, u64::MAX)?;
         let mut cache = PanelCache::new();
         let mut groups = Vec::with_capacity(plan.groups().len());
@@ -91,13 +107,14 @@ impl CompiledPlanExec {
                     (specs, axis)
                 }
             };
-            let partition = CompiledPartition::compile(
+            let partition = CompiledPartition::compile_with(
                 model.graph(),
                 weights,
                 layers,
                 &specs,
                 axis,
                 &mut cache,
+                opts,
             )?;
             if partition.in_len() != prev_len {
                 return Err(CoreError::InvalidPlan(format!(
@@ -209,6 +226,11 @@ fn run_group(
         return Ok(());
     }
     let pool = gillis_pool::Pool::global();
+    // Int8-wire deployments round-trip each piece's payload through the
+    // quantized encoding on the worker that produced it, exactly as
+    // `CompiledPartition::run_into` does sequentially — into the existing
+    // join-buffer slot or piece output buffer, never a new allocation.
+    let wire_int8 = g.partition.wire_int8();
     let mut errs: Vec<Option<gillis_model::ModelError>> = (0..n_pieces).map(|_| None).collect();
     match g.partition.contiguous_ranges() {
         Some(ranges) => {
@@ -229,10 +251,12 @@ fn run_group(
                 .zip(slots)
                 .zip(errs.iter_mut())
                 .map(|((piece, out), err)| {
-                    Box::new(move || {
-                        if let Err(e) = piece.run_into(weights, input, out) {
-                            *err = Some(e);
+                    Box::new(move || match piece.run_into(weights, input, out) {
+                        Err(e) => *err = Some(e),
+                        Ok(()) if wire_int8 => {
+                            gillis_tensor::quant::wire_roundtrip_in_place(out);
                         }
+                        Ok(()) => {}
                     }) as gillis_pool::Task
                 })
                 .collect();
@@ -245,10 +269,10 @@ fn run_group(
                 .iter_mut()
                 .zip(errs.iter_mut())
                 .map(|(piece, err)| {
-                    Box::new(move || {
-                        if let Err(e) = piece.run(weights, input) {
-                            *err = Some(e);
-                        }
+                    Box::new(move || match piece.run(weights, input).map(|_| ()) {
+                        Err(e) => *err = Some(e),
+                        Ok(()) if wire_int8 => piece.wire_roundtrip_output(),
+                        Ok(()) => {}
                     }) as gillis_pool::Task
                 })
                 .collect();
@@ -402,6 +426,72 @@ mod tests {
             assert_bits_eq(&out, &reference, "4-way height split");
         }
         assert!(compiled.panel_bytes() > 0);
+    }
+
+    #[test]
+    fn int8_compiled_plan_is_thread_invariant_and_tracks_f32() {
+        // Integer accumulation plus the deterministic wire round trip keep
+        // the quantized deployment bit-identical across thread counts, and
+        // within quantization error of the f32 reference.
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 7).unwrap();
+        let input = query(model.input_shape(), 3);
+        let n = model.layers().len();
+        let spatial_end = model
+            .layers()
+            .iter()
+            .take_while(|l| l.class.supports_spatial())
+            .count();
+        let plan = ExecutionPlan::new(vec![
+            PlannedGroup {
+                start: 0,
+                end: spatial_end,
+                option: PartitionOption::Split {
+                    dim: PartDim::Height,
+                    parts: 4,
+                },
+                placement: Placement::Workers,
+            },
+            PlannedGroup {
+                start: spatial_end,
+                end: n,
+                option: PartitionOption::Single,
+                placement: Placement::Master,
+            },
+        ]);
+        plan.validate(&model, u64::MAX).unwrap();
+        let reference =
+            execute_plan_tensors_with_threads(&model, &plan, &weights, &input, 1).unwrap();
+        let mut compiled =
+            CompiledPlanExec::compile_with(&model, &plan, &weights, CompileOptions::int8())
+                .unwrap();
+        let base = {
+            let (data, shape) = compiled
+                .run_raw_with_threads(&weights, input.data(), 1)
+                .unwrap();
+            Tensor::from_vec(shape.clone(), data.to_vec()).unwrap()
+        };
+        for threads in [2usize, 8] {
+            let (data, shape) = compiled
+                .run_raw_with_threads(&weights, input.data(), threads)
+                .unwrap();
+            let out = Tensor::from_vec(shape.clone(), data.to_vec()).unwrap();
+            assert_bits_eq(&out, &base, "int8 thread invariance");
+        }
+        let num: f32 = base
+            .data()
+            .iter()
+            .zip(reference.data().iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        let den: f32 = reference.data().iter().map(|y| y * y).sum();
+        let rel = (num / den.max(f32::MIN_POSITIVE)).sqrt();
+        assert!(rel < 0.05, "int8 plan drifted: rel l2 {rel}");
+        assert_ne!(
+            base.data(),
+            reference.data(),
+            "int8 wire round trip should perturb the payload"
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ use gillis_faas::{Micros, PlatformProfile};
 use gillis_model::exec::Executor;
 use gillis_model::weights::ModelWeights;
 use gillis_model::LinearModel;
+use gillis_perf::TransferFormat;
 use gillis_tensor::Tensor;
 
 use crate::error::CoreError;
@@ -145,6 +146,11 @@ pub struct ForkJoinRuntime<'a> {
     injector: Option<FaultInjector>,
     policy: ResiliencePolicy,
     overload: Option<OverloadRuntime>,
+    /// Wire encoding of fork/join payloads: every sampled transfer maps its
+    /// raw f32 activation bytes through this format, mirroring
+    /// `PerfModel::wire_bytes` so simulation and prediction price the same
+    /// payloads.
+    transfer_format: TransferFormat,
     /// Predicted p95 of one attempt per `[group][partition]`: mean compute
     /// at the 95th noise percentile plus the invocation-jitter p95. Timeouts
     /// and hedge delays are multiples of this, so they scale with the
@@ -202,8 +208,22 @@ impl<'a> ForkJoinRuntime<'a> {
             injector,
             policy: ResiliencePolicy::default(),
             overload: None,
+            transfer_format: TransferFormat::default(),
             attempt_p95_ms,
         })
+    }
+
+    /// Sets the wire encoding of fork/join payloads. Pair with a
+    /// [`gillis_perf::PerfModel`] carrying the same format so the planner
+    /// optimized for the bytes this runtime actually ships.
+    pub fn with_transfer_format(mut self, format: TransferFormat) -> Self {
+        self.transfer_format = format;
+        self
+    }
+
+    /// Bytes a raw f32 payload occupies on this runtime's wire.
+    fn wire(&self, raw_bytes: u64) -> u64 {
+        self.transfer_format.wire_bytes(raw_bytes)
     }
 
     /// Replaces the fault injector with one built from `config` (overriding
@@ -382,7 +402,7 @@ impl<'a> ForkJoinRuntime<'a> {
         let hedge_delay_ms = self.policy.hedge_delay_factor * p95_ms;
         let transfer_ms = self
             .platform
-            .transfer_ms(work.input_bytes + work.output_bytes);
+            .transfer_ms(self.wire(work.input_bytes) + self.wire(work.output_bytes));
         let max_attempts = self.policy.max_attempts.max(1);
         let mut t = 0.0f64;
         for attempt in 0..max_attempts {
@@ -491,8 +511,14 @@ impl<'a> ForkJoinRuntime<'a> {
                     if worker_parts.is_empty() {
                         (0.0, master_compute, 0.0)
                     } else {
-                        let ins: Vec<u64> = worker_parts.iter().map(|p| p.input_bytes).collect();
-                        let outs: Vec<u64> = worker_parts.iter().map(|p| p.output_bytes).collect();
+                        let ins: Vec<u64> = worker_parts
+                            .iter()
+                            .map(|p| self.wire(p.input_bytes))
+                            .collect();
+                        let outs: Vec<u64> = worker_parts
+                            .iter()
+                            .map(|p| self.wire(p.output_bytes))
+                            .collect();
                         let fork = self.sample_transfer_parts(&ins, rng);
                         let join = self.sample_transfer_parts(&outs, rng);
                         let mut slowest = master_compute;
@@ -1042,8 +1068,14 @@ impl<'a> ForkJoinRuntime<'a> {
                     // Fork: same egress model as `simulate_query` — one
                     // shared helper, so fleet serving and single-query
                     // simulation cannot drift apart.
-                    let ins: Vec<u64> = worker_parts.iter().map(|p| p.input_bytes).collect();
-                    let outs: Vec<u64> = worker_parts.iter().map(|p| p.output_bytes).collect();
+                    let ins: Vec<u64> = worker_parts
+                        .iter()
+                        .map(|p| self.wire(p.input_bytes))
+                        .collect();
+                    let outs: Vec<u64> = worker_parts
+                        .iter()
+                        .map(|p| self.wire(p.output_bytes))
+                        .collect();
                     let dispatched = now + Micros::from_ms(self.sample_transfer_parts(&ins, rng));
                     // The master's own shard is synchronous local work — it
                     // cannot be abandoned, so it lower-bounds the time at
@@ -1072,7 +1104,9 @@ impl<'a> ForkJoinRuntime<'a> {
                         let fname = format!("g{gi}p{part_idx}");
                         let p95 = self.attempt_p95_ms[gi][part_idx];
                         let timeout_ms = self.policy.attempt_timeout_factor * p95;
-                        let transfer = self.platform.transfer_ms(p.input_bytes + p.output_bytes);
+                        let transfer = self
+                            .platform
+                            .transfer_ms(self.wire(p.input_bytes) + self.wire(p.output_bytes));
                         let mut t = dispatched;
                         let mut resolved: Option<Micros> = None;
                         let mut observed_end = dispatched;
@@ -1602,6 +1636,34 @@ mod tests {
         let actual = runtime.mean_latency_ms(50, 7);
         let rel = (predicted - actual).abs() / actual;
         assert!(rel < 0.06, "predicted {predicted:.1}, actual {actual:.1}");
+    }
+
+    #[test]
+    fn int8_wire_cuts_simulated_transfer_time() {
+        // The simulator and the predictor must agree on the int8 wire: a
+        // communication-heavy forced-parallel plan gets faster under the
+        // quantized format, and the simulated mean still tracks the
+        // prediction from an int8-format perf model.
+        let tiny = zoo::tiny_vgg();
+        let plan = forced_split_plan(&tiny);
+        let platform = PlatformProfile::aws_lambda();
+        let f32_rt = ForkJoinRuntime::new(&tiny, &plan, platform.clone()).unwrap();
+        let int8_rt = ForkJoinRuntime::new(&tiny, &plan, platform.clone())
+            .unwrap()
+            .with_transfer_format(TransferFormat::Int8);
+        let f32_ms = f32_rt.mean_latency_ms(200, 5);
+        let int8_ms = int8_rt.mean_latency_ms(200, 5);
+        assert!(
+            int8_ms < f32_ms,
+            "int8 wire {int8_ms:.2}ms not below f32 {f32_ms:.2}ms"
+        );
+        let perf = PerfModel::analytic(&platform).with_transfer_format(TransferFormat::Int8);
+        let predicted = predict_plan(&tiny, &plan, &perf).unwrap().latency_ms;
+        let rel = (predicted - int8_ms).abs() / int8_ms;
+        assert!(
+            rel < 0.06,
+            "predicted {predicted:.2}, simulated {int8_ms:.2}"
+        );
     }
 
     #[test]

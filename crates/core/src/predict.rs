@@ -93,8 +93,16 @@ pub fn predict_group(
                     worker_ms: Vec::new(),
                 };
             }
-            let in_sizes: Vec<u64> = worker_parts.iter().map(|p| p.input_bytes).collect();
-            let out_sizes: Vec<u64> = worker_parts.iter().map(|p| p.output_bytes).collect();
+            // Partition analyses report raw f32 activation sizes; the wire
+            // format (f32 or int8) decides what actually crosses the network.
+            let in_sizes: Vec<u64> = worker_parts
+                .iter()
+                .map(|p| perf.wire_bytes(p.input_bytes))
+                .collect();
+            let out_sizes: Vec<u64> = worker_parts
+                .iter()
+                .map(|p| perf.wire_bytes(p.output_bytes))
+                .collect();
             let fork_ms = perf.comm.group_transfer_parts_ms(&in_sizes);
             let join_ms = perf.comm.group_transfer_parts_ms(&out_sizes);
             let worker_compute: Vec<f64> = worker_parts
@@ -106,12 +114,11 @@ pub fn predict_group(
                 .copied()
                 .fold(master_compute, f64::max);
             // A worker is billed from payload receipt to response emission.
-            let worker_ms = worker_parts
+            let worker_ms = in_sizes
                 .iter()
+                .zip(out_sizes.iter())
                 .zip(worker_compute.iter())
-                .map(|(p, &c)| {
-                    c + perf.comm.per_byte_ms() * (p.input_bytes + p.output_bytes) as f64
-                })
+                .map(|((&i, &o), &c)| c + perf.comm.per_byte_ms() * (i + o) as f64)
                 .collect();
             GroupPrediction {
                 fork_ms,
@@ -321,6 +328,32 @@ mod tests {
         let again = predict_plan_cached(&vgg, &plan, &perf, &cache).unwrap();
         assert_eq!(direct, again);
         assert_eq!(cache.stats().misses, before);
+    }
+
+    #[test]
+    fn int8_wire_shrinks_predicted_comm_but_not_compute() {
+        let vgg = zoo::vgg11();
+        let f32_perf = perf();
+        let int8_perf = perf().with_transfer_format(gillis_perf::TransferFormat::Int8);
+        let a = crate::partition::analyze_group(
+            &vgg,
+            0,
+            1,
+            PartitionOption::Split {
+                dim: PartDim::Height,
+                parts: 4,
+            },
+        )
+        .unwrap();
+        let f = predict_group(&f32_perf, &a, Placement::Workers);
+        let q = predict_group(&int8_perf, &a, Placement::Workers);
+        // ~4x fewer bytes on every transfer leg; compute untouched.
+        assert!(q.fork_ms < f.fork_ms);
+        assert!(q.join_ms < f.join_ms);
+        assert_eq!(q.compute_ms, f.compute_ms);
+        for (qw, fw) in q.worker_ms.iter().zip(f.worker_ms.iter()) {
+            assert!(qw < fw);
+        }
     }
 
     #[test]

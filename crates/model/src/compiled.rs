@@ -38,9 +38,10 @@ use std::sync::Arc;
 use gillis_tensor::gemm::PackedA;
 use gillis_tensor::ops::{
     avg_pool2d_into, batch_norm_fold, batch_norm_folded_into, conv2d_output_hw, conv2d_packed_into,
-    dense_into, depthwise_conv2d_into, global_avg_pool_into, max_pool2d_into, relu_into,
-    softmax_into, BatchNormParams, Conv2dParams, Pool2dParams,
+    conv2d_quantized_into, dense_into, depthwise_conv2d_into, global_avg_pool_into,
+    max_pool2d_into, relu_into, softmax_into, BatchNormParams, Conv2dParams, Pool2dParams,
 };
+use gillis_tensor::quant::{self, QuantizedMatrix};
 use gillis_tensor::{Shape, Tensor};
 
 use crate::error::ModelError;
@@ -80,6 +81,9 @@ type PanelKey = (NodeId, Option<(usize, usize)>);
 #[derive(Debug, Default)]
 pub struct PanelCache {
     panels: HashMap<PanelKey, Arc<PackedA>>,
+    /// int8 per-channel weight panels (conv filter banks and dense weight
+    /// matrices), quantized once at deployment compile time.
+    qpanels: HashMap<PanelKey, Arc<QuantizedMatrix>>,
 }
 
 impl PanelCache {
@@ -108,19 +112,68 @@ impl PanelCache {
         panel
     }
 
-    /// Number of distinct panels held.
+    fn lookup_q(
+        &self,
+        id: NodeId,
+        channels: Option<&Range<usize>>,
+    ) -> Option<Arc<QuantizedMatrix>> {
+        self.qpanels.get(&Self::key(id, channels)).map(Arc::clone)
+    }
+
+    fn insert_q(
+        &mut self,
+        id: NodeId,
+        channels: Option<&Range<usize>>,
+        panel: QuantizedMatrix,
+    ) -> Arc<QuantizedMatrix> {
+        let panel = Arc::new(panel);
+        self.qpanels
+            .insert(Self::key(id, channels), Arc::clone(&panel));
+        panel
+    }
+
+    /// Number of distinct panels held (packed f32 plus quantized).
     pub fn len(&self) -> usize {
-        self.panels.len()
+        self.panels.len() + self.qpanels.len()
     }
 
     /// Whether the cache holds no panels.
     pub fn is_empty(&self) -> bool {
-        self.panels.is_empty()
+        self.panels.is_empty() && self.qpanels.is_empty()
     }
 
     /// Total bytes of packed panel data (for capacity reporting).
     pub fn bytes(&self) -> usize {
-        self.panels.values().map(|p| p.bytes()).sum()
+        self.panels.values().map(|p| p.bytes()).sum::<usize>()
+            + self.qpanels.values().map(|p| p.bytes()).sum::<usize>()
+    }
+}
+
+/// Deployment-time compilation options.
+///
+/// The default compiles the f32 fast path (bit-identical to the reference
+/// executor). Quantized options trade bounded accuracy for ~4× smaller
+/// weights and transfer payloads — see `gillis_tensor::quant` for the error
+/// bounds and DESIGN.md §12 for when the planner sees the smaller bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Quantize conv filter banks and dense weight matrices to int8 with
+    /// per-output-channel scales at compile time; kernels accumulate in
+    /// exact i32.
+    pub quantize_weights: bool,
+    /// Simulate the int8 wire format on partitioned joins: each worker
+    /// piece's output takes a quantize→dequantize round trip into the
+    /// existing join-buffer slot (no extra buffers on the warm path).
+    pub wire_int8: bool,
+}
+
+impl CompileOptions {
+    /// Full int8 deployment: quantized weights and quantized transfers.
+    pub fn int8() -> Self {
+        CompileOptions {
+            quantize_weights: true,
+            wire_int8: true,
+        }
     }
 }
 
@@ -157,6 +210,16 @@ enum StepKind {
         in_w: usize,
         out_hw: (usize, usize),
     },
+    /// Conv with an int8 per-channel quantized filter bank.
+    QConv {
+        q: Arc<QuantizedMatrix>,
+        bias: Vec<f32>,
+        params: Conv2dParams,
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        out_hw: (usize, usize),
+    },
     Depthwise {
         weights: StepWeights,
         params: Conv2dParams,
@@ -185,6 +248,11 @@ enum StepKind {
     },
     Dense {
         weights: StepWeights,
+    },
+    /// Dense with an int8 per-channel quantized weight matrix.
+    QDense {
+        q: Arc<QuantizedMatrix>,
+        bias: Vec<f32>,
     },
     Softmax,
 }
@@ -266,6 +334,15 @@ fn exec_step(kind: &StepKind, map: &ModelWeights, input: &[f32], out: &mut [f32]
         } => conv2d_packed_into(
             input, *in_c, *in_h, *in_w, packed, bias, params, *out_hw, out,
         ),
+        StepKind::QConv {
+            q,
+            bias,
+            params,
+            in_c,
+            in_h,
+            in_w,
+            out_hw,
+        } => conv2d_quantized_into(input, *in_c, *in_h, *in_w, q, bias, params, *out_hw, out),
         StepKind::Depthwise {
             weights,
             params,
@@ -300,6 +377,10 @@ fn exec_step(kind: &StepKind, map: &ModelWeights, input: &[f32], out: &mut [f32]
         StepKind::Dense { weights } => {
             let (w, b) = resolve_dense(weights, map)?;
             dense_into(w, input, Some(b), out);
+        }
+        StepKind::QDense { q, bias } => {
+            out.copy_from_slice(bias);
+            quant::qgemv(q, input, out);
         }
         StepKind::Softmax => softmax_into(input, out),
     }
@@ -342,6 +423,30 @@ impl CompiledSegment {
         spec: &PieceSpec,
         cache: &mut PanelCache,
     ) -> Result<Self> {
+        Self::compile_with(
+            graph,
+            weights,
+            layers,
+            spec,
+            cache,
+            CompileOptions::default(),
+        )
+    }
+
+    /// [`CompiledSegment::compile`] with explicit [`CompileOptions`] —
+    /// `quantize_weights` lowers conv/dense layers to int8 steps.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSegment::compile`].
+    pub fn compile_with(
+        graph: &Graph,
+        weights: &ModelWeights,
+        layers: &[MergedLayer],
+        spec: &PieceSpec,
+        cache: &mut PanelCache,
+        opts: CompileOptions,
+    ) -> Result<Self> {
         let mut chain: Vec<NodeId> = Vec::new();
         for layer in layers {
             chain.extend(layer.nodes.iter().copied());
@@ -376,6 +481,7 @@ impl CompiledSegment {
             seed_shape,
             chain,
             steps: Vec::new(),
+            opts,
         };
         let out_dims = match spec {
             PieceSpec::Full => b.build_full()?,
@@ -475,6 +581,18 @@ impl CompiledSegment {
             .expect("compiled segment has at least one step")
             .buf
     }
+
+    /// Applies the int8 wire round trip to the piece's own output buffer —
+    /// the worker-side quantize of a non-contiguous join (the master then
+    /// gathers the dequantized values). Allocation-free after warmup.
+    pub fn wire_roundtrip_output(&mut self) {
+        let buf = &mut self
+            .steps
+            .last_mut()
+            .expect("compiled segment has at least one step")
+            .buf;
+        quant::wire_roundtrip_in_place(buf);
+    }
 }
 
 /// Compile-time state shared by the per-spec builders.
@@ -485,6 +603,7 @@ struct Builder<'a> {
     seed_shape: Shape,
     chain: Vec<NodeId>,
     steps: Vec<Step>,
+    opts: CompileOptions,
 }
 
 impl Builder<'_> {
@@ -552,6 +671,55 @@ impl Builder<'_> {
         Ok(self.cache.insert(id, channels, panel))
     }
 
+    /// Quantizes (or fetches) the int8 panel for a conv node's filter rows.
+    fn conv_qpanel(
+        &mut self,
+        id: NodeId,
+        channels: Option<&Range<usize>>,
+    ) -> Result<Arc<QuantizedMatrix>> {
+        if let Some(p) = self.cache.lookup_q(id, channels) {
+            return Ok(p);
+        }
+        let (w, _) = self.conv_weights(id)?;
+        let dims = w.shape().dims();
+        if dims.len() != 4 {
+            return Err(ModelError::BadWeights(format!(
+                "conv weight must be rank 4, got rank {}",
+                dims.len()
+            )));
+        }
+        let k = dims[1] * dims[2] * dims[3];
+        let panel = match channels {
+            None => QuantizedMatrix::quantize(dims[0], k, w.data()),
+            Some(r) => {
+                let rows = w.slice(0, r.clone())?;
+                QuantizedMatrix::quantize(r.len(), k, rows.data())
+            }
+        };
+        Ok(self.cache.insert_q(id, channels, panel))
+    }
+
+    /// Quantizes (or fetches) the int8 panel for a dense node's weight rows.
+    fn dense_qpanel(
+        &mut self,
+        id: NodeId,
+        channels: Option<&Range<usize>>,
+    ) -> Result<Arc<QuantizedMatrix>> {
+        if let Some(p) = self.cache.lookup_q(id, channels) {
+            return Ok(p);
+        }
+        let (w, _) = self.dense_weights(id)?;
+        let wd = w.shape().dims();
+        let panel = match channels {
+            None => QuantizedMatrix::quantize(wd[0], wd[1], w.data()),
+            Some(r) => {
+                let rows = w.slice(0, r.clone())?;
+                QuantizedMatrix::quantize(r.len(), wd[1], rows.data())
+            }
+        };
+        Ok(self.cache.insert_q(id, channels, panel))
+    }
+
     /// Folds a node's batch-norm parameters, optionally restricted to a
     /// channel range. Slicing before folding equals folding before slicing —
     /// the fold is per-channel — so this matches the reference executor's
@@ -612,6 +780,25 @@ impl Builder<'_> {
             None => b.data().to_vec(),
             Some(r) => b.slice(0, r.clone())?.data().to_vec(),
         };
+        if self.opts.quantize_weights {
+            let q = self.conv_qpanel(id, channels)?;
+            let out_c = q.rows();
+            let out_dims = vec![out_c, out_hw.0, out_hw.1];
+            let out_len = out_c * out_hw.0 * out_hw.1;
+            self.push(
+                StepKind::QConv {
+                    q,
+                    bias,
+                    params,
+                    in_c,
+                    in_h,
+                    in_w,
+                    out_hw,
+                },
+                out_len,
+            );
+            return Ok(out_dims);
+        }
         let packed = self.conv_panel(id, channels)?;
         let out_c = packed.m();
         let out_dims = vec![out_c, out_hw.0, out_hw.1];
@@ -819,6 +1006,16 @@ impl Builder<'_> {
             return Err(ModelError::BadWeights(format!(
                 "dense weight {wd:?} does not match input length {in_n}"
             )));
+        }
+        if self.opts.quantize_weights {
+            let bias = match channels {
+                None => b.data().to_vec(),
+                Some(r) => b.slice(0, r.clone())?.data().to_vec(),
+            };
+            let q = self.dense_qpanel(id, channels)?;
+            let out_n = q.rows();
+            self.push(StepKind::QDense { q, bias }, out_n);
+            return Ok(vec![out_n]);
         }
         let (weights, out_n) = match channels {
             None => (StepWeights::Node(id), wd[0]),
@@ -1137,6 +1334,10 @@ pub struct CompiledPartition {
     inner: usize,
     /// Each piece's extent along `axis`.
     piece_sizes: Vec<usize>,
+    /// Whether worker piece outputs take the int8 wire round trip before
+    /// landing in the join buffer (multi-piece groups only — an
+    /// unpartitioned group never crosses the wire).
+    wire_int8: bool,
 }
 
 impl CompiledPartition {
@@ -1157,12 +1358,37 @@ impl CompiledPartition {
         axis: usize,
         cache: &mut PanelCache,
     ) -> Result<Self> {
+        Self::compile_with(
+            graph,
+            weights,
+            layers,
+            specs,
+            axis,
+            cache,
+            CompileOptions::default(),
+        )
+    }
+
+    /// [`CompiledPartition::compile`] with explicit [`CompileOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledPartition::compile`].
+    pub fn compile_with(
+        graph: &Graph,
+        weights: &ModelWeights,
+        layers: &[MergedLayer],
+        specs: &[PieceSpec],
+        axis: usize,
+        cache: &mut PanelCache,
+        opts: CompileOptions,
+    ) -> Result<Self> {
         if specs.is_empty() {
             return Err(ModelError::Unsupported("group with zero pieces".into()));
         }
         let pieces: Vec<CompiledSegment> = specs
             .iter()
-            .map(|s| CompiledSegment::compile(graph, weights, layers, s, cache))
+            .map(|s| CompiledSegment::compile_with(graph, weights, layers, s, cache, opts))
             .collect::<Result<_>>()?;
         let first = pieces[0].out_shape().clone();
         let rank = first.rank();
@@ -1190,6 +1416,10 @@ impl CompiledPartition {
         let out_shape = first.with_dim(axis, total)?;
         let outer: usize = first.dims()[..axis].iter().product();
         let inner: usize = first.dims()[axis + 1..].iter().product();
+        // A single Full piece runs on the master and never crosses the
+        // wire, so the int8 transfer simulation only applies to real
+        // fork-join groups.
+        let wire_int8 = opts.wire_int8 && specs.len() > 1;
         Ok(CompiledPartition {
             pieces,
             axis,
@@ -1197,7 +1427,17 @@ impl CompiledPartition {
             outer,
             inner,
             piece_sizes,
+            wire_int8,
         })
+    }
+
+    /// Whether worker piece outputs take the int8 wire round trip on their
+    /// way into the join buffer. Parallel callers that drive
+    /// [`CompiledPartition::pieces_mut`] themselves must honour this by
+    /// calling [`CompiledSegment::wire_roundtrip_output`] (or round-tripping
+    /// the piece's join slot) after each piece runs.
+    pub fn wire_int8(&self) -> bool {
+        self.wire_int8
     }
 
     /// Shape of the gathered group output.
@@ -1277,17 +1517,27 @@ impl CompiledPartition {
         if self.outer == 1 {
             // Contiguous join: pieces write their slice of `out` directly,
             // with no per-call range allocation (the warm path must not
-            // touch the heap).
+            // touch the heap). The int8 wire round trip dequantizes into
+            // the same join-buffer slot the piece just wrote — no extra
+            // per-query buffers.
             let mut ofs = 0;
             for (piece, &psize) in self.pieces.iter_mut().zip(self.piece_sizes.iter()) {
                 let end = ofs + psize * self.inner;
                 piece.run_into(weights, input, &mut out[ofs..end])?;
+                if self.wire_int8 {
+                    quant::wire_roundtrip_in_place(&mut out[ofs..end]);
+                }
                 ofs = end;
             }
             return Ok(());
         }
         for piece in &mut self.pieces {
             piece.run(weights, input)?;
+            if self.wire_int8 {
+                // Worker-side quantize: round-trip the piece's own output
+                // buffer before the master gathers it.
+                piece.wire_roundtrip_output();
+            }
         }
         self.gather(out);
         Ok(())
@@ -1582,5 +1832,146 @@ mod tests {
         assert_eq!(ptr_a, ptr_b);
         let out_b = seg.run(&weights, b.data()).unwrap();
         assert_ne!(out_a, out_b);
+    }
+
+    /// Relative L2 distance between a quantized output and its f32 reference.
+    fn rel_l2(a: &[f32], b: &[f32]) -> f32 {
+        let num: f32 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+        let den: f32 = b.iter().map(|y| y * y).sum();
+        (num / den.max(f32::MIN_POSITIVE)).sqrt()
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_within_bound() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 3).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 11);
+        let reference = exec.forward(&model, &input).unwrap();
+
+        let mut cache = PanelCache::new();
+        let mut seg = CompiledSegment::compile_with(
+            model.graph(),
+            &weights,
+            model.layers(),
+            &PieceSpec::Full,
+            &mut cache,
+            CompileOptions::int8(),
+        )
+        .unwrap();
+        assert_eq!(seg.out_shape(), reference.shape());
+        let out = seg.run(&weights, input.data()).unwrap();
+        let err = rel_l2(out, reference.data());
+        assert!(err < 0.05, "quantized forward drifted: rel l2 {err}");
+
+        // Int8 panels are ~4x smaller than packed f32 panels. Compare over
+        // the conv prefix only: the f32 path never caches dense panels (gemv
+        // reads the live weight map), so the full-model caches hold
+        // different node sets.
+        let spatial: Vec<_> = model
+            .layers()
+            .iter()
+            .take_while(|l| l.class.supports_spatial())
+            .cloned()
+            .collect();
+        let mut f32_cache = PanelCache::new();
+        CompiledSegment::compile(
+            model.graph(),
+            &weights,
+            &spatial,
+            &PieceSpec::Full,
+            &mut f32_cache,
+        )
+        .unwrap();
+        let mut q_cache = PanelCache::new();
+        CompiledSegment::compile_with(
+            model.graph(),
+            &weights,
+            &spatial,
+            &PieceSpec::Full,
+            &mut q_cache,
+            CompileOptions::int8(),
+        )
+        .unwrap();
+        assert!(
+            q_cache.bytes() * 3 < f32_cache.bytes(),
+            "quantized conv panels {} not ~4x below f32 panels {}",
+            q_cache.bytes(),
+            f32_cache.bytes()
+        );
+    }
+
+    #[test]
+    fn wire_int8_partition_tracks_f32_within_bound() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 9).unwrap();
+        let exec = Executor::new(model.graph(), &weights);
+        let input = query(model.input_shape(), 7);
+        let spatial: Vec<_> = model
+            .layers()
+            .iter()
+            .take_while(|l| l.class.supports_spatial())
+            .cloned()
+            .collect();
+        let seg_layers = &spatial[..2];
+        let out_h = seg_layers.last().unwrap().out_shape.dims()[1];
+        let specs: Vec<PieceSpec> = (0..4)
+            .map(|p| PieceSpec::Rows(p * out_h / 4..(p + 1) * out_h / 4))
+            .collect();
+        let reference = {
+            let parts: Vec<Tensor> = (0..4)
+                .map(|p| {
+                    exec.run_segment_rows(seg_layers, &input, p * out_h / 4..(p + 1) * out_h / 4)
+                        .unwrap()
+                })
+                .collect();
+            Tensor::concat(&parts, 1).unwrap()
+        };
+
+        // Float weights over an int8 wire: the only error is the per-piece
+        // payload round trip, which is bounded by half a quantization step.
+        let opts = CompileOptions {
+            quantize_weights: false,
+            wire_int8: true,
+        };
+        let mut cache = PanelCache::new();
+        let mut part = CompiledPartition::compile_with(
+            model.graph(),
+            &weights,
+            seg_layers,
+            &specs,
+            1,
+            &mut cache,
+            opts,
+        )
+        .unwrap();
+        assert!(part.wire_int8());
+        let mut out = vec![0.0f32; part.out_shape().len()];
+        part.run_into(&weights, input.data(), &mut out).unwrap();
+        let max_ref = reference.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let step = max_ref / 127.0;
+        for (i, (x, y)) in out.iter().zip(reference.data().iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= step,
+                "wire roundtrip element {i}: {x} vs {y} (step {step})"
+            );
+        }
+
+        // A single-piece "partition" never crosses the wire: exact output.
+        let mut part = CompiledPartition::compile_with(
+            model.graph(),
+            &weights,
+            seg_layers,
+            &[PieceSpec::Full],
+            1,
+            &mut cache,
+            opts,
+        )
+        .unwrap();
+        assert!(!part.wire_int8());
+        let full_ref = exec.run_segment(seg_layers, &input).unwrap();
+        let mut out = vec![0.0f32; part.out_shape().len()];
+        part.run_into(&weights, input.data(), &mut out).unwrap();
+        assert_bits_eq(&out, full_ref.data(), "single-piece wire");
     }
 }

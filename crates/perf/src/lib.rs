@@ -35,6 +35,33 @@ use gillis_faas::PlatformProfile;
 /// Convenient result alias for fallible performance-model operations.
 pub type Result<T> = std::result::Result<T, PerfError>;
 
+/// On-wire encoding of tensor payloads between master and workers.
+///
+/// The planner prices transfers through [`PerfModel::wire_bytes`], so
+/// switching the deployment to the int8 wire shrinks every fork/join payload
+/// ~4× and lets the DP/RL/BO searches trade differently between compute
+/// splits and communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransferFormat {
+    /// Raw little-endian `f32` tensors (exact).
+    #[default]
+    F32,
+    /// Per-payload symmetric int8 quantization: one `i8` per element plus a
+    /// 4-byte `f32` scale header (see `gillis_tensor::quant`).
+    Int8,
+}
+
+impl TransferFormat {
+    /// Bytes on the wire for a raw `f32` payload of `raw_bytes`.
+    pub fn wire_bytes(self, raw_bytes: u64) -> u64 {
+        match self {
+            TransferFormat::F32 => raw_bytes,
+            // One i8 per f32 element, plus the f32 scale header.
+            TransferFormat::Int8 => raw_bytes.div_ceil(4) + 4,
+        }
+    }
+}
+
 /// The complete performance model for one platform.
 #[derive(Debug, Clone)]
 pub struct PerfModel {
@@ -45,6 +72,8 @@ pub struct PerfModel {
     /// The platform being modelled (used for billing constants and memory
     /// budgets, which are published, not profiled).
     pub platform: PlatformProfile,
+    /// Wire encoding of fork/join payloads (default: raw f32).
+    pub transfer_format: TransferFormat,
 }
 
 impl PerfModel {
@@ -56,6 +85,7 @@ impl PerfModel {
             layer: LayerRuntimeModel::profiled(platform, seed),
             comm: CommModel::profiled(platform, seed ^ 0x9e37_79b9_7f4a_7c15),
             platform: platform.clone(),
+            transfer_format: TransferFormat::default(),
         }
     }
 
@@ -67,7 +97,21 @@ impl PerfModel {
             layer: LayerRuntimeModel::analytic(platform),
             comm: CommModel::analytic(platform),
             platform: platform.clone(),
+            transfer_format: TransferFormat::default(),
         }
+    }
+
+    /// The same model with fork/join payloads priced under `format`.
+    pub fn with_transfer_format(mut self, format: TransferFormat) -> Self {
+        self.transfer_format = format;
+        self
+    }
+
+    /// Bytes a raw `f32` payload of `raw_bytes` occupies on the wire under
+    /// this model's [`TransferFormat`]. All transfer-size accounting in the
+    /// planners and the runtime sampler routes through here.
+    pub fn wire_bytes(&self, raw_bytes: u64) -> u64 {
+        self.transfer_format.wire_bytes(raw_bytes)
     }
 
     /// Predicted execution time of `flops` of work of `class` in one
@@ -120,6 +164,21 @@ mod tests {
         // Payload serialization dominates at high fan-out: at least linear
         // growth in total payload.
         assert!(f16 > 12.0 * (f1 - model.comm.jitter().mean()));
+    }
+
+    #[test]
+    fn int8_wire_shrinks_payloads_4x() {
+        let f32_model = PerfModel::analytic(&PlatformProfile::aws_lambda());
+        let int8_model = f32_model.clone().with_transfer_format(TransferFormat::Int8);
+        assert_eq!(f32_model.wire_bytes(1_000_000), 1_000_000);
+        assert_eq!(int8_model.wire_bytes(1_000_000), 250_004);
+        // Odd raw sizes round the element count up.
+        assert_eq!(int8_model.wire_bytes(7), 6);
+        // The smaller wire makes the same fork strictly cheaper.
+        assert!(
+            int8_model.fork_ms(int8_model.wire_bytes(1_000_000), 8)
+                < f32_model.fork_ms(f32_model.wire_bytes(1_000_000), 8)
+        );
     }
 
     #[test]

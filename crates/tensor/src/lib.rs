@@ -28,8 +28,10 @@
 pub mod error;
 pub mod gemm;
 pub mod ops;
+pub mod quant;
 pub mod scratch;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use error::TensorError;

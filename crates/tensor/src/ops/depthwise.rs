@@ -266,7 +266,9 @@ mod tests {
             let bias = Tensor::from_fn(Shape::new(vec![c]), |i| pseudo(i, seed ^ 0x77));
             let fast = depthwise_conv2d(&input, &weight, Some(&bias), &params).unwrap();
             let naive = depthwise_conv2d_naive(&input, &weight, Some(&bias), &params).unwrap();
-            prop_assert_eq!(fast.max_abs_diff(&naive).unwrap(), 0.0);
+            // Exact in scalar mode; FMA rounding bound under SIMD.
+            let tol = if crate::simd::simd_active() { 1e-3 } else { 0.0 };
+            prop_assert!(fast.max_abs_diff(&naive).unwrap() <= tol);
         }
     }
 

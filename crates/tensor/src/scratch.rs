@@ -35,9 +35,11 @@ pub enum Site {
     LstmGateHidden = 3,
     /// LSTM combined gate pre-activations.
     LstmPre = 4,
+    /// Micro-panel repack of a GEMM row chunk (SIMD mode only).
+    GemmPack = 5,
 }
 
-const N_SITES: usize = 5;
+const N_SITES: usize = 6;
 
 /// A per-thread set of reusable `f32` buffers, one slot per [`Site`].
 #[derive(Debug, Default)]

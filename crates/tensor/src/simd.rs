@@ -1,0 +1,300 @@
+//! Explicit-width SIMD micro-kernels behind the `simd` cargo feature.
+//!
+//! The scalar kernels in [`crate::gemm`] carry the repo's bit-identity
+//! contract; these AVX2/FMA variants trade that exactness for speed. Each
+//! SIMD kernel keeps the *structural* guarantees — every output element is
+//! owned by one thread and accumulated in ascending-`k` order over the same
+//! cache blocks — so results are still bit-identical across `GILLIS_THREADS`
+//! settings and across repeated runs. What changes is the rounding: fused
+//! multiply-add contracts `a*b + c` into one correctly-rounded operation,
+//! so SIMD outputs differ from the scalar kernels by normal f32 rounding
+//! (bounded by the relative-error proptests in `gemm.rs`).
+//!
+//! # Dispatch
+//!
+//! [`simd_active`] gates every call site. It is `false` unless all of:
+//!
+//! 1. the crate was built with `--features simd`,
+//! 2. the target is `x86_64` and the CPU reports AVX2 + FMA at runtime
+//!    (checked once, cached in a [`OnceLock`](std::sync::OnceLock)),
+//! 3. the `GILLIS_NO_SIMD` environment variable is unset.
+//!
+//! Anything else falls back to the scalar kernels transparently — same
+//! public API, same shapes, no caller changes. On non-x86_64 targets the
+//! feature compiles but stays scalar (NEON kernels are a documented gap:
+//! this reproduction's CI hosts are x86_64 only).
+//!
+//! The int8 dot-product kernel ([`dot_i8`]) is different: integer addition
+//! is associative, so its AVX2 and scalar paths are *exactly* equal and it
+//! needs no accuracy relaxation — only the f32 kernels do.
+
+/// Returns whether the SIMD kernels are compiled in, supported by the CPU,
+/// and not disabled via `GILLIS_NO_SIMD`. Cached after the first call.
+#[inline]
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        static ACTIVE: OnceLock<bool> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            std::env::var_os("GILLIS_NO_SIMD").is_none()
+                && is_x86_feature_detected!("avx2")
+                && is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Signed-int8 dot product `sum(a[i] as i32 * b[i] as i32)`.
+///
+/// Exact in both paths (integer accumulation); the AVX2 path widens 16
+/// lanes at a time through `madd_epi16`. The caller bounds `a.len()` so the
+/// i32 lane accumulators cannot overflow (see `quant::MAX_QUANT_K`).
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: simd_active() verified AVX2 support at runtime.
+        return unsafe { dot_i8_avx2(a, b) };
+    }
+    dot_i8_scalar(a, b)
+}
+
+#[inline]
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x as i32 * y as i32)
+        .sum()
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    use super::dot_i8_scalar;
+    use std::arch::x86_64::*;
+
+    /// AVX2 int8 dot product: sign-extend 16 bytes per operand to i16,
+    /// `madd` adjacent pairs into 8 i32 lanes, accumulate lanes, then a
+    /// horizontal add. Integer adds are associative, so this equals the
+    /// scalar loop bit-for-bit.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+        let len = a.len();
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 16 <= len {
+            let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i) as *const __m128i));
+            let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i) as *const __m128i));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+            i += 16;
+        }
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        let mut total: i32 = lanes.iter().sum();
+        total += dot_i8_scalar(&a[i..], &b[i..]);
+        total
+    }
+
+    /// FMA variant of the 4×8 packed micro-kernel (`gemm::packed_micro_4`):
+    /// the 8 register-tile columns map one-to-one onto AVX lanes, four
+    /// accumulator vectors sweep the `KC` block in ascending-`k` order.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn packed_micro_4_fma(
+        panel: &[f32],
+        kc: usize,
+        k0: usize,
+        n: usize,
+        nb: usize,
+        nend: usize,
+        b: &[f32],
+        c_rows: &mut [f32],
+    ) {
+        const NR: usize = 8;
+        let (c0, rest) = c_rows.split_at_mut(n);
+        let (c1, rest) = rest.split_at_mut(n);
+        let (c2, c3) = rest.split_at_mut(n);
+        let mut j = nb;
+        while j + NR <= nend {
+            let mut v0 = _mm256_loadu_ps(c0.as_ptr().add(j));
+            let mut v1 = _mm256_loadu_ps(c1.as_ptr().add(j));
+            let mut v2 = _mm256_loadu_ps(c2.as_ptr().add(j));
+            let mut v3 = _mm256_loadu_ps(c3.as_ptr().add(j));
+            for kk in 0..kc {
+                let ap = panel.as_ptr().add(kk * 4);
+                let vb = _mm256_loadu_ps(b.as_ptr().add((k0 + kk) * n + j));
+                v0 = _mm256_fmadd_ps(_mm256_set1_ps(*ap), vb, v0);
+                v1 = _mm256_fmadd_ps(_mm256_set1_ps(*ap.add(1)), vb, v1);
+                v2 = _mm256_fmadd_ps(_mm256_set1_ps(*ap.add(2)), vb, v2);
+                v3 = _mm256_fmadd_ps(_mm256_set1_ps(*ap.add(3)), vb, v3);
+            }
+            _mm256_storeu_ps(c0.as_mut_ptr().add(j), v0);
+            _mm256_storeu_ps(c1.as_mut_ptr().add(j), v1);
+            _mm256_storeu_ps(c2.as_mut_ptr().add(j), v2);
+            _mm256_storeu_ps(c3.as_mut_ptr().add(j), v3);
+            j += NR;
+        }
+        // Column tail: scalar mul+add, one element of each row per step.
+        while j < nend {
+            let mut a0 = c0[j];
+            let mut a1 = c1[j];
+            let mut a2 = c2[j];
+            let mut a3 = c3[j];
+            for kk in 0..kc {
+                let ap = &panel[kk * 4..kk * 4 + 4];
+                let bv = b[(k0 + kk) * n + j];
+                a0 += ap[0] * bv;
+                a1 += ap[1] * bv;
+                a2 += ap[2] * bv;
+                a3 += ap[3] * bv;
+            }
+            c0[j] = a0;
+            c1[j] = a1;
+            c2[j] = a2;
+            c3[j] = a3;
+            j += 1;
+        }
+    }
+
+    /// FMA variant of the remainder micro-kernel (`gemm::packed_micro_rem`,
+    /// fewer than 4 rows in a block). Uses the *same* per-element operation
+    /// history as `packed_micro_4_fma` — 8-wide FMA tiles from `nb` with a
+    /// scalar `mul+add` column tail — so an output element rounds
+    /// identically whether its row lands in a full or remainder block.
+    /// That keeps SIMD results bit-identical across thread counts and
+    /// across the packed/unpacked entry points.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn packed_micro_rem_fma(
+        panel: &[f32],
+        bh: usize,
+        kc: usize,
+        k0: usize,
+        n: usize,
+        nb: usize,
+        nend: usize,
+        b: &[f32],
+        c_rows: &mut [f32],
+    ) {
+        const NR: usize = 8;
+        for r in 0..bh {
+            let c_row = &mut c_rows[r * n..(r + 1) * n];
+            let mut j = nb;
+            while j + NR <= nend {
+                let mut vc = _mm256_loadu_ps(c_row.as_ptr().add(j));
+                for kk in 0..kc {
+                    let va = _mm256_set1_ps(panel[kk * bh + r]);
+                    let vb = _mm256_loadu_ps(b.as_ptr().add((k0 + kk) * n + j));
+                    vc = _mm256_fmadd_ps(va, vb, vc);
+                }
+                _mm256_storeu_ps(c_row.as_mut_ptr().add(j), vc);
+                j += NR;
+            }
+            while j < nend {
+                let mut acc = c_row[j];
+                for kk in 0..kc {
+                    acc += panel[kk * bh + r] * b[(k0 + kk) * n + j];
+                }
+                c_row[j] = acc;
+                j += 1;
+            }
+        }
+    }
+
+    /// FMA row dot for `gemv`: eight f32 lanes accumulate with FMA, then the
+    /// lanes fold in the same fixed tree order as the scalar kernel, plus a
+    /// scalar tail. Deterministic for a given length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn row_dot_fma(row: &[f32], x: &[f32]) -> f32 {
+        let n = row.len();
+        let mut vacc = _mm256_setzero_ps();
+        let mut j = 0;
+        while j + 8 <= n {
+            let vw = _mm256_loadu_ps(row.as_ptr().add(j));
+            let vx = _mm256_loadu_ps(x.as_ptr().add(j));
+            vacc = _mm256_fmadd_ps(vw, vx, vacc);
+            j += 8;
+        }
+        let mut acc = [0.0f32; 8];
+        _mm256_storeu_ps(acc.as_mut_ptr(), vacc);
+        let mut tail = 0.0f32;
+        while j < n {
+            tail += row[j] * x[j];
+            j += 1;
+        }
+        let folded =
+            ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+        folded + tail
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) use avx2::{packed_micro_4_fma, packed_micro_rem_fma, row_dot_fma};
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+use avx2::dot_i8_avx2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_i8_matches_scalar() {
+        let a: Vec<i8> = (0..100).map(|i| ((i * 37) % 255 - 127) as i8).collect();
+        let b: Vec<i8> = (0..100).map(|i| ((i * 91) % 255 - 127) as i8).collect();
+        assert_eq!(dot_i8(&a, &b), dot_i8_scalar(&a, &b));
+    }
+
+    #[test]
+    fn dot_i8_extremes() {
+        let a = vec![i8::MIN; 33];
+        let b = vec![i8::MIN; 33];
+        assert_eq!(dot_i8(&a, &b), 33 * 128 * 128);
+        let c = vec![i8::MAX; 33];
+        assert_eq!(dot_i8(&a, &c), 33 * -128 * 127);
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[test]
+    fn fma_kernels_close_to_scalar() {
+        if !simd_active() {
+            return;
+        }
+        let n = 37;
+        let row: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).cos()).collect();
+        let got = unsafe { row_dot_fma(&row, &x) };
+        let want: f32 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+        assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+    }
+
+    /// The remainder FMA kernel must reproduce the 4-row kernel's
+    /// per-element rounding exactly — that is what keeps SIMD outputs
+    /// independent of how thread chunking groups rows into blocks.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[test]
+    fn rem_kernel_matches_micro4_per_element() {
+        if !simd_active() {
+            return;
+        }
+        let (kc, n) = (13, 21);
+        let b: Vec<f32> = (0..kc * n).map(|i| (i as f32 * 0.37).sin()).collect();
+        // 4 rows through micro4...
+        let panel4: Vec<f32> = (0..kc * 4).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut c4 = vec![0.5f32; 4 * n];
+        unsafe { packed_micro_4_fma(&panel4, kc, 0, n, 0, n, &b, &mut c4) };
+        // ...and each row alone through the remainder kernel.
+        for r in 0..4 {
+            let panel1: Vec<f32> = (0..kc).map(|kk| panel4[kk * 4 + r]).collect();
+            let mut c1 = vec![0.5f32; n];
+            unsafe { packed_micro_rem_fma(&panel1, 1, kc, 0, n, 0, n, &b, &mut c1) };
+            for j in 0..n {
+                assert_eq!(c1[j].to_bits(), c4[r * n + j].to_bits(), "row {r} col {j}");
+            }
+        }
+    }
+}
