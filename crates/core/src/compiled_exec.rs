@@ -36,6 +36,11 @@ struct CompiledGroup {
     /// Join buffer the group's pieces are gathered (or directly written)
     /// into; doubles as the next group's input.
     out: Vec<f32>,
+    /// Widened join buffer for batched runs (`n × out.len()`, item-major).
+    /// Empty until the first batched run; capacity is monotone, so batches
+    /// up to the largest `n` seen (or declared via
+    /// [`CompiledPlanExec::reserve_batch`]) run allocation-free.
+    batch_out: Vec<f32>,
 }
 
 /// A whole execution plan compiled for repeated inference.
@@ -127,7 +132,11 @@ impl CompiledPlanExec {
             }
             prev_len = partition.out_shape().len();
             let out = vec![0.0f32; prev_len];
-            groups.push(CompiledGroup { partition, out });
+            groups.push(CompiledGroup {
+                partition,
+                out,
+                batch_out: Vec::new(),
+            });
         }
         Ok(CompiledPlanExec {
             groups,
@@ -192,6 +201,79 @@ impl CompiledPlanExec {
         }
         let last = &self.groups[n - 1];
         Ok((&last.out, last.partition.out_shape()))
+    }
+
+    /// Pre-grows every widened buffer in the chain for batches up to `n`,
+    /// so batched runs within the declared range allocate nothing when warm.
+    pub fn reserve_batch(&mut self, n: usize) {
+        for g in &mut self.groups {
+            g.partition.reserve_batch(n);
+            let need = n * g.out.len();
+            if g.batch_out.capacity() < need {
+                g.batch_out.reserve(need - g.batch_out.len());
+            }
+        }
+    }
+
+    /// Runs a batch of `n` item-major queries (`n × in_len` contiguous),
+    /// returning a borrow of the widened final join buffer (`n × out_len`,
+    /// item-major) and the per-item shape. Uses the ambient thread width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates piece-execution errors (stale weights).
+    pub fn run_batch_raw(
+        &mut self,
+        weights: &ModelWeights,
+        inputs: &[f32],
+        n: usize,
+    ) -> Result<(&[f32], &Shape)> {
+        self.run_batch_raw_with_threads(weights, inputs, n, gillis_pool::gillis_threads())
+    }
+
+    /// [`CompiledPlanExec::run_batch_raw`] with an explicit thread count.
+    ///
+    /// Per-item outputs are bit-identical to `n` separate
+    /// [`CompiledPlanExec::run_raw_with_threads`] calls at any thread count:
+    /// every group dispatches its batch through the widened-B kernels whose
+    /// bit-identity is proptest-enforced in `gillis-tensor`, and the int8
+    /// wire round trip is applied per `(piece, item)` payload. `n == 1`
+    /// delegates to [`CompiledPlanExec::run_raw_with_threads`] — the batch-1
+    /// fast path runs byte-for-byte the pre-batching code and touches no
+    /// widened buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates piece-execution errors (stale weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n * in_len` or `n == 0`.
+    pub fn run_batch_raw_with_threads(
+        &mut self,
+        weights: &ModelWeights,
+        inputs: &[f32],
+        n: usize,
+        threads: usize,
+    ) -> Result<(&[f32], &Shape)> {
+        assert!(n > 0, "batch must be non-empty");
+        assert_eq!(inputs.len(), n * self.in_len, "compiled plan batch length");
+        if n == 1 {
+            return self.run_raw_with_threads(weights, inputs, threads);
+        }
+        let n_groups = self.groups.len();
+        for i in 0..n_groups {
+            let (done, rest) = self.groups.split_at_mut(i);
+            let cur: &[f32] = if i == 0 {
+                inputs
+            } else {
+                &done[i - 1].batch_out
+            };
+            let g = &mut rest[0];
+            run_group_batched(g, weights, cur, n, threads)?;
+        }
+        let last = &self.groups[n_groups - 1];
+        Ok((&last.batch_out, last.partition.out_shape()))
     }
 
     /// Runs one query and materializes the output as an owned [`Tensor`].
@@ -285,6 +367,58 @@ fn run_group(
     match errs.into_iter().flatten().next() {
         Some(e) => Err(e.into()),
         None => Ok(()),
+    }
+}
+
+/// Runs one compiled group over a batch of `n` item-major activations into
+/// its widened join buffer.
+///
+/// Sequential dispatch delegates to [`CompiledPartition::run_batch_into`].
+/// With `threads > 1` and multiple pieces, each piece runs its whole batch
+/// on one pool worker (piece outputs interleave per item in the join buffer,
+/// so pieces cannot write disjoint `&mut` slices of it as the per-query path
+/// does); the gather afterwards copies in [`Tensor::concat`] order per item.
+/// Both dispatches produce bit-identical buffers — the int8 wire round trip
+/// commutes with the gather copy because it depends only on the slice values.
+fn run_group_batched(
+    g: &mut CompiledGroup,
+    weights: &ModelWeights,
+    inputs: &[f32],
+    n: usize,
+    threads: usize,
+) -> Result<()> {
+    g.batch_out.clear();
+    g.batch_out.resize(n * g.out.len(), 0.0);
+    let n_pieces = g.partition.pieces_mut().len();
+    if threads <= 1 || n_pieces <= 1 {
+        g.partition
+            .run_batch_into(weights, inputs, n, &mut g.batch_out)?;
+        return Ok(());
+    }
+    let wire_int8 = g.partition.wire_int8();
+    let mut errs: Vec<Option<gillis_model::ModelError>> = (0..n_pieces).map(|_| None).collect();
+    let tasks: Vec<gillis_pool::Task> = g
+        .partition
+        .pieces_mut()
+        .iter_mut()
+        .zip(errs.iter_mut())
+        .map(|(piece, err)| {
+            Box::new(
+                move || match piece.run_batch(weights, inputs, n).map(|_| ()) {
+                    Err(e) => *err = Some(e),
+                    Ok(()) if wire_int8 => piece.wire_roundtrip_batch_output(),
+                    Ok(()) => {}
+                },
+            ) as gillis_pool::Task
+        })
+        .collect();
+    gillis_pool::Pool::global().join_all(tasks);
+    match errs.into_iter().flatten().next() {
+        Some(e) => Err(e.into()),
+        None => {
+            g.partition.gather_batch(n, &mut g.batch_out);
+            Ok(())
+        }
     }
 }
 
@@ -492,6 +626,113 @@ mod tests {
             reference.data(),
             "int8 wire round trip should perturb the payload"
         );
+    }
+
+    #[test]
+    fn batched_plan_is_bit_identical_to_sequential_across_threads() {
+        // The tentpole determinism property one level up from the kernels:
+        // a batched pass over a multi-group plan (spatial split + single
+        // tail) equals N per-query passes to the bit, for f32 and int8-wire
+        // deployments, at every thread count the repo tests.
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 7).unwrap();
+        let n_layers = model.layers().len();
+        let spatial_end = model
+            .layers()
+            .iter()
+            .take_while(|l| l.class.supports_spatial())
+            .count();
+        let plan = ExecutionPlan::new(vec![
+            PlannedGroup {
+                start: 0,
+                end: spatial_end,
+                option: PartitionOption::Split {
+                    dim: PartDim::Height,
+                    parts: 4,
+                },
+                placement: Placement::Workers,
+            },
+            PlannedGroup {
+                start: spatial_end,
+                end: n_layers,
+                option: PartitionOption::Single,
+                placement: Placement::Master,
+            },
+        ]);
+        plan.validate(&model, u64::MAX).unwrap();
+        let in_len = model.input_shape().len();
+        for opts in [CompileOptions::default(), CompileOptions::int8()] {
+            let mut compiled =
+                CompiledPlanExec::compile_with(&model, &plan, &weights, opts).unwrap();
+            compiled.reserve_batch(8);
+            for n in [2usize, 3, 8] {
+                let queries: Vec<Tensor> = (0..n)
+                    .map(|i| query(model.input_shape(), 90 + i as u64))
+                    .collect();
+                let mut inputs = vec![0.0f32; n * in_len];
+                for (q, dst) in queries.iter().zip(inputs.chunks_mut(in_len)) {
+                    dst.copy_from_slice(q.data());
+                }
+                let seq: Vec<Vec<f32>> = queries
+                    .iter()
+                    .map(|q| {
+                        compiled
+                            .run_raw_with_threads(&weights, q.data(), 1)
+                            .unwrap()
+                            .0
+                            .to_vec()
+                    })
+                    .collect();
+                for threads in [1usize, 2, 8] {
+                    let (got, _) = compiled
+                        .run_batch_raw_with_threads(&weights, &inputs, n, threads)
+                        .unwrap();
+                    let out_len = got.len() / n;
+                    for (i, want) in seq.iter().enumerate() {
+                        for (j, (x, y)) in want
+                            .iter()
+                            .zip(got[i * out_len..(i + 1) * out_len].iter())
+                            .enumerate()
+                        {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "n={n} threads={threads} item={i} element {j}: {x} vs {y}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_one_delegates_to_per_query_storage() {
+        // The batch-1 fast path: a single-item batch must run byte-for-byte
+        // the pre-batching code path — same output storage, no widened
+        // buffers touched.
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 5).unwrap();
+        let plan = ExecutionPlan::single_function(&model);
+        let mut compiled = CompiledPlanExec::compile(&model, &plan, &weights).unwrap();
+        let a = query(model.input_shape(), 1);
+        let ptr_seq = compiled
+            .run_raw_with_threads(&weights, a.data(), 1)
+            .unwrap()
+            .0
+            .as_ptr();
+        let ptr_batch1 = compiled
+            .run_batch_raw_with_threads(&weights, a.data(), 1, 1)
+            .unwrap()
+            .0
+            .as_ptr();
+        assert_eq!(ptr_seq, ptr_batch1, "batch-1 writes the per-query buffer");
+        for g in &compiled.groups {
+            assert!(
+                g.batch_out.is_empty(),
+                "batch-1 must not touch widened join buffers"
+            );
+        }
     }
 
     #[test]

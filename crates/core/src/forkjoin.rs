@@ -31,6 +31,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use gillis_faas::batch::{BatchCounters, BatchPolicy};
 use gillis_faas::billing::BillingMeter;
 use gillis_faas::chaos::{
     ChaosConfig, Fault, FaultInjector, FaultSite, QueryStatus, ResilienceCounters, ResiliencePolicy,
@@ -95,6 +96,10 @@ pub struct ServingReport {
     /// Overload accounting: admissions, sheds, cancelled attempts, queue
     /// depth, breaker transitions. All zero without an [`OverloadPolicy`].
     pub overload: OverloadCounters,
+    /// Batch-formation accounting: batches dispatched, batched queries,
+    /// batch-1 fast-path hits, close reasons. All zero outside
+    /// [`ForkJoinRuntime::serve_open_loop_batched`].
+    pub batch: BatchCounters,
 }
 
 /// Latency distribution plus resilience accounting over a batch of
@@ -105,6 +110,183 @@ pub struct SimulationReport {
     pub latency: LatencyStats,
     /// Accumulated resilience counters, including per-status query tallies.
     pub resilience: ResilienceCounters,
+}
+
+/// The batch configuration chosen for one SLO class by
+/// [`plan_batch_schedule`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSchedule {
+    /// Target batch size `n*`: the accumulation window closes early once
+    /// this many queries are waiting.
+    pub batch: usize,
+    /// Accumulation window measured from the first member's arrival, in
+    /// milliseconds (zero when `batch == 1`).
+    pub window_ms: f64,
+    /// Predicted warm latency of a full `batch`-sized dispatch, in
+    /// milliseconds.
+    pub predicted_ms: f64,
+    /// Predicted billed cost per query at the target batch size.
+    pub usd_per_query: f64,
+}
+
+/// A joint batch-size × memory-size configuration: the cheapest instance
+/// memory that fits the plan and meets every class deadline, with each
+/// class's cost-optimal batch size and deadline-derived window at that
+/// memory. Produced by [`plan_batch_schedule`], consumed by
+/// [`ForkJoinRuntime::serve_open_loop_batched`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSchedule {
+    /// Chosen per-instance memory in bytes. The serving runtime must be
+    /// built on `platform.with_memory_bytes(memory_bytes)`.
+    pub memory_bytes: u64,
+    /// Per-class configurations, index-aligned with
+    /// [`BatchPolicy::classes`].
+    pub classes: Vec<ClassSchedule>,
+}
+
+/// Jointly configures batch size and instance memory against the
+/// performance model (the HarmonyBatch insight: batch size and memory
+/// trade off against each other, so picking them separately leaves money
+/// on the table).
+///
+/// For every candidate memory in [`BatchPolicy::memory_mb`] (the current
+/// platform memory when empty) that still fits the plan's weights, and for
+/// every class, the configurator scans `n = 1..=max_batch` and keeps the
+/// `n` with the lowest predicted cost per query among those that are
+/// *deadline-feasible*: the window
+/// `min(max_window_ms, deadline − margin − t_batch(n))` must be positive
+/// and no shorter than the expected fill time `(n−1)/λ_c` of the class at
+/// its share of `rate_per_sec` (otherwise windows close before filling and
+/// the predicted amortization never materializes). The memory with the
+/// lowest expected spend rate `Σ_c λ_c · usd_c` wins.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for invalid policies or a
+/// non-positive rate, and an error when no candidate memory both fits the
+/// plan and meets every class deadline at batch 1.
+pub fn plan_batch_schedule(
+    model: &LinearModel,
+    plan: &ExecutionPlan,
+    platform: &PlatformProfile,
+    format: TransferFormat,
+    policy: &BatchPolicy,
+    rate_per_sec: f64,
+) -> Result<BatchSchedule> {
+    policy.validate().map_err(CoreError::from)?;
+    if !(rate_per_sec.is_finite() && rate_per_sec > 0.0) {
+        return Err(CoreError::InvalidArgument(format!(
+            "arrival rate must be positive and finite, got {rate_per_sec}"
+        )));
+    }
+    let candidates: Vec<u64> = if policy.memory_mb.is_empty() {
+        vec![platform.instance_memory_bytes]
+    } else {
+        policy.memory_mb.iter().map(|&mb| mb * 1_000_000).collect()
+    };
+    let total_weight = policy.total_weight();
+    let mut best: Option<(f64, BatchSchedule)> = None;
+    for &memory_bytes in &candidates {
+        let scaled_platform = platform.with_memory_bytes(memory_bytes);
+        if plan
+            .validate(model, scaled_platform.model_memory_budget)
+            .is_err()
+        {
+            // The plan's weights no longer fit this memory size.
+            continue;
+        }
+        let perf = gillis_perf::PerfModel::analytic(&scaled_platform).with_transfer_format(format);
+        // Batched predictions are class-independent; compute once per size.
+        let preds: Vec<crate::predict::PlanPrediction> = (1..=policy.max_batch)
+            .map(|n| {
+                crate::predict::predict_plan_batched(
+                    model,
+                    plan,
+                    &perf,
+                    n,
+                    policy.amortized_fraction,
+                )
+            })
+            .collect::<Result<_>>()?;
+        let mut classes = Vec::with_capacity(policy.classes.len());
+        let mut spend_rate = 0.0;
+        let mut feasible = true;
+        for class in &policy.classes {
+            let lambda = rate_per_sec * class.weight / total_weight;
+            let mut chosen: Option<ClassSchedule> = None;
+            for (i, pred) in preds.iter().enumerate() {
+                let n = i + 1;
+                let slack_ms = if class.deadline_ms.is_finite() {
+                    class.deadline_ms - policy.window_margin_ms - pred.latency_ms
+                } else {
+                    f64::INFINITY
+                };
+                if slack_ms <= 0.0 {
+                    // Even an empty window would push the first member
+                    // past its shed threshold.
+                    continue;
+                }
+                let window_ms = if n == 1 {
+                    0.0
+                } else {
+                    let w = policy.max_window_ms.min(slack_ms);
+                    // Expected time for n arrivals of this class to show
+                    // up; a window shorter than that closes underfilled
+                    // and the amortization never materializes.
+                    let fill_ms = (n as f64 - 1.0) / lambda * 1000.0;
+                    if fill_ms > w {
+                        continue;
+                    }
+                    w
+                };
+                let usd_per_query = pred.usd / n as f64;
+                let better = match &chosen {
+                    None => true,
+                    Some(c) => usd_per_query < c.usd_per_query,
+                };
+                if better {
+                    chosen = Some(ClassSchedule {
+                        batch: n,
+                        window_ms,
+                        predicted_ms: pred.latency_ms,
+                        usd_per_query,
+                    });
+                }
+            }
+            match chosen {
+                Some(c) => {
+                    spend_rate += lambda * c.usd_per_query;
+                    classes.push(c);
+                }
+                None => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if !feasible {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some((rate, _)) => spend_rate < *rate,
+        };
+        if better {
+            best = Some((
+                spend_rate,
+                BatchSchedule {
+                    memory_bytes,
+                    classes,
+                },
+            ));
+        }
+    }
+    best.map(|(_, s)| s).ok_or_else(|| {
+        CoreError::InvalidArgument(
+            "no candidate memory size both fits the plan and meets every class deadline"
+                .to_string(),
+        )
+    })
 }
 
 /// One worker-lane execution as observed by the master: sampled noise plus
@@ -182,24 +364,7 @@ impl<'a> ForkJoinRuntime<'a> {
         } else {
             None
         };
-        let jitter_p95 = platform.invoke_latency_ms.upper_quantile(0.95);
-        let noise_p95 = 1.0 + 1.645 * platform.compute_noise_rel_std;
-        let attempt_p95_ms = analyses
-            .iter()
-            .map(|a| {
-                a.partitions
-                    .iter()
-                    .map(|p| {
-                        let mean: f64 = p
-                            .flops
-                            .iter()
-                            .map(|&(class, flops)| platform.compute_ms(flops, class))
-                            .sum();
-                        mean * noise_p95 + jitter_p95
-                    })
-                    .collect()
-            })
-            .collect();
+        let attempt_p95_ms = attempt_p95_for(&platform, &analyses);
         Ok(ForkJoinRuntime {
             model,
             plan,
@@ -757,6 +922,7 @@ impl<'a> ForkJoinRuntime<'a> {
             cold_starts,
             resilience,
             overload,
+            batch: BatchCounters::default(),
         })
     }
 
@@ -842,6 +1008,7 @@ impl<'a> ForkJoinRuntime<'a> {
                 cold_starts,
                 resilience,
                 overload,
+                batch: BatchCounters::default(),
             });
         };
 
@@ -911,7 +1078,335 @@ impl<'a> ForkJoinRuntime<'a> {
             cold_starts,
             resilience,
             overload,
+            batch: BatchCounters::default(),
         })
+    }
+
+    /// Serves an open-loop Poisson stream with adaptive multi-SLO batching:
+    /// arrivals are assigned an SLO class (a pure hash of `(seed, query)`
+    /// weighted by the class shares), accumulate per class up to the
+    /// schedule's deadline-derived window, and dispatch as one batched
+    /// master execution that shares a single fork-join invocation wave.
+    ///
+    /// Batch formation is a pure function of the virtual arrival times and
+    /// `seed`: windows close lazily at the next arrival (nothing else
+    /// advances virtual time), classes flush in `(close time, class index)`
+    /// order, and no decision consults the thread pool — reports are
+    /// bit-identical for any `GILLIS_THREADS`.
+    ///
+    /// The overload machinery composes: when the runtime carries an
+    /// [`OverloadPolicy`] its concurrency bounds the master servers, its
+    /// queue depth bounds the total members waiting in windows, and its
+    /// breaker bank routes around sick lanes. Independent of that policy, a
+    /// query whose class deadline is finite is shed on arrival when the
+    /// predicted batch completion (window close, server wait, and the
+    /// schedule's predicted batched latency) already misses its deadline —
+    /// a query is never batched past its shed threshold. Each batch carries
+    /// the *first* member's deadline (the earliest) into the fork-join
+    /// cancellation machinery.
+    ///
+    /// A window that closes with a single member takes the batch-1 fast
+    /// path: the unscaled per-query work profile, counted in
+    /// [`BatchCounters::batch_one_fast_path`].
+    ///
+    /// The runtime must be built on the platform the schedule was planned
+    /// for (`platform.with_memory_bytes(schedule.memory_bytes)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates deployment and fleet errors; rejects invalid policies,
+    /// mismatched schedules, and non-positive rates.
+    pub fn serve_open_loop_batched(
+        &self,
+        policy: &BatchPolicy,
+        schedule: &BatchSchedule,
+        rate_per_sec: f64,
+        queries: usize,
+        prewarm_clients: usize,
+        seed: u64,
+    ) -> Result<ServingReport> {
+        policy.validate().map_err(CoreError::from)?;
+        if schedule.classes.len() != policy.classes.len() {
+            return Err(CoreError::InvalidArgument(format!(
+                "schedule has {} classes but the policy has {}",
+                schedule.classes.len(),
+                policy.classes.len()
+            )));
+        }
+        if schedule.memory_bytes != self.platform.instance_memory_bytes {
+            return Err(CoreError::InvalidArgument(format!(
+                "schedule was planned for {} B instances but the runtime platform has {} B; \
+                 build the runtime on platform.with_memory_bytes(schedule.memory_bytes)",
+                schedule.memory_bytes, self.platform.instance_memory_bytes
+            )));
+        }
+        let arrivals = gillis_faas::workload::PoissonArrivals::new(rate_per_sec)?;
+        let mut fleet = Fleet::new(self.platform.clone());
+        self.deploy(&mut fleet)?;
+        let (max_concurrency, queue_depth) = match &self.overload {
+            Some(ov) => (ov.policy.max_concurrency, ov.policy.queue_depth),
+            None => (prewarm_clients.max(1), usize::MAX),
+        };
+        self.prewarm(&mut fleet, prewarm_clients.max(max_concurrency))?;
+        // Batch-scaled work profiles for every dispatchable size (index
+        // `n - 2`); size 1 reuses the per-query analyses directly.
+        let max_n = schedule.classes.iter().map(|c| c.batch).max().unwrap_or(1);
+        let profiles: Vec<(Vec<GroupAnalysis>, Vec<Vec<f64>>)> = (2..=max_n)
+            .map(|n| {
+                let scaled: Vec<GroupAnalysis> = self
+                    .analyses
+                    .iter()
+                    .map(|a| {
+                        crate::predict::scale_analysis_for_batch(a, n, policy.amortized_fraction)
+                    })
+                    .collect();
+                let p95 = attempt_p95_for(&self.platform, &scaled);
+                (scaled, p95)
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut billing = BillingMeter::new(
+            self.platform.billing_granularity_ms,
+            self.platform.price_per_gb_s,
+            self.platform.price_per_invocation,
+        );
+        let mut latency = LatencyStats::new();
+        let mut by_status = StatusLatency::new();
+        let mut resilience = ResilienceCounters::default();
+        let mut overload = OverloadCounters::default();
+        let mut batch = BatchCounters::default();
+        let mut breakers = self
+            .overload
+            .as_ref()
+            .and_then(|ov| self.breaker_bank(&ov.policy));
+        let mut server_free: BinaryHeap<Reverse<Micros>> = (0..max_concurrency)
+            .map(|_| Reverse(Micros::ZERO))
+            .collect();
+        // Per-class accumulation windows.
+        let mut pending: Vec<(Vec<(Micros, u64)>, Micros)> = policy
+            .classes
+            .iter()
+            .map(|_| (Vec::new(), Micros::ZERO))
+            .collect();
+        // The earliest non-empty window by (close time, class index), or
+        // `None` — batches flush in this deterministic order.
+        fn due(pending: &[(Vec<(Micros, u64)>, Micros)]) -> Option<usize> {
+            pending
+                .iter()
+                .enumerate()
+                .filter(|(_, (members, _))| !members.is_empty())
+                .min_by_key(|&(ci, &(_, close_at))| (close_at, ci))
+                .map(|(ci, _)| ci)
+        }
+        // Start times of dispatched members that have not begun service
+        // yet — the batching analogue of serve_open_loop's admission queue.
+        // Monotone, so entries with `start > now` are exactly the queue.
+        let mut admitted_starts: VecDeque<Micros> = VecDeque::new();
+        let mut now = Micros::ZERO;
+        for q in 0..queries {
+            now += arrivals.next_gap(&mut rng);
+            // Close every window that expired before this arrival. Nothing
+            // else advances virtual time, so lazy closing is exact.
+            while let Some(ci) = due(&pending).filter(|&ci| pending[ci].1 <= now) {
+                let members = std::mem::take(&mut pending[ci].0);
+                let n = members.len();
+                let close_at = pending[ci].1;
+                let start = self.dispatch_batch(
+                    policy,
+                    &profiles,
+                    ci,
+                    members,
+                    close_at,
+                    false,
+                    &mut fleet,
+                    &mut billing,
+                    &mut rng,
+                    &mut server_free,
+                    breakers.as_deref_mut(),
+                    &mut latency,
+                    &mut by_status,
+                    &mut resilience,
+                    &mut overload,
+                    &mut batch,
+                )?;
+                admitted_starts.extend(std::iter::repeat_n(start, n));
+            }
+            while admitted_starts.front().is_some_and(|&s| s <= now) {
+                admitted_starts.pop_front();
+            }
+            let ci = policy.class_of(seed, q as u64);
+            let class = &policy.classes[ci];
+            let cs = &schedule.classes[ci];
+            // Shed decisions are pure functions of window and queue state —
+            // no RNG is consumed, so the admitted queries' draws do not
+            // depend on how many arrivals were shed before them.
+            let waiting: usize =
+                pending.iter().map(|(m, _)| m.len()).sum::<usize>() + admitted_starts.len();
+            if waiting >= queue_depth {
+                overload.shed_queue_full += 1;
+                resilience.record_status(QueryStatus::Shed);
+                continue;
+            }
+            if class.deadline_ms.is_finite() {
+                // Never batch a query past its shed threshold: if the
+                // predicted completion of the batch it would join already
+                // misses its deadline, shed now instead of queueing doomed
+                // work.
+                let est_close = if pending[ci].0.is_empty() {
+                    now + Micros::from_ms(cs.window_ms)
+                } else {
+                    pending[ci].1
+                };
+                let min_free = server_free.peek().expect("max_concurrency >= 1").0;
+                let est_done = est_close.max(min_free) + Micros::from_ms(cs.predicted_ms);
+                if est_done > now + Micros::from_ms(class.deadline_ms) {
+                    overload.shed_predicted_miss += 1;
+                    resilience.record_status(QueryStatus::Shed);
+                    continue;
+                }
+            }
+            overload.admitted += 1;
+            if pending[ci].0.is_empty() {
+                pending[ci].1 = now + Micros::from_ms(cs.window_ms);
+            }
+            pending[ci].0.push((now, q as u64));
+            if pending[ci].0.len() >= cs.batch {
+                let members = std::mem::take(&mut pending[ci].0);
+                let n = members.len();
+                let start = self.dispatch_batch(
+                    policy,
+                    &profiles,
+                    ci,
+                    members,
+                    now,
+                    true,
+                    &mut fleet,
+                    &mut billing,
+                    &mut rng,
+                    &mut server_free,
+                    breakers.as_deref_mut(),
+                    &mut latency,
+                    &mut by_status,
+                    &mut resilience,
+                    &mut overload,
+                    &mut batch,
+                )?;
+                admitted_starts.extend(std::iter::repeat_n(start, n));
+            }
+            // Queries waiting after any flush — in open windows or
+            // dispatched but not yet started — are the queue depth.
+            while admitted_starts.front().is_some_and(|&s| s <= now) {
+                admitted_starts.pop_front();
+            }
+            let depth: usize =
+                pending.iter().map(|(m, _)| m.len()).sum::<usize>() + admitted_starts.len();
+            overload.peak_queue_depth = overload.peak_queue_depth.max(depth as u64);
+        }
+        // Drain remaining windows at their scheduled close times.
+        while let Some(ci) = due(&pending) {
+            let members = std::mem::take(&mut pending[ci].0);
+            let close_at = pending[ci].1;
+            self.dispatch_batch(
+                policy,
+                &profiles,
+                ci,
+                members,
+                close_at,
+                false,
+                &mut fleet,
+                &mut billing,
+                &mut rng,
+                &mut server_free,
+                breakers.as_deref_mut(),
+                &mut latency,
+                &mut by_status,
+                &mut resilience,
+                &mut overload,
+                &mut batch,
+            )?;
+        }
+        let cold_starts = self.count_cold_starts(&fleet)?;
+        Ok(ServingReport {
+            latency,
+            by_status,
+            billing,
+            cold_starts,
+            resilience,
+            overload,
+            batch,
+        })
+    }
+
+    /// Dispatches one formed batch as a single master execution: picks the
+    /// batch-1 fast path or the `n`-scaled work profile, runs it through
+    /// the shared fork-join machinery (breakers, deadline cancellation),
+    /// and records every member's latency from its own arrival.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_batch(
+        &self,
+        policy: &BatchPolicy,
+        profiles: &[(Vec<GroupAnalysis>, Vec<Vec<f64>>)],
+        class_idx: usize,
+        members: Vec<(Micros, u64)>,
+        close_at: Micros,
+        size_close: bool,
+        fleet: &mut Fleet,
+        billing: &mut BillingMeter,
+        rng: &mut StdRng,
+        server_free: &mut BinaryHeap<Reverse<Micros>>,
+        breakers: Option<&mut [Vec<CircuitBreaker>]>,
+        latency: &mut LatencyStats,
+        by_status: &mut StatusLatency,
+        resilience: &mut ResilienceCounters,
+        overload: &mut OverloadCounters,
+        batch: &mut BatchCounters,
+    ) -> Result<Micros> {
+        let n = members.len();
+        debug_assert!(n > 0, "a batch has at least one member");
+        batch.batches += 1;
+        batch.largest_batch = batch.largest_batch.max(n as u64);
+        if size_close {
+            batch.size_closes += 1;
+        } else {
+            batch.window_closes += 1;
+        }
+        let (analyses, p95): (&[GroupAnalysis], &[Vec<f64>]) = if n == 1 {
+            // Batch-1 fast path: the per-query profile, no widened work.
+            batch.batch_one_fast_path += 1;
+            (&self.analyses, &self.attempt_p95_ms)
+        } else {
+            batch.batched_queries += n as u64;
+            let (a, p) = &profiles[n - 2];
+            (a.as_slice(), p.as_slice())
+        };
+        // The batch carries the earliest member's deadline into the
+        // fork-join cancellation machinery; its first member's index keys
+        // fault sampling.
+        let (first_arrival, first_q) = members[0];
+        let class = &policy.classes[class_idx];
+        let deadline = class
+            .deadline_ms
+            .is_finite()
+            .then(|| first_arrival + Micros::from_ms(class.deadline_ms));
+        let min_free = server_free.pop().expect("max_concurrency >= 1").0;
+        let start = close_at.max(min_free);
+        let (done, status) = self.run_query_with(
+            analyses, p95, fleet, billing, start, rng, first_q, deadline, breakers, overload,
+            resilience,
+        )?;
+        server_free.push(Reverse(done));
+        // Every member shares the batch's terminal status; latency is
+        // measured from each member's own arrival, so window wait counts.
+        for (i, &(arrival, _)) in members.iter().enumerate() {
+            let ms = (done - arrival).as_ms();
+            latency.record(ms);
+            by_status.record(status, ms);
+            if i > 0 {
+                // `run_query_with` recorded the first member's status.
+                resilience.record_status(status);
+            }
+        }
+        Ok(start)
     }
 
     fn count_cold_starts(&self, fleet: &Fleet) -> Result<u64> {
@@ -1015,6 +1510,40 @@ impl<'a> ForkJoinRuntime<'a> {
         rng: &mut StdRng,
         query: u64,
         deadline: Option<Micros>,
+        breakers: Option<&mut [Vec<CircuitBreaker>]>,
+        overload: &mut OverloadCounters,
+        counters: &mut ResilienceCounters,
+    ) -> Result<(Micros, QueryStatus)> {
+        self.run_query_with(
+            &self.analyses,
+            &self.attempt_p95_ms,
+            fleet,
+            billing,
+            start,
+            rng,
+            query,
+            deadline,
+            breakers,
+            overload,
+            counters,
+        )
+    }
+
+    /// [`Self::run_query_on_fleet`] over an explicit work profile: batched
+    /// serving substitutes batch-scaled analyses (and their per-attempt p95s)
+    /// while keeping the plan structure — the same groups, partitions,
+    /// breaker lanes, and deadline machinery.
+    #[allow(clippy::too_many_arguments)]
+    fn run_query_with(
+        &self,
+        analyses: &[GroupAnalysis],
+        attempt_p95_ms: &[Vec<f64>],
+        fleet: &mut Fleet,
+        billing: &mut BillingMeter,
+        start: Micros,
+        rng: &mut StdRng,
+        query: u64,
+        deadline: Option<Micros>,
         mut breakers: Option<&mut [Vec<CircuitBreaker>]>,
         overload: &mut OverloadCounters,
         counters: &mut ResilienceCounters,
@@ -1025,13 +1554,7 @@ impl<'a> ForkJoinRuntime<'a> {
         let mut now = master.ready_at;
         let master_began = now;
         let mut status = QueryStatus::Ok;
-        'groups: for (gi, (g, a)) in self
-            .plan
-            .groups()
-            .iter()
-            .zip(self.analyses.iter())
-            .enumerate()
-        {
+        'groups: for (gi, (g, a)) in self.plan.groups().iter().zip(analyses.iter()).enumerate() {
             // Cooperative cancellation checkpoint at every group boundary:
             // an expired deadline cancels all remaining work.
             if let Some(d) = deadline {
@@ -1102,7 +1625,7 @@ impl<'a> ForkJoinRuntime<'a> {
                             }
                         }
                         let fname = format!("g{gi}p{part_idx}");
-                        let p95 = self.attempt_p95_ms[gi][part_idx];
+                        let p95 = attempt_p95_ms[gi][part_idx];
                         let timeout_ms = self.policy.attempt_timeout_factor * p95;
                         let transfer = self
                             .platform
@@ -1322,6 +1845,31 @@ impl<'a> ForkJoinRuntime<'a> {
         counters.record_status(status);
         Ok((now, status))
     }
+}
+
+/// Predicted p95 of one attempt per `[group][partition]` under `platform`:
+/// mean compute at the 95th noise percentile plus the invocation-jitter p95.
+/// Shared between [`ForkJoinRuntime::new`] and the batch-scaled work
+/// profiles of [`ForkJoinRuntime::serve_open_loop_batched`].
+fn attempt_p95_for(platform: &PlatformProfile, analyses: &[GroupAnalysis]) -> Vec<Vec<f64>> {
+    let jitter_p95 = platform.invoke_latency_ms.upper_quantile(0.95);
+    let noise_p95 = 1.0 + 1.645 * platform.compute_noise_rel_std;
+    analyses
+        .iter()
+        .map(|a| {
+            a.partitions
+                .iter()
+                .map(|p| {
+                    let mean: f64 = p
+                        .flops
+                        .iter()
+                        .map(|&(class, flops)| platform.compute_ms(flops, class))
+                        .sum();
+                    mean * noise_p95 + jitter_p95
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Derives the RNG seed for Monte-Carlo replication `index` of a run keyed
@@ -2385,5 +2933,314 @@ mod tests {
                 }
             }
         }
+    }
+
+    use gillis_faas::batch::{BatchPolicy, SloClass};
+
+    /// VGG-11 model, plan, analytic batch-1 prediction, and the Lambda
+    /// platform — the shared fixture for the batched-serving tests.
+    fn batch_fixture() -> (
+        &'static LinearModel,
+        &'static ExecutionPlan,
+        PlatformProfile,
+        crate::predict::PlanPrediction,
+    ) {
+        use std::sync::OnceLock;
+        static MODEL: OnceLock<LinearModel> = OnceLock::new();
+        static PLAN: OnceLock<ExecutionPlan> = OnceLock::new();
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let vgg = MODEL.get_or_init(zoo::vgg11);
+        let plan = PLAN.get_or_init(|| DpPartitioner::default().partition(vgg, &perf).unwrap());
+        let prediction = crate::predict::predict_plan(vgg, plan, &perf).unwrap();
+        (vgg, plan, platform, prediction)
+    }
+
+    #[test]
+    fn batch_schedule_picks_cost_optimal_sizes_per_class_and_rate() {
+        // The configurator trades window wait against per-query cost: a
+        // high-rate class with a loose deadline gets a real batch, a
+        // too-tight deadline is infeasible, and a starved class falls back
+        // to small batches because windows would close underfilled.
+        let (vgg, plan, platform, pred1) = batch_fixture();
+        let mut policy = BatchPolicy::single(20.0 * pred1.latency_ms, 8);
+        policy.max_window_ms = 10.0 * pred1.latency_ms;
+        let busy = plan_batch_schedule(
+            vgg,
+            plan,
+            &platform,
+            TransferFormat::F32,
+            &policy,
+            // ~20 arrivals per plan latency: windows fill fast.
+            20_000.0 / pred1.latency_ms,
+        )
+        .unwrap();
+        assert_eq!(busy.memory_bytes, platform.instance_memory_bytes);
+        assert!(busy.classes[0].batch > 1, "{:?}", busy.classes[0]);
+        assert!(
+            busy.classes[0].usd_per_query < pred1.usd,
+            "batched {:.9} $/q vs batch-1 {:.9}",
+            busy.classes[0].usd_per_query,
+            pred1.usd
+        );
+        assert!(busy.classes[0].window_ms > 0.0);
+        assert!(
+            busy.classes[0].predicted_ms + policy.window_margin_ms <= policy.classes[0].deadline_ms
+        );
+
+        // A trickle of arrivals cannot fill large windows: the chosen batch
+        // shrinks even though the deadline would allow more.
+        let starved = plan_batch_schedule(
+            vgg,
+            plan,
+            &platform,
+            TransferFormat::F32,
+            &policy,
+            0.05 / pred1.latency_ms * 1000.0,
+        )
+        .unwrap();
+        assert!(
+            starved.classes[0].batch < busy.classes[0].batch,
+            "starved {:?} vs busy {:?}",
+            starved.classes[0],
+            busy.classes[0]
+        );
+
+        // A deadline below the batch-1 latency is infeasible outright.
+        let tight = BatchPolicy::single(0.5 * pred1.latency_ms, 4);
+        let err = plan_batch_schedule(vgg, plan, &platform, TransferFormat::F32, &tight, 100.0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidArgument(_)), "{err}");
+    }
+
+    #[test]
+    fn batch_schedule_joint_memory_pick_weighs_spend_rate() {
+        // Memory candidates scale compute speed and price together; the
+        // configurator must reject sizes the plan no longer fits and pick
+        // the cheapest feasible spend rate among the rest.
+        let (vgg, plan, platform, pred1) = batch_fixture();
+        let base_mb = platform.instance_memory_bytes / 1_000_000;
+        let mut policy = BatchPolicy::single(20.0 * pred1.latency_ms, 4);
+        policy.memory_mb = vec![base_mb / 64, base_mb, 2 * base_mb];
+        let schedule = plan_batch_schedule(
+            vgg,
+            plan,
+            &platform,
+            TransferFormat::F32,
+            &policy,
+            10_000.0 / pred1.latency_ms,
+        )
+        .unwrap();
+        // The tiny candidate cannot hold VGG-11's weights; the big one is
+        // faster but proportionally pricier per second, so the billed cost
+        // per query never improves enough to beat the base size.
+        assert_ne!(schedule.memory_bytes, (base_mb / 64) * 1_000_000);
+        assert!(
+            schedule.classes[0].usd_per_query <= pred1.usd,
+            "{:?}",
+            schedule.classes[0]
+        );
+        // Only listed candidates are eligible.
+        assert!(policy
+            .memory_mb
+            .iter()
+            .any(|&mb| mb * 1_000_000 == schedule.memory_bytes));
+    }
+
+    #[test]
+    fn batch_one_serving_is_bit_identical_to_unbatched() {
+        // The serving-level batch-1 fast path: a schedule that never forms
+        // a batch must reproduce serve_open_loop exactly — same RNG
+        // consumption, same starts, same latency series, same billing.
+        let (vgg, plan, platform, pred1) = batch_fixture();
+        let policy = BatchPolicy::batch_one();
+        let rate = 500.0 / pred1.latency_ms; // sub-saturation
+        let schedule =
+            plan_batch_schedule(vgg, plan, &platform, TransferFormat::F32, &policy, rate).unwrap();
+        assert_eq!(schedule.classes[0].batch, 1);
+        let runtime = ForkJoinRuntime::new(vgg, plan, platform.clone())
+            .unwrap()
+            .with_overload(OverloadPolicy::unprotected(2))
+            .unwrap();
+        let plain = runtime.serve_open_loop(rate, 60, 2, 21).unwrap();
+        let batched = runtime
+            .serve_open_loop_batched(&policy, &schedule, rate, 60, 2, 21)
+            .unwrap();
+        assert_eq!(batched.batch.batches, 60);
+        assert_eq!(batched.batch.batch_one_fast_path, 60);
+        assert_eq!(batched.batch.batched_queries, 0);
+        assert_eq!(
+            batched.latency.mean().to_bits(),
+            plain.latency.mean().to_bits()
+        );
+        assert_eq!(
+            batched.latency.percentile(99.0).to_bits(),
+            plain.latency.percentile(99.0).to_bits()
+        );
+        assert_eq!(
+            batched.billing.usd_total().to_bits(),
+            plain.billing.usd_total().to_bits()
+        );
+        assert_eq!(batched.resilience, plain.resilience);
+        assert_eq!(batched.overload, plain.overload);
+        assert_eq!(batched.cold_starts, plain.cold_starts);
+    }
+
+    #[test]
+    fn batched_serving_amortizes_cost_under_load() {
+        // Two SLO classes at a rate that fills windows: real batches form,
+        // the fork wave is shared, and the billed cost per admitted query
+        // drops below the batch-1 baseline.
+        let (vgg, plan, platform, pred1) = batch_fixture();
+        let policy = BatchPolicy {
+            classes: vec![
+                SloClass {
+                    deadline_ms: 12.0 * pred1.latency_ms,
+                    weight: 3.0,
+                },
+                SloClass {
+                    deadline_ms: f64::INFINITY,
+                    weight: 1.0,
+                },
+            ],
+            max_batch: 8,
+            max_window_ms: 6.0 * pred1.latency_ms,
+            window_margin_ms: 1.0,
+            amortized_fraction: 0.25,
+            memory_mb: Vec::new(),
+        };
+        let rate = 8_000.0 / pred1.latency_ms;
+        let queries = 160;
+        let schedule =
+            plan_batch_schedule(vgg, plan, &platform, TransferFormat::F32, &policy, rate).unwrap();
+        assert!(schedule.classes.iter().any(|c| c.batch > 1));
+        let runtime = ForkJoinRuntime::new(vgg, plan, platform.clone()).unwrap();
+        let batched = runtime
+            .serve_open_loop_batched(&policy, &schedule, rate, queries, 4, 3)
+            .unwrap();
+        let baseline = runtime
+            .clone()
+            .with_overload_predicted(OverloadPolicy::unprotected(4), pred1.latency_ms)
+            .unwrap()
+            .serve_open_loop(rate, queries, 4, 3)
+            .unwrap();
+
+        // Accounting: every arrival admitted or shed; every admitted query
+        // is a member of exactly one dispatched batch.
+        assert_eq!(
+            batched.overload.admitted + batched.overload.shed(),
+            queries as u64
+        );
+        assert_eq!(
+            batched.batch.batched_queries + batched.batch.batch_one_fast_path,
+            batched.overload.admitted
+        );
+        assert_eq!(batched.latency.count() as u64, batched.overload.admitted);
+        assert!(
+            batched.batch.batches < batched.overload.admitted,
+            "{:?}",
+            batched.batch
+        );
+        assert!(batched.batch.mean_batch() > 1.2, "{:?}", batched.batch);
+
+        // The economics: fewer invocation waves, cheaper per query.
+        let batched_usd = batched.billing.usd_total() / batched.overload.admitted as f64;
+        let baseline_usd = baseline.billing.usd_total() / baseline.overload.admitted as f64;
+        assert!(
+            batched_usd < 0.8 * baseline_usd,
+            "batched {batched_usd:.9} $/q vs baseline {baseline_usd:.9} $/q"
+        );
+    }
+
+    #[test]
+    fn batched_serving_is_deterministic_and_composes_with_chaos_and_overload() {
+        // The full stack at once — fault injection, admission control with
+        // breakers, and batch windows: two identical runs are bit-identical
+        // and the accounting still never loses an arrival.
+        let (vgg, plan, platform, pred1) = batch_fixture();
+        let policy = BatchPolicy {
+            classes: vec![
+                SloClass {
+                    deadline_ms: 10.0 * pred1.latency_ms,
+                    weight: 1.0,
+                },
+                SloClass {
+                    deadline_ms: f64::INFINITY,
+                    weight: 1.0,
+                },
+            ],
+            max_batch: 4,
+            max_window_ms: 4.0 * pred1.latency_ms,
+            window_margin_ms: 1.0,
+            amortized_fraction: 0.25,
+            memory_mb: Vec::new(),
+        };
+        let rate = 6_000.0 / pred1.latency_ms;
+        let schedule =
+            plan_batch_schedule(vgg, plan, &platform, TransferFormat::F32, &policy, rate).unwrap();
+        let runtime = ForkJoinRuntime::new(vgg, plan, platform.clone())
+            .unwrap()
+            .with_chaos(ChaosConfig::invoke_only(0.05, 99))
+            .unwrap()
+            .with_overload(OverloadPolicy {
+                breaker: BreakerPolicy::standard(),
+                ..OverloadPolicy::for_slo(10.0 * pred1.latency_ms, 3)
+            })
+            .unwrap();
+        let run = || {
+            runtime
+                .serve_open_loop_batched(&policy, &schedule, rate, 120, 3, 17)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+        assert_eq!(
+            a.latency.percentile(99.0).to_bits(),
+            b.latency.percentile(99.0).to_bits()
+        );
+        assert_eq!(
+            a.billing.usd_total().to_bits(),
+            b.billing.usd_total().to_bits()
+        );
+        assert_eq!(a.resilience, b.resilience);
+        assert_eq!(a.overload, b.overload);
+        assert_eq!(a.batch, b.batch);
+        assert_eq!(a.overload.admitted + a.overload.shed(), 120);
+        assert_eq!(
+            a.batch.batched_queries + a.batch.batch_one_fast_path,
+            a.overload.admitted
+        );
+        assert!(a.batch.batches > 0);
+        // Chaos actually fired somewhere in the run.
+        assert!(
+            a.resilience.retries + a.resilience.degraded_queries + a.resilience.hedges > 0,
+            "{:?}",
+            a.resilience
+        );
+    }
+
+    #[test]
+    fn batched_serving_rejects_mismatched_schedules() {
+        let (vgg, plan, platform, pred1) = batch_fixture();
+        let policy = BatchPolicy::single(20.0 * pred1.latency_ms, 4);
+        let schedule =
+            plan_batch_schedule(vgg, plan, &platform, TransferFormat::F32, &policy, 100.0).unwrap();
+        let runtime = ForkJoinRuntime::new(vgg, plan, platform).unwrap();
+        // Wrong memory: the schedule insists on the platform it was
+        // planned for.
+        let mut wrong = schedule.clone();
+        wrong.memory_bytes += 1;
+        let err = runtime
+            .serve_open_loop_batched(&policy, &wrong, 100.0, 10, 2, 1)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidArgument(_)), "{err}");
+        // Wrong class count.
+        let mut short = schedule.clone();
+        short.classes.clear();
+        let err = runtime
+            .serve_open_loop_batched(&policy, &short, 100.0, 10, 2, 1)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidArgument(_)), "{err}");
     }
 }

@@ -54,9 +54,10 @@ pub use dp::{DpPartitioner, GroupEval, PartitionerConfig};
 pub use error::CoreError;
 pub use forkjoin::{
     execute_plan_tensors, execute_plan_tensors_cancellable, execute_plan_tensors_resilient,
-    execute_plan_tensors_with_threads, replication_seed, ForkJoinRuntime, QueryOutcome,
-    ServingReport, SimulationReport,
+    execute_plan_tensors_with_threads, plan_batch_schedule, replication_seed, BatchSchedule,
+    ClassSchedule, ForkJoinRuntime, QueryOutcome, ServingReport, SimulationReport,
 };
+pub use gillis_faas::batch::{BatchCounters, BatchPolicy, SloClass};
 pub use gillis_faas::chaos::{
     ChaosConfig, Fault, FaultInjector, FaultSite, QueryStatus, ResilienceCounters, ResiliencePolicy,
 };
@@ -68,7 +69,10 @@ pub use partition::{
     analyze_group, analyze_group_with, group_options, ModelFlops, PartDim, PartitionOption,
 };
 pub use plan::{ExecutionPlan, Placement, PlannedGroup};
-pub use predict::{predict_plan, predict_plan_cached, PlanPrediction};
+pub use predict::{
+    predict_plan, predict_plan_batched, predict_plan_cached, scale_analysis_for_batch,
+    PlanPrediction, BATCH_AMORTIZED_FRACTION,
+};
 pub use tail::predict_latency_quantile;
 
 /// Convenient result alias for fallible partitioning/serving operations.

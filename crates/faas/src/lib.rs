@@ -23,6 +23,7 @@
 //! ([`compute`]); the performance model in `gillis-perf` must *learn* it by
 //! profiling, exactly as the paper profiles real functions.
 
+pub mod batch;
 pub mod billing;
 pub mod chaos;
 pub mod compute;
@@ -39,6 +40,7 @@ pub mod time;
 pub mod vm;
 pub mod workload;
 
+pub use batch::{BatchCounters, BatchPolicy, SloClass};
 pub use chaos::{
     env_injector, ChaosConfig, Fault, FaultInjector, FaultSite, QueryStatus, ResilienceCounters,
     ResiliencePolicy,

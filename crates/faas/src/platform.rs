@@ -193,6 +193,30 @@ impl PlatformProfile {
         }
     }
 
+    /// A Lambda-style memory-scaled variant of this profile.
+    ///
+    /// Serverless platforms allocate CPU proportionally to the configured
+    /// memory size (AWS documents linear vCPU scaling with memory), so a
+    /// bigger function runs compute faster but bills more GB-seconds for
+    /// the same wall time. This is the axis the joint batch×memory
+    /// configurator searches (HarmonyBatch-style): `cpu_gflops` and the
+    /// model-memory budget scale linearly with the memory factor, while
+    /// network bandwidth, invocation jitter, and per-GB-second pricing stay
+    /// fixed — compute amortizes with memory, transfers do not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_bytes` is zero.
+    pub fn with_memory_bytes(&self, memory_bytes: u64) -> Self {
+        assert!(memory_bytes > 0, "instance memory must be positive");
+        let factor = memory_bytes as f64 / self.instance_memory_bytes as f64;
+        let mut scaled = self.clone();
+        scaled.instance_memory_bytes = memory_bytes;
+        scaled.model_memory_budget = (self.model_memory_budget as f64 * factor).round() as u64;
+        scaled.cpu_gflops = self.cpu_gflops * factor;
+        scaled
+    }
+
     /// Mean time to move `bytes` over the function network (excluding
     /// invocation jitter).
     pub fn transfer_ms(&self, bytes: u64) -> f64 {
@@ -245,6 +269,22 @@ mod tests {
         let big = p.storage_read_ms(1_000_000_000);
         // 1 GB at ~120 MB/s ≈ 8.3 s.
         assert!(big > 8000.0 && big < 9000.0, "big = {big}");
+    }
+
+    #[test]
+    fn memory_scaling_is_linear_in_cpu_and_budget() {
+        let base = PlatformProfile::aws_lambda();
+        let double = base.with_memory_bytes(2 * base.instance_memory_bytes);
+        assert_eq!(double.instance_memory_bytes, 6_000_000_000);
+        assert!((double.cpu_gflops - 2.0 * base.cpu_gflops).abs() < 1e-9);
+        assert_eq!(double.model_memory_budget, 2_800_000_000);
+        // Network and pricing constants do not scale with memory.
+        assert_eq!(double.network_bandwidth_bps, base.network_bandwidth_bps);
+        assert_eq!(double.price_per_gb_s, base.price_per_gb_s);
+        assert_eq!(double.billing_granularity_ms, base.billing_granularity_ms);
+        // Scaling down works too.
+        let half = base.with_memory_bytes(base.instance_memory_bytes / 2);
+        assert!((half.cpu_gflops - base.cpu_gflops / 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -37,8 +37,9 @@ use std::sync::Arc;
 
 use gillis_tensor::gemm::PackedA;
 use gillis_tensor::ops::{
-    avg_pool2d_into, batch_norm_fold, batch_norm_folded_into, conv2d_output_hw, conv2d_packed_into,
-    conv2d_quantized_into, dense_into, depthwise_conv2d_into, global_avg_pool_into,
+    avg_pool2d_into, batch_norm_fold, batch_norm_folded_into, conv2d_output_hw,
+    conv2d_packed_batched_into, conv2d_packed_into, conv2d_quantized_into, dense_into,
+    dense_multi_into, depthwise_conv2d_batched_into, depthwise_conv2d_into, global_avg_pool_into,
     max_pool2d_into, relu_into, softmax_into, BatchNormParams, Conv2dParams, Pool2dParams,
 };
 use gillis_tensor::quant::{self, QuantizedMatrix};
@@ -262,6 +263,11 @@ enum StepKind {
 struct Step {
     kind: StepKind,
     buf: Vec<f32>,
+    /// Widened output for batched runs (`n × buf.len()`, item-major). Empty
+    /// until the first batched run; capacity grows monotonically, so batches
+    /// up to the largest `n` seen (or declared via `reserve_batch`) execute
+    /// allocation-free.
+    batch_buf: Vec<f32>,
 }
 
 impl Step {
@@ -269,6 +275,7 @@ impl Step {
         Step {
             kind,
             buf: vec![0.0; out_len],
+            batch_buf: Vec::new(),
         }
     }
 }
@@ -383,6 +390,74 @@ fn exec_step(kind: &StepKind, map: &ModelWeights, input: &[f32], out: &mut [f32]
             quant::qgemv(q, input, out);
         }
         StepKind::Softmax => softmax_into(input, out),
+    }
+    Ok(())
+}
+
+/// Executes one lowered op for a batch of `n` item-major activations.
+///
+/// Conv, dense, and depthwise steps dispatch to their widened-B batched
+/// kernels so the whole batch shares one traversal of the (packed) weights;
+/// every other step — including the int8 quantized ops, whose per-payload
+/// activation scales must be computed per item — loops the exact per-query
+/// [`exec_step`] body over the item slices. Either way the per-item output
+/// is bit-identical to running [`exec_step`] once per item (the batched
+/// kernels' bit-identity is proptest-enforced in `gillis-tensor`).
+fn exec_step_batched(
+    kind: &StepKind,
+    map: &ModelWeights,
+    n: usize,
+    input: &[f32],
+    out: &mut [f32],
+) -> Result<()> {
+    match kind {
+        StepKind::Conv {
+            packed,
+            bias,
+            params,
+            in_c,
+            in_h,
+            in_w,
+            out_hw,
+        } => conv2d_packed_batched_into(
+            input, n, *in_c, *in_h, *in_w, packed, bias, params, *out_hw, out,
+        ),
+        StepKind::Dense { weights } => {
+            let (w, b) = resolve_dense(weights, map)?;
+            dense_multi_into(w, input, Some(b), out, n);
+        }
+        StepKind::Depthwise {
+            weights,
+            params,
+            c,
+            in_h,
+            in_w,
+            out_hw,
+        } => {
+            let (w, b) = resolve_depthwise(weights, map)?;
+            depthwise_conv2d_batched_into(
+                input,
+                n,
+                *c,
+                *in_h,
+                *in_w,
+                w,
+                Some(b),
+                params,
+                *out_hw,
+                out,
+            );
+        }
+        _ => {
+            let in_len = input.len() / n;
+            let out_len = out.len() / n;
+            for (x, y) in input
+                .chunks_exact(in_len)
+                .zip(out.chunks_exact_mut(out_len))
+            {
+                exec_step(kind, map, x, y)?;
+            }
+        }
     }
     Ok(())
 }
@@ -571,6 +646,91 @@ impl CompiledSegment {
             &self.steps[n - 2].buf
         };
         exec_step(&self.steps[n - 1].kind, weights, cur, out)
+    }
+
+    /// Pre-grows the widened per-step buffers so batched runs with up to
+    /// `n` items allocate nothing — the batch-range declaration of the
+    /// 0-alloc warm-path contract.
+    pub fn reserve_batch(&mut self, n: usize) {
+        for step in &mut self.steps {
+            let need = step.buf.len() * n;
+            if step.batch_buf.capacity() < need {
+                step.batch_buf.reserve(need - step.batch_buf.len());
+            }
+        }
+    }
+
+    /// Runs the piece over a batch of `n` item-major inputs (`n × in_len`
+    /// contiguous), returning a borrow of the widened output (`n × out_len`,
+    /// item-major).
+    ///
+    /// Per-item results are bit-identical to `n` [`CompiledSegment::run`]
+    /// calls for any thread count (see [`exec_step_batched`]). `n == 1`
+    /// delegates to [`CompiledSegment::run`] — the batch-1 fast path touches
+    /// no widened buffer and is byte-for-byte the pre-batching code path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSegment::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n * in_len` or `n == 0`.
+    pub fn run_batch(
+        &mut self,
+        weights: &ModelWeights,
+        inputs: &[f32],
+        n: usize,
+    ) -> Result<&[f32]> {
+        assert!(n > 0, "batch must be non-empty");
+        assert_eq!(
+            inputs.len(),
+            n * self.in_len,
+            "batched segment input length"
+        );
+        if n == 1 {
+            return self.run(weights, inputs);
+        }
+        for i in 0..self.steps.len() {
+            let (done, rest) = self.steps.split_at_mut(i);
+            let cur: &[f32] = if i == 0 {
+                inputs
+            } else {
+                &done[i - 1].batch_buf
+            };
+            let step = &mut rest[0];
+            step.batch_buf.clear();
+            step.batch_buf.resize(n * step.buf.len(), 0.0);
+            exec_step_batched(&step.kind, weights, n, cur, &mut step.batch_buf)?;
+        }
+        Ok(self.batch_output())
+    }
+
+    /// The widened output of the latest [`CompiledSegment::run_batch`] with
+    /// `n >= 2` (item-major). For a batch of one, use
+    /// [`CompiledSegment::output`] — the batch-1 path writes the per-query
+    /// buffer.
+    pub fn batch_output(&self) -> &[f32] {
+        &self
+            .steps
+            .last()
+            .expect("compiled segment has at least one step")
+            .batch_buf
+    }
+
+    /// Applies the int8 wire round trip to each item slice of the widened
+    /// output — the batched counterpart of
+    /// [`CompiledSegment::wire_roundtrip_output`]. Quantization scales are
+    /// per item, exactly as if each item had been sent separately.
+    pub fn wire_roundtrip_batch_output(&mut self) {
+        let step = self
+            .steps
+            .last_mut()
+            .expect("compiled segment has at least one step");
+        let out_len = step.buf.len();
+        for item in step.batch_buf.chunks_exact_mut(out_len) {
+            quant::wire_roundtrip_in_place(item);
+        }
     }
 
     /// The piece's output buffer (valid after the latest [`CompiledSegment::run`]).
@@ -1542,6 +1702,90 @@ impl CompiledPartition {
         self.gather(out);
         Ok(())
     }
+
+    /// Pre-grows every piece's widened buffers for batches up to `n` (see
+    /// [`CompiledSegment::reserve_batch`]).
+    pub fn reserve_batch(&mut self, n: usize) {
+        for piece in &mut self.pieces {
+            piece.reserve_batch(n);
+        }
+    }
+
+    /// Gathers the widened piece outputs of the latest batched run into
+    /// `outs` (`n × out_len`, item-major), each item in exactly
+    /// [`Tensor::concat`]'s memory order. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outs.len()` differs from `n` gathered outputs.
+    pub fn gather_batch(&self, n: usize, outs: &mut [f32]) {
+        let out_len = self.out_shape.len();
+        assert_eq!(outs.len(), n * out_len, "batched join buffer length");
+        for (i, out) in outs.chunks_exact_mut(out_len).enumerate() {
+            let mut dst = 0;
+            for o in 0..self.outer {
+                for (p, &psize) in self.pieces.iter().zip(self.piece_sizes.iter()) {
+                    let rows = psize * self.inner;
+                    let plen = p.out_shape().len();
+                    let src = i * plen + o * rows;
+                    out[dst..dst + rows].copy_from_slice(&p.batch_output()[src..src + rows]);
+                    dst += rows;
+                }
+            }
+        }
+    }
+
+    /// Batched [`CompiledPartition::run_into`]: runs every piece over the
+    /// `n` item-major inputs and gathers each item's join into its slice of
+    /// `outs` (`n × out_len`). The int8 wire round trip is applied per
+    /// `(piece, item)` slice — the same payloads (and thus the same
+    /// quantization scales) as `n` separate queries, so per-item outputs are
+    /// bit-identical to `n` [`CompiledPartition::run_into`] calls. `n == 1`
+    /// delegates to the per-query path untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates piece errors (see [`CompiledSegment::run`]).
+    pub fn run_batch_into(
+        &mut self,
+        weights: &ModelWeights,
+        inputs: &[f32],
+        n: usize,
+        outs: &mut [f32],
+    ) -> Result<()> {
+        assert!(n > 0, "batch must be non-empty");
+        let out_len = self.out_shape.len();
+        assert_eq!(outs.len(), n * out_len, "batched join buffer length");
+        if n == 1 {
+            return self.run_into(weights, inputs, outs);
+        }
+        if self.outer == 1 {
+            // Contiguous join: scatter each item's piece slice straight into
+            // its join buffer slot, round-tripping the slot in place.
+            let mut ofs = 0;
+            for (piece, &psize) in self.pieces.iter_mut().zip(self.piece_sizes.iter()) {
+                let plen = psize * self.inner;
+                let got = piece.run_batch(weights, inputs, n)?;
+                for (i, item) in got.chunks_exact(plen).enumerate() {
+                    let dst = &mut outs[i * out_len + ofs..i * out_len + ofs + plen];
+                    dst.copy_from_slice(item);
+                    if self.wire_int8 {
+                        quant::wire_roundtrip_in_place(dst);
+                    }
+                }
+                ofs += plen;
+            }
+            return Ok(());
+        }
+        for piece in &mut self.pieces {
+            piece.run_batch(weights, inputs, n)?;
+            if self.wire_int8 {
+                piece.wire_roundtrip_batch_output();
+            }
+        }
+        self.gather_batch(n, outs);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1750,6 +1994,98 @@ mod tests {
         let mut out = vec![0.0f32; part.out_shape().len()];
         part.run_into(&weights, input.data(), &mut out).unwrap();
         assert_bits_eq(&out, reference.data(), "channel gather");
+    }
+
+    #[test]
+    fn batched_partition_bit_identical_to_sequential() {
+        // Batched runs must reproduce N independent per-query runs to the
+        // bit, for both join geometries and with the int8 wire enabled.
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 9).unwrap();
+        let input_len = model.input_shape().len();
+        let spatial: Vec<_> = model
+            .layers()
+            .iter()
+            .take_while(|l| l.class.supports_spatial())
+            .cloned()
+            .collect();
+        let seg_layers = &spatial[..2];
+        let out_h = seg_layers.last().unwrap().out_shape.dims()[1];
+        let row_specs: Vec<PieceSpec> = (0..4)
+            .map(|p| PieceSpec::Rows(p * out_h / 4..(p + 1) * out_h / 4))
+            .collect();
+        let head = &model.layers()[..1];
+        let out_c = head[0].out_shape.dims()[0];
+        let chan_specs: Vec<PieceSpec> = (0..2)
+            .map(|p| PieceSpec::Channels(p * out_c / 2..(p + 1) * out_c / 2))
+            .collect();
+        let cases: [(
+            &[crate::linear::MergedLayer],
+            &[PieceSpec],
+            usize,
+            CompileOptions,
+        ); 3] = [
+            (seg_layers, &row_specs, 1, CompileOptions::default()),
+            (head, &chan_specs, 0, CompileOptions::default()),
+            (head, &chan_specs, 0, CompileOptions::int8()),
+        ];
+        for (layers, specs, axis, opts) in cases {
+            let mut cache = PanelCache::new();
+            let mut part = CompiledPartition::compile_with(
+                model.graph(),
+                &weights,
+                layers,
+                specs,
+                axis,
+                &mut cache,
+                opts,
+            )
+            .unwrap();
+            for n in [1usize, 2, 3, 8] {
+                let queries: Vec<Tensor> = (0..n)
+                    .map(|i| query(model.input_shape(), 40 + i as u64))
+                    .collect();
+                let out_len = part.out_shape().len();
+                let mut seq = vec![0.0f32; n * out_len];
+                for (q, out) in queries.iter().zip(seq.chunks_mut(out_len)) {
+                    part.run_into(&weights, q.data(), out).unwrap();
+                }
+                let mut inputs = vec![0.0f32; n * input_len];
+                for (q, dst) in queries.iter().zip(inputs.chunks_mut(input_len)) {
+                    dst.copy_from_slice(q.data());
+                }
+                let mut batched = vec![0.0f32; n * out_len];
+                part.run_batch_into(&weights, &inputs, n, &mut batched)
+                    .unwrap();
+                assert_bits_eq(&seq, &batched, &format!("batched join n={n}"));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_segment_warm_runs_reuse_widened_buffers() {
+        let model = zoo::tiny_vgg();
+        let weights = init_weights(model.graph(), 3).unwrap();
+        let mut cache = PanelCache::new();
+        let mut seg = CompiledSegment::compile(
+            model.graph(),
+            &weights,
+            model.layers(),
+            &PieceSpec::Full,
+            &mut cache,
+        )
+        .unwrap();
+        seg.reserve_batch(4);
+        let in_len = model.input_shape().len();
+        let inputs: Vec<f32> = (0..4 * in_len).map(|i| (i as f32 * 0.01).sin()).collect();
+        let ptr_a = seg.run_batch(&weights, &inputs, 4).unwrap().as_ptr();
+        let ptr_b = seg.run_batch(&weights, &inputs, 4).unwrap().as_ptr();
+        assert_eq!(ptr_a, ptr_b, "widened buffers are reused across batches");
+        // Batch-1 runs stay on the per-query buffers.
+        let one = &inputs[..in_len];
+        let p1 = seg.run(&weights, one).unwrap().as_ptr();
+        let p2 = seg.run_batch(&weights, one, 1).unwrap().as_ptr();
+        assert_eq!(p1, p2, "batch-1 delegates to the per-query path");
     }
 
     #[test]

@@ -534,35 +534,109 @@ pub fn gemv_with_threads(
 }
 
 fn gemv_rows(cols: usize, w: &[f32], x: &[f32], out: &mut [f32]) {
+    for (r, o) in out.iter_mut().enumerate() {
+        *o += row_dot(&w[r * cols..(r + 1) * cols], x);
+    }
+}
+
+/// The eight-lane row dot product behind [`gemv`] *and* [`gemv_multi`]: one
+/// shared implementation so a `(row, query)` pair accumulates identically
+/// whether the query runs alone or inside a batch — that is the whole
+/// bit-identity argument for the batched dense path.
+#[inline]
+fn row_dot(row: &[f32], x: &[f32]) -> f32 {
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     if crate::simd::simd_active() {
-        for (r, o) in out.iter_mut().enumerate() {
-            let row = &w[r * cols..(r + 1) * cols];
-            // SAFETY: simd_active() verified AVX2+FMA at runtime.
-            *o += unsafe { crate::simd::row_dot_fma(row, x) };
-        }
-        return;
+        // SAFETY: simd_active() verified AVX2+FMA at runtime.
+        return unsafe { crate::simd::row_dot_fma(row, x) };
     }
     const LANES: usize = 8;
-    for (r, o) in out.iter_mut().enumerate() {
-        let row = &w[r * cols..(r + 1) * cols];
-        let mut acc = [0.0f32; LANES];
-        let mut chunks = row.chunks_exact(LANES).zip(x.chunks_exact(LANES));
-        for (wc, xc) in &mut chunks {
-            for l in 0..LANES {
-                acc[l] += wc[l] * xc[l];
-            }
+    let mut acc = [0.0f32; LANES];
+    let mut chunks = row.chunks_exact(LANES).zip(x.chunks_exact(LANES));
+    for (wc, xc) in &mut chunks {
+        for l in 0..LANES {
+            acc[l] += wc[l] * xc[l];
         }
-        let tail: f32 = row
-            .chunks_exact(LANES)
-            .remainder()
-            .iter()
-            .zip(x.chunks_exact(LANES).remainder())
-            .map(|(a, b)| a * b)
-            .sum();
-        let folded =
-            ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
-        *o += folded + tail;
+    }
+    let tail: f32 = row
+        .chunks_exact(LANES)
+        .remainder()
+        .iter()
+        .zip(x.chunks_exact(LANES).remainder())
+        .map(|(a, b)| a * b)
+        .sum();
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+/// Batched matrix–vector product: `outs[r][q] += W[r] · xs[q]` for `nrhs`
+/// right-hand sides sharing one weight matrix. `xs` holds the inputs
+/// concatenated (`nrhs` × `cols`); `outs` is row-major `rows` × `nrhs` and
+/// must be pre-initialized (zeros or a per-row bias broadcast across the
+/// batch).
+///
+/// Each `(row, q)` dot product uses exactly the [`gemv`] accumulation scheme
+/// ([`row_dot`]), so every output is bit-identical to `nrhs` separate `gemv`
+/// calls — the batch only amortizes the weight-matrix traversal: each `W`
+/// row is streamed from memory once and dotted against all `nrhs` inputs
+/// while cache-hot.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemv_multi(rows: usize, cols: usize, w: &[f32], xs: &[f32], outs: &mut [f32], nrhs: usize) {
+    let threads = if rows.saturating_mul(cols) < GEMV_PAR_MIN_CELLS {
+        1
+    } else {
+        gillis_threads()
+    };
+    gemv_multi_with_threads(rows, cols, w, xs, outs, nrhs, threads);
+}
+
+/// [`gemv_multi`] with an explicit worker count. Threads split weight rows
+/// (each `(row, q)` output owned by one thread), so results are bit-identical
+/// for any count.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemv_multi_with_threads(
+    rows: usize,
+    cols: usize,
+    w: &[f32],
+    xs: &[f32],
+    outs: &mut [f32],
+    nrhs: usize,
+    threads: usize,
+) {
+    assert_eq!(w.len(), rows * cols, "W must be rows*cols");
+    assert_eq!(xs.len(), nrhs * cols, "xs must be nrhs*cols");
+    assert_eq!(outs.len(), rows * nrhs, "outs must be rows*nrhs");
+    if rows == 0 || cols == 0 || nrhs == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, rows);
+    if threads == 1 {
+        gemv_multi_rows(cols, nrhs, w, xs, outs);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    let tasks: Vec<Task> = w
+        .chunks(rows_per * cols)
+        .zip(outs.chunks_mut(rows_per * nrhs))
+        .map(|(w_chunk, out_chunk)| -> Task {
+            Box::new(move || gemv_multi_rows(cols, nrhs, w_chunk, xs, out_chunk))
+        })
+        .collect();
+    Pool::global().join_all(tasks);
+}
+
+fn gemv_multi_rows(cols: usize, nrhs: usize, w: &[f32], xs: &[f32], outs: &mut [f32]) {
+    for (r, orow) in outs.chunks_exact_mut(nrhs).enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        for (q, o) in orow.iter_mut().enumerate() {
+            *o += row_dot(row, &xs[q * cols..(q + 1) * cols]);
+        }
     }
 }
 
@@ -589,19 +663,60 @@ pub fn im2col(
     col: &mut Vec<f32>,
 ) {
     let (kh, kw) = kernel;
+    let (out_h, out_w) = out_hw;
+    let n = out_h * out_w;
+    col.clear();
+    col.resize(channels * kh * kw * n, 0.0);
+    im2col_strided(
+        input, channels, in_h, in_w, kernel, stride, pad_top, pad_left, out_hw, col, n, 0,
+    );
+}
+
+/// [`im2col`] writing into a *widened* column matrix: row `r` of this
+/// image's lowering lands at `col[r * row_stride + col0 ..][..out_h*out_w]`.
+/// This is how a batch of `N` inputs assembles one `k × (N·out_hw)` B matrix
+/// for a single widened GEMM — item `i` passes `col0 = i · out_hw`.
+///
+/// The destination region must be pre-zeroed (padding taps are left
+/// untouched, exactly like [`im2col`] after its `resize`).
+///
+/// # Panics
+///
+/// Panics if `col` is too short for the strided layout.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_strided(
+    input: &[f32],
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    pad_top: usize,
+    pad_left: usize,
+    out_hw: (usize, usize),
+    col: &mut [f32],
+    row_stride: usize,
+    col0: usize,
+) {
+    let (kh, kw) = kernel;
     let (sh, sw) = stride;
     let (out_h, out_w) = out_hw;
     let (pt, pl) = (pad_top as isize, pad_left as isize);
     let n = out_h * out_w;
-    col.clear();
-    col.resize(channels * kh * kw * n, 0.0);
+    let rows = channels * kh * kw;
+    assert!(col0 + n <= row_stride, "column offset past the row stride");
+    assert!(
+        rows == 0 || (rows - 1) * row_stride + col0 + n <= col.len(),
+        "col too short for {rows} strided rows"
+    );
     let in_plane = in_h * in_w;
     let mut row_idx = 0;
     for ic in 0..channels {
         let in_base = ic * in_plane;
         for ky in 0..kh {
             for kx in 0..kw {
-                let dst = &mut col[row_idx * n..(row_idx + 1) * n];
+                let base = row_idx * row_stride + col0;
+                let dst = &mut col[base..base + n];
                 row_idx += 1;
                 for oy in 0..out_h {
                     let iy = (oy * sh) as isize - pt + ky as isize;
@@ -846,6 +961,101 @@ mod tests {
                 out1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 out8.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
             );
+        }
+
+        /// The batching linchpin: a widened-B GEMM (all batch items' column
+        /// blocks side by side) is bit-identical to running the packed GEMM
+        /// once per item, in scalar *and* SIMD mode, for every thread count.
+        /// This holds because every micro-kernel accumulates each output
+        /// column independently with position-invariant rounding (the SIMD
+        /// kernels fuse the scalar column tail, so a column computed in the
+        /// 8-wide FMA tile and one computed in the tail round identically).
+        #[test]
+        fn widened_b_gemm_is_bit_identical_to_per_item(
+            (m, n, k) in (1usize..14, 1usize..24, 1usize..300),
+            batch_sel in 0usize..3,
+            seed in 0u32..1000,
+        ) {
+            let batch = [2usize, 3, 8][batch_sel];
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| ((i as u32 ^ seed).wrapping_mul(747796405) % 997) as f32 * 1e-3 - 0.5)
+                .collect();
+            let packed = PackedA::pack(m, k, &a);
+            let bs: Vec<Vec<f32>> = (0..batch)
+                .map(|q| {
+                    (0..k * n)
+                        .map(|i| {
+                            ((i as u32 ^ seed ^ (q as u32) << 13).wrapping_mul(277803737) % 991)
+                                as f32
+                                * 1e-3
+                                - 0.5
+                        })
+                        .collect()
+                })
+                .collect();
+            // Row-dependent init plays the role of a per-channel bias.
+            let nt = batch * n;
+            let mut wide_b = vec![0.0f32; k * nt];
+            for (q, b) in bs.iter().enumerate() {
+                for r in 0..k {
+                    wide_b[r * nt + q * n..r * nt + (q + 1) * n]
+                        .copy_from_slice(&b[r * n..(r + 1) * n]);
+                }
+            }
+            for threads in [1usize, 2, 8] {
+                let mut per_item = Vec::with_capacity(batch);
+                for b in &bs {
+                    let mut c: Vec<f32> = (0..m * n).map(|i| (i / n % 5) as f32 * 0.25).collect();
+                    gemm_packed_with_threads(&packed, n, b, &mut c, threads);
+                    per_item.push(c);
+                }
+                let mut wide_c: Vec<f32> =
+                    (0..m * nt).map(|i| (i / nt % 5) as f32 * 0.25).collect();
+                gemm_packed_with_threads(&packed, nt, &wide_b, &mut wide_c, threads);
+                for (q, c) in per_item.iter().enumerate() {
+                    for r in 0..m {
+                        let wide_row = &wide_c[r * nt + q * n..r * nt + (q + 1) * n];
+                        let item_row = &c[r * n..(r + 1) * n];
+                        prop_assert_eq!(
+                            wide_row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            item_row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            "threads={} item={} row={}", threads, q, r
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn gemv_multi_is_bit_identical_to_per_query_gemv(
+            (rows, cols) in (1usize..24, 1usize..70),
+            nrhs_sel in 0usize..3,
+            seed in 0u32..1000,
+        ) {
+            let nrhs = [2usize, 3, 8][nrhs_sel];
+            let w: Vec<f32> = (0..rows * cols)
+                .map(|i| ((i as u32 ^ seed).wrapping_mul(2891336453) % 1009) as f32 * 1e-3 - 0.5)
+                .collect();
+            let xs: Vec<f32> = (0..nrhs * cols)
+                .map(|i| ((i as u32 ^ seed).wrapping_mul(1181783497) % 1013) as f32 * 1e-3 - 0.5)
+                .collect();
+            let mut want = vec![0.0f32; rows * nrhs];
+            for q in 0..nrhs {
+                let mut out = vec![0.125f32; rows];
+                gemv(rows, cols, &w, &xs[q * cols..(q + 1) * cols], &mut out);
+                for r in 0..rows {
+                    want[r * nrhs + q] = out[r];
+                }
+            }
+            for threads in [1usize, 2, 8] {
+                let mut got = vec![0.125f32; rows * nrhs];
+                gemv_multi_with_threads(rows, cols, &w, &xs, &mut got, nrhs, threads);
+                prop_assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "threads={}", threads
+                );
+            }
         }
 
         #[test]

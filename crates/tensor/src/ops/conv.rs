@@ -214,6 +214,114 @@ pub fn conv2d_packed_into(
     }
 }
 
+/// Batched [`conv2d_packed_into`]: convolves `batch` CHW inputs (laid out
+/// back to back in `inputs`) against one pre-packed filter bank with a
+/// *single* widened GEMM. The im2col lowerings of all items are assembled
+/// side by side into one `k × (batch·out_hw)` B matrix
+/// ([`gemm::im2col_strided`]), so the packed weight panels are streamed once
+/// per `NC` column block instead of once per query — the compute
+/// amortization the batching perf model prices.
+///
+/// Bit-identical to `batch` sequential [`conv2d_packed_into`] calls on the
+/// same operands, at any thread count: every output element accumulates in
+/// the same ascending-`k` order with position-independent rounding (the
+/// SIMD kernels use fused multiply-adds in tiles *and* tails, so a column's
+/// rounding does not depend on where it lands in the widened matrix).
+///
+/// `batch == 1` delegates to [`conv2d_packed_into`] directly — no widened
+/// scratch is touched, so the single-query warm path is exactly the pre-batch
+/// code path.
+///
+/// All working memory comes from per-thread scratch sites
+/// ([`scratch::Site::BatchCol`] / [`scratch::Site::BatchOut`]); once those
+/// have grown to the largest batch served, later batched queries allocate
+/// nothing.
+///
+/// # Panics
+///
+/// Panics if buffer lengths are inconsistent with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_packed_batched_into(
+    inputs: &[f32],
+    batch: usize,
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    packed: &gemm::PackedA,
+    bias: &[f32],
+    params: &Conv2dParams,
+    out_hw: (usize, usize),
+    outs: &mut [f32],
+) {
+    let (kh, kw) = params.kernel;
+    let (out_h, out_w) = out_hw;
+    let out_c = packed.m();
+    let n_dim = out_h * out_w;
+    let k_dim = in_c * kh * kw;
+    let in_len = in_c * in_h * in_w;
+    let out_len = out_c * n_dim;
+    assert_eq!(inputs.len(), batch * in_len, "inputs must be batch CHW");
+    assert_eq!(outs.len(), batch * out_len, "outs must be batch outputs");
+    assert_eq!(bias.len(), out_c, "bias must be [out_c]");
+    assert_eq!(packed.k(), k_dim, "packed weights must match the kernel");
+    if batch == 0 {
+        return;
+    }
+    if batch == 1 {
+        conv2d_packed_into(inputs, in_c, in_h, in_w, packed, bias, params, out_hw, outs);
+        return;
+    }
+    let nt = batch * n_dim;
+    // Widened B: every item's im2col lowering, side by side.
+    let mut col = scratch::take(scratch::Site::BatchCol);
+    col.clear();
+    col.resize(k_dim * nt, 0.0);
+    let pad = params.padding;
+    let pointwise = (kh, kw) == (1, 1)
+        && params.stride == (1, 1)
+        && (pad.top, pad.bottom, pad.left, pad.right) == (0, 0, 0, 0);
+    for (i, input) in inputs.chunks_exact(in_len).enumerate() {
+        if pointwise {
+            // The input already is the column matrix (k_dim == in_c rows of
+            // n_dim values); copy its rows into the widened layout.
+            for (r, src) in input.chunks_exact(n_dim).enumerate() {
+                col[r * nt + i * n_dim..r * nt + (i + 1) * n_dim].copy_from_slice(src);
+            }
+        } else {
+            gemm::im2col_strided(
+                input,
+                in_c,
+                in_h,
+                in_w,
+                params.kernel,
+                params.stride,
+                pad.top,
+                pad.left,
+                out_hw,
+                &mut col,
+                nt,
+                i * n_dim,
+            );
+        }
+    }
+    // Widened C, bias-preinitialized exactly like the per-query path.
+    let mut wide = scratch::take(scratch::Site::BatchOut);
+    wide.clear();
+    wide.resize(out_c * nt, 0.0);
+    for (row, &bv) in wide.chunks_mut(nt).zip(bias.iter()) {
+        row.fill(bv);
+    }
+    gemm::gemm_packed(packed, nt, &col, &mut wide);
+    // Scatter each item's columns back to its own CHW output.
+    for (i, out) in outs.chunks_exact_mut(out_len).enumerate() {
+        for (r, dst) in out.chunks_exact_mut(n_dim).enumerate() {
+            dst.copy_from_slice(&wide[r * nt + i * n_dim..r * nt + (i + 1) * n_dim]);
+        }
+    }
+    scratch::put(scratch::Site::BatchCol, col);
+    scratch::put(scratch::Site::BatchOut, wide);
+}
+
 /// Quantized convolution over raw buffers — the hot path of partitions
 /// compiled with int8 weights. Mirrors [`conv2d_packed_into`] but the
 /// filter bank is a [`crate::quant::QuantizedMatrix`] (per-output-channel
@@ -422,6 +530,48 @@ mod tests {
                     out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
                 );
             }
+        }
+
+        /// Batched conv over a widened B matrix is bit-identical to running
+        /// the packed per-query kernel once per item — in scalar and SIMD
+        /// mode alike (see the widened-B GEMM proptest in `gemm` for the
+        /// kernel-level argument). Covers the pointwise fast path whenever
+        /// kernel = stride = 1 and pad = 0 is drawn.
+        #[test]
+        fn batched_packed_path_is_bit_identical_to_sequential(
+            (in_c, out_c) in (1usize..5, 1usize..7),
+            (in_h, in_w) in (3usize..9, 3usize..9),
+            kernel in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..2,
+            batch_sel in 0usize..3,
+            seed in 0u32..1000,
+        ) {
+            let batch = [2usize, 3, 8][batch_sel];
+            let params = Conv2dParams::square(kernel, stride, pad);
+            prop_assume!(conv2d_output_hw((in_h, in_w), &params).is_some());
+            let out_hw = conv2d_output_hw((in_h, in_w), &params).unwrap();
+            let in_len = in_c * in_h * in_w;
+            let out_len = out_c * out_hw.0 * out_hw.1;
+            let inputs: Vec<f32> =
+                (0..batch * in_len).map(|i| pseudo(i, seed ^ 0x51)).collect();
+            let weight: Vec<f32> = (0..out_c * in_c * kernel * kernel)
+                .map(|i| pseudo(i, seed ^ 0xbeef))
+                .collect();
+            let bias: Vec<f32> = (0..out_c).map(|i| pseudo(i, seed ^ 0x77)).collect();
+            let packed = gemm::PackedA::pack(out_c, in_c * kernel * kernel, &weight);
+            let mut seq = vec![0.0f32; batch * out_len];
+            for (x, out) in inputs.chunks(in_len).zip(seq.chunks_mut(out_len)) {
+                conv2d_packed_into(x, in_c, in_h, in_w, &packed, &bias, &params, out_hw, out);
+            }
+            let mut batched = vec![0.0f32; batch * out_len];
+            conv2d_packed_batched_into(
+                &inputs, batch, in_c, in_h, in_w, &packed, &bias, &params, out_hw, &mut batched,
+            );
+            prop_assert_eq!(
+                seq.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                batched.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
         }
 
         /// The int8 path tracks the f32 convolution within the quantization

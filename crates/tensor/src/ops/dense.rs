@@ -74,6 +74,62 @@ pub fn dense_into(w: &[f32], x: &[f32], bias: Option<&[f32]>, out: &mut [f32]) {
     gemm::gemv(out_n, in_n, w, x, out);
 }
 
+/// Batched dense layer over raw buffers: `batch` input vectors laid out
+/// contiguously in `xs` (`batch × in`), outputs written contiguously into
+/// `outs` (`batch × out`). All batch items share one traversal of the weight
+/// matrix: each row of `W` is streamed once and dotted against every input
+/// ([`gemm::gemv_multi`]), instead of `batch` full passes over `W`.
+///
+/// Per-output rounding is bit-identical to calling [`dense_into`] once per
+/// item for any thread count: the accumulator for `(row, item)` is seeded
+/// with the same bias value and receives exactly one `row_dot` over the same
+/// operands in both paths. `batch == 1` delegates to [`dense_into`] directly
+/// (no widened scratch is touched). The widened accumulator lives in
+/// per-thread scratch, so warmed threads allocate nothing for batches up to
+/// the largest size seen.
+///
+/// # Panics
+///
+/// Panics if buffer lengths are inconsistent with `batch`.
+pub fn dense_multi_into(
+    w: &[f32],
+    xs: &[f32],
+    bias: Option<&[f32]>,
+    outs: &mut [f32],
+    batch: usize,
+) {
+    if batch == 0 {
+        return;
+    }
+    assert_eq!(outs.len() % batch, 0, "outs must be batch × out");
+    assert_eq!(xs.len() % batch, 0, "xs must be batch × in");
+    let out_n = outs.len() / batch;
+    let in_n = xs.len() / batch;
+    assert_eq!(w.len(), out_n * in_n, "weight must be [out, in]");
+    if batch == 1 {
+        dense_into(w, xs, bias, outs);
+        return;
+    }
+    // Widened accumulator, row-major `out_n × batch`, seeded with the bias
+    // exactly like the sequential path seeds each item's output.
+    let mut acc = crate::scratch::take(crate::scratch::Site::BatchGemv);
+    acc.clear();
+    acc.resize(out_n * batch, 0.0);
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_n, "bias must be [out]");
+        for (row, &bv) in acc.chunks_exact_mut(batch).zip(b.iter()) {
+            row.fill(bv);
+        }
+    }
+    gemm::gemv_multi(out_n, in_n, w, xs, &mut acc, batch);
+    for (i, out) in outs.chunks_exact_mut(out_n).enumerate() {
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = acc[r * batch + i];
+        }
+    }
+    crate::scratch::put(crate::scratch::Site::BatchGemv, acc);
+}
+
 /// Reference row-wise dot product the gemv path is validated against.
 #[cfg(test)]
 pub(crate) fn dense_naive(
@@ -125,6 +181,46 @@ mod tests {
             // The multi-lane dot reassociates the sum, so allow f32 rounding.
             prop_assert!(fast.max_abs_diff(&naive).unwrap() < 1e-4);
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn batched_dense_bit_identical_to_sequential(
+            (out_n, in_n) in (1usize..20, 1usize..70),
+            batch_sel in 0usize..3,
+            seed in 0u32..1000,
+        ) {
+            let batch = [2usize, 3, 8][batch_sel];
+            let pseudo = |i: usize, s: u32| {
+                ((i as u32 ^ s).wrapping_mul(2654435761) % 2001) as f32 * 1e-3 - 1.0
+            };
+            let w: Vec<f32> = (0..out_n * in_n).map(|i| pseudo(i, seed)).collect();
+            let b: Vec<f32> = (0..out_n).map(|i| pseudo(i, seed ^ 0x5)).collect();
+            let xs: Vec<f32> = (0..batch * in_n).map(|i| pseudo(i, seed ^ 0x91)).collect();
+            let mut seq = vec![0.0f32; batch * out_n];
+            for (x, out) in xs.chunks(in_n).zip(seq.chunks_mut(out_n)) {
+                dense_into(&w, x, Some(&b), out);
+            }
+            let mut batched = vec![0.0f32; batch * out_n];
+            dense_multi_into(&w, &xs, Some(&b), &mut batched, batch);
+            for (s, m) in seq.iter().zip(batched.iter()) {
+                prop_assert_eq!(s.to_bits(), m.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_one_multi_matches_dense_into_exactly() {
+        let w: Vec<f32> = (0..6 * 5).map(|i| (i as f32 * 0.7).sin()).collect();
+        let b: Vec<f32> = (0..6).map(|i| i as f32 * 0.25).collect();
+        let x: Vec<f32> = (0..5).map(|i| (i as f32).cos()).collect();
+        let mut seq = vec![0.0f32; 6];
+        dense_into(&w, &x, Some(&b), &mut seq);
+        let mut one = vec![0.0f32; 6];
+        dense_multi_into(&w, &x, Some(&b), &mut one, 1);
+        assert_eq!(seq, one);
     }
 
     #[test]

@@ -37,9 +37,18 @@ pub enum Site {
     LstmPre = 4,
     /// Micro-panel repack of a GEMM row chunk (SIMD mode only).
     GemmPack = 5,
+    /// Widened im2col column matrix of a batched `conv2d` (all batch items
+    /// side by side).
+    BatchCol = 6,
+    /// Widened output matrix of a batched `conv2d` before the per-item
+    /// scatter back into caller buffers.
+    BatchOut = 7,
+    /// Row-major `rows × nrhs` accumulator of a batched `dense` (gemv_multi)
+    /// before de-interleaving into per-item outputs.
+    BatchGemv = 8,
 }
 
-const N_SITES: usize = 6;
+const N_SITES: usize = 9;
 
 /// A per-thread set of reusable `f32` buffers, one slot per [`Site`].
 #[derive(Debug, Default)]

@@ -138,7 +138,13 @@ mod avx2 {
             _mm256_storeu_ps(c3.as_mut_ptr().add(j), v3);
             j += NR;
         }
-        // Column tail: scalar mul+add, one element of each row per step.
+        // Column tail: scalar *fused* multiply-add, one element of each row
+        // per step. Using `mul_add` keeps the tail's rounding identical to
+        // the 8-wide FMA tiles, so an output element rounds the same way
+        // regardless of its column position mod 8 — the property that makes
+        // batched GEMM over a widened B matrix bit-identical to the
+        // per-query calls it replaces (columns shift position when batches
+        // are laid side by side).
         while j < nend {
             let mut a0 = c0[j];
             let mut a1 = c1[j];
@@ -147,10 +153,10 @@ mod avx2 {
             for kk in 0..kc {
                 let ap = &panel[kk * 4..kk * 4 + 4];
                 let bv = b[(k0 + kk) * n + j];
-                a0 += ap[0] * bv;
-                a1 += ap[1] * bv;
-                a2 += ap[2] * bv;
-                a3 += ap[3] * bv;
+                a0 = ap[0].mul_add(bv, a0);
+                a1 = ap[1].mul_add(bv, a1);
+                a2 = ap[2].mul_add(bv, a2);
+                a3 = ap[3].mul_add(bv, a3);
             }
             c0[j] = a0;
             c1[j] = a1;
@@ -163,10 +169,11 @@ mod avx2 {
     /// FMA variant of the remainder micro-kernel (`gemm::packed_micro_rem`,
     /// fewer than 4 rows in a block). Uses the *same* per-element operation
     /// history as `packed_micro_4_fma` — 8-wide FMA tiles from `nb` with a
-    /// scalar `mul+add` column tail — so an output element rounds
-    /// identically whether its row lands in a full or remainder block.
-    /// That keeps SIMD results bit-identical across thread counts and
-    /// across the packed/unpacked entry points.
+    /// scalar fused-multiply-add column tail — so an output element rounds
+    /// identically whether its row lands in a full or remainder block, and
+    /// identically at every column position. That keeps SIMD results
+    /// bit-identical across thread counts, across the packed/unpacked entry
+    /// points, and across batched (widened-B) and per-query execution.
     #[allow(clippy::too_many_arguments)]
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn packed_micro_rem_fma(
@@ -197,7 +204,9 @@ mod avx2 {
             while j < nend {
                 let mut acc = c_row[j];
                 for kk in 0..kc {
-                    acc += panel[kk * bh + r] * b[(k0 + kk) * n + j];
+                    // Fused, like the tiles and like `packed_micro_4_fma`'s
+                    // tail: column position must not change rounding.
+                    acc = panel[kk * bh + r].mul_add(b[(k0 + kk) * n + j], acc);
                 }
                 c_row[j] = acc;
                 j += 1;

@@ -7,8 +7,13 @@
 //! gillis describe --model wrn-34-5 --platform lambda [--plan plan.txt]
 //! gillis predict  --model vgg16 --platform lambda [--plan plan.txt]
 //! gillis serve    --model vgg16 --platform lambda [--plan plan.txt]
-//!                 [--clients 100] [--queries 1000]
+//!                 [--clients 100] [--queries 1000] [--rate 100]
 //! ```
+//!
+//! `GILLIS_OVERLOAD_*` enables admission control; `GILLIS_BATCH_*` switches
+//! `serve` to open-loop adaptive multi-SLO batching at `--rate` arrivals/s
+//! (with `--clients` prewarmed masters), planning batch sizes and instance
+//! memory jointly against the performance model.
 //!
 //! Plans are stored in the stable text format of
 //! [`gillis::core::ExecutionPlan::to_text`]; when `--plan` is omitted the
@@ -19,7 +24,10 @@ use std::process::ExitCode;
 
 use gillis::serving::{lookup_model, lookup_platform, model_catalog};
 
-use gillis::core::{predict_plan, DpPartitioner, ExecutionPlan, ForkJoinRuntime, OverloadPolicy};
+use gillis::core::{
+    plan_batch_schedule, predict_plan, BatchPolicy, DpPartitioner, ExecutionPlan, ForkJoinRuntime,
+    OverloadPolicy,
+};
 use gillis::faas::workload::ClosedLoop;
 use gillis::faas::Micros;
 use gillis::model::LinearModel;
@@ -151,6 +159,59 @@ fn run() -> Result<(), String> {
                 .map(|v| v.parse().map_err(|_| format!("bad --queries: {v}")))
                 .transpose()?
                 .unwrap_or(1000);
+            // GILLIS_BATCH_* env knobs enable adaptive multi-SLO batching:
+            // serving switches to an open-loop Poisson stream at --rate and
+            // the batch sizes / instance memory are planned jointly against
+            // the performance model.
+            if let Some(batch_policy) = BatchPolicy::from_env() {
+                let rate: f64 = flags
+                    .get("rate")
+                    .map(|v| v.parse().map_err(|_| format!("bad --rate: {v}")))
+                    .transpose()?
+                    .unwrap_or(100.0);
+                let schedule = plan_batch_schedule(
+                    &model,
+                    &plan,
+                    &platform,
+                    gillis::perf::TransferFormat::F32,
+                    &batch_policy,
+                    rate,
+                )
+                .map_err(|e| e.to_string())?;
+                let serving_platform = if schedule.memory_bytes == platform.instance_memory_bytes {
+                    platform
+                } else {
+                    platform.with_memory_bytes(schedule.memory_bytes)
+                };
+                let mut rt = ForkJoinRuntime::new(&model, &plan, serving_platform)
+                    .map_err(|e| e.to_string())?;
+                if let Some(policy) = OverloadPolicy::from_env() {
+                    rt = rt.with_overload(policy).map_err(|e| e.to_string())?;
+                }
+                let report = rt
+                    .serve_open_loop_batched(&batch_policy, &schedule, rate, queries, clients, 7)
+                    .map_err(|e| e.to_string())?;
+                let windows = schedule
+                    .classes
+                    .iter()
+                    .map(|c| format!("n{}/{:.0}ms", c.batch, c.window_ms))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                println!(
+                    "batch: {} classes [{}] at {} MB, {} batches (mean {:.2}, {} fast-path, \
+                     {} size-closed, {} window-closed)",
+                    batch_policy.classes.len(),
+                    windows,
+                    schedule.memory_bytes / 1_000_000,
+                    report.batch.batches,
+                    report.batch.mean_batch(),
+                    report.batch.batch_one_fast_path,
+                    report.batch.size_closes,
+                    report.batch.window_closes,
+                );
+                print_serving_report(&report);
+                return Ok(());
+            }
             let mut rt =
                 ForkJoinRuntime::new(&model, &plan, platform).map_err(|e| e.to_string())?;
             // GILLIS_OVERLOAD_* env knobs enable overload protection, the
@@ -164,45 +225,49 @@ fn run() -> Result<(), String> {
                     7,
                 )
                 .map_err(|e| e.to_string())?;
-            println!(
-                "served {} queries: mean {:.1} ms, p50 {:.1} ms, p99 {:.1} ms",
-                report.latency.count(),
-                report.latency.mean(),
-                report.latency.percentile(50.0),
-                report.latency.percentile(99.0),
-            );
-            println!(
-                "billed {} ms total (${:.4}); {} cold starts, {} retries",
-                report.billing.billed_ms_total(),
-                report.billing.usd_total(),
-                report.cold_starts,
-                report.resilience.retries,
-            );
-            println!(
-                "outcomes: {} ok, {} degraded, {} failed ({} hedges, {} hedge wins, {} timeouts)",
-                report.resilience.ok_queries,
-                report.resilience.degraded_queries,
-                report.resilience.failed_queries,
-                report.resilience.hedges,
-                report.resilience.hedge_wins,
-                report.resilience.timeouts,
-            );
-            if report.overload.admitted > 0 {
-                println!(
-                    "overload: {} admitted, {} shed, {} deadline-exceeded, \
-                     {} cancelled attempts, {} breaker opens ({} short circuits)",
-                    report.overload.admitted,
-                    report.overload.shed(),
-                    report.resilience.deadline_exceeded_queries,
-                    report.overload.cancelled_attempts,
-                    report.overload.breaker_opens,
-                    report.overload.breaker_short_circuits,
-                );
-            }
+            print_serving_report(&report);
         }
         other => return Err(format!("unknown command '{other}'")),
     }
     Ok(())
+}
+
+fn print_serving_report(report: &gillis::core::ServingReport) {
+    println!(
+        "served {} queries: mean {:.1} ms, p50 {:.1} ms, p99 {:.1} ms",
+        report.latency.count(),
+        report.latency.mean(),
+        report.latency.percentile(50.0),
+        report.latency.percentile(99.0),
+    );
+    println!(
+        "billed {} ms total (${:.4}); {} cold starts, {} retries",
+        report.billing.billed_ms_total(),
+        report.billing.usd_total(),
+        report.cold_starts,
+        report.resilience.retries,
+    );
+    println!(
+        "outcomes: {} ok, {} degraded, {} failed ({} hedges, {} hedge wins, {} timeouts)",
+        report.resilience.ok_queries,
+        report.resilience.degraded_queries,
+        report.resilience.failed_queries,
+        report.resilience.hedges,
+        report.resilience.hedge_wins,
+        report.resilience.timeouts,
+    );
+    if report.overload.admitted > 0 {
+        println!(
+            "overload: {} admitted, {} shed, {} deadline-exceeded, \
+             {} cancelled attempts, {} breaker opens ({} short circuits)",
+            report.overload.admitted,
+            report.overload.shed(),
+            report.resilience.deadline_exceeded_queries,
+            report.overload.cancelled_attempts,
+            report.overload.breaker_opens,
+            report.overload.breaker_short_circuits,
+        );
+    }
 }
 
 fn main() -> ExitCode {

@@ -26,15 +26,17 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use gillis_core::{
-    execute_plan_tensors_resilient, predict_plan, ChaosConfig, CompiledPlanExec, CoreError,
-    DpPartitioner, ExecutionPlan, ForkJoinRuntime, OverloadPolicy, PartitionerConfig,
-    PlanPrediction, QueryStatus, ResilienceCounters, ResiliencePolicy, ServingReport,
+    execute_plan_tensors_resilient, plan_batch_schedule, predict_plan, BatchPolicy, BatchSchedule,
+    ChaosConfig, CompiledPlanExec, CoreError, DpPartitioner, ExecutionPlan, ForkJoinRuntime,
+    OverloadPolicy, PartitionerConfig, PlanPrediction, QueryStatus, ResilienceCounters,
+    ResiliencePolicy, ServingReport,
 };
 use gillis_faas::workload::ClosedLoop;
 use gillis_faas::PlatformProfile;
 use gillis_model::weights::{ModelWeights, NodeWeights};
 use gillis_model::LinearModel;
 use gillis_perf::PerfModel;
+use gillis_perf::TransferFormat;
 use gillis_rl::{slo_aware_partition, SloAwareConfig};
 use gillis_tensor::Tensor;
 
@@ -132,6 +134,7 @@ pub struct Gillis {
     chaos: Option<ChaosConfig>,
     policy: ResiliencePolicy,
     overload: Option<OverloadPolicy>,
+    batch: Option<BatchPolicy>,
 }
 
 impl Gillis {
@@ -147,6 +150,7 @@ impl Gillis {
             chaos: None,
             policy: ResiliencePolicy::default(),
             overload: None,
+            batch: None,
         }
     }
 
@@ -201,6 +205,18 @@ impl Gillis {
         self
     }
 
+    /// Enables adaptive multi-SLO batching for open-loop serving: arrivals
+    /// are hashed into the policy's SLO classes, accumulate in
+    /// deadline-derived windows, and dispatch as shared fork-join waves.
+    /// The batch size and instance memory are chosen jointly against the
+    /// performance model at serve time
+    /// ([`Deployment::serve_open_loop_batched`]). Validated at
+    /// [`Gillis::deploy`].
+    pub fn batch(mut self, policy: BatchPolicy) -> Self {
+        self.batch = Some(policy);
+        self
+    }
+
     /// Runs the full offline workflow: profile the platform, search for a
     /// plan under the chosen objective, and validate it.
     ///
@@ -251,6 +267,9 @@ impl Gillis {
         if let Some(ref overload) = self.overload {
             overload.validate().map_err(CoreError::from)?;
         }
+        if let Some(ref batch) = self.batch {
+            batch.validate().map_err(CoreError::from)?;
+        }
         Ok(Deployment {
             model: self.model,
             platform: self.platform,
@@ -259,6 +278,7 @@ impl Gillis {
             chaos: self.chaos,
             policy: self.policy,
             overload: self.overload,
+            batch: self.batch,
             warm: WarmCache::default(),
         })
     }
@@ -357,6 +377,7 @@ pub struct Deployment {
     chaos: Option<ChaosConfig>,
     policy: ResiliencePolicy,
     overload: Option<OverloadPolicy>,
+    batch: Option<BatchPolicy>,
     /// Lazily-compiled steady-state execution (pre-sliced weights, packed
     /// panels, preallocated buffers); see [`Deployment::infer`].
     warm: WarmCache,
@@ -540,6 +561,71 @@ impl Deployment {
     ) -> Result<ServingReport, CoreError> {
         self.runtime()?
             .serve_open_loop(rate_per_sec, queries, prewarm, seed)
+    }
+
+    /// Jointly configures batch sizes and instance memory for the expected
+    /// arrival rate (see [`gillis_core::plan_batch_schedule`]). Requires a
+    /// batch policy ([`Gillis::batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] without a batch policy, for a
+    /// non-positive rate, or when no candidate memory is feasible.
+    pub fn batch_schedule(&self, rate_per_sec: f64) -> Result<BatchSchedule, CoreError> {
+        let policy = self.batch.as_ref().ok_or_else(|| {
+            CoreError::InvalidArgument(
+                "deployment has no batch policy; configure one with Gillis::batch".to_string(),
+            )
+        })?;
+        plan_batch_schedule(
+            &self.model,
+            &self.plan,
+            &self.platform,
+            TransferFormat::F32,
+            policy,
+            rate_per_sec,
+        )
+    }
+
+    /// Serves an open-loop Poisson stream with adaptive multi-SLO batching
+    /// (see [`ForkJoinRuntime::serve_open_loop_batched`]): plans the joint
+    /// batch × memory schedule for this rate, rebuilds the fleet on the
+    /// chosen memory size when it differs from the deployment platform,
+    /// and returns the schedule alongside the report. Chaos and overload
+    /// settings compose.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule, fleet, and deployment errors.
+    pub fn serve_open_loop_batched(
+        &self,
+        rate_per_sec: f64,
+        queries: usize,
+        prewarm: usize,
+        seed: u64,
+    ) -> Result<(BatchSchedule, ServingReport), CoreError> {
+        let policy = self.batch.as_ref().ok_or_else(|| {
+            CoreError::InvalidArgument(
+                "deployment has no batch policy; configure one with Gillis::batch".to_string(),
+            )
+        })?;
+        let schedule = self.batch_schedule(rate_per_sec)?;
+        let platform = if schedule.memory_bytes == self.platform.instance_memory_bytes {
+            self.platform.clone()
+        } else {
+            self.platform.with_memory_bytes(schedule.memory_bytes)
+        };
+        let mut rt =
+            ForkJoinRuntime::new(&self.model, &self.plan, platform)?.with_policy(self.policy);
+        if let Some(ov) = self.overload {
+            rt = rt.with_overload_predicted(ov, self.prediction.latency_ms)?;
+        }
+        if let Some(cfg) = self.chaos {
+            rt = rt.with_chaos(cfg)?;
+        }
+        let report =
+            rt.serve_open_loop_batched(policy, &schedule, rate_per_sec, queries, prewarm, seed)?;
+        Ok((schedule, report))
     }
 }
 
@@ -785,6 +871,34 @@ mod tests {
         // Fault-injection sites only exist on the resilient path, so chaos
         // deployments must not compile a warm plan.
         assert!(format!("{:?}", d.warm).contains("empty"));
+    }
+
+    #[test]
+    fn batched_deployment_forms_batches_and_repicks_memory() {
+        let probe = Gillis::new(zoo::tiny_vgg()).deploy().unwrap();
+        let predicted = probe.predicted().latency_ms;
+        let base_mb = PlatformProfile::aws_lambda().instance_memory_bytes / 1_000_000;
+        let mut policy = BatchPolicy::single(f64::INFINITY, 4);
+        policy.max_window_ms = 4.0 * predicted;
+        policy.memory_mb = vec![base_mb, 2 * base_mb];
+        let d = Gillis::new(zoo::tiny_vgg()).batch(policy).deploy().unwrap();
+        let rate = 6_000.0 / predicted;
+        let (schedule, report) = d.serve_open_loop_batched(rate, 80, 4, 5).unwrap();
+        assert!(schedule.classes[0].batch > 1, "{:?}", schedule.classes[0]);
+        assert!(d
+            .batch
+            .as_ref()
+            .unwrap()
+            .memory_mb
+            .contains(&(schedule.memory_bytes / 1_000_000)));
+        assert_eq!(
+            report.batch.batched_queries + report.batch.batch_one_fast_path,
+            report.overload.admitted
+        );
+        assert!(report.batch.mean_batch() > 1.0, "{:?}", report.batch);
+        // Without a policy the batched entry point is an explicit error.
+        let err = probe.serve_open_loop_batched(rate, 10, 1, 5).unwrap_err();
+        assert!(err.to_string().contains("batch policy"), "{err}");
     }
 
     #[test]
