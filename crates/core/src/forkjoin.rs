@@ -33,8 +33,13 @@ use rand::{RngExt, SeedableRng};
 
 use gillis_faas::batch::{BatchCounters, BatchPolicy};
 use gillis_faas::billing::BillingMeter;
+use gillis_faas::brownout::{
+    ArrivalDecision, BrownoutController, BrownoutCounters, BrownoutLevel, BrownoutPolicy,
+};
+use gillis_faas::budget::{RetryBudget, RetryBudgetPolicy};
 use gillis_faas::chaos::{
-    ChaosConfig, Fault, FaultInjector, FaultSite, QueryStatus, ResilienceCounters, ResiliencePolicy,
+    wire_checksum, ChaosConfig, Fault, FaultInjector, FaultSite, OutageConfig, OutageModel,
+    QueryStatus, ResilienceCounters, ResiliencePolicy,
 };
 use gillis_faas::des::EventQueue;
 use gillis_faas::fleet::{Fleet, FunctionSpec};
@@ -100,6 +105,35 @@ pub struct ServingReport {
     /// batch-1 fast-path hits, close reasons. All zero outside
     /// [`ForkJoinRuntime::serve_open_loop_batched`].
     pub batch: BatchCounters,
+    /// Brownout-ladder accounting: arrivals per service level, step
+    /// downs/ups, ladder sheds, probes. All zero without a
+    /// [`BrownoutPolicy`].
+    pub brownout: BrownoutCounters,
+}
+
+impl ServingReport {
+    /// Worker invocations per first attempt (see
+    /// [`ResilienceCounters::retry_amplification`]): the load-amplification
+    /// factor retries and hedges added on top of admitted work.
+    pub fn retry_amplification(&self) -> f64 {
+        self.resilience.retry_amplification()
+    }
+
+    /// Folds another replication's report into this one: latency samples
+    /// are concatenated and every counter family (billing, resilience,
+    /// overload, batch, brownout) is summed, so percentiles, retry
+    /// amplification, and brownout level occupancy aggregate honestly
+    /// across seeds.
+    pub fn absorb(&mut self, other: &ServingReport) {
+        self.latency.absorb(&other.latency);
+        self.by_status.absorb(&other.by_status);
+        self.billing.merge(&other.billing);
+        self.cold_starts += other.cold_starts;
+        self.resilience.absorb(&other.resilience);
+        self.overload.absorb(&other.overload);
+        self.batch.absorb(&other.batch);
+        self.brownout.absorb(&other.brownout);
+    }
 }
 
 /// Latency distribution plus resilience accounting over a batch of
@@ -110,6 +144,20 @@ pub struct SimulationReport {
     pub latency: LatencyStats,
     /// Accumulated resilience counters, including per-status query tallies.
     pub resilience: ResilienceCounters,
+}
+
+impl SimulationReport {
+    /// Worker invocations per first attempt (see
+    /// [`ResilienceCounters::retry_amplification`]).
+    pub fn retry_amplification(&self) -> f64 {
+        self.resilience.retry_amplification()
+    }
+
+    /// Folds another replication's report into this one.
+    pub fn absorb(&mut self, other: &SimulationReport) {
+        self.latency.absorb(&other.latency);
+        self.resilience.absorb(&other.resilience);
+    }
 }
 
 /// The batch configuration chosen for one SLO class by
@@ -307,6 +355,9 @@ struct LaneExec {
     success: bool,
     /// The master abandoned the lane at its timeout.
     timed_out: bool,
+    /// The lane returned a payload whose checksum failed at the join: the
+    /// master received it (not a timeout) but must discard it.
+    corrupt: bool,
 }
 
 /// Overload protection prepared for serving: the policy plus the plan's
@@ -328,6 +379,15 @@ pub struct ForkJoinRuntime<'a> {
     injector: Option<FaultInjector>,
     policy: ResiliencePolicy,
     overload: Option<OverloadRuntime>,
+    /// Correlated-outage episodes scaling the injector's failure rates per
+    /// fault domain; `None` leaves the per-site sampler untouched.
+    outage: Option<OutageModel>,
+    /// Retry-budget policy for the fleet serving paths; `None` allows
+    /// unbounded retries/hedges (the pre-budget behavior).
+    retry_budget: Option<RetryBudgetPolicy>,
+    /// Brownout degradation ladder for the serving loops; `None` serves
+    /// every arrival at full service.
+    brownout: Option<BrownoutPolicy>,
     /// Wire encoding of fork/join payloads: every sampled transfer maps its
     /// raw f32 activation bytes through this format, mirroring
     /// `PerfModel::wire_bytes` so simulation and prediction price the same
@@ -373,6 +433,9 @@ impl<'a> ForkJoinRuntime<'a> {
             injector,
             policy: ResiliencePolicy::default(),
             overload: None,
+            outage: None,
+            retry_budget: None,
+            brownout: None,
             transfer_format: TransferFormat::default(),
             attempt_p95_ms,
         })
@@ -406,6 +469,66 @@ impl<'a> ForkJoinRuntime<'a> {
     pub fn with_policy(mut self, policy: ResiliencePolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Enables correlated-outage episodes: Markov on/off windows per fault
+    /// domain (platform, worker lane, memory tier) that multiply the
+    /// injector's invoke-failure and straggler rates by the configured
+    /// severity while active. Episode membership is a pure function of
+    /// `(outage seed, domain, virtual-time window)`, so serving stays
+    /// bit-identical across thread counts. Without a chaos injector the
+    /// model is inert — there are no rates to scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns the config's validation error.
+    pub fn with_outage(mut self, config: OutageConfig) -> Result<Self> {
+        self.outage = Some(config.build().map_err(CoreError::from)?);
+        Ok(self)
+    }
+
+    /// Enables an adaptive retry budget on the fleet serving paths: a
+    /// deterministic token bucket, refilled by successful first attempts,
+    /// that every retry and hedge must debit before launching. When the
+    /// bucket is dry the lane falls through to local fallback instead of
+    /// amplifying load into the outage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the policy's validation error.
+    pub fn with_retry_budget(mut self, policy: RetryBudgetPolicy) -> Result<Self> {
+        policy.validate().map_err(CoreError::from)?;
+        self.retry_budget = Some(policy);
+        Ok(self)
+    }
+
+    /// Enables the brownout degradation ladder on the serving loops: a
+    /// windowed first-attempt health score steps service down through
+    /// full → no-hedging → int8 wire → local-fallback-only → shed, and
+    /// back up only after consecutive clean windows (hysteresis).
+    ///
+    /// # Errors
+    ///
+    /// Returns the policy's validation error.
+    pub fn with_brownout(mut self, policy: BrownoutPolicy) -> Result<Self> {
+        policy.validate().map_err(CoreError::from)?;
+        self.brownout = Some(policy);
+        Ok(self)
+    }
+
+    /// Outage rate multiplier for a lane at virtual time `now_ms`: the
+    /// product of every active enabled domain's severity, `1.0` when no
+    /// outage model is installed or no episode covers the instant.
+    fn outage_multiplier(&self, group: u32, part: u32, now_ms: f64) -> f64 {
+        match &self.outage {
+            Some(o) => o.multiplier(
+                group,
+                part,
+                self.platform.instance_memory_bytes / 1_000_000,
+                now_ms,
+            ),
+            None => 1.0,
+        }
     }
 
     /// Enables overload protection: a bounded admission queue with
@@ -506,6 +629,7 @@ impl<'a> ForkJoinRuntime<'a> {
         work: &PartitionWork,
         jitter_covered_by_fork: bool,
         timeout_ms: f64,
+        now_ms: f64,
         rng: &mut R,
     ) -> LaneExec {
         let jitter_ms = if jitter_covered_by_fork {
@@ -514,7 +638,11 @@ impl<'a> ForkJoinRuntime<'a> {
             self.platform.invoke_latency_ms.sample(rng)
         };
         let compute_ms = self.sample_compute_ms(work, rng);
-        let fault = self.injector.as_ref().and_then(|inj| inj.fault(site));
+        let mult = self.outage_multiplier(site.group, site.part, now_ms);
+        let fault = self
+            .injector
+            .as_ref()
+            .and_then(|inj| inj.fault_scaled(site, mult));
         let (natural_ms, ok) = match fault {
             None => (compute_ms, true),
             // Fails right after the invocation round-trip.
@@ -530,6 +658,7 @@ impl<'a> ForkJoinRuntime<'a> {
                 run_ms: (timeout_ms - jitter_ms).max(0.0),
                 billed_ms: natural_ms,
                 success: false,
+                corrupt: false,
                 timed_out: true,
             }
         } else {
@@ -538,6 +667,9 @@ impl<'a> ForkJoinRuntime<'a> {
                 run_ms: natural_ms,
                 billed_ms: natural_ms,
                 success: ok,
+                // A corrupted payload only reaches the join if the master
+                // actually waited for it.
+                corrupt: matches!(fault, Some(Fault::Corrupt)),
                 timed_out: false,
             }
         }
@@ -559,6 +691,7 @@ impl<'a> ForkJoinRuntime<'a> {
         part: u32,
         work: &PartitionWork,
         p95_ms: f64,
+        base_ms: f64,
         rng: &mut R,
         worker_ms: &mut Vec<f64>,
         counters: &mut ResilienceCounters,
@@ -578,9 +711,20 @@ impl<'a> ForkJoinRuntime<'a> {
                 attempt,
                 lane: 0,
             };
-            let primary = self.sample_lane(p_site, work, attempt == 0, timeout_ms, rng);
+            let primary =
+                self.sample_lane(p_site, work, attempt == 0, timeout_ms, base_ms + t, rng);
+            counters.worker_invocations += 1;
+            if attempt == 0 {
+                counters.first_attempts += 1;
+                if primary.success {
+                    counters.first_attempt_successes += 1;
+                }
+            }
             if primary.timed_out {
                 counters.timeouts += 1;
+            }
+            if primary.corrupt {
+                counters.corruptions_detected += 1;
             }
             let p_end = t + primary.jitter_ms + primary.run_ms;
             let mut resolved = primary.success.then_some(p_end);
@@ -595,11 +739,16 @@ impl<'a> ForkJoinRuntime<'a> {
                         work,
                         false,
                         timeout_ms,
+                        base_ms + hedge_at,
                         rng,
                     );
                     counters.hedges += 1;
+                    counters.worker_invocations += 1;
                     if hedge.timed_out {
                         counters.timeouts += 1;
+                    }
+                    if hedge.corrupt {
+                        counters.corruptions_detected += 1;
                     }
                     let h_end = hedge_at + hedge.jitter_ms + hedge.run_ms;
                     if hedge.success && resolved.is_none_or(|r| h_end < r) {
@@ -696,6 +845,10 @@ impl<'a> ForkJoinRuntime<'a> {
                                 part_idx as u32,
                                 p,
                                 self.attempt_p95_ms[gi][part_idx],
+                                // Outage episodes key on absolute virtual
+                                // time; a simulated query anchors at t=0, so
+                                // lanes see the time elapsed inside it.
+                                latency + fork,
                                 rng,
                                 &mut worker_ms,
                                 &mut counters,
@@ -876,6 +1029,8 @@ impl<'a> ForkJoinRuntime<'a> {
             .overload
             .as_ref()
             .and_then(|ov| self.breaker_bank(&ov.policy));
+        let mut budget = self.retry_budget.map(RetryBudget::new);
+        let mut brownout = self.brownout.map(BrownoutController::new);
         let mut query_idx = 0u64;
 
         // Event = a client ready to issue a query.
@@ -887,6 +1042,17 @@ impl<'a> ForkJoinRuntime<'a> {
             if !workload.try_issue() {
                 continue;
             }
+            // Brownout front door: the ladder classifies before any other
+            // admission decision. A shed client thinks and retries later.
+            let level = match brownout.as_mut().map(BrownoutController::classify_arrival) {
+                Some(ArrivalDecision::Shed) => {
+                    resilience.record_status(QueryStatus::Shed);
+                    queue.push(now + workload.think_time, client);
+                    continue;
+                }
+                Some(ArrivalDecision::Serve(l)) => l,
+                None => BrownoutLevel::Full,
+            };
             // Closed-loop clients self-limit, so there is no admission
             // queue; deadlines and breakers still apply.
             let deadline = self
@@ -896,6 +1062,8 @@ impl<'a> ForkJoinRuntime<'a> {
             if self.overload.is_some() {
                 overload.admitted += 1;
             }
+            let first_attempts = resilience.first_attempts;
+            let first_successes = resilience.first_attempt_successes;
             let (done, status) = self.run_query_on_fleet(
                 &mut fleet,
                 &mut billing,
@@ -906,7 +1074,15 @@ impl<'a> ForkJoinRuntime<'a> {
                 breakers.as_deref_mut(),
                 &mut overload,
                 &mut resilience,
+                level,
+                budget.as_mut(),
             )?;
+            if let Some(ctl) = brownout.as_mut() {
+                ctl.observe(
+                    resilience.first_attempts - first_attempts,
+                    resilience.first_attempt_successes - first_successes,
+                );
+            }
             query_idx += 1;
             let ms = (done - now).as_ms();
             latency.record(ms);
@@ -923,6 +1099,7 @@ impl<'a> ForkJoinRuntime<'a> {
             resilience,
             overload,
             batch: BatchCounters::default(),
+            brownout: brownout.map(|c| c.counters).unwrap_or_default(),
         })
     }
 
@@ -979,12 +1156,24 @@ impl<'a> ForkJoinRuntime<'a> {
         let mut by_status = StatusLatency::new();
         let mut resilience = ResilienceCounters::default();
         let mut overload = OverloadCounters::default();
+        let mut budget = self.retry_budget.map(RetryBudget::new);
+        let mut brownout = self.brownout.map(BrownoutController::new);
         let mut now = Micros::ZERO;
 
         let Some(ov) = self.overload.clone() else {
             // Legacy unbounded scale-out: every arrival runs immediately.
             for q in 0..queries {
                 now += arrivals.next_gap(&mut rng);
+                let level = match brownout.as_mut().map(BrownoutController::classify_arrival) {
+                    Some(ArrivalDecision::Shed) => {
+                        resilience.record_status(QueryStatus::Shed);
+                        continue;
+                    }
+                    Some(ArrivalDecision::Serve(l)) => l,
+                    None => BrownoutLevel::Full,
+                };
+                let first_attempts = resilience.first_attempts;
+                let first_successes = resilience.first_attempt_successes;
                 let (done, status) = self.run_query_on_fleet(
                     &mut fleet,
                     &mut billing,
@@ -995,7 +1184,15 @@ impl<'a> ForkJoinRuntime<'a> {
                     None,
                     &mut overload,
                     &mut resilience,
+                    level,
+                    budget.as_mut(),
                 )?;
+                if let Some(ctl) = brownout.as_mut() {
+                    ctl.observe(
+                        resilience.first_attempts - first_attempts,
+                        resilience.first_attempt_successes - first_successes,
+                    );
+                }
                 let ms = (done - now).as_ms();
                 latency.record(ms);
                 by_status.record(status, ms);
@@ -1009,6 +1206,7 @@ impl<'a> ForkJoinRuntime<'a> {
                 resilience,
                 overload,
                 batch: BatchCounters::default(),
+                brownout: brownout.map(|c| c.counters).unwrap_or_default(),
             });
         };
 
@@ -1027,6 +1225,16 @@ impl<'a> ForkJoinRuntime<'a> {
             while admitted_starts.front().is_some_and(|&s| s <= now) {
                 admitted_starts.pop_front();
             }
+            // Brownout front door first: a browned-out platform sheds before
+            // consulting the queue at all.
+            let level = match brownout.as_mut().map(BrownoutController::classify_arrival) {
+                Some(ArrivalDecision::Shed) => {
+                    resilience.record_status(QueryStatus::Shed);
+                    continue;
+                }
+                Some(ArrivalDecision::Serve(l)) => l,
+                None => BrownoutLevel::Full,
+            };
             let waiting = admitted_starts.len();
             let min_free = server_free.peek().expect("max_concurrency >= 1").0;
             let start = now.max(min_free);
@@ -1052,6 +1260,8 @@ impl<'a> ForkJoinRuntime<'a> {
             let depth_now = waiting + usize::from(start > now);
             overload.peak_queue_depth = overload.peak_queue_depth.max(depth_now as u64);
             server_free.pop();
+            let first_attempts = resilience.first_attempts;
+            let first_successes = resilience.first_attempt_successes;
             let (done, status) = self.run_query_on_fleet(
                 &mut fleet,
                 &mut billing,
@@ -1062,7 +1272,15 @@ impl<'a> ForkJoinRuntime<'a> {
                 breakers.as_deref_mut(),
                 &mut overload,
                 &mut resilience,
+                level,
+                budget.as_mut(),
             )?;
+            if let Some(ctl) = brownout.as_mut() {
+                ctl.observe(
+                    resilience.first_attempts - first_attempts,
+                    resilience.first_attempt_successes - first_successes,
+                );
+            }
             server_free.push(Reverse(done));
             admitted_starts.push_back(start);
             // Latency is measured from *arrival*: queue wait counts.
@@ -1079,6 +1297,7 @@ impl<'a> ForkJoinRuntime<'a> {
             resilience,
             overload,
             batch: BatchCounters::default(),
+            brownout: brownout.map(|c| c.counters).unwrap_or_default(),
         })
     }
 
@@ -1179,6 +1398,8 @@ impl<'a> ForkJoinRuntime<'a> {
             .overload
             .as_ref()
             .and_then(|ov| self.breaker_bank(&ov.policy));
+        let mut budget = self.retry_budget.map(RetryBudget::new);
+        let mut brownout = self.brownout.map(BrownoutController::new);
         let mut server_free: BinaryHeap<Reverse<Micros>> = (0..max_concurrency)
             .map(|_| Reverse(Micros::ZERO))
             .collect();
@@ -1198,6 +1419,12 @@ impl<'a> ForkJoinRuntime<'a> {
                 .min_by_key(|&(ci, &(_, close_at))| (close_at, ci))
                 .map(|(ci, _)| ci)
         }
+        // Batched dispatches serve at the ladder level current when the
+        // window closes, capped at the int8 rung: members below it never
+        // reach a window (they dispatch solo at arrival).
+        fn batch_dispatch_level(brownout: Option<&BrownoutController>) -> BrownoutLevel {
+            brownout.map_or(BrownoutLevel::Full, |c| c.level().min(BrownoutLevel::Int8))
+        }
         // Start times of dispatched members that have not begun service
         // yet — the batching analogue of serve_open_loop's admission queue.
         // Monotone, so entries with `start > now` are exactly the queue.
@@ -1211,6 +1438,7 @@ impl<'a> ForkJoinRuntime<'a> {
                 let members = std::mem::take(&mut pending[ci].0);
                 let n = members.len();
                 let close_at = pending[ci].1;
+                let level = batch_dispatch_level(brownout.as_ref());
                 let start = self.dispatch_batch(
                     policy,
                     &profiles,
@@ -1228,11 +1456,33 @@ impl<'a> ForkJoinRuntime<'a> {
                     &mut resilience,
                     &mut overload,
                     &mut batch,
+                    level,
+                    brownout.as_mut(),
+                    budget.as_mut(),
                 )?;
                 admitted_starts.extend(std::iter::repeat_n(start, n));
             }
             while admitted_starts.front().is_some_and(|&s| s <= now) {
                 admitted_starts.pop_front();
+            }
+            // Brownout front door: below the int8 rung the ladder bypasses
+            // batching entirely — windows add latency a browned-out platform
+            // cannot afford, and local-fallback members cannot share a
+            // fork-join wave with normal ones — so those arrivals dispatch
+            // solo below.
+            let mut solo_level: Option<BrownoutLevel> = None;
+            if let Some(ctl) = brownout.as_mut() {
+                match ctl.classify_arrival() {
+                    ArrivalDecision::Shed => {
+                        resilience.record_status(QueryStatus::Shed);
+                        continue;
+                    }
+                    ArrivalDecision::Serve(l) => {
+                        if ctl.level() >= BrownoutLevel::LocalOnly {
+                            solo_level = Some(l);
+                        }
+                    }
+                }
             }
             let ci = policy.class_of(seed, q as u64);
             let class = &policy.classes[ci];
@@ -1245,6 +1495,32 @@ impl<'a> ForkJoinRuntime<'a> {
             if waiting >= queue_depth {
                 overload.shed_queue_full += 1;
                 resilience.record_status(QueryStatus::Shed);
+                continue;
+            }
+            if let Some(level) = solo_level {
+                overload.admitted += 1;
+                let start = self.dispatch_batch(
+                    policy,
+                    &profiles,
+                    ci,
+                    vec![(now, q as u64)],
+                    now,
+                    false,
+                    &mut fleet,
+                    &mut billing,
+                    &mut rng,
+                    &mut server_free,
+                    breakers.as_deref_mut(),
+                    &mut latency,
+                    &mut by_status,
+                    &mut resilience,
+                    &mut overload,
+                    &mut batch,
+                    level,
+                    brownout.as_mut(),
+                    budget.as_mut(),
+                )?;
+                admitted_starts.push_back(start);
                 continue;
             }
             if class.deadline_ms.is_finite() {
@@ -1273,6 +1549,7 @@ impl<'a> ForkJoinRuntime<'a> {
             if pending[ci].0.len() >= cs.batch {
                 let members = std::mem::take(&mut pending[ci].0);
                 let n = members.len();
+                let level = batch_dispatch_level(brownout.as_ref());
                 let start = self.dispatch_batch(
                     policy,
                     &profiles,
@@ -1290,6 +1567,9 @@ impl<'a> ForkJoinRuntime<'a> {
                     &mut resilience,
                     &mut overload,
                     &mut batch,
+                    level,
+                    brownout.as_mut(),
+                    budget.as_mut(),
                 )?;
                 admitted_starts.extend(std::iter::repeat_n(start, n));
             }
@@ -1306,6 +1586,7 @@ impl<'a> ForkJoinRuntime<'a> {
         while let Some(ci) = due(&pending) {
             let members = std::mem::take(&mut pending[ci].0);
             let close_at = pending[ci].1;
+            let level = batch_dispatch_level(brownout.as_ref());
             self.dispatch_batch(
                 policy,
                 &profiles,
@@ -1323,6 +1604,9 @@ impl<'a> ForkJoinRuntime<'a> {
                 &mut resilience,
                 &mut overload,
                 &mut batch,
+                level,
+                brownout.as_mut(),
+                budget.as_mut(),
             )?;
         }
         let cold_starts = self.count_cold_starts(&fleet)?;
@@ -1334,6 +1618,7 @@ impl<'a> ForkJoinRuntime<'a> {
             resilience,
             overload,
             batch,
+            brownout: brownout.map(|c| c.counters).unwrap_or_default(),
         })
     }
 
@@ -1360,6 +1645,9 @@ impl<'a> ForkJoinRuntime<'a> {
         resilience: &mut ResilienceCounters,
         overload: &mut OverloadCounters,
         batch: &mut BatchCounters,
+        level: BrownoutLevel,
+        brownout: Option<&mut BrownoutController>,
+        budget: Option<&mut RetryBudget>,
     ) -> Result<Micros> {
         let n = members.len();
         debug_assert!(n > 0, "a batch has at least one member");
@@ -1390,10 +1678,18 @@ impl<'a> ForkJoinRuntime<'a> {
             .then(|| first_arrival + Micros::from_ms(class.deadline_ms));
         let min_free = server_free.pop().expect("max_concurrency >= 1").0;
         let start = close_at.max(min_free);
+        let first_attempts = resilience.first_attempts;
+        let first_successes = resilience.first_attempt_successes;
         let (done, status) = self.run_query_with(
             analyses, p95, fleet, billing, start, rng, first_q, deadline, breakers, overload,
-            resilience,
+            resilience, level, budget,
         )?;
+        if let Some(ctl) = brownout {
+            ctl.observe(
+                resilience.first_attempts - first_attempts,
+                resilience.first_attempt_successes - first_successes,
+            );
+        }
         server_free.push(Reverse(done));
         // Every member shares the batch's terminal status; latency is
         // measured from each member's own arrival, so window wait counts.
@@ -1484,6 +1780,8 @@ impl<'a> ForkJoinRuntime<'a> {
             None,
             &mut overload,
             counters,
+            BrownoutLevel::Full,
+            None,
         )
         .map(|(done, _)| done)
     }
@@ -1513,6 +1811,8 @@ impl<'a> ForkJoinRuntime<'a> {
         breakers: Option<&mut [Vec<CircuitBreaker>]>,
         overload: &mut OverloadCounters,
         counters: &mut ResilienceCounters,
+        level: BrownoutLevel,
+        budget: Option<&mut RetryBudget>,
     ) -> Result<(Micros, QueryStatus)> {
         self.run_query_with(
             &self.analyses,
@@ -1526,6 +1826,8 @@ impl<'a> ForkJoinRuntime<'a> {
             breakers,
             overload,
             counters,
+            level,
+            budget,
         )
     }
 
@@ -1547,13 +1849,54 @@ impl<'a> ForkJoinRuntime<'a> {
         mut breakers: Option<&mut [Vec<CircuitBreaker>]>,
         overload: &mut OverloadCounters,
         counters: &mut ResilienceCounters,
+        level: BrownoutLevel,
+        mut budget: Option<&mut RetryBudget>,
     ) -> Result<(Micros, QueryStatus)> {
         let mem = self.platform.instance_memory_bytes;
         let max_attempts = self.policy.max_attempts.max(1);
+        // From the int8 rung down, fork/join payloads ship quantized
+        // regardless of the configured format — a browned-out platform
+        // sheds bytes before it sheds queries.
+        let wire_fmt = if level >= BrownoutLevel::Int8 {
+            TransferFormat::Int8
+        } else {
+            self.transfer_format
+        };
+        let wire = |raw: u64| wire_fmt.wire_bytes(raw);
         let master = fleet.acquire("master", start)?;
         let mut now = master.ready_at;
         let master_began = now;
         let mut status = QueryStatus::Ok;
+        if level >= BrownoutLevel::LocalOnly {
+            // Local-fallback-only rung: no worker lane is invoked at all.
+            // The master computes every partition itself, serially, in plan
+            // order — no fork/join transfers, no fault sites, no retries.
+            let mut degraded = false;
+            for (g, a) in self.plan.groups().iter().zip(analyses.iter()) {
+                for (pi, p) in a.partitions.iter().enumerate() {
+                    let is_worker = match g.placement {
+                        Placement::Master => false,
+                        Placement::Workers => true,
+                        Placement::MasterAndWorkers => pi > 0,
+                    };
+                    if is_worker {
+                        counters.degraded_shards += 1;
+                        degraded = true;
+                    }
+                    now += Micros::from_ms(self.sample_compute_ms(p, rng));
+                }
+            }
+            if degraded {
+                status = QueryStatus::Degraded;
+            }
+            if deadline.is_some_and(|d| now > d) {
+                status = QueryStatus::DeadlineExceeded;
+            }
+            billing.record((now - master_began).as_ms(), mem);
+            fleet.release("master", now)?;
+            counters.record_status(status);
+            return Ok((now, status));
+        }
         'groups: for (gi, (g, a)) in self.plan.groups().iter().zip(analyses.iter()).enumerate() {
             // Cooperative cancellation checkpoint at every group boundary:
             // an expired deadline cancels all remaining work.
@@ -1591,14 +1934,9 @@ impl<'a> ForkJoinRuntime<'a> {
                     // Fork: same egress model as `simulate_query` — one
                     // shared helper, so fleet serving and single-query
                     // simulation cannot drift apart.
-                    let ins: Vec<u64> = worker_parts
-                        .iter()
-                        .map(|p| self.wire(p.input_bytes))
-                        .collect();
-                    let outs: Vec<u64> = worker_parts
-                        .iter()
-                        .map(|p| self.wire(p.output_bytes))
-                        .collect();
+                    let ins: Vec<u64> = worker_parts.iter().map(|p| wire(p.input_bytes)).collect();
+                    let outs: Vec<u64> =
+                        worker_parts.iter().map(|p| wire(p.output_bytes)).collect();
                     let dispatched = now + Micros::from_ms(self.sample_transfer_parts(&ins, rng));
                     // The master's own shard is synchronous local work — it
                     // cannot be abandoned, so it lower-bounds the time at
@@ -1629,7 +1967,7 @@ impl<'a> ForkJoinRuntime<'a> {
                         let timeout_ms = self.policy.attempt_timeout_factor * p95;
                         let transfer = self
                             .platform
-                            .transfer_ms(self.wire(p.input_bytes) + self.wire(p.output_bytes));
+                            .transfer_ms(wire(p.input_bytes) + wire(p.output_bytes));
                         let mut t = dispatched;
                         let mut resolved: Option<Micros> = None;
                         let mut observed_end = dispatched;
@@ -1660,10 +1998,31 @@ impl<'a> ForkJoinRuntime<'a> {
                                 attempt,
                                 lane: 0,
                             };
-                            let primary =
-                                self.sample_lane(p_site, p, attempt == 0, eff_timeout_ms, rng);
+                            let primary = self.sample_lane(
+                                p_site,
+                                p,
+                                attempt == 0,
+                                eff_timeout_ms,
+                                t.as_ms(),
+                                rng,
+                            );
+                            counters.worker_invocations += 1;
+                            if attempt == 0 {
+                                counters.first_attempts += 1;
+                                if primary.success {
+                                    counters.first_attempt_successes += 1;
+                                    // Successful first attempts are the only
+                                    // thing that earns retry tokens back.
+                                    if let Some(b) = budget.as_deref_mut() {
+                                        b.refill();
+                                    }
+                                }
+                            }
                             if primary.timed_out {
                                 counters.timeouts += 1;
+                            }
+                            if primary.corrupt {
+                                counters.corruptions_detected += 1;
                             }
                             let acq = fleet.acquire(&fname, t)?;
                             let work_start =
@@ -1674,40 +2033,58 @@ impl<'a> ForkJoinRuntime<'a> {
                             let mut attempt_end = p_end;
                             let mut hedge_won = false;
                             let mut hedge_bill: Option<(Micros, Micros)> = None;
-                            if self.policy.hedged() {
+                            // The first brownout rung turns hedging off: a
+                            // hedge is pure load amplification when the
+                            // platform is already unhealthy.
+                            if self.policy.hedged() && level == BrownoutLevel::Full {
                                 let hedge_at =
                                     t + Micros::from_ms(self.policy.hedge_delay_factor * p95);
                                 // A hedge is only worth launching before
                                 // the deadline.
                                 let hedge_allowed = deadline.is_none_or(|d| hedge_at < d);
                                 if p_end > hedge_at && hedge_allowed {
-                                    let hedge_timeout_ms = match deadline {
-                                        Some(d) => timeout_ms.min((d - hedge_at).as_ms()),
-                                        None => timeout_ms,
+                                    // Hedges debit the same token bucket as
+                                    // retries — both are extra invocations.
+                                    let budget_ok = match budget.as_deref_mut() {
+                                        Some(b) => b.try_spend(),
+                                        None => true,
                                     };
-                                    let hedge = self.sample_lane(
-                                        FaultSite { lane: 1, ..p_site },
-                                        p,
-                                        false,
-                                        hedge_timeout_ms,
-                                        rng,
-                                    );
-                                    counters.hedges += 1;
-                                    if hedge.timed_out {
-                                        counters.timeouts += 1;
+                                    if !budget_ok {
+                                        counters.budget_denied_hedges += 1;
+                                    } else {
+                                        let hedge_timeout_ms = match deadline {
+                                            Some(d) => timeout_ms.min((d - hedge_at).as_ms()),
+                                            None => timeout_ms,
+                                        };
+                                        let hedge = self.sample_lane(
+                                            FaultSite { lane: 1, ..p_site },
+                                            p,
+                                            false,
+                                            hedge_timeout_ms,
+                                            hedge_at.as_ms(),
+                                            rng,
+                                        );
+                                        counters.hedges += 1;
+                                        counters.worker_invocations += 1;
+                                        if hedge.timed_out {
+                                            counters.timeouts += 1;
+                                        }
+                                        if hedge.corrupt {
+                                            counters.corruptions_detected += 1;
+                                        }
+                                        let h_acq = fleet.acquire(&fname, hedge_at)?;
+                                        let h_start = h_acq
+                                            .ready_at
+                                            .max(hedge_at + Micros::from_ms(hedge.jitter_ms));
+                                        let h_end = h_start + Micros::from_ms(hedge.run_ms);
+                                        let h_busy_end = h_start + Micros::from_ms(hedge.billed_ms);
+                                        if hedge.success && resolved.is_none_or(|r| h_end < r) {
+                                            hedge_won = true;
+                                            resolved = Some(h_end);
+                                        }
+                                        attempt_end = attempt_end.max(h_end);
+                                        hedge_bill = Some((h_start, h_busy_end));
                                     }
-                                    let h_acq = fleet.acquire(&fname, hedge_at)?;
-                                    let h_start = h_acq
-                                        .ready_at
-                                        .max(hedge_at + Micros::from_ms(hedge.jitter_ms));
-                                    let h_end = h_start + Micros::from_ms(hedge.run_ms);
-                                    let h_busy_end = h_start + Micros::from_ms(hedge.billed_ms);
-                                    if hedge.success && resolved.is_none_or(|r| h_end < r) {
-                                        hedge_won = true;
-                                        resolved = Some(h_end);
-                                    }
-                                    attempt_end = attempt_end.max(h_end);
-                                    hedge_bill = Some((h_start, h_busy_end));
                                 }
                             }
                             if hedge_won {
@@ -1737,6 +2114,18 @@ impl<'a> ForkJoinRuntime<'a> {
                                 break;
                             }
                             observed_end = attempt_end;
+                            // Adaptive retry budget: a retry that would
+                            // actually launch must first debit a token.
+                            // A dry bucket abandons the lane to local
+                            // fallback instead of amplifying load.
+                            if attempt + 1 < lane_attempts {
+                                if let Some(b) = budget.as_deref_mut() {
+                                    if !b.try_spend() {
+                                        counters.budget_denied_retries += 1;
+                                        break;
+                                    }
+                                }
+                            }
                             if attempt + 1 < max_attempts {
                                 counters.retries += 1;
                                 let unit = self
@@ -2064,7 +2453,7 @@ pub fn execute_plan_tensors_cancellable(
                     if attempt > 0 && cancel.checkpoint() {
                         return Err(CoreError::Cancelled { group: gi });
                     }
-                    let worker = |k: usize| -> std::result::Result<Tensor, PieceFault> {
+                    let worker = |k: usize| -> std::result::Result<(Tensor, u64), PieceFault> {
                         let j = pending[k];
                         let piece = ranges[j].clone();
                         let site = FaultSite {
@@ -2082,24 +2471,51 @@ pub fn execute_plan_tensors_cancellable(
                                 std::panic::panic_any(InjectedCrash);
                             }
                             Some(Fault::Corrupt) => {
-                                // The worker computes, but the response is
-                                // corrupted in transfer and rejected at the
-                                // join.
-                                let _ = run_piece(piece);
-                                return Err(PieceFault::Injected("corrupted response"));
+                                // The worker computes correctly and stamps
+                                // the honest checksum, but the payload is
+                                // corrupted in transfer: one element's sign
+                                // bit flips (index drawn from the checksum,
+                                // so the flip is deterministic). The join's
+                                // verification rejects the piece.
+                                let mut t = run_piece(piece).map_err(PieceFault::Exec)?;
+                                let sum = wire_checksum(t.data());
+                                let data = t.data_mut();
+                                if data.is_empty() {
+                                    return Err(PieceFault::Injected("corrupted response"));
+                                }
+                                let idx = (sum as usize) % data.len();
+                                data[idx] = f32::from_bits(data[idx].to_bits() ^ 0x8000_0000);
+                                return Ok((t, sum));
                             }
                             // Stragglers only affect timing, which the real
                             // path does not model.
                             Some(Fault::Straggler { .. }) | None => {}
                         }
-                        run_piece(piece).map_err(PieceFault::Exec)
+                        run_piece(piece)
+                            .map(|t| {
+                                let sum = wire_checksum(t.data());
+                                (t, sum)
+                            })
+                            .map_err(PieceFault::Exec)
                     };
                     let results = pool.try_run(pending.len(), worker);
                     let mut still: Vec<usize> = Vec::new();
                     for (k, res) in results.into_iter().enumerate() {
                         let j = pending[k];
                         match res {
-                            Ok(Ok(t)) => pieces[j] = Some(t),
+                            // Every accepted payload must re-verify against
+                            // the checksum stamped at the worker: transfer
+                            // corruption is *detected*, never silently
+                            // concatenated into the output.
+                            Ok(Ok((t, sum))) => {
+                                if wire_checksum(t.data()) == sum {
+                                    pieces[j] = Some(t);
+                                } else {
+                                    counters.corruptions_detected += 1;
+                                    last_fault[j] = "corrupted response (checksum mismatch)";
+                                    still.push(j);
+                                }
+                            }
                             // Deterministic model errors are not retryable.
                             Ok(Err(PieceFault::Exec(e))) => return Err(e.into()),
                             Ok(Err(PieceFault::Injected(reason))) => {
@@ -3242,5 +3658,282 @@ mod tests {
             .serve_open_loop_batched(&policy, &short, 100.0, 10, 2, 1)
             .unwrap_err();
         assert!(matches!(err, CoreError::InvalidArgument(_)), "{err}");
+    }
+
+    /// Chaos with a baseline failure rate that a severity-8 outage episode
+    /// pushes deep into correlated-failure territory.
+    fn outage_chaos(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            invoke_failure_rate: 0.04,
+            crash_rate: 0.0,
+            straggler_rate: 0.02,
+            straggler_slowdown: 4.0,
+            corrupt_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn outage_episodes_scale_failures_and_stay_deterministic() {
+        // During severe platform episodes the invoke-failure rate multiplies
+        // by the severity: serving with the outage enabled must retry and
+        // degrade more than the same run without it, and two identical runs
+        // must agree bit-for-bit.
+        let (runtime, predicted) = overload_fixture();
+        let rate = 0.3 * 1000.0 * 4.0 / predicted;
+        let calm = runtime
+            .clone()
+            .with_chaos(outage_chaos(7))
+            .unwrap()
+            .with_policy(ResiliencePolicy::backoff())
+            .serve_open_loop(rate, 200, 4, 11)
+            .unwrap();
+        let run = || {
+            runtime
+                .clone()
+                .with_chaos(outage_chaos(7))
+                .unwrap()
+                .with_policy(ResiliencePolicy::backoff())
+                .with_outage(OutageConfig::severe(8.0, 21))
+                .unwrap()
+                .serve_open_loop(rate, 200, 4, 11)
+                .unwrap()
+        };
+        let stormy = run();
+        let again = run();
+        assert_eq!(stormy.resilience, again.resilience);
+        assert_eq!(
+            stormy.latency.mean().to_bits(),
+            again.latency.mean().to_bits()
+        );
+        assert!(
+            stormy.resilience.retries > calm.resilience.retries,
+            "outage should force extra retries: {} vs {}",
+            stormy.resilience.retries,
+            calm.resilience.retries
+        );
+        assert!(stormy.retry_amplification() > calm.retry_amplification());
+        // First-attempt accounting is self-consistent: one per worker lane
+        // per served query.
+        let lanes: u64 = runtime
+            .plan
+            .groups()
+            .iter()
+            .map(|g| g.worker_count() as u64)
+            .sum();
+        assert_eq!(calm.resilience.first_attempts, 200 * lanes);
+    }
+
+    #[test]
+    fn retry_budget_collapses_amplification_under_outage() {
+        // The tentpole acceptance criterion: under a severe correlated
+        // outage, naive retries amplify every admitted query into ~2x+
+        // worker invocations, while the token bucket caps the amplification
+        // and converts the excess into (honest) local-fallback degradation.
+        let (runtime, predicted) = overload_fixture();
+        let rate = 0.3 * 1000.0 * 4.0 / predicted;
+        let stormy = |rt: ForkJoinRuntime<'static>| {
+            rt.with_chaos(ChaosConfig::invoke_only(0.35, 7))
+                .unwrap()
+                .serve_open_loop(rate, 300, 4, 11)
+                .unwrap()
+        };
+        let naive = stormy(runtime.clone().with_policy(ResiliencePolicy::naive_retry()));
+        let budgeted = stormy(
+            runtime
+                .clone()
+                .with_policy(ResiliencePolicy::naive_retry())
+                .with_retry_budget(RetryBudgetPolicy {
+                    max_tokens: 16.0,
+                    initial_tokens: 16.0,
+                    refill_per_success: 0.05,
+                })
+                .unwrap(),
+        );
+        assert!(
+            naive.retry_amplification() >= 1.4,
+            "naive amplification {:.2}",
+            naive.retry_amplification()
+        );
+        assert!(
+            budgeted.retry_amplification() <= 1.2,
+            "budgeted amplification {:.2}",
+            budgeted.retry_amplification()
+        );
+        assert!(budgeted.resilience.budget_denied_retries > 0);
+        // Denied retries become local fallbacks, not failures.
+        assert_eq!(budgeted.resilience.failed_queries, 0);
+        assert!(budgeted.resilience.degraded_queries > 0);
+    }
+
+    #[test]
+    fn brownout_ladder_steps_down_under_outage_and_recovers() {
+        // A long stream with episodic outages: the ladder must step down
+        // during episodes (degraded arrivals appear below Full) and step
+        // back up in the clean stretches (step_ups > 0), never ending the
+        // run stuck when health has recovered.
+        let (runtime, predicted) = overload_fixture();
+        let rate = 0.3 * 1000.0 * 4.0 / predicted;
+        // Sparse but devastating episodes: long clean stretches between
+        // them give the probe-driven recovery something to observe.
+        let outage = OutageConfig {
+            seed: 3,
+            window_ms: 200.0,
+            start_prob: 0.01,
+            min_windows: 10,
+            max_windows: 25,
+            severity: 60.0,
+            platform: true,
+            lanes: false,
+            memory_tiers: false,
+        };
+        let brownout_policy = BrownoutPolicy {
+            window_lanes: 16,
+            probe_interval: 2,
+            ..BrownoutPolicy::default()
+        };
+        let report = runtime
+            .clone()
+            .with_chaos(outage_chaos(7))
+            .unwrap()
+            .with_policy(ResiliencePolicy::backoff())
+            .with_outage(outage)
+            .unwrap()
+            .with_brownout(brownout_policy)
+            .unwrap()
+            .serve_open_loop(rate, 600, 4, 11)
+            .unwrap();
+        assert!(
+            report.brownout.step_downs > 0,
+            "episodes must trip the ladder: {:?}",
+            report.brownout
+        );
+        assert!(
+            report.brownout.step_ups > 0,
+            "clean windows must recover: {:?}",
+            report.brownout
+        );
+        assert!(report.brownout.degraded_arrivals() > 0);
+        // Every arrival is accounted at exactly one ladder level.
+        assert_eq!(report.brownout.arrivals(), 600);
+        // Identical runs agree bit-for-bit, counters included.
+        let again = runtime
+            .clone()
+            .with_chaos(outage_chaos(7))
+            .unwrap()
+            .with_policy(ResiliencePolicy::backoff())
+            .with_outage(outage)
+            .unwrap()
+            .with_brownout(brownout_policy)
+            .unwrap()
+            .serve_open_loop(rate, 600, 4, 11)
+            .unwrap();
+        assert_eq!(report.brownout, again.brownout);
+        assert_eq!(report.resilience, again.resilience);
+    }
+
+    #[test]
+    fn healthy_platform_is_bit_identical_with_budget_and_brownout_installed() {
+        // On a healthy platform the resilience additions are pure
+        // observers: the bucket never runs dry, the ladder never leaves
+        // Full, and the serving report matches the plain runtime
+        // bit-for-bit (latency, billing, and all pre-existing counters).
+        let (runtime, predicted) = overload_fixture();
+        let rate = 0.3 * 1000.0 * 4.0 / predicted;
+        let plain = runtime.clone().serve_open_loop(rate, 200, 4, 13).unwrap();
+        let guarded = runtime
+            .clone()
+            .with_retry_budget(RetryBudgetPolicy::default())
+            .unwrap()
+            .with_brownout(BrownoutPolicy::default())
+            .unwrap()
+            .serve_open_loop(rate, 200, 4, 13)
+            .unwrap();
+        assert_eq!(
+            plain.latency.mean().to_bits(),
+            guarded.latency.mean().to_bits()
+        );
+        assert_eq!(
+            plain.billing.usd_total().to_bits(),
+            guarded.billing.usd_total().to_bits()
+        );
+        assert_eq!(plain.resilience, guarded.resilience);
+        assert_eq!(guarded.brownout.queries_at_level[0], 200);
+        assert_eq!(guarded.brownout.step_downs, 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+
+        /// Outage acceptance criterion: episode membership is a pure
+        /// function of `(outage seed, domain, window)`, so chaotic serving
+        /// under correlated outages — every counter included — is
+        /// bit-identical for any `GILLIS_THREADS`.
+        #[test]
+        fn outage_simulation_is_bit_identical_across_thread_counts(
+            (chaos_seed, outage_seed, n) in (0u64..1000, 0u64..1000, 10usize..40),
+        ) {
+            let platform = PlatformProfile::aws_lambda();
+            let perf = PerfModel::analytic(&platform);
+            let vgg = zoo::vgg11();
+            let plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+            let runtime = ForkJoinRuntime::new(&vgg, &plan, platform)
+                .unwrap()
+                .with_chaos(stress_chaos(chaos_seed))
+                .unwrap()
+                .with_policy(ResiliencePolicy::backoff_hedged())
+                .with_outage(OutageConfig::severe(8.0, outage_seed))
+                .unwrap();
+            let seq = runtime.simulate_many_with_threads(n, 5, 1);
+            for threads in [2usize, 8] {
+                let par = runtime.simulate_many_with_threads(n, 5, threads);
+                proptest::prop_assert_eq!(
+                    seq.latency.mean().to_bits(),
+                    par.latency.mean().to_bits()
+                );
+                proptest::prop_assert_eq!(&seq.resilience, &par.resilience);
+            }
+        }
+
+        /// Corruption is detected, never silent: under transfer corruption
+        /// the tensor path's checksum verification rejects every corrupted
+        /// payload, so any returned output is bit-identical to the
+        /// fault-free run — and the detections are counted.
+        #[test]
+        fn corruption_never_reaches_an_ok_query(
+            (weight_seed, chaos_seed) in (0u64..500, 0u64..500),
+        ) {
+            let tiny = zoo::tiny_vgg();
+            let weights = init_weights(tiny.graph(), weight_seed).unwrap();
+            let input = Tensor::from_fn(tiny.input_shape().clone(), |i| {
+                ((i % 13) as f32 - 6.0) / 7.0
+            });
+            let plan = forced_split_plan(&tiny);
+            let clean = execute_plan_tensors_resilient(
+                &tiny, &plan, &weights, &input, None, &ResiliencePolicy::default(), 1,
+            )
+            .unwrap()
+            .0;
+            let injector = ChaosConfig {
+                seed: chaos_seed,
+                corrupt_rate: 0.3,
+                ..ChaosConfig::default()
+            }
+            .build()
+            .unwrap();
+            for threads in [1usize, 4] {
+                let (out, counters) = execute_plan_tensors_resilient(
+                    &tiny, &plan, &weights, &input,
+                    Some(&injector), &ResiliencePolicy::default(), threads,
+                )
+                .unwrap();
+                for (a, b) in clean.data().iter().zip(out.data()) {
+                    proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                // At a 30% corrupt rate over dozens of pieces, at least one
+                // corruption fires and every one is detected at the join.
+                proptest::prop_assert!(counters.corruptions_detected > 0);
+            }
+        }
     }
 }

@@ -58,8 +58,13 @@ pub use forkjoin::{
     ClassSchedule, ForkJoinRuntime, QueryOutcome, ServingReport, SimulationReport,
 };
 pub use gillis_faas::batch::{BatchCounters, BatchPolicy, SloClass};
+pub use gillis_faas::brownout::{
+    ArrivalDecision, BrownoutController, BrownoutCounters, BrownoutLevel, BrownoutPolicy,
+};
+pub use gillis_faas::budget::{RetryBudget, RetryBudgetPolicy};
 pub use gillis_faas::chaos::{
-    ChaosConfig, Fault, FaultInjector, FaultSite, QueryStatus, ResilienceCounters, ResiliencePolicy,
+    wire_checksum, ChaosConfig, Fault, FaultDomain, FaultInjector, FaultSite, OutageConfig,
+    OutageModel, QueryStatus, ResilienceCounters, ResiliencePolicy,
 };
 pub use gillis_faas::metrics::StatusLatency;
 pub use gillis_faas::overload::{

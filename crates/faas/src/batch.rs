@@ -293,18 +293,23 @@ impl BatchPolicy {
     /// `GILLIS_BATCH_AMORTIZED`, and `GILLIS_BATCH_MEMORY_MB` (comma list of
     /// MB sizes) override the `single`-class defaults. Returns `None` when
     /// the enabling variable is unset or unparseable, and `None` for an
-    /// invalid combination.
+    /// invalid combination; malformed values are reported on stderr (see
+    /// [`crate::envutil`]).
     pub fn from_env() -> Option<Self> {
-        fn var<T: std::str::FromStr>(name: &str) -> Option<T> {
-            std::env::var(name).ok()?.parse().ok()
-        }
+        use crate::envutil::env_var as var;
         let max_batch: usize = var("GILLIS_BATCH_MAX")?;
         let mut policy = BatchPolicy {
             max_batch,
             ..BatchPolicy::single(f64::INFINITY, max_batch)
         };
         if let Ok(spec) = std::env::var("GILLIS_BATCH_CLASSES") {
-            policy.classes = parse_classes(&spec).ok()?;
+            match parse_classes(&spec) {
+                Ok(classes) => policy.classes = classes,
+                Err(e) => {
+                    eprintln!("gillis: ignoring malformed GILLIS_BATCH_CLASSES={spec:?}: {e}");
+                    return None;
+                }
+            }
         }
         if let Some(w) = var("GILLIS_BATCH_WINDOW_MS") {
             policy.max_window_ms = w;
@@ -315,11 +320,8 @@ impl BatchPolicy {
         if let Some(a) = var("GILLIS_BATCH_AMORTIZED") {
             policy.amortized_fraction = a;
         }
-        if let Ok(spec) = std::env::var("GILLIS_BATCH_MEMORY_MB") {
-            policy.memory_mb = spec
-                .split(',')
-                .map(|m| m.trim().parse().ok())
-                .collect::<Option<Vec<u64>>>()?;
+        if std::env::var("GILLIS_BATCH_MEMORY_MB").is_ok() {
+            policy.memory_mb = crate::envutil::env_list("GILLIS_BATCH_MEMORY_MB")?;
         }
         policy.validate().ok().map(|()| policy)
     }

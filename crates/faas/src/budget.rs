@@ -1,0 +1,175 @@
+//! Adaptive retry budgets: a deterministic token bucket that bounds how
+//! much *extra* load retries and hedges may add.
+//!
+//! Under a correlated outage, fixed per-query retry budgets multiply
+//! offered load exactly when capacity is lowest — the metastable-failure
+//! shape. A [`RetryBudget`] makes retry capacity a *shared, earned*
+//! resource: every retry or hedge spends one token, and tokens are refilled
+//! only by successful first attempts. While the platform is healthy the
+//! bucket stays full and behavior is unchanged; when first attempts start
+//! failing en masse the bucket drains and retries collapse to near zero
+//! instead of amplifying the storm. All accounting is plain arithmetic on
+//! the serving loop's own event order — no clocks, no RNG — so runs stay
+//! bit-identical across thread counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FaasError;
+use crate::Result;
+
+/// Token-bucket knobs for [`RetryBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryBudgetPolicy {
+    /// Bucket capacity in tokens; a retry or hedge spends one token.
+    pub max_tokens: f64,
+    /// Tokens in the bucket at the start of a serving run (clamped to
+    /// `max_tokens`).
+    pub initial_tokens: f64,
+    /// Tokens earned per successful first attempt (capped at capacity):
+    /// healthy traffic funds the right to retry.
+    pub refill_per_success: f64,
+}
+
+impl Default for RetryBudgetPolicy {
+    fn default() -> Self {
+        RetryBudgetPolicy {
+            max_tokens: 32.0,
+            initial_tokens: 32.0,
+            refill_per_success: 0.1,
+        }
+    }
+}
+
+impl RetryBudgetPolicy {
+    /// Reads budget knobs from the environment. `GILLIS_RETRY_BUDGET_MAX`
+    /// enables the budget (bucket capacity); `GILLIS_RETRY_BUDGET_INITIAL`
+    /// and `GILLIS_RETRY_BUDGET_REFILL` override the starting fill and the
+    /// per-success refill. Malformed values are reported on stderr.
+    pub fn from_env() -> Option<Self> {
+        use crate::envutil::env_var;
+        let max_tokens: f64 = env_var("GILLIS_RETRY_BUDGET_MAX")?;
+        if max_tokens <= 0.0 || !max_tokens.is_finite() {
+            return None;
+        }
+        Some(RetryBudgetPolicy {
+            max_tokens,
+            initial_tokens: env_var("GILLIS_RETRY_BUDGET_INITIAL").unwrap_or(max_tokens),
+            refill_per_success: env_var("GILLIS_RETRY_BUDGET_REFILL")
+                .unwrap_or(RetryBudgetPolicy::default().refill_per_success),
+        })
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::InvalidArgument`] for a non-positive or
+    /// non-finite capacity, or negative/non-finite initial fill or refill.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_tokens <= 0.0 || !self.max_tokens.is_finite() {
+            return Err(FaasError::InvalidArgument(format!(
+                "retry budget max_tokens must be positive and finite: {}",
+                self.max_tokens
+            )));
+        }
+        if self.initial_tokens < 0.0 || !self.initial_tokens.is_finite() {
+            return Err(FaasError::InvalidArgument(format!(
+                "retry budget initial_tokens must be >= 0 and finite: {}",
+                self.initial_tokens
+            )));
+        }
+        if self.refill_per_success < 0.0 || !self.refill_per_success.is_finite() {
+            return Err(FaasError::InvalidArgument(format!(
+                "retry budget refill_per_success must be >= 0 and finite: {}",
+                self.refill_per_success
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Live token bucket for one serving run (see [`RetryBudgetPolicy`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryBudget {
+    policy: RetryBudgetPolicy,
+    tokens: f64,
+}
+
+impl RetryBudget {
+    /// Starts a bucket at the policy's initial fill.
+    pub fn new(policy: RetryBudgetPolicy) -> Self {
+        RetryBudget {
+            policy,
+            tokens: policy.initial_tokens.min(policy.max_tokens),
+        }
+    }
+
+    /// Tokens currently available (never negative).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Spends one token for a retry or hedge; `false` — and no spend —
+    /// when less than a whole token remains.
+    pub fn try_spend(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Credits one successful first attempt, capped at capacity.
+    pub fn refill(&mut self) {
+        self.tokens = (self.tokens + self.policy.refill_per_success).min(self.policy.max_tokens);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_validation() {
+        assert!(RetryBudgetPolicy::default().validate().is_ok());
+        for bad in [
+            RetryBudgetPolicy {
+                max_tokens: 0.0,
+                ..RetryBudgetPolicy::default()
+            },
+            RetryBudgetPolicy {
+                initial_tokens: -1.0,
+                ..RetryBudgetPolicy::default()
+            },
+            RetryBudgetPolicy {
+                refill_per_success: f64::NAN,
+                ..RetryBudgetPolicy::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn bucket_drains_refills_and_never_goes_negative() {
+        let mut b = RetryBudget::new(RetryBudgetPolicy {
+            max_tokens: 2.0,
+            initial_tokens: 10.0, // clamped to capacity
+            refill_per_success: 0.5,
+        });
+        assert_eq!(b.tokens(), 2.0);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "empty bucket denies");
+        assert_eq!(b.tokens(), 0.0);
+        b.refill();
+        assert!(!b.try_spend(), "half a token is not a token");
+        b.refill();
+        assert!(b.try_spend());
+        for _ in 0..100 {
+            b.refill();
+        }
+        assert_eq!(b.tokens(), 2.0, "refill caps at capacity");
+    }
+}

@@ -120,19 +120,17 @@ impl ChaosConfig {
     /// Reads chaos knobs from the environment: `GILLIS_CHAOS_RATE` (total
     /// fault rate, split 40% invocation failures / 40% crashes / 20%
     /// corruption) and `GILLIS_CHAOS_SEED` (default `0xC4A05EED`). Returns
-    /// `None` when `GILLIS_CHAOS_RATE` is unset or not a positive number.
+    /// `None` when `GILLIS_CHAOS_RATE` is unset or not a positive number;
+    /// a malformed value is reported on stderr (see [`crate::envutil`]).
     /// This is how CI's chaos job injects faults into the test suite.
     pub fn from_env() -> Option<Self> {
-        let rate: f64 = std::env::var("GILLIS_CHAOS_RATE").ok()?.parse().ok()?;
+        let rate: f64 = crate::envutil::env_var("GILLIS_CHAOS_RATE")?;
         // NaN-rejecting: only a definitely-positive rate enables chaos.
         if rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return None;
         }
         let rate = rate.min(1.0);
-        let seed = std::env::var("GILLIS_CHAOS_SEED")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0xC4A0_5EED);
+        let seed = crate::envutil::env_var("GILLIS_CHAOS_SEED").unwrap_or(0xC4A0_5EED);
         Some(ChaosConfig {
             seed,
             invoke_failure_rate: 0.4 * rate,
@@ -218,22 +216,67 @@ impl FaultInjector {
 
     /// Samples the fault (if any) of one worker execution.
     pub fn fault(&self, site: FaultSite) -> Option<Fault> {
+        self.fault_with_rates(
+            site,
+            self.cfg.invoke_failure_rate,
+            self.cfg.crash_rate,
+            self.cfg.corrupt_rate,
+            self.cfg.straggler_rate,
+        )
+    }
+
+    /// [`Self::fault`] with the invoke-failure and straggler rates scaled by
+    /// an outage-episode multiplier (see [`OutageModel::multiplier`]).
+    ///
+    /// `mult <= 1` takes exactly the [`Self::fault`] path — outside an
+    /// episode the sampler is bit-identical to the per-site baseline. Inside
+    /// one, the scaled rates are renormalized to sum at most 1, so a severe
+    /// episode saturates into near-certain failure instead of overflowing
+    /// the unit interval. The same hash word decides either way: scaling
+    /// only moves the thresholds, never the draw.
+    pub fn fault_scaled(&self, site: FaultSite, mult: f64) -> Option<Fault> {
+        if mult <= 1.0 {
+            return self.fault(site);
+        }
+        let mut invoke = self.cfg.invoke_failure_rate * mult;
+        let mut crash = self.cfg.crash_rate;
+        let mut corrupt = self.cfg.corrupt_rate;
+        let mut straggler = self.cfg.straggler_rate * mult;
+        let total = invoke + crash + corrupt + straggler;
+        if total > 1.0 {
+            let s = 1.0 / total;
+            invoke *= s;
+            crash *= s;
+            corrupt *= s;
+            straggler *= s;
+        }
+        self.fault_with_rates(site, invoke, crash, corrupt, straggler)
+    }
+
+    fn fault_with_rates(
+        &self,
+        site: FaultSite,
+        invoke: f64,
+        crash: f64,
+        corrupt: f64,
+        straggler: f64,
+    ) -> Option<Fault> {
         let u = self.unit(site, salt::KIND);
-        let mut acc = self.cfg.invoke_failure_rate;
+        let mut acc = invoke;
         if u < acc {
             return Some(Fault::InvokeFailure);
         }
-        acc += self.cfg.crash_rate;
+        acc += crash;
         if u < acc {
             // Crash somewhere in the middle 15%–85% of the compute.
             let work_done = 0.15 + 0.7 * self.unit(site, salt::CRASH_FRAC);
             return Some(Fault::Crash { work_done });
         }
-        acc += self.cfg.corrupt_rate;
+        acc += corrupt;
         if u < acc {
             return Some(Fault::Corrupt);
         }
-        acc += self.cfg.straggler_rate;
+        acc += straggler;
         if u < acc {
             let excess = self.cfg.straggler_slowdown - 1.0;
             let slowdown = 1.0 + excess * (0.5 + 0.5 * self.unit(site, salt::SLOWDOWN));
@@ -257,6 +300,301 @@ pub fn env_injector() -> Option<&'static FaultInjector> {
     INJECTOR
         .get_or_init(|| ChaosConfig::from_env().and_then(|cfg| cfg.build().ok()))
         .as_ref()
+}
+
+/// splitmix64-folded checksum over a wire payload's f32 bit patterns.
+///
+/// Fork-join joins verify it so transfer corruption is *detected* at the
+/// master rather than assumed: a mismatch fails the attempt (triggering the
+/// normal retry path) and counts in
+/// [`ResilienceCounters::corruptions_detected`].
+#[must_use]
+pub fn wire_checksum(data: &[f32]) -> u64 {
+    let mut h = 0xC0FF_EE00_D5A1_7E5E_u64 ^ data.len() as u64;
+    for x in data {
+        h = splitmix64(h ^ u64::from(x.to_bits()));
+    }
+    h
+}
+
+/// One correlated-failure blast radius. Outage episodes are sampled per
+/// domain, so one episode elevates fault rates across every execution the
+/// domain covers *simultaneously* — the correlated shape that i.i.d.
+/// per-site sampling cannot produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultDomain {
+    /// The whole platform: every worker lane at once.
+    Platform,
+    /// One worker lane — a single partition's function, across queries.
+    Lane {
+        /// Plan group index.
+        group: u32,
+        /// Partition index within the group.
+        part: u32,
+    },
+    /// Every function deployed at `mb` MB instances.
+    MemoryTier {
+        /// Instance memory in MB.
+        mb: u64,
+    },
+}
+
+impl FaultDomain {
+    /// Stable 64-bit id hashed into episode sampling. The high byte
+    /// separates the domain kinds so ids can never collide across kinds.
+    fn id(self) -> u64 {
+        match self {
+            FaultDomain::Platform => 0x01,
+            FaultDomain::Lane { group, part } => {
+                0x4C00_0000_0000_0000 | (u64::from(group) << 32) | u64::from(part)
+            }
+            FaultDomain::MemoryTier { mb } => 0x7E00_0000_0000_0000 | mb,
+        }
+    }
+}
+
+/// Correlated-outage knobs: a deterministic Markov on/off episode model per
+/// fault domain. Virtual time is quantized into windows of `window_ms`; in
+/// each window each enabled domain independently *starts* an episode with
+/// probability `start_prob`, whose length is drawn between `min_windows`
+/// and `max_windows`. While any covering episode is active the domain is
+/// "in outage" and invoke-failure/straggler rates are multiplied by
+/// `severity` (once per active domain; overlapping domains compound).
+///
+/// Episode membership is a pure function of `(seed, domain id, window
+/// index)` — no state machine is stepped, so any thread can ask about any
+/// instant in any order and get the same answer (the determinism the
+/// serving proptests pin across `GILLIS_THREADS` {1, 2, 8}).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutageConfig {
+    /// Seed driving episode starts and lengths (independent of the chaos
+    /// seed so outages can be re-rolled without moving per-site faults).
+    pub seed: u64,
+    /// Virtual-time window size in milliseconds; episode state is constant
+    /// within a window.
+    pub window_ms: f64,
+    /// Per-window probability that a domain starts a new episode.
+    pub start_prob: f64,
+    /// Minimum episode length, in windows (≥ 1).
+    pub min_windows: u32,
+    /// Maximum episode length, in windows (≥ `min_windows`).
+    pub max_windows: u32,
+    /// Multiplier applied to invoke-failure and straggler rates per active
+    /// domain (≥ 1).
+    pub severity: f64,
+    /// Enables the platform-wide domain.
+    pub platform: bool,
+    /// Enables the per-lane domains.
+    pub lanes: bool,
+    /// Enables the per-memory-tier domains.
+    pub memory_tiers: bool,
+}
+
+impl Default for OutageConfig {
+    fn default() -> Self {
+        OutageConfig {
+            seed: 0x007A_6E5E,
+            window_ms: 250.0,
+            start_prob: 0.02,
+            min_windows: 4,
+            max_windows: 16,
+            severity: 8.0,
+            platform: true,
+            lanes: true,
+            memory_tiers: true,
+        }
+    }
+}
+
+impl OutageConfig {
+    /// Preset for severe correlated outages: long platform-wide episodes
+    /// at `severity`× fault rates, covering a large fraction of the run.
+    pub fn severe(severity: f64, seed: u64) -> Self {
+        OutageConfig {
+            seed,
+            window_ms: 200.0,
+            start_prob: 0.08,
+            min_windows: 10,
+            max_windows: 25,
+            severity,
+            platform: true,
+            lanes: false,
+            memory_tiers: false,
+        }
+    }
+
+    /// Reads outage knobs from the environment. `GILLIS_OUTAGE_SEVERITY`
+    /// enables the model (a multiplier ≥ 1); `GILLIS_OUTAGE_SEED`,
+    /// `GILLIS_OUTAGE_WINDOW_MS`, `GILLIS_OUTAGE_START_PROB`,
+    /// `GILLIS_OUTAGE_MIN_WINDOWS`, `GILLIS_OUTAGE_MAX_WINDOWS` override
+    /// defaults, and `GILLIS_OUTAGE_DOMAINS` is a comma list drawn from
+    /// `platform`, `lane`, `tier`. Malformed values are reported on stderr.
+    pub fn from_env() -> Option<Self> {
+        use crate::envutil::env_var;
+        let severity: f64 = env_var("GILLIS_OUTAGE_SEVERITY")?;
+        if severity < 1.0 || severity.is_nan() {
+            return None;
+        }
+        let mut cfg = OutageConfig {
+            severity,
+            ..OutageConfig::default()
+        };
+        if let Some(seed) = env_var("GILLIS_OUTAGE_SEED") {
+            cfg.seed = seed;
+        }
+        if let Some(w) = env_var("GILLIS_OUTAGE_WINDOW_MS") {
+            cfg.window_ms = w;
+        }
+        if let Some(p) = env_var("GILLIS_OUTAGE_START_PROB") {
+            cfg.start_prob = p;
+        }
+        if let Some(n) = env_var("GILLIS_OUTAGE_MIN_WINDOWS") {
+            cfg.min_windows = n;
+        }
+        if let Some(n) = env_var("GILLIS_OUTAGE_MAX_WINDOWS") {
+            cfg.max_windows = n;
+        }
+        if let Ok(spec) = std::env::var("GILLIS_OUTAGE_DOMAINS") {
+            cfg.platform = false;
+            cfg.lanes = false;
+            cfg.memory_tiers = false;
+            for name in spec.split(',') {
+                match name.trim() {
+                    "platform" => cfg.platform = true,
+                    "lane" | "lanes" => cfg.lanes = true,
+                    "tier" | "tiers" | "memory" => cfg.memory_tiers = true,
+                    other => eprintln!(
+                        "gillis: ignoring unknown GILLIS_OUTAGE_DOMAINS entry {other:?} \
+                         (platform | lane | tier)"
+                    ),
+                }
+            }
+        }
+        Some(cfg)
+    }
+
+    /// Validates the config and builds the episode model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::InvalidArgument`] for a non-positive window, a
+    /// start probability outside `[0, 1]`, inverted or zero length bounds,
+    /// an overlong lookback (`max_windows` > 4096), a severity below 1, or
+    /// no enabled domain.
+    pub fn build(self) -> Result<OutageModel> {
+        if self.window_ms <= 0.0 || !self.window_ms.is_finite() {
+            return Err(FaasError::InvalidArgument(format!(
+                "outage window_ms must be positive and finite: {}",
+                self.window_ms
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.start_prob) {
+            return Err(FaasError::InvalidArgument(format!(
+                "outage start_prob must be in [0, 1]: {}",
+                self.start_prob
+            )));
+        }
+        if self.min_windows == 0 || self.min_windows > self.max_windows {
+            return Err(FaasError::InvalidArgument(format!(
+                "outage length bounds need 1 <= min <= max: {}..{}",
+                self.min_windows, self.max_windows
+            )));
+        }
+        if self.max_windows > 4096 {
+            return Err(FaasError::InvalidArgument(format!(
+                "outage max_windows is capped at 4096 (episode lookup is \
+                 O(max_windows)): {}",
+                self.max_windows
+            )));
+        }
+        if self.severity < 1.0 || self.severity.is_nan() {
+            return Err(FaasError::InvalidArgument(format!(
+                "outage severity must be >= 1: {}",
+                self.severity
+            )));
+        }
+        if !(self.platform || self.lanes || self.memory_tiers) {
+            return Err(FaasError::InvalidArgument(
+                "outage config enables no fault domain".to_string(),
+            ));
+        }
+        Ok(OutageModel { cfg: self })
+    }
+}
+
+/// Salt constants for the independent per-(domain, window) decisions.
+mod outage_salt {
+    pub const START: u64 = 0x55;
+    pub const LEN: u64 = 0x66;
+}
+
+/// Validated outage-episode sampler (see [`OutageConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageModel {
+    cfg: OutageConfig,
+}
+
+impl OutageModel {
+    /// The config this model samples from.
+    pub fn config(&self) -> &OutageConfig {
+        &self.cfg
+    }
+
+    fn word(&self, domain: u64, window: u64, salt: u64) -> u64 {
+        let mut h = splitmix64(self.cfg.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        h = splitmix64(h ^ domain);
+        splitmix64(h ^ window)
+    }
+
+    fn starts_at(&self, domain: u64, window: u64) -> bool {
+        let u = (self.word(domain, window, outage_salt::START) >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.cfg.start_prob
+    }
+
+    fn episode_len(&self, domain: u64, window: u64) -> u64 {
+        let span = u64::from(self.cfg.max_windows - self.cfg.min_windows) + 1;
+        u64::from(self.cfg.min_windows) + self.word(domain, window, outage_salt::LEN) % span
+    }
+
+    /// Whether `domain` is inside an outage episode at virtual time `t_ms`.
+    ///
+    /// An episode started in window `s` covers windows `[s, s + len)`, so
+    /// membership needs only a bounded lookback of `max_windows` starts —
+    /// each itself a pure hash — keeping the query stateless.
+    pub fn in_episode(&self, domain: FaultDomain, t_ms: f64) -> bool {
+        let id = domain.id();
+        let w = (t_ms.max(0.0) / self.cfg.window_ms) as u64;
+        let lo = w.saturating_sub(u64::from(self.cfg.max_windows) - 1);
+        (lo..=w).any(|s| self.starts_at(id, s) && s + self.episode_len(id, s) > w)
+    }
+
+    /// Severity multiplier for a worker-lane execution at `t_ms`: the
+    /// product over active enabled domains (platform, this lane, this
+    /// memory tier) of the configured severity. `1.0` outside all episodes.
+    pub fn multiplier(&self, group: u32, part: u32, memory_mb: u64, t_ms: f64) -> f64 {
+        let mut m = 1.0;
+        if self.cfg.platform && self.in_episode(FaultDomain::Platform, t_ms) {
+            m *= self.cfg.severity;
+        }
+        if self.cfg.lanes && self.in_episode(FaultDomain::Lane { group, part }, t_ms) {
+            m *= self.cfg.severity;
+        }
+        if self.cfg.memory_tiers && self.in_episode(FaultDomain::MemoryTier { mb: memory_mb }, t_ms)
+        {
+            m *= self.cfg.severity;
+        }
+        m
+    }
+
+    /// Fraction of the windows covering `[0, horizon_ms)` during which
+    /// `domain` is in an episode — reporting helper for benches.
+    pub fn episode_fraction(&self, domain: FaultDomain, horizon_ms: f64) -> f64 {
+        let windows = (horizon_ms / self.cfg.window_ms).ceil().max(1.0) as u64;
+        let active = (0..windows)
+            .filter(|&w| self.in_episode(domain, (w as f64 + 0.5) * self.cfg.window_ms))
+            .count();
+        active as f64 / windows as f64
+    }
 }
 
 /// What the master does about worker faults.
@@ -405,6 +743,21 @@ pub struct ResilienceCounters {
     pub shed_queries: u64,
     /// Queries cancelled mid-plan by deadline expiry.
     pub deadline_exceeded_queries: u64,
+    /// Worker lanes launched: first attempts, retries, and hedges — the
+    /// numerator of [`Self::retry_amplification`].
+    pub worker_invocations: u64,
+    /// First attempts launched (attempt 0, primary lane): one per worker
+    /// partition a query actually dispatched.
+    pub first_attempts: u64,
+    /// First attempts that resolved successfully — the health signal the
+    /// brownout ladder and retry-budget refill watch.
+    pub first_attempt_successes: u64,
+    /// Corrupted responses caught by the wire checksum at the join.
+    pub corruptions_detected: u64,
+    /// Retries skipped because the retry budget was exhausted.
+    pub budget_denied_retries: u64,
+    /// Hedges skipped because the retry budget was exhausted.
+    pub budget_denied_hedges: u64,
 }
 
 impl ResilienceCounters {
@@ -420,6 +773,24 @@ impl ResilienceCounters {
         self.failed_queries += other.failed_queries;
         self.shed_queries += other.shed_queries;
         self.deadline_exceeded_queries += other.deadline_exceeded_queries;
+        self.worker_invocations += other.worker_invocations;
+        self.first_attempts += other.first_attempts;
+        self.first_attempt_successes += other.first_attempt_successes;
+        self.corruptions_detected += other.corruptions_detected;
+        self.budget_denied_retries += other.budget_denied_retries;
+        self.budget_denied_hedges += other.budget_denied_hedges;
+    }
+
+    /// Worker invocations per first attempt (≥ 1 whenever anything ran):
+    /// 1.0 when no retry or hedge ever launched; a naive retry storm under
+    /// total failure approaches the policy's `max_attempts`. First attempts
+    /// are admitted queries × dispatched worker lanes, so this is the
+    /// per-lane form of the "invocations ÷ admitted queries" amplification.
+    pub fn retry_amplification(&self) -> f64 {
+        if self.first_attempts == 0 {
+            return 1.0;
+        }
+        self.worker_invocations as f64 / self.first_attempts as f64
     }
 
     /// Records one query's terminal status.
@@ -614,6 +985,12 @@ mod tests {
         let mut a = ResilienceCounters {
             retries: 1,
             hedges: 2,
+            worker_invocations: 9,
+            first_attempts: 6,
+            first_attempt_successes: 5,
+            corruptions_detected: 3,
+            budget_denied_retries: 2,
+            budget_denied_hedges: 1,
             ..ResilienceCounters::default()
         };
         a.record_status(QueryStatus::Ok);
@@ -628,5 +1005,171 @@ mod tests {
         assert_eq!(b.ok_queries, 2);
         assert_eq!(b.degraded_queries, 2);
         assert_eq!(b.failed_queries, 2);
+        assert_eq!(b.worker_invocations, 18);
+        assert_eq!(b.first_attempts, 12);
+        assert_eq!(b.first_attempt_successes, 10);
+        assert_eq!(b.corruptions_detected, 6);
+        assert_eq!(b.budget_denied_retries, 4);
+        assert_eq!(b.budget_denied_hedges, 2);
+        // Amplification absorbs correctly too: the ratio of sums.
+        assert!((b.retry_amplification() - 1.5).abs() < 1e-12);
+        assert_eq!(ResilienceCounters::default().retry_amplification(), 1.0);
+    }
+
+    #[test]
+    fn scaled_sampling_matches_baseline_at_unit_multiplier() {
+        let inj = ChaosConfig {
+            seed: 17,
+            invoke_failure_rate: 0.1,
+            crash_rate: 0.1,
+            straggler_rate: 0.1,
+            corrupt_rate: 0.1,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .unwrap();
+        for q in 0..500 {
+            let s = site(q, 0);
+            assert_eq!(inj.fault_scaled(s, 1.0), inj.fault(s));
+            assert_eq!(inj.fault_scaled(s, 0.5), inj.fault(s));
+        }
+    }
+
+    #[test]
+    fn scaled_sampling_raises_failure_and_saturates() {
+        let inj = ChaosConfig {
+            seed: 23,
+            invoke_failure_rate: 0.05,
+            straggler_rate: 0.05,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .unwrap();
+        let n = 10_000u64;
+        let faulted = |mult: f64| {
+            (0..n)
+                .filter(|&q| inj.fault_scaled(site(q, 0), mult).is_some())
+                .count() as f64
+                / n as f64
+        };
+        let base = faulted(1.0);
+        let stormy = faulted(8.0);
+        assert!((base - 0.1).abs() < 0.02, "{base}");
+        assert!((stormy - 0.8).abs() < 0.02, "{stormy}");
+        // Past saturation the renormalized rates sum to 1: everything faults.
+        assert!((faulted(100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outage_episodes_are_pure_and_cover_expected_fraction() {
+        let model = OutageConfig {
+            seed: 11,
+            window_ms: 100.0,
+            start_prob: 0.05,
+            min_windows: 5,
+            max_windows: 10,
+            severity: 10.0,
+            platform: true,
+            lanes: true,
+            memory_tiers: true,
+        }
+        .build()
+        .unwrap();
+        // Stateless: any instant queried twice (or in any order) agrees.
+        let probes: Vec<f64> = (0..2000).map(|i| i as f64 * 37.7).collect();
+        let fwd: Vec<bool> = probes
+            .iter()
+            .map(|&t| model.in_episode(FaultDomain::Platform, t))
+            .collect();
+        let rev: Vec<bool> = probes
+            .iter()
+            .rev()
+            .map(|&t| model.in_episode(FaultDomain::Platform, t))
+            .collect();
+        assert_eq!(fwd, rev.into_iter().rev().collect::<Vec<_>>());
+        assert!(fwd.iter().any(|&b| b), "episodes should occur");
+        assert!(!fwd.iter().all(|&b| b), "episodes should end");
+        // Coverage roughly matches start_prob × mean length (geometric-ish;
+        // overlaps make it sub-additive, so allow a wide band).
+        let frac = model.episode_fraction(FaultDomain::Platform, 500_000.0);
+        assert!((0.1..=0.6).contains(&frac), "{frac}");
+        // Domains are independent: the lane domain differs somewhere.
+        let lane: Vec<bool> = probes
+            .iter()
+            .map(|&t| model.in_episode(FaultDomain::Lane { group: 0, part: 1 }, t))
+            .collect();
+        assert_ne!(fwd, lane);
+        // Multiplier compounds across simultaneously-active domains.
+        let t_active = probes[fwd.iter().position(|&b| b).unwrap()];
+        assert!(model.multiplier(0, 1, 2048, t_active) >= 10.0);
+    }
+
+    #[test]
+    fn outage_config_validation() {
+        assert!(OutageConfig::default().build().is_ok());
+        assert!(OutageConfig {
+            window_ms: 0.0,
+            ..OutageConfig::default()
+        }
+        .build()
+        .is_err());
+        assert!(OutageConfig {
+            start_prob: 1.5,
+            ..OutageConfig::default()
+        }
+        .build()
+        .is_err());
+        assert!(OutageConfig {
+            min_windows: 5,
+            max_windows: 4,
+            ..OutageConfig::default()
+        }
+        .build()
+        .is_err());
+        assert!(OutageConfig {
+            severity: 0.5,
+            ..OutageConfig::default()
+        }
+        .build()
+        .is_err());
+        assert!(OutageConfig {
+            platform: false,
+            lanes: false,
+            memory_tiers: false,
+            ..OutageConfig::default()
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn wire_checksum_detects_any_single_bit_flip() {
+        let data: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) / 7.0).collect();
+        let sum = wire_checksum(&data);
+        assert_eq!(sum, wire_checksum(&data), "checksum is deterministic");
+        for i in [0usize, 31, 63] {
+            let mut corrupted = data.clone();
+            corrupted[i] = f32::from_bits(corrupted[i].to_bits() ^ 0x8000_0000);
+            assert_ne!(sum, wire_checksum(&corrupted), "flip at {i} undetected");
+        }
+        assert_ne!(wire_checksum(&data[..63]), sum, "length is covered");
+    }
+
+    #[test]
+    fn garbled_chaos_rate_is_rejected_with_a_warning() {
+        // The parse path itself (shared by from_env) names the variable.
+        let err = crate::envutil::parse_value::<f64>("GILLIS_CHAOS_RATE", "banana").unwrap_err();
+        assert!(err.contains("GILLIS_CHAOS_RATE"), "{err}");
+        assert!(err.contains("banana"), "{err}");
+        // End to end: a garbled value disables chaos instead of panicking
+        // or silently misconfiguring. Restore whatever was set so parallel
+        // tests and CI's chaos job are unaffected.
+        let saved = std::env::var("GILLIS_CHAOS_RATE").ok();
+        std::env::set_var("GILLIS_CHAOS_RATE", "banana");
+        assert_eq!(ChaosConfig::from_env(), None);
+        match saved {
+            Some(v) => std::env::set_var("GILLIS_CHAOS_RATE", v),
+            None => std::env::remove_var("GILLIS_CHAOS_RATE"),
+        }
     }
 }

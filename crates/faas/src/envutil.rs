@@ -1,0 +1,66 @@
+//! Environment-knob parsing shared by the `GILLIS_*` config families.
+//!
+//! Every `*_from_env` reader used to swallow malformed values silently
+//! (`.ok()?.parse().ok()?`), so a typo like `GILLIS_CHAOS_RATE=0.0.5`
+//! disabled the feature without a trace. The helpers here keep the same
+//! unset-means-`None` contract but report malformed values on stderr with
+//! the offending variable name, so the operator learns the knob was ignored.
+
+use std::str::FromStr;
+
+/// Parses `raw` (the value of environment variable `name`) as `T`.
+///
+/// # Errors
+///
+/// Returns the warning message emitted for a malformed value — naming the
+/// variable and echoing the rejected input — so callers (and tests) can
+/// surface it without touching process state.
+pub fn parse_value<T: FromStr>(name: &str, raw: &str) -> std::result::Result<T, String> {
+    raw.trim()
+        .parse()
+        .map_err(|_| format!("ignoring malformed {name}={raw:?}"))
+}
+
+/// Reads environment variable `name` as `T`. Unset → `None`; set but
+/// malformed → a warning on stderr (naming the variable) and `None`.
+pub fn env_var<T: FromStr>(name: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match parse_value(name, &raw) {
+        Ok(v) => Some(v),
+        Err(msg) => {
+            eprintln!("gillis: {msg}");
+            None
+        }
+    }
+}
+
+/// Reads environment variable `name` as a comma-separated list of `T`.
+/// Unset → `None`; any malformed element → a warning on stderr and `None`.
+pub fn env_list<T: FromStr>(name: &str) -> Option<Vec<T>> {
+    let raw = std::env::var(name).ok()?;
+    let mut out = Vec::new();
+    for piece in raw.split(',') {
+        match parse_value(name, piece) {
+            Ok(v) => out.push(v),
+            Err(_) => {
+                eprintln!("gillis: ignoring malformed {name}={raw:?} (bad element {piece:?})");
+                return None;
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_value_names_the_offending_variable() {
+        let err = parse_value::<f64>("GILLIS_CHAOS_RATE", "0.0.5").unwrap_err();
+        assert!(err.contains("GILLIS_CHAOS_RATE"), "{err}");
+        assert!(err.contains("0.0.5"), "{err}");
+        assert_eq!(parse_value::<f64>("GILLIS_CHAOS_RATE", " 0.25 "), Ok(0.25));
+        assert_eq!(parse_value::<u64>("GILLIS_CHAOS_SEED", "99"), Ok(99));
+    }
+}

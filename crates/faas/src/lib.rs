@@ -25,9 +25,12 @@
 
 pub mod batch;
 pub mod billing;
+pub mod brownout;
+pub mod budget;
 pub mod chaos;
 pub mod compute;
 pub mod des;
+pub mod envutil;
 pub mod error;
 pub mod exgauss;
 pub mod fleet;
@@ -41,9 +44,13 @@ pub mod vm;
 pub mod workload;
 
 pub use batch::{BatchCounters, BatchPolicy, SloClass};
+pub use brownout::{
+    ArrivalDecision, BrownoutController, BrownoutCounters, BrownoutLevel, BrownoutPolicy,
+};
+pub use budget::{RetryBudget, RetryBudgetPolicy};
 pub use chaos::{
-    env_injector, ChaosConfig, Fault, FaultInjector, FaultSite, QueryStatus, ResilienceCounters,
-    ResiliencePolicy,
+    env_injector, wire_checksum, ChaosConfig, Fault, FaultDomain, FaultInjector, FaultSite,
+    OutageConfig, OutageModel, QueryStatus, ResilienceCounters, ResiliencePolicy,
 };
 pub use error::FaasError;
 pub use exgauss::ExGaussian;

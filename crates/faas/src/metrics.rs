@@ -71,6 +71,11 @@ impl LatencyStats {
     pub fn samples(&self) -> &[f64] {
         &self.samples_ms
     }
+
+    /// Folds another replication's samples into this recorder.
+    pub fn absorb(&mut self, other: &LatencyStats) {
+        self.samples_ms.extend_from_slice(&other.samples_ms);
+    }
 }
 
 /// Latency recorders split by query outcome, so degraded local-fallback
@@ -116,6 +121,14 @@ impl StatusLatency {
             + self.degraded.count()
             + self.failed.count()
             + self.deadline_exceeded.count()
+    }
+
+    /// Folds another replication's per-status samples into this recorder.
+    pub fn absorb(&mut self, other: &StatusLatency) {
+        self.ok.absorb(&other.ok);
+        self.degraded.absorb(&other.degraded);
+        self.failed.absorb(&other.failed);
+        self.deadline_exceeded.absorb(&other.deadline_exceeded);
     }
 }
 

@@ -408,12 +408,11 @@ impl OverloadPolicy {
     /// `GILLIS_OVERLOAD_BREAKER_FAILURES`,
     /// `GILLIS_OVERLOAD_BREAKER_COOLDOWN_MS`, and
     /// `GILLIS_OVERLOAD_BREAKER_PROBES` override the `for_slo`-style
-    /// defaults. Returns `None` when the concurrency variable is unset or
-    /// unparseable, and `None` for an invalid combination.
+    /// defaults. Returns `None` when the concurrency variable is unset, and
+    /// `None` for an invalid combination; malformed values are reported on
+    /// stderr (see [`crate::envutil`]).
     pub fn from_env() -> Option<Self> {
-        fn var<T: std::str::FromStr>(name: &str) -> Option<T> {
-            std::env::var(name).ok()?.parse().ok()
-        }
+        use crate::envutil::env_var as var;
         let max_concurrency: usize = var("GILLIS_OVERLOAD_CONCURRENCY")?;
         let mut policy = OverloadPolicy {
             max_concurrency,

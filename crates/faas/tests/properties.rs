@@ -176,3 +176,126 @@ proptest! {
         prop_assert_eq!(policy, parsed, "{}", text);
     }
 }
+
+proptest! {
+    /// The outage schedule is a pure function of (config, domain, time):
+    /// probing the same (group, part, memory, t) points in any order, any
+    /// number of times, or from freshly built models yields bit-identical
+    /// multipliers — episode state never leaks between queries.
+    #[test]
+    fn outage_multiplier_is_pure_and_order_invariant(
+        seed in any::<u64>(),
+        severity in 1.0f64..64.0,
+        start_prob in 0.01f64..0.5,
+        probes in prop::collection::vec(
+            (0u32..16, 0u32..16, 256u64..8192, 0u64..200_000),
+            1..60,
+        ),
+    ) {
+        use gillis_faas::chaos::OutageConfig;
+        let cfg = OutageConfig {
+            seed,
+            severity,
+            start_prob,
+            ..OutageConfig::default()
+        };
+        let model = cfg.build().unwrap();
+        let forward: Vec<f64> = probes
+            .iter()
+            .map(|&(g, p, mem, t)| model.multiplier(g, p, mem, t as f64 * 0.1))
+            .collect();
+        // Reverse order, a second pass, and a freshly built model all agree.
+        let fresh = cfg.build().unwrap();
+        for (i, &(g, p, mem, t)) in probes.iter().enumerate().rev() {
+            let again = model.multiplier(g, p, mem, t as f64 * 0.1);
+            let other = fresh.multiplier(g, p, mem, t as f64 * 0.1);
+            prop_assert_eq!(again.to_bits(), forward[i].to_bits());
+            prop_assert_eq!(other.to_bits(), forward[i].to_bits());
+            // Severity composes multiplicatively over at most 3 domains.
+            prop_assert!(again >= 1.0);
+            prop_assert!(again <= severity.powi(3) * (1.0 + 1e-9));
+        }
+    }
+
+    /// On constant window health the ladder moves monotonically to its
+    /// fixed point and then stays there — hysteresis never oscillates.
+    #[test]
+    fn brownout_ladder_is_monotone_and_never_oscillates_on_constant_health(
+        window_lanes in 1u32..64,
+        successes_frac in 0.0f64..1.0,
+        clean_windows in 1u32..4,
+        windows in 8u32..80,
+    ) {
+        use gillis_faas::brownout::{BrownoutController, BrownoutLevel, BrownoutPolicy};
+        let policy = BrownoutPolicy {
+            window_lanes,
+            clean_windows,
+            ..BrownoutPolicy::default()
+        };
+        let mut ctl = BrownoutController::new(policy);
+        let successes = ((f64::from(window_lanes) * successes_frac) as u64)
+            .min(u64::from(window_lanes));
+        let health = successes as f64 / f64::from(window_lanes);
+        let mut trajectory = vec![ctl.level()];
+        for _ in 0..windows {
+            ctl.observe(u64::from(window_lanes), successes);
+            trajectory.push(ctl.level());
+        }
+        // Monotone: constant health fixes the direction of travel.
+        for pair in trajectory.windows(2) {
+            if health < policy.degrade_below {
+                prop_assert!(pair[1] >= pair[0], "degrading health must not step up");
+            } else {
+                prop_assert!(pair[1] <= pair[0], "non-degrading health must not step down");
+            }
+        }
+        // Converged: enough windows to cross the whole ladder means the
+        // tail of the trajectory is constant (no oscillation).
+        if windows > 5 * clean_windows {
+            let expect = if health < policy.degrade_below {
+                BrownoutLevel::Shed
+            } else {
+                // Full is the starting level; anything not degrading holds it.
+                BrownoutLevel::Full
+            };
+            prop_assert_eq!(*trajectory.last().unwrap(), expect);
+        }
+    }
+
+    /// Token accounting: whatever the interleaving of spends and refills,
+    /// the bucket stays within [0, max_tokens] and a spend is granted iff a
+    /// whole token was available.
+    #[test]
+    fn retry_budget_tokens_stay_bounded(
+        max_tokens in 1.0f64..128.0,
+        initial_frac in 0.0f64..1.5,
+        refill in 0.0f64..2.0,
+        ops in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        use gillis_faas::budget::{RetryBudget, RetryBudgetPolicy};
+        let policy = RetryBudgetPolicy {
+            max_tokens,
+            initial_tokens: max_tokens * initial_frac,
+            refill_per_success: refill,
+        };
+        let mut bucket = RetryBudget::new(policy);
+        prop_assert!(bucket.tokens() <= max_tokens);
+        for &spend in &ops {
+            let before = bucket.tokens();
+            if spend {
+                let granted = bucket.try_spend();
+                prop_assert_eq!(granted, before >= 1.0);
+                if granted {
+                    prop_assert!((bucket.tokens() - (before - 1.0)).abs() < 1e-12);
+                } else {
+                    prop_assert_eq!(bucket.tokens().to_bits(), before.to_bits());
+                }
+            } else {
+                bucket.refill();
+                prop_assert!(bucket.tokens() >= before);
+            }
+            prop_assert!(bucket.tokens() >= 0.0, "tokens went negative");
+            prop_assert!(bucket.tokens() <= max_tokens, "tokens exceeded capacity");
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //! `GILLIS_OVERLOAD_*` enables admission control; `GILLIS_BATCH_*` switches
 //! `serve` to open-loop adaptive multi-SLO batching at `--rate` arrivals/s
 //! (with `--clients` prewarmed masters), planning batch sizes and instance
-//! memory jointly against the performance model.
+//! memory jointly against the performance model. `GILLIS_CHAOS_*` injects
+//! faults, `GILLIS_OUTAGE_*` adds correlated outage episodes on top,
+//! `GILLIS_RETRY_BUDGET_*` caps retry/hedge amplification, and
+//! `GILLIS_BROWNOUT_*` enables the degradation ladder.
 //!
 //! Plans are stored in the stable text format of
 //! [`gillis::core::ExecutionPlan::to_text`]; when `--plan` is omitted the
@@ -25,8 +28,8 @@ use std::process::ExitCode;
 use gillis::serving::{lookup_model, lookup_platform, model_catalog};
 
 use gillis::core::{
-    plan_batch_schedule, predict_plan, BatchPolicy, DpPartitioner, ExecutionPlan, ForkJoinRuntime,
-    OverloadPolicy,
+    plan_batch_schedule, predict_plan, BatchPolicy, BrownoutPolicy, ChaosConfig, DpPartitioner,
+    ExecutionPlan, ForkJoinRuntime, OutageConfig, OverloadPolicy, RetryBudgetPolicy,
 };
 use gillis::faas::workload::ClosedLoop;
 use gillis::faas::Micros;
@@ -188,6 +191,7 @@ fn run() -> Result<(), String> {
                 if let Some(policy) = OverloadPolicy::from_env() {
                     rt = rt.with_overload(policy).map_err(|e| e.to_string())?;
                 }
+                rt = with_env_resilience(rt)?;
                 let report = rt
                     .serve_open_loop_batched(&batch_policy, &schedule, rate, queries, clients, 7)
                     .map_err(|e| e.to_string())?;
@@ -219,6 +223,7 @@ fn run() -> Result<(), String> {
             if let Some(policy) = OverloadPolicy::from_env() {
                 rt = rt.with_overload(policy).map_err(|e| e.to_string())?;
             }
+            rt = with_env_resilience(rt)?;
             let report = rt
                 .serve_workload(
                     ClosedLoop::new(clients, queries, Micros::ZERO).map_err(|e| e.to_string())?,
@@ -230,6 +235,24 @@ fn run() -> Result<(), String> {
         other => return Err(format!("unknown command '{other}'")),
     }
     Ok(())
+}
+
+/// Applies the `GILLIS_CHAOS_*` / `GILLIS_OUTAGE_*` / `GILLIS_RETRY_BUDGET_*`
+/// / `GILLIS_BROWNOUT_*` env knobs to a serving runtime.
+fn with_env_resilience(mut rt: ForkJoinRuntime<'_>) -> Result<ForkJoinRuntime<'_>, String> {
+    if let Some(cfg) = ChaosConfig::from_env() {
+        rt = rt.with_chaos(cfg).map_err(|e| e.to_string())?;
+    }
+    if let Some(cfg) = OutageConfig::from_env() {
+        rt = rt.with_outage(cfg).map_err(|e| e.to_string())?;
+    }
+    if let Some(policy) = RetryBudgetPolicy::from_env() {
+        rt = rt.with_retry_budget(policy).map_err(|e| e.to_string())?;
+    }
+    if let Some(policy) = BrownoutPolicy::from_env() {
+        rt = rt.with_brownout(policy).map_err(|e| e.to_string())?;
+    }
+    Ok(rt)
 }
 
 fn print_serving_report(report: &gillis::core::ServingReport) {
@@ -266,6 +289,33 @@ fn print_serving_report(report: &gillis::core::ServingReport) {
             report.overload.cancelled_attempts,
             report.overload.breaker_opens,
             report.overload.breaker_short_circuits,
+        );
+    }
+    if report.resilience.first_attempts > 0 {
+        println!(
+            "retry amplification: {:.3}x ({} worker invocations / {} first attempts), \
+             {} budget-denied retries, {} budget-denied hedges, {} corruptions detected",
+            report.retry_amplification(),
+            report.resilience.worker_invocations,
+            report.resilience.first_attempts,
+            report.resilience.budget_denied_retries,
+            report.resilience.budget_denied_hedges,
+            report.resilience.corruptions_detected,
+        );
+    }
+    let b = &report.brownout;
+    if b.arrivals() > 0 {
+        println!(
+            "brownout: queries at [full {}, no-hedge {}, int8 {}, local {}, shed {}], \
+             {} step-downs, {} step-ups, {} probes",
+            b.queries_at_level[0],
+            b.queries_at_level[1],
+            b.queries_at_level[2],
+            b.queries_at_level[3],
+            b.queries_at_level[4],
+            b.step_downs,
+            b.step_ups,
+            b.probes,
         );
     }
 }

@@ -27,9 +27,9 @@ use std::sync::{Arc, Mutex};
 
 use gillis_core::{
     execute_plan_tensors_resilient, plan_batch_schedule, predict_plan, BatchPolicy, BatchSchedule,
-    ChaosConfig, CompiledPlanExec, CoreError, DpPartitioner, ExecutionPlan, ForkJoinRuntime,
-    OverloadPolicy, PartitionerConfig, PlanPrediction, QueryStatus, ResilienceCounters,
-    ResiliencePolicy, ServingReport,
+    BrownoutPolicy, ChaosConfig, CompiledPlanExec, CoreError, DpPartitioner, ExecutionPlan,
+    ForkJoinRuntime, OutageConfig, OverloadPolicy, PartitionerConfig, PlanPrediction, QueryStatus,
+    ResilienceCounters, ResiliencePolicy, RetryBudgetPolicy, ServingReport,
 };
 use gillis_faas::workload::ClosedLoop;
 use gillis_faas::PlatformProfile;
@@ -135,6 +135,9 @@ pub struct Gillis {
     policy: ResiliencePolicy,
     overload: Option<OverloadPolicy>,
     batch: Option<BatchPolicy>,
+    outage: Option<OutageConfig>,
+    retry_budget: Option<RetryBudgetPolicy>,
+    brownout: Option<BrownoutPolicy>,
 }
 
 impl Gillis {
@@ -151,6 +154,9 @@ impl Gillis {
             policy: ResiliencePolicy::default(),
             overload: None,
             batch: None,
+            outage: None,
+            retry_budget: None,
+            brownout: None,
         }
     }
 
@@ -217,6 +223,34 @@ impl Gillis {
         self
     }
 
+    /// Enables correlated-outage episodes on top of the chaos injector:
+    /// deterministic Markov on/off windows per fault domain (platform,
+    /// worker lane, memory tier) that multiply the injected failure rates
+    /// by the configured severity while active. Inert without
+    /// [`Gillis::chaos`]. Validated at [`Gillis::deploy`].
+    pub fn outage(mut self, config: OutageConfig) -> Self {
+        self.outage = Some(config);
+        self
+    }
+
+    /// Enables an adaptive retry budget for serving: a deterministic token
+    /// bucket, refilled by successful first attempts, that every retry and
+    /// hedge must debit before launching. Validated at [`Gillis::deploy`].
+    pub fn retry_budget(mut self, policy: RetryBudgetPolicy) -> Self {
+        self.retry_budget = Some(policy);
+        self
+    }
+
+    /// Enables the brownout degradation ladder for serving: a windowed
+    /// first-attempt health score steps service down through full →
+    /// no-hedging → int8 wire → local-fallback-only → shed, and back up
+    /// only after consecutive clean windows. Validated at
+    /// [`Gillis::deploy`].
+    pub fn brownout(mut self, policy: BrownoutPolicy) -> Self {
+        self.brownout = Some(policy);
+        self
+    }
+
     /// Runs the full offline workflow: profile the platform, search for a
     /// plan under the chosen objective, and validate it.
     ///
@@ -270,6 +304,15 @@ impl Gillis {
         if let Some(ref batch) = self.batch {
             batch.validate().map_err(CoreError::from)?;
         }
+        if let Some(ref outage) = self.outage {
+            outage.build().map_err(CoreError::from)?;
+        }
+        if let Some(ref budget) = self.retry_budget {
+            budget.validate().map_err(CoreError::from)?;
+        }
+        if let Some(ref brownout) = self.brownout {
+            brownout.validate().map_err(CoreError::from)?;
+        }
         Ok(Deployment {
             model: self.model,
             platform: self.platform,
@@ -279,6 +322,9 @@ impl Gillis {
             policy: self.policy,
             overload: self.overload,
             batch: self.batch,
+            outage: self.outage,
+            retry_budget: self.retry_budget,
+            brownout: self.brownout,
             warm: WarmCache::default(),
         })
     }
@@ -378,6 +424,9 @@ pub struct Deployment {
     policy: ResiliencePolicy,
     overload: Option<OverloadPolicy>,
     batch: Option<BatchPolicy>,
+    outage: Option<OutageConfig>,
+    retry_budget: Option<RetryBudgetPolicy>,
+    brownout: Option<BrownoutPolicy>,
     /// Lazily-compiled steady-state execution (pre-sliced weights, packed
     /// panels, preallocated buffers); see [`Deployment::infer`].
     warm: WarmCache,
@@ -519,6 +568,15 @@ impl Deployment {
             // drives shed-on-predicted-miss.
             rt = rt.with_overload_predicted(policy, self.prediction.latency_ms)?;
         }
+        if let Some(cfg) = self.outage {
+            rt = rt.with_outage(cfg)?;
+        }
+        if let Some(policy) = self.retry_budget {
+            rt = rt.with_retry_budget(policy)?;
+        }
+        if let Some(policy) = self.brownout {
+            rt = rt.with_brownout(policy)?;
+        }
         match self.chaos {
             Some(cfg) => rt.with_chaos(cfg),
             None => Ok(rt),
@@ -619,6 +677,15 @@ impl Deployment {
             ForkJoinRuntime::new(&self.model, &self.plan, platform)?.with_policy(self.policy);
         if let Some(ov) = self.overload {
             rt = rt.with_overload_predicted(ov, self.prediction.latency_ms)?;
+        }
+        if let Some(cfg) = self.outage {
+            rt = rt.with_outage(cfg)?;
+        }
+        if let Some(policy) = self.retry_budget {
+            rt = rt.with_retry_budget(policy)?;
+        }
+        if let Some(policy) = self.brownout {
+            rt = rt.with_brownout(policy)?;
         }
         if let Some(cfg) = self.chaos {
             rt = rt.with_chaos(cfg)?;
@@ -788,6 +855,57 @@ mod tests {
             })
             .deploy();
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn resilient_deployment_composes_outage_budget_and_brownout() {
+        let chaos = ChaosConfig {
+            seed: 21,
+            invoke_failure_rate: 0.05,
+            straggler_rate: 0.02,
+            straggler_slowdown: 4.0,
+            ..ChaosConfig::default()
+        };
+        let d = Gillis::new(zoo::tiny_vgg())
+            .chaos(chaos)
+            .resilience(ResiliencePolicy::backoff_hedged())
+            .outage(OutageConfig::severe(8.0, 5))
+            .retry_budget(RetryBudgetPolicy::default())
+            .brownout(BrownoutPolicy::default())
+            .deploy()
+            .unwrap();
+        let a = d.serve_open_loop(40.0, 150, 4, 9).unwrap();
+        let b = d.serve_open_loop(40.0, 150, 4, 9).unwrap();
+        assert_eq!(a.brownout.arrivals(), 150);
+        assert_eq!(a.resilience.failed_queries, 0);
+        assert!(a.retry_amplification() >= 1.0);
+        // Deterministic: the same deployment replays bit-identically.
+        assert_eq!(a.resilience, b.resilience);
+        assert_eq!(a.brownout, b.brownout);
+        assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+
+        // Invalid resilience configs are rejected at deploy time.
+        assert!(Gillis::new(zoo::tiny_vgg())
+            .outage(OutageConfig {
+                severity: 0.5,
+                ..OutageConfig::severe(8.0, 5)
+            })
+            .deploy()
+            .is_err());
+        assert!(Gillis::new(zoo::tiny_vgg())
+            .retry_budget(RetryBudgetPolicy {
+                max_tokens: 0.0,
+                ..RetryBudgetPolicy::default()
+            })
+            .deploy()
+            .is_err());
+        assert!(Gillis::new(zoo::tiny_vgg())
+            .brownout(BrownoutPolicy {
+                window_lanes: 0,
+                ..BrownoutPolicy::default()
+            })
+            .deploy()
+            .is_err());
     }
 
     #[test]
