@@ -25,6 +25,22 @@ use crate::plan::{ExecutionPlan, Placement, PlannedGroup};
 use crate::predict::predict_group;
 use crate::Result;
 
+/// What a plan search optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanObjective {
+    /// Minimize single-query end-to-end latency: the sum of group latencies
+    /// (the paper's objective).
+    #[default]
+    Latency,
+    /// Minimize the pipeline bottleneck — the maximum *stage time* (inbound
+    /// activation hand-off plus group latency) over the plan's groups,
+    /// FuncPipe's non-uniform stage balancing. Steady-state pipeline
+    /// throughput is `1000 / bottleneck_ms`, so this mode maximizes it;
+    /// ties break toward the smaller pipeline-fill latency (the sum of
+    /// stage times).
+    PipelineBottleneck,
+}
+
 /// Configuration of the latency-optimal partitioner.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionerConfig {
@@ -41,6 +57,9 @@ pub struct PartitionerConfig {
     /// Whether the master may compute partitions (§III-B). Disabling this
     /// forces worker-only placements — the master-participation ablation.
     pub allow_master_participation: bool,
+    /// What the search minimizes: single-query latency (default) or the
+    /// pipeline-stage bottleneck.
+    pub objective: PlanObjective,
 }
 
 impl Default for PartitionerConfig {
@@ -51,6 +70,7 @@ impl Default for PartitionerConfig {
             budget_bytes: None,
             max_group_len: None,
             allow_master_participation: true,
+            objective: PlanObjective::default(),
         }
     }
 }
@@ -117,13 +137,26 @@ impl DpPartitioner {
         self
     }
 
+    /// Overrides the planning objective (see [`PlanObjective`]).
+    #[must_use]
+    pub fn with_objective(mut self, objective: PlanObjective) -> Self {
+        self.config.objective = objective;
+        self
+    }
+
     /// Fingerprint of the configuration knobs that shape Algorithm 1's
     /// per-cell result (the memory grid changes `budget_steps`, the degree
-    /// set and master flag change the candidate space).
+    /// set and master flag change the candidate space, and the objective
+    /// changes what a cell's `latency_ms` *means*: group latency under
+    /// [`PlanObjective::Latency`], stage time — hand-off included — under
+    /// [`PlanObjective::PipelineBottleneck`]). Omitting the objective here
+    /// would let one mode serve poisoned cells to the other through a
+    /// shared [`EvalCache`].
     fn config_tag(&self) -> Vec<u64> {
         let mut tag: Vec<u64> = self.config.degrees.iter().map(|&d| d as u64).collect();
         tag.push(u64::from(self.config.allow_master_participation));
         tag.push(self.config.mem_grid_bytes.max(1));
+        tag.push(self.config.objective as u64);
         tag
     }
 
@@ -172,12 +205,23 @@ impl DpPartitioner {
             }
         }
 
-        // L[j][m]: best latency for layers 0..j with m grid steps of master
-        // budget; back[j][m] records the chosen group.
+        // L[j][m]: best score for layers 0..j with m grid steps of master
+        // budget; back[j][m] records the chosen group. A score is the
+        // lexicographic pair (Σ group latency, 0) under the latency
+        // objective and (max stage time, Σ stage time) under the pipeline
+        // objective — the second component breaks bottleneck ties toward
+        // the smaller pipeline-fill latency.
         const INF: f64 = f64::INFINITY;
-        let mut best = vec![vec![INF; steps + 1]; n + 1];
+        let objective = self.config.objective;
+        let combine = |prev: (f64, f64), cell_ms: f64| -> (f64, f64) {
+            match objective {
+                PlanObjective::Latency => (prev.0 + cell_ms, 0.0),
+                PlanObjective::PipelineBottleneck => (prev.0.max(cell_ms), prev.1 + cell_ms),
+            }
+        };
+        let mut best = vec![vec![(INF, INF); steps + 1]; n + 1];
         let mut back: Vec<Vec<Option<(usize, GroupEval)>>> = vec![vec![None; steps + 1]; n + 1];
-        best[0].fill(0.0);
+        best[0].fill((0.0, 0.0));
         for j in 1..=n {
             for m in 0..=steps {
                 for i in 0..j {
@@ -186,17 +230,23 @@ impl DpPartitioner {
                     };
                     if let Some(c) = worker_only {
                         let prev = best[i][m];
-                        if prev + c.latency_ms < best[j][m] {
-                            best[j][m] = prev + c.latency_ms;
-                            back[j][m] = Some((i, c));
+                        if prev.0.is_finite() {
+                            let cand = combine(prev, c.latency_ms);
+                            if cand < best[j][m] {
+                                best[j][m] = cand;
+                                back[j][m] = Some((i, c));
+                            }
                         }
                     }
                     if let Some(c) = with_master {
                         if m >= c.budget_steps {
                             let prev = best[i][m - c.budget_steps];
-                            if prev + c.latency_ms < best[j][m] {
-                                best[j][m] = prev + c.latency_ms;
-                                back[j][m] = Some((i, c));
+                            if prev.0.is_finite() {
+                                let cand = combine(prev, c.latency_ms);
+                                if cand < best[j][m] {
+                                    best[j][m] = cand;
+                                    back[j][m] = Some((i, c));
+                                }
                             }
                         }
                     }
@@ -204,7 +254,7 @@ impl DpPartitioner {
             }
         }
 
-        if !best[n][steps].is_finite() {
+        if !best[n][steps].0.is_finite() {
             return Err(CoreError::Infeasible(format!(
                 "no partitioning of {} fits the {budget}-byte budget",
                 model.name()
@@ -227,9 +277,15 @@ impl DpPartitioner {
             j = i;
         }
         groups.reverse();
-        // Adjacent master-resident groups are an artifact of the recursion
-        // boundaries, not a serving decision: coalesce them.
-        let plan = ExecutionPlan::new(groups).coalesce_master_runs();
+        // Under the latency objective, adjacent master-resident groups are
+        // an artifact of the recursion boundaries, not a serving decision:
+        // coalesce them. Under the pipeline objective they are deliberate
+        // stage boundaries (merging would grow the bottleneck), so keep
+        // them.
+        let plan = match objective {
+            PlanObjective::Latency => ExecutionPlan::new(groups).coalesce_master_runs(),
+            PlanObjective::PipelineBottleneck => ExecutionPlan::new(groups),
+        };
         plan.validate(model, budget)?;
         Ok(plan)
     }
@@ -314,6 +370,15 @@ impl DpPartitioner {
         grid: u64,
         options: &[PartitionOption],
     ) -> Vec<Result<OptionOutcome>> {
+        // Under the pipeline objective a cell's value is the *stage time*:
+        // group latency plus the inbound activation hand-off the stage pays
+        // to receive its input from the upstream stage (zero for the first
+        // stage, which is fed by the client).
+        let handoff_ms = match self.config.objective {
+            PlanObjective::Latency => 0.0,
+            PlanObjective::PipelineBottleneck if i == 0 => 0.0,
+            PlanObjective::PipelineBottleneck => perf.handoff_ms(model.layers()[i].in_bytes()),
+        };
         let evaluate = |option: PartitionOption| -> Result<OptionOutcome> {
             let cached;
             let owned;
@@ -335,7 +400,7 @@ impl DpPartitioner {
             // Worker-only placement: every partition on a worker.
             let wo = predict_group(perf, analysis, Placement::Workers);
             let worker_only = GroupEval {
-                latency_ms: wo.latency_ms(),
+                latency_ms: handoff_ms + wo.latency_ms(),
                 option,
                 placement: Placement::Workers,
                 budget_steps: 0,
@@ -351,7 +416,7 @@ impl DpPartitioner {
                 let mp = predict_group(perf, analysis, placement);
                 let w0 = analysis.partitions[0].weight_bytes;
                 GroupEval {
-                    latency_ms: mp.latency_ms(),
+                    latency_ms: handoff_ms + mp.latency_ms(),
                     option,
                     placement,
                     budget_steps: w0.div_ceil(grid) as usize,
@@ -611,6 +676,72 @@ mod tests {
             dp_latency <= best * 1.0001,
             "dp {dp_latency} vs brute force {best}"
         );
+    }
+
+    #[test]
+    fn objectives_share_a_cache_without_poisoning_each_other() {
+        // Regression: the eval-cache choice key must include the planning
+        // objective. Pipeline-mode cells store *stage times* (inbound
+        // hand-off included), so a mode-blind key would let one objective
+        // answer the other's DP cells with the wrong quantity.
+        let platform = PlatformProfile::aws_lambda();
+        let perf = perf(&platform);
+        let vgg = zoo::vgg11();
+        let latency_cfg = PartitionerConfig::default();
+        let pipeline_cfg = PartitionerConfig {
+            objective: PlanObjective::PipelineBottleneck,
+            ..PartitionerConfig::default()
+        };
+        let lat_plain = DpPartitioner::new(latency_cfg.clone())
+            .partition(&vgg, &perf)
+            .unwrap();
+        let pipe_plain = DpPartitioner::new(pipeline_cfg.clone())
+            .partition(&vgg, &perf)
+            .unwrap();
+        assert_ne!(lat_plain, pipe_plain, "objectives must differ on VGG-11");
+        // Both run orders through one shared cache must reproduce the
+        // uncached plans exactly.
+        for latency_first in [true, false] {
+            let cache = Arc::new(EvalCache::new());
+            let run = |cfg: &PartitionerConfig| {
+                DpPartitioner::new(cfg.clone())
+                    .with_cache(Arc::clone(&cache))
+                    .partition(&vgg, &perf)
+                    .unwrap()
+            };
+            let (lat, pipe) = if latency_first {
+                let l = run(&latency_cfg);
+                (l, run(&pipeline_cfg))
+            } else {
+                let p = run(&pipeline_cfg);
+                (run(&latency_cfg), p)
+            };
+            assert_eq!(lat, lat_plain, "latency_first={latency_first}");
+            assert_eq!(pipe, pipe_plain, "latency_first={latency_first}");
+        }
+    }
+
+    #[test]
+    fn pipeline_objective_cuts_the_bottleneck() {
+        let platform = PlatformProfile::aws_lambda();
+        let perf = perf(&platform);
+        let vgg = zoo::vgg11();
+        let latency_plan = DpPartitioner::default().partition(&vgg, &perf).unwrap();
+        let pipe_plan = DpPartitioner::default()
+            .with_objective(PlanObjective::PipelineBottleneck)
+            .partition(&vgg, &perf)
+            .unwrap();
+        let t_lat = crate::predict::t_pipeline(&vgg, &latency_plan, &perf).unwrap();
+        let t_pipe = crate::predict::t_pipeline(&vgg, &pipe_plan, &perf).unwrap();
+        assert!(
+            t_pipe < t_lat,
+            "stage balancing should beat the latency plan: {t_pipe} vs {t_lat}"
+        );
+        // Balancing needs more, smaller stages than the latency plan.
+        assert!(pipe_plan.groups().len() >= latency_plan.groups().len());
+        pipe_plan
+            .validate(&vgg, platform.model_memory_budget)
+            .unwrap();
     }
 
     #[test]

@@ -45,6 +45,7 @@ use gillis_faas::des::EventQueue;
 use gillis_faas::fleet::{Fleet, FunctionSpec};
 use gillis_faas::metrics::{LatencyStats, StatusLatency};
 use gillis_faas::overload::{CancelToken, CircuitBreaker, OverloadCounters, OverloadPolicy};
+use gillis_faas::pipeline::{PipelineCounters, PipelinePolicy};
 use gillis_faas::workload::ClosedLoop;
 use gillis_faas::{Micros, PlatformProfile};
 use gillis_model::exec::Executor;
@@ -55,7 +56,7 @@ use gillis_tensor::Tensor;
 
 use crate::error::CoreError;
 use crate::partition::{balanced_ranges, GroupAnalysis, PartDim, PartitionOption, PartitionWork};
-use crate::plan::{ExecutionPlan, Placement};
+use crate::plan::{ExecutionPlan, Placement, PlannedGroup};
 use crate::Result;
 
 /// Seed of the injector derived from the legacy
@@ -109,6 +110,10 @@ pub struct ServingReport {
     /// downs/ups, ladder sheds, probes. All zero without a
     /// [`BrownoutPolicy`].
     pub brownout: BrownoutCounters,
+    /// Pipeline-stage accounting: stage dispatches, inter-stage hand-offs,
+    /// backpressure stalls, peak stage-queue depth. All zero outside
+    /// [`ForkJoinRuntime::serve_open_loop_pipelined`].
+    pub pipeline: PipelineCounters,
 }
 
 impl ServingReport {
@@ -133,6 +138,7 @@ impl ServingReport {
         self.overload.absorb(&other.overload);
         self.batch.absorb(&other.batch);
         self.brownout.absorb(&other.brownout);
+        self.pipeline.absorb(&other.pipeline);
     }
 }
 
@@ -360,6 +366,20 @@ struct LaneExec {
     corrupt: bool,
 }
 
+/// Outcome of executing one layer group on the fleet
+/// ([`ForkJoinRuntime::run_group_on_fleet`]).
+#[derive(Debug, Clone, Copy)]
+struct GroupRun {
+    /// When the orchestrating function finished the group (join included;
+    /// for terminal outcomes, when it stopped waiting).
+    end: Micros,
+    /// `Ok`, `Degraded` (locally recomputed shards), `Failed` (shards
+    /// exhausted without fallback), or `DeadlineExceeded` (the deadline
+    /// expired inside the group). The last two are terminal: the caller
+    /// abandons the rest of the plan.
+    status: QueryStatus,
+}
+
 /// Overload protection prepared for serving: the policy plus the plan's
 /// predicted warm latency, which admission control adds to the predicted
 /// queue wait when deciding whether an arrival can still meet its deadline.
@@ -367,6 +387,450 @@ struct LaneExec {
 struct OverloadRuntime {
     policy: OverloadPolicy,
     predicted_ms: f64,
+}
+
+/// Mutable state shared by every serving driver: the run's RNG, billing
+/// meter, recorders, and the optional admission-side controllers. The
+/// closed loop and the three open-loop drivers (plain, batched, pipelined)
+/// differ only in how they orchestrate arrivals into dispatches — the
+/// per-arrival brownout front door, the health-window bookkeeping around a
+/// dispatch, the per-query recording, and the final report assembly live
+/// here exactly once.
+struct ServingState {
+    rng: StdRng,
+    billing: BillingMeter,
+    latency: LatencyStats,
+    by_status: StatusLatency,
+    resilience: ResilienceCounters,
+    overload: OverloadCounters,
+    budget: Option<RetryBudget>,
+    brownout: Option<BrownoutController>,
+}
+
+impl ServingState {
+    /// Brownout front door for one arrival: records a shed and returns
+    /// `None` when the ladder rejects it, otherwise the service level to
+    /// dispatch at.
+    fn front_door(&mut self) -> Option<BrownoutLevel> {
+        match self
+            .brownout
+            .as_mut()
+            .map(BrownoutController::classify_arrival)
+        {
+            Some(ArrivalDecision::Shed) => {
+                self.resilience.record_status(QueryStatus::Shed);
+                None
+            }
+            Some(ArrivalDecision::Serve(l)) => Some(l),
+            None => Some(BrownoutLevel::Full),
+        }
+    }
+
+    /// Records an arrival shed by admission control (never served — it gets
+    /// a status tally but no latency sample).
+    fn shed(&mut self) {
+        self.resilience.record_status(QueryStatus::Shed);
+    }
+
+    /// Snapshot of the first-attempt counters before a dispatch; feed it to
+    /// [`Self::observe`] afterwards so the brownout controller scores
+    /// exactly that dispatch's outcomes.
+    fn health_window(&self) -> (u64, u64) {
+        (
+            self.resilience.first_attempts,
+            self.resilience.first_attempt_successes,
+        )
+    }
+
+    /// Scores the first-attempt outcomes since `window` into the brownout
+    /// controller (a no-op without one).
+    fn observe(&mut self, window: (u64, u64)) {
+        if let Some(ctl) = self.brownout.as_mut() {
+            ctl.observe(
+                self.resilience.first_attempts - window.0,
+                self.resilience.first_attempt_successes - window.1,
+            );
+        }
+    }
+
+    /// Records one served query's latency, measured from its own arrival,
+    /// under its terminal status.
+    fn record(&mut self, arrival: Micros, done: Micros, status: QueryStatus) {
+        let ms = (done - arrival).as_ms();
+        self.latency.record(ms);
+        self.by_status.record(status, ms);
+    }
+
+    /// Assembles the final report from the recorders plus the path-specific
+    /// counters.
+    fn finish(
+        self,
+        cold_starts: u64,
+        batch: BatchCounters,
+        pipeline: PipelineCounters,
+    ) -> ServingReport {
+        ServingReport {
+            latency: self.latency,
+            by_status: self.by_status,
+            billing: self.billing,
+            cold_starts,
+            resilience: self.resilience,
+            overload: self.overload,
+            batch,
+            brownout: self.brownout.map(|c| c.counters).unwrap_or_default(),
+            pipeline,
+        }
+    }
+}
+
+/// Decorrelates the pipelined path's per-`(query, stage)` RNG streams from
+/// the run seed's arrival stream.
+const PIPELINE_RNG_SALT: u64 = 0x7069_7065_6c69_6e65; // "pipeline"
+
+/// Name of the stage-`gi` orchestrator function (the per-stage analogue of
+/// `"master"`, packaged with the group's master-resident weights).
+fn stage_fn(gi: usize) -> String {
+    format!("s{gi}")
+}
+
+/// Per-query bookkeeping inside the pipelined serving loop.
+#[derive(Debug, Clone, Copy)]
+struct PipeQuery {
+    arrival: Micros,
+    deadline: Option<Micros>,
+    level: BrownoutLevel,
+    /// Non-terminal status accumulated so far (`Ok`, sticky `Degraded`).
+    status: QueryStatus,
+    /// First-attempt `(count, successes)` produced by this query's stage
+    /// executions, scored into the brownout controller at finalization.
+    health: (u64, u64),
+}
+
+impl Default for PipeQuery {
+    fn default() -> Self {
+        PipeQuery {
+            arrival: Micros::ZERO,
+            deadline: None,
+            level: BrownoutLevel::Full,
+            status: QueryStatus::Ok,
+            health: (0, 0),
+        }
+    }
+}
+
+/// The pipelined serving loop's mutable state: per-stage lanes, bounded
+/// dispatch queues, the parking list that implements backpressure, and the
+/// completion-event heap. Everything runs sequentially on the caller over a
+/// totally ordered event stream — see
+/// [`ForkJoinRuntime::serve_open_loop_pipelined`] for the determinism
+/// argument.
+struct PipelineSim<'r, 'a> {
+    rt: &'r ForkJoinRuntime<'a>,
+    policy: PipelinePolicy,
+    seed: u64,
+    stages: usize,
+    fleet: Fleet,
+    st: ServingState,
+    counters: PipelineCounters,
+    breakers: Option<Vec<Vec<CircuitBreaker>>>,
+    /// Free orchestrator lanes per stage.
+    free: Vec<usize>,
+    /// Bounded per-stage dispatch queues; stage 0's doubles as the
+    /// admission queue. Invariant: a stage with a free lane has an empty
+    /// queue.
+    queues: Vec<VecDeque<u64>>,
+    /// `parked[s]`: queries that finished stage `s` but found stage
+    /// `s + 1`'s queue full. They hold their stage-`s` lane until a
+    /// downstream slot opens — backpressure propagates upstream as lost
+    /// lanes, never as dropped queries.
+    parked: Vec<VecDeque<u64>>,
+    /// Per-query slots, indexed by query id.
+    q: Vec<PipeQuery>,
+    /// Pending stage completions, totally ordered by
+    /// `(virtual time, stage, query)`.
+    events: BinaryHeap<Reverse<(Micros, u32, u64)>>,
+}
+
+impl PipelineSim<'_, '_> {
+    /// RNG for query `q`'s execution at stage `s`: a pure function of
+    /// `(run seed, q, s)`, so event interleaving can never shift which
+    /// draws an execution sees.
+    fn stage_rng(&self, q: u64, s: usize) -> StdRng {
+        StdRng::seed_from_u64(replication_seed(
+            self.seed ^ PIPELINE_RNG_SALT,
+            q * self.stages as u64 + s as u64,
+        ))
+    }
+
+    /// Charges the worker invocations planned from stage `from` onward as
+    /// cancelled — the accounting for a query that dies mid-pipeline.
+    fn cancelled_from(&mut self, from: usize) {
+        let remaining: u64 = self.rt.plan.groups()[from..]
+            .iter()
+            .map(|g| g.worker_count() as u64)
+            .sum();
+        self.st.overload.cancelled_attempts += remaining;
+    }
+
+    /// Tracks queue-depth peaks after a push to stage `s`'s queue.
+    fn note_queue_depth(&mut self, s: usize) {
+        let depth = self.queues[s].len() as u64;
+        self.counters.peak_stage_queue = self.counters.peak_stage_queue.max(depth);
+        if s == 0 {
+            self.st.overload.peak_queue_depth = self.st.overload.peak_queue_depth.max(depth);
+        }
+    }
+
+    /// Records query `qid`'s terminal outcome at `done`: exactly one
+    /// latency sample and one status tally per admitted query, plus the
+    /// brownout health observation — in finalization (event) order.
+    fn finalize(&mut self, qid: u64, done: Micros, status: QueryStatus) {
+        let slot = self.q[qid as usize];
+        let mut status = status;
+        if let Some(d) = slot.deadline {
+            if done > d && matches!(status, QueryStatus::Ok | QueryStatus::Degraded) {
+                status = QueryStatus::DeadlineExceeded;
+            }
+        }
+        self.st.record(slot.arrival, done, status);
+        self.st.resilience.record_status(status);
+        if let Some(ctl) = self.st.brownout.as_mut() {
+            ctl.observe(slot.health.0, slot.health.1);
+        }
+    }
+
+    /// Admits, queues, or sheds the arrival of query `qid` at `now`.
+    fn arrive(&mut self, qid: u64, now: Micros) -> Result<()> {
+        // Brownout front door first, exactly like the other open loops.
+        let Some(level) = self.st.front_door() else {
+            return Ok(());
+        };
+        let deadline = self
+            .rt
+            .overload
+            .as_ref()
+            .and_then(|ov| ov.policy.deadline_at(now));
+        // Shed decisions are pure functions of queue state — no RNG is
+        // consumed, so admitted queries' draws do not depend on how many
+        // arrivals were shed before them.
+        if let Some(ov) = &self.rt.overload {
+            if ov.policy.shed_on_predicted_miss {
+                if let Some(d) = deadline {
+                    if now + Micros::from_ms(ov.predicted_ms) > d {
+                        self.st.overload.shed_predicted_miss += 1;
+                        self.st.shed();
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        if self.free[0] == 0 && self.queues[0].len() >= self.policy.queue_depth {
+            self.st.overload.shed_queue_full += 1;
+            self.st.shed();
+            return Ok(());
+        }
+        self.st.overload.admitted += 1;
+        self.q[qid as usize] = PipeQuery {
+            arrival: now,
+            deadline,
+            level,
+            status: QueryStatus::Ok,
+            health: (0, 0),
+        };
+        if self.free[0] > 0 {
+            self.start_or_kill(0, qid, now)?;
+        } else {
+            self.queues[0].push_back(qid);
+            self.note_queue_depth(0);
+        }
+        Ok(())
+    }
+
+    /// Dispatch checkpoint: starts query `qid` on stage `s` at `t`, or —
+    /// when its deadline already expired while it waited — kills it with an
+    /// explicit `DeadlineExceeded` (admitted queries are never silently
+    /// dropped). A kill consumes no lane.
+    fn start_or_kill(&mut self, s: usize, qid: u64, t: Micros) -> Result<()> {
+        let deadline = self.q[qid as usize].deadline;
+        if deadline.is_some_and(|d| t >= d) {
+            self.cancelled_from(s);
+            self.finalize(qid, t, QueryStatus::DeadlineExceeded);
+            return Ok(());
+        }
+        self.free[s] -= 1;
+        self.exec(s, qid, t)
+    }
+
+    /// Executes stage `s` for query `qid` starting at `t` on a lane the
+    /// caller already reserved: inbound hand-off transfer, then the group
+    /// body (fork/join with the full retry/breaker/budget machinery, or
+    /// orchestrator-local compute below the brownout local-only rung).
+    fn exec(&mut self, s: usize, qid: u64, t: Micros) -> Result<()> {
+        let rt = self.rt;
+        self.counters.stage_dispatches += 1;
+        let slot = self.q[qid as usize];
+        let mut rng = self.stage_rng(qid, s);
+        let g = &rt.plan.groups()[s];
+        let a = &rt.analyses[s];
+        let fname = stage_fn(s);
+        let orch = self.fleet.acquire(&fname, t)?;
+        let mut now = orch.ready_at;
+        let began = now;
+        if s > 0 {
+            // Inter-stage hand-off: the upstream stage ships this query's
+            // activation before compute starts (stage 0 receives the
+            // request payload for free, like the fork-join master). Ships
+            // quantized from the int8 brownout rung down, like fork/join
+            // payloads.
+            let wire_fmt = if slot.level >= BrownoutLevel::Int8 {
+                TransferFormat::Int8
+            } else {
+                rt.transfer_format
+            };
+            let bytes = wire_fmt.wire_bytes(rt.model.layers()[g.start].in_bytes());
+            now += Micros::from_ms(rt.sample_transfer_parts(&[bytes], &mut rng));
+            self.counters.handoffs += 1;
+        }
+        let window = self.st.health_window();
+        let run = if slot.level >= BrownoutLevel::LocalOnly {
+            // Local-fallback-only rung: the stage orchestrator computes
+            // every partition of its group itself, serially — no worker
+            // lanes, no fault sites, no retries.
+            let mut end = now;
+            let mut degraded = false;
+            for (pi, p) in a.partitions.iter().enumerate() {
+                let is_worker = match g.placement {
+                    Placement::Master => false,
+                    Placement::Workers => true,
+                    Placement::MasterAndWorkers => pi > 0,
+                };
+                if is_worker {
+                    self.st.resilience.degraded_shards += 1;
+                    degraded = true;
+                }
+                end += Micros::from_ms(rt.sample_compute_ms(p, &mut rng));
+            }
+            GroupRun {
+                end,
+                status: if degraded {
+                    QueryStatus::Degraded
+                } else {
+                    QueryStatus::Ok
+                },
+            }
+        } else {
+            rt.run_group_on_fleet(
+                s,
+                g,
+                a,
+                &rt.attempt_p95_ms,
+                &mut self.fleet,
+                &mut self.st.billing,
+                now,
+                &mut rng,
+                qid,
+                slot.deadline,
+                self.breakers.as_deref_mut(),
+                &mut self.st.overload,
+                &mut self.st.resilience,
+                slot.level,
+                self.st.budget.as_mut(),
+            )?
+        };
+        {
+            let slot = &mut self.q[qid as usize];
+            slot.health.0 += self.st.resilience.first_attempts - window.0;
+            slot.health.1 += self.st.resilience.first_attempt_successes - window.1;
+            if run.status == QueryStatus::Degraded {
+                slot.status = QueryStatus::Degraded;
+            }
+        }
+        // The orchestrator bills its busy window; worker lanes billed
+        // themselves inside the group body.
+        self.st
+            .billing
+            .record((run.end - began).as_ms(), rt.platform.instance_memory_bytes);
+        self.fleet.release(&fname, run.end)?;
+        match run.status {
+            QueryStatus::Failed => {
+                // Terminal mid-pipeline: an error response, downstream
+                // stages never see the query.
+                self.free[s] += 1;
+                self.finalize(qid, run.end, QueryStatus::Failed);
+                self.cascade(s, run.end)
+            }
+            QueryStatus::DeadlineExceeded => {
+                self.cancelled_from(s + 1);
+                self.free[s] += 1;
+                self.finalize(qid, run.end, QueryStatus::DeadlineExceeded);
+                self.cascade(s, run.end)
+            }
+            _ => {
+                self.events.push(Reverse((run.end, s as u32, qid)));
+                Ok(())
+            }
+        }
+    }
+
+    /// Handles the completion of stage `s` for query `qid` at `t`: advance
+    /// downstream, queue, or park under backpressure.
+    fn complete(&mut self, s: usize, qid: u64, t: Micros) -> Result<()> {
+        if s + 1 == self.stages {
+            let status = self.q[qid as usize].status;
+            self.free[s] += 1;
+            self.finalize(qid, t, status);
+            return self.cascade(s, t);
+        }
+        let next = s + 1;
+        if self.free[next] > 0 {
+            // Invariant: a free lane means an empty queue, so the query
+            // starts downstream immediately.
+            self.free[s] += 1;
+            self.start_or_kill(next, qid, t)?;
+            self.cascade(s, t)
+        } else if self.queues[next].len() < self.policy.queue_depth {
+            self.queues[next].push_back(qid);
+            self.note_queue_depth(next);
+            self.free[s] += 1;
+            self.cascade(s, t)
+        } else {
+            // Downstream full: park holding the stage-`s` lane.
+            self.parked[s].push_back(qid);
+            self.counters.backpressure_stalls += 1;
+            Ok(())
+        }
+    }
+
+    /// Drains stage `s`'s queue into its free lanes at `t`. Every pop opens
+    /// a queue slot, which promotes the oldest query parked upstream (and
+    /// recursively frees *its* lane) — backpressure releases in FIFO order,
+    /// upstream-ward.
+    fn cascade(&mut self, s: usize, t: Micros) -> Result<()> {
+        while self.free[s] > 0 {
+            let Some(qid) = self.queues[s].pop_front() else {
+                break;
+            };
+            self.promote_into(s, t)?;
+            self.start_or_kill(s, qid, t)?;
+        }
+        Ok(())
+    }
+
+    /// A slot opened in stage `s`'s queue: promote the oldest query parked
+    /// at stage `s - 1` into it and release the lane it was holding.
+    fn promote_into(&mut self, s: usize, t: Micros) -> Result<()> {
+        if s == 0 {
+            return Ok(());
+        }
+        let up = s - 1;
+        if let Some(p) = self.parked[up].pop_front() {
+            self.queues[s].push_back(p);
+            self.note_queue_depth(s);
+            self.free[up] += 1;
+            self.cascade(up, t)?;
+        }
+        Ok(())
+    }
 }
 
 /// The plan executor over the simulated platform.
@@ -999,6 +1463,24 @@ impl<'a> ForkJoinRuntime<'a> {
         Ok(())
     }
 
+    /// Fresh serving-loop state for one run keyed by `seed`.
+    fn serving_state(&self, seed: u64) -> ServingState {
+        ServingState {
+            rng: StdRng::seed_from_u64(seed),
+            billing: BillingMeter::new(
+                self.platform.billing_granularity_ms,
+                self.platform.price_per_gb_s,
+                self.platform.price_per_invocation,
+            ),
+            latency: LatencyStats::new(),
+            by_status: StatusLatency::new(),
+            resilience: ResilienceCounters::default(),
+            overload: OverloadCounters::default(),
+            budget: self.retry_budget.map(RetryBudget::new),
+            brownout: self.brownout.map(BrownoutController::new),
+        }
+    }
+
     /// Serves a closed-loop workload end to end: warm pools, cold starts,
     /// and per-function billing. Clients issue their first queries at time
     /// zero and re-issue upon response.
@@ -1015,22 +1497,11 @@ impl<'a> ForkJoinRuntime<'a> {
         let mut fleet = Fleet::new(self.platform.clone());
         self.deploy(&mut fleet)?;
         self.prewarm(&mut fleet, workload.clients)?;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut billing = BillingMeter::new(
-            self.platform.billing_granularity_ms,
-            self.platform.price_per_gb_s,
-            self.platform.price_per_invocation,
-        );
-        let mut latency = LatencyStats::new();
-        let mut by_status = StatusLatency::new();
-        let mut resilience = ResilienceCounters::default();
-        let mut overload = OverloadCounters::default();
+        let mut st = self.serving_state(seed);
         let mut breakers = self
             .overload
             .as_ref()
             .and_then(|ov| self.breaker_bank(&ov.policy));
-        let mut budget = self.retry_budget.map(RetryBudget::new);
-        let mut brownout = self.brownout.map(BrownoutController::new);
         let mut query_idx = 0u64;
 
         // Event = a client ready to issue a query.
@@ -1044,14 +1515,9 @@ impl<'a> ForkJoinRuntime<'a> {
             }
             // Brownout front door: the ladder classifies before any other
             // admission decision. A shed client thinks and retries later.
-            let level = match brownout.as_mut().map(BrownoutController::classify_arrival) {
-                Some(ArrivalDecision::Shed) => {
-                    resilience.record_status(QueryStatus::Shed);
-                    queue.push(now + workload.think_time, client);
-                    continue;
-                }
-                Some(ArrivalDecision::Serve(l)) => l,
-                None => BrownoutLevel::Full,
+            let Some(level) = st.front_door() else {
+                queue.push(now + workload.think_time, client);
+                continue;
             };
             // Closed-loop clients self-limit, so there is no admission
             // queue; deadlines and breakers still apply.
@@ -1060,47 +1526,34 @@ impl<'a> ForkJoinRuntime<'a> {
                 .as_ref()
                 .and_then(|ov| ov.policy.deadline_at(now));
             if self.overload.is_some() {
-                overload.admitted += 1;
+                st.overload.admitted += 1;
             }
-            let first_attempts = resilience.first_attempts;
-            let first_successes = resilience.first_attempt_successes;
+            let window = st.health_window();
             let (done, status) = self.run_query_on_fleet(
                 &mut fleet,
-                &mut billing,
+                &mut st.billing,
                 now,
-                &mut rng,
+                &mut st.rng,
                 query_idx,
                 deadline,
                 breakers.as_deref_mut(),
-                &mut overload,
-                &mut resilience,
+                &mut st.overload,
+                &mut st.resilience,
                 level,
-                budget.as_mut(),
+                st.budget.as_mut(),
             )?;
-            if let Some(ctl) = brownout.as_mut() {
-                ctl.observe(
-                    resilience.first_attempts - first_attempts,
-                    resilience.first_attempt_successes - first_successes,
-                );
-            }
+            st.observe(window);
             query_idx += 1;
-            let ms = (done - now).as_ms();
-            latency.record(ms);
-            by_status.record(status, ms);
+            st.record(now, done, status);
             queue.push(done + workload.think_time, client);
         }
 
         let cold_starts = self.count_cold_starts(&fleet)?;
-        Ok(ServingReport {
-            latency,
-            by_status,
-            billing,
+        Ok(st.finish(
             cold_starts,
-            resilience,
-            overload,
-            batch: BatchCounters::default(),
-            brownout: brownout.map(|c| c.counters).unwrap_or_default(),
-        })
+            BatchCounters::default(),
+            PipelineCounters::default(),
+        ))
     }
 
     /// Serves an open-loop Poisson arrival stream of `queries` queries at
@@ -1146,68 +1599,39 @@ impl<'a> ForkJoinRuntime<'a> {
             None => prewarm_clients,
         };
         self.prewarm(&mut fleet, prewarm_count)?;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut billing = BillingMeter::new(
-            self.platform.billing_granularity_ms,
-            self.platform.price_per_gb_s,
-            self.platform.price_per_invocation,
-        );
-        let mut latency = LatencyStats::new();
-        let mut by_status = StatusLatency::new();
-        let mut resilience = ResilienceCounters::default();
-        let mut overload = OverloadCounters::default();
-        let mut budget = self.retry_budget.map(RetryBudget::new);
-        let mut brownout = self.brownout.map(BrownoutController::new);
+        let mut st = self.serving_state(seed);
         let mut now = Micros::ZERO;
 
         let Some(ov) = self.overload.clone() else {
             // Legacy unbounded scale-out: every arrival runs immediately.
             for q in 0..queries {
-                now += arrivals.next_gap(&mut rng);
-                let level = match brownout.as_mut().map(BrownoutController::classify_arrival) {
-                    Some(ArrivalDecision::Shed) => {
-                        resilience.record_status(QueryStatus::Shed);
-                        continue;
-                    }
-                    Some(ArrivalDecision::Serve(l)) => l,
-                    None => BrownoutLevel::Full,
+                now += arrivals.next_gap(&mut st.rng);
+                let Some(level) = st.front_door() else {
+                    continue;
                 };
-                let first_attempts = resilience.first_attempts;
-                let first_successes = resilience.first_attempt_successes;
+                let window = st.health_window();
                 let (done, status) = self.run_query_on_fleet(
                     &mut fleet,
-                    &mut billing,
+                    &mut st.billing,
                     now,
-                    &mut rng,
+                    &mut st.rng,
                     q as u64,
                     None,
                     None,
-                    &mut overload,
-                    &mut resilience,
+                    &mut st.overload,
+                    &mut st.resilience,
                     level,
-                    budget.as_mut(),
+                    st.budget.as_mut(),
                 )?;
-                if let Some(ctl) = brownout.as_mut() {
-                    ctl.observe(
-                        resilience.first_attempts - first_attempts,
-                        resilience.first_attempt_successes - first_successes,
-                    );
-                }
-                let ms = (done - now).as_ms();
-                latency.record(ms);
-                by_status.record(status, ms);
+                st.observe(window);
+                st.record(now, done, status);
             }
             let cold_starts = self.count_cold_starts(&fleet)?;
-            return Ok(ServingReport {
-                latency,
-                by_status,
-                billing,
+            return Ok(st.finish(
                 cold_starts,
-                resilience,
-                overload,
-                batch: BatchCounters::default(),
-                brownout: brownout.map(|c| c.counters).unwrap_or_default(),
-            });
+                BatchCounters::default(),
+                PipelineCounters::default(),
+            ));
         };
 
         let policy = ov.policy;
@@ -1221,19 +1645,14 @@ impl<'a> ForkJoinRuntime<'a> {
         // so the entries with `start > now` are exactly the queue.
         let mut admitted_starts: VecDeque<Micros> = VecDeque::new();
         for q in 0..queries {
-            now += arrivals.next_gap(&mut rng);
+            now += arrivals.next_gap(&mut st.rng);
             while admitted_starts.front().is_some_and(|&s| s <= now) {
                 admitted_starts.pop_front();
             }
             // Brownout front door first: a browned-out platform sheds before
             // consulting the queue at all.
-            let level = match brownout.as_mut().map(BrownoutController::classify_arrival) {
-                Some(ArrivalDecision::Shed) => {
-                    resilience.record_status(QueryStatus::Shed);
-                    continue;
-                }
-                Some(ArrivalDecision::Serve(l)) => l,
-                None => BrownoutLevel::Full,
+            let Some(level) = st.front_door() else {
+                continue;
             };
             let waiting = admitted_starts.len();
             let min_free = server_free.peek().expect("max_concurrency >= 1").0;
@@ -1243,62 +1662,49 @@ impl<'a> ForkJoinRuntime<'a> {
             // consumed, so the admitted queries' fault/noise draws do not
             // depend on how many arrivals were shed before them.
             if waiting >= policy.queue_depth {
-                overload.shed_queue_full += 1;
-                resilience.record_status(QueryStatus::Shed);
+                st.overload.shed_queue_full += 1;
+                st.shed();
                 continue;
             }
             if policy.shed_on_predicted_miss {
                 if let Some(d) = deadline {
                     if start + Micros::from_ms(ov.predicted_ms) > d {
-                        overload.shed_predicted_miss += 1;
-                        resilience.record_status(QueryStatus::Shed);
+                        st.overload.shed_predicted_miss += 1;
+                        st.shed();
                         continue;
                     }
                 }
             }
-            overload.admitted += 1;
+            st.overload.admitted += 1;
             let depth_now = waiting + usize::from(start > now);
-            overload.peak_queue_depth = overload.peak_queue_depth.max(depth_now as u64);
+            st.overload.peak_queue_depth = st.overload.peak_queue_depth.max(depth_now as u64);
             server_free.pop();
-            let first_attempts = resilience.first_attempts;
-            let first_successes = resilience.first_attempt_successes;
+            let window = st.health_window();
             let (done, status) = self.run_query_on_fleet(
                 &mut fleet,
-                &mut billing,
+                &mut st.billing,
                 start,
-                &mut rng,
+                &mut st.rng,
                 q as u64,
                 deadline,
                 breakers.as_deref_mut(),
-                &mut overload,
-                &mut resilience,
+                &mut st.overload,
+                &mut st.resilience,
                 level,
-                budget.as_mut(),
+                st.budget.as_mut(),
             )?;
-            if let Some(ctl) = brownout.as_mut() {
-                ctl.observe(
-                    resilience.first_attempts - first_attempts,
-                    resilience.first_attempt_successes - first_successes,
-                );
-            }
+            st.observe(window);
             server_free.push(Reverse(done));
             admitted_starts.push_back(start);
             // Latency is measured from *arrival*: queue wait counts.
-            let ms = (done - now).as_ms();
-            latency.record(ms);
-            by_status.record(status, ms);
+            st.record(now, done, status);
         }
         let cold_starts = self.count_cold_starts(&fleet)?;
-        Ok(ServingReport {
-            latency,
-            by_status,
-            billing,
+        Ok(st.finish(
             cold_starts,
-            resilience,
-            overload,
-            batch: BatchCounters::default(),
-            brownout: brownout.map(|c| c.counters).unwrap_or_default(),
-        })
+            BatchCounters::default(),
+            PipelineCounters::default(),
+        ))
     }
 
     /// Serves an open-loop Poisson stream with adaptive multi-SLO batching:
@@ -1383,23 +1789,12 @@ impl<'a> ForkJoinRuntime<'a> {
                 (scaled, p95)
             })
             .collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut billing = BillingMeter::new(
-            self.platform.billing_granularity_ms,
-            self.platform.price_per_gb_s,
-            self.platform.price_per_invocation,
-        );
-        let mut latency = LatencyStats::new();
-        let mut by_status = StatusLatency::new();
-        let mut resilience = ResilienceCounters::default();
-        let mut overload = OverloadCounters::default();
+        let mut st = self.serving_state(seed);
         let mut batch = BatchCounters::default();
         let mut breakers = self
             .overload
             .as_ref()
             .and_then(|ov| self.breaker_bank(&ov.policy));
-        let mut budget = self.retry_budget.map(RetryBudget::new);
-        let mut brownout = self.brownout.map(BrownoutController::new);
         let mut server_free: BinaryHeap<Reverse<Micros>> = (0..max_concurrency)
             .map(|_| Reverse(Micros::ZERO))
             .collect();
@@ -1431,14 +1826,14 @@ impl<'a> ForkJoinRuntime<'a> {
         let mut admitted_starts: VecDeque<Micros> = VecDeque::new();
         let mut now = Micros::ZERO;
         for q in 0..queries {
-            now += arrivals.next_gap(&mut rng);
+            now += arrivals.next_gap(&mut st.rng);
             // Close every window that expired before this arrival. Nothing
             // else advances virtual time, so lazy closing is exact.
             while let Some(ci) = due(&pending).filter(|&ci| pending[ci].1 <= now) {
                 let members = std::mem::take(&mut pending[ci].0);
                 let n = members.len();
                 let close_at = pending[ci].1;
-                let level = batch_dispatch_level(brownout.as_ref());
+                let level = batch_dispatch_level(st.brownout.as_ref());
                 let start = self.dispatch_batch(
                     policy,
                     &profiles,
@@ -1447,18 +1842,11 @@ impl<'a> ForkJoinRuntime<'a> {
                     close_at,
                     false,
                     &mut fleet,
-                    &mut billing,
-                    &mut rng,
                     &mut server_free,
                     breakers.as_deref_mut(),
-                    &mut latency,
-                    &mut by_status,
-                    &mut resilience,
-                    &mut overload,
-                    &mut batch,
                     level,
-                    brownout.as_mut(),
-                    budget.as_mut(),
+                    &mut st,
+                    &mut batch,
                 )?;
                 admitted_starts.extend(std::iter::repeat_n(start, n));
             }
@@ -1471,10 +1859,10 @@ impl<'a> ForkJoinRuntime<'a> {
             // fork-join wave with normal ones — so those arrivals dispatch
             // solo below.
             let mut solo_level: Option<BrownoutLevel> = None;
-            if let Some(ctl) = brownout.as_mut() {
+            if let Some(ctl) = st.brownout.as_mut() {
                 match ctl.classify_arrival() {
                     ArrivalDecision::Shed => {
-                        resilience.record_status(QueryStatus::Shed);
+                        st.resilience.record_status(QueryStatus::Shed);
                         continue;
                     }
                     ArrivalDecision::Serve(l) => {
@@ -1493,12 +1881,12 @@ impl<'a> ForkJoinRuntime<'a> {
             let waiting: usize =
                 pending.iter().map(|(m, _)| m.len()).sum::<usize>() + admitted_starts.len();
             if waiting >= queue_depth {
-                overload.shed_queue_full += 1;
-                resilience.record_status(QueryStatus::Shed);
+                st.overload.shed_queue_full += 1;
+                st.shed();
                 continue;
             }
             if let Some(level) = solo_level {
-                overload.admitted += 1;
+                st.overload.admitted += 1;
                 let start = self.dispatch_batch(
                     policy,
                     &profiles,
@@ -1507,18 +1895,11 @@ impl<'a> ForkJoinRuntime<'a> {
                     now,
                     false,
                     &mut fleet,
-                    &mut billing,
-                    &mut rng,
                     &mut server_free,
                     breakers.as_deref_mut(),
-                    &mut latency,
-                    &mut by_status,
-                    &mut resilience,
-                    &mut overload,
-                    &mut batch,
                     level,
-                    brownout.as_mut(),
-                    budget.as_mut(),
+                    &mut st,
+                    &mut batch,
                 )?;
                 admitted_starts.push_back(start);
                 continue;
@@ -1536,12 +1917,12 @@ impl<'a> ForkJoinRuntime<'a> {
                 let min_free = server_free.peek().expect("max_concurrency >= 1").0;
                 let est_done = est_close.max(min_free) + Micros::from_ms(cs.predicted_ms);
                 if est_done > now + Micros::from_ms(class.deadline_ms) {
-                    overload.shed_predicted_miss += 1;
-                    resilience.record_status(QueryStatus::Shed);
+                    st.overload.shed_predicted_miss += 1;
+                    st.shed();
                     continue;
                 }
             }
-            overload.admitted += 1;
+            st.overload.admitted += 1;
             if pending[ci].0.is_empty() {
                 pending[ci].1 = now + Micros::from_ms(cs.window_ms);
             }
@@ -1549,7 +1930,7 @@ impl<'a> ForkJoinRuntime<'a> {
             if pending[ci].0.len() >= cs.batch {
                 let members = std::mem::take(&mut pending[ci].0);
                 let n = members.len();
-                let level = batch_dispatch_level(brownout.as_ref());
+                let level = batch_dispatch_level(st.brownout.as_ref());
                 let start = self.dispatch_batch(
                     policy,
                     &profiles,
@@ -1558,18 +1939,11 @@ impl<'a> ForkJoinRuntime<'a> {
                     now,
                     true,
                     &mut fleet,
-                    &mut billing,
-                    &mut rng,
                     &mut server_free,
                     breakers.as_deref_mut(),
-                    &mut latency,
-                    &mut by_status,
-                    &mut resilience,
-                    &mut overload,
-                    &mut batch,
                     level,
-                    brownout.as_mut(),
-                    budget.as_mut(),
+                    &mut st,
+                    &mut batch,
                 )?;
                 admitted_starts.extend(std::iter::repeat_n(start, n));
             }
@@ -1580,13 +1954,13 @@ impl<'a> ForkJoinRuntime<'a> {
             }
             let depth: usize =
                 pending.iter().map(|(m, _)| m.len()).sum::<usize>() + admitted_starts.len();
-            overload.peak_queue_depth = overload.peak_queue_depth.max(depth as u64);
+            st.overload.peak_queue_depth = st.overload.peak_queue_depth.max(depth as u64);
         }
         // Drain remaining windows at their scheduled close times.
         while let Some(ci) = due(&pending) {
             let members = std::mem::take(&mut pending[ci].0);
             let close_at = pending[ci].1;
-            let level = batch_dispatch_level(brownout.as_ref());
+            let level = batch_dispatch_level(st.brownout.as_ref());
             self.dispatch_batch(
                 policy,
                 &profiles,
@@ -1595,31 +1969,15 @@ impl<'a> ForkJoinRuntime<'a> {
                 close_at,
                 false,
                 &mut fleet,
-                &mut billing,
-                &mut rng,
                 &mut server_free,
                 breakers.as_deref_mut(),
-                &mut latency,
-                &mut by_status,
-                &mut resilience,
-                &mut overload,
-                &mut batch,
                 level,
-                brownout.as_mut(),
-                budget.as_mut(),
+                &mut st,
+                &mut batch,
             )?;
         }
         let cold_starts = self.count_cold_starts(&fleet)?;
-        Ok(ServingReport {
-            latency,
-            by_status,
-            billing,
-            cold_starts,
-            resilience,
-            overload,
-            batch,
-            brownout: brownout.map(|c| c.counters).unwrap_or_default(),
-        })
+        Ok(st.finish(cold_starts, batch, PipelineCounters::default()))
     }
 
     /// Dispatches one formed batch as a single master execution: picks the
@@ -1636,18 +1994,11 @@ impl<'a> ForkJoinRuntime<'a> {
         close_at: Micros,
         size_close: bool,
         fleet: &mut Fleet,
-        billing: &mut BillingMeter,
-        rng: &mut StdRng,
         server_free: &mut BinaryHeap<Reverse<Micros>>,
         breakers: Option<&mut [Vec<CircuitBreaker>]>,
-        latency: &mut LatencyStats,
-        by_status: &mut StatusLatency,
-        resilience: &mut ResilienceCounters,
-        overload: &mut OverloadCounters,
-        batch: &mut BatchCounters,
         level: BrownoutLevel,
-        brownout: Option<&mut BrownoutController>,
-        budget: Option<&mut RetryBudget>,
+        st: &mut ServingState,
+        batch: &mut BatchCounters,
     ) -> Result<Micros> {
         let n = members.len();
         debug_assert!(n > 0, "a batch has at least one member");
@@ -1678,31 +2029,178 @@ impl<'a> ForkJoinRuntime<'a> {
             .then(|| first_arrival + Micros::from_ms(class.deadline_ms));
         let min_free = server_free.pop().expect("max_concurrency >= 1").0;
         let start = close_at.max(min_free);
-        let first_attempts = resilience.first_attempts;
-        let first_successes = resilience.first_attempt_successes;
+        let window = st.health_window();
         let (done, status) = self.run_query_with(
-            analyses, p95, fleet, billing, start, rng, first_q, deadline, breakers, overload,
-            resilience, level, budget,
+            analyses,
+            p95,
+            fleet,
+            &mut st.billing,
+            start,
+            &mut st.rng,
+            first_q,
+            deadline,
+            breakers,
+            &mut st.overload,
+            &mut st.resilience,
+            level,
+            st.budget.as_mut(),
         )?;
-        if let Some(ctl) = brownout {
-            ctl.observe(
-                resilience.first_attempts - first_attempts,
-                resilience.first_attempt_successes - first_successes,
-            );
-        }
+        st.observe(window);
         server_free.push(Reverse(done));
         // Every member shares the batch's terminal status; latency is
         // measured from each member's own arrival, so window wait counts.
         for (i, &(arrival, _)) in members.iter().enumerate() {
-            let ms = (done - arrival).as_ms();
-            latency.record(ms);
-            by_status.record(status, ms);
+            st.record(arrival, done, status);
             if i > 0 {
                 // `run_query_with` recorded the first member's status.
-                resilience.record_status(status);
+                st.resilience.record_status(status);
             }
         }
         Ok(start)
+    }
+
+    /// Serves an open-loop Poisson stream with pipeline parallelism across
+    /// layer groups: each group becomes a *stage* with its own pool of
+    /// `policy.lanes` orchestrator lanes (functions `"s0"`, `"s1"`, …,
+    /// packaged like per-stage masters) and a bounded queue in front of it.
+    /// Queries stream through stages concurrently on the virtual clock, so
+    /// steady-state throughput is bounded by the slowest stage — the
+    /// `t_pipeline` bottleneck — rather than by end-to-end latency, at the
+    /// price of pipeline-fill latency and one activation hand-off per stage
+    /// boundary.
+    ///
+    /// Backpressure is explicit and lossless past admission: a query that
+    /// finishes stage `s` while stage `s + 1`'s queue is full *parks*,
+    /// holding its stage-`s` lane, until a downstream slot opens; only the
+    /// admission front door (brownout ladder, bounded stage-0 queue,
+    /// predicted-miss shedding) ever sheds, and every admitted query is
+    /// recorded exactly once — deadline kills at dispatch checkpoints are
+    /// explicit `DeadlineExceeded` outcomes with their undone work counted
+    /// as cancelled attempts.
+    ///
+    /// Determinism: the loop is sequential on the caller over a totally
+    /// ordered event stream — completions and arrivals merge by virtual
+    /// time (completions first on ties), completion ties break by
+    /// `(stage, query)` — arrival times are precomputed from the run RNG
+    /// before any execution draw, and each `(query, stage)` execution draws
+    /// from its own RNG derived via [`replication_seed`]. Reports are
+    /// therefore bit-identical for any `GILLIS_THREADS` and independent of
+    /// event interleaving. Single-group plans have nothing to pipeline and
+    /// delegate to [`Self::serve_open_loop`] unchanged.
+    ///
+    /// The overload policy composes as the admission front door (deadlines,
+    /// predicted-miss shedding, breaker bank — note `max_concurrency` is
+    /// superseded by per-stage lanes); chaos/outage faults, retry budgets,
+    /// and the brownout ladder all apply per stage execution. Batching does
+    /// not compose: the pipelined path serves per-query.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid policies and non-positive rates; propagates fleet
+    /// errors.
+    pub fn serve_open_loop_pipelined(
+        &self,
+        policy: &PipelinePolicy,
+        rate_per_sec: f64,
+        queries: usize,
+        prewarm_clients: usize,
+        seed: u64,
+    ) -> Result<ServingReport> {
+        policy.validate()?;
+        let stages = self.plan.groups().len();
+        if stages <= 1 {
+            // Nothing to overlap: serve on the plain open loop so
+            // pipeline-disabled (single-stage) deployments are
+            // bit-identical to the fork-join path.
+            return self.serve_open_loop(rate_per_sec, queries, prewarm_clients, seed);
+        }
+        let arrivals = gillis_faas::workload::PoissonArrivals::new(rate_per_sec)?;
+        let mut fleet = Fleet::new(self.platform.clone());
+        self.deploy(&mut fleet)?;
+        // Stage orchestrators: one function per layer group, packaged with
+        // the group's master-resident weights (nothing for worker-only
+        // groups), warmed to the lane count.
+        for (gi, (g, a)) in self
+            .plan
+            .groups()
+            .iter()
+            .zip(self.analyses.iter())
+            .enumerate()
+        {
+            let package_bytes = if g.placement == Placement::Workers {
+                0
+            } else {
+                a.partitions[0].weight_bytes
+            };
+            fleet.deploy(FunctionSpec {
+                name: stage_fn(gi),
+                memory_bytes: self.platform.instance_memory_bytes,
+                package_bytes,
+            })?;
+        }
+        self.prewarm(&mut fleet, prewarm_clients.max(policy.lanes))?;
+        for gi in 0..stages {
+            fleet.prewarm(&stage_fn(gi), policy.lanes, Micros::ZERO)?;
+        }
+        let mut st = self.serving_state(seed);
+        // Arrival times come out of the run RNG before any execution draw,
+        // so the arrival process is independent of execution interleaving.
+        let mut arrival_times = Vec::with_capacity(queries);
+        let mut t = Micros::ZERO;
+        for _ in 0..queries {
+            t += arrivals.next_gap(&mut st.rng);
+            arrival_times.push(t);
+        }
+        let breakers = self
+            .overload
+            .as_ref()
+            .and_then(|ov| self.breaker_bank(&ov.policy));
+        let mut sim = PipelineSim {
+            rt: self,
+            policy: *policy,
+            seed,
+            stages,
+            fleet,
+            st,
+            counters: PipelineCounters {
+                stages: stages as u64,
+                ..PipelineCounters::default()
+            },
+            breakers,
+            free: vec![policy.lanes; stages],
+            queues: vec![VecDeque::new(); stages],
+            parked: vec![VecDeque::new(); stages],
+            q: vec![PipeQuery::default(); queries],
+            events: BinaryHeap::new(),
+        };
+        let mut next_arrival = 0usize;
+        loop {
+            let arrival = arrival_times.get(next_arrival).copied();
+            let completion = sim.events.peek().map(|Reverse((t, _, _))| *t);
+            match (arrival, completion) {
+                (Some(a), Some(c)) if c <= a => {
+                    let Reverse((t, s, qid)) = sim.events.pop().expect("peeked");
+                    sim.complete(s as usize, qid, t)?;
+                }
+                (Some(a), _) => {
+                    sim.arrive(next_arrival as u64, a)?;
+                    next_arrival += 1;
+                }
+                (None, Some(_)) => {
+                    let Reverse((t, s, qid)) = sim.events.pop().expect("peeked");
+                    sim.complete(s as usize, qid, t)?;
+                }
+                (None, None) => break,
+            }
+        }
+        let mut cold_starts = self.count_cold_starts(&sim.fleet)?;
+        for gi in 0..stages {
+            let (c, _, _) = sim.fleet.stats(&stage_fn(gi))?;
+            cold_starts += c;
+        }
+        Ok(sim
+            .st
+            .finish(cold_starts, BatchCounters::default(), sim.counters))
     }
 
     fn count_cold_starts(&self, fleet: &Fleet) -> Result<u64> {
@@ -1853,16 +2351,6 @@ impl<'a> ForkJoinRuntime<'a> {
         mut budget: Option<&mut RetryBudget>,
     ) -> Result<(Micros, QueryStatus)> {
         let mem = self.platform.instance_memory_bytes;
-        let max_attempts = self.policy.max_attempts.max(1);
-        // From the int8 rung down, fork/join payloads ship quantized
-        // regardless of the configured format — a browned-out platform
-        // sheds bytes before it sheds queries.
-        let wire_fmt = if level >= BrownoutLevel::Int8 {
-            TransferFormat::Int8
-        } else {
-            self.transfer_format
-        };
-        let wire = |raw: u64| wire_fmt.wire_bytes(raw);
         let master = fleet.acquire("master", start)?;
         let mut now = master.ready_at;
         let master_began = now;
@@ -1911,6 +2399,103 @@ impl<'a> ForkJoinRuntime<'a> {
                     break 'groups;
                 }
             }
+            let run = self.run_group_on_fleet(
+                gi,
+                g,
+                a,
+                attempt_p95_ms,
+                fleet,
+                billing,
+                now,
+                rng,
+                query,
+                deadline,
+                breakers.as_deref_mut(),
+                overload,
+                counters,
+                level,
+                budget.as_deref_mut(),
+            )?;
+            now = run.end;
+            match run.status {
+                QueryStatus::Ok => {}
+                QueryStatus::Degraded => status = QueryStatus::Degraded,
+                QueryStatus::Failed => {
+                    // The master gives up mid-plan and emits an error
+                    // response: the fork and the waiting are paid, the join
+                    // is not.
+                    status = QueryStatus::Failed;
+                    break 'groups;
+                }
+                QueryStatus::DeadlineExceeded => {
+                    // The master abandoned the query inside the group; the
+                    // never-dispatched downstream work is cancelled too.
+                    status = QueryStatus::DeadlineExceeded;
+                    let remaining: u64 = self.plan.groups()[gi + 1..]
+                        .iter()
+                        .map(|g| g.worker_count() as u64)
+                        .sum();
+                    overload.cancelled_attempts += remaining;
+                    break 'groups;
+                }
+                other => unreachable!("group execution cannot end {other:?}"),
+            }
+        }
+        if let Some(d) = deadline {
+            if now > d && matches!(status, QueryStatus::Ok | QueryStatus::Degraded) {
+                // The result arrived, but after the deadline — the client
+                // has already timed out. Honest accounting over a pleasant
+                // story: the query missed.
+                status = QueryStatus::DeadlineExceeded;
+            }
+        }
+        billing.record((now - master_began).as_ms(), mem);
+        fleet.release("master", now)?;
+        counters.record_status(status);
+        Ok((now, status))
+    }
+
+    /// Executes one layer group on the fleet starting at `begin`: fork,
+    /// worker lanes with retries/hedges/breakers/budget, local fallback,
+    /// and join. This is the group body shared by the monolithic fork-join
+    /// master ([`Self::run_query_with`]) and the per-stage orchestrators of
+    /// [`Self::serve_open_loop_pipelined`] — one failure model, two serving
+    /// topologies. Terminal outcomes (`Failed`, `DeadlineExceeded`) leave
+    /// downstream-cancellation accounting to the caller, which knows what
+    /// work remains.
+    #[allow(clippy::too_many_arguments)]
+    fn run_group_on_fleet(
+        &self,
+        gi: usize,
+        g: &PlannedGroup,
+        a: &GroupAnalysis,
+        attempt_p95_ms: &[Vec<f64>],
+        fleet: &mut Fleet,
+        billing: &mut BillingMeter,
+        begin: Micros,
+        rng: &mut StdRng,
+        query: u64,
+        deadline: Option<Micros>,
+        mut breakers: Option<&mut [Vec<CircuitBreaker>]>,
+        overload: &mut OverloadCounters,
+        counters: &mut ResilienceCounters,
+        level: BrownoutLevel,
+        mut budget: Option<&mut RetryBudget>,
+    ) -> Result<GroupRun> {
+        let mem = self.platform.instance_memory_bytes;
+        let max_attempts = self.policy.max_attempts.max(1);
+        // From the int8 rung down, fork/join payloads ship quantized
+        // regardless of the configured format — a browned-out platform
+        // sheds bytes before it sheds queries.
+        let wire_fmt = if level >= BrownoutLevel::Int8 {
+            TransferFormat::Int8
+        } else {
+            self.transfer_format
+        };
+        let wire = |raw: u64| wire_fmt.wire_bytes(raw);
+        let mut now = begin;
+        let mut status = QueryStatus::Ok;
+        {
             match g.placement {
                 Placement::Master => {
                     now += Micros::from_ms(self.sample_compute_ms(&a.partitions[0], rng));
@@ -1928,8 +2513,10 @@ impl<'a> ForkJoinRuntime<'a> {
                         0.0
                     };
                     if worker_parts.is_empty() {
-                        now += Micros::from_ms(master_compute);
-                        continue;
+                        return Ok(GroupRun {
+                            end: now + Micros::from_ms(master_compute),
+                            status: QueryStatus::Ok,
+                        });
                     }
                     // Fork: same egress model as `simulate_query` — one
                     // shared helper, so fleet serving and single-query
@@ -2196,24 +2783,21 @@ impl<'a> ForkJoinRuntime<'a> {
                                 status = QueryStatus::Degraded;
                             }
                         } else {
-                            status = QueryStatus::Failed;
-                            now = compute_end;
-                            break 'groups;
+                            return Ok(GroupRun {
+                                end: compute_end,
+                                status: QueryStatus::Failed,
+                            });
                         }
                     }
                     if deadline_hit {
                         // The master abandons the query at its deadline: an
                         // error response, no join. Only its own synchronous
                         // shard compute can push the return later.
-                        status = QueryStatus::DeadlineExceeded;
                         let d = deadline.expect("deadline_hit implies a deadline");
-                        now = master_busy_end.max(d);
-                        let remaining: u64 = self.plan.groups()[gi + 1..]
-                            .iter()
-                            .map(|g| g.worker_count() as u64)
-                            .sum();
-                        overload.cancelled_attempts += remaining;
-                        break 'groups;
+                        return Ok(GroupRun {
+                            end: master_busy_end.max(d),
+                            status: QueryStatus::DeadlineExceeded,
+                        });
                     }
                     // Join: collection jitter + serialized replies, again via
                     // the shared helper.
@@ -2221,18 +2805,7 @@ impl<'a> ForkJoinRuntime<'a> {
                 }
             }
         }
-        if let Some(d) = deadline {
-            if now > d && matches!(status, QueryStatus::Ok | QueryStatus::Degraded) {
-                // The result arrived, but after the deadline — the client
-                // has already timed out. Honest accounting over a pleasant
-                // story: the query missed.
-                status = QueryStatus::DeadlineExceeded;
-            }
-        }
-        billing.record((now - master_began).as_ms(), mem);
-        fleet.release("master", now)?;
-        counters.record_status(status);
-        Ok((now, status))
+        Ok(GroupRun { end: now, status })
     }
 }
 
@@ -3934,6 +4507,191 @@ mod tests {
                 // corruption fires and every one is detected at the join.
                 proptest::prop_assert!(counters.corruptions_detected > 0);
             }
+        }
+    }
+
+    // ──────────────────────── pipelined serving ────────────────────────
+
+    #[test]
+    fn pipelined_single_group_delegates_to_fork_join() {
+        // A single-group plan has nothing to overlap: the pipelined entry
+        // point must produce a bit-identical report to the plain open loop
+        // (same RNG stream, same recorders), with zero pipeline accounting.
+        let tiny = zoo::tiny_vgg();
+        let plan = ExecutionPlan::single_function(&tiny);
+        let platform = PlatformProfile::aws_lambda();
+        let runtime = ForkJoinRuntime::new(&tiny, &plan, platform).unwrap();
+        let plain = runtime.serve_open_loop(40.0, 60, 2, 9).unwrap();
+        let piped = runtime
+            .serve_open_loop_pipelined(&PipelinePolicy::with_lanes(4), 40.0, 60, 2, 9)
+            .unwrap();
+        assert_eq!(plain.latency.count(), piped.latency.count());
+        assert_eq!(
+            plain.latency.mean().to_bits(),
+            piped.latency.mean().to_bits()
+        );
+        assert_eq!(plain.resilience, piped.resilience);
+        assert_eq!(plain.cold_starts, piped.cold_starts);
+        assert_eq!(piped.pipeline, PipelineCounters::default());
+    }
+
+    #[test]
+    fn pipelined_serving_is_deterministic_with_backpressure_and_chaos() {
+        // The full stack at once — multi-stage plan, faults, hedged
+        // retries, single-lane stages with depth-1 queues at ~3x the
+        // bottleneck rate — must (a) replay bit-identically from the seed
+        // (the loop is sequential over a totally ordered event stream, so
+        // `GILLIS_THREADS` cannot influence it), and (b) park upstream
+        // completions instead of dropping them when downstream queues fill.
+        let tiny = zoo::tiny_vgg();
+        let plan = forced_split_plan(&tiny);
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let predicted = predict_plan(&tiny, &plan, &perf).unwrap().latency_ms;
+        let runtime = ForkJoinRuntime::new(&tiny, &plan, platform)
+            .unwrap()
+            .with_chaos(stress_chaos(7))
+            .unwrap()
+            .with_policy(ResiliencePolicy::backoff_hedged());
+        let policy = PipelinePolicy {
+            lanes: 1,
+            queue_depth: 1,
+        };
+        // Single-lane saturation is 1000/bottleneck >= stages/predicted
+        // queries per ms; 3x the upper bound overloads every stage.
+        let stages = plan.groups().len();
+        let rate = 3.0 * stages as f64 * 1000.0 / predicted;
+        let queries = 150;
+        let run = || -> ServingReport {
+            runtime
+                .serve_open_loop_pipelined(&policy, rate, queries, 1, 21)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.latency.count(), b.latency.count());
+        assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+        assert_eq!(
+            a.latency.percentile(99.0).to_bits(),
+            b.latency.percentile(99.0).to_bits()
+        );
+        assert_eq!(a.resilience, b.resilience);
+        assert_eq!(a.overload, b.overload);
+        assert_eq!(a.pipeline, b.pipeline);
+        assert_eq!(
+            a.billing.usd_total().to_bits(),
+            b.billing.usd_total().to_bits()
+        );
+        assert_eq!(a.billing.invocations(), b.billing.invocations());
+
+        assert_eq!(a.pipeline.stages, stages as u64);
+        assert!(
+            a.pipeline.backpressure_stalls > 0,
+            "depth-1 queues at 3x saturation must park: {:?}",
+            a.pipeline
+        );
+        assert!(
+            a.pipeline.peak_stage_queue <= policy.queue_depth as u64,
+            "queues are bounded: {:?}",
+            a.pipeline
+        );
+        assert!(a.pipeline.handoffs > 0);
+        // Sheds happen (bounded admission), and no admitted query is lost.
+        assert!(a.overload.shed_queue_full > 0);
+        assert_eq!(a.overload.admitted + a.overload.shed(), queries as u64);
+        assert_eq!(a.latency.count() as u64, a.overload.admitted);
+    }
+
+    #[test]
+    fn pipelining_beats_fork_join_goodput_at_saturation() {
+        // The tentpole claim in miniature: with per-stage lane pools equal
+        // to the fork-join concurrency, streaming queries through stages
+        // admits and completes substantially more of an overloaded arrival
+        // stream, because throughput is bounded by the slowest stage rather
+        // than the end-to-end latency.
+        let tiny = zoo::tiny_vgg();
+        let plan = forced_split_plan(&tiny);
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let predicted = predict_plan(&tiny, &plan, &perf).unwrap().latency_ms;
+        let runtime = ForkJoinRuntime::new(&tiny, &plan, platform).unwrap();
+        let concurrency = 2;
+        let slo_ms = 4.0 * predicted;
+        let rate = 2.0 * 1000.0 * concurrency as f64 / predicted;
+        let queries = 300;
+        let forkjoin = runtime
+            .clone()
+            .with_overload(OverloadPolicy::for_slo(slo_ms, concurrency))
+            .unwrap()
+            .serve_open_loop(rate, queries, concurrency, 11)
+            .unwrap();
+        let pipelined = runtime
+            .clone()
+            .with_overload(OverloadPolicy::for_slo(slo_ms, concurrency))
+            .unwrap()
+            .serve_open_loop_pipelined(
+                &PipelinePolicy::with_lanes(concurrency),
+                rate,
+                queries,
+                concurrency,
+                11,
+            )
+            .unwrap();
+        assert!(
+            pipelined.overload.admitted > forkjoin.overload.admitted,
+            "pipeline {} vs fork-join {} admitted",
+            pipelined.overload.admitted,
+            forkjoin.overload.admitted
+        );
+        let fj_ok = forkjoin.by_status.ok.count() + forkjoin.by_status.degraded.count();
+        let pp_ok = pipelined.by_status.ok.count() + pipelined.by_status.degraded.count();
+        assert!(
+            pp_ok as f64 >= 1.3 * fj_ok as f64,
+            "goodput: pipeline {pp_ok} vs fork-join {fj_ok}"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+
+        /// Backpressure never loses a query: for any seed, rate, and lane
+        /// count — with chaos, retries, deadlines, and bounded stage queues
+        /// all active — every arrival is either shed at admission or
+        /// recorded with a terminal status, and stage queues never exceed
+        /// the policy depth.
+        #[test]
+        fn pipelined_serving_never_loses_a_query(
+            (seed, rate_scale, lanes) in (0u64..1000, 1u32..6, 1usize..4),
+        ) {
+            let tiny = zoo::tiny_vgg();
+            let plan = forced_split_plan(&tiny);
+            let platform = PlatformProfile::aws_lambda();
+            let perf = PerfModel::analytic(&platform);
+            let predicted = predict_plan(&tiny, &plan, &perf).unwrap().latency_ms;
+            let stages = plan.groups().len();
+            let runtime = ForkJoinRuntime::new(&tiny, &plan, platform)
+                .unwrap()
+                .with_chaos(stress_chaos(seed ^ 0xabc))
+                .unwrap()
+                .with_policy(ResiliencePolicy::backoff_hedged())
+                .with_overload(OverloadPolicy::for_slo(3.0 * predicted, lanes))
+                .unwrap();
+            let rate = rate_scale as f64 * stages as f64 * 1000.0 / predicted;
+            let queries = 120usize;
+            let policy = PipelinePolicy { lanes, queue_depth: 2 };
+            let report = runtime
+                .serve_open_loop_pipelined(&policy, rate, queries, lanes, seed)
+                .unwrap();
+            proptest::prop_assert_eq!(
+                report.overload.admitted + report.overload.shed(),
+                queries as u64
+            );
+            proptest::prop_assert_eq!(report.latency.count() as u64, report.overload.admitted);
+            proptest::prop_assert_eq!(report.resilience.shed_queries, report.overload.shed());
+            proptest::prop_assert!(
+                report.pipeline.peak_stage_queue <= policy.queue_depth as u64
+            );
+            proptest::prop_assert!(report.pipeline.handoffs <= report.pipeline.stage_dispatches);
         }
     }
 }

@@ -50,7 +50,7 @@ pub mod tail;
 
 pub use cache::{CacheStats, EvalCache};
 pub use compiled_exec::CompiledPlanExec;
-pub use dp::{DpPartitioner, GroupEval, PartitionerConfig};
+pub use dp::{DpPartitioner, GroupEval, PartitionerConfig, PlanObjective};
 pub use error::CoreError;
 pub use forkjoin::{
     execute_plan_tensors, execute_plan_tensors_cancellable, execute_plan_tensors_resilient,
@@ -70,13 +70,15 @@ pub use gillis_faas::metrics::StatusLatency;
 pub use gillis_faas::overload::{
     BreakerPolicy, BreakerState, CancelToken, CircuitBreaker, OverloadCounters, OverloadPolicy,
 };
+pub use gillis_faas::pipeline::{PipelineCounters, PipelinePolicy};
 pub use partition::{
     analyze_group, analyze_group_with, group_options, ModelFlops, PartDim, PartitionOption,
 };
 pub use plan::{ExecutionPlan, Placement, PlannedGroup};
 pub use predict::{
-    predict_plan, predict_plan_batched, predict_plan_cached, scale_analysis_for_batch,
-    PlanPrediction, BATCH_AMORTIZED_FRACTION,
+    predict_plan, predict_plan_batched, predict_plan_cached, predict_plan_pipelined,
+    scale_analysis_for_batch, t_pipeline, PipelinePrediction, PlanPrediction, StagePrediction,
+    BATCH_AMORTIZED_FRACTION,
 };
 pub use tail::predict_latency_quantile;
 

@@ -251,6 +251,212 @@ pub fn predict_plan_batched(
     Ok(predict_plan_from(plan, perf, scaled.iter()))
 }
 
+/// Predicted timing and cost of one pipeline stage (one layer group run as
+/// a stage with its own orchestrator function).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagePrediction {
+    /// Inbound activation hand-off from the upstream stage (0 for the first
+    /// stage, which receives the query payload from the client).
+    pub handoff_ms: f64,
+    /// The stage's group execution (fork / compute / join).
+    pub group: GroupPrediction,
+    /// Total stage time: `handoff_ms + group.latency_ms()`, possibly
+    /// stretched by a down-sized orchestrator's slower master compute.
+    pub stage_ms: f64,
+    /// Orchestrator memory size picked for this stage (HarmonyBatch-style
+    /// heterogeneous sizing: the smallest ladder size whose scaled model
+    /// budget fits the stage's master-resident weights without moving the
+    /// pipeline bottleneck).
+    pub memory_bytes: u64,
+    /// Billed duration per query across the stage orchestrator + workers.
+    pub billed_ms: u64,
+    /// Per-query dollar cost of this stage.
+    pub usd: f64,
+}
+
+/// Predicted steady-state behavior of a plan served as a pipeline: each
+/// group is a stage, different queries occupy different stages concurrently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelinePrediction {
+    /// Per-stage predictions, in execution order.
+    pub stages: Vec<StagePrediction>,
+    /// The pipeline bottleneck: the max stage time. Steady-state inter-
+    /// departure time per lane.
+    pub bottleneck_ms: f64,
+    /// Steady-state throughput of one lane per stage: `1000 / bottleneck`.
+    pub steady_state_qps: f64,
+    /// Pipeline-fill latency: the sum of stage times — what a query
+    /// traversing an idle pipeline experiences end to end.
+    pub fill_ms: f64,
+    /// Tail-latency estimate at steady state: the fill latency plus one
+    /// bottleneck interval of queueing headroom.
+    pub p99_ms: f64,
+    /// Billed duration per query across all stages (orchestrators +
+    /// workers), at the platform granularity.
+    pub billed_ms: u64,
+    /// Per-query dollar cost with heterogeneous per-stage memory sizes.
+    pub usd: f64,
+}
+
+/// The pipeline stage-time bound `t_pipeline(plan)`: the maximum over
+/// groups of (inbound hand-off + group latency), in milliseconds. The
+/// reciprocal is the steady-state per-lane throughput the pipelined serving
+/// path approaches; it is always ≥ the slowest single group's latency.
+///
+/// # Errors
+///
+/// Propagates group-analysis failures for invalid plans.
+pub fn t_pipeline(model: &LinearModel, plan: &ExecutionPlan, perf: &PerfModel) -> Result<f64> {
+    let analyses = plan.analyses(model)?;
+    Ok(plan
+        .groups()
+        .iter()
+        .zip(analyses.iter())
+        .map(|(g, a)| {
+            let handoff = if g.start == 0 {
+                0.0
+            } else {
+                perf.handoff_ms(model.layers()[g.start].in_bytes())
+            };
+            handoff + predict_group(perf, a, g.placement).latency_ms()
+        })
+        .fold(0.0, f64::max))
+}
+
+/// Memory-size ladder for per-stage orchestrator sizing, as eighths of the
+/// platform instance size: a stage that only shuttles activations (worker-
+/// only placement) can run in a small cheap function, while a stage whose
+/// orchestrator computes resident partitions needs the memory — and the
+/// proportional CPU — to do so without becoming the bottleneck.
+const STAGE_MEMORY_EIGHTHS: [u64; 4] = [1, 2, 4, 8];
+
+/// [`predict_plan`] for pipeline-parallel serving: each group is a stage
+/// with its own orchestrator function and worker pool; queries stream
+/// through stages concurrently, so steady-state throughput is bounded by
+/// the *max* stage time ([`t_pipeline`]) while a single query's latency is
+/// the *sum* (the pipeline-fill latency).
+///
+/// Per-stage memory reuses the existing billing math with HarmonyBatch-style
+/// heterogeneous sizing: each orchestrator gets the smallest ladder size
+/// whose memory-scaled model budget holds the stage's master-resident
+/// weights and whose proportionally slower master compute does not push the
+/// stage past the unscaled bottleneck. Workers stay at the platform
+/// instance size, exactly as in [`predict_plan`].
+///
+/// # Errors
+///
+/// Propagates group-analysis failures for invalid plans.
+pub fn predict_plan_pipelined(
+    model: &LinearModel,
+    plan: &ExecutionPlan,
+    perf: &PerfModel,
+) -> Result<PipelinePrediction> {
+    let analyses = plan.analyses(model)?;
+    let platform = &perf.platform;
+    let d = platform.billing_granularity_ms;
+    let gb_full = platform.instance_memory_bytes as f64 / 1e9;
+
+    // First pass: unscaled stage times fix the bottleneck the sizing pass
+    // below must not move.
+    let mut base: Vec<(f64, GroupPrediction)> = Vec::with_capacity(plan.groups().len());
+    for (g, a) in plan.groups().iter().zip(analyses.iter()) {
+        let handoff = if g.start == 0 {
+            0.0
+        } else {
+            perf.handoff_ms(model.layers()[g.start].in_bytes())
+        };
+        let gp = predict_group(perf, a, g.placement);
+        base.push((handoff, gp));
+    }
+    let bottleneck_unscaled = base
+        .iter()
+        .map(|(h, gp)| h + gp.latency_ms())
+        .fold(0.0, f64::max);
+
+    let mut stages = Vec::with_capacity(base.len());
+    let mut fill = 0.0f64;
+    let mut bottleneck = 0.0f64;
+    let mut billed_total = 0u64;
+    let mut usd_total = 0.0;
+    for ((g, a), (handoff, gp)) in plan.groups().iter().zip(analyses.iter()).zip(base) {
+        // Master-resident work and weights of this stage.
+        let (master_ms, resident_bytes) = if g.placement == Placement::Workers {
+            (0.0, 0u64)
+        } else {
+            (
+                partition_compute_ms(perf, &a.partitions[0]),
+                a.partitions[0].weight_bytes,
+            )
+        };
+        let worker_max_ms = if g.placement == Placement::Workers {
+            gp.compute_ms
+        } else {
+            a.partitions[1..]
+                .iter()
+                .map(|p| partition_compute_ms(perf, p))
+                .fold(0.0, f64::max)
+        };
+        // Smallest ladder memory that (a) fits the resident weights in the
+        // proportionally scaled model budget and (b) keeps the stage at or
+        // below the unscaled bottleneck despite the slower master compute.
+        let mut chosen_mem = platform.instance_memory_bytes;
+        let mut chosen_stage_ms = handoff + gp.latency_ms();
+        for &eighths in &STAGE_MEMORY_EIGHTHS {
+            let mem = platform.instance_memory_bytes * eighths / 8;
+            let budget = platform.model_memory_budget * eighths / 8;
+            if resident_bytes > budget {
+                continue;
+            }
+            let factor = eighths as f64 / 8.0;
+            let scaled_compute = worker_max_ms.max(master_ms / factor);
+            let stage_ms = handoff + gp.fork_ms + scaled_compute + gp.join_ms;
+            if stage_ms <= bottleneck_unscaled {
+                chosen_mem = mem;
+                chosen_stage_ms = stage_ms;
+                break;
+            }
+        }
+        // Existing billing math at heterogeneous sizes: the orchestrator is
+        // busy for the whole stage and bills at the stage size; workers
+        // bill at the platform instance size as in `predict_plan`.
+        let gb_stage = chosen_mem as f64 / 1e9;
+        let mut billed = billed_ms(chosen_stage_ms, d);
+        let mut usd = billed as f64 / 1000.0 * gb_stage * platform.price_per_gb_s
+            + platform.price_per_invocation;
+        for &w in &gp.worker_ms {
+            let b = billed_ms(w, d);
+            billed += b;
+            usd += b as f64 / 1000.0 * gb_full * platform.price_per_gb_s
+                + platform.price_per_invocation;
+        }
+        fill += chosen_stage_ms;
+        bottleneck = bottleneck.max(chosen_stage_ms);
+        billed_total += billed;
+        usd_total += usd;
+        stages.push(StagePrediction {
+            handoff_ms: handoff,
+            group: gp,
+            stage_ms: chosen_stage_ms,
+            memory_bytes: chosen_mem,
+            billed_ms: billed,
+            usd,
+        });
+    }
+    Ok(PipelinePrediction {
+        stages,
+        bottleneck_ms: bottleneck,
+        steady_state_qps: if bottleneck > 0.0 {
+            1000.0 / bottleneck
+        } else {
+            f64::INFINITY
+        },
+        fill_ms: fill,
+        p99_ms: fill + bottleneck,
+        billed_ms: billed_total,
+        usd: usd_total,
+    })
+}
+
 fn predict_plan_from<'a>(
     plan: &ExecutionPlan,
     perf: &PerfModel,
@@ -505,5 +711,74 @@ mod tests {
         let pred = predict_plan(&vgg, &plan, &perf).unwrap();
         assert_eq!(pred.billed_ms % 100, 0);
         assert!(pred.billed_ms as f64 >= pred.latency_ms);
+    }
+
+    #[test]
+    fn t_pipeline_bounds_the_slowest_stage_from_above() {
+        let vgg = zoo::vgg11();
+        let perf = perf();
+        let plan = crate::DpPartitioner::default()
+            .partition(&vgg, &perf)
+            .unwrap();
+        let t = t_pipeline(&vgg, &plan, &perf).unwrap();
+        let analyses = plan.analyses(&vgg).unwrap();
+        let max_group = plan
+            .groups()
+            .iter()
+            .zip(analyses.iter())
+            .map(|(g, a)| predict_group(&perf, a, g.placement).latency_ms())
+            .fold(0.0, f64::max);
+        assert!(t >= max_group, "t_pipeline {t} < max group {max_group}");
+        // ...and never exceeds the whole plan's serial latency.
+        let serial = predict_plan(&vgg, &plan, &perf).unwrap().latency_ms;
+        assert!(t <= serial + 1e-9, "t_pipeline {t} > serial {serial}");
+    }
+
+    #[test]
+    fn pipelined_prediction_sums_fill_and_maxes_bottleneck() {
+        let vgg = zoo::vgg11();
+        let perf = perf();
+        let plan = crate::DpPartitioner::default()
+            .with_objective(crate::PlanObjective::PipelineBottleneck)
+            .partition(&vgg, &perf)
+            .unwrap();
+        let pred = predict_plan_pipelined(&vgg, &plan, &perf).unwrap();
+        assert_eq!(pred.stages.len(), plan.groups().len());
+        let max_stage = pred.stages.iter().map(|s| s.stage_ms).fold(0.0, f64::max);
+        let sum_stage: f64 = pred.stages.iter().map(|s| s.stage_ms).sum();
+        assert_eq!(pred.bottleneck_ms, max_stage);
+        assert!((pred.fill_ms - sum_stage).abs() < 1e-9);
+        assert!((pred.steady_state_qps - 1000.0 / max_stage).abs() < 1e-9);
+        assert_eq!(pred.p99_ms, pred.fill_ms + pred.bottleneck_ms);
+        // The first stage receives the query from the client: no hand-off.
+        assert_eq!(pred.stages[0].handoff_ms, 0.0);
+        assert!(pred.stages[1..].iter().all(|s| s.handoff_ms > 0.0));
+        // The fill latency is at least the serial plan latency (hand-offs
+        // and down-sized orchestrators only add time per query).
+        let serial = predict_plan(&vgg, &plan, &perf).unwrap().latency_ms;
+        assert!(pred.fill_ms >= serial - 1e-9);
+    }
+
+    #[test]
+    fn stage_memory_sizing_shrinks_shuttle_stages_without_moving_the_bottleneck() {
+        let vgg = zoo::vgg11();
+        let perf = perf();
+        let plan = crate::DpPartitioner::default()
+            .with_objective(crate::PlanObjective::PipelineBottleneck)
+            .partition(&vgg, &perf)
+            .unwrap();
+        let pred = predict_plan_pipelined(&vgg, &plan, &perf).unwrap();
+        let full = perf.platform.instance_memory_bytes;
+        // A worker-only stage's orchestrator holds no weights and does no
+        // compute: it must shrink to the smallest ladder size.
+        for (g, s) in plan.groups().iter().zip(pred.stages.iter()) {
+            assert!(s.memory_bytes <= full);
+            if g.placement == Placement::Workers {
+                assert_eq!(s.memory_bytes, full / 8);
+            }
+        }
+        // Sizing never moves the bottleneck above the unscaled stage times.
+        let unscaled = t_pipeline(&vgg, &plan, &perf).unwrap();
+        assert!(pred.bottleneck_ms <= unscaled + 1e-9);
     }
 }

@@ -36,6 +36,7 @@ pub mod exgauss;
 pub mod fleet;
 pub mod metrics;
 pub mod overload;
+pub mod pipeline;
 pub mod platform;
 pub mod stats;
 pub mod store;
@@ -57,6 +58,7 @@ pub use exgauss::ExGaussian;
 pub use overload::{
     BreakerPolicy, BreakerState, CancelToken, CircuitBreaker, OverloadCounters, OverloadPolicy,
 };
+pub use pipeline::{PipelineCounters, PipelinePolicy};
 pub use platform::{PlatformKind, PlatformProfile};
 pub use time::Micros;
 

@@ -133,6 +133,15 @@ impl PerfModel {
     pub fn join_ms(&self, payload_bytes: u64, n: usize) -> f64 {
         self.comm.group_transfer_ms(payload_bytes, n)
     }
+
+    /// Predicted time to hand a raw `f32` activation of `raw_bytes` from one
+    /// pipeline stage to the next: a single transfer of the wire-encoded
+    /// payload, jitter included. This is the inbound-transfer term of the
+    /// pipeline stage-time model `t_pipeline` (stage time = hand-off +
+    /// group latency).
+    pub fn handoff_ms(&self, raw_bytes: u64) -> f64 {
+        self.comm.transfer_ms(self.wire_bytes(raw_bytes))
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,14 @@ pub struct SloAwareConfig {
     pub tail_quantile: Option<f64>,
     /// Monte-Carlo samples per episode when `tail_quantile` is set.
     pub tail_samples: usize,
+    /// Train for pipeline-parallel serving: the SLO constrains the
+    /// *pipelined* steady-state p99 (fill latency plus one bottleneck
+    /// interval, [`gillis_core::predict_plan_pipelined`]) instead of the
+    /// fork-join latency, and the incumbent is seeded from the
+    /// stage-balancing DP
+    /// ([`gillis_core::PlanObjective::PipelineBottleneck`]). Takes
+    /// precedence over `tail_quantile`.
+    pub pipeline: bool,
     /// Entropy-bonus coefficient: discourages premature policy collapse.
     pub entropy_beta: f64,
     /// RNG seed.
@@ -71,6 +79,7 @@ impl Default for SloAwareConfig {
             oom_penalty: 50.0,
             tail_quantile: None,
             tail_samples: 300,
+            pipeline: false,
             entropy_beta: 0.01,
             seed: 0,
             threads: None,
@@ -114,9 +123,15 @@ pub fn slo_aware_partition(
     perf: &PerfModel,
     config: &SloAwareConfig,
 ) -> Result<SloAwareResult> {
-    // The latency the SLO constrains: the mean prediction, or a Monte-Carlo
-    // quantile when a tail SLO is configured.
+    // The latency the SLO constrains: the mean prediction, a Monte-Carlo
+    // quantile when a tail SLO is configured, or the pipelined steady-state
+    // p99 when training for pipeline-parallel serving.
     let slo_latency = |plan: &ExecutionPlan, pred: &PlanPrediction| -> f64 {
+        if config.pipeline {
+            return gillis_core::predict_plan_pipelined(model, plan, perf)
+                .map(|p| p.p99_ms)
+                .unwrap_or(f64::INFINITY);
+        }
         match config.tail_quantile {
             None => pred.latency_ms,
             Some(q) => gillis_core::predict_latency_quantile(
@@ -159,20 +174,27 @@ pub fn slo_aware_partition(
     let mut baseline_init = false;
     // Seed the incumbent with the latency-optimal DP plan when it already
     // meets the SLO: Gillis computes it anyway, and it guarantees an
-    // SLO-compliant answer that training then undercuts on cost.
-    let mut best: Option<(f64, ExecutionPlan, PlanPrediction)> =
+    // SLO-compliant answer that training then undercuts on cost. Pipeline
+    // training seeds from the stage-balancing DP instead, whose bottleneck
+    // objective matches the pipelined SLO term.
+    let incumbent = if config.pipeline {
         gillis_core::DpPartitioner::default()
-            .with_cache(Arc::clone(&cache))
-            .partition(model, perf)
-            .ok()
-            .and_then(|plan| {
-                let pred = predict_plan_cached(model, &plan, perf, &cache).ok()?;
-                (slo_latency(&plan, &pred) <= config.t_max_ms).then_some((
-                    pred.billed_ms as f64,
-                    plan,
-                    pred,
-                ))
-            });
+            .with_objective(gillis_core::PlanObjective::PipelineBottleneck)
+    } else {
+        gillis_core::DpPartitioner::default()
+    };
+    let mut best: Option<(f64, ExecutionPlan, PlanPrediction)> = incumbent
+        .with_cache(Arc::clone(&cache))
+        .partition(model, perf)
+        .ok()
+        .and_then(|plan| {
+            let pred = predict_plan_cached(model, &plan, perf, &cache).ok()?;
+            (slo_latency(&plan, &pred) <= config.t_max_ms).then_some((
+                pred.billed_ms as f64,
+                plan,
+                pred,
+            ))
+        });
     let mut reward_history = Vec::new();
 
     let mut gb = agents.boundary.zero_grads();
@@ -481,6 +503,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pipeline_training_meets_the_pipelined_p99_slo() {
+        // Pipeline mode constrains the pipelined steady-state p99, which is
+        // dominated by the fill latency — a threshold between the pipelined
+        // p99 of the single-function plan and a generous multiple of it
+        // must be satisfiable, and the returned plan's pipelined prediction
+        // must actually meet it.
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let tiny = zoo::tiny_vgg();
+        let single = gillis_core::predict_plan_pipelined(
+            &tiny,
+            &ExecutionPlan::single_function(&tiny),
+            &perf,
+        )
+        .unwrap()
+        .p99_ms;
+        let config = SloAwareConfig {
+            pipeline: true,
+            ..quick_config(single * 3.0)
+        };
+        let result = slo_aware_partition(&tiny, &perf, &config).unwrap();
+        let pipelined = gillis_core::predict_plan_pipelined(&tiny, &result.plan, &perf).unwrap();
+        assert!(
+            pipelined.p99_ms <= single * 3.0,
+            "pipelined p99 {:.1} ms vs SLO {:.1} ms",
+            pipelined.p99_ms,
+            single * 3.0
+        );
+        // Deterministic like every other mode.
+        let again = slo_aware_partition(&tiny, &perf, &config).unwrap();
+        assert_eq!(result.plan, again.plan);
     }
 
     #[test]

@@ -13,10 +13,15 @@
 //! `GILLIS_OVERLOAD_*` enables admission control; `GILLIS_BATCH_*` switches
 //! `serve` to open-loop adaptive multi-SLO batching at `--rate` arrivals/s
 //! (with `--clients` prewarmed masters), planning batch sizes and instance
-//! memory jointly against the performance model. `GILLIS_CHAOS_*` injects
-//! faults, `GILLIS_OUTAGE_*` adds correlated outage episodes on top,
-//! `GILLIS_RETRY_BUDGET_*` caps retry/hedge amplification, and
-//! `GILLIS_BROWNOUT_*` enables the degradation ladder.
+//! memory jointly against the performance model. `GILLIS_PIPELINE_LANES`
+//! (with optional `GILLIS_PIPELINE_QUEUE`) switches `serve` to
+//! pipeline-parallel streaming across layer groups — each group becomes a
+//! stage with its own lane pool and bounded queue, and when `--plan` is
+//! omitted the plan is recomputed for the stage-balancing objective;
+//! pipelining takes precedence over batching (they do not compose).
+//! `GILLIS_CHAOS_*` injects faults, `GILLIS_OUTAGE_*` adds correlated
+//! outage episodes on top, `GILLIS_RETRY_BUDGET_*` caps retry/hedge
+//! amplification, and `GILLIS_BROWNOUT_*` enables the degradation ladder.
 //!
 //! Plans are stored in the stable text format of
 //! [`gillis::core::ExecutionPlan::to_text`]; when `--plan` is omitted the
@@ -29,7 +34,8 @@ use gillis::serving::{lookup_model, lookup_platform, model_catalog};
 
 use gillis::core::{
     plan_batch_schedule, predict_plan, BatchPolicy, BrownoutPolicy, ChaosConfig, DpPartitioner,
-    ExecutionPlan, ForkJoinRuntime, OutageConfig, OverloadPolicy, RetryBudgetPolicy,
+    ExecutionPlan, ForkJoinRuntime, OutageConfig, OverloadPolicy, PipelinePolicy, PlanObjective,
+    RetryBudgetPolicy,
 };
 use gillis::faas::workload::ClosedLoop;
 use gillis::faas::Micros;
@@ -162,6 +168,46 @@ fn run() -> Result<(), String> {
                 .map(|v| v.parse().map_err(|_| format!("bad --queries: {v}")))
                 .transpose()?
                 .unwrap_or(1000);
+            // GILLIS_PIPELINE_* env knobs enable pipeline-parallel serving:
+            // each layer group becomes a stage with its own lane pool and a
+            // bounded inter-stage queue, fed by an open-loop Poisson stream
+            // at --rate. Batching does not compose with pipelining, so this
+            // branch takes precedence over GILLIS_BATCH_*.
+            if let Some(pipeline_policy) = PipelinePolicy::from_env() {
+                let rate: f64 = flags
+                    .get("rate")
+                    .map(|v| v.parse().map_err(|_| format!("bad --rate: {v}")))
+                    .transpose()?
+                    .unwrap_or(100.0);
+                // Without an explicit --plan, replan for the stage-balancing
+                // objective: steady-state throughput is set by the slowest
+                // stage, not the end-to-end latency.
+                let plan = if flags.contains_key("plan") {
+                    plan
+                } else {
+                    DpPartitioner::default()
+                        .with_objective(PlanObjective::PipelineBottleneck)
+                        .partition(&model, &perf)
+                        .map_err(|e| e.to_string())?
+                };
+                let mut rt =
+                    ForkJoinRuntime::new(&model, &plan, platform).map_err(|e| e.to_string())?;
+                if let Some(policy) = OverloadPolicy::from_env() {
+                    rt = rt.with_overload(policy).map_err(|e| e.to_string())?;
+                }
+                rt = with_env_resilience(rt)?;
+                let report = rt
+                    .serve_open_loop_pipelined(&pipeline_policy, rate, queries, clients, 7)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "pipeline: {} stages x {} lanes (queue depth {})",
+                    plan.groups().len(),
+                    pipeline_policy.lanes,
+                    pipeline_policy.queue_depth,
+                );
+                print_serving_report(&report);
+                return Ok(());
+            }
             // GILLIS_BATCH_* env knobs enable adaptive multi-SLO batching:
             // serving switches to an open-loop Poisson stream at --rate and
             // the batch sizes / instance memory are planned jointly against
@@ -301,6 +347,14 @@ fn print_serving_report(report: &gillis::core::ServingReport) {
             report.resilience.budget_denied_retries,
             report.resilience.budget_denied_hedges,
             report.resilience.corruptions_detected,
+        );
+    }
+    let p = &report.pipeline;
+    if p.stages > 1 {
+        println!(
+            "pipeline: {} stages, {} dispatches, {} handoffs, \
+             {} backpressure stalls, peak stage queue {}",
+            p.stages, p.stage_dispatches, p.handoffs, p.backpressure_stalls, p.peak_stage_queue,
         );
     }
     let b = &report.brownout;

@@ -28,8 +28,9 @@ use std::sync::{Arc, Mutex};
 use gillis_core::{
     execute_plan_tensors_resilient, plan_batch_schedule, predict_plan, BatchPolicy, BatchSchedule,
     BrownoutPolicy, ChaosConfig, CompiledPlanExec, CoreError, DpPartitioner, ExecutionPlan,
-    ForkJoinRuntime, OutageConfig, OverloadPolicy, PartitionerConfig, PlanPrediction, QueryStatus,
-    ResilienceCounters, ResiliencePolicy, RetryBudgetPolicy, ServingReport,
+    ForkJoinRuntime, OutageConfig, OverloadPolicy, PartitionerConfig, PipelinePolicy,
+    PlanObjective, PlanPrediction, QueryStatus, ResilienceCounters, ResiliencePolicy,
+    RetryBudgetPolicy, ServingReport,
 };
 use gillis_faas::workload::ClosedLoop;
 use gillis_faas::PlatformProfile;
@@ -138,6 +139,7 @@ pub struct Gillis {
     outage: Option<OutageConfig>,
     retry_budget: Option<RetryBudgetPolicy>,
     brownout: Option<BrownoutPolicy>,
+    pipeline: Option<PipelinePolicy>,
 }
 
 impl Gillis {
@@ -157,6 +159,7 @@ impl Gillis {
             outage: None,
             retry_budget: None,
             brownout: None,
+            pipeline: None,
         }
     }
 
@@ -251,6 +254,19 @@ impl Gillis {
         self
     }
 
+    /// Enables pipeline-parallel serving across layer groups: each group
+    /// becomes a stage with its own lane pool and a bounded inter-stage
+    /// queue ([`Deployment::serve_open_loop_pipelined`]). Under the
+    /// latency-optimal mode, the partitioner switches to the
+    /// stage-balancing objective
+    /// ([`PlanObjective::PipelineBottleneck`]) — minimize the slowest
+    /// stage's time rather than the end-to-end sum. Validated at
+    /// [`Gillis::deploy`].
+    pub fn pipeline(mut self, policy: PipelinePolicy) -> Self {
+        self.pipeline = Some(policy);
+        self
+    }
+
     /// Runs the full offline workflow: profile the platform, search for a
     /// plan under the chosen objective, and validate it.
     ///
@@ -260,9 +276,17 @@ impl Gillis {
     /// or meets the SLO, and propagates analysis errors.
     pub fn deploy(self) -> Result<Deployment, CoreError> {
         let perf = PerfModel::profiled(&self.platform, self.profile_seed);
+        // Pipeline deployments plan for the pipelined objective: the DP
+        // balances stage times instead of minimizing their sum, and the RL
+        // trainer scores the pipelined p99 against the SLO.
+        let pipelined = self.pipeline.is_some();
         let plan = match self.mode {
             Mode::LatencyOptimal => {
-                DpPartitioner::new(PartitionerConfig::default()).partition(&self.model, &perf)?
+                let mut partitioner = DpPartitioner::new(PartitionerConfig::default());
+                if pipelined {
+                    partitioner = partitioner.with_objective(PlanObjective::PipelineBottleneck);
+                }
+                partitioner.partition(&self.model, &perf)?
             }
             Mode::SloAware { t_max_ms } => {
                 slo_aware_partition(
@@ -272,6 +296,7 @@ impl Gillis {
                         t_max_ms,
                         episodes: self.episodes,
                         seed: self.profile_seed,
+                        pipeline: pipelined,
                         ..SloAwareConfig::default()
                     },
                 )?
@@ -286,6 +311,7 @@ impl Gillis {
                         episodes: self.episodes,
                         seed: self.profile_seed,
                         tail_quantile: Some(quantile),
+                        pipeline: pipelined,
                         ..SloAwareConfig::default()
                     },
                 )?
@@ -313,6 +339,9 @@ impl Gillis {
         if let Some(ref brownout) = self.brownout {
             brownout.validate().map_err(CoreError::from)?;
         }
+        if let Some(ref pipeline) = self.pipeline {
+            pipeline.validate().map_err(CoreError::from)?;
+        }
         Ok(Deployment {
             model: self.model,
             platform: self.platform,
@@ -325,6 +354,7 @@ impl Gillis {
             outage: self.outage,
             retry_budget: self.retry_budget,
             brownout: self.brownout,
+            pipeline: self.pipeline,
             warm: WarmCache::default(),
         })
     }
@@ -427,6 +457,7 @@ pub struct Deployment {
     outage: Option<OutageConfig>,
     retry_budget: Option<RetryBudgetPolicy>,
     brownout: Option<BrownoutPolicy>,
+    pipeline: Option<PipelinePolicy>,
     /// Lazily-compiled steady-state execution (pre-sliced weights, packed
     /// panels, preallocated buffers); see [`Deployment::infer`].
     warm: WarmCache,
@@ -619,6 +650,36 @@ impl Deployment {
     ) -> Result<ServingReport, CoreError> {
         self.runtime()?
             .serve_open_loop(rate_per_sec, queries, prewarm, seed)
+    }
+
+    /// Serves an open-loop Poisson stream with pipeline parallelism across
+    /// layer groups (see [`ForkJoinRuntime::serve_open_loop_pipelined`]):
+    /// each group runs as a stage with its own lane pool and bounded
+    /// inter-stage queue, so steady-state throughput is bounded by the
+    /// slowest stage rather than the end-to-end latency. Requires a
+    /// pipeline policy ([`Gillis::pipeline`]). Chaos, overload, retry
+    /// budget, and brownout settings compose; batching does not (the
+    /// pipelined path serves per-query).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] without a pipeline policy;
+    /// propagates fleet and deployment errors.
+    pub fn serve_open_loop_pipelined(
+        &self,
+        rate_per_sec: f64,
+        queries: usize,
+        prewarm: usize,
+        seed: u64,
+    ) -> Result<ServingReport, CoreError> {
+        let policy = self.pipeline.as_ref().ok_or_else(|| {
+            CoreError::InvalidArgument(
+                "deployment has no pipeline policy; configure one with Gillis::pipeline"
+                    .to_string(),
+            )
+        })?;
+        self.runtime()?
+            .serve_open_loop_pipelined(policy, rate_per_sec, queries, prewarm, seed)
     }
 
     /// Jointly configures batch sizes and instance memory for the expected
@@ -1017,6 +1078,45 @@ mod tests {
         // Without a policy the batched entry point is an explicit error.
         let err = probe.serve_open_loop_batched(rate, 10, 1, 5).unwrap_err();
         assert!(err.to_string().contains("batch policy"), "{err}");
+    }
+
+    #[test]
+    fn pipelined_deployment_streams_stages_and_plans_for_the_bottleneck() {
+        use gillis_core::predict_plan_pipelined;
+        use gillis_perf::PerfModel;
+
+        let tiny = zoo::tiny_vgg();
+        let d = Gillis::new(tiny.clone())
+            .pipeline(PipelinePolicy::with_lanes(2))
+            .deploy()
+            .unwrap();
+        // The pipeline deployment plans for the stage-balancing objective:
+        // its bottleneck is no worse than the latency-optimal plan's.
+        let plain = Gillis::new(tiny.clone()).deploy().unwrap();
+        let perf = PerfModel::profiled(&PlatformProfile::aws_lambda(), 42);
+        let balanced = predict_plan_pipelined(&tiny, d.plan(), &perf).unwrap();
+        let latency_opt = predict_plan_pipelined(&tiny, plain.plan(), &perf).unwrap();
+        assert!(balanced.bottleneck_ms <= latency_opt.bottleneck_ms * 1.0001);
+        // Serving streams queries through stages deterministically.
+        let report = d.serve_open_loop_pipelined(80.0, 100, 2, 3).unwrap();
+        if d.plan().groups().len() > 1 {
+            assert!(report.pipeline.stage_dispatches > 0);
+            assert!(report.pipeline.handoffs > 0);
+            assert_eq!(report.latency.count() as u64, report.overload.admitted);
+        } else {
+            // Single-group plans delegate to the plain fork-join loop, which
+            // only counts admissions under an overload policy.
+            assert_eq!(report.latency.count(), 100);
+        }
+        let again = d.serve_open_loop_pipelined(80.0, 100, 2, 3).unwrap();
+        assert_eq!(
+            report.latency.mean().to_bits(),
+            again.latency.mean().to_bits()
+        );
+        assert_eq!(report.pipeline, again.pipeline);
+        // Without a pipeline policy the entry point is an explicit error.
+        let err = plain.serve_open_loop_pipelined(80.0, 10, 1, 3).unwrap_err();
+        assert!(err.to_string().contains("pipeline policy"), "{err}");
     }
 
     #[test]
