@@ -48,6 +48,7 @@ fn chaos(rate: f64, seed: u64) -> ChaosConfig {
         corrupt_rate: 0.2 * rate,
         straggler_rate: 0.15,
         straggler_slowdown: 8.0,
+        orchestrator_crash_rate: 0.0,
     }
 }
 

@@ -46,6 +46,9 @@ use gillis_faas::fleet::{Fleet, FunctionSpec};
 use gillis_faas::metrics::{LatencyStats, StatusLatency};
 use gillis_faas::overload::{CancelToken, CircuitBreaker, OverloadCounters, OverloadPolicy};
 use gillis_faas::pipeline::{PipelineCounters, PipelinePolicy};
+use gillis_faas::recovery::{
+    CheckpointCache, RecoveryCounters, RecoveryPolicy, StageCheckpoint, DEFAULT_FAILOVER_MS,
+};
 use gillis_faas::workload::ClosedLoop;
 use gillis_faas::{Micros, PlatformProfile};
 use gillis_model::exec::Executor;
@@ -114,6 +117,13 @@ pub struct ServingReport {
     /// backpressure stalls, peak stage-queue depth. All zero outside
     /// [`ForkJoinRuntime::serve_open_loop_pipelined`].
     pub pipeline: PipelineCounters,
+    /// Stage-level recovery accounting: checkpoint hits/misses/evictions,
+    /// stages saved, orchestrator crashes split into failover replays vs
+    /// full restarts, and speculation outcomes. Crash tallies appear
+    /// whenever the chaos config samples orchestrator crashes; the
+    /// checkpoint fields need a [`gillis_faas::RecoveryPolicy`] (see
+    /// [`ForkJoinRuntime::with_recovery`]).
+    pub recovery: RecoveryCounters,
 }
 
 impl ServingReport {
@@ -139,6 +149,7 @@ impl ServingReport {
         self.batch.absorb(&other.batch);
         self.brownout.absorb(&other.brownout);
         self.pipeline.absorb(&other.pipeline);
+        self.recovery.absorb(&other.recovery);
     }
 }
 
@@ -405,6 +416,11 @@ struct ServingState {
     overload: OverloadCounters,
     budget: Option<RetryBudget>,
     brownout: Option<BrownoutController>,
+    recovery: RecoveryCounters,
+    /// Stage-boundary checkpoint store; `None` without a
+    /// [`RecoveryPolicy`], in which case every orchestrator crash is a full
+    /// restart and failed groups never resume.
+    checkpoints: Option<CheckpointCache>,
 }
 
 impl ServingState {
@@ -479,6 +495,7 @@ impl ServingState {
             batch,
             brownout: self.brownout.map(|c| c.counters).unwrap_or_default(),
             pipeline,
+            recovery: self.recovery,
         }
     }
 }
@@ -486,6 +503,22 @@ impl ServingState {
 /// Decorrelates the pipelined path's per-`(query, stage)` RNG streams from
 /// the run seed's arrival stream.
 const PIPELINE_RNG_SALT: u64 = 0x7069_7065_6c69_6e65; // "pipeline"
+
+/// Fault-site salt for speculative re-executions: a duplicate that redrew
+/// the primary's site-keyed faults would deterministically repeat its
+/// straggle.
+const SPEC_QUERY_SALT: u64 = 0x5350_4543; // "SPEC"
+
+/// Fault-site salt for checkpoint-resume retries of a failed group: a
+/// resumed attempt that redrew the failed attempt's site-keyed faults would
+/// deterministically fail again.
+const RESUME_QUERY_SALT: u64 = 0x5245_5355; // "RESU"
+
+/// Hard cap on orchestrator crashes handled per query. The crash
+/// probability is capped well below 1 ([`FaultInjector::orchestrator_crash`]
+/// caps at 0.75) so endless re-fire is astronomically unlikely; the loop
+/// bound makes worst-case behavior finite by construction.
+const MAX_ORCH_INCARNATIONS: u32 = 16;
 
 /// Name of the stage-`gi` orchestrator function (the per-stage analogue of
 /// `"master"`, packaged with the group's master-resident weights).
@@ -504,6 +537,13 @@ struct PipeQuery {
     /// First-attempt `(count, successes)` produced by this query's stage
     /// executions, scored into the brownout controller at finalization.
     health: (u64, u64),
+    /// Orchestrator crashes this query has survived; keys crash sampling so
+    /// a replacement orchestrator samples a fresh draw instead of
+    /// deterministically re-crashing at the same boundary.
+    incarnation: u32,
+    /// Cumulative stage execution time in milliseconds — the work a full
+    /// restart would redo, recorded in each boundary checkpoint.
+    elapsed_ms: f64,
 }
 
 impl Default for PipeQuery {
@@ -514,6 +554,8 @@ impl Default for PipeQuery {
             level: BrownoutLevel::Full,
             status: QueryStatus::Ok,
             health: (0, 0),
+            incarnation: 0,
+            elapsed_ms: 0.0,
         }
     }
 }
@@ -558,6 +600,20 @@ impl PipelineSim<'_, '_> {
     fn stage_rng(&self, q: u64, s: usize) -> StdRng {
         StdRng::seed_from_u64(replication_seed(
             self.seed ^ PIPELINE_RNG_SALT,
+            q * self.stages as u64 + s as u64,
+        ))
+    }
+
+    /// Replay analogue of [`Self::stage_rng`] for a replacement
+    /// orchestrator's re-executions after crash number `incarnation`: a
+    /// decorrelated noise stream, so a restarted stage does not redraw the
+    /// exact jitter that accompanied the crash. Faults stay site-keyed by
+    /// `(query, group, part, attempt)` and therefore repeat — a stage that
+    /// succeeded before the crash succeeds again, which is what makes the
+    /// restart converge.
+    fn replay_rng(&self, q: u64, s: usize, incarnation: u32) -> StdRng {
+        StdRng::seed_from_u64(replication_seed(
+            replication_seed(self.seed ^ PIPELINE_RNG_SALT, u64::from(incarnation)),
             q * self.stages as u64 + s as u64,
         ))
     }
@@ -636,6 +692,8 @@ impl PipelineSim<'_, '_> {
             level,
             status: QueryStatus::Ok,
             health: (0, 0),
+            incarnation: 0,
+            elapsed_ms: 0.0,
         };
         if self.free[0] > 0 {
             self.start_or_kill(0, qid, now)?;
@@ -745,31 +803,178 @@ impl PipelineSim<'_, '_> {
                 slot.status = QueryStatus::Degraded;
             }
         }
-        // The orchestrator bills its busy window; worker lanes billed
-        // themselves inside the group body.
+        let mut end = run.end;
+        let mut status = run.status;
+        if matches!(status, QueryStatus::Ok | QueryStatus::Degraded) {
+            (end, status) = self.checkpoint_and_crash(s, qid, began, end, status)?;
+        }
+        // The orchestrator bills its busy window (failover replays
+        // included); worker lanes billed themselves inside the group body.
         self.st
             .billing
-            .record((run.end - began).as_ms(), rt.platform.instance_memory_bytes);
-        self.fleet.release(&fname, run.end)?;
-        match run.status {
+            .record((end - began).as_ms(), rt.platform.instance_memory_bytes);
+        self.fleet.release(&fname, end)?;
+        match status {
             QueryStatus::Failed => {
                 // Terminal mid-pipeline: an error response, downstream
                 // stages never see the query.
                 self.free[s] += 1;
-                self.finalize(qid, run.end, QueryStatus::Failed);
-                self.cascade(s, run.end)
+                self.finalize(qid, end, QueryStatus::Failed);
+                self.cascade(s, end)
             }
             QueryStatus::DeadlineExceeded => {
                 self.cancelled_from(s + 1);
                 self.free[s] += 1;
-                self.finalize(qid, run.end, QueryStatus::DeadlineExceeded);
-                self.cascade(s, run.end)
+                self.finalize(qid, end, QueryStatus::DeadlineExceeded);
+                self.cascade(s, end)
             }
             _ => {
-                self.events.push(Reverse((run.end, s as u32, qid)));
+                self.events.push(Reverse((end, s as u32, qid)));
                 Ok(())
             }
         }
+    }
+
+    /// Stage-boundary recovery bookkeeping after query `qid` completed
+    /// stage `s` at `end`: stores the boundary checkpoint *first* (so a
+    /// crash sampled at this boundary always finds its own stage's output),
+    /// then samples orchestrator crashes as a pure function of
+    /// `(chaos seed, qid, s, incarnation)`. A crash with a live checkpoint
+    /// failover-replays — the replacement orchestrator pays only the
+    /// failover delay and re-executes nothing past the checkpointed
+    /// boundary; without one it re-executes the lost stages serially on
+    /// this lane (the classic full restart). Returns the stage's final
+    /// `(end, status)`.
+    fn checkpoint_and_crash(
+        &mut self,
+        s: usize,
+        qid: u64,
+        began: Micros,
+        mut end: Micros,
+        mut status: QueryStatus,
+    ) -> Result<(Micros, QueryStatus)> {
+        let rt = self.rt;
+        let token = rt.weight_token;
+        self.q[qid as usize].elapsed_ms += (end - began).as_ms();
+        {
+            let st = &mut self.st;
+            if let Some(cache) = st.checkpoints.as_mut() {
+                let slot = &self.q[qid as usize];
+                cache.put(
+                    qid,
+                    s as u32,
+                    token,
+                    StageCheckpoint {
+                        elapsed_ms: slot.elapsed_ms,
+                        degraded: slot.status == QueryStatus::Degraded,
+                        stored_at_ms: end.as_ms(),
+                    },
+                    &mut st.recovery,
+                );
+            }
+        }
+        let Some(inj) = rt.injector.as_ref() else {
+            return Ok((end, status));
+        };
+        loop {
+            let inc = self.q[qid as usize].incarnation;
+            if inc >= MAX_ORCH_INCARNATIONS {
+                break;
+            }
+            let mult = rt.orchestrator_outage_multiplier(end.as_ms());
+            if !inj.orchestrator_crash(qid, s as u32, inc, mult) {
+                break;
+            }
+            self.q[qid as usize].incarnation = inc + 1;
+            let failover_ms = rt
+                .recovery
+                .as_ref()
+                .map_or(DEFAULT_FAILOVER_MS, |p| p.failover_ms);
+            let hit = {
+                let st = &mut self.st;
+                match (rt.recovery.is_some(), st.checkpoints.as_mut()) {
+                    (true, Some(c)) => {
+                        c.latest_before(qid, s as u32, token, end.as_ms(), &mut st.recovery)
+                    }
+                    _ => None,
+                }
+            };
+            self.st.recovery.orchestrator_crashes += 1;
+            end += Micros::from_ms(failover_ms);
+            let resume_from = match hit {
+                Some((k, ck)) => {
+                    // Failover replay: in-flight state reconstructs from
+                    // the checkpoint; stages `0..=k` are never re-executed.
+                    self.st.recovery.failover_replays += 1;
+                    self.st.recovery.stages_saved += u64::from(k) + 1;
+                    self.st.recovery.recompute_avoided_ms += ck.elapsed_ms;
+                    if ck.degraded {
+                        status = QueryStatus::Degraded;
+                        self.q[qid as usize].status = QueryStatus::Degraded;
+                    }
+                    k as usize + 1
+                }
+                None => {
+                    // No usable checkpoint: full restart from stage 0.
+                    self.st.recovery.full_restarts += 1;
+                    0
+                }
+            };
+            // Re-execute whatever the checkpoints do not cover, serially on
+            // this lane (empty on a full hit at this boundary).
+            let inc_now = self.q[qid as usize].incarnation;
+            for j in resume_from..=s {
+                let g = &rt.plan.groups()[j];
+                let a = &rt.analyses[j];
+                let mut rng = self.replay_rng(qid, j, inc_now);
+                let slot = self.q[qid as usize];
+                let run = rt.run_group_on_fleet(
+                    j,
+                    g,
+                    a,
+                    &rt.attempt_p95_ms,
+                    &mut self.fleet,
+                    &mut self.st.billing,
+                    end,
+                    &mut rng,
+                    qid,
+                    slot.deadline,
+                    self.breakers.as_deref_mut(),
+                    &mut self.st.overload,
+                    &mut self.st.resilience,
+                    slot.level,
+                    self.st.budget.as_mut(),
+                )?;
+                match run.status {
+                    QueryStatus::Ok => {}
+                    QueryStatus::Degraded => {
+                        status = QueryStatus::Degraded;
+                        self.q[qid as usize].status = QueryStatus::Degraded;
+                    }
+                    terminal => return Ok((run.end, terminal)),
+                }
+                self.q[qid as usize].elapsed_ms += (run.end - end).as_ms();
+                end = run.end;
+                let st = &mut self.st;
+                if let Some(cache) = st.checkpoints.as_mut() {
+                    let slot = &self.q[qid as usize];
+                    cache.put(
+                        qid,
+                        j as u32,
+                        token,
+                        StageCheckpoint {
+                            elapsed_ms: slot.elapsed_ms,
+                            degraded: slot.status == QueryStatus::Degraded,
+                            stored_at_ms: end.as_ms(),
+                        },
+                        &mut st.recovery,
+                    );
+                }
+            }
+            // The loop samples this boundary again under the replacement
+            // orchestrator's own incarnation — replacements can crash too.
+        }
+        Ok((end, status))
     }
 
     /// Handles the completion of stage `s` for query `qid` at `t`: advance
@@ -852,6 +1057,18 @@ pub struct ForkJoinRuntime<'a> {
     /// Brownout degradation ladder for the serving loops; `None` serves
     /// every arrival at full service.
     brownout: Option<BrownoutPolicy>,
+    /// Stage-level checkpointed recovery; `None` disables the checkpoint
+    /// cache, resume retries, and speculation — orchestrator crashes (still
+    /// sampled by the chaos config) then always restart from stage 0.
+    recovery: Option<RecoveryPolicy>,
+    /// Weight-identity token keying every checkpoint: a deterministic fold
+    /// over the plan's partition shapes and weight bytes, so a redeployed
+    /// model or repartitioned plan can never resume from a stale activation.
+    weight_token: u64,
+    /// Predicted p95 of the whole plan (sum over groups of the slowest
+    /// partition's attempt p95) — the denominator that prices a resumed
+    /// retry at its stage's share of the plan.
+    plan_p95_total_ms: f64,
     /// Wire encoding of fork/join payloads: every sampled transfer maps its
     /// raw f32 activation bytes through this format, mirroring
     /// `PerfModel::wire_bytes` so simulation and prediction price the same
@@ -889,6 +1106,10 @@ impl<'a> ForkJoinRuntime<'a> {
             None
         };
         let attempt_p95_ms = attempt_p95_for(&platform, &analyses);
+        let plan_p95_total_ms = (0..attempt_p95_ms.len())
+            .map(|gi| group_p95_ms(&attempt_p95_ms, gi))
+            .sum();
+        let weight_token = weight_identity_token(&analyses);
         Ok(ForkJoinRuntime {
             model,
             plan,
@@ -900,6 +1121,9 @@ impl<'a> ForkJoinRuntime<'a> {
             outage: None,
             retry_budget: None,
             brownout: None,
+            recovery: None,
+            weight_token,
+            plan_p95_total_ms,
             transfer_format: TransferFormat::default(),
             attempt_p95_ms,
         })
@@ -978,6 +1202,47 @@ impl<'a> ForkJoinRuntime<'a> {
         policy.validate().map_err(CoreError::from)?;
         self.brownout = Some(policy);
         Ok(self)
+    }
+
+    /// Enables stage-level checkpointed recovery on the serving paths:
+    /// completed layer groups store deterministic boundary checkpoints so
+    /// failed groups retry from the last checkpointed boundary, straggler
+    /// groups past `spec_factor` × their predicted p95 get a speculative
+    /// duplicate (first result wins), orchestrator crashes failover-replay
+    /// instead of restarting from stage 0, and retry-budget debits price
+    /// resumed attempts at their marginal cost — the stage's share of the
+    /// plan rather than a full token.
+    ///
+    /// # Errors
+    ///
+    /// Returns the policy's validation error.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Result<Self> {
+        policy.validate().map_err(CoreError::from)?;
+        self.recovery = Some(policy);
+        Ok(self)
+    }
+
+    /// Marginal retry-budget cost of re-running one partition whose attempt
+    /// p95 is `p95_ms`: with stage-level recovery a retry or hedge redoes
+    /// only its own stage, so it debits the stage's share of the plan;
+    /// without recovery every retry implicitly restarts the query and costs
+    /// a full token — the pre-recovery behavior, unchanged.
+    fn retry_unit_cost(&self, p95_ms: f64) -> f64 {
+        if self.recovery.is_some() {
+            gillis_perf::marginal_retry_cost(p95_ms, self.plan_p95_total_ms)
+        } else {
+            1.0
+        }
+    }
+
+    /// Outage rate multiplier for the orchestrator fault domain at virtual
+    /// time `now_ms` — scales crash sampling at stage boundaries, `1.0`
+    /// without an outage model.
+    fn orchestrator_outage_multiplier(&self, now_ms: f64) -> f64 {
+        match &self.outage {
+            Some(o) => o.orchestrator_multiplier(now_ms),
+            None => 1.0,
+        }
     }
 
     /// Outage rate multiplier for a lane at virtual time `now_ms`: the
@@ -1478,6 +1743,8 @@ impl<'a> ForkJoinRuntime<'a> {
             overload: OverloadCounters::default(),
             budget: self.retry_budget.map(RetryBudget::new),
             brownout: self.brownout.map(BrownoutController::new),
+            recovery: RecoveryCounters::default(),
+            checkpoints: self.recovery.map(CheckpointCache::new),
         }
     }
 
@@ -1541,6 +1808,8 @@ impl<'a> ForkJoinRuntime<'a> {
                 &mut st.resilience,
                 level,
                 st.budget.as_mut(),
+                &mut st.recovery,
+                st.checkpoints.as_mut(),
             )?;
             st.observe(window);
             query_idx += 1;
@@ -1622,6 +1891,8 @@ impl<'a> ForkJoinRuntime<'a> {
                     &mut st.resilience,
                     level,
                     st.budget.as_mut(),
+                    &mut st.recovery,
+                    st.checkpoints.as_mut(),
                 )?;
                 st.observe(window);
                 st.record(now, done, status);
@@ -1692,6 +1963,8 @@ impl<'a> ForkJoinRuntime<'a> {
                 &mut st.resilience,
                 level,
                 st.budget.as_mut(),
+                &mut st.recovery,
+                st.checkpoints.as_mut(),
             )?;
             st.observe(window);
             server_free.push(Reverse(done));
@@ -2044,6 +2317,8 @@ impl<'a> ForkJoinRuntime<'a> {
             &mut st.resilience,
             level,
             st.budget.as_mut(),
+            &mut st.recovery,
+            st.checkpoints.as_mut(),
         )?;
         st.observe(window);
         server_free.push(Reverse(done));
@@ -2268,6 +2543,7 @@ impl<'a> ForkJoinRuntime<'a> {
         counters: &mut ResilienceCounters,
     ) -> Result<Micros> {
         let mut overload = OverloadCounters::default();
+        let mut recovery = RecoveryCounters::default();
         self.run_query_on_fleet(
             fleet,
             billing,
@@ -2279,6 +2555,8 @@ impl<'a> ForkJoinRuntime<'a> {
             &mut overload,
             counters,
             BrownoutLevel::Full,
+            None,
+            &mut recovery,
             None,
         )
         .map(|(done, _)| done)
@@ -2311,6 +2589,8 @@ impl<'a> ForkJoinRuntime<'a> {
         counters: &mut ResilienceCounters,
         level: BrownoutLevel,
         budget: Option<&mut RetryBudget>,
+        rec: &mut RecoveryCounters,
+        cache: Option<&mut CheckpointCache>,
     ) -> Result<(Micros, QueryStatus)> {
         self.run_query_with(
             &self.analyses,
@@ -2326,6 +2606,8 @@ impl<'a> ForkJoinRuntime<'a> {
             counters,
             level,
             budget,
+            rec,
+            cache,
         )
     }
 
@@ -2349,6 +2631,8 @@ impl<'a> ForkJoinRuntime<'a> {
         counters: &mut ResilienceCounters,
         level: BrownoutLevel,
         mut budget: Option<&mut RetryBudget>,
+        rec: &mut RecoveryCounters,
+        mut cache: Option<&mut CheckpointCache>,
     ) -> Result<(Micros, QueryStatus)> {
         let mem = self.platform.instance_memory_bytes;
         let master = fleet.acquire("master", start)?;
@@ -2385,21 +2669,36 @@ impl<'a> ForkJoinRuntime<'a> {
             counters.record_status(status);
             return Ok((now, status));
         }
-        'groups: for (gi, (g, a)) in self.plan.groups().iter().zip(analyses.iter()).enumerate() {
+        let token = self.weight_token;
+        let groups = self.plan.groups();
+        let n_groups = groups.len();
+        // Predicted p95 of the groups from `from` on — the deadline gate a
+        // resume must pass before it is worth paying for.
+        let remaining_p95 = |from: usize| -> f64 {
+            (from..n_groups)
+                .map(|gj| group_p95_ms(attempt_p95_ms, gj))
+                .sum()
+        };
+        let mut gi = 0usize;
+        // Per-query orchestrator crash count: crashes key on
+        // `(query, boundary, incarnation)`, so a replacement orchestrator
+        // samples a fresh draw instead of deterministically re-crashing.
+        let mut incarnation = 0u32;
+        let mut spec_used = 0u32;
+        'groups: while gi < n_groups {
+            let (g, a) = (&groups[gi], &analyses[gi]);
             // Cooperative cancellation checkpoint at every group boundary:
             // an expired deadline cancels all remaining work.
             if let Some(d) = deadline {
                 if now >= d {
-                    let remaining: u64 = self.plan.groups()[gi..]
-                        .iter()
-                        .map(|g| g.worker_count() as u64)
-                        .sum();
+                    let remaining: u64 = groups[gi..].iter().map(|g| g.worker_count() as u64).sum();
                     overload.cancelled_attempts += remaining;
                     status = QueryStatus::DeadlineExceeded;
                     break 'groups;
                 }
             }
-            let run = self.run_group_on_fleet(
+            let group_began = now;
+            let mut run = self.run_group_on_fleet(
                 gi,
                 g,
                 a,
@@ -2416,6 +2715,123 @@ impl<'a> ForkJoinRuntime<'a> {
                 level,
                 budget.as_deref_mut(),
             )?;
+            if let Some(pol) = self.recovery {
+                // A failed group retries once from the last checkpointed
+                // boundary: the upstream output is already durable, so the
+                // retry redoes one stage instead of the whole plan — priced
+                // at marginal cost against the retry budget, skipped when
+                // the deadline can no longer be met anyway.
+                if run.status == QueryStatus::Failed {
+                    let upstream_ok = gi == 0
+                        || cache.as_deref().is_some_and(|c| {
+                            c.contains(query, gi as u32 - 1, token, run.end.as_ms())
+                        });
+                    let deadline_ok =
+                        deadline.is_none_or(|d| run.end + Micros::from_ms(remaining_p95(gi)) <= d);
+                    if upstream_ok && !deadline_ok {
+                        rec.resume_skipped_deadline += 1;
+                    } else if upstream_ok
+                        && budget.as_deref_mut().is_none_or(|b| {
+                            b.try_spend_cost(self.retry_unit_cost(group_p95_ms(attempt_p95_ms, gi)))
+                        })
+                    {
+                        rec.resume_retries += 1;
+                        let retry = self.run_group_on_fleet(
+                            gi,
+                            g,
+                            a,
+                            attempt_p95_ms,
+                            fleet,
+                            billing,
+                            run.end,
+                            rng,
+                            query ^ RESUME_QUERY_SALT,
+                            deadline,
+                            breakers.as_deref_mut(),
+                            overload,
+                            counters,
+                            level,
+                            budget.as_deref_mut(),
+                        )?;
+                        if matches!(retry.status, QueryStatus::Ok | QueryStatus::Degraded) {
+                            rec.resume_retry_wins += 1;
+                        }
+                        run = retry;
+                    }
+                }
+                // Straggler speculation: a group past `spec_factor` × its
+                // predicted p95 gets a duplicate execution seeded from the
+                // cached upstream output; the earlier finisher wins and the
+                // loser is cancelled at its next checkpoint (both billed in
+                // full — honest accounting). The duplicate draws from a
+                // dedicated RNG funded by exactly one draw of the main
+                // stream, so firing never shifts later queries' draws.
+                if matches!(run.status, QueryStatus::Ok | QueryStatus::Degraded)
+                    && pol.spec_factor.is_finite()
+                    && level == BrownoutLevel::Full
+                    && spec_used < pol.max_speculations
+                {
+                    let threshold_ms = pol.spec_factor * group_p95_ms(attempt_p95_ms, gi);
+                    let upstream_ok = gi == 0
+                        || cache.as_deref().is_some_and(|c| {
+                            c.contains(query, gi as u32 - 1, token, run.end.as_ms())
+                        });
+                    if (run.end - group_began).as_ms() > threshold_ms
+                        && upstream_ok
+                        && budget.as_deref_mut().is_none_or(|b| {
+                            b.try_spend_cost(self.retry_unit_cost(group_p95_ms(attempt_p95_ms, gi)))
+                        })
+                    {
+                        spec_used += 1;
+                        rec.speculative_executions += 1;
+                        let mut spec_rng = StdRng::seed_from_u64(rng.random::<u64>());
+                        let spec = self.run_group_on_fleet(
+                            gi,
+                            g,
+                            a,
+                            attempt_p95_ms,
+                            fleet,
+                            billing,
+                            group_began + Micros::from_ms(threshold_ms),
+                            &mut spec_rng,
+                            query ^ SPEC_QUERY_SALT,
+                            deadline,
+                            breakers.as_deref_mut(),
+                            overload,
+                            counters,
+                            level,
+                            budget.as_deref_mut(),
+                        )?;
+                        if matches!(spec.status, QueryStatus::Ok | QueryStatus::Degraded)
+                            && spec.end < run.end
+                        {
+                            rec.speculation_wins += 1;
+                            run = spec;
+                        } else {
+                            rec.speculation_cancelled += 1;
+                        }
+                    }
+                }
+            }
+            // The boundary checkpoint is durable *before* crash sampling,
+            // so a crash at this boundary always finds its own stage's
+            // output (unless capacity or TTL ate it).
+            if matches!(run.status, QueryStatus::Ok | QueryStatus::Degraded) {
+                if let Some(c) = cache.as_deref_mut() {
+                    c.put(
+                        query,
+                        gi as u32,
+                        token,
+                        StageCheckpoint {
+                            elapsed_ms: (run.end - master_began).as_ms(),
+                            degraded: run.status == QueryStatus::Degraded
+                                || status == QueryStatus::Degraded,
+                            stored_at_ms: run.end.as_ms(),
+                        },
+                        rec,
+                    );
+                }
+            }
             now = run.end;
             match run.status {
                 QueryStatus::Ok => {}
@@ -2431,7 +2847,7 @@ impl<'a> ForkJoinRuntime<'a> {
                     // The master abandoned the query inside the group; the
                     // never-dispatched downstream work is cancelled too.
                     status = QueryStatus::DeadlineExceeded;
-                    let remaining: u64 = self.plan.groups()[gi + 1..]
+                    let remaining: u64 = groups[gi + 1..]
                         .iter()
                         .map(|g| g.worker_count() as u64)
                         .sum();
@@ -2440,6 +2856,94 @@ impl<'a> ForkJoinRuntime<'a> {
                 }
                 other => unreachable!("group execution cannot end {other:?}"),
             }
+            // Orchestrator crash boundary: sampled *after* the group (and
+            // its checkpoint) completed, as a pure function of
+            // `(chaos seed, query, boundary, incarnation)` that consumes no
+            // draw from the main stream — so a crash-free run and a
+            // checkpoint-resumed run see identical downstream RNG streams.
+            if let Some(inj) = self.injector.as_ref() {
+                while incarnation < MAX_ORCH_INCARNATIONS
+                    && inj.orchestrator_crash(
+                        query,
+                        gi as u32,
+                        incarnation,
+                        self.orchestrator_outage_multiplier(now.as_ms()),
+                    )
+                {
+                    incarnation += 1;
+                    rec.orchestrator_crashes += 1;
+                    let failover_ms = self
+                        .recovery
+                        .as_ref()
+                        .map_or(DEFAULT_FAILOVER_MS, |p| p.failover_ms);
+                    let hit = if self.recovery.is_some() {
+                        cache.as_deref_mut().and_then(|c| {
+                            c.latest_before(query, gi as u32, token, now.as_ms(), rec)
+                        })
+                    } else {
+                        None
+                    };
+                    let resume_from = hit.map_or(0, |(k, _)| k as usize + 1);
+                    if let Some(d) = deadline {
+                        // A resume (or restart) that can no longer meet the
+                        // deadline is not worth paying for: fail fast.
+                        let eta = now
+                            + Micros::from_ms(failover_ms)
+                            + Micros::from_ms(remaining_p95(resume_from));
+                        if eta > d {
+                            rec.resume_skipped_deadline += 1;
+                            let remaining: u64 = groups[gi + 1..]
+                                .iter()
+                                .map(|g| g.worker_count() as u64)
+                                .sum();
+                            overload.cancelled_attempts += remaining;
+                            status = QueryStatus::DeadlineExceeded;
+                            break 'groups;
+                        }
+                    }
+                    now += Micros::from_ms(failover_ms);
+                    match hit {
+                        Some((k, ck)) => {
+                            // Failover replay: the replacement orchestrator
+                            // reconstructs in-flight state from checkpoints
+                            // and continues — stages `0..=k` are never
+                            // re-executed.
+                            rec.failover_replays += 1;
+                            rec.stages_saved += u64::from(k) + 1;
+                            rec.recompute_avoided_ms += ck.elapsed_ms;
+                            if ck.degraded {
+                                status = QueryStatus::Degraded;
+                            }
+                            if (k as usize) < gi {
+                                // Capacity/TTL ate the newer boundaries:
+                                // walk back and re-execute from `k + 1`.
+                                gi = k as usize + 1;
+                                continue 'groups;
+                            }
+                            // Full hit at this boundary: nothing to redo;
+                            // the loop re-samples under the replacement
+                            // orchestrator's incarnation — replacements can
+                            // crash too.
+                        }
+                        None => {
+                            // No usable checkpoint: the classic full
+                            // restart, redoing every completed stage (and
+                            // resetting any sticky degraded verdict those
+                            // stages produced).
+                            rec.full_restarts += 1;
+                            status = QueryStatus::Ok;
+                            gi = 0;
+                            continue 'groups;
+                        }
+                    }
+                }
+            }
+            gi += 1;
+        }
+        if let Some(c) = cache {
+            // The query is terminal either way: its checkpoints are
+            // consumed, not evicted.
+            c.retire_query(query, token);
         }
         if let Some(d) = deadline {
             if now > d && matches!(status, QueryStatus::Ok | QueryStatus::Degraded) {
@@ -2632,8 +3136,10 @@ impl<'a> ForkJoinRuntime<'a> {
                                 if p_end > hedge_at && hedge_allowed {
                                     // Hedges debit the same token bucket as
                                     // retries — both are extra invocations.
+                                    // With recovery on, the debit is the
+                                    // attempt's marginal share of the plan.
                                     let budget_ok = match budget.as_deref_mut() {
-                                        Some(b) => b.try_spend(),
+                                        Some(b) => b.try_spend_cost(self.retry_unit_cost(p95)),
                                         None => true,
                                     };
                                     if !budget_ok {
@@ -2707,7 +3213,10 @@ impl<'a> ForkJoinRuntime<'a> {
                             // fallback instead of amplifying load.
                             if attempt + 1 < lane_attempts {
                                 if let Some(b) = budget.as_deref_mut() {
-                                    if !b.try_spend() {
+                                    // Priced at marginal cost when recovery
+                                    // is on: a resumed retry redoes one
+                                    // stage, not the whole plan.
+                                    if !b.try_spend_cost(self.retry_unit_cost(p95)) {
                                         counters.budget_denied_retries += 1;
                                         break;
                                     }
@@ -2807,6 +3316,30 @@ impl<'a> ForkJoinRuntime<'a> {
         }
         Ok(GroupRun { end: now, status })
     }
+}
+
+/// Max-partition attempt p95 of group `gi` — the coarse "one group costs
+/// this" scale used by speculation triggers, resume deadline gates, and
+/// marginal retry pricing.
+fn group_p95_ms(attempt_p95_ms: &[Vec<f64>], gi: usize) -> f64 {
+    attempt_p95_ms[gi].iter().fold(0.0f64, |m, &v| m.max(v))
+}
+
+/// Weight-identity token for checkpoint keying: a splitmix64 fold over the
+/// plan's partition shapes and weight bytes. Two runtimes can resume from
+/// each other's checkpoints only when their deployed weights and
+/// partitioning agree exactly.
+fn weight_identity_token(analyses: &[GroupAnalysis]) -> u64 {
+    let mut h = 0x6769_6c6c_6973_2d77; // "gillis-w"
+    for (gi, a) in analyses.iter().enumerate() {
+        h = replication_seed(h, gi as u64);
+        for p in &a.partitions {
+            h = replication_seed(h, p.weight_bytes);
+            h = replication_seed(h, p.input_bytes);
+            h = replication_seed(h, p.output_bytes);
+        }
+    }
+    h
 }
 
 /// Predicted p95 of one attempt per `[group][partition]` under `platform`:
@@ -3283,6 +3816,7 @@ mod tests {
             straggler_rate: 0.08,
             straggler_slowdown: 6.0,
             corrupt_rate: 0.06,
+            orchestrator_crash_rate: 0.0,
         }
     }
 
@@ -3493,6 +4027,7 @@ mod tests {
             straggler_rate: 0.15,
             straggler_slowdown: 8.0,
             corrupt_rate: 0.0,
+            orchestrator_crash_rate: 0.0,
         };
         let naive = ForkJoinRuntime::new(&vgg, &plan, platform.clone())
             .unwrap()
@@ -4243,6 +4778,7 @@ mod tests {
             straggler_rate: 0.02,
             straggler_slowdown: 4.0,
             corrupt_rate: 0.0,
+            orchestrator_crash_rate: 0.0,
         }
     }
 
@@ -4359,6 +4895,7 @@ mod tests {
             platform: true,
             lanes: false,
             memory_tiers: false,
+            orchestrators: false,
         };
         let brownout_policy = BrownoutPolicy {
             window_lanes: 16,
@@ -4692,6 +5229,367 @@ mod tests {
                 report.pipeline.peak_stage_queue <= policy.queue_depth as u64
             );
             proptest::prop_assert!(report.pipeline.handoffs <= report.pipeline.stage_dispatches);
+        }
+    }
+
+    /// Chaos that only crashes orchestrators: worker lanes stay perfectly
+    /// healthy, so any behavioral difference is the recovery machinery's.
+    fn orchestrator_chaos(rate: f64, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            orchestrator_crash_rate: rate,
+            ..ChaosConfig::default()
+        }
+    }
+
+    /// Runs `queries` back-to-back queries through the fleet path with the
+    /// runtime's own checkpoint cache, returning total service latency (ms)
+    /// plus the resilience and recovery counters.
+    fn drain_queries(
+        rt: &ForkJoinRuntime<'_>,
+        queries: u64,
+        seed: u64,
+        deadline_ms: Option<f64>,
+    ) -> (f64, ResilienceCounters, RecoveryCounters) {
+        let mut fleet = Fleet::new(rt.platform.clone());
+        rt.deploy(&mut fleet).unwrap();
+        let mut billing = BillingMeter::new(1, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut overload = OverloadCounters::default();
+        let mut res = ResilienceCounters::default();
+        let mut rec = RecoveryCounters::default();
+        let mut cache = rt.recovery.map(CheckpointCache::new);
+        let mut now = Micros::ZERO;
+        let mut total_ms = 0.0;
+        for q in 0..queries {
+            let deadline = deadline_ms.map(|d| now + Micros::from_ms(d));
+            let (done, _status) = rt
+                .run_query_on_fleet(
+                    &mut fleet,
+                    &mut billing,
+                    now,
+                    &mut rng,
+                    q,
+                    deadline,
+                    None,
+                    &mut overload,
+                    &mut res,
+                    BrownoutLevel::Full,
+                    None,
+                    &mut rec,
+                    cache.as_mut(),
+                )
+                .unwrap();
+            total_ms += (done - now).as_ms();
+            now = done;
+        }
+        (total_ms, res, rec)
+    }
+
+    /// Shared fixture for the recovery tests: a multi-group tiny-VGG plan
+    /// (stage boundaries are where checkpoints live).
+    fn recovery_fixture() -> (ForkJoinRuntime<'static>, f64) {
+        use std::sync::OnceLock;
+        static MODEL: OnceLock<LinearModel> = OnceLock::new();
+        static PLAN: OnceLock<ExecutionPlan> = OnceLock::new();
+        let platform = PlatformProfile::aws_lambda();
+        let perf = PerfModel::analytic(&platform);
+        let tiny = MODEL.get_or_init(zoo::tiny_vgg);
+        let plan = PLAN.get_or_init(|| forced_split_plan(tiny));
+        let predicted = predict_plan(tiny, plan, &perf).unwrap().latency_ms;
+        assert!(plan.groups().len() >= 2, "fixture needs stage boundaries");
+        (
+            ForkJoinRuntime::new(tiny, plan, platform).unwrap(),
+            predicted,
+        )
+    }
+
+    #[test]
+    fn failover_replays_resume_without_reexecuting_stages() {
+        // The tentpole identity: with a capacious cache every orchestrator
+        // crash finds its own boundary's checkpoint, so the replacement
+        // re-executes *nothing* — worker invocations match the crash-free
+        // run exactly, and total latency grows by exactly one failover per
+        // crash. That equality is also the no-double-billing statement:
+        // every worker-side stage execution is billed once.
+        let (runtime, _) = recovery_fixture();
+        let base = runtime
+            .clone()
+            .with_chaos(orchestrator_chaos(0.0, 5))
+            .unwrap();
+        let crashy = runtime
+            .clone()
+            .with_chaos(orchestrator_chaos(0.35, 5))
+            .unwrap()
+            .with_recovery(RecoveryPolicy::default())
+            .unwrap();
+        let (base_ms, base_res, base_rec) = drain_queries(&base, 40, 9, None);
+        let (ms, res, rec) = drain_queries(&crashy, 40, 9, None);
+        assert_eq!(base_rec.orchestrator_crashes, 0);
+        assert!(rec.orchestrator_crashes > 0, "chaos must actually crash");
+        assert_eq!(rec.failover_replays, rec.orchestrator_crashes);
+        assert_eq!(rec.full_restarts, 0, "capacious cache never misses");
+        assert!(rec.stages_saved >= rec.failover_replays);
+        assert!(rec.recompute_avoided_ms > 0.0);
+        assert_eq!(res.worker_invocations, base_res.worker_invocations);
+        let expect =
+            base_ms + rec.orchestrator_crashes as f64 * RecoveryPolicy::default().failover_ms;
+        assert!(
+            (ms - expect).abs() < 1e-6,
+            "latency {ms:.3} vs base + crashes x failover {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn crashes_without_checkpoints_pay_full_restarts() {
+        // The baseline arm the bench compares against: same crashes, no
+        // recovery policy — every crash redoes every completed stage.
+        let (runtime, _) = recovery_fixture();
+        let base = runtime
+            .clone()
+            .with_chaos(orchestrator_chaos(0.0, 5))
+            .unwrap();
+        let restart = runtime
+            .clone()
+            .with_chaos(orchestrator_chaos(0.35, 5))
+            .unwrap();
+        let (base_ms, base_res, _) = drain_queries(&base, 40, 9, None);
+        let (ms, res, rec) = drain_queries(&restart, 40, 9, None);
+        assert!(rec.orchestrator_crashes > 0);
+        assert_eq!(rec.failover_replays, 0);
+        assert_eq!(rec.full_restarts, rec.orchestrator_crashes);
+        assert_eq!(rec.checkpoints_stored, 0, "no policy, no cache");
+        assert!(
+            res.worker_invocations > base_res.worker_invocations,
+            "restarts re-execute stages: {} vs {}",
+            res.worker_invocations,
+            base_res.worker_invocations
+        );
+        assert!(ms > base_ms + rec.orchestrator_crashes as f64 * DEFAULT_FAILOVER_MS);
+    }
+
+    #[test]
+    fn failed_groups_resume_retry_from_checkpoints() {
+        // Worker lanes that exhaust a single attempt fail the group when
+        // local fallback is off; with recovery on, the master retries the
+        // group once from the checkpointed upstream boundary and turns some
+        // of those failures into successes.
+        let (runtime, _) = recovery_fixture();
+        let fragile = ResiliencePolicy {
+            max_attempts: 1,
+            local_fallback: false,
+            ..ResiliencePolicy::default()
+        };
+        let chaos = ChaosConfig {
+            seed: 11,
+            invoke_failure_rate: 0.25,
+            ..ChaosConfig::default()
+        };
+        let bare = runtime
+            .clone()
+            .with_chaos(chaos)
+            .unwrap()
+            .with_policy(fragile);
+        let resumed = bare
+            .clone()
+            .with_recovery(RecoveryPolicy::default())
+            .unwrap();
+        let (_, res0, rec0) = drain_queries(&bare, 60, 3, None);
+        let (_, res1, rec1) = drain_queries(&resumed, 60, 3, None);
+        assert!(res0.failed_queries > 0, "fixture must actually fail");
+        assert_eq!(rec0.resume_retries, 0);
+        assert!(rec1.resume_retries > 0);
+        assert!(rec1.resume_retry_wins > 0);
+        assert!(
+            res1.failed_queries < res0.failed_queries,
+            "resume retries should rescue failures: {} vs {}",
+            res1.failed_queries,
+            res0.failed_queries
+        );
+    }
+
+    #[test]
+    fn straggler_speculation_wins_races_from_checkpoints() {
+        // Heavy stragglers: a stage past spec_factor x its p95 races a
+        // duplicate execution seeded from the cached upstream output, and
+        // the earlier finisher wins.
+        let (runtime, _) = recovery_fixture();
+        let chaos = ChaosConfig {
+            seed: 13,
+            straggler_rate: 0.3,
+            straggler_slowdown: 25.0,
+            ..ChaosConfig::default()
+        };
+        let slow = runtime.clone().with_chaos(chaos).unwrap();
+        let spec = slow
+            .clone()
+            .with_recovery(RecoveryPolicy {
+                spec_factor: 1.5,
+                max_speculations: 4,
+                ..RecoveryPolicy::default()
+            })
+            .unwrap();
+        let (slow_ms, _, _) = drain_queries(&slow, 60, 3, None);
+        let (spec_ms, _, rec) = drain_queries(&spec, 60, 3, None);
+        assert!(rec.speculative_executions > 0);
+        assert_eq!(
+            rec.speculation_wins + rec.speculation_cancelled,
+            rec.speculative_executions,
+            "every speculation is resolved"
+        );
+        assert!(rec.speculation_wins > 0);
+        assert!(
+            spec_ms < slow_ms,
+            "speculation should cut straggler latency: {spec_ms:.1} vs {slow_ms:.1}"
+        );
+    }
+
+    #[test]
+    fn doomed_resumes_are_skipped_at_the_deadline() {
+        // A deadline with less slack than one failover + the remaining
+        // stages: a crash fails the query fast instead of paying for a
+        // resume that cannot finish in time.
+        let (runtime, predicted) = recovery_fixture();
+        let crashy = runtime
+            .clone()
+            .with_chaos(orchestrator_chaos(1.0, 3))
+            .unwrap()
+            .with_recovery(RecoveryPolicy::default())
+            .unwrap();
+        let (_, res, rec) = drain_queries(&crashy, 30, 7, Some(1.05 * predicted));
+        assert!(rec.orchestrator_crashes > 0);
+        assert!(
+            rec.resume_skipped_deadline > 0,
+            "tight deadline must skip some resumes: {rec:?}"
+        );
+        assert!(res.deadline_exceeded_queries > 0);
+    }
+
+    #[test]
+    fn recovery_prices_retries_at_marginal_cost() {
+        // Same worker chaos, same tiny token bucket: with recovery on, each
+        // retry debits only its stage's share of the plan, so the bucket
+        // funds strictly more retries before denying.
+        let (runtime, _) = recovery_fixture();
+        let bp = RetryBudgetPolicy {
+            max_tokens: 4.0,
+            initial_tokens: 4.0,
+            refill_per_success: 0.0,
+        };
+        let flat = runtime
+            .clone()
+            .with_chaos(ChaosConfig::invoke_only(0.3, 7))
+            .unwrap()
+            .with_policy(ResiliencePolicy::naive_retry())
+            .with_retry_budget(bp)
+            .unwrap();
+        let marginal = flat
+            .clone()
+            .with_recovery(RecoveryPolicy::default())
+            .unwrap();
+        let flat_r = flat.serve_open_loop(20.0, 200, 4, 11).unwrap();
+        let marg_r = marginal.serve_open_loop(20.0, 200, 4, 11).unwrap();
+        assert!(flat_r.resilience.budget_denied_retries > 0);
+        assert!(
+            marg_r.resilience.retries > flat_r.resilience.retries,
+            "marginal pricing funds more retries: {} vs {}",
+            marg_r.resilience.retries,
+            flat_r.resilience.retries
+        );
+    }
+
+    #[test]
+    fn recovered_serving_is_deterministic() {
+        // End-to-end: crashes + recovery through the public serving loop,
+        // twice, bit-identical — the CI smoke contract in miniature.
+        let (runtime, predicted) = recovery_fixture();
+        let rate = 0.3 * 1000.0 * 4.0 / predicted;
+        let chaos = ChaosConfig {
+            seed: 7,
+            invoke_failure_rate: 0.05,
+            orchestrator_crash_rate: 0.2,
+            ..ChaosConfig::default()
+        };
+        let run = || {
+            runtime
+                .clone()
+                .with_chaos(chaos)
+                .unwrap()
+                .with_policy(ResiliencePolicy::backoff())
+                .with_recovery(RecoveryPolicy::default())
+                .unwrap()
+                .serve_open_loop(rate, 150, 4, 11)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.resilience, b.resilience);
+        assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+        assert!(a.recovery.orchestrator_crashes > 0);
+        assert!(a.recovery.checkpoints_stored > 0);
+    }
+
+    #[test]
+    fn pipelined_serving_recovers_from_crashes_deterministically() {
+        // The pipeline path has its own orchestrators (one per stage lane):
+        // crashes there also replay from checkpoints, and downstream stages
+        // stay bit-identical because normal execution never re-keys its RNG.
+        let (runtime, predicted) = recovery_fixture();
+        let lanes = 2;
+        let rate = 0.5 * 1000.0 * lanes as f64 / predicted;
+        let run = || {
+            runtime
+                .clone()
+                .with_chaos(orchestrator_chaos(0.25, 9))
+                .unwrap()
+                .with_recovery(RecoveryPolicy::default())
+                .unwrap()
+                .with_overload(OverloadPolicy::for_slo(6.0 * predicted, lanes))
+                .unwrap()
+                .serve_open_loop_pipelined(&PipelinePolicy::with_lanes(lanes), rate, 150, lanes, 7)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+        assert!(a.recovery.orchestrator_crashes > 0);
+        assert!(a.recovery.failover_replays > 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+
+        /// Resume bit-identity and billing, over seeds and crash rates:
+        /// with a capacious cache, a crashing run re-executes no stage
+        /// (worker invocations equal the crash-free run — no double
+        /// billing) and its latency is exactly crashes x failover_ms more.
+        #[test]
+        fn failover_cost_is_exactly_crashes_times_failover(
+            (seed, rate_centi) in (0u64..500, 5u32..40),
+        ) {
+            let (runtime, _) = recovery_fixture();
+            let base = runtime
+                .clone()
+                .with_chaos(orchestrator_chaos(0.0, seed))
+                .unwrap();
+            let crashy = runtime
+                .clone()
+                .with_chaos(orchestrator_chaos(rate_centi as f64 / 100.0, seed))
+                .unwrap()
+                .with_recovery(RecoveryPolicy::default())
+                .unwrap();
+            let (base_ms, base_res, _) = drain_queries(&base, 25, seed ^ 0xd15, None);
+            let (ms, res, rec) = drain_queries(&crashy, 25, seed ^ 0xd15, None);
+            proptest::prop_assert_eq!(rec.full_restarts, 0);
+            proptest::prop_assert_eq!(res.worker_invocations, base_res.worker_invocations);
+            let expect = base_ms
+                + rec.orchestrator_crashes as f64 * RecoveryPolicy::default().failover_ms;
+            proptest::prop_assert!(
+                (ms - expect).abs() < 1e-6,
+                "latency {} vs base + crashes x failover {}", ms, expect
+            );
         }
     }
 }

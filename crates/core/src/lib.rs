@@ -71,14 +71,17 @@ pub use gillis_faas::overload::{
     BreakerPolicy, BreakerState, CancelToken, CircuitBreaker, OverloadCounters, OverloadPolicy,
 };
 pub use gillis_faas::pipeline::{PipelineCounters, PipelinePolicy};
+pub use gillis_faas::recovery::{
+    CheckpointCache, RecoveryCounters, RecoveryPolicy, StageCheckpoint,
+};
 pub use partition::{
     analyze_group, analyze_group_with, group_options, ModelFlops, PartDim, PartitionOption,
 };
 pub use plan::{ExecutionPlan, Placement, PlannedGroup};
 pub use predict::{
     predict_plan, predict_plan_batched, predict_plan_cached, predict_plan_pipelined,
-    scale_analysis_for_batch, t_pipeline, PipelinePrediction, PlanPrediction, StagePrediction,
-    BATCH_AMORTIZED_FRACTION,
+    predict_recovery, scale_analysis_for_batch, t_pipeline, PipelinePrediction, PlanPrediction,
+    RecoveryPrediction, StagePrediction, BATCH_AMORTIZED_FRACTION,
 };
 pub use tail::predict_latency_quantile;
 

@@ -112,8 +112,22 @@ impl RetryBudget {
     /// Spends one token for a retry or hedge; `false` — and no spend —
     /// when less than a whole token remains.
     pub fn try_spend(&mut self) -> bool {
-        if self.tokens >= 1.0 {
-            self.tokens -= 1.0;
+        self.try_spend_cost(1.0)
+    }
+
+    /// Spends `cost` tokens (a fraction of a full-restart retry); `false` —
+    /// and no spend — when the bucket holds less than `cost`. Stage-level
+    /// recovery prices a resumed retry at its true marginal cost: the
+    /// resumed stage's share of the whole plan, not a full token. A
+    /// non-positive or non-finite cost spends nothing and is allowed.
+    pub fn try_spend_cost(&mut self, cost: f64) -> bool {
+        // `partial_cmp` (not `!(cost > 0.0)`): NaN must land in the
+        // degenerate free branch, and that needs to be legible.
+        if cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !cost.is_finite() {
+            return true;
+        }
+        if self.tokens >= cost {
+            self.tokens -= cost;
             true
         } else {
             false
@@ -171,5 +185,29 @@ mod tests {
             b.refill();
         }
         assert_eq!(b.tokens(), 2.0, "refill caps at capacity");
+    }
+
+    #[test]
+    fn fractional_costs_spend_marginally() {
+        let mut b = RetryBudget::new(RetryBudgetPolicy {
+            max_tokens: 1.0,
+            initial_tokens: 1.0,
+            refill_per_success: 0.0,
+        });
+        // Four quarter-cost resumed retries fit where one full restart did.
+        for _ in 0..4 {
+            assert!(b.try_spend_cost(0.25));
+        }
+        assert!(!b.try_spend_cost(0.25), "bucket is exactly empty");
+        assert_eq!(b.tokens(), 0.0);
+        // Degenerate costs are free and never block.
+        assert!(b.try_spend_cost(0.0));
+        assert!(b.try_spend_cost(-1.0));
+        assert!(b.try_spend_cost(f64::NAN));
+        // try_spend is exactly try_spend_cost(1.0).
+        let mut c = RetryBudget::new(RetryBudgetPolicy::default());
+        let mut d = c.clone();
+        assert_eq!(c.try_spend(), d.try_spend_cost(1.0));
+        assert_eq!(c.tokens(), d.tokens());
     }
 }

@@ -91,6 +91,12 @@ pub struct ChaosConfig {
     pub straggler_slowdown: f64,
     /// Probability the response is corrupted in transfer.
     pub corrupt_rate: f64,
+    /// Probability the *orchestrator* (the fork-join master or a pipeline
+    /// stage orchestrator) crashes at a stage boundary, per boundary
+    /// crossed. Sampled on a separate pure hash keyed by
+    /// `(query, boundary, incarnation)`, so it is independent of the
+    /// worker-fault rates above and not part of their mutual-exclusion sum.
+    pub orchestrator_crash_rate: f64,
 }
 
 impl Default for ChaosConfig {
@@ -102,6 +108,7 @@ impl Default for ChaosConfig {
             straggler_rate: 0.0,
             straggler_slowdown: 4.0,
             corrupt_rate: 0.0,
+            orchestrator_crash_rate: 0.0,
         }
     }
 }
@@ -131,6 +138,7 @@ impl ChaosConfig {
         }
         let rate = rate.min(1.0);
         let seed = crate::envutil::env_var("GILLIS_CHAOS_SEED").unwrap_or(0xC4A0_5EED);
+        let orch: f64 = crate::envutil::env_var("GILLIS_CHAOS_ORCH_RATE").unwrap_or(0.0);
         Some(ChaosConfig {
             seed,
             invoke_failure_rate: 0.4 * rate,
@@ -138,6 +146,7 @@ impl ChaosConfig {
             straggler_rate: 0.0,
             straggler_slowdown: 4.0,
             corrupt_rate: 0.2 * rate,
+            orchestrator_crash_rate: orch.clamp(0.0, 1.0),
         })
     }
 
@@ -173,6 +182,12 @@ impl ChaosConfig {
                 self.straggler_slowdown
             )));
         }
+        if !(0.0..=1.0).contains(&self.orchestrator_crash_rate) {
+            return Err(FaasError::InvalidArgument(format!(
+                "orchestrator crash rate must be in [0, 1]: {}",
+                self.orchestrator_crash_rate
+            )));
+        }
         Ok(FaultInjector { cfg: self })
     }
 }
@@ -183,7 +198,14 @@ mod salt {
     pub const CRASH_FRAC: u64 = 0x22;
     pub const SLOWDOWN: u64 = 0x33;
     pub const BACKOFF: u64 = 0x44;
+    pub const ORCH: u64 = 0x77;
 }
+
+/// Cap on the effective (outage-scaled) orchestrator crash probability at
+/// one boundary. Without it a severe episode would drive the probability to
+/// 1 and every incarnation would crash again forever — the simulated query
+/// could never make progress.
+const ORCH_CRASH_PROB_CAP: f64 = 0.75;
 
 /// Seedable, deterministic fault sampler: every decision is a pure function
 /// of `(config.seed, site)`, so runs are bit-identical across thread counts
@@ -289,6 +311,38 @@ impl FaultInjector {
     pub fn backoff_unit(&self, site: FaultSite) -> f64 {
         self.unit(site, salt::BACKOFF)
     }
+
+    /// Whether the orchestrator crashes at `boundary` (the stage index just
+    /// completed) of `query`, on its `incarnation`-th life. A pure function
+    /// of `(seed, query, boundary, incarnation)` that consumes no RNG
+    /// stream, so crash injection never shifts the draws of the work around
+    /// it — the property the failover-replay bit-identity proptests pin.
+    ///
+    /// `mult` is the outage-episode severity multiplier for the
+    /// orchestrator domain (`1.0` outside episodes); the scaled probability
+    /// is capped below 1 so a crashed orchestrator's replacement can always
+    /// eventually make progress.
+    pub fn orchestrator_crash(
+        &self,
+        query: u64,
+        boundary: u32,
+        incarnation: u32,
+        mult: f64,
+    ) -> bool {
+        let rate = self.cfg.orchestrator_crash_rate;
+        if rate <= 0.0 {
+            return false;
+        }
+        let p = (rate * mult.max(1.0)).min(ORCH_CRASH_PROB_CAP);
+        let site = FaultSite {
+            query,
+            group: boundary,
+            part: 0,
+            attempt: incarnation,
+            lane: 2,
+        };
+        self.unit(site, salt::ORCH) < p
+    }
 }
 
 /// The process-wide environment-driven injector (see
@@ -337,6 +391,11 @@ pub enum FaultDomain {
         /// Instance memory in MB.
         mb: u64,
     },
+    /// The orchestrator tier: the fork-join master and pipeline stage
+    /// orchestrators. An episode here scales the orchestrator *crash* rate,
+    /// not worker-lane faults — the control plane itself is the blast
+    /// radius.
+    Orchestrator,
 }
 
 impl FaultDomain {
@@ -349,6 +408,7 @@ impl FaultDomain {
                 0x4C00_0000_0000_0000 | (u64::from(group) << 32) | u64::from(part)
             }
             FaultDomain::MemoryTier { mb } => 0x7E00_0000_0000_0000 | mb,
+            FaultDomain::Orchestrator => 0x0F,
         }
     }
 }
@@ -388,6 +448,11 @@ pub struct OutageConfig {
     pub lanes: bool,
     /// Enables the per-memory-tier domains.
     pub memory_tiers: bool,
+    /// Enables the orchestrator domain: episodes scale the chaos config's
+    /// orchestrator crash rate (see
+    /// [`FaultInjector::orchestrator_crash`]) instead of worker-lane
+    /// fault rates.
+    pub orchestrators: bool,
 }
 
 impl Default for OutageConfig {
@@ -402,6 +467,7 @@ impl Default for OutageConfig {
             platform: true,
             lanes: true,
             memory_tiers: true,
+            orchestrators: false,
         }
     }
 }
@@ -420,6 +486,7 @@ impl OutageConfig {
             platform: true,
             lanes: false,
             memory_tiers: false,
+            orchestrators: false,
         }
     }
 
@@ -458,14 +525,16 @@ impl OutageConfig {
             cfg.platform = false;
             cfg.lanes = false;
             cfg.memory_tiers = false;
+            cfg.orchestrators = false;
             for name in spec.split(',') {
                 match name.trim() {
                     "platform" => cfg.platform = true,
                     "lane" | "lanes" => cfg.lanes = true,
                     "tier" | "tiers" | "memory" => cfg.memory_tiers = true,
+                    "orchestrator" | "orchestrators" | "orch" => cfg.orchestrators = true,
                     other => eprintln!(
                         "gillis: ignoring unknown GILLIS_OUTAGE_DOMAINS entry {other:?} \
-                         (platform | lane | tier)"
+                         (platform | lane | tier | orchestrator)"
                     ),
                 }
             }
@@ -513,12 +582,105 @@ impl OutageConfig {
                 self.severity
             )));
         }
-        if !(self.platform || self.lanes || self.memory_tiers) {
+        if !(self.platform || self.lanes || self.memory_tiers || self.orchestrators) {
             return Err(FaasError::InvalidArgument(
                 "outage config enables no fault domain".to_string(),
             ));
         }
         Ok(OutageModel { cfg: self })
+    }
+
+    /// Serializes to the versioned key=value text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut domains: Vec<&str> = Vec::new();
+        if self.platform {
+            domains.push("platform");
+        }
+        if self.lanes {
+            domains.push("lane");
+        }
+        if self.memory_tiers {
+            domains.push("tier");
+        }
+        if self.orchestrators {
+            domains.push("orchestrator");
+        }
+        format!(
+            "gillis-outage v1\nseed={} window_ms={} start_prob={} min_windows={} \
+             max_windows={} severity={} domains={}\n",
+            self.seed,
+            self.window_ms,
+            self.start_prob,
+            self.min_windows,
+            self.max_windows,
+            self.severity,
+            domains.join(",")
+        )
+    }
+
+    /// Parses the [`Self::to_text`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::InvalidArgument`] on a bad header, unknown key,
+    /// or malformed value, and the [`Self::build`] validation errors on
+    /// out-of-range knobs (so a parsed config is always buildable).
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().unwrap_or_default().trim();
+        if header != "gillis-outage v1" {
+            return Err(FaasError::InvalidArgument(format!(
+                "expected 'gillis-outage v1' header, got {header:?}"
+            )));
+        }
+        let mut cfg = OutageConfig::default();
+        for line in lines {
+            for tok in line.split_whitespace() {
+                let (key, value) = tok.split_once('=').ok_or_else(|| {
+                    FaasError::InvalidArgument(format!("expected key=value, got {tok:?}"))
+                })?;
+                let bad = |e: &dyn std::fmt::Display| {
+                    FaasError::InvalidArgument(format!("bad {key} value {value:?}: {e}"))
+                };
+                match key {
+                    "seed" => cfg.seed = value.parse().map_err(|e| bad(&e))?,
+                    "window_ms" => cfg.window_ms = value.parse().map_err(|e| bad(&e))?,
+                    "start_prob" => cfg.start_prob = value.parse().map_err(|e| bad(&e))?,
+                    "min_windows" => cfg.min_windows = value.parse().map_err(|e| bad(&e))?,
+                    "max_windows" => cfg.max_windows = value.parse().map_err(|e| bad(&e))?,
+                    "severity" => cfg.severity = value.parse().map_err(|e| bad(&e))?,
+                    "domains" => {
+                        cfg.platform = false;
+                        cfg.lanes = false;
+                        cfg.memory_tiers = false;
+                        cfg.orchestrators = false;
+                        for name in value.split(',').filter(|d| !d.is_empty()) {
+                            match name {
+                                "platform" => cfg.platform = true,
+                                "lane" | "lanes" => cfg.lanes = true,
+                                "tier" | "tiers" | "memory" => cfg.memory_tiers = true,
+                                "orchestrator" | "orchestrators" | "orch" => {
+                                    cfg.orchestrators = true;
+                                }
+                                other => {
+                                    return Err(FaasError::InvalidArgument(format!(
+                                        "unknown outage domain {other:?}"
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(FaasError::InvalidArgument(format!(
+                            "unknown outage key {other:?}"
+                        )));
+                    }
+                }
+            }
+        }
+        cfg.build()?;
+        Ok(cfg)
     }
 }
 
@@ -581,6 +743,21 @@ impl OutageModel {
         }
         if self.cfg.memory_tiers && self.in_episode(FaultDomain::MemoryTier { mb: memory_mb }, t_ms)
         {
+            m *= self.cfg.severity;
+        }
+        m
+    }
+
+    /// Severity multiplier for an orchestrator crash decision at `t_ms`:
+    /// the product of the platform and orchestrator domains' severities
+    /// while their episodes are active (worker-lane and memory-tier domains
+    /// do not cover the control plane). `1.0` outside all episodes.
+    pub fn orchestrator_multiplier(&self, t_ms: f64) -> f64 {
+        let mut m = 1.0;
+        if self.cfg.platform && self.in_episode(FaultDomain::Platform, t_ms) {
+            m *= self.cfg.severity;
+        }
+        if self.cfg.orchestrators && self.in_episode(FaultDomain::Orchestrator, t_ms) {
             m *= self.cfg.severity;
         }
         m
@@ -698,6 +875,128 @@ impl ResiliencePolicy {
         let capped = raw.min(self.backoff_cap_ms);
         let f = self.backoff_jitter_frac;
         capped * (1.0 - f / 2.0 + f * unit)
+    }
+
+    /// Validates the knob ranges (the presets are all valid by
+    /// construction; this guards configs parsed from text).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::InvalidArgument`] for zero attempts, a negative
+    /// or non-finite backoff shape, a jitter fraction outside `[0, 1]`, or
+    /// a non-positive timeout/hedge factor (NaN always fails).
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(FaasError::InvalidArgument(
+                "resilience max_attempts must be >= 1".to_string(),
+            ));
+        }
+        for (name, v) in [
+            ("backoff_base_ms", self.backoff_base_ms),
+            ("backoff_multiplier", self.backoff_multiplier),
+            ("backoff_cap_ms", self.backoff_cap_ms),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(FaasError::InvalidArgument(format!(
+                    "resilience {name} must be finite and >= 0: {v}"
+                )));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.backoff_jitter_frac) {
+            return Err(FaasError::InvalidArgument(format!(
+                "resilience backoff_jitter_frac must be in [0, 1]: {}",
+                self.backoff_jitter_frac
+            )));
+        }
+        for (name, v) in [
+            ("attempt_timeout_factor", self.attempt_timeout_factor),
+            ("hedge_delay_factor", self.hedge_delay_factor),
+        ] {
+            // NaN-rejecting: inf disables, but the factor must be positive.
+            if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(FaasError::InvalidArgument(format!(
+                    "resilience {name} must be positive (inf disables): {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the versioned key=value text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        format!(
+            "gillis-resilience v1\nmax_attempts={} backoff_base_ms={} backoff_multiplier={} \
+             backoff_cap_ms={} backoff_jitter_frac={} attempt_timeout_factor={} \
+             hedge_delay_factor={} local_fallback={}\n",
+            self.max_attempts,
+            self.backoff_base_ms,
+            self.backoff_multiplier,
+            self.backoff_cap_ms,
+            self.backoff_jitter_frac,
+            self.attempt_timeout_factor,
+            self.hedge_delay_factor,
+            self.local_fallback
+        )
+    }
+
+    /// Parses the [`Self::to_text`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaasError::InvalidArgument`] on a bad header, unknown key,
+    /// or malformed value, and [`Self::validate`] errors on out-of-range
+    /// knobs.
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().unwrap_or_default().trim();
+        if header != "gillis-resilience v1" {
+            return Err(FaasError::InvalidArgument(format!(
+                "expected 'gillis-resilience v1' header, got {header:?}"
+            )));
+        }
+        let mut policy = ResiliencePolicy::default();
+        for line in lines {
+            for tok in line.split_whitespace() {
+                let (key, value) = tok.split_once('=').ok_or_else(|| {
+                    FaasError::InvalidArgument(format!("expected key=value, got {tok:?}"))
+                })?;
+                let bad = |e: &dyn std::fmt::Display| {
+                    FaasError::InvalidArgument(format!("bad {key} value {value:?}: {e}"))
+                };
+                match key {
+                    "max_attempts" => policy.max_attempts = value.parse().map_err(|e| bad(&e))?,
+                    "backoff_base_ms" => {
+                        policy.backoff_base_ms = value.parse().map_err(|e| bad(&e))?;
+                    }
+                    "backoff_multiplier" => {
+                        policy.backoff_multiplier = value.parse().map_err(|e| bad(&e))?;
+                    }
+                    "backoff_cap_ms" => {
+                        policy.backoff_cap_ms = value.parse().map_err(|e| bad(&e))?;
+                    }
+                    "backoff_jitter_frac" => {
+                        policy.backoff_jitter_frac = value.parse().map_err(|e| bad(&e))?;
+                    }
+                    "attempt_timeout_factor" => {
+                        policy.attempt_timeout_factor = value.parse().map_err(|e| bad(&e))?;
+                    }
+                    "hedge_delay_factor" => {
+                        policy.hedge_delay_factor = value.parse().map_err(|e| bad(&e))?;
+                    }
+                    "local_fallback" => {
+                        policy.local_fallback = value.parse().map_err(|e| bad(&e))?;
+                    }
+                    other => {
+                        return Err(FaasError::InvalidArgument(format!(
+                            "unknown resilience key {other:?}"
+                        )));
+                    }
+                }
+            }
+        }
+        policy.validate()?;
+        Ok(policy)
     }
 }
 
@@ -1072,6 +1371,7 @@ mod tests {
             platform: true,
             lanes: true,
             memory_tiers: true,
+            orchestrators: false,
         }
         .build()
         .unwrap();
@@ -1153,6 +1453,141 @@ mod tests {
             assert_ne!(sum, wire_checksum(&corrupted), "flip at {i} undetected");
         }
         assert_ne!(wire_checksum(&data[..63]), sum, "length is covered");
+    }
+
+    #[test]
+    fn orchestrator_crashes_are_pure_rate_respecting_and_capped() {
+        let inj = ChaosConfig {
+            seed: 41,
+            orchestrator_crash_rate: 0.1,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .unwrap();
+        let n = 20_000u64;
+        let crashed = |mult: f64| {
+            (0..n)
+                .filter(|&q| inj.orchestrator_crash(q, 1, 0, mult))
+                .count() as f64
+                / n as f64
+        };
+        assert!((crashed(1.0) - 0.1).abs() < 0.01);
+        // Outage scaling raises the probability but saturates at the cap.
+        assert!((crashed(4.0) - 0.4).abs() < 0.015);
+        assert!((crashed(100.0) - 0.75).abs() < 0.015);
+        // Pure: the same (query, boundary, incarnation) always agrees, and
+        // each coordinate is independent.
+        for q in 0..200 {
+            assert_eq!(
+                inj.orchestrator_crash(q, 2, 1, 1.0),
+                inj.orchestrator_crash(q, 2, 1, 1.0)
+            );
+        }
+        let by_boundary: Vec<bool> = (0..200)
+            .map(|q| inj.orchestrator_crash(q, 0, 0, 8.0))
+            .collect();
+        let other_boundary: Vec<bool> = (0..200)
+            .map(|q| inj.orchestrator_crash(q, 1, 0, 8.0))
+            .collect();
+        let other_incarnation: Vec<bool> = (0..200)
+            .map(|q| inj.orchestrator_crash(q, 0, 1, 8.0))
+            .collect();
+        assert_ne!(by_boundary, other_boundary);
+        assert_ne!(by_boundary, other_incarnation);
+        // Worker-fault sampling is untouched by the orchestrator rate.
+        let plain = ChaosConfig {
+            seed: 41,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .unwrap();
+        for q in 0..200 {
+            assert_eq!(inj.fault(site(q, 0)), plain.fault(site(q, 0)));
+        }
+        // A zero rate never crashes, whatever the multiplier.
+        assert!((0..200).all(|q| !plain.orchestrator_crash(q, 0, 0, 100.0)));
+        // Validation rejects out-of-range rates.
+        assert!(ChaosConfig {
+            orchestrator_crash_rate: 1.5,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .is_err());
+        assert!(ChaosConfig {
+            orchestrator_crash_rate: f64::NAN,
+            ..ChaosConfig::default()
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn orchestrator_outage_domain_scales_crashes_only() {
+        let model = OutageConfig {
+            seed: 19,
+            platform: false,
+            lanes: false,
+            memory_tiers: false,
+            orchestrators: true,
+            ..OutageConfig::default()
+        }
+        .build()
+        .unwrap();
+        let active: Vec<f64> = (0..4000)
+            .map(|i| i as f64 * 41.3)
+            .filter(|&t| model.in_episode(FaultDomain::Orchestrator, t))
+            .collect();
+        assert!(!active.is_empty(), "orchestrator episodes should occur");
+        let t = active[0];
+        assert_eq!(model.orchestrator_multiplier(t), model.config().severity);
+        // Worker-lane executions are not covered by the orchestrator domain.
+        assert_eq!(model.multiplier(0, 1, 2048, t), 1.0);
+        // Outside every episode both multipliers are unity.
+        let calm = (0..4000)
+            .map(|i| i as f64 * 41.3)
+            .find(|&t| !model.in_episode(FaultDomain::Orchestrator, t))
+            .unwrap();
+        assert_eq!(model.orchestrator_multiplier(calm), 1.0);
+    }
+
+    #[test]
+    fn resilience_policy_text_round_trips() {
+        for p in [
+            ResiliencePolicy::none(),
+            ResiliencePolicy::naive_retry(),
+            ResiliencePolicy::backoff(),
+            ResiliencePolicy::backoff_hedged(),
+        ] {
+            let text = p.to_text();
+            assert_eq!(ResiliencePolicy::from_text(&text).unwrap(), p, "{text}");
+        }
+        assert!(ResiliencePolicy::from_text("").is_err());
+        assert!(ResiliencePolicy::from_text("gillis-resilience v2\n").is_err());
+        assert!(ResiliencePolicy::from_text("gillis-resilience v1\nmax_attempts=zero\n").is_err());
+        assert!(ResiliencePolicy::from_text("gillis-resilience v1\nmax_attempts=0\n").is_err());
+        assert!(ResiliencePolicy::from_text("gillis-resilience v1\nnope=1\n").is_err());
+        assert!(ResiliencePolicy::from_text("gillis-resilience v1\nbackoff_base_ms\n").is_err());
+    }
+
+    #[test]
+    fn outage_config_text_round_trips() {
+        for cfg in [
+            OutageConfig::default(),
+            OutageConfig::severe(12.0, 99),
+            OutageConfig {
+                orchestrators: true,
+                ..OutageConfig::severe(8.0, 3)
+            },
+        ] {
+            let text = cfg.to_text();
+            assert_eq!(OutageConfig::from_text(&text).unwrap(), cfg, "{text}");
+        }
+        assert!(OutageConfig::from_text("").is_err());
+        assert!(OutageConfig::from_text("gillis-outage v1\nseverity=banana\n").is_err());
+        assert!(OutageConfig::from_text("gillis-outage v1\ndomains=warp\n").is_err());
+        // A parsed config is always buildable: out-of-range knobs fail here.
+        assert!(OutageConfig::from_text("gillis-outage v1\nseverity=0.5\n").is_err());
+        assert!(OutageConfig::from_text("gillis-outage v1\ndomains=\n").is_err());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod overload;
 pub mod pipeline;
 pub mod platform;
+pub mod recovery;
 pub mod stats;
 pub mod store;
 pub mod time;
@@ -60,6 +61,9 @@ pub use overload::{
 };
 pub use pipeline::{PipelineCounters, PipelinePolicy};
 pub use platform::{PlatformKind, PlatformProfile};
+pub use recovery::{
+    CheckpointCache, RecoveryCounters, RecoveryPolicy, StageCheckpoint, DEFAULT_FAILOVER_MS,
+};
 pub use time::Micros;
 
 /// Convenient result alias for fallible simulator operations.

@@ -21,7 +21,9 @@
 //! pipelining takes precedence over batching (they do not compose).
 //! `GILLIS_CHAOS_*` injects faults, `GILLIS_OUTAGE_*` adds correlated
 //! outage episodes on top, `GILLIS_RETRY_BUDGET_*` caps retry/hedge
-//! amplification, and `GILLIS_BROWNOUT_*` enables the degradation ladder.
+//! amplification, `GILLIS_BROWNOUT_*` enables the degradation ladder, and
+//! `GILLIS_RECOVERY_*` enables stage-level checkpointed recovery (failover
+//! replay of orchestrator crashes, resume retries, straggler speculation).
 //!
 //! Plans are stored in the stable text format of
 //! [`gillis::core::ExecutionPlan::to_text`]; when `--plan` is omitted the
@@ -35,7 +37,7 @@ use gillis::serving::{lookup_model, lookup_platform, model_catalog};
 use gillis::core::{
     plan_batch_schedule, predict_plan, BatchPolicy, BrownoutPolicy, ChaosConfig, DpPartitioner,
     ExecutionPlan, ForkJoinRuntime, OutageConfig, OverloadPolicy, PipelinePolicy, PlanObjective,
-    RetryBudgetPolicy,
+    RecoveryPolicy, RetryBudgetPolicy,
 };
 use gillis::faas::workload::ClosedLoop;
 use gillis::faas::Micros;
@@ -247,17 +249,14 @@ fn run() -> Result<(), String> {
                     .map(|c| format!("n{}/{:.0}ms", c.batch, c.window_ms))
                     .collect::<Vec<_>>()
                     .join(" ");
+                // Only the *schedule* is printed here (it is not part of the
+                // report); the batch counters print with every other report
+                // block in `print_serving_report`.
                 println!(
-                    "batch: {} classes [{}] at {} MB, {} batches (mean {:.2}, {} fast-path, \
-                     {} size-closed, {} window-closed)",
+                    "batch schedule: {} classes [{}] at {} MB",
                     batch_policy.classes.len(),
                     windows,
                     schedule.memory_bytes / 1_000_000,
-                    report.batch.batches,
-                    report.batch.mean_batch(),
-                    report.batch.batch_one_fast_path,
-                    report.batch.size_closes,
-                    report.batch.window_closes,
                 );
                 print_serving_report(&report);
                 return Ok(());
@@ -284,7 +283,8 @@ fn run() -> Result<(), String> {
 }
 
 /// Applies the `GILLIS_CHAOS_*` / `GILLIS_OUTAGE_*` / `GILLIS_RETRY_BUDGET_*`
-/// / `GILLIS_BROWNOUT_*` env knobs to a serving runtime.
+/// / `GILLIS_BROWNOUT_*` / `GILLIS_RECOVERY_*` env knobs to a serving
+/// runtime.
 fn with_env_resilience(mut rt: ForkJoinRuntime<'_>) -> Result<ForkJoinRuntime<'_>, String> {
     if let Some(cfg) = ChaosConfig::from_env() {
         rt = rt.with_chaos(cfg).map_err(|e| e.to_string())?;
@@ -297,6 +297,9 @@ fn with_env_resilience(mut rt: ForkJoinRuntime<'_>) -> Result<ForkJoinRuntime<'_
     }
     if let Some(policy) = BrownoutPolicy::from_env() {
         rt = rt.with_brownout(policy).map_err(|e| e.to_string())?;
+    }
+    if let Some(policy) = RecoveryPolicy::from_env() {
+        rt = rt.with_recovery(policy).map_err(|e| e.to_string())?;
     }
     Ok(rt)
 }
@@ -349,12 +352,50 @@ fn print_serving_report(report: &gillis::core::ServingReport) {
             report.resilience.corruptions_detected,
         );
     }
+    let bt = &report.batch;
+    if bt.batches > 0 {
+        println!(
+            "batch: {} batches (mean {:.2}, {} fast-path, {} size-closed, {} window-closed)",
+            bt.batches,
+            bt.mean_batch(),
+            bt.batch_one_fast_path,
+            bt.size_closes,
+            bt.window_closes,
+        );
+    }
     let p = &report.pipeline;
     if p.stages > 1 {
         println!(
             "pipeline: {} stages, {} dispatches, {} handoffs, \
              {} backpressure stalls, peak stage queue {}",
             p.stages, p.stage_dispatches, p.handoffs, p.backpressure_stalls, p.peak_stage_queue,
+        );
+    }
+    let r = &report.recovery;
+    if r.orchestrator_crashes > 0 || r.checkpoints_stored > 0 {
+        println!(
+            "recovery: {} checkpoints ({} hits, {} evictions, {} expirations), \
+             {} orchestrator crashes -> {} failover replays, {} full restarts, \
+             {} stages saved ({:.0} ms recompute avoided)",
+            r.checkpoints_stored,
+            r.checkpoint_hits,
+            r.checkpoint_evictions,
+            r.checkpoint_expirations,
+            r.orchestrator_crashes,
+            r.failover_replays,
+            r.full_restarts,
+            r.stages_saved,
+            r.recompute_avoided_ms,
+        );
+        println!(
+            "recovery: {} resume retries ({} wins), {} skipped at deadline, \
+             {} speculations ({} wins, {} cancelled)",
+            r.resume_retries,
+            r.resume_retry_wins,
+            r.resume_skipped_deadline,
+            r.speculative_executions,
+            r.speculation_wins,
+            r.speculation_cancelled,
         );
     }
     let b = &report.brownout;

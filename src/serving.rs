@@ -29,8 +29,8 @@ use gillis_core::{
     execute_plan_tensors_resilient, plan_batch_schedule, predict_plan, BatchPolicy, BatchSchedule,
     BrownoutPolicy, ChaosConfig, CompiledPlanExec, CoreError, DpPartitioner, ExecutionPlan,
     ForkJoinRuntime, OutageConfig, OverloadPolicy, PartitionerConfig, PipelinePolicy,
-    PlanObjective, PlanPrediction, QueryStatus, ResilienceCounters, ResiliencePolicy,
-    RetryBudgetPolicy, ServingReport,
+    PlanObjective, PlanPrediction, QueryStatus, RecoveryPolicy, ResilienceCounters,
+    ResiliencePolicy, RetryBudgetPolicy, ServingReport,
 };
 use gillis_faas::workload::ClosedLoop;
 use gillis_faas::PlatformProfile;
@@ -140,6 +140,7 @@ pub struct Gillis {
     retry_budget: Option<RetryBudgetPolicy>,
     brownout: Option<BrownoutPolicy>,
     pipeline: Option<PipelinePolicy>,
+    recovery: Option<RecoveryPolicy>,
 }
 
 impl Gillis {
@@ -160,6 +161,7 @@ impl Gillis {
             retry_budget: None,
             brownout: None,
             pipeline: None,
+            recovery: None,
         }
     }
 
@@ -267,6 +269,19 @@ impl Gillis {
         self
     }
 
+    /// Enables stage-level checkpointed recovery for serving: stage outputs
+    /// are checkpointed at every group boundary, orchestrator crashes
+    /// (injected via [`ChaosConfig::orchestrator_crash_rate`]) fail over
+    /// and replay from the last checkpoint instead of restarting the query,
+    /// failed stages retry from their checkpointed upstream boundary,
+    /// straggler stages past `spec_factor` × their predicted p95 race a
+    /// speculative duplicate, and retry-budget debits are priced at the
+    /// resumed attempt's marginal cost. Validated at [`Gillis::deploy`].
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// Runs the full offline workflow: profile the platform, search for a
     /// plan under the chosen objective, and validate it.
     ///
@@ -342,6 +357,9 @@ impl Gillis {
         if let Some(ref pipeline) = self.pipeline {
             pipeline.validate().map_err(CoreError::from)?;
         }
+        if let Some(ref recovery) = self.recovery {
+            recovery.validate().map_err(CoreError::from)?;
+        }
         Ok(Deployment {
             model: self.model,
             platform: self.platform,
@@ -355,6 +373,7 @@ impl Gillis {
             retry_budget: self.retry_budget,
             brownout: self.brownout,
             pipeline: self.pipeline,
+            recovery: self.recovery,
             warm: WarmCache::default(),
         })
     }
@@ -458,6 +477,7 @@ pub struct Deployment {
     retry_budget: Option<RetryBudgetPolicy>,
     brownout: Option<BrownoutPolicy>,
     pipeline: Option<PipelinePolicy>,
+    recovery: Option<RecoveryPolicy>,
     /// Lazily-compiled steady-state execution (pre-sliced weights, packed
     /// panels, preallocated buffers); see [`Deployment::infer`].
     warm: WarmCache,
@@ -608,6 +628,9 @@ impl Deployment {
         if let Some(policy) = self.brownout {
             rt = rt.with_brownout(policy)?;
         }
+        if let Some(policy) = self.recovery {
+            rt = rt.with_recovery(policy)?;
+        }
         match self.chaos {
             Some(cfg) => rt.with_chaos(cfg),
             None => Ok(rt),
@@ -748,6 +771,9 @@ impl Deployment {
         if let Some(policy) = self.brownout {
             rt = rt.with_brownout(policy)?;
         }
+        if let Some(policy) = self.recovery {
+            rt = rt.with_recovery(policy)?;
+        }
         if let Some(cfg) = self.chaos {
             rt = rt.with_chaos(cfg)?;
         }
@@ -882,6 +908,7 @@ mod tests {
             straggler_rate: 0.1,
             straggler_slowdown: 5.0,
             corrupt_rate: 0.05,
+            orchestrator_crash_rate: 0.0,
         };
         let d = Gillis::new(tiny.clone())
             .chaos(chaos)
@@ -964,6 +991,37 @@ mod tests {
             .brownout(BrownoutPolicy {
                 window_lanes: 0,
                 ..BrownoutPolicy::default()
+            })
+            .deploy()
+            .is_err());
+    }
+
+    #[test]
+    fn recovered_deployment_replays_crashes_deterministically() {
+        let chaos = ChaosConfig {
+            seed: 17,
+            invoke_failure_rate: 0.03,
+            orchestrator_crash_rate: 0.2,
+            ..ChaosConfig::default()
+        };
+        let d = Gillis::new(zoo::tiny_vgg())
+            .chaos(chaos)
+            .resilience(ResiliencePolicy::backoff())
+            .recovery(RecoveryPolicy::default())
+            .deploy()
+            .unwrap();
+        let a = d.serve_open_loop(40.0, 120, 4, 9).unwrap();
+        let b = d.serve_open_loop(40.0, 120, 4, 9).unwrap();
+        assert!(a.recovery.orchestrator_crashes > 0);
+        assert!(a.recovery.checkpoints_stored > 0);
+        assert_eq!(a.recovery.full_restarts, 0, "{:?}", a.recovery);
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+        // Invalid recovery knobs are rejected at deploy time.
+        assert!(Gillis::new(zoo::tiny_vgg())
+            .recovery(RecoveryPolicy {
+                capacity: 0,
+                ..RecoveryPolicy::default()
             })
             .deploy()
             .is_err());
